@@ -1,0 +1,91 @@
+// Ablation: kernel and crypto micro-costs (google-benchmark).
+//
+// DESIGN.md calls out two engineering choices worth quantifying: the
+// binary-heap event queue (every protocol action pays this) and using real
+// SHA-256 for integrity while *simulating* the mining search. These micros
+// bound how large an experiment the DES can run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "chain/blocktree.hpp"
+#include "chain/ledger.hpp"
+#include "chain/types.hpp"
+#include "chain/wallet.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/merkle.hpp"
+#include "sim/simulator.hpp"
+
+using namespace decentnet;
+
+static void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simu(1);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      simu.schedule(static_cast<sim::SimDuration>(i % 1000),
+                    [&acc] { ++acc; });
+    }
+    simu.run_all();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+static void BM_SimulatorPeriodicTimers(benchmark::State& state) {
+  const auto timers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simu(2);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < timers; ++i) {
+      simu.schedule_periodic(sim::seconds(1), sim::seconds(1),
+                             [&acc] { ++acc; });
+    }
+    simu.run_until(sim::minutes(1));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SimulatorPeriodicTimers)->Arg(100)->Arg(1000);
+
+static void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+static void BM_MerkleRoot(benchmark::State& state) {
+  const auto leaves_n = static_cast<std::size_t>(state.range(0));
+  std::vector<crypto::Hash256> leaves;
+  for (std::size_t i = 0; i < leaves_n; ++i) {
+    leaves.push_back(crypto::sha256(std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::compute_root(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(leaves_n));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_TxValidate(benchmark::State& state) {
+  // Full signature-checked transaction validation, the per-tx cost every
+  // full node pays in the E5 experiments.
+  const chain::Wallet alice = chain::Wallet::from_seed(0xBEEF1);
+  const chain::Wallet bob = chain::Wallet::from_seed(0xBEEF2);
+  chain::UtxoSet utxo;
+  const auto genesis =
+      chain::make_genesis_multi({{alice.address(), 1'000'000}}, 1.0);
+  (void)utxo.apply_block(*genesis, 0);
+  const auto tx = alice.pay(utxo, bob.address(), 1000, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utxo.check_transaction(*tx, false, 0));
+  }
+}
+BENCHMARK(BM_TxValidate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Ablation: full-block flooding vs compact (header+txids) relay.
+//
+// Bitcoin's answer to E10's propagation-delay forks was BIP152 compact
+// blocks: once mempools are synchronized, a block announcement shrinks from
+// ~1 MB to a few KB, which shortens propagation and cuts the stale rate —
+// without touching the throughput ceiling (the block is still the block).
+#include "bench_util.hpp"
+#include "core/scenarios.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "Ablation: block relay encoding (full bodies vs compact)",
+      "(design-choice check) compact relay reduces relay bytes and the "
+      "stale rate, but does not change the E5 throughput ceiling",
+      "same PoW mesh under saturating load with 2 Mbit/s uplinks modeled "
+      "(full 100 KB blocks pay real serialization delay), 30 s blocks; "
+      "compare stale rate and throughput");
+
+  bench::Table t("relay encoding comparison (30 s blocks, 24 nodes)");
+  t.set_header({"relay", "tps", "stale_rate", "blocks", "submitted_txs"});
+  for (const bool compact : {false, true}) {
+    core::PowScenarioConfig cfg;
+    cfg.params.retarget_window = 0;
+    cfg.params.initial_difficulty = 1e6;
+    cfg.params.target_block_interval = sim::seconds(30);
+    cfg.params.max_block_bytes = 100'000;
+    cfg.total_hashrate = 1e6 / 30.0;
+    cfg.nodes = 24;
+    cfg.miners = 8;
+    cfg.wallets = 32;
+    cfg.tx_rate_per_sec = 12;
+    cfg.median_latency = sim::millis(150);
+    cfg.model_bandwidth = true;  // serialization delay is the story here
+    cfg.uplink_bps = 2e6 / 8;    // 2 Mbit/s consumer uplink
+    cfg.downlink_bps = 16e6 / 8;
+    cfg.duration = sim::minutes(90);
+    cfg.compact_relay = compact;
+    const auto r = core::run_pow_scenario(cfg);
+    t.add_row({compact ? "compact (header+txids)" : "full blocks",
+               sim::Table::num(r.throughput_tps, 1),
+               sim::Table::num(r.stale_rate, 4),
+               std::to_string(r.blocks_on_chain),
+               std::to_string(r.submitted_txs)});
+  }
+  t.print();
+  std::printf(
+      "\nWith consumer-grade uplinks, flooding a 100 KB body to every\n"
+      "neighbor serializes for hundreds of milliseconds per hop and the\n"
+      "stale rate shows it; the compact announcement is ~2%% of the bytes\n"
+      "and propagates at latency speed. Throughput is unchanged either\n"
+      "way: the ceiling is the protocol, not the encoding.\n");
+  return 0;
+}

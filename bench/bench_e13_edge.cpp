@@ -1,0 +1,111 @@
+// E13 — Edge-centric computing with permissioned trust (§V).
+// "Modern services are data-intensive and latency-sensitive, sometimes
+// making a centralized cloud a poor match for them ... Control must be at
+// the edge ... The level of trust and the speed needed by decentralized edge
+// services may be achieved through permissioned blockchains."
+#include <memory>
+
+#include "bench_util.hpp"
+#include "edge/federation.hpp"
+#include "fabric/channel.hpp"
+#include "fabric/contracts.hpp"
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "E13: edge federation vs centralized cloud",
+      "serving from in-region nano-datacenters cuts latency and keeps "
+      "control in the user's administrative domain; a permissioned channel "
+      "records cross-domain usage so federated orgs need no trusted third "
+      "party",
+      "5 regions, 2 nano-DCs each, 100 users, geo latency model; 2000 "
+      "requests per policy; cross-domain usage settles on a fabric channel "
+      "running on the same network");
+
+  bench::Table t("placement policy comparison (same workload, same network)");
+  t.set_header({"policy", "ok", "p50_ms", "p99_ms", "in_region%",
+                "in_domain%", "usage_records"});
+
+  for (const auto policy :
+       {edge::PlacementPolicy::CloudOnly, edge::PlacementPolicy::EdgeFirst}) {
+    sim::Simulator simu(99);
+    auto geo_model = std::make_unique<net::GeoLatency>(0.15);
+    net::GeoLatency* geo = geo_model.get();
+    net::Network netw(simu, std::move(geo_model));
+    edge::Federation fed(netw, *geo, {}, {});
+
+    // Permissioned trust substrate on the same network: usage records are
+    // metered through the energy-trading style contract.
+    fabric::MembershipService msp(5);
+    fabric::EndorsementPolicy fpolicy{1};
+    fabric::FabricPeer peer(netw, netw.new_node_id(), "federation-registry",
+                            msp, fpolicy, 999);
+    auto kv = std::make_shared<fabric::KvContract>();
+    peer.install(kv);
+    peer.set_event_source(true);
+    fabric::SoloOrderer orderer(netw, netw.new_node_id(),
+                                fabric::OrdererConfig{});
+    orderer.register_peer(peer.addr());
+    fabric::FabricClient registry(netw, netw.new_node_id(), fpolicy);
+    registry.set_endorsers({&peer});
+    registry.set_orderer(&orderer);
+
+    std::uint64_t usage_records = 0;
+    std::uint64_t usage_seq = 0;
+    fed.set_usage_recorder([&](const std::string& provider,
+                               const std::string& consumer) {
+      ++usage_records;
+      registry.invoke("kv",
+                      {"put",
+                       "usage/" + provider + "/" + consumer + "/" +
+                           std::to_string(usage_seq++),
+                       "1"},
+                      [](bool, const std::string&, sim::SimDuration) {});
+    });
+
+    sim::Histogram lat;
+    std::size_t ok = 0, in_region = 0, in_domain = 0, total = 0;
+    sim::Rng rng(13);
+    const std::size_t kRequests = 2000;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      simu.schedule(sim::millis(10) * static_cast<sim::SimDuration>(i),
+                    [&, policy] {
+                      fed.issue_request(
+                          policy, rng,
+                          [&](bool success, sim::SimDuration latency,
+                              bool region, bool domain) {
+                            ++total;
+                            if (success) {
+                              ++ok;
+                              lat.record(sim::to_millis(latency));
+                            }
+                            if (region) ++in_region;
+                            if (domain) ++in_domain;
+                          });
+                    });
+    }
+    simu.run_until(sim::minutes(5));
+    t.add_row({policy == edge::PlacementPolicy::CloudOnly ? "cloud-only"
+                                                          : "edge-first",
+               std::to_string(ok), sim::Table::num(lat.percentile(50), 1),
+               sim::Table::num(lat.percentile(99), 1),
+               sim::Table::num(100.0 * static_cast<double>(in_region) /
+                                   static_cast<double>(total),
+                               1),
+               sim::Table::num(100.0 * static_cast<double>(in_domain) /
+                                   static_cast<double>(total),
+                               1),
+               std::to_string(usage_records)});
+  }
+  t.print();
+  std::printf(
+      "\nEdge-first turns a transcontinental round trip into an in-region\n"
+      "hop for ~90%% of requests, and the federation's cross-domain usage is\n"
+      "accounted on the permissioned channel instead of a trusted broker —\n"
+      "decentralized control (edge) + decentralized trust (permissioned\n"
+      "ledger), the paper's closing proposal.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E14 — Double-spend safety vs confirmations (§III-A immutability argument).
+// "Modifying the content of a block requires re-computing the proof-of-work
+// for that block and for any block that follows ... a feat possible only if
+// the attacker possesses more than half of the computing power."
+#include "bench_util.hpp"
+#include "chain/attacks.hpp"
+#include "sim/rng.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "E14: double-spend success probability vs confirmations",
+      "immutability is probabilistic: an attacker with hash share q < 0.5 "
+      "succeeds with probability falling geometrically in the number of "
+      "confirmations z; q >= 0.5 always succeeds",
+      "Nakamoto's closed form plus a 100k-trial Monte-Carlo of the exact "
+      "mining race, for q in {5%..50%} and z in {0..10}");
+
+  bench::Table t("double-spend success probability (analytic | monte-carlo)");
+  t.set_header({"q", "z=0", "z=1", "z=2", "z=4", "z=6", "z=10"});
+  for (const double q : {0.05, 0.10, 0.20, 0.30, 0.40, 0.50}) {
+    std::vector<std::string> row{sim::Table::num(q, 2)};
+    for (const unsigned z : {0u, 1u, 2u, 4u, 6u, 10u}) {
+      sim::Rng rng(1000 + static_cast<std::uint64_t>(q * 100) + z);
+      const double an = chain::doublespend_success_probability(q, z);
+      const double mc = chain::doublespend_success_mc(q, z, 100'000, 300, rng);
+      row.push_back(sim::Table::num(an, 4) + "|" + sim::Table::num(mc, 4));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::printf("\nMerchant rule of thumb (probability < 0.1%%):\n");
+  bench::Table t2("confirmations needed vs attacker share");
+  t2.set_header({"q", "confirmations_for_p<0.001"});
+  for (const double q : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
+    unsigned z = 0;
+    while (z < 400 && chain::doublespend_success_probability(q, z) > 0.001) {
+      ++z;
+    }
+    t2.add_row({sim::Table::num(q, 2),
+                z >= 400 ? ">400" : std::to_string(z)});
+  }
+  t2.print();
+  return 0;
+}

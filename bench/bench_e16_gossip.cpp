@@ -1,0 +1,104 @@
+// E16 — Epidemic dissemination (§II, §IV).
+// "Peer-to-peer research sprouted with very interesting contributions, e.g.
+// gossip based protocols for scalable group communication" — the same
+// primitive that floods blocks in Bitcoin and disseminates state in Fabric.
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/network.hpp"
+#include "overlay/gossip.hpp"
+#include "sim/metrics.hpp"
+
+using namespace decentnet;
+
+namespace {
+
+struct Row {
+  double coverage;
+  double mean_hops;
+  double duplicates_per_node;
+  double bytes_per_node;
+};
+
+Row run(std::size_t n, std::size_t fanout, std::uint64_t seed) {
+  sim::Simulator simu(seed);
+  net::Network netw(
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4));
+  overlay::GossipConfig cfg;
+  cfg.fanout = fanout;
+  std::vector<net::NodeId> addrs;
+  for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
+  std::vector<std::unique_ptr<overlay::GossipNode>> nodes;
+  sim::Rng rng(seed ^ 0xF0);
+  sim::Histogram hops;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<overlay::GossipNode>(netw, addrs[i], cfg));
+    std::vector<net::NodeId> view;
+    for (std::size_t k = 0; k < cfg.view_size / 2; ++k) {
+      view.push_back(addrs[rng.uniform_int(n)]);
+    }
+    nodes.back()->join(view);
+    nodes.back()->set_deliver_hook([&hops](overlay::RumorId, std::size_t h) {
+      hops.record(static_cast<double>(h));
+    });
+  }
+  simu.run_until(sim::minutes(3));  // let peer sampling mix views
+  const auto bytes_before = netw.bytes_sent();
+  nodes[0]->broadcast(/*rumor=*/1, /*payload_bytes=*/512);
+  simu.run_until(simu.now() + sim::minutes(2));
+  Row row;
+  std::size_t reached = 0;
+  std::uint64_t dups = 0;
+  for (const auto& node : nodes) {
+    if (node->has_seen(1)) ++reached;
+    dups += node->duplicates_received();
+  }
+  row.coverage = static_cast<double>(reached) / static_cast<double>(n);
+  row.mean_hops = hops.mean();
+  row.duplicates_per_node =
+      static_cast<double>(dups) / static_cast<double>(n);
+  row.bytes_per_node = static_cast<double>(netw.bytes_sent() - bytes_before) /
+                       static_cast<double>(n);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "E16: epidemic broadcast coverage vs fanout and size",
+      "push gossip reaches (almost) everyone in O(log n) hops once fanout "
+      "clears the epidemic threshold; below it, rumors die out — redundancy "
+      "is the price of probabilistic reliability",
+      "Cyclon peer sampling + infect-and-die push; sweep fanout at n=500 "
+      "and network size at fanout=4");
+
+  bench::Table t1("fanout sweep, n = 500");
+  t1.set_header({"fanout", "coverage", "mean_hops", "dups_per_node",
+                 "bytes_per_node"});
+  for (const std::size_t fanout : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const Row r = run(500, fanout, 21);
+    t1.add_row({std::to_string(fanout), sim::Table::num(r.coverage, 3),
+                sim::Table::num(r.mean_hops, 1),
+                sim::Table::num(r.duplicates_per_node, 2),
+                sim::Table::num(r.bytes_per_node, 0)});
+  }
+  t1.print();
+
+  bench::Table t2("size sweep, fanout = 4");
+  t2.set_header({"n", "coverage", "mean_hops", "dups_per_node"});
+  for (const std::size_t n : {100u, 300u, 1000u, 3000u}) {
+    const Row r = run(n, 4, 22);
+    t2.add_row({std::to_string(n), sim::Table::num(r.coverage, 3),
+                sim::Table::num(r.mean_hops, 1),
+                sim::Table::num(r.duplicates_per_node, 2)});
+  }
+  t2.print();
+  std::printf(
+      "\nHop counts grow logarithmically with n while coverage holds — the\n"
+      "scalable-dissemination result that cloud systems (Dynamo, Cassandra)\n"
+      "and every blockchain mesh inherited from P2P research.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E5 — Throughput: permissionless chains vs a partitioned cloud backend
+// (§III-C Problem 2).
+// "While VISA is processing 24,000 transactions per second, Bitcoin can
+// process between 3.3 and 7 transactions per second, and Ethereum around 15
+// per second."
+//
+// All three systems run on the same simulated network substrate; absolute
+// numbers are simulator-scale, the ordering and the orders-of-magnitude gap
+// are the result.
+#include "bench_util.hpp"
+#include "core/scenarios.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "E5: transactions per second across architectures",
+      "Bitcoin 3.3-7 tps, Ethereum ~15 tps, VISA ~24,000 tps: global "
+      "broadcast + full replication caps throughput at one node's capacity, "
+      "while a shared-nothing partitioned backend scales linearly",
+      "full-protocol simulations: PoW gossip networks with Bitcoin-like and "
+      "Ethereum-like parameters under saturating load, and a Raft-replicated "
+      "partitioned commit substrate (the cloud/VISA architecture)");
+
+  bench::Table t("architecture comparison (same network substrate)");
+  t.set_header({"system", "tps", "block_interval_s", "stale_rate",
+                "offered_tps", "notes"});
+
+  {
+    core::PowScenarioConfig cfg;
+    cfg.params = chain::ChainParams::bitcoin();
+    cfg.params.retarget_window = 0;
+    cfg.params.initial_difficulty = 1e9;
+    cfg.total_hashrate = 1e9 / 600.0;  // one block / 10 min
+    cfg.nodes = 32;
+    cfg.miners = 10;
+    cfg.wallets = 48;
+    cfg.tx_rate_per_sec = 10;  // saturating: capacity is ~6.7 tps
+    cfg.duration = sim::hours(3);
+    const auto r = core::run_pow_scenario(cfg);
+    t.add_row({"Bitcoin-like PoW", sim::Table::num(r.throughput_tps, 1),
+               sim::Table::num(r.mean_block_interval_s, 0),
+               sim::Table::num(r.stale_rate, 4),
+               sim::Table::num(10, 0), "1MB blocks / 10 min"});
+  }
+  {
+    core::PowScenarioConfig cfg;
+    cfg.params = chain::ChainParams::ethereum();
+    cfg.params.retarget_window = 0;
+    cfg.params.initial_difficulty = 13e6;
+    cfg.total_hashrate = 13e6 / 13.0;  // one block / 13 s
+    cfg.nodes = 32;
+    cfg.miners = 10;
+    cfg.wallets = 48;
+    cfg.tx_rate_per_sec = 30;  // capacity ~17 tps
+    cfg.duration = sim::minutes(30);
+    const auto r = core::run_pow_scenario(cfg);
+    t.add_row({"Ethereum-like PoW", sim::Table::num(r.throughput_tps, 1),
+               sim::Table::num(r.mean_block_interval_s, 1),
+               sim::Table::num(r.stale_rate, 4),
+               sim::Table::num(30, 0), "60KB blocks / 13 s"});
+  }
+  {
+    core::PartitionedScenarioConfig cfg;
+    cfg.partitions = 16;
+    cfg.replicas = 3;
+    cfg.tx_rate_per_sec = 8000;
+    cfg.duration = sim::seconds(20);
+    const auto r = core::run_partitioned_scenario(cfg);
+    t.add_row({"Partitioned cloud (16 shards)",
+               sim::Table::num(r.throughput_tps, 0), "-", "-",
+               sim::Table::num(8000, 0),
+               "p50 " + sim::Table::num(r.latency_p50_ms, 0) + "ms"});
+  }
+  {
+    core::PartitionedScenarioConfig cfg;
+    cfg.partitions = 48;
+    cfg.replicas = 3;
+    cfg.tx_rate_per_sec = 24000;
+    cfg.duration = sim::seconds(10);
+    const auto r = core::run_partitioned_scenario(cfg);
+    t.add_row({"Partitioned cloud (48 shards)",
+               sim::Table::num(r.throughput_tps, 0), "-", "-",
+               sim::Table::num(24000, 0),
+               "p50 " + sim::Table::num(r.latency_p50_ms, 0) + "ms"});
+  }
+  t.print();
+  std::printf(
+      "\nThe PoW rows are capped near block_bytes/(tx_bytes*interval) no\n"
+      "matter the offered load; the partitioned rows track offered load —\n"
+      "add shards, get throughput. That is the paper's VISA contrast.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// E6 — Selfish mining (Eyal & Sirer, paper ref [30]).
+// "They present an attack where a minority colluding pool can obtain more
+// revenue than the pool's fair share."
+#include "bench_util.hpp"
+#include "chain/attacks.hpp"
+#include "sim/rng.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "E6: selfish mining revenue vs pool size",
+      "a minority pool (alpha > (1-gamma)/(3-2gamma)) earns more than its "
+      "fair share by withholding blocks [Eyal & Sirer]",
+      "Monte-Carlo of the withholding state machine (2M block events per "
+      "point) against the closed-form revenue; gamma = tie-break share");
+
+  for (const double gamma : {0.0, 0.5, 1.0}) {
+    bench::Table t("selfish mining, gamma = " + sim::Table::num(gamma, 1) +
+                   "  (threshold alpha = " +
+                   sim::Table::num(chain::selfish_threshold(gamma), 3) + ")");
+    t.set_header({"alpha", "fair_share", "simulated", "analytic", "stale_rate",
+                  "profitable"});
+    for (const double alpha :
+         {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.35, 0.40, 0.45}) {
+      sim::Rng rng(42);
+      const auto out =
+          chain::simulate_selfish_mining(alpha, gamma, 2'000'000, rng);
+      const double analytic = chain::selfish_revenue_analytic(alpha, gamma);
+      t.add_row({sim::Table::num(alpha, 3), sim::Table::num(alpha, 3),
+                 sim::Table::num(out.pool_revenue_share(), 4),
+                 sim::Table::num(analytic, 4),
+                 sim::Table::num(out.stale_rate(), 4),
+                 out.pool_revenue_share() > alpha ? "YES" : "no"});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E7 — Mining centralization (§III-C Problem 1).
+// "In 2013 six mining pools controlled 75% of overall Bitcoin hashing power.
+// Nowadays it is almost impossible for a normal user to mine bitcoins with a
+// normal desktop computer."
+#include "bench_util.hpp"
+#include "chain/economics.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+using namespace decentnet;
+
+int main() {
+  bench::banner(
+      "E7: hash-power concentration under economies of scale",
+      "strong economic incentives attract industrial players; scale "
+      "advantages (cheap electricity, wholesale ASICs) concentrate hash "
+      "power into a handful of farms — six pools held 75% in 2013",
+      "reinvestment dynamics over 2000 miners, 500 rounds; sweep the "
+      "scale-economy exponent and report Gini / Nakamoto coefficient / "
+      "top-6 share of the final distribution");
+
+  bench::Table t("hash-power distribution vs economies of scale");
+  t.set_header({"scale_exponent", "gini", "nakamoto_coeff", "top6_share",
+                "entropy_bits", "active_miners"});
+  for (const double scale : {0.0, 0.05, 0.10, 0.15, 0.20, 0.30}) {
+    chain::PoolSimConfig cfg;
+    cfg.scale_exponent = scale;
+    sim::Rng rng(2013);
+    const auto shares = chain::simulate_pool_concentration(cfg, rng);
+    std::size_t active = 0;
+    for (double s : shares) {
+      if (s > 0) ++active;
+    }
+    t.add_row({sim::Table::num(scale, 2),
+               sim::Table::num(sim::gini(shares), 3),
+               std::to_string(sim::nakamoto_coefficient(shares)),
+               sim::Table::num(sim::top_k_share(shares, 6), 3),
+               sim::Table::num(sim::shannon_entropy(shares), 2),
+               std::to_string(active)});
+  }
+  t.print();
+  std::printf(
+      "\nReading: with no scale advantage the initial skew persists but the\n"
+      "network stays wide; each increment of scale advantage collapses the\n"
+      "Nakamoto coefficient toward single digits and pushes the top-6 share\n"
+      "toward (and past) the 75%% the paper reports for 2013.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Shared helpers for the experiment benches: consistent headers that state
+// the paper claim being regenerated, plus the table printer.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/table.hpp"
+
+namespace decentnet::bench {
+
+/// Print the experiment banner: id, claim, and what the bench sweeps.
+inline void banner(const std::string& id, const std::string& claim,
+                   const std::string& method) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper claim : %s\n", claim.c_str());
+  std::printf("This bench  : %s\n", method.c_str());
+  std::printf("================================================================\n");
+}
+
+using decentnet::sim::Table;
+
+}  // namespace decentnet::bench

@@ -1,0 +1,116 @@
+// Healthcare data sharing with consent (§V-A) on an edge federation (§V).
+//
+// "Institutions suffer from an inability to share data securely across
+// platforms. Permissioned blockchains could facilitate hospitals,
+// pharmacies, patients, clinical research organizations ... to share access
+// to their networks without compromising on the data security, privacy and
+// integrity."
+//
+// Two hospitals and a research org keep records at their own edge
+// nano-datacenters (control stays local); the consent registry and access
+// audit live on a shared permissioned channel (trust is decentralized).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/decentnet.hpp"
+
+using namespace decentnet;
+
+int main() {
+  std::printf("== healthcare federation: consent on a shared ledger ==\n\n");
+  sim::Simulator simu(11);
+  auto geo_model = std::make_unique<net::GeoLatency>(0.1);
+  net::GeoLatency* geo = geo_model.get();
+  net::Network netw(simu, std::move(geo_model));
+
+  // --- The permissioned consent/audit channel --------------------------------
+  fabric::MembershipService msp(3);
+  fabric::EndorsementPolicy policy{2};
+  const char* orgs[] = {"hospital-north", "hospital-south", "research-org"};
+  auto health = std::make_shared<fabric::HealthRecordsContract>();
+  std::vector<std::unique_ptr<fabric::FabricPeer>> peers;
+  for (int o = 0; o < 3; ++o) {
+    peers.push_back(std::make_unique<fabric::FabricPeer>(
+        netw, netw.new_node_id(), orgs[o], msp, policy,
+        200 + static_cast<std::uint64_t>(o)));
+    peers.back()->install(health);
+    geo->assign(peers.back()->addr(), static_cast<std::size_t>(o) % 2);
+  }
+  peers[0]->set_event_source(true);
+  fabric::PbftOrderer orderer(netw, /*f=*/1, fabric::OrdererConfig{});
+  for (auto& p : peers) orderer.register_peer(p->addr());
+  fabric::FabricClient client(netw, netw.new_node_id(), policy);
+  client.set_endorsers({peers[0].get(), peers[1].get(), peers[2].get()});
+  client.set_orderer(&orderer);
+
+  int denied = 0;
+  auto invoke = [&](std::vector<std::string> args, bool expect_ok) {
+    client.invoke("health", std::move(args),
+                  [&, expect_ok](bool ok, const std::string& payload,
+                                 sim::SimDuration) {
+                    if (!ok) ++denied;
+                    if (ok != expect_ok) {
+                      std::printf("  UNEXPECTED: ok=%d payload=%s\n", ok,
+                                  payload.c_str());
+                    }
+                  });
+    simu.run_until(simu.now() + sim::seconds(5));
+  };
+
+  std::printf("1. hospital-north writes records without consent -> denied\n");
+  invoke({"put", "patient-17", "hospital-north", "bloodwork:ok"}, false);
+
+  std::printf("2. patient-17 grants hospital-north; records flow\n");
+  invoke({"grant", "patient-17", "hospital-north"}, true);
+  invoke({"put", "patient-17", "hospital-north", "bloodwork:ok"}, true);
+  invoke({"put", "patient-17", "hospital-north", "mri:clear"}, true);
+
+  std::printf("3. research-org reads without consent -> denied\n");
+  invoke({"get", "patient-17", "research-org"}, false);
+
+  std::printf("4. patient grants research-org, then revokes\n");
+  invoke({"grant", "patient-17", "research-org"}, true);
+  invoke({"put", "patient-17", "research-org", "trial:enrolled"}, true);
+  invoke({"revoke", "patient-17", "research-org"}, true);
+  invoke({"get", "patient-17", "research-org"}, false);
+
+  client.invoke("health", {"get", "patient-17", "hospital-north"},
+                [](bool ok, const std::string& payload, sim::SimDuration) {
+                  std::printf("\nhospital-north's view of patient-17: %s\n",
+                              ok ? payload.c_str() : "(denied)");
+                });
+  simu.run_until(simu.now() + sim::seconds(5));
+
+  // --- The edge side: records served near the patient -----------------------
+  std::printf("\nedge serving check: in-region nano-DC vs remote cloud\n");
+  edge::EdgeConfig ecfg;
+  edge::EdgeNode nano(netw, netw.new_node_id(), edge::DeviceTier::NanoDC,
+                      "hospital-north", 0, ecfg);
+  edge::EdgeNode cloud(netw, netw.new_node_id(), edge::DeviceTier::Cloud,
+                       "hyperscaler", 3, ecfg);
+  geo->assign(nano.addr(), 0);
+  geo->assign(cloud.addr(), 3);
+  edge::UserAgent clinician(netw, netw.new_node_id(), "hospital-north", 0,
+                            ecfg);
+  geo->assign(clinician.addr(), 0);
+  double nano_ms = 0, cloud_ms = 0;
+  clinician.request(nano, [&](bool, sim::SimDuration l) {
+    nano_ms = sim::to_millis(l);
+  });
+  simu.run_until(simu.now() + sim::seconds(2));
+  clinician.request(cloud, [&](bool, sim::SimDuration l) {
+    cloud_ms = sim::to_millis(l);
+  });
+  simu.run_until(simu.now() + sim::seconds(2));
+  std::printf("  record fetch from own nano-DC: %.0f ms\n", nano_ms);
+  std::printf("  record fetch from remote cloud: %.0f ms\n", cloud_ms);
+
+  std::printf(
+      "\ndenied operations: %d (every denial enforced by chaincode on all\n"
+      "three orgs' peers — no administrator could quietly bypass consent).\n"
+      "Records stay at the hospitals' edge; only consent facts and audit\n"
+      "events cross organizational lines, via a BFT-ordered channel.\n",
+      denied);
+  return 0;
+}

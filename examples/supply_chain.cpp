@@ -1,0 +1,103 @@
+// Supply chain & logistics "blockchain island" (§V-A).
+//
+// "Distributed ledgers can be used to verify the trade status of products by
+// thoroughly tracking them from their origin to the destination without ever
+// having to explicitly trust any one node in the network."
+//
+// Four organizations — a factory, a carrier, a customs agency and a
+// retailer — run a permissioned channel with a Raft ordering service. Goods
+// move custody along the chain; any member can audit the full provenance of
+// any pallet, and nobody holds the master copy.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decentnet.hpp"
+
+using namespace decentnet;
+
+int main() {
+  std::printf("== supply-chain blockchain island ==\n\n");
+  sim::Simulator simu(7);
+  net::Network netw(simu,
+                    std::make_unique<net::LogNormalLatency>(sim::millis(8),
+                                                            0.3));
+
+  // Consortium membership: one CA, four orgs, one endorsing peer each.
+  fabric::MembershipService msp(1);
+  // Trade events need factory+carrier (or any 2 orgs) to endorse.
+  fabric::EndorsementPolicy policy{2};
+  const char* orgs[] = {"factory", "carrier", "customs", "retailer"};
+  auto contract = std::make_shared<fabric::SupplyChainContract>();
+  std::vector<std::unique_ptr<fabric::FabricPeer>> peers;
+  for (int o = 0; o < 4; ++o) {
+    peers.push_back(std::make_unique<fabric::FabricPeer>(
+        netw, netw.new_node_id(), orgs[o], msp, policy,
+        100 + static_cast<std::uint64_t>(o)));
+    peers.back()->install(contract);
+  }
+  peers[0]->set_event_source(true);
+
+  // Crash-fault-tolerant ordering service run by the consortium.
+  fabric::RaftOrderer orderer(netw, 3, fabric::OrdererConfig{});
+  for (auto& p : peers) orderer.register_peer(p->addr());
+  simu.run_until(sim::seconds(2));  // leader election
+
+  fabric::FabricClient client(netw, netw.new_node_id(), policy);
+  std::vector<fabric::FabricPeer*> endorsers;
+  for (auto& p : peers) endorsers.push_back(p.get());
+  client.set_endorsers(endorsers);
+  client.set_orderer(&orderer);
+
+  int committed = 0, failed = 0;
+  auto submit = [&](std::vector<std::string> args) {
+    client.invoke("supplychain", std::move(args),
+                  [&](bool ok, const std::string& payload, sim::SimDuration) {
+                    if (ok) {
+                      ++committed;
+                    } else {
+                      ++failed;
+                      std::printf("  rejected: %s\n", payload.c_str());
+                    }
+                  });
+    simu.run_until(simu.now() + sim::seconds(3));
+  };
+
+  // Ten pallets flow factory -> carrier -> customs -> retailer.
+  for (int p = 0; p < 10; ++p) {
+    const std::string item = "pallet-" + std::to_string(p);
+    submit({"register", item, "factory-lyon"});
+    submit({"ship", item, "carrier-truck-7"});
+    submit({"receive", item, "customs-basel"});
+    submit({"ship", item, "carrier-rail-2"});
+    submit({"receive", item, "retailer-berlin"});
+  }
+  // A duplicate registration and a bogus item must be rejected by chaincode.
+  submit({"register", "pallet-0", "counterfeit-origin"});
+  submit({"ship", "pallet-nonexistent", "nowhere"});
+
+  // Audit: the retailer's peer answers provenance from its own ledger copy.
+  client.invoke("supplychain", {"trace", "pallet-3"},
+                [](bool ok, const std::string& payload, sim::SimDuration) {
+                  std::printf("\nprovenance of pallet-3 (from the shared "
+                              "ledger):\n  %s\n",
+                              ok ? payload.c_str() : "(error)");
+                });
+  simu.run_until(simu.now() + sim::seconds(5));
+
+  std::printf("\ncommitted=%d rejected=%d\n", committed, failed);
+  std::printf("per-org ledger state (should be identical):\n");
+  for (auto& p : peers) {
+    std::printf("  %-8s: %zu keys, %llu txs committed, %llu policy "
+                "failures\n",
+                p->org().c_str(), p->state().size(),
+                static_cast<unsigned long long>(p->stats().txs_committed),
+                static_cast<unsigned long long>(p->stats().policy_failures));
+  }
+  std::printf(
+      "\nNo single org can rewrite history: every write carries 2-of-4 org\n"
+      "endorsements and sits behind the Raft-ordered, hash-linked block\n"
+      "stream each member independently validated.\n");
+  return 0;
+}

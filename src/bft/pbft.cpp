@@ -1,0 +1,392 @@
+#include "bft/pbft.hpp"
+
+#include <algorithm>
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::bft {
+
+namespace pm = pbft_msg;
+
+namespace {
+crypto::Hash256 batch_digest(const std::vector<Command>& batch) {
+  crypto::ByteWriter w;
+  w.str("pbft-batch").u64(batch.size());
+  for (const Command& c : batch) {
+    w.u64(c.id).u64(c.client).str(c.op);
+  }
+  return w.sha256();
+}
+
+std::size_t batch_bytes(const std::vector<Command>& batch) {
+  std::size_t total = 0;
+  for (const Command& c : batch) total += c.wire_bytes;
+  return total;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PbftReplica
+// ---------------------------------------------------------------------------
+
+PbftReplica::PbftReplica(net::Network& net, net::NodeId addr,
+                         std::size_t index, PbftConfig config)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      index_(index),
+      config_(config) {
+  net_.attach(addr_, this);
+}
+
+PbftReplica::~PbftReplica() { net_.detach(addr_); }
+
+void PbftReplica::set_group(std::vector<net::NodeId> replicas) {
+  group_ = std::move(replicas);
+}
+
+template <typename M>
+void PbftReplica::multicast(const M& m, std::size_t bytes) {
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (i == index_) continue;
+    net_.send(addr_, group_[i], m, bytes);
+  }
+}
+
+PbftReplica::SlotState& PbftReplica::slot(std::uint64_t view,
+                                          std::uint64_t seq) {
+  return slots_[{view, seq}];
+}
+
+void PbftReplica::on_request(const Command& cmd) {
+  const auto key = std::make_pair(cmd.client, cmd.id);
+  if (executed_cmds_.count(key) > 0) {
+    // Already executed: re-send the reply (client may have missed it).
+    const auto it = client_addrs_.find(cmd.client);
+    if (it != client_addrs_.end()) {
+      net_.send(addr_, it->second,
+                pm::Reply{view_, cmd.id, cmd.client, index_},
+                config_.message_bytes);
+    }
+    return;
+  }
+  if (!is_primary()) {
+    // Forward to the primary and watch it: if nothing executes before the
+    // timer fires, suspect the primary and vote for a view change. The
+    // request is remembered so it can be re-driven in the new view.
+    forwarded_.emplace(key, cmd);
+    net_.send(addr_, group_[view_ % group_.size()], pm::Request{cmd},
+              config_.message_bytes + cmd.wire_bytes);
+    arm_view_timer();
+    return;
+  }
+  if (!seen_pending_.insert(key).second) return;  // batching dedup
+  pending_.push_back(cmd);
+  if (pending_.size() >= config_.batch_size) {
+    flush_batch();
+  } else if (!batch_timer_.valid()) {
+    batch_timer_ = sim_.schedule(config_.batch_delay, [this] {
+      if (!crashed_) flush_batch();
+    });
+  }
+}
+
+void PbftReplica::flush_batch() {
+  batch_timer_.cancel();
+  if (pending_.empty() || !is_primary()) return;
+  std::vector<Command> batch;
+  while (!pending_.empty() && batch.size() < config_.batch_size) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  for (const Command& c : batch) seen_pending_.erase({c.client, c.id});
+  pm::PrePrepare pp;
+  pp.view = view_;
+  pp.seq = next_seq_++;
+  pp.batch = std::move(batch);
+  pp.digest = batch_digest(pp.batch);
+  multicast(pp, config_.message_bytes + batch_bytes(pp.batch));
+  // Process our own copy.
+  SlotState& s = slot(pp.view, pp.seq);
+  s.pre_prepare = pp;
+  try_prepare(pp.seq);
+  if (!pending_.empty()) {
+    batch_timer_ = sim_.schedule(config_.batch_delay, [this] {
+      if (!crashed_) flush_batch();
+    });
+  }
+}
+
+void PbftReplica::try_prepare(std::uint64_t seq) {
+  SlotState& s = slot(view_, seq);
+  if (!s.pre_prepare || s.prepared) return;
+  // The primary's pre-prepare counts as its prepare; others' arrive as
+  // Prepare messages. 2f prepares (plus the pre-prepare) = prepared.
+  if (s.prepares.size() >= quorum_2f()) {
+    s.prepared = true;
+    pm::Commit c{view_, seq, s.pre_prepare->digest, index_};
+    multicast(c, config_.message_bytes);
+    s.commits.insert(index_);
+    try_commit(seq);
+  }
+}
+
+void PbftReplica::try_commit(std::uint64_t seq) {
+  SlotState& s = slot(view_, seq);
+  if (!s.prepared || s.committed) return;
+  if (s.commits.size() >= quorum_2f1()) {
+    s.committed = true;
+    committed_ready_[seq] = view_;
+    execute_ready();
+  }
+}
+
+void PbftReplica::execute_ready() {
+  for (;;) {
+    const auto it = committed_ready_.find(executed_seq_ + 1);
+    if (it == committed_ready_.end()) break;
+    SlotState& s = slot(it->second, it->first);
+    if (s.executed) {
+      committed_ready_.erase(it);
+      continue;
+    }
+    s.executed = true;
+    ++executed_seq_;
+    view_timer_.cancel();  // progress: the primary is alive
+    for (const Command& cmd : s.pre_prepare->batch) {
+      const auto key = std::make_pair(cmd.client, cmd.id);
+      forwarded_.erase(key);
+      if (!executed_cmds_.insert(key).second) continue;
+      if (commit_hook_) commit_hook_(executed_seq_, cmd);
+      const auto client = client_addrs_.find(cmd.client);
+      if (client != client_addrs_.end()) {
+        net_.send(addr_, client->second,
+                  pm::Reply{view_, cmd.id, cmd.client, index_},
+                  config_.message_bytes);
+      }
+    }
+    committed_ready_.erase(it);
+  }
+}
+
+void PbftReplica::arm_view_timer() {
+  if (view_timer_.valid()) return;
+  view_timer_ = sim_.schedule(config_.view_change_timeout, [this] {
+    if (!crashed_) start_view_change();
+  });
+}
+
+void PbftReplica::start_view_change() {
+  const std::uint64_t target = view_ + 1;
+  if (pending_view_ >= target) return;
+  pending_view_ = target;
+  pm::ViewChange vc;
+  vc.new_view = target;
+  vc.replica = index_;
+  // Carry prepared-but-unexecuted batches into the new view.
+  for (const auto& [key, s] : slots_) {
+    if (s.prepared && !s.executed && s.pre_prepare &&
+        key.second > executed_seq_) {
+      vc.prepared.push_back(*s.pre_prepare);
+    }
+  }
+  view_change_votes_[target].insert(index_);
+  for (const auto& pp : vc.prepared) {
+    view_change_preps_[target].push_back(pp);
+  }
+  multicast(vc, config_.message_bytes + 64 * vc.prepared.size());
+  // Keep escalating if this view change also stalls.
+  view_timer_ = sim_.schedule(config_.view_change_timeout * 2, [this] {
+    if (!crashed_) start_view_change();
+  });
+}
+
+void PbftReplica::enter_new_view(
+    std::uint64_t view, const std::vector<pm::PrePrepare>& reproposals) {
+  if (view <= view_) return;
+  view_ = view;
+  pending_view_ = 0;
+  view_timer_.cancel();
+  // Adopt re-proposals: highest seq seen defines where the primary resumes.
+  std::uint64_t max_seq = executed_seq_;
+  for (const pm::PrePrepare& pp : reproposals) {
+    if (pp.seq <= executed_seq_) continue;
+    pm::PrePrepare adopted = pp;
+    adopted.view = view_;
+    SlotState& s = slot(view_, adopted.seq);
+    s.pre_prepare = adopted;
+    max_seq = std::max(max_seq, adopted.seq);
+    if (!is_primary()) {
+      pm::Prepare p{view_, adopted.seq, adopted.digest, index_};
+      multicast(p, config_.message_bytes);
+      s.prepares.insert(index_);
+    }
+    try_prepare(adopted.seq);
+  }
+  next_seq_ = max_seq + 1;
+  // Re-drive requests that were stranded at the faulty primary.
+  const auto stranded = forwarded_;
+  forwarded_.clear();
+  for (const auto& [key, cmd] : stranded) {
+    on_request(cmd);
+  }
+}
+
+void PbftReplica::handle_message(const net::Message& msg) {
+  if (crashed_ || group_.empty()) return;
+  if (msg.is<pm::Request>()) {
+    const Command& cmd = net::payload_as<pm::Request>(msg).cmd;
+    // Remember the client's address the first time we see it (requests
+    // forwarded by peers carry the original client id).
+    if (client_addrs_.find(cmd.client) == client_addrs_.end()) {
+      const bool from_replica =
+          std::find(group_.begin(), group_.end(), msg.from) != group_.end();
+      if (!from_replica) client_addrs_[cmd.client] = msg.from;
+    }
+    on_request(cmd);
+    return;
+  }
+  if (msg.is<pm::PrePrepare>()) {
+    const auto& pp = net::payload_as<pm::PrePrepare>(msg);
+    if (pp.view != view_) return;
+    if (is_primary()) return;  // only the primary issues pre-prepares
+    if (!(batch_digest(pp.batch) == pp.digest)) return;
+    SlotState& s = slot(pp.view, pp.seq);
+    if (s.pre_prepare) return;  // no equivocation acceptance
+    s.pre_prepare = pp;
+    view_timer_.cancel();  // primary is making progress
+    pm::Prepare p{pp.view, pp.seq, pp.digest, index_};
+    multicast(p, config_.message_bytes);
+    s.prepares.insert(index_);
+    try_prepare(pp.seq);
+    return;
+  }
+  if (msg.is<pm::Prepare>()) {
+    const auto& p = net::payload_as<pm::Prepare>(msg);
+    if (p.view != view_) return;
+    SlotState& s = slot(p.view, p.seq);
+    if (s.pre_prepare && !(s.pre_prepare->digest == p.digest)) return;
+    s.prepares.insert(p.replica);
+    try_prepare(p.seq);
+    return;
+  }
+  if (msg.is<pm::Commit>()) {
+    const auto& c = net::payload_as<pm::Commit>(msg);
+    if (c.view != view_) return;
+    SlotState& s = slot(c.view, c.seq);
+    if (s.pre_prepare && !(s.pre_prepare->digest == c.digest)) return;
+    s.commits.insert(c.replica);
+    try_commit(c.seq);
+    return;
+  }
+  if (msg.is<pm::ViewChange>()) {
+    const auto& vc = net::payload_as<pm::ViewChange>(msg);
+    if (vc.new_view <= view_) return;
+    auto& votes = view_change_votes_[vc.new_view];
+    if (!votes.insert(vc.replica).second) return;
+    auto& preps = view_change_preps_[vc.new_view];
+    preps.insert(preps.end(), vc.prepared.begin(), vc.prepared.end());
+    // Join the view change once anyone else is trying (liveness).
+    if (pending_view_ < vc.new_view) {
+      pending_view_ = vc.new_view - 1;  // so start_view_change targets it
+      view_ = vc.new_view - 1;
+      start_view_change();
+    }
+    if (votes.size() >= quorum_2f1() &&
+        vc.new_view % group_.size() == index_) {
+      // We are the new primary: dedup re-proposals by seq, announce.
+      std::map<std::uint64_t, pm::PrePrepare> by_seq;
+      for (const auto& pp : preps) {
+        by_seq.emplace(pp.seq, pp);
+      }
+      pm::NewView nv;
+      nv.view = vc.new_view;
+      for (auto& [seq, pp] : by_seq) nv.reproposals.push_back(pp);
+      multicast(nv, config_.message_bytes + 64 * nv.reproposals.size());
+      enter_new_view(nv.view, nv.reproposals);
+      // Primal duties resume: re-drive any queue.
+      if (!pending_.empty()) flush_batch();
+    }
+    return;
+  }
+  if (msg.is<pm::NewView>()) {
+    const auto& nv = net::payload_as<pm::NewView>(msg);
+    if (nv.view % group_.size() == index_) return;  // we'd have sent it
+    enter_new_view(nv.view, nv.reproposals);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PbftClient
+// ---------------------------------------------------------------------------
+
+PbftClient::PbftClient(net::Network& net, net::NodeId addr,
+                       std::uint64_t client_id, PbftConfig config)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      client_id_(client_id),
+      config_(config) {
+  net_.attach(addr_, this);
+}
+
+PbftClient::~PbftClient() { net_.detach(addr_); }
+
+void PbftClient::set_group(std::vector<net::NodeId> replicas) {
+  group_ = std::move(replicas);
+}
+
+void PbftClient::submit(std::string op, std::size_t wire_bytes) {
+  Command cmd;
+  cmd.id = next_cmd_++;
+  cmd.client = client_id_;
+  cmd.op = std::move(op);
+  cmd.wire_bytes = wire_bytes;
+  Outstanding out;
+  out.cmd = cmd;
+  out.started = sim_.now();
+  const std::uint64_t id = cmd.id;
+  // Retry periodically until enough replies arrive — retries keep the
+  // replicas' suspicion timers armed across view changes.
+  out.retry = sim_.schedule_periodic(
+      config_.view_change_timeout, config_.view_change_timeout, [this, id] {
+        const auto it = outstanding_.find(id);
+        if (it == outstanding_.end()) return;
+        send_request(it->second.cmd, /*to_all=*/true);
+      });
+  outstanding_.emplace(cmd.id, std::move(out));
+  send_request(cmd, /*to_all=*/true);
+}
+
+void PbftClient::send_request(const Command& cmd, bool to_all) {
+  if (group_.empty()) return;
+  if (to_all) {
+    for (net::NodeId r : group_) {
+      net_.send(addr_, r, pbft_msg::Request{cmd},
+                config_.message_bytes + cmd.wire_bytes);
+    }
+  } else {
+    net_.send(addr_, group_.front(), pbft_msg::Request{cmd},
+              config_.message_bytes + cmd.wire_bytes);
+  }
+}
+
+void PbftClient::handle_message(const net::Message& msg) {
+  if (!msg.is<pbft_msg::Reply>()) return;
+  const auto& r = net::payload_as<pbft_msg::Reply>(msg);
+  if (r.client != client_id_) return;
+  const auto it = outstanding_.find(r.cmd_id);
+  if (it == outstanding_.end()) return;
+  it->second.replies.insert(r.replica);
+  if (it->second.replies.size() >= config_.f + 1) {
+    it->second.retry.cancel();
+    const sim::SimDuration latency = sim_.now() - it->second.started;
+    const Command cmd = it->second.cmd;
+    outstanding_.erase(it);
+    ++completed_;
+    if (done_) done_(cmd, latency);
+  }
+}
+
+}  // namespace decentnet::bft

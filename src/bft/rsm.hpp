@@ -1,0 +1,29 @@
+// Replicated-state-machine interface shared by PBFT (byzantine) and Raft
+// (crash-fault) consensus. A Command is an opaque operation; replicas agree
+// on a total order and fire on_commit exactly once per index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace decentnet::bft {
+
+struct Command {
+  std::uint64_t id = 0;       // client-assigned, unique per client
+  std::uint64_t client = 0;   // issuing client id
+  std::string op;             // opaque payload
+  std::size_t wire_bytes = 64;
+
+  bool operator==(const Command& o) const {
+    return id == o.id && client == o.client && op == o.op;
+  }
+};
+
+/// Fired on each replica when a command reaches the committed prefix.
+using CommitHook =
+    std::function<void(std::uint64_t index, const Command& cmd)>;
+
+}  // namespace decentnet::bft

@@ -1,0 +1,135 @@
+#include "chain/attacks.hpp"
+
+#include <cmath>
+
+namespace decentnet::chain {
+
+SelfishOutcome simulate_selfish_mining(double alpha, double gamma,
+                                       std::uint64_t block_events,
+                                       sim::Rng& rng) {
+  SelfishOutcome out;
+  std::uint64_t priv = 0;  // pool's private lead blocks since the fork
+  std::uint64_t pub = 0;   // honest blocks since the fork (pool withholding)
+  bool tie = false;        // two equal-length chains racing (state 0')
+
+  for (std::uint64_t i = 0; i < block_events; ++i) {
+    const bool pool_found = rng.chance(alpha);
+    if (tie) {
+      if (pool_found) {
+        // Pool extends its published branch and wins the race.
+        out.pool_blocks += priv + 1;
+        out.stale_blocks += pub;
+      } else if (rng.chance(gamma)) {
+        // Honest miner extended the pool's branch.
+        out.pool_blocks += priv;
+        out.honest_blocks += 1;
+        out.stale_blocks += pub;
+      } else {
+        // Honest miner extended the honest branch.
+        out.honest_blocks += pub + 1;
+        out.stale_blocks += priv;
+      }
+      priv = pub = 0;
+      tie = false;
+      continue;
+    }
+    if (pool_found) {
+      ++priv;
+      continue;
+    }
+    // Honest block.
+    if (priv == 0) {
+      out.honest_blocks += 1;  // nothing withheld; pool adopts
+      continue;
+    }
+    ++pub;
+    const std::uint64_t delta = priv - pub;  // lead after this block
+    if (delta == 0) {
+      // Lead was 1: pool publishes everything -> equal-length race.
+      tie = true;
+    } else if (delta == 1) {
+      // Lead was 2: pool publishes all and takes the whole fork.
+      out.pool_blocks += priv;
+      out.stale_blocks += pub;
+      priv = pub = 0;
+    }
+    // delta >= 2: pool keeps withholding (publishes matching prefix only;
+    // settlement happens when the lead collapses to 2).
+  }
+  // Settle whatever is still withheld at the horizon.
+  if (tie || priv > pub) {
+    out.pool_blocks += priv;
+    out.stale_blocks += pub;
+  } else {
+    out.honest_blocks += pub;
+    out.stale_blocks += priv;
+  }
+  return out;
+}
+
+double selfish_revenue_analytic(double alpha, double gamma) {
+  // Eyal & Sirer 2014, Eq. 8.
+  const double a = alpha;
+  const double g = gamma;
+  const double one = 1.0 - a;
+  const double numerator =
+      a * one * one * (4.0 * a + g * (1.0 - 2.0 * a)) - a * a * a;
+  const double denominator = 1.0 - a * (1.0 + (2.0 - a) * a);
+  if (denominator == 0) return 1.0;
+  return numerator / denominator;
+}
+
+double selfish_threshold(double gamma) {
+  return (1.0 - gamma) / (3.0 - 2.0 * gamma);
+}
+
+double doublespend_success_probability(double q, unsigned z) {
+  if (q <= 0) return 0.0;
+  if (q >= 0.5) return 1.0;
+  const double p = 1.0 - q;
+  const double lambda = static_cast<double>(z) * q / p;
+  double sum = 0.0;
+  double poisson = std::exp(-lambda);  // k = 0 term
+  for (unsigned k = 0; k <= z; ++k) {
+    if (k > 0) poisson *= lambda / static_cast<double>(k);
+    sum += poisson * (1.0 - std::pow(q / p, static_cast<double>(z - k)));
+  }
+  const double prob = 1.0 - sum;
+  return prob < 0 ? 0.0 : (prob > 1 ? 1.0 : prob);
+}
+
+double doublespend_success_mc(double q, unsigned z, std::uint64_t trials,
+                              unsigned give_up_deficit, sim::Rng& rng) {
+  if (trials == 0) return 0.0;
+  std::uint64_t wins = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    // Phase 1: while the merchant waits for z honest confirmations, the
+    // attacker mines k blocks in private.
+    std::int64_t attacker = 0;
+    unsigned honest = 0;
+    while (honest < z) {
+      if (rng.chance(q)) {
+        ++attacker;
+      } else {
+        ++honest;
+      }
+    }
+    // Phase 2: gambler's ruin. Nakamoto's convention: the attacker wins by
+    // *catching up* (reaching equal length — from there he can always
+    // broadcast the longer chain he extends next), i.e. erase z - attacker.
+    std::int64_t deficit = static_cast<std::int64_t>(z) - attacker;
+    bool success = deficit <= 0;
+    while (!success && deficit <= static_cast<std::int64_t>(give_up_deficit)) {
+      if (rng.chance(q)) {
+        --deficit;
+        if (deficit <= 0) success = true;
+      } else {
+        ++deficit;
+      }
+    }
+    if (success) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials);
+}
+
+}  // namespace decentnet::chain

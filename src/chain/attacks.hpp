@@ -1,0 +1,65 @@
+// Incentive attacks on proof-of-work: selfish mining (Eyal & Sirer, the
+// paper's reference [30]) and double spending (Nakamoto's race).
+//
+// Both come as closed-form analytics plus Monte-Carlo simulations of the
+// underlying state machines, so the benches can show the simulated system
+// tracking theory.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+// ---------------------------------------------------------------------------
+// Selfish mining
+// ---------------------------------------------------------------------------
+
+struct SelfishOutcome {
+  std::uint64_t pool_blocks = 0;    // selfish pool blocks on the final chain
+  std::uint64_t honest_blocks = 0;  // honest blocks on the final chain
+  std::uint64_t stale_blocks = 0;   // orphaned by the strategy
+  double pool_revenue_share() const {
+    const std::uint64_t total = pool_blocks + honest_blocks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pool_blocks) /
+                            static_cast<double>(total);
+  }
+  double stale_rate() const {
+    const std::uint64_t all = pool_blocks + honest_blocks + stale_blocks;
+    return all == 0 ? 0.0
+                    : static_cast<double>(stale_blocks) /
+                          static_cast<double>(all);
+  }
+};
+
+/// Run the Eyal-Sirer selfish-mining state machine for `block_events` block
+/// discoveries. `alpha` is the pool's hash-power share; `gamma` the fraction
+/// of honest miners that mine on the pool's branch during a tie.
+SelfishOutcome simulate_selfish_mining(double alpha, double gamma,
+                                       std::uint64_t block_events,
+                                       sim::Rng& rng);
+
+/// Closed-form relative revenue of the selfish pool (Eyal-Sirer Eq. 8).
+double selfish_revenue_analytic(double alpha, double gamma);
+
+/// Profitability threshold: selfish mining beats honest mining for
+/// alpha > (1 - gamma) / (3 - 2 gamma).
+double selfish_threshold(double gamma);
+
+// ---------------------------------------------------------------------------
+// Double spending
+// ---------------------------------------------------------------------------
+
+/// Nakamoto/Rosenfeld probability that an attacker with fraction `q` of the
+/// hash power overtakes a merchant waiting for `z` confirmations.
+double doublespend_success_probability(double q, unsigned z);
+
+/// Monte-Carlo estimate of the same race: honest chain mines z confirmations
+/// while the attacker mines in private, then a gambler's-ruin catch-up race.
+/// `give_up_deficit` bounds the attacker's patience.
+double doublespend_success_mc(double q, unsigned z, std::uint64_t trials,
+                              unsigned give_up_deficit, sim::Rng& rng);
+
+}  // namespace decentnet::chain

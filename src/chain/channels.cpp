@@ -1,0 +1,127 @@
+#include "chain/channels.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace decentnet::chain {
+
+std::size_t ChannelNetwork::open_channel(std::size_t a, std::size_t b,
+                                         std::int64_t fund_a,
+                                         std::int64_t fund_b) {
+  if (a == b || a >= nodes_ || b >= nodes_) {
+    throw std::invalid_argument("open_channel: bad endpoints");
+  }
+  PaymentChannel ch;
+  ch.a = a;
+  ch.b = b;
+  ch.balance_a = fund_a;
+  ch.balance_b = fund_b;
+  const std::size_t idx = channels_.size();
+  channels_.push_back(ch);
+  adj_[a].push_back(Edge{idx, b});
+  adj_[b].push_back(Edge{idx, a});
+  if (forwarded_.size() != nodes_) forwarded_.assign(nodes_, 0);
+  return idx;
+}
+
+std::int64_t ChannelNetwork::spendable_toward(std::size_t channel,
+                                              std::size_t from) const {
+  const PaymentChannel& ch = channels_[channel];
+  return from == ch.a ? ch.balance_a : ch.balance_b;
+}
+
+void ChannelNetwork::shift(std::size_t channel, std::size_t from,
+                           std::int64_t amount) {
+  PaymentChannel& ch = channels_[channel];
+  if (from == ch.a) {
+    ch.balance_a -= amount;
+    ch.balance_b += amount;
+  } else {
+    ch.balance_b -= amount;
+    ch.balance_a += amount;
+  }
+  ++ch.payments_routed;
+}
+
+RouteResult ChannelNetwork::pay(std::size_t payer, std::size_t payee,
+                                std::int64_t amount) {
+  RouteResult out;
+  if (payer >= nodes_ || payee >= nodes_ || payer == payee || amount <= 0) {
+    return out;
+  }
+  // BFS over edges with enough spendable balance in the payment direction.
+  std::vector<int> prev_node(nodes_, -1);
+  std::vector<std::size_t> prev_edge(nodes_, 0);
+  std::deque<std::size_t> queue{payer};
+  prev_node[payer] = static_cast<int>(payer);
+  while (!queue.empty() && prev_node[payee] < 0) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adj_[u]) {
+      if (prev_node[e.peer] >= 0) continue;
+      if (spendable_toward(e.channel, u) < amount) continue;
+      prev_node[e.peer] = static_cast<int>(u);
+      prev_edge[e.peer] = e.channel;
+      queue.push_back(e.peer);
+    }
+  }
+  if (prev_node[payee] < 0) return out;  // no feasible route
+  // Reconstruct and execute.
+  std::vector<std::size_t> path{payee};
+  std::size_t cur = payee;
+  while (cur != payer) {
+    cur = static_cast<std::size_t>(prev_node[cur]);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    shift(prev_edge[path[i + 1]], path[i], amount);
+    if (i > 0) ++forwarded_[path[i]];  // intermediary credit
+  }
+  out.ok = true;
+  out.hops = path.size() - 1;
+  out.path = std::move(path);
+  return out;
+}
+
+std::int64_t ChannelNetwork::spendable(std::size_t node) const {
+  std::int64_t total = 0;
+  for (const Edge& e : adj_[node]) {
+    total += spendable_toward(e.channel, node);
+  }
+  return total;
+}
+
+ChannelNetwork make_hub_topology(std::size_t nodes, std::size_t hubs,
+                                 std::int64_t user_funding,
+                                 std::int64_t hub_funding, sim::Rng& rng) {
+  ChannelNetwork net(nodes);
+  // Hubs are nodes [0, hubs); they interconnect fully.
+  for (std::size_t h1 = 0; h1 < hubs; ++h1) {
+    for (std::size_t h2 = h1 + 1; h2 < hubs; ++h2) {
+      net.open_channel(h1, h2, hub_funding, hub_funding);
+    }
+  }
+  for (std::size_t u = hubs; u < nodes; ++u) {
+    const std::size_t hub = rng.uniform_int(hubs);
+    net.open_channel(u, hub, user_funding, hub_funding);
+  }
+  return net;
+}
+
+ChannelNetwork make_mesh_topology(std::size_t nodes,
+                                  std::size_t channels_per_node,
+                                  std::int64_t funding, sim::Rng& rng) {
+  ChannelNetwork net(nodes);
+  for (std::size_t u = 0; u < nodes; ++u) {
+    for (std::size_t k = 0; k < channels_per_node; ++k) {
+      std::size_t v = rng.uniform_int(nodes);
+      if (v == u) v = (v + 1) % nodes;
+      net.open_channel(u, v, funding, funding);
+    }
+  }
+  return net;
+}
+
+}  // namespace decentnet::chain

@@ -1,0 +1,96 @@
+// Layer-2 payment channels (§III-C Problem 2).
+//
+// "Many of the new and existing networks are proposing more centralized
+// designs to increase the overall performance. The so-called layer 2 or
+// off-chain solutions like Lightning network (Bitcoin), Plasma (Ethereum)
+// or EOS follow this trend. In these cases, transactions are processed by a
+// much smaller set of peers to increase performance."
+//
+// Model: bidirectional channels with on-chain-funded balances; multi-hop
+// payments route along capacity-feasible paths (shortest-hop, like early
+// Lightning). E17 measures the throughput escape hatch AND the paper's
+// barb: payment traffic concentrates through a few well-funded hubs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+/// One bidirectional channel between two parties with split balances.
+struct PaymentChannel {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::int64_t balance_a = 0;  // spendable by a toward b
+  std::int64_t balance_b = 0;
+  std::uint64_t payments_routed = 0;
+
+  std::int64_t capacity() const { return balance_a + balance_b; }
+};
+
+struct RouteResult {
+  bool ok = false;
+  std::size_t hops = 0;
+  std::vector<std::size_t> path;  // node indices, payer first
+};
+
+/// An off-chain payment network over `n` participants.
+class ChannelNetwork {
+ public:
+  explicit ChannelNetwork(std::size_t nodes) : nodes_(nodes), adj_(nodes) {}
+
+  std::size_t node_count() const { return nodes_; }
+  std::size_t channel_count() const { return channels_.size(); }
+  const std::vector<PaymentChannel>& channels() const { return channels_; }
+
+  /// Open a channel funded with `fund_a` from a and `fund_b` from b.
+  /// (On chain this is one funding transaction; here the L1 cost is
+  /// accounted by the caller.) Returns the channel index.
+  std::size_t open_channel(std::size_t a, std::size_t b, std::int64_t fund_a,
+                           std::int64_t fund_b);
+
+  /// Route `amount` from `payer` to `payee` along the shortest
+  /// capacity-feasible path (BFS). Balances shift atomically along the
+  /// path; no on-chain transaction is involved.
+  RouteResult pay(std::size_t payer, std::size_t payee, std::int64_t amount);
+
+  /// Total spendable balance a node holds across its channels.
+  std::int64_t spendable(std::size_t node) const;
+
+  /// Sum over nodes of payments that transited them as intermediaries —
+  /// the hub-concentration measure (feed to gini/nakamoto_coefficient).
+  std::vector<double> forwarding_load() const {
+    return std::vector<double>(forwarded_.begin(), forwarded_.end());
+  }
+
+ private:
+  struct Edge {
+    std::size_t channel;
+    std::size_t peer;
+  };
+
+  std::int64_t spendable_toward(std::size_t channel, std::size_t from) const;
+  void shift(std::size_t channel, std::size_t from, std::int64_t amount);
+
+  std::size_t nodes_;
+  std::vector<PaymentChannel> channels_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<std::uint64_t> forwarded_ = std::vector<std::uint64_t>();
+};
+
+/// Build a hub-and-spoke topology: `hubs` well-funded routers, everyone
+/// else opens one channel to a random hub (what Lightning converged to).
+ChannelNetwork make_hub_topology(std::size_t nodes, std::size_t hubs,
+                                 std::int64_t user_funding,
+                                 std::int64_t hub_funding, sim::Rng& rng);
+
+/// Build a random peer mesh: every node opens `channels_per_node` channels
+/// to random peers with symmetric funding (the decentralized ideal).
+ChannelNetwork make_mesh_topology(std::size_t nodes,
+                                  std::size_t channels_per_node,
+                                  std::int64_t funding, sim::Rng& rng);
+
+}  // namespace decentnet::chain

@@ -1,0 +1,75 @@
+#include "chain/economics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decentnet::chain {
+
+double equilibrium_hashrate(const EnergyParams& p) {
+  const double daily_revenue_usd =
+      p.coin_price_usd * p.block_reward_coins * p.blocks_per_day;
+  const double daily_electricity_budget_usd =
+      daily_revenue_usd * p.electricity_revenue_fraction;
+  const double usd_per_joule = p.electricity_usd_per_kwh / 3.6e6;
+  const double usd_per_hash = p.joules_per_hash * usd_per_joule;
+  if (usd_per_hash <= 0) return 0;
+  const double hashes_per_day = daily_electricity_budget_usd / usd_per_hash;
+  return hashes_per_day / 86400.0;
+}
+
+double annual_energy_twh(double hashes_per_second, double joules_per_hash) {
+  const double watts = hashes_per_second * joules_per_hash;
+  const double joules_per_year = watts * 86400.0 * 365.0;
+  return joules_per_year / 3.6e15;  // J -> TWh
+}
+
+double daily_tx_capacity(double blocks_per_day, std::size_t block_bytes,
+                         std::size_t tx_bytes) {
+  if (tx_bytes == 0) return 0;
+  return blocks_per_day *
+         (static_cast<double>(block_bytes) / static_cast<double>(tx_bytes));
+}
+
+std::vector<double> simulate_pool_concentration(const PoolSimConfig& config,
+                                                sim::Rng& rng) {
+  std::vector<double> h(config.miners);
+  for (auto& v : h) v = rng.pareto(1.0, config.initial_pareto_alpha);
+
+  // Multiplicative reinvestment dynamics. A miner's electricity/hardware
+  // cost per unit of revenue falls with its size relative to the average
+  // operation (industrial contracts, wholesale ASICs, cheaper cooling), so
+  // its profit margin — and therefore its growth rate — rises with size.
+  // With scale_exponent = 0 everyone grows at the same rate and the share
+  // distribution is stationary; any positive exponent concentrates.
+  // Hash power is renormalized each round so the numbers stay bounded
+  // (only shares matter for concentration metrics).
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    double total = 0;
+    for (double v : h) total += v;
+    if (total <= 0) break;
+    const double mean = total / static_cast<double>(config.miners);
+    for (double& hi : h) {
+      if (hi <= 0) continue;
+      const double rel =
+          std::clamp(hi / mean, 1e-6, config.scale_cap_rel);
+      const double unit_cost =
+          config.base_cost * std::pow(rel, -config.scale_exponent);
+      const double margin = 1.0 - unit_cost;  // profit per unit of revenue
+      double growth = 1.0 + config.reinvest_fraction * margin;
+      if (config.growth_noise_sigma > 0) {
+        growth *= rng.lognormal(0.0, config.growth_noise_sigma);
+      }
+      hi *= std::max(0.0, growth) * (1.0 - config.depreciation);
+      if (hi < mean * 1e-9) hi = 0;  // rig switched off for good
+    }
+    // Renormalize to a fixed total.
+    double fresh_total = 0;
+    for (double v : h) fresh_total += v;
+    if (fresh_total <= 0) break;
+    const double scale = total / fresh_total;
+    for (double& hi : h) hi *= scale;
+  }
+  return h;
+}
+
+}  // namespace decentnet::chain

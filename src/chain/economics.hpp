@@ -1,0 +1,72 @@
+// Mining economics: the energy-consumption equilibrium (E8) and the pool
+// concentration dynamics (E7).
+//
+// The paper's argument: PoW security spend scales with coin price, not with
+// useful throughput ("70 TWh ... roughly what Austria consumes"), and
+// economies of scale push hash power into a handful of industrial farms
+// ("in 2013 six mining pools controlled 75% of overall Bitcoin hashing
+// power"), squeezing out desktop miners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+// ---------------------------------------------------------------------------
+// Energy equilibrium
+// ---------------------------------------------------------------------------
+
+struct EnergyParams {
+  double coin_price_usd = 10000;
+  double block_reward_coins = 12.5;
+  double blocks_per_day = 144;
+  double joules_per_hash = 50e-12;        // ~2018 ASIC efficiency (50 pJ/hash)
+  double electricity_usd_per_kwh = 0.05;  // industrial rate
+  /// Fraction of revenue spent on electricity at equilibrium (the rest is
+  /// hardware amortization and profit).
+  double electricity_revenue_fraction = 0.6;
+};
+
+/// Network hash rate (hashes/second) at which electricity spend equals the
+/// configured fraction of mining revenue. Free entry pushes the network here.
+double equilibrium_hashrate(const EnergyParams& p);
+
+/// Annualized electricity consumption (TWh/year) at hash rate `h`.
+double annual_energy_twh(double hashes_per_second, double joules_per_hash);
+
+/// Daily transaction capacity of the chain (for the energy-per-tx column).
+double daily_tx_capacity(double blocks_per_day, std::size_t block_bytes,
+                         std::size_t tx_bytes);
+
+// ---------------------------------------------------------------------------
+// Pool / farm concentration dynamics
+// ---------------------------------------------------------------------------
+
+struct PoolSimConfig {
+  std::size_t miners = 2000;
+  std::size_t rounds = 500;          // reinvestment rounds (~days)
+  double initial_pareto_alpha = 1.2; // initial hash-power skew
+  double reward_per_round = 1.0;     // normalized network revenue per round
+  double base_cost = 0.7;            // cost per unit hash at reference size
+  /// Economies of scale: unit cost ~ (h / h_mean)^(-scale_exponent).
+  /// 0 = everyone pays the same; 0.1-0.3 = industrial discounts.
+  double scale_exponent = 0.15;
+  /// The discount saturates at this relative size (nobody mines cheaper
+  /// than the best industrial operation) — what keeps the outcome an
+  /// oligopoly of top farms rather than a single monopolist.
+  double scale_cap_rel = 25.0;
+  /// Idiosyncratic per-round growth noise (hardware luck, outages).
+  double growth_noise_sigma = 0.05;
+  double reinvest_fraction = 0.8;    // profit ploughed back into hardware
+  double depreciation = 0.02;        // per-round hardware decay
+};
+
+/// Evolve miner hash-power shares under reinvestment with scale economies.
+/// Returns final per-miner hash power (pass to gini/nakamoto_coefficient).
+std::vector<double> simulate_pool_concentration(const PoolSimConfig& config,
+                                                sim::Rng& rng);
+
+}  // namespace decentnet::chain

@@ -1,0 +1,211 @@
+#include "chain/ledger.hpp"
+
+#include <variant>
+
+namespace decentnet::chain {
+
+std::optional<TxOutput> UtxoSet::get(const OutPoint& op) const {
+  const auto it = utxos_.find(op);
+  if (it == utxos_.end()) return std::nullopt;
+  return it->second;
+}
+
+Amount UtxoSet::balance_of(const crypto::PublicKey& owner) const {
+  const auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return 0;
+  Amount total = 0;
+  for (const auto& [op, amount] : it->second) total += amount;
+  return total;
+}
+
+std::vector<std::pair<OutPoint, TxOutput>> UtxoSet::outputs_of(
+    const crypto::PublicKey& owner) const {
+  std::vector<std::pair<OutPoint, TxOutput>> outs;
+  const auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) return outs;
+  outs.reserve(it->second.size());
+  for (const auto& [op, amount] : it->second) {
+    outs.emplace_back(op, TxOutput{amount, owner});
+  }
+  return outs;
+}
+
+void UtxoSet::index_add(const OutPoint& op, const TxOutput& out) {
+  by_owner_[out.recipient][op] = out.amount;
+}
+
+void UtxoSet::index_remove(const OutPoint& op, const TxOutput& out) {
+  const auto it = by_owner_.find(out.recipient);
+  if (it == by_owner_.end()) return;
+  it->second.erase(op);
+  if (it->second.empty()) by_owner_.erase(it);
+}
+
+std::optional<ValidationError> UtxoSet::check_transaction(
+    const Transaction& tx, bool allow_coinbase, Amount max_reward) const {
+  if (tx.is_coinbase()) {
+    if (!allow_coinbase) return ValidationError{"unexpected coinbase"};
+    Amount total = 0;
+    for (const TxOutput& out : tx.outputs) {
+      if (out.amount < 0) return ValidationError{"negative output"};
+      total += out.amount;
+    }
+    if (max_reward > 0 && total > max_reward) {
+      return ValidationError{"coinbase exceeds allowed reward"};
+    }
+    return std::nullopt;
+  }
+  if (tx.outputs.empty()) return ValidationError{"no outputs"};
+  const crypto::Hash256 digest = tx.signing_digest();
+  Amount in_total = 0;
+  for (const TxInput& in : tx.inputs) {
+    const auto prev = get(in.prevout);
+    if (!prev) return ValidationError{"input not in UTXO set"};
+    if (!(prev->recipient == in.owner)) {
+      return ValidationError{"input owner mismatch"};
+    }
+    if (!crypto::KeyAuthority::global().verify(in.owner, digest,
+                                               in.signature)) {
+      return ValidationError{"bad signature"};
+    }
+    in_total += prev->amount;
+  }
+  Amount out_total = 0;
+  for (const TxOutput& out : tx.outputs) {
+    if (out.amount < 0) return ValidationError{"negative output"};
+    out_total += out.amount;
+  }
+  if (out_total > in_total) return ValidationError{"outputs exceed inputs"};
+  return std::nullopt;
+}
+
+std::variant<BlockUndo, ValidationError> UtxoSet::apply_block(
+    const Block& block, Amount max_reward) {
+  if (block.txs.empty() || !block.txs.front().is_coinbase()) {
+    return ValidationError{"block must start with a coinbase"};
+  }
+  // Stage the changes so failure leaves the set untouched.
+  BlockUndo undo;
+  std::unordered_map<OutPoint, TxOutput, OutPointHasher> staged_spends;
+  Amount fees = 0;
+  for (std::size_t i = 0; i < block.txs.size(); ++i) {
+    const Transaction& tx = block.txs[i];
+    if (i == 0) continue;  // coinbase checked last (needs total fees)
+    if (tx.is_coinbase()) return ValidationError{"coinbase not first"};
+    const crypto::Hash256 digest = tx.signing_digest();
+    Amount in_total = 0;
+    for (const TxInput& in : tx.inputs) {
+      if (staged_spends.count(in.prevout) > 0) {
+        return ValidationError{"intra-block double spend"};
+      }
+      // The input may come from an earlier tx in this same block.
+      auto prev = get(in.prevout);
+      if (!prev) {
+        bool found = false;
+        for (std::size_t j = 0; j < i && !found; ++j) {
+          if (block.txs[j].id() == in.prevout.tx &&
+              in.prevout.index < block.txs[j].outputs.size()) {
+            prev = block.txs[j].outputs[in.prevout.index];
+            found = true;
+          }
+        }
+        if (!found) return ValidationError{"input not found"};
+      }
+      if (!(prev->recipient == in.owner)) {
+        return ValidationError{"input owner mismatch"};
+      }
+      if (!crypto::KeyAuthority::global().verify(in.owner, digest,
+                                                 in.signature)) {
+        return ValidationError{"bad signature"};
+      }
+      staged_spends.emplace(in.prevout, *prev);
+      in_total += prev->amount;
+    }
+    Amount out_total = 0;
+    for (const TxOutput& out : tx.outputs) {
+      if (out.amount < 0) return ValidationError{"negative output"};
+      out_total += out.amount;
+    }
+    if (out_total > in_total) return ValidationError{"outputs exceed inputs"};
+    fees += in_total - out_total;
+  }
+  // Coinbase value check: reward + fees.
+  {
+    const Transaction& cb = block.txs.front();
+    Amount total = 0;
+    for (const TxOutput& out : cb.outputs) {
+      if (out.amount < 0) return ValidationError{"negative coinbase output"};
+      total += out.amount;
+    }
+    if (max_reward > 0 && total > max_reward + fees) {
+      return ValidationError{"coinbase exceeds reward plus fees"};
+    }
+  }
+  // Commit.
+  for (const auto& [op, out] : staged_spends) {
+    undo.spent.emplace_back(op, out);
+    utxos_.erase(op);
+    index_remove(op, out);
+  }
+  for (const Transaction& tx : block.txs) {
+    const TxId id = tx.id();
+    undo.created.push_back(id);
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      const OutPoint op{id, i};
+      utxos_[op] = tx.outputs[i];
+      index_add(op, tx.outputs[i]);
+    }
+  }
+  return undo;
+}
+
+void UtxoSet::revert_block(const Block& block, const BlockUndo& undo) {
+  for (const Transaction& tx : block.txs) {
+    const TxId id = tx.id();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      const OutPoint op{id, i};
+      index_remove(op, tx.outputs[i]);
+      utxos_.erase(op);
+    }
+  }
+  for (const auto& [op, out] : undo.spent) {
+    utxos_[op] = out;
+    index_add(op, out);
+  }
+}
+
+std::optional<ValidationError> UtxoSet::apply_transaction(
+    const Transaction& tx) {
+  const auto err = check_transaction(tx, /*allow_coinbase=*/false, 0);
+  if (err) return err;
+  const TxId id = tx.id();
+  for (const TxInput& in : tx.inputs) {
+    const auto it = utxos_.find(in.prevout);
+    if (it != utxos_.end()) {
+      index_remove(in.prevout, it->second);
+      utxos_.erase(it);
+    }
+  }
+  for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+    const OutPoint op{id, i};
+    utxos_[op] = tx.outputs[i];
+    index_add(op, tx.outputs[i]);
+  }
+  return std::nullopt;
+}
+
+std::optional<Amount> transaction_fee(const UtxoSet& utxos,
+                                      const Transaction& tx) {
+  if (tx.is_coinbase()) return Amount{0};
+  Amount in_total = 0;
+  for (const TxInput& in : tx.inputs) {
+    const auto prev = utxos.get(in.prevout);
+    if (!prev) return std::nullopt;
+    in_total += prev->amount;
+  }
+  Amount out_total = 0;
+  for (const TxOutput& out : tx.outputs) out_total += out.amount;
+  return in_total - out_total;
+}
+
+}  // namespace decentnet::chain

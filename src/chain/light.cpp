@@ -1,0 +1,66 @@
+#include "chain/light.hpp"
+
+namespace decentnet::chain {
+
+using chain_msg::GetProof;
+using chain_msg::HeaderMsg;
+using chain_msg::ProofMsg;
+
+LightNode::LightNode(net::Network& net, net::NodeId addr)
+    : net_(net), addr_(addr) {
+  net_.attach(addr_, this);
+}
+
+LightNode::~LightNode() { net_.detach(addr_); }
+
+void LightNode::verify_inclusion(const TxId& tx,
+                                 std::function<void(bool)> cb) {
+  const std::uint64_t nonce = next_nonce_++;
+  pending_.emplace(nonce, std::move(cb));
+  net_.send(addr_, server_, GetProof{tx, nonce}, 48);
+}
+
+void LightNode::handle_message(const net::Message& msg) {
+  if (msg.is<HeaderMsg>()) {
+    const BlockHeader& h = net::payload_as<HeaderMsg>(msg).header;
+    const BlockId id = h.id();
+    if (headers_.count(id) > 0) return;
+    HeaderEntry entry;
+    entry.header = h;
+    const auto parent = headers_.find(h.prev);
+    if (parent != headers_.end()) {
+      entry.height = parent->second.height + 1;
+      entry.work = parent->second.work + h.difficulty;
+    } else {
+      // First header (or a gap): accept as a chain start.
+      entry.height = 0;
+      entry.work = h.difficulty;
+    }
+    if (entry.work > best_work_) {
+      best_work_ = entry.work;
+      best_height_ = entry.height;
+    }
+    headers_.emplace(id, std::move(entry));
+    return;
+  }
+  if (msg.is<ProofMsg>()) {
+    const auto& p = net::payload_as<ProofMsg>(msg);
+    const auto it = pending_.find(p.nonce);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second);
+    pending_.erase(it);
+    if (!p.found) {
+      cb(false);
+      return;
+    }
+    // The header must be one we track, and the Merkle path must bind the tx
+    // to its root.
+    const bool header_known = headers_.count(p.header.id()) > 0;
+    const bool path_ok = crypto::MerkleTree::verify(
+        p.tx, p.index, p.proof, p.header.merkle_root);
+    cb(header_known && path_ok);
+    return;
+  }
+}
+
+}  // namespace decentnet::chain

@@ -1,0 +1,58 @@
+// Light (SPV) client: keeps headers only and verifies transaction inclusion
+// with Merkle proofs served by a full node.
+//
+// The paper's Problem 1 notes that networks "retag nodes as light nodes but
+// still count them in the global network size metrics" — light clients do
+// not validate transactions, so E9's decentralization metric counts full
+// validators only. This class makes the asymmetry concrete and measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "chain/node.hpp"
+
+namespace decentnet::chain {
+
+class LightNode final : public net::Host {
+ public:
+  LightNode(net::Network& net, net::NodeId addr);
+  ~LightNode() override;
+
+  LightNode(const LightNode&) = delete;
+  LightNode& operator=(const LightNode&) = delete;
+
+  net::NodeId addr() const { return addr_; }
+
+  /// Follow `server`'s header feed (the server must add_light_client(us)).
+  void set_server(net::NodeId server) { server_ = server; }
+
+  std::uint64_t headers_received() const { return headers_.size(); }
+  std::uint64_t best_height() const { return best_height_; }
+  double best_work() const { return best_work_; }
+
+  /// Ask the server to prove inclusion of `tx`; `cb(verified)` runs when the
+  /// proof arrives (false if absent or the Merkle path does not check out).
+  void verify_inclusion(const TxId& tx, std::function<void(bool)> cb);
+
+  void handle_message(const net::Message& msg) override;
+
+ private:
+  struct HeaderEntry {
+    BlockHeader header;
+    std::uint64_t height = 0;
+    double work = 0;
+  };
+
+  net::Network& net_;
+  net::NodeId addr_;
+  net::NodeId server_;
+  std::unordered_map<BlockId, HeaderEntry, crypto::Hash256Hasher> headers_;
+  std::uint64_t best_height_ = 0;
+  double best_work_ = 0;
+  std::unordered_map<std::uint64_t, std::function<void(bool)>> pending_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace decentnet::chain

@@ -1,0 +1,104 @@
+#include "chain/mempool.hpp"
+
+#include <algorithm>
+
+namespace decentnet::chain {
+
+std::optional<ValidationError> Mempool::add(const Transaction& tx,
+                                            const UtxoSet& utxos) {
+  const TxId id = tx.id();
+  if (txs_.count(id) > 0) return ValidationError{"already in mempool"};
+  if (tx.is_coinbase()) return ValidationError{"coinbase in mempool"};
+  for (const TxInput& in : tx.inputs) {
+    if (claimed_.count(in.prevout) > 0) {
+      return ValidationError{"conflicts with pooled transaction"};
+    }
+  }
+  const auto err = utxos.check_transaction(tx, /*allow_coinbase=*/false, 0);
+  if (err) return err;
+  for (const TxInput& in : tx.inputs) claimed_.insert(in.prevout);
+  txs_.emplace(id, tx);
+  return std::nullopt;
+}
+
+void Mempool::remove_confirmed(const Block& block) {
+  // Collect outpoints spent by the block; drop included and conflicting txs.
+  std::unordered_set<OutPoint, OutPointHasher> spent;
+  for (const Transaction& tx : block.txs) {
+    for (const TxInput& in : tx.inputs) spent.insert(in.prevout);
+  }
+  std::vector<TxId> doomed;
+  for (const Transaction& tx : block.txs) {
+    if (!tx.is_coinbase()) doomed.push_back(tx.id());
+  }
+  for (const auto& [id, tx] : txs_) {
+    for (const TxInput& in : tx.inputs) {
+      if (spent.count(in.prevout) > 0) {
+        doomed.push_back(id);
+        break;
+      }
+    }
+  }
+  for (const TxId& id : doomed) {
+    const auto it = txs_.find(id);
+    if (it == txs_.end()) continue;
+    for (const TxInput& in : it->second.inputs) claimed_.erase(in.prevout);
+    txs_.erase(it);
+  }
+}
+
+void Mempool::reinstate(const Block& block, const UtxoSet& utxos) {
+  for (const Transaction& tx : block.txs) {
+    if (tx.is_coinbase()) continue;
+    add(tx, utxos);  // best effort; conflicts are silently skipped
+  }
+}
+
+std::vector<Transaction> Mempool::select_for_block(
+    const UtxoSet& utxos, std::size_t max_bytes) const {
+  struct Candidate {
+    const Transaction* tx;
+    double fee_rate;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(txs_.size());
+  for (const auto& [id, tx] : txs_) {
+    const auto fee = transaction_fee(utxos, tx);
+    if (!fee) continue;  // inputs no longer unspent; leave for cleanup
+    candidates.push_back(
+        Candidate{&tx, static_cast<double>(*fee) /
+                           static_cast<double>(tx.wire_size())});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.fee_rate > b.fee_rate;
+            });
+  std::vector<Transaction> selected;
+  std::unordered_set<OutPoint, OutPointHasher> spent;
+  std::size_t bytes = 0;
+  for (const Candidate& c : candidates) {
+    const std::size_t sz = c.tx->wire_size();
+    if (bytes + sz > max_bytes) continue;
+    bool conflict = false;
+    for (const TxInput& in : c.tx->inputs) {
+      if (spent.count(in.prevout) > 0) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) continue;
+    for (const TxInput& in : c.tx->inputs) spent.insert(in.prevout);
+    selected.push_back(*c.tx);
+    bytes += sz;
+  }
+  return selected;
+}
+
+std::vector<TxId> Mempool::ids() const {
+  std::vector<TxId> out;
+  out.reserve(txs_.size());
+  for (const auto& [id, tx] : txs_) out.push_back(id);
+  return out;
+}
+
+}  // namespace decentnet::chain

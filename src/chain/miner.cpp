@@ -1,0 +1,58 @@
+#include "chain/miner.hpp"
+
+namespace decentnet::chain {
+
+Miner::Miner(FullNode& node, crypto::PublicKey payout,
+             double hashes_per_second)
+    : node_(node),
+      sim_(node.simulator()),
+      payout_(payout),
+      rate_(hashes_per_second),
+      // Nonce stream must be unique per miner even when several miners pay
+      // out to one key: duplicate coinbase txids at different heights would
+      // silently alias in the UTXO set (Bitcoin's BIP30 problem).
+      nonce_((node.addr().value << 40) ^ crypto::Hash256Hasher{}(payout)),
+      rng_(sim_.rng().fork(crypto::Hash256Hasher{}(payout) ^ 0x4D494E45ull)) {
+  node_.add_tip_hook([this] {
+    if (running_) reschedule();
+  });
+}
+
+Miner::~Miner() { stop(); }
+
+void Miner::start() {
+  if (running_) return;
+  running_ = true;
+  reschedule();
+}
+
+void Miner::stop() {
+  running_ = false;
+  next_find_.cancel();
+}
+
+void Miner::set_hashrate(double hashes_per_second) {
+  rate_ = hashes_per_second;
+  if (running_) reschedule();
+}
+
+void Miner::reschedule() {
+  next_find_.cancel();
+  if (rate_ <= 0) return;
+  const double difficulty =
+      next_difficulty(node_.tree(), node_.tree().best_tip(), node_.params());
+  const double seconds = rng_.exponential(rate_ / difficulty);
+  next_find_ = sim_.schedule(sim::seconds(seconds), [this] { on_found(); });
+}
+
+void Miner::on_found() {
+  if (!running_) return;
+  ++found_;
+  Block block = node_.make_block_template(payout_, ++nonce_);
+  node_.submit_block(std::make_shared<const Block>(std::move(block)));
+  // submit_block fires the tip hook, which reschedules; if the block was
+  // somehow rejected the hook never ran, so re-arm explicitly.
+  if (!next_find_.valid()) reschedule();
+}
+
+}  // namespace decentnet::chain

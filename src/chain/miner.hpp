@@ -1,0 +1,53 @@
+// Honest proof-of-work miner.
+//
+// Substitution (DESIGN.md): instead of grinding SHA-256 nonces, block
+// discovery is an exponential race — miner i finds the next block after
+// Exp(hashrate_i / difficulty) seconds, re-sampled whenever the tip changes
+// (memorylessness makes the re-sample exact). Relative revenue, fork rates
+// and difficulty dynamics are preserved; only the wasted electricity is
+// virtual.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/node.hpp"
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+class Miner {
+ public:
+  /// `hashes_per_second` against `node.params().initial_difficulty`-scale
+  /// difficulties. The miner pays out to `payout`.
+  Miner(FullNode& node, crypto::PublicKey payout, double hashes_per_second);
+  ~Miner();
+
+  Miner(const Miner&) = delete;
+  Miner& operator=(const Miner&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  void set_hashrate(double hashes_per_second);
+  double hashrate() const { return rate_; }
+
+  std::uint64_t blocks_found() const { return found_; }
+  const crypto::PublicKey& payout() const { return payout_; }
+
+ private:
+  void reschedule();
+  void on_found();
+
+  FullNode& node_;
+  sim::Simulator& sim_;
+  crypto::PublicKey payout_;
+  double rate_;
+  bool running_ = false;
+  sim::EventHandle next_find_;
+  std::uint64_t found_ = 0;
+  std::uint64_t nonce_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace decentnet::chain

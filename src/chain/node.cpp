@@ -1,0 +1,363 @@
+#include "chain/node.hpp"
+
+#include <algorithm>
+
+namespace decentnet::chain {
+
+using chain_msg::BlockMsg;
+using chain_msg::GetBlock;
+using chain_msg::GetProof;
+using chain_msg::HeaderMsg;
+using chain_msg::ProofMsg;
+using chain_msg::TxMsg;
+
+FullNode::FullNode(net::Network& net, net::NodeId addr, ChainParams params,
+                   BlockPtr genesis)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      params_(std::move(params)),
+      tree_(genesis) {
+  net_.attach(addr_, this);
+  known_blocks_.insert(genesis->id());
+  // Genesis applies unconditionally (premines may exceed the block reward).
+  const auto res = utxo_.apply_block(*genesis, /*max_reward=*/0);
+  if (auto* undo = std::get_if<BlockUndo>(&res)) {
+    undo_.emplace(genesis->id(), *undo);
+  }
+  utxo_tip_ = genesis->id();
+}
+
+FullNode::~FullNode() { net_.detach(addr_); }
+
+void FullNode::connect(std::vector<net::NodeId> neighbors) {
+  neighbors_ = std::move(neighbors);
+}
+
+void FullNode::add_neighbor(net::NodeId n) {
+  if (n != addr_ &&
+      std::find(neighbors_.begin(), neighbors_.end(), n) == neighbors_.end()) {
+    neighbors_.push_back(n);
+  }
+}
+
+bool FullNode::submit_transaction(const Transaction& tx) {
+  const TxId id = tx.id();
+  if (!known_txs_.insert(id).second) return false;
+  const auto err = mempool_.add(tx, utxo_);
+  if (err) {
+    ++stats_.txs_rejected;
+    return false;
+  }
+  ++stats_.txs_accepted;
+  relay_tx(std::make_shared<const Transaction>(tx), id,
+           net::NodeId::invalid());
+  return true;
+}
+
+bool FullNode::submit_block(BlockPtr block) {
+  return accept_block(block, net::NodeId::invalid());
+}
+
+Block FullNode::make_block_template(const crypto::PublicKey& miner,
+                                    std::uint64_t nonce) const {
+  Block block;
+  block.header.prev = tree_.best_tip();
+  block.header.timestamp = sim_.now();
+  block.header.difficulty = next_difficulty(tree_, tree_.best_tip(), params_);
+  block.header.nonce = nonce;
+  block.header.miner = miner;
+  const std::vector<Transaction> txs =
+      mempool_.select_for_block(utxo_, params_.max_block_bytes - 200);
+  Amount fees = 0;
+  for (const Transaction& tx : txs) {
+    fees += transaction_fee(utxo_, tx).value_or(0);
+  }
+  block.txs.push_back(make_coinbase(miner, params_.block_reward + fees, nonce));
+  block.txs.insert(block.txs.end(), txs.begin(), txs.end());
+  block.header.merkle_root = block.compute_merkle_root();
+  return block;
+}
+
+bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
+  const BlockId id = block->id();
+  if (known_blocks_.count(id) > 0) return false;
+  known_blocks_.insert(id);
+
+  // Structural checks that need no context.
+  if (block->txs.empty() || !block->txs.front().is_coinbase() ||
+      !(block->compute_merkle_root() == block->header.merkle_root)) {
+    ++stats_.blocks_rejected;
+    return false;
+  }
+
+  if (!tree_.contains(block->header.prev)) {
+    // Orphan: stash and ask the sender for the parent.
+    orphans_.emplace(block->header.prev, block);
+    if (from.valid()) {
+      net_.send(addr_, from, GetBlock{block->header.prev}, 64);
+    }
+    return false;
+  }
+
+  // Contextual check: the difficulty must match the retarget schedule.
+  const double expected =
+      next_difficulty(tree_, block->header.prev, params_);
+  if (block->header.difficulty < expected * 0.999 ||
+      block->header.difficulty > expected * 1.001) {
+    ++stats_.blocks_rejected;
+    return false;
+  }
+
+  if (!tree_.insert(block)) {
+    ++stats_.blocks_rejected;
+    return false;
+  }
+  ++stats_.blocks_accepted;
+  update_active_chain();
+  relay_block(block, from);
+  process_orphans(id);
+  return true;
+}
+
+void FullNode::try_complete_compact(const BlockId& id) {
+  const auto it = pending_compact_.find(id);
+  if (it == pending_compact_.end()) return;
+  for (const auto& tx : it->second.txs) {
+    if (!tx.has_value()) return;  // still waiting on bodies
+  }
+  Block block;
+  block.header = it->second.header;
+  block.txs.push_back(std::move(it->second.coinbase));
+  for (auto& tx : it->second.txs) block.txs.push_back(std::move(*tx));
+  const net::NodeId from = it->second.from;
+  pending_compact_.erase(it);
+  // accept_block re-verifies the Merkle root, so a reconstruction that
+  // disagrees with the header is rejected rather than propagated.
+  accept_block(std::make_shared<const Block>(std::move(block)), from);
+}
+
+void FullNode::process_orphans(const BlockId& parent) {
+  auto [lo, hi] = orphans_.equal_range(parent);
+  std::vector<BlockPtr> ready;
+  for (auto it = lo; it != hi; ++it) ready.push_back(it->second);
+  orphans_.erase(lo, hi);
+  for (const BlockPtr& b : ready) {
+    known_blocks_.erase(b->id());  // allow re-processing
+    accept_block(b, net::NodeId::invalid());
+  }
+}
+
+void FullNode::update_active_chain() {
+  for (;;) {
+    const BlockId target = tree_.best_tip();
+    if (target == utxo_tip_) return;
+    const ReorgPlan plan = tree_.find_reorg(utxo_tip_, target);
+
+    // Revert down to the fork point.
+    for (const BlockPtr& b : plan.revert) {
+      const BlockId bid = b->id();
+      utxo_.revert_block(*b, undo_.at(bid));
+      undo_.erase(bid);
+      confirmed_txs_ -= b->txs.size() - 1;
+      mempool_.reinstate(*b, utxo_);
+    }
+
+    // Apply up to the new tip; on failure restore and blacklist.
+    bool failed = false;
+    std::vector<BlockPtr> applied;
+    for (const BlockPtr& b : plan.apply) {
+      auto res = utxo_.apply_block(*b, params_.block_reward);
+      if (auto* err = std::get_if<ValidationError>(&res)) {
+        (void)err;
+        // Roll back what we applied in this attempt.
+        for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+          utxo_.revert_block(**it, undo_.at((*it)->id()));
+          undo_.erase((*it)->id());
+          confirmed_txs_ -= (*it)->txs.size() - 1;
+        }
+        // Re-apply the blocks we reverted (they validated before).
+        for (const BlockPtr& rb : plan.revert) {
+          auto back = utxo_.apply_block(*rb, params_.block_reward);
+          undo_.emplace(rb->id(), std::get<BlockUndo>(back));
+          confirmed_txs_ += rb->txs.size() - 1;
+          mempool_.remove_confirmed(*rb);
+        }
+        tree_.mark_invalid(b->id());
+        ++stats_.blocks_rejected;
+        failed = true;
+        break;
+      }
+      undo_.emplace(b->id(), std::get<BlockUndo>(res));
+      confirmed_txs_ += b->txs.size() - 1;
+      mempool_.remove_confirmed(*b);
+      applied.push_back(b);
+    }
+    if (failed) continue;  // best tip changed; retry
+
+    if (!plan.revert.empty()) {
+      ++stats_.reorgs;
+      stats_.reorg_depth_max =
+          std::max<std::uint64_t>(stats_.reorg_depth_max, plan.revert.size());
+    }
+    utxo_tip_ = target;
+    for (const TipHook& hook : tip_hooks_) hook();
+    if (!light_clients_.empty() && !plan.apply.empty()) {
+      for (net::NodeId lc : light_clients_) {
+        for (const BlockPtr& b : plan.apply) {
+          net_.send(addr_, lc, HeaderMsg{b->header}, 80);
+        }
+      }
+    }
+    return;
+  }
+}
+
+void FullNode::relay_block(const BlockPtr& block, net::NodeId skip) {
+  if (compact_relay_ && block->txs.size() > 1) {
+    chain_msg::CompactBlockMsg compact;
+    compact.header = block->header;
+    compact.coinbase = block->txs.front();
+    compact.tx_ids.reserve(block->txs.size() - 1);
+    for (std::size_t i = 1; i < block->txs.size(); ++i) {
+      compact.tx_ids.push_back(block->txs[i].id());
+    }
+    const std::size_t bytes =
+        80 + compact.coinbase.wire_size() + 6 * compact.tx_ids.size();
+    for (net::NodeId n : neighbors_) {
+      if (n == skip) continue;
+      net_.send(addr_, n, compact, bytes);
+    }
+    return;
+  }
+  const std::size_t bytes = block->wire_size();
+  for (net::NodeId n : neighbors_) {
+    if (n == skip) continue;
+    net_.send(addr_, n, BlockMsg{block}, bytes);
+  }
+}
+
+void FullNode::relay_tx(const std::shared_ptr<const Transaction>& tx,
+                        const TxId& id, net::NodeId skip) {
+  const std::size_t bytes = tx->wire_size();
+  for (net::NodeId n : neighbors_) {
+    if (n == skip) continue;
+    net_.send(addr_, n, TxMsg{tx, id}, bytes);
+  }
+}
+
+void FullNode::handle_message(const net::Message& msg) {
+  if (msg.is<BlockMsg>()) {
+    accept_block(net::payload_as<BlockMsg>(msg).block, msg.from);
+    return;
+  }
+  if (msg.is<TxMsg>()) {
+    const auto& tm = net::payload_as<TxMsg>(msg);
+    // Dedup on the relayed id: recomputing the double-SHA per duplicate
+    // arrival would dominate whole-network simulations.
+    if (!known_txs_.insert(tm.id).second) return;
+    const auto err = mempool_.add(*tm.tx, utxo_);
+    if (err) {
+      ++stats_.txs_rejected;
+      return;
+    }
+    ++stats_.txs_accepted;
+    relay_tx(tm.tx, tm.id, msg.from);
+    return;
+  }
+  if (msg.is<chain_msg::CompactBlockMsg>()) {
+    const auto& c = net::payload_as<chain_msg::CompactBlockMsg>(msg);
+    const BlockId id = c.header.id();
+    if (known_blocks_.count(id) > 0 || pending_compact_.count(id) > 0) {
+      return;
+    }
+    PendingCompact pending;
+    pending.header = c.header;
+    pending.coinbase = c.coinbase;
+    pending.tx_ids = c.tx_ids;
+    pending.txs.resize(c.tx_ids.size());
+    pending.from = msg.from;
+    std::vector<std::uint32_t> missing;
+    for (std::size_t i = 0; i < c.tx_ids.size(); ++i) {
+      if (const Transaction* tx = mempool_.find(c.tx_ids[i])) {
+        pending.txs[i] = *tx;
+      } else {
+        missing.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    pending_compact_.emplace(id, std::move(pending));
+    if (missing.empty()) {
+      try_complete_compact(id);
+    } else {
+      const std::size_t bytes = 48 + 4 * missing.size();
+      net_.send(addr_, msg.from,
+                chain_msg::GetBlockTxnsMsg{id, std::move(missing)}, bytes);
+    }
+    return;
+  }
+  if (msg.is<chain_msg::GetBlockTxnsMsg>()) {
+    const auto& req = net::payload_as<chain_msg::GetBlockTxnsMsg>(msg);
+    if (!tree_.contains(req.block)) return;
+    const BlockPtr& b = tree_.entry(req.block).block;
+    chain_msg::BlockTxnsMsg reply;
+    reply.block = req.block;
+    std::size_t bytes = 48;
+    for (std::uint32_t idx : req.indexes) {
+      const std::size_t tx_index = static_cast<std::size_t>(idx) + 1;
+      if (tx_index >= b->txs.size()) continue;
+      reply.indexes.push_back(idx);
+      reply.txs.push_back(b->txs[tx_index]);
+      bytes += b->txs[tx_index].wire_size();
+    }
+    net_.send(addr_, msg.from, std::move(reply), bytes);
+    return;
+  }
+  if (msg.is<chain_msg::BlockTxnsMsg>()) {
+    const auto& r = net::payload_as<chain_msg::BlockTxnsMsg>(msg);
+    const auto it = pending_compact_.find(r.block);
+    if (it == pending_compact_.end()) return;
+    for (std::size_t k = 0; k < r.indexes.size() && k < r.txs.size(); ++k) {
+      const std::size_t i = r.indexes[k];
+      if (i < it->second.txs.size()) it->second.txs[i] = r.txs[k];
+    }
+    try_complete_compact(r.block);
+    return;
+  }
+  if (msg.is<GetBlock>()) {
+    const BlockId& id = net::payload_as<GetBlock>(msg).id;
+    if (tree_.contains(id)) {
+      const BlockPtr& b = tree_.entry(id).block;
+      net_.send(addr_, msg.from, BlockMsg{b}, b->wire_size());
+    }
+    return;
+  }
+  if (msg.is<GetProof>()) {
+    const auto& req = net::payload_as<GetProof>(msg);
+    // Scan the active chain for the transaction (an index would be the
+    // production answer; linear scan keeps the node simple).
+    ProofMsg reply;
+    reply.nonce = req.nonce;
+    reply.tx = req.tx;
+    for (const BlockPtr& b : tree_.active_chain()) {
+      for (std::size_t i = 0; i < b->txs.size(); ++i) {
+        if (b->txs[i].id() == req.tx) {
+          std::vector<crypto::Hash256> leaves;
+          leaves.reserve(b->txs.size());
+          for (const Transaction& t : b->txs) leaves.push_back(t.id());
+          crypto::MerkleTree mt(std::move(leaves));
+          reply.found = true;
+          reply.header = b->header;
+          reply.index = i;
+          reply.proof = mt.prove(i);
+          break;
+        }
+      }
+      if (reply.found) break;
+    }
+    net_.send(addr_, msg.from, std::move(reply),
+              80 + 33 * reply.proof.size());
+    return;
+  }
+}
+
+}  // namespace decentnet::chain

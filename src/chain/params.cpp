@@ -1,0 +1,54 @@
+#include "chain/params.hpp"
+
+#include <algorithm>
+
+namespace decentnet::chain {
+
+ChainParams ChainParams::bitcoin() {
+  ChainParams p;
+  p.block_reward = 50LL * 100'000'000LL;
+  p.target_block_interval = sim::minutes(10);
+  p.retarget_window = 144;  // daily rather than bi-weekly: faster experiments
+  p.max_block_bytes = 1'000'000;
+  p.initial_difficulty = 600e9;
+  return p;
+}
+
+ChainParams ChainParams::ethereum() {
+  ChainParams p;
+  p.block_reward = 2LL * 100'000'000LL;
+  p.target_block_interval = sim::seconds(13);
+  p.retarget_window = 128;
+  p.max_block_bytes = 60'000;
+  p.initial_difficulty = 13e9;
+  return p;
+}
+
+double next_difficulty(const BlockTree& tree, const BlockId& tip,
+                       const ChainParams& params) {
+  const BlockIndexEntry& tip_entry = tree.entry(tip);
+  const double current = tip_entry.block->header.difficulty;
+  const std::uint64_t next_height = tip_entry.height + 1;
+  if (params.retarget_window == 0 ||
+      next_height % params.retarget_window != 0) {
+    return current;
+  }
+  // Walk back `retarget_window` blocks from the tip.
+  BlockId cur = tip;
+  for (std::size_t i = 0; i + 1 < params.retarget_window; ++i) {
+    const auto& e = tree.entry(cur);
+    if (e.height == 0) break;
+    cur = e.block->header.prev;
+  }
+  const sim::SimTime window_start = tree.entry(cur).block->header.timestamp;
+  const sim::SimTime window_end = tip_entry.block->header.timestamp;
+  const double actual = std::max<double>(
+      1.0, static_cast<double>(window_end - window_start));
+  const double target = static_cast<double>(params.target_block_interval) *
+                        static_cast<double>(params.retarget_window - 1);
+  double ratio = target / actual;
+  ratio = std::clamp(ratio, 1.0 / params.max_adjust, params.max_adjust);
+  return current * ratio;
+}
+
+}  // namespace decentnet::chain

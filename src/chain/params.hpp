@@ -1,0 +1,30 @@
+// Consensus parameters and difficulty retargeting.
+#pragma once
+
+#include "chain/blocktree.hpp"
+#include "chain/types.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::chain {
+
+struct ChainParams {
+  Amount block_reward = 50LL * 100'000'000LL;  // 50 coins, 1e8 base units
+  sim::SimDuration target_block_interval = sim::minutes(10);
+  std::size_t retarget_window = 144;  // blocks between difficulty updates
+  std::size_t max_block_bytes = 1'000'000;
+  double initial_difficulty = 600e9;  // expected hashes per block
+  /// Retarget clamp, Bitcoin-style.
+  double max_adjust = 4.0;
+
+  /// Bitcoin-like presets (10-min blocks, 1 MB).
+  static ChainParams bitcoin();
+  /// Ethereum-like presets (13-s blocks, ~8M-gas ≈ 60 KB of simple txs).
+  static ChainParams ethereum();
+};
+
+/// Difficulty the block extending `tip` must satisfy. Retargets every
+/// `retarget_window` blocks from observed timestamps, clamped by max_adjust.
+double next_difficulty(const BlockTree& tree, const BlockId& tip,
+                       const ChainParams& params);
+
+}  // namespace decentnet::chain

@@ -1,0 +1,70 @@
+#include "chain/pos.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace decentnet::chain {
+
+std::size_t pos_select_validator(const std::vector<double>& stakes,
+                                 sim::Rng& rng) {
+  return rng.weighted_index(stakes);
+}
+
+std::vector<double> simulate_stake_concentration(const StakeSimConfig& config,
+                                                 sim::Rng& rng) {
+  std::vector<double> stake(config.validators);
+  for (auto& s : stake) s = rng.pareto(1.0, config.initial_pareto_alpha);
+  const double mean_initial =
+      std::accumulate(stake.begin(), stake.end(), 0.0) /
+      static_cast<double>(config.validators);
+
+  // Who actually stakes: exclude the non-staking fraction (picked among the
+  // smallest holders — they are the ones priced out in practice) and anyone
+  // below the minimum stake.
+  std::vector<bool> staking(config.validators, true);
+  if (config.non_staking_fraction > 0) {
+    std::vector<std::size_t> order(config.validators);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return stake[a] < stake[b];
+    });
+    const auto out = static_cast<std::size_t>(
+        config.non_staking_fraction * static_cast<double>(config.validators));
+    for (std::size_t i = 0; i < out; ++i) staking[order[i]] = false;
+  }
+  const double min_stake = config.min_stake_rel * mean_initial;
+
+  std::vector<double> weights(config.validators);
+  for (std::size_t slot = 0; slot < config.slots; ++slot) {
+    // Only qualified validators enter the lottery.
+    for (std::size_t i = 0; i < stake.size(); ++i) {
+      weights[i] = (staking[i] && stake[i] >= min_stake) ? stake[i] : 0.0;
+    }
+    const std::size_t winner = rng.weighted_index(weights);
+    stake[winner] += config.reward_per_slot;
+  }
+  return stake;
+}
+
+PosAttackCost pos_attack_cost(const PosAttackParams& params) {
+  PosAttackCost out;
+  out.outlay_usd = params.total_stake_value_usd * params.control_fraction;
+  out.net_cost_usd = out.outlay_usd * (1.0 - params.recovery_fraction);
+  return out;
+}
+
+PosAttackCost pow_attack_cost(const PowAttackParams& params) {
+  PosAttackCost out;
+  // Match the honest network's hash rate: buy the hardware, pay the power.
+  const double hardware =
+      params.network_hashrate * params.hardware_usd_per_hash_rate;
+  const double hashes = params.network_hashrate *
+                        params.attack_duration_hours * 3600.0;
+  const double power = hashes * params.power_usd_per_hash;
+  out.outlay_usd = hardware + power;
+  out.net_cost_usd =
+      hardware * (1.0 - params.hardware_recovery_fraction) + power;
+  return out;
+}
+
+}  // namespace decentnet::chain

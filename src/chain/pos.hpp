@@ -1,0 +1,95 @@
+// Proof-of-stake model (§III-C Problem 2's aside and reference [32]).
+//
+// "Alternative approaches based on proof-of-X, where X could be stake,
+// space, activity, etc. seem not be able to fully address this problem so
+// far" — citing Houy's "It will cost you nothing to 'kill' a proof-of-stake
+// crypto-currency".
+//
+// Three analyses:
+//  * slot-based validator selection proportional to stake (the mechanism),
+//  * compounding staking rewards -> stake concentration over time (the
+//    rich-get-richer dynamic, PoS's analogue of E7),
+//  * Houy's attack economics: the price of buying enough stake to kill the
+//    chain versus the PoW attack cost, including the self-defeating-value
+//    effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+// ---------------------------------------------------------------------------
+// Validator selection
+// ---------------------------------------------------------------------------
+
+/// Stake-weighted slot lottery: returns the winning validator index for one
+/// slot. Deterministic in (stakes, rng state) — the simulation analogue of a
+/// verifiable random function over the stake table.
+std::size_t pos_select_validator(const std::vector<double>& stakes,
+                                 sim::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Stake concentration dynamics
+// ---------------------------------------------------------------------------
+
+struct StakeSimConfig {
+  std::size_t validators = 1000;
+  std::size_t slots = 500'000;          // blocks proposed
+  double reward_per_slot = 1.0;         // newly minted stake per block
+  double initial_pareto_alpha = 1.2;    // initial stake skew
+  /// Fraction of small holders who do not stake at all (cannot afford the
+  /// infrastructure / minimum-stake requirements).
+  double non_staking_fraction = 0.0;
+  /// Minimum stake to participate (as a multiple of the mean initial stake).
+  double min_stake_rel = 0.0;
+};
+
+/// Run the compounding-rewards process; returns final stake per validator.
+/// With every holder staking, relative shares perform a martingale (no
+/// systematic concentration); minimum-stake thresholds and non-participation
+/// are what concentrate PoS in practice.
+std::vector<double> simulate_stake_concentration(const StakeSimConfig& config,
+                                                 sim::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Attack economics (Houy)
+// ---------------------------------------------------------------------------
+
+struct PosAttackParams {
+  double total_stake_value_usd = 1e9;   // market cap of the staked token
+  /// Fraction of the attack budget recovered by selling/shorting after the
+  /// attack. Houy's point: an attacker who can short the token (or who
+  /// merely needs the *threat* to be credible) recovers most of it; the
+  /// stake's value collapses with the chain it secures.
+  double recovery_fraction = 0.9;
+  /// Fraction of total stake needed to control consensus (0.5 for simple
+  /// majority-stake protocols, 1/3 to merely halt a BFT-style PoS).
+  double control_fraction = 0.5;
+};
+
+struct PosAttackCost {
+  double outlay_usd = 0;      // stake that must be acquired
+  double net_cost_usd = 0;    // outlay minus recovery: the economic cost
+};
+
+/// Cost of acquiring control of a PoS chain under Houy's assumptions.
+PosAttackCost pos_attack_cost(const PosAttackParams& params);
+
+struct PowAttackParams {
+  double network_hashrate = 100e18;     // H/s
+  double hardware_usd_per_hash_rate = 25e-12 * 2;  // $/H/s of ASICs (approx)
+  double power_usd_per_hash = 50e-12 * 0.05 / 3.6e6;  // $/hash (J/hash * $/J)
+  double attack_duration_hours = 6;     // rent/run time to rewrite history
+  /// Fraction of hardware cost recoverable after the attack (ASICs keep
+  /// resale value only if the coin — their only use — survives).
+  double hardware_recovery_fraction = 0.1;
+};
+
+/// Cost of out-hashing a PoW chain for `attack_duration_hours` (build-your-
+/// own-majority model; renting is cheaper when a rental market exists).
+PosAttackCost pow_attack_cost(const PowAttackParams& params);
+
+}  // namespace decentnet::chain

@@ -1,0 +1,74 @@
+#include "chain/types.hpp"
+
+namespace decentnet::chain {
+
+namespace {
+void write_tx_body(crypto::ByteWriter& w, const Transaction& tx) {
+  w.u64(tx.inputs.size());
+  for (const TxInput& in : tx.inputs) {
+    w.hash(in.prevout.tx).u32(in.prevout.index).hash(in.owner);
+  }
+  w.u64(tx.outputs.size());
+  for (const TxOutput& out : tx.outputs) {
+    w.i64(out.amount).hash(out.recipient);
+  }
+  w.u64(tx.nonce);
+}
+}  // namespace
+
+crypto::Hash256 Transaction::signing_digest() const {
+  crypto::ByteWriter w;
+  w.str("tx-signing");
+  write_tx_body(w, *this);
+  return w.sha256();
+}
+
+TxId Transaction::id() const {
+  crypto::ByteWriter w;
+  w.str("tx-id");
+  write_tx_body(w, *this);
+  for (const TxInput& in : inputs) w.hash(in.signature);
+  return w.sha256d();
+}
+
+BlockId BlockHeader::id() const {
+  crypto::ByteWriter w;
+  w.str("block-header")
+      .hash(prev)
+      .hash(merkle_root)
+      .i64(timestamp)
+      .u64(static_cast<std::uint64_t>(difficulty))
+      .u64(nonce)
+      .hash(miner);
+  return w.sha256d();
+}
+
+crypto::Hash256 Block::compute_merkle_root() const {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const Transaction& tx : txs) leaves.push_back(tx.id());
+  return crypto::MerkleTree::compute_root(std::move(leaves));
+}
+
+std::size_t Block::wire_size() const {
+  std::size_t bytes = 80;  // header
+  for (const Transaction& tx : txs) bytes += tx.wire_size();
+  return bytes;
+}
+
+Transaction make_coinbase(const crypto::PublicKey& miner, Amount reward,
+                          std::uint64_t nonce) {
+  Transaction tx;
+  tx.outputs.push_back(TxOutput{reward, miner});
+  tx.nonce = nonce;
+  return tx;
+}
+
+void sign_inputs(Transaction& tx, const crypto::PrivateKey& key) {
+  // The owner keys are part of the signed digest, so set them first.
+  for (TxInput& in : tx.inputs) in.owner = key.public_key();
+  const crypto::Hash256 digest = tx.signing_digest();
+  for (TxInput& in : tx.inputs) in.signature = key.sign(digest);
+}
+
+}  // namespace decentnet::chain

@@ -1,0 +1,103 @@
+// Core blockchain data types: UTXO transactions, blocks, and headers.
+//
+// The shape follows Bitcoin: transactions spend previous outputs and create
+// new ones; blocks commit an ordered transaction list under a Merkle root and
+// chain by previous-block hash. Proof-of-work is represented by a real
+// difficulty value, but the *search* for a nonce is simulated as an
+// exponential race (see DESIGN.md substitutions) — the header still carries
+// the winning miner and a nonce field for completeness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/buffer.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/merkle.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::chain {
+
+using TxId = crypto::Hash256;
+using BlockId = crypto::Hash256;
+using Amount = std::int64_t;  // in base units ("satoshis")
+
+/// Reference to a previous transaction output.
+struct OutPoint {
+  TxId tx;
+  std::uint32_t index = 0;
+
+  bool operator==(const OutPoint& o) const {
+    return tx == o.tx && index == o.index;
+  }
+};
+
+struct OutPointHasher {
+  std::size_t operator()(const OutPoint& o) const {
+    return crypto::Hash256Hasher{}(o.tx) ^ (o.index * 0x9E3779B9u);
+  }
+};
+
+struct TxInput {
+  OutPoint prevout;
+  crypto::Signature signature;  // owner's signature over the tx digest
+  crypto::PublicKey owner;      // key that must match the spent output
+};
+
+struct TxOutput {
+  Amount amount = 0;
+  crypto::PublicKey recipient;
+};
+
+struct Transaction {
+  std::vector<TxInput> inputs;   // empty for coinbase
+  std::vector<TxOutput> outputs;
+  std::uint64_t nonce = 0;       // uniquifies coinbases and test txs
+
+  bool is_coinbase() const { return inputs.empty(); }
+
+  /// Digest over everything except input signatures (what gets signed).
+  crypto::Hash256 signing_digest() const;
+  /// Transaction id: digest over the full content.
+  TxId id() const;
+
+  /// Nominal wire size in bytes (used for block size accounting).
+  std::size_t wire_size() const {
+    return 10 + inputs.size() * 148 + outputs.size() * 34;
+  }
+};
+
+struct BlockHeader {
+  BlockId prev;
+  crypto::Hash256 merkle_root;
+  sim::SimTime timestamp = 0;
+  double difficulty = 1.0;  // expected hashes to find this block
+  std::uint64_t nonce = 0;
+  crypto::PublicKey miner;
+
+  BlockId id() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;  // txs[0] is the coinbase
+
+  BlockId id() const { return header.id(); }
+
+  /// Recompute the Merkle root from the transaction list.
+  crypto::Hash256 compute_merkle_root() const;
+
+  std::size_t wire_size() const;
+};
+
+/// Helpers to build well-formed transactions in tests/examples/benches.
+Transaction make_coinbase(const crypto::PublicKey& miner, Amount reward,
+                          std::uint64_t nonce);
+
+/// Sign every input of `tx` with `key` (single-owner convenience).
+void sign_inputs(Transaction& tx, const crypto::PrivateKey& key);
+
+}  // namespace decentnet::chain

@@ -1,0 +1,40 @@
+#include "chain/wallet.hpp"
+
+#include <algorithm>
+
+namespace decentnet::chain {
+
+std::optional<Transaction> Wallet::pay(const UtxoSet& utxos,
+                                       const crypto::PublicKey& to,
+                                       Amount amount, Amount fee,
+                                       std::uint64_t nonce,
+                                       sim::Rng* rng) const {
+  if (amount <= 0) return std::nullopt;
+  auto coins = utxos.outputs_of(address());
+  if (rng != nullptr) {
+    rng->shuffle(coins);
+  } else {
+    std::sort(coins.begin(), coins.end(), [](const auto& a, const auto& b) {
+      return a.second.amount > b.second.amount;
+    });
+  }
+  Transaction tx;
+  tx.nonce = nonce;
+  Amount gathered = 0;
+  const Amount needed = amount + fee;
+  for (const auto& [op, out] : coins) {
+    TxInput in;
+    in.prevout = op;
+    tx.inputs.push_back(in);
+    gathered += out.amount;
+    if (gathered >= needed) break;
+  }
+  if (gathered < needed) return std::nullopt;
+  tx.outputs.push_back(TxOutput{amount, to});
+  const Amount change = gathered - needed;
+  if (change > 0) tx.outputs.push_back(TxOutput{change, address()});
+  sign_inputs(tx, key_);
+  return tx;
+}
+
+}  // namespace decentnet::chain

@@ -1,0 +1,42 @@
+// Minimal wallet: coin selection + signing against a UTXO view.
+#pragma once
+
+#include <optional>
+
+#include "chain/ledger.hpp"
+#include "chain/types.hpp"
+#include "sim/rng.hpp"
+
+namespace decentnet::chain {
+
+class Wallet {
+ public:
+  explicit Wallet(crypto::PrivateKey key) : key_(std::move(key)) {}
+
+  /// Create and register a wallet from a deterministic seed.
+  static Wallet from_seed(std::uint64_t seed) {
+    return Wallet(crypto::KeyAuthority::global().issue(seed));
+  }
+
+  crypto::PublicKey address() const { return key_.public_key(); }
+  const crypto::PrivateKey& key() const { return key_; }
+
+  Amount balance(const UtxoSet& utxos) const {
+    return utxos.balance_of(address());
+  }
+
+  /// Build a signed payment of `amount` to `to` plus `fee`, selecting
+  /// confirmed outputs greedily (largest first) — or uniformly at random
+  /// when `rng` is given, which workload generators use to avoid repeatedly
+  /// double-selecting the same coin before it confirms. Change returns to
+  /// us. nullopt if funds are insufficient.
+  std::optional<Transaction> pay(const UtxoSet& utxos,
+                                 const crypto::PublicKey& to, Amount amount,
+                                 Amount fee, std::uint64_t nonce = 0,
+                                 sim::Rng* rng = nullptr) const;
+
+ private:
+  crypto::PrivateKey key_;
+};
+
+}  // namespace decentnet::chain

@@ -1,0 +1,322 @@
+#include "core/scenarios.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bft/raft.hpp"
+#include "chain/miner.hpp"
+#include "chain/node.hpp"
+#include "chain/wallet.hpp"
+#include "fabric/channel.hpp"
+#include "fabric/contracts.hpp"
+#include "net/topology.hpp"
+#include "sim/metrics.hpp"
+
+namespace decentnet::core {
+
+// ---------------------------------------------------------------------------
+// PoW scenario
+// ---------------------------------------------------------------------------
+
+PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
+  sim::Simulator sim(config.seed);
+  net::NetworkConfig net_cfg;
+  net_cfg.model_bandwidth = config.model_bandwidth;
+  net_cfg.default_uplink_bps = config.uplink_bps;
+  net_cfg.default_downlink_bps = config.downlink_bps;
+  net::Network net(sim,
+                   std::make_unique<net::LogNormalLatency>(
+                       config.median_latency, 0.4),
+                   net_cfg);
+  sim::Rng rng = sim.rng().fork(0x9C0E);
+
+  // Wallets funded from a premined genesis: many small outputs each so the
+  // workload can keep spending while change waits for confirmation.
+  std::vector<chain::Wallet> wallets;
+  std::vector<std::pair<crypto::PublicKey, chain::Amount>> premine;
+  constexpr std::size_t kOutputsPerWallet = 100;
+  for (std::size_t i = 0; i < config.wallets; ++i) {
+    wallets.push_back(chain::Wallet::from_seed(config.seed * 1000003 + i));
+    for (std::size_t k = 0; k < kOutputsPerWallet; ++k) {
+      premine.emplace_back(wallets.back().address(),
+                           chain::Amount{1'000'000});
+    }
+  }
+  const chain::BlockPtr genesis =
+      chain::make_genesis_multi(premine, config.params.initial_difficulty);
+
+  // Full-node mesh.
+  std::vector<net::NodeId> addrs;
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    addrs.push_back(net.new_node_id());
+  }
+  const net::AdjacencyList adj =
+      net::random_graph(config.nodes, config.degree, rng);
+  std::vector<std::unique_ptr<chain::FullNode>> nodes;
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    nodes.push_back(std::make_unique<chain::FullNode>(net, addrs[i],
+                                                      config.params, genesis));
+    nodes.back()->set_compact_relay(config.compact_relay);
+    std::vector<net::NodeId> neighbors;
+    for (std::size_t j : adj[i]) neighbors.push_back(addrs[j]);
+    nodes.back()->connect(std::move(neighbors));
+  }
+
+  // Miners on the first `miners` nodes, equal hash-power split.
+  std::vector<std::unique_ptr<chain::Miner>> miners;
+  const double per_miner =
+      config.total_hashrate / static_cast<double>(std::max<std::size_t>(
+                                  config.miners, 1));
+  for (std::size_t i = 0; i < config.miners && i < nodes.size(); ++i) {
+    const chain::Wallet payout =
+        chain::Wallet::from_seed(config.seed * 2000003 + i);
+    miners.push_back(std::make_unique<chain::Miner>(
+        *nodes[i], payout.address(), per_miner));
+    miners.back()->start();
+  }
+
+  // Workload: exponential inter-arrival, random wallet pays random wallet,
+  // submitted at a random node.
+  std::uint64_t submitted = 0;
+  std::uint64_t tx_nonce = 0;
+  auto next_tx = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_next = next_tx;
+  *next_tx = [&, weak_next] {
+    auto strong = weak_next.lock();
+    const std::size_t from = rng.uniform_int(wallets.size());
+    std::size_t to = rng.uniform_int(wallets.size());
+    if (to == from) to = (to + 1) % wallets.size();
+    chain::FullNode& gateway = *nodes[rng.uniform_int(nodes.size())];
+    const auto tx = wallets[from].pay(gateway.utxo(), wallets[to].address(),
+                                      config.tx_amount, config.tx_fee,
+                                      ++tx_nonce, &rng);
+    if (tx && gateway.submit_transaction(*tx)) ++submitted;
+    const double gap = rng.exponential(config.tx_rate_per_sec);
+    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+  };
+  if (config.tx_rate_per_sec > 0) {
+    sim.schedule(sim::seconds(1), [next_tx] { (*next_tx)(); });
+  }
+
+  sim.run_until(config.duration);
+  for (auto& m : miners) m->stop();
+
+  // Measure on an observer node that does not mine (last node), falling
+  // back to node 0 in tiny configurations.
+  chain::FullNode& observer =
+      *nodes[config.miners < config.nodes ? config.nodes - 1 : 0];
+  PowScenarioResult result;
+  result.blocks_on_chain = observer.tree().best_height();
+  result.stale_blocks = observer.tree().stale_count();
+  result.confirmed_txs = observer.confirmed_tx_count();
+  result.submitted_txs = submitted;
+  const double secs = sim::to_seconds(config.duration);
+  result.throughput_tps =
+      static_cast<double>(result.confirmed_txs) / std::max(secs, 1.0);
+  result.mean_block_interval_s =
+      result.blocks_on_chain == 0
+          ? 0
+          : secs / static_cast<double>(result.blocks_on_chain);
+  const double total_blocks = static_cast<double>(result.blocks_on_chain) +
+                              static_cast<double>(result.stale_blocks);
+  result.stale_rate =
+      total_blocks == 0
+          ? 0
+          : static_cast<double>(result.stale_blocks) / total_blocks;
+  double depth_sum = 0;
+  for (const auto& n : nodes) {
+    depth_sum += static_cast<double>(n->stats().reorg_depth_max);
+  }
+  result.mean_reorg_depth = depth_sum / static_cast<double>(nodes.size());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fabric scenario
+// ---------------------------------------------------------------------------
+
+FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
+  sim::Simulator sim(config.seed);
+  net::Network net(sim,
+                   std::make_unique<net::LogNormalLatency>(config.lan_latency,
+                                                           0.2),
+                   net::NetworkConfig{});
+  sim::Rng rng = sim.rng().fork(0xFAB);
+
+  fabric::MembershipService msp(config.seed);
+  const fabric::EndorsementPolicy policy{config.required_endorsements};
+
+  auto kv = std::make_shared<fabric::KvContract>();
+  std::vector<std::unique_ptr<fabric::FabricPeer>> peers;
+  for (std::size_t o = 0; o < config.orgs; ++o) {
+    for (std::size_t p = 0; p < config.peers_per_org; ++p) {
+      peers.push_back(std::make_unique<fabric::FabricPeer>(
+          net, net.new_node_id(), "org" + std::to_string(o), msp, policy,
+          config.seed * 31 + o * 97 + p));
+      peers.back()->install(kv);
+    }
+  }
+  peers.front()->set_event_source(true);
+
+  std::unique_ptr<fabric::OrderingService> orderer;
+  std::unique_ptr<fabric::SoloOrderer> solo;
+  std::unique_ptr<fabric::RaftOrderer> raft;
+  std::unique_ptr<fabric::PbftOrderer> pbft;
+  fabric::OrdererConfig ocfg;
+  ocfg.block_max_txs = config.block_max_txs;
+  ocfg.block_timeout = config.block_timeout;
+  fabric::OrderingService* svc = nullptr;
+  switch (config.orderer) {
+    case OrdererKind::Solo:
+      solo = std::make_unique<fabric::SoloOrderer>(net, net.new_node_id(),
+                                                   ocfg);
+      svc = solo.get();
+      break;
+    case OrdererKind::Raft:
+      raft = std::make_unique<fabric::RaftOrderer>(net, config.orderer_nodes,
+                                                   ocfg);
+      svc = raft.get();
+      break;
+    case OrdererKind::Pbft:
+      pbft = std::make_unique<fabric::PbftOrderer>(net, config.orderer_nodes,
+                                                   ocfg);
+      svc = pbft.get();
+      break;
+  }
+  for (const auto& p : peers) svc->register_peer(p->addr());
+
+  std::vector<fabric::FabricPeer*> endorsers;
+  for (const auto& p : peers) endorsers.push_back(p.get());
+
+  std::vector<std::unique_ptr<fabric::FabricClient>> clients;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    clients.push_back(std::make_unique<fabric::FabricClient>(
+        net, net.new_node_id(), policy));
+    clients.back()->set_endorsers(endorsers);
+    clients.back()->set_orderer(svc);
+  }
+
+  sim::Histogram latencies;
+  std::uint64_t unique_key = 0;
+  auto next_tx = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_next = next_tx;
+  *next_tx = [&, weak_next] {
+    auto strong = weak_next.lock();
+    fabric::FabricClient& client = *clients[rng.uniform_int(clients.size())];
+    std::string key;
+    if (config.hot_keys > 0) {
+      key = "hot" + std::to_string(rng.uniform_int(config.hot_keys));
+    } else {
+      key = "k" + std::to_string(unique_key++);
+    }
+    client.invoke("kv", {"put", key, "v"},
+                  [&latencies](bool ok, const std::string&,
+                               sim::SimDuration latency) {
+                    if (ok) latencies.record(sim::to_millis(latency));
+                  });
+    const double gap = rng.exponential(config.tx_rate_per_sec);
+    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+  };
+  // Let Raft/PBFT settle leadership before offering load.
+  sim.schedule(sim::seconds(2), [next_tx] { (*next_tx)(); });
+
+  sim.run_until(config.duration + sim::seconds(2));
+
+  FabricScenarioResult result;
+  const auto& stats = peers.front()->stats();
+  result.committed = stats.txs_committed;
+  result.mvcc_conflicts = stats.mvcc_conflicts;
+  for (const auto& c : clients) result.failed += c->failed();
+  result.throughput_tps = static_cast<double>(result.committed) /
+                          sim::to_seconds(config.duration);
+  result.latency_p50_ms = latencies.percentile(50);
+  result.latency_p99_ms = latencies.percentile(99);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned cloud commit
+// ---------------------------------------------------------------------------
+
+PartitionedScenarioResult run_partitioned_scenario(
+    const PartitionedScenarioConfig& config) {
+  sim::Simulator sim(config.seed);
+  net::Network net(sim,
+                   std::make_unique<net::ConstantLatency>(config.lan_latency),
+                   net::NetworkConfig{});
+  sim::Rng rng = sim.rng().fork(0x9A27);
+
+  struct Partition {
+    std::vector<std::unique_ptr<bft::RaftNode>> replicas;
+    std::unordered_map<std::uint64_t, sim::SimTime> inflight;
+    std::uint64_t committed = 0;
+  };
+  auto partitions = std::make_unique<std::vector<Partition>>();
+  partitions->resize(config.partitions);
+  sim::Histogram latencies;
+
+  for (std::size_t p = 0; p < config.partitions; ++p) {
+    Partition& part = (*partitions)[p];
+    std::vector<net::NodeId> addrs;
+    for (std::size_t r = 0; r < config.replicas; ++r) {
+      addrs.push_back(net.new_node_id());
+    }
+    for (std::size_t r = 0; r < config.replicas; ++r) {
+      part.replicas.push_back(
+          std::make_unique<bft::RaftNode>(net, addrs[r], r, bft::RaftConfig{}));
+      part.replicas.back()->set_group(addrs);
+    }
+    // Every replica reports commits; the first (the leader) wins the race
+    // and the inflight-map erase deduplicates the rest.
+    for (auto& r : part.replicas) {
+      r->set_commit_hook(
+          [&latencies, &part, &sim](std::uint64_t, const bft::Command& cmd) {
+            const auto it = part.inflight.find(cmd.id);
+            if (it == part.inflight.end()) return;
+            latencies.record(sim::to_millis(sim.now() - it->second));
+            part.inflight.erase(it);
+            ++part.committed;
+          });
+    }
+    for (auto& r : part.replicas) r->start();
+  }
+
+  std::uint64_t next_id = 1;
+  auto next_tx = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_next = next_tx;
+  *next_tx = [&, weak_next] {
+    auto strong = weak_next.lock();
+    Partition& part = (*partitions)[rng.uniform_int(partitions->size())];
+    bft::RaftNode* leader = nullptr;
+    for (auto& r : part.replicas) {
+      if (r->is_leader()) {
+        leader = r.get();
+        break;
+      }
+    }
+    if (leader != nullptr) {
+      bft::Command cmd;
+      cmd.id = next_id++;
+      cmd.wire_bytes = 128;
+      part.inflight.emplace(cmd.id, sim.now());
+      leader->propose(std::move(cmd));
+    }
+    const double gap = rng.exponential(config.tx_rate_per_sec);
+    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+  };
+  sim.schedule(sim::seconds(1), [next_tx] { (*next_tx)(); });
+
+  sim.run_until(config.duration + sim::seconds(1));
+
+  PartitionedScenarioResult result;
+  for (const auto& part : *partitions) result.committed += part.committed;
+  result.throughput_tps = static_cast<double>(result.committed) /
+                          sim::to_seconds(config.duration);
+  result.latency_p50_ms = latencies.percentile(50);
+  result.latency_p99_ms = latencies.percentile(99);
+  return result;
+}
+
+}  // namespace decentnet::core

@@ -1,0 +1,111 @@
+// End-to-end scenario runners: each assembles a complete system (network,
+// nodes, workload), runs it for a simulated duration, and returns the
+// measurements the paper's claims are phrased in. Benches stay thin wrappers
+// over these.
+#pragma once
+
+#include <cstdint>
+
+#include "chain/params.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::core {
+
+// ---------------------------------------------------------------------------
+// Permissionless PoW chain under load (E5, E10)
+// ---------------------------------------------------------------------------
+
+struct PowScenarioConfig {
+  chain::ChainParams params = chain::ChainParams::bitcoin();
+  std::size_t nodes = 40;            // full nodes forming the gossip mesh
+  std::size_t degree = 6;            // mesh degree
+  std::size_t miners = 10;           // subset of nodes that mine
+  double total_hashrate = 1e9;       // hashes/s across all miners
+  std::size_t wallets = 64;
+  double tx_rate_per_sec = 8.0;      // offered load
+  chain::Amount tx_amount = 1000;
+  chain::Amount tx_fee = 10;
+  sim::SimDuration duration = sim::hours(2);
+  /// Median one-way wide-area delay between nodes.
+  sim::SimDuration median_latency = sim::millis(80);
+  /// Relay blocks as header+txids (BIP152-style) instead of full bodies.
+  bool compact_relay = false;
+  /// Model per-node link capacity (serialization delay + sender queueing).
+  bool model_bandwidth = false;
+  double uplink_bps = 10e6 / 8;    // bytes/s when model_bandwidth is on
+  double downlink_bps = 50e6 / 8;
+  std::uint64_t seed = 42;
+};
+
+struct PowScenarioResult {
+  std::uint64_t blocks_on_chain = 0;
+  std::uint64_t stale_blocks = 0;
+  std::uint64_t confirmed_txs = 0;   // on the observer's active chain
+  std::uint64_t submitted_txs = 0;
+  double throughput_tps = 0;
+  double mean_block_interval_s = 0;
+  double stale_rate = 0;
+  double mean_reorg_depth = 0;
+};
+
+PowScenarioResult run_pow_scenario(const PowScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+// Permissioned (Fabric) channel under load (E11, E12)
+// ---------------------------------------------------------------------------
+
+enum class OrdererKind : std::uint8_t { Solo, Raft, Pbft };
+
+struct FabricScenarioConfig {
+  std::size_t orgs = 4;
+  std::size_t peers_per_org = 1;
+  std::size_t required_endorsements = 2;
+  OrdererKind orderer = OrdererKind::Raft;
+  std::size_t orderer_nodes = 3;  // Raft group size, or f for PBFT
+  std::size_t clients = 8;
+  double tx_rate_per_sec = 200.0;  // offered load across all clients
+  std::size_t block_max_txs = 50;
+  sim::SimDuration block_timeout = sim::millis(250);
+  sim::SimDuration duration = sim::minutes(2);
+  sim::SimDuration lan_latency = sim::millis(2);  // consortium datacenters
+  std::uint64_t seed = 42;
+  /// If nonzero, each client hammers a shared set of hot keys this wide —
+  /// drives the MVCC conflict rate.
+  std::size_t hot_keys = 0;
+};
+
+struct FabricScenarioResult {
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t mvcc_conflicts = 0;
+  double throughput_tps = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+// Partitioned cloud commit (the "VISA" baseline of E5)
+// ---------------------------------------------------------------------------
+
+struct PartitionedScenarioConfig {
+  std::size_t partitions = 8;       // shared-nothing shards
+  std::size_t replicas = 3;         // Raft replicas per partition
+  double tx_rate_per_sec = 20000;   // offered load across partitions
+  sim::SimDuration duration = sim::seconds(30);
+  sim::SimDuration lan_latency = sim::millis(1);
+  std::uint64_t seed = 42;
+};
+
+struct PartitionedScenarioResult {
+  std::uint64_t committed = 0;
+  double throughput_tps = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+PartitionedScenarioResult run_partitioned_scenario(
+    const PartitionedScenarioConfig& config);
+
+}  // namespace decentnet::core

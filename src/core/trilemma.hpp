@@ -1,0 +1,48 @@
+// Quantifying Buterin's scalability trilemma (§III-C, Problem 2).
+//
+// The paper quotes the trilemma as: a blockchain can have at most two of
+// {scalability, decentralization, security}. This evaluator makes the three
+// axes measurable for a family of designs parameterized by shard count and
+// per-node capacity:
+//
+//   scalability       — system throughput relative to one node's capacity
+//                       (Buterin's O(n) > O(c) criterion)
+//   decentralization  — how cheap it is to run a full validator: the
+//                       fraction of the global validation work one node
+//                       must perform (1 = everyone validates everything)
+//   security          — the fraction of the system's total honest resources
+//                       an attacker must corrupt to control one shard
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace decentnet::core {
+
+struct TrilemmaDesign {
+  std::size_t shards = 1;          // 1 = full-broadcast chain
+  std::size_t validators = 1000;   // total ecosystem validators
+  double node_capacity_tps = 10;   // what one commodity node can validate
+};
+
+struct TrilemmaPoint {
+  TrilemmaDesign design;
+  double throughput_tps = 0;       // shards * node_capacity
+  double scalability = 0;          // throughput / node_capacity (O(n)/O(c))
+  double per_node_load = 0;        // fraction of global work per validator
+  double decentralization = 0;     // 1 / per_node_load_relative (capped 1)
+  double security = 0;             // resource fraction to capture one shard
+};
+
+/// Evaluate one design point.
+TrilemmaPoint evaluate_trilemma(const TrilemmaDesign& design);
+
+/// Sweep shard counts for a fixed ecosystem; the returned series shows the
+/// "pick two" frontier: scalability rises with shards exactly as security
+/// falls, while shards = 1 keeps security and decentralization but pins
+/// throughput at O(c).
+std::vector<TrilemmaPoint> trilemma_sweep(std::size_t validators,
+                                          double node_capacity_tps,
+                                          const std::vector<std::size_t>& shard_counts);
+
+}  // namespace decentnet::core

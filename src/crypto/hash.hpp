@@ -1,0 +1,98 @@
+// 256-bit hash value type shared by the DHT (Kademlia XOR metric), the
+// blockchain (block/tx ids, Merkle roots) and the membership service.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace decentnet::crypto {
+
+/// A 256-bit digest. Comparisons treat the value as a big-endian unsigned
+/// integer, which is what both Kademlia distances and PoW targets need.
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  bool is_zero() const {
+    for (auto b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  /// XOR distance (Kademlia metric).
+  Hash256 distance_to(const Hash256& other) const {
+    Hash256 d;
+    for (std::size_t i = 0; i < 32; ++i) d.bytes[i] = bytes[i] ^ other.bytes[i];
+    return d;
+  }
+
+  /// Index of the highest set bit (0 = most significant), or 256 if zero.
+  /// Kademlia bucket index for `distance_to(peer)` is this value.
+  int leading_zero_bits() const {
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (bytes[i] == 0) continue;
+      int lz = 0;
+      for (int bit = 7; bit >= 0; --bit) {
+        if (bytes[i] & (1u << bit)) break;
+        ++lz;
+      }
+      return static_cast<int>(i) * 8 + lz;
+    }
+    return 256;
+  }
+
+  /// Bit at position `i` (0 = most significant).
+  bool bit(int i) const {
+    return (bytes[static_cast<std::size_t>(i / 8)] >> (7 - i % 8)) & 1;
+  }
+
+  /// First 8 bytes as a big-endian integer — handy as a compact map key or a
+  /// human-readable prefix. Not a substitute for full equality.
+  std::uint64_t prefix64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  std::string hex() const;
+  std::string short_hex(std::size_t n = 8) const;
+
+  static Hash256 from_hex(std::string_view hex);
+  /// Hash with every byte 0xFF (the maximum value / easiest PoW target).
+  static Hash256 max_value() {
+    Hash256 h;
+    h.bytes.fill(0xFF);
+    return h;
+  }
+};
+
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    std::uint64_t v;
+    std::memcpy(&v, h.bytes.data(), sizeof v);
+    return static_cast<std::size_t>(v);
+  }
+};
+
+/// SHA-256 of arbitrary bytes (FIPS 180-4, implemented in sha256.cpp).
+Hash256 sha256(std::span<const std::uint8_t> data);
+Hash256 sha256(std::string_view data);
+/// Double SHA-256 (Bitcoin-style block/tx ids).
+Hash256 sha256d(std::span<const std::uint8_t> data);
+
+/// HMAC-SHA256 (RFC 2104); backs the simulation signature scheme.
+Hash256 hmac_sha256(std::span<const std::uint8_t> key,
+                    std::span<const std::uint8_t> message);
+
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace decentnet::crypto

@@ -1,0 +1,50 @@
+#include "crypto/keys.hpp"
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::crypto {
+
+PrivateKey PrivateKey::from_seed(std::uint64_t seed) {
+  PrivateKey k;
+  ByteWriter w;
+  w.str("decentnet-private-key").u64(seed);
+  k.secret_ = w.sha256();
+  return k;
+}
+
+PublicKey PrivateKey::public_key() const {
+  ByteWriter w;
+  w.str("decentnet-public-key").hash(secret_);
+  return w.sha256();
+}
+
+Signature PrivateKey::sign(std::span<const std::uint8_t> message) const {
+  return hmac_sha256(std::span<const std::uint8_t>(secret_.bytes), message);
+}
+
+KeyAuthority& KeyAuthority::global() {
+  static KeyAuthority authority;
+  return authority;
+}
+
+PrivateKey KeyAuthority::issue(std::uint64_t seed) {
+  PrivateKey key = PrivateKey::from_seed(seed);
+  register_key(key);
+  return key;
+}
+
+void KeyAuthority::register_key(const PrivateKey& key) {
+  secrets_.emplace(key.public_key(), key.secret());
+}
+
+bool KeyAuthority::verify(const PublicKey& pub,
+                          std::span<const std::uint8_t> message,
+                          const Signature& sig) const {
+  const auto it = secrets_.find(pub);
+  if (it == secrets_.end()) return false;
+  const Signature expected =
+      hmac_sha256(std::span<const std::uint8_t>(it->second.bytes), message);
+  return expected == sig;
+}
+
+}  // namespace decentnet::crypto

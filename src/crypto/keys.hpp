@@ -1,0 +1,84 @@
+// Simulation signature scheme and identities.
+//
+// Substitution note (see DESIGN.md): real deployments use ECDSA/Ed25519. In a
+// closed simulation we model the *properties* of signatures, not the math.
+// A KeyPair's private half is 32 random bytes; the public key is
+// SHA-256(private). Signatures are HMAC-SHA256(private, message). A verifier
+// checks a signature through the KeyAuthority, which maps public keys to
+// verification oracles — the in-simulation analogue of a PKI. Unforgeability
+// holds by construction: only code holding the PrivateKey object can produce
+// a signature that the authority accepts, and the simulation's adversaries
+// are code paths we control.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "crypto/hash.hpp"
+
+namespace decentnet::crypto {
+
+using PublicKey = Hash256;
+using Signature = Hash256;
+
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+
+  /// Derive deterministically from a 64-bit seed (simulation reproducibility).
+  static PrivateKey from_seed(std::uint64_t seed);
+
+  PublicKey public_key() const;
+  Signature sign(std::span<const std::uint8_t> message) const;
+  Signature sign(std::string_view message) const {
+    return sign(as_bytes(message));
+  }
+  Signature sign(const Hash256& digest) const {
+    return sign(std::span<const std::uint8_t>(digest.bytes));
+  }
+
+  const Hash256& secret() const { return secret_; }
+
+ private:
+  Hash256 secret_{};
+};
+
+/// In-simulation PKI: registers key pairs so third parties can verify
+/// signatures without holding the private key object themselves.
+class KeyAuthority {
+ public:
+  /// Process-wide authority. All simulations share it; registration is
+  /// idempotent and keyed by public key, so independent experiments cannot
+  /// interfere with each other's verification results.
+  static KeyAuthority& global();
+
+  /// Create and register a fresh key pair derived from `seed`.
+  PrivateKey issue(std::uint64_t seed);
+
+  /// Register an externally created key pair.
+  void register_key(const PrivateKey& key);
+
+  bool verify(const PublicKey& pub, std::span<const std::uint8_t> message,
+              const Signature& sig) const;
+  bool verify(const PublicKey& pub, std::string_view message,
+              const Signature& sig) const {
+    return verify(pub, as_bytes(message), sig);
+  }
+  bool verify(const PublicKey& pub, const Hash256& digest,
+              const Signature& sig) const {
+    return verify(pub, std::span<const std::uint8_t>(digest.bytes), sig);
+  }
+
+  bool known(const PublicKey& pub) const {
+    return secrets_.find(pub) != secrets_.end();
+  }
+
+  std::size_t size() const { return secrets_.size(); }
+
+ private:
+  std::unordered_map<PublicKey, Hash256, Hash256Hasher> secrets_;
+};
+
+}  // namespace decentnet::crypto

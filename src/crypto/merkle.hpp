@@ -1,0 +1,48 @@
+// Binary Merkle tree over 256-bit leaf hashes, with inclusion proofs.
+// Used for block transaction commitments (chain/) and light-client
+// verification, and for tamper-evident audit logs in the edge federation.
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace decentnet::crypto {
+
+/// One step of an inclusion proof: the sibling digest and which side it is on.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+class MerkleTree {
+ public:
+  /// Builds the tree bottom-up. An empty leaf set yields the all-zero root.
+  /// Odd levels duplicate the last node (Bitcoin-style).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return root_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Inclusion proof for the leaf at `index`. Requires index < leaf_count().
+  MerkleProof prove(std::size_t index) const;
+
+  /// Verify that `leaf` at `index` is included under `root`.
+  static bool verify(const Hash256& leaf, std::size_t index,
+                     const MerkleProof& proof, const Hash256& root);
+
+  /// Convenience: compute only the root without keeping levels around.
+  static Hash256 compute_root(std::vector<Hash256> leaves);
+
+ private:
+  static Hash256 parent(const Hash256& left, const Hash256& right);
+
+  std::size_t leaf_count_ = 0;
+  // levels_[0] is the leaf level; levels_.back() has exactly one node.
+  std::vector<std::vector<Hash256>> levels_;
+  Hash256 root_{};
+};
+
+}  // namespace decentnet::crypto

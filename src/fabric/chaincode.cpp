@@ -1,0 +1,137 @@
+#include "fabric/chaincode.hpp"
+
+#include <algorithm>
+
+namespace decentnet::fabric {
+
+std::optional<KvStore::Versioned> KvStore::get(const std::string& key) const {
+  const auto it = state_.find(key);
+  if (it == state_.end() || it->second.deleted) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::put(const std::string& key, std::string value) {
+  Versioned& v = state_[key];
+  v.value = std::move(value);
+  v.deleted = false;
+  ++v.version;
+}
+
+void KvStore::del(const std::string& key) {
+  const auto it = state_.find(key);
+  if (it == state_.end()) return;
+  it->second.deleted = true;
+  it->second.value.clear();
+  ++it->second.version;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::by_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = state_.lower_bound(prefix); it != state_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (!it->second.deleted) out.emplace_back(it->first, it->second.value);
+  }
+  return out;
+}
+
+std::size_t RwSet::wire_size() const {
+  std::size_t total = 16;
+  for (const ReadItem& r : reads) total += r.key.size() + 12;
+  for (const WriteItem& w : writes) total += w.key.size() + w.value.size() + 8;
+  return total;
+}
+
+std::optional<std::string> ChaincodeStub::get(const std::string& key) {
+  // Read-your-writes within one invocation.
+  const auto pend = pending_.find(key);
+  if (pend != pending_.end()) return pend->second;
+  const auto v = state_.get(key);
+  // Record the version we depended on (0 = absent).
+  const std::uint64_t version = v ? v->version : 0;
+  const auto already = std::find_if(
+      rwset_.reads.begin(), rwset_.reads.end(),
+      [&](const ReadItem& r) { return r.key == key; });
+  if (already == rwset_.reads.end()) {
+    rwset_.reads.push_back(ReadItem{key, version});
+  }
+  if (!v) return std::nullopt;
+  return v->value;
+}
+
+void ChaincodeStub::put(const std::string& key, std::string value) {
+  pending_[key] = value;
+  const auto it = std::find_if(
+      rwset_.writes.begin(), rwset_.writes.end(),
+      [&](const WriteItem& w) { return w.key == key; });
+  if (it != rwset_.writes.end()) {
+    it->value = std::move(value);
+    it->is_delete = false;
+  } else {
+    rwset_.writes.push_back(WriteItem{key, std::move(value), false});
+  }
+}
+
+void ChaincodeStub::del(const std::string& key) {
+  pending_.erase(key);
+  const auto it = std::find_if(
+      rwset_.writes.begin(), rwset_.writes.end(),
+      [&](const WriteItem& w) { return w.key == key; });
+  if (it != rwset_.writes.end()) {
+    it->value.clear();
+    it->is_delete = true;
+  } else {
+    rwset_.writes.push_back(WriteItem{key, "", true});
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ChaincodeStub::by_prefix(
+    const std::string& prefix) {
+  auto out = state_.by_prefix(prefix);
+  // Record reads for MVCC on everything observed.
+  for (const auto& [key, value] : out) {
+    const auto v = state_.get(key);
+    const auto already = std::find_if(
+        rwset_.reads.begin(), rwset_.reads.end(),
+        [&](const ReadItem& r) { return r.key == key; });
+    if (already == rwset_.reads.end()) {
+      rwset_.reads.push_back(ReadItem{key, v ? v->version : 0});
+    }
+  }
+  // Overlay pending writes.
+  for (const auto& [key, value] : pending_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) {
+      const auto it = std::find_if(out.begin(), out.end(), [&](const auto& p) {
+        return p.first == key;
+      });
+      if (it != out.end()) {
+        it->second = value;
+      } else {
+        out.emplace_back(key, value);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void apply_writes(KvStore& state, const RwSet& rwset) {
+  for (const WriteItem& w : rwset.writes) {
+    if (w.is_delete) {
+      state.del(w.key);
+    } else {
+      state.put(w.key, w.value);
+    }
+  }
+}
+
+bool mvcc_valid(const KvStore& state, const RwSet& rwset) {
+  for (const ReadItem& r : rwset.reads) {
+    const auto v = state.get(r.key);
+    const std::uint64_t current = v ? v->version : 0;
+    if (current != r.version) return false;
+  }
+  return true;
+}
+
+}  // namespace decentnet::fabric

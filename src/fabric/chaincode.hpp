@@ -1,0 +1,99 @@
+// Chaincode (smart contract) engine with versioned world state.
+//
+// Fabric's execute-order-validate model: chaincode runs speculatively
+// against a peer's current state, producing a read set (keys + the versions
+// observed) and a write set (keys + new values). Validation after ordering
+// replays the read set against the committed state — if any version moved,
+// the transaction is an MVCC conflict and is rejected without execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace decentnet::fabric {
+
+/// Versioned world state. Versions increase monotonically per key on commit.
+class KvStore {
+ public:
+  struct Versioned {
+    std::string value;
+    std::uint64_t version = 0;
+    bool deleted = false;
+  };
+
+  std::optional<Versioned> get(const std::string& key) const;
+  void put(const std::string& key, std::string value);
+  void del(const std::string& key);
+  std::size_t size() const { return state_.size(); }
+
+  /// Keys with a given prefix (range queries for contracts).
+  std::vector<std::pair<std::string, std::string>> by_prefix(
+      const std::string& prefix) const;
+
+ private:
+  std::map<std::string, Versioned> state_;
+};
+
+struct ReadItem {
+  std::string key;
+  std::uint64_t version = 0;  // 0 = key absent when read
+};
+struct WriteItem {
+  std::string key;
+  std::string value;
+  bool is_delete = false;
+};
+struct RwSet {
+  std::vector<ReadItem> reads;
+  std::vector<WriteItem> writes;
+
+  std::size_t wire_size() const;
+};
+
+/// The API chaincode sees during speculative execution.
+class ChaincodeStub {
+ public:
+  explicit ChaincodeStub(const KvStore& state) : state_(state) {}
+
+  /// Read a key, recording the observed version in the read set.
+  std::optional<std::string> get(const std::string& key);
+  void put(const std::string& key, std::string value);
+  void del(const std::string& key);
+  std::vector<std::pair<std::string, std::string>> by_prefix(
+      const std::string& prefix);
+
+  const RwSet& rwset() const { return rwset_; }
+  RwSet take_rwset() { return std::move(rwset_); }
+
+ private:
+  const KvStore& state_;
+  RwSet rwset_;
+  std::map<std::string, std::string> pending_;  // read-your-writes
+};
+
+struct ChaincodeResult {
+  bool ok = false;
+  std::string payload;  // return value or error text
+};
+
+/// A deployed contract: pure function of (args, stub).
+class Chaincode {
+ public:
+  virtual ~Chaincode() = default;
+  virtual std::string name() const = 0;
+  virtual ChaincodeResult invoke(const std::vector<std::string>& args,
+                                 ChaincodeStub& stub) = 0;
+};
+
+/// Apply a validated write set to the committed state (bumping versions).
+void apply_writes(KvStore& state, const RwSet& rwset);
+
+/// MVCC check: every read version must still match the committed state.
+bool mvcc_valid(const KvStore& state, const RwSet& rwset);
+
+}  // namespace decentnet::fabric

@@ -1,0 +1,83 @@
+#include "fabric/consortium.hpp"
+
+#include <stdexcept>
+
+namespace decentnet::fabric {
+
+Consortium::Consortium(net::Network& net, ConsortiumConfig config)
+    : net_(net),
+      config_(std::move(config)),
+      msp_(config_.seed),
+      policy_{config_.required_endorsements} {
+  if (config_.orgs.empty()) {
+    throw std::invalid_argument("Consortium needs at least one org");
+  }
+  for (std::size_t o = 0; o < config_.orgs.size(); ++o) {
+    peers_.push_back(std::make_unique<FabricPeer>(
+        net_, net_.new_node_id(), config_.orgs[o], msp_, policy_,
+        config_.seed * 1000 + o));
+  }
+  peers_.front()->set_event_source(true);
+  switch (config_.orderer) {
+    case OrdererType::Solo:
+      solo_ = std::make_unique<SoloOrderer>(net_, net_.new_node_id(),
+                                            config_.ordering);
+      orderer_ = solo_.get();
+      break;
+    case OrdererType::Raft:
+      raft_ = std::make_unique<RaftOrderer>(net_, config_.orderer_nodes,
+                                            config_.ordering);
+      orderer_ = raft_.get();
+      break;
+    case OrdererType::Pbft:
+      pbft_ = std::make_unique<PbftOrderer>(net_, config_.orderer_nodes,
+                                            config_.ordering);
+      orderer_ = pbft_.get();
+      break;
+  }
+  for (auto& p : peers_) orderer_->register_peer(p->addr());
+  new_client();
+}
+
+void Consortium::install(std::shared_ptr<Chaincode> chaincode) {
+  for (auto& p : peers_) p->install(chaincode);
+}
+
+FabricClient& Consortium::new_client() {
+  clients_.push_back(
+      std::make_unique<FabricClient>(net_, net_.new_node_id(), policy_));
+  std::vector<FabricPeer*> endorsers;
+  for (auto& p : peers_) endorsers.push_back(p.get());
+  clients_.back()->set_endorsers(endorsers);
+  clients_.back()->set_orderer(orderer_);
+  return *clients_.back();
+}
+
+FabricPeer& Consortium::peer(const std::string& org) {
+  for (auto& p : peers_) {
+    if (p->org() == org) return *p;
+  }
+  throw std::out_of_range("no such org: " + org);
+}
+
+std::pair<bool, std::string> Consortium::invoke_sync(
+    const std::string& chaincode, std::vector<std::string> args,
+    sim::SimDuration max_wait) {
+  bool done = false, ok = false;
+  std::string payload;
+  client().invoke(chaincode, std::move(args),
+                  [&](bool success, const std::string& result,
+                      sim::SimDuration) {
+                    done = true;
+                    ok = success;
+                    payload = result;
+                  });
+  auto& sim = net_.simulator();
+  const sim::SimTime deadline = sim.now() + max_wait;
+  while (!done && sim.now() < deadline) {
+    sim.run_until(sim.now() + sim::millis(100));
+  }
+  return {ok, payload};
+}
+
+}  // namespace decentnet::fabric

@@ -1,0 +1,223 @@
+#include "fabric/contracts.hpp"
+
+#include <charconv>
+
+namespace decentnet::fabric {
+
+namespace {
+ChaincodeResult ok(std::string payload = "") {
+  return ChaincodeResult{true, std::move(payload)};
+}
+ChaincodeResult fail(std::string reason) {
+  return ChaincodeResult{false, std::move(reason)};
+}
+
+std::optional<long long> parse_int(const std::string& s) {
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AssetTransferContract
+// ---------------------------------------------------------------------------
+
+ChaincodeResult AssetTransferContract::invoke(
+    const std::vector<std::string>& args, ChaincodeStub& stub) {
+  if (args.empty()) return fail("missing method");
+  const std::string& method = args[0];
+  if (method == "create") {
+    if (args.size() != 4) return fail("create <id> <owner> <value>");
+    const std::string key = "asset/" + args[1];
+    if (stub.get(key)) return fail("asset exists");
+    if (!parse_int(args[3])) return fail("bad value");
+    stub.put(key, args[2] + "," + args[3]);
+    return ok();
+  }
+  if (method == "transfer") {
+    if (args.size() != 3) return fail("transfer <id> <new_owner>");
+    const std::string key = "asset/" + args[1];
+    const auto cur = stub.get(key);
+    if (!cur) return fail("no such asset");
+    const auto comma = cur->find(',');
+    stub.put(key, args[2] + cur->substr(comma));
+    return ok();
+  }
+  if (method == "read") {
+    if (args.size() != 2) return fail("read <id>");
+    const auto cur = stub.get("asset/" + args[1]);
+    if (!cur) return fail("no such asset");
+    return ok(*cur);
+  }
+  return fail("unknown method: " + method);
+}
+
+// ---------------------------------------------------------------------------
+// SupplyChainContract
+// ---------------------------------------------------------------------------
+
+ChaincodeResult SupplyChainContract::invoke(
+    const std::vector<std::string>& args, ChaincodeStub& stub) {
+  if (args.empty()) return fail("missing method");
+  const std::string& method = args[0];
+  if (method == "register") {
+    if (args.size() != 3) return fail("register <item> <origin>");
+    const std::string key = "sc/" + args[1];
+    if (stub.get(key)) return fail("item exists");
+    stub.put(key, "origin:" + args[2]);
+    return ok();
+  }
+  const auto append_event = [&](const std::string& item,
+                                const std::string& event) -> ChaincodeResult {
+    const std::string key = "sc/" + item;
+    const auto history = stub.get(key);
+    if (!history) return fail("unknown item");
+    stub.put(key, *history + ";" + event);
+    return ok();
+  };
+  if (method == "ship") {
+    if (args.size() != 3) return fail("ship <item> <holder>");
+    return append_event(args[1], "ship:" + args[2]);
+  }
+  if (method == "receive") {
+    if (args.size() != 3) return fail("receive <item> <location>");
+    return append_event(args[1], "recv:" + args[2]);
+  }
+  if (method == "trace") {
+    if (args.size() != 2) return fail("trace <item>");
+    const auto history = stub.get("sc/" + args[1]);
+    if (!history) return fail("unknown item");
+    return ok(*history);
+  }
+  return fail("unknown method: " + method);
+}
+
+// ---------------------------------------------------------------------------
+// HealthRecordsContract
+// ---------------------------------------------------------------------------
+
+ChaincodeResult HealthRecordsContract::invoke(
+    const std::vector<std::string>& args, ChaincodeStub& stub) {
+  if (args.empty()) return fail("missing method");
+  const std::string& method = args[0];
+  const auto consent_key = [](const std::string& patient,
+                              const std::string& provider) {
+    return "hc/consent/" + patient + "/" + provider;
+  };
+  if (method == "grant") {
+    if (args.size() != 3) return fail("grant <patient> <provider>");
+    stub.put(consent_key(args[1], args[2]), "granted");
+    return ok();
+  }
+  if (method == "revoke") {
+    if (args.size() != 3) return fail("revoke <patient> <provider>");
+    stub.del(consent_key(args[1], args[2]));
+    return ok();
+  }
+  if (method == "put") {
+    if (args.size() != 4) return fail("put <patient> <provider> <data>");
+    if (!stub.get(consent_key(args[1], args[2]))) {
+      return fail("no consent");
+    }
+    const std::string key = "hc/rec/" + args[1] + "/" + args[2];
+    const auto existing = stub.get(key);
+    stub.put(key, existing ? *existing + "|" + args[3] : args[3]);
+    return ok();
+  }
+  if (method == "get") {
+    if (args.size() != 3) return fail("get <patient> <provider>");
+    if (!stub.get(consent_key(args[1], args[2]))) {
+      return fail("no consent");
+    }
+    const auto rec = stub.get("hc/rec/" + args[1] + "/" + args[2]);
+    return ok(rec.value_or(""));
+  }
+  return fail("unknown method: " + method);
+}
+
+// ---------------------------------------------------------------------------
+// KvContract
+// ---------------------------------------------------------------------------
+
+ChaincodeResult KvContract::invoke(const std::vector<std::string>& args,
+                                   ChaincodeStub& stub) {
+  if (args.empty()) return fail("missing method");
+  const std::string& method = args[0];
+  if (method == "put") {
+    if (args.size() != 3) return fail("put <key> <value>");
+    stub.get("kv/" + args[1]);  // read-modify-write: records the version
+    stub.put("kv/" + args[1], args[2]);
+    return ok();
+  }
+  if (method == "get") {
+    if (args.size() != 2) return fail("get <key>");
+    const auto v = stub.get("kv/" + args[1]);
+    return v ? ok(*v) : fail("not found");
+  }
+  if (method == "del") {
+    if (args.size() != 2) return fail("del <key>");
+    stub.del("kv/" + args[1]);
+    return ok();
+  }
+  return fail("unknown method: " + method);
+}
+
+// ---------------------------------------------------------------------------
+// EnergyTradingContract
+// ---------------------------------------------------------------------------
+
+ChaincodeResult EnergyTradingContract::invoke(
+    const std::vector<std::string>& args, ChaincodeStub& stub) {
+  if (args.empty()) return fail("missing method");
+  const std::string& method = args[0];
+  const auto read_balance = [&](const std::string& org) -> long long {
+    const auto v = stub.get("en/bal/" + org);
+    if (!v) return 0;
+    return parse_int(*v).value_or(0);
+  };
+  const auto write_balance = [&](const std::string& org, long long kwh) {
+    stub.put("en/bal/" + org, std::to_string(kwh));
+  };
+  if (method == "meter") {
+    if (args.size() != 3) return fail("meter <org> <kwh_signed>");
+    const auto delta = parse_int(args[2]);
+    if (!delta) return fail("bad kwh");
+    write_balance(args[1], read_balance(args[1]) + *delta);
+    return ok();
+  }
+  if (method == "offer") {
+    if (args.size() != 5) return fail("offer <id> <seller> <kwh> <price>");
+    const auto kwh = parse_int(args[3]);
+    const auto price = parse_int(args[4]);
+    if (!kwh || !price || *kwh <= 0) return fail("bad offer");
+    if (read_balance(args[2]) < *kwh) return fail("insufficient generation");
+    const std::string key = "en/offer/" + args[1];
+    if (stub.get(key)) return fail("offer exists");
+    stub.put(key, args[2] + "," + args[3] + "," + args[4]);
+    return ok();
+  }
+  if (method == "buy") {
+    if (args.size() != 3) return fail("buy <id> <buyer>");
+    const std::string key = "en/offer/" + args[1];
+    const auto offer = stub.get(key);
+    if (!offer) return fail("no such offer");
+    const auto c1 = offer->find(',');
+    const auto c2 = offer->find(',', c1 + 1);
+    const std::string seller = offer->substr(0, c1);
+    const long long kwh =
+        parse_int(offer->substr(c1 + 1, c2 - c1 - 1)).value_or(0);
+    write_balance(seller, read_balance(seller) - kwh);
+    write_balance(args[2], read_balance(args[2]) + kwh);
+    stub.del(key);
+    return ok(seller + "->" + args[2] + ":" + std::to_string(kwh));
+  }
+  if (method == "balance") {
+    if (args.size() != 2) return fail("balance <org>");
+    return ok(std::to_string(read_balance(args[1])));
+  }
+  return fail("unknown method: " + method);
+}
+
+}  // namespace decentnet::fabric

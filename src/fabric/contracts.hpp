@@ -1,0 +1,64 @@
+// Built-in chaincodes for the paper's §V-A "blockchain islands" use cases:
+// asset transfer (the quickstart), supply-chain track & trace, healthcare
+// record sharing with consent, and utility/energy trading.
+//
+// Each contract is a pure function of (args, stub); args[0] is the method.
+#pragma once
+
+#include "fabric/chaincode.hpp"
+
+namespace decentnet::fabric {
+
+/// Generic asset registry.
+///   create <id> <owner> <value> | transfer <id> <new_owner> |
+///   read <id> -> "owner,value"
+class AssetTransferContract final : public Chaincode {
+ public:
+  std::string name() const override { return "asset"; }
+  ChaincodeResult invoke(const std::vector<std::string>& args,
+                         ChaincodeStub& stub) override;
+};
+
+/// Track & trace: products move custody along the chain without any single
+/// trusted party holding the history.
+///   register <item> <origin> | ship <item> <holder> | receive <item> <loc> |
+///   trace <item> -> "origin;ship:holder;recv:loc;..."
+class SupplyChainContract final : public Chaincode {
+ public:
+  std::string name() const override { return "supplychain"; }
+  ChaincodeResult invoke(const std::vector<std::string>& args,
+                         ChaincodeStub& stub) override;
+};
+
+/// Consent-gated health records: providers can only write/read a patient's
+/// records after the patient grants access.
+///   grant <patient> <provider> | revoke <patient> <provider> |
+///   put <patient> <provider> <data> | get <patient> <provider>
+class HealthRecordsContract final : public Chaincode {
+ public:
+  std::string name() const override { return "health"; }
+  ChaincodeResult invoke(const std::vector<std::string>& args,
+                         ChaincodeStub& stub) override;
+};
+
+/// Plain key-value chaincode — the workload generator for throughput and
+/// MVCC-conflict experiments.
+///   put <key> <value> | get <key> | del <key>
+class KvContract final : public Chaincode {
+ public:
+  std::string name() const override { return "kv"; }
+  ChaincodeResult invoke(const std::vector<std::string>& args,
+                         ChaincodeStub& stub) override;
+};
+
+/// Peer-to-peer energy trading between prosumers on a smart grid.
+///   meter <org> <kwh_signed> | offer <id> <seller> <kwh> <price> |
+///   buy <id> <buyer> | balance <org> -> net kWh credit
+class EnergyTradingContract final : public Chaincode {
+ public:
+  std::string name() const override { return "energy"; }
+  ChaincodeResult invoke(const std::vector<std::string>& args,
+                         ChaincodeStub& stub) override;
+};
+
+}  // namespace decentnet::fabric

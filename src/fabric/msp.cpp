@@ -1,0 +1,38 @@
+#include "fabric/msp.hpp"
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::fabric {
+
+crypto::Hash256 Certificate::digest() const {
+  crypto::ByteWriter w;
+  w.str("fabric-cert").hash(subject).str(org).str(role);
+  return w.sha256();
+}
+
+MembershipService::MembershipService(std::uint64_t seed)
+    : ca_(crypto::KeyAuthority::global().issue(seed ^ 0xCAull << 56)) {}
+
+Certificate MembershipService::enroll(const crypto::PublicKey& subject,
+                                      std::string org, std::string role) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.org = std::move(org);
+  cert.role = std::move(role);
+  cert.ca_signature = ca_.sign(cert.digest());
+  ++issued_;
+  return cert;
+}
+
+void MembershipService::revoke(const crypto::PublicKey& subject) {
+  revoked_.insert(subject);
+}
+
+bool MembershipService::validate(const Certificate& cert) const {
+  if (revoked_.count(cert.subject) > 0) return false;
+  return crypto::KeyAuthority::global().verify(ca_.public_key(),
+                                               cert.digest(),
+                                               cert.ca_signature);
+}
+
+}  // namespace decentnet::fabric

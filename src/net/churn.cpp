@@ -1,0 +1,72 @@
+#include "net/churn.hpp"
+
+#include <cmath>
+
+namespace decentnet::net {
+
+sim::SimDuration DurationDist::sample(sim::Rng& rng) const {
+  double secs = 0;
+  switch (kind) {
+    case Kind::Constant:
+      secs = a;
+      break;
+    case Kind::Exponential:
+      secs = rng.exponential(1.0 / a);
+      break;
+    case Kind::Pareto:
+      secs = rng.pareto(a, b);
+      break;
+    case Kind::Weibull:
+      secs = rng.weibull(a, b);
+      break;
+    case Kind::LogNormal:
+      secs = rng.lognormal(std::log(a), b);
+      break;
+  }
+  return sim::seconds(secs);
+}
+
+ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t n,
+                         ChurnConfig config, Hook go_online, Hook go_offline)
+    : sim_(sim),
+      config_(config),
+      go_online_(std::move(go_online)),
+      go_offline_(std::move(go_offline)),
+      rng_(sim.rng().fork(0xC4324E)),
+      online_(n, false) {}
+
+void ChurnDriver::start() {
+  for (std::size_t i = 0; i < online_.size(); ++i) {
+    if (rng_.chance(config_.initially_online)) {
+      online_[i] = true;
+      ++online_count_;
+      go_online_(i);
+    }
+    schedule_next(i);
+  }
+}
+
+void ChurnDriver::stop() { stopped_ = true; }
+
+void ChurnDriver::schedule_next(std::size_t peer_index) {
+  const DurationDist& dist =
+      online_[peer_index] ? config_.session : config_.downtime;
+  sim_.schedule(dist.sample(rng_), [this, peer_index] {
+    if (!stopped_) transition(peer_index);
+  });
+}
+
+void ChurnDriver::transition(std::size_t peer_index) {
+  if (online_[peer_index]) {
+    online_[peer_index] = false;
+    --online_count_;
+    go_offline_(peer_index);
+  } else {
+    online_[peer_index] = true;
+    ++online_count_;
+    go_online_(peer_index);
+  }
+  schedule_next(peer_index);
+}
+
+}  // namespace decentnet::net

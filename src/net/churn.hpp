@@ -1,0 +1,88 @@
+// Churn: the arrival/departure process of open-membership peers.
+//
+// The paper's Problem 2 ("instability, heterogeneity and churn") is driven by
+// measured session-time distributions from file-sharing networks, which are
+// heavy-tailed: most sessions are minutes, a few last days. The driver
+// alternates online sessions and offline gaps per peer and invokes the
+// protocol's join/leave hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::net {
+
+/// Distribution over durations, used for both session and downtime lengths.
+struct DurationDist {
+  enum class Kind { Constant, Exponential, Pareto, Weibull, LogNormal };
+
+  Kind kind = Kind::Exponential;
+  double a = 0;  // Constant: value(s). Exponential: mean(s). Pareto: x_m(s).
+                 // Weibull: scale(s). LogNormal: median(s).
+  double b = 0;  // Pareto: alpha. Weibull: shape. LogNormal: sigma.
+
+  sim::SimDuration sample(sim::Rng& rng) const;
+
+  static DurationDist constant(double secs) {
+    return {Kind::Constant, secs, 0};
+  }
+  static DurationDist exponential_mean(double secs) {
+    return {Kind::Exponential, secs, 0};
+  }
+  static DurationDist pareto(double x_m_secs, double alpha) {
+    return {Kind::Pareto, x_m_secs, alpha};
+  }
+  static DurationDist weibull(double scale_secs, double shape) {
+    return {Kind::Weibull, scale_secs, shape};
+  }
+  static DurationDist lognormal(double median_secs, double sigma) {
+    return {Kind::LogNormal, median_secs, sigma};
+  }
+};
+
+struct ChurnConfig {
+  DurationDist session = DurationDist::weibull(3600, 0.6);  // heavy-tailed
+  DurationDist downtime = DurationDist::exponential_mean(1800);
+  /// Fraction of peers online at t=0 (the rest start offline).
+  double initially_online = 1.0;
+};
+
+/// Drives churn for a population of peers identified by dense indices
+/// [0, n). The protocol supplies go_online/go_offline callbacks; the driver
+/// owns the schedule.
+class ChurnDriver {
+ public:
+  using Hook = std::function<void(std::size_t peer_index)>;
+
+  ChurnDriver(sim::Simulator& sim, std::size_t n, ChurnConfig config,
+              Hook go_online, Hook go_offline);
+
+  /// Start the alternating session/downtime schedule for every peer.
+  void start();
+
+  /// Stop scheduling further transitions (in-flight states remain).
+  void stop();
+
+  bool is_online(std::size_t peer_index) const { return online_[peer_index]; }
+  std::size_t online_count() const { return online_count_; }
+
+ private:
+  void schedule_next(std::size_t peer_index);
+  void transition(std::size_t peer_index);
+
+  sim::Simulator& sim_;
+  ChurnConfig config_;
+  Hook go_online_;
+  Hook go_offline_;
+  sim::Rng rng_;
+  std::vector<bool> online_;
+  std::size_t online_count_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace decentnet::net

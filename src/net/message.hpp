@@ -1,0 +1,57 @@
+// Type-erased protocol messages.
+//
+// Every protocol defines plain structs for its wire messages; Network carries
+// them as shared immutable payloads tagged with their type. payload_as<T>()
+// recovers the typed view at the receiver, failing loudly on a type mismatch
+// (which would be a protocol bug, not a runtime condition).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <utility>
+
+#include "net/node_id.hpp"
+
+namespace decentnet::net {
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::type_index type = std::type_index(typeid(void));
+  std::shared_ptr<const void> payload;
+  std::size_t size_bytes = 0;
+
+  template <typename T>
+  bool is() const {
+    return type == std::type_index(typeid(T));
+  }
+};
+
+template <typename T, typename... Args>
+Message make_message(NodeId from, NodeId to, std::size_t size_bytes,
+                     Args&&... args) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = std::type_index(typeid(T));
+  m.payload = std::make_shared<const T>(std::forward<Args>(args)...);
+  m.size_bytes = size_bytes;
+  return m;
+}
+
+template <typename T>
+const T& payload_as(const Message& m) {
+  assert(m.is<T>() && "message payload type mismatch");
+  return *static_cast<const T*>(m.payload.get());
+}
+
+/// Anything that can be attached to a Network and receive messages.
+class Host {
+ public:
+  virtual ~Host() = default;
+  virtual void handle_message(const Message& msg) = 0;
+};
+
+}  // namespace decentnet::net

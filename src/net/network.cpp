@@ -1,0 +1,105 @@
+#include "net/network.hpp"
+
+namespace decentnet::net {
+
+Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
+                 NetworkConfig config)
+    : sim_(sim),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(sim.rng().fork(0x4E457457u)) {}
+
+void Network::attach(NodeId id, Host* host) {
+  hosts_[id] = host;
+  link(id);  // materialize link state with defaults
+}
+
+void Network::detach(NodeId id) { hosts_.erase(id); }
+
+void Network::set_bandwidth(NodeId id, double uplink_bps,
+                            double downlink_bps) {
+  LinkState& l = link(id);
+  l.uplink_bps = uplink_bps;
+  l.downlink_bps = downlink_bps;
+}
+
+void Network::set_partition(std::unordered_set<std::uint64_t> group_a) {
+  partition_ = std::move(group_a);
+}
+
+void Network::set_unreachable(NodeId id, bool unreachable) {
+  if (unreachable) {
+    unreachable_.insert(id.value);
+  } else {
+    unreachable_.erase(id.value);
+  }
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  if (partition_.empty()) return false;
+  const bool a_in = partition_.count(a.value) > 0;
+  const bool b_in = partition_.count(b.value) > 0;
+  return a_in != b_in;
+}
+
+Network::LinkState& Network::link(NodeId id) {
+  auto [it, inserted] = links_.try_emplace(
+      id, LinkState{config_.default_uplink_bps, config_.default_downlink_bps,
+                    0, 0});
+  return it->second;
+}
+
+void Network::deliver(Message msg) {
+  ++messages_sent_;
+  bytes_sent_ += msg.size_bytes;
+  metrics_.counter("net.messages").add();
+  metrics_.counter("net.bytes").add(msg.size_bytes);
+
+  if (partitioned(msg.from, msg.to)) {
+    metrics_.counter("net.dropped.partition").add();
+    return;
+  }
+  if (!unreachable_.empty() && unreachable_.count(msg.to.value) > 0) {
+    metrics_.counter("net.dropped.unreachable").add();
+    return;
+  }
+  if (config_.drop_probability > 0 && rng_.chance(config_.drop_probability)) {
+    metrics_.counter("net.dropped.loss").add();
+    return;
+  }
+
+  sim::SimTime depart = sim_.now();
+  if (config_.model_bandwidth && msg.size_bytes > 0) {
+    LinkState& tx = link(msg.from);
+    const auto ser = static_cast<sim::SimDuration>(
+        static_cast<double>(msg.size_bytes) / tx.uplink_bps *
+        static_cast<double>(sim::kSecond));
+    const sim::SimTime start = std::max(sim_.now(), tx.tx_free_at);
+    tx.tx_free_at = start + ser;
+    depart = tx.tx_free_at;
+  }
+
+  const sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
+  sim::SimTime arrive = depart + prop;
+
+  if (config_.model_bandwidth && msg.size_bytes > 0) {
+    LinkState& rx = link(msg.to);
+    const auto ser = static_cast<sim::SimDuration>(
+        static_cast<double>(msg.size_bytes) / rx.downlink_bps *
+        static_cast<double>(sim::kSecond));
+    const sim::SimTime start = std::max(arrive, rx.rx_free_at);
+    rx.rx_free_at = start + ser;
+    arrive = rx.rx_free_at;
+  }
+
+  sim_.schedule_at(arrive, [this, msg = std::move(msg)] {
+    const auto it = hosts_.find(msg.to);
+    if (it == hosts_.end()) {
+      metrics_.counter("net.dropped.offline").add();
+      return;
+    }
+    it->second->handle_message(msg);
+  });
+}
+
+}  // namespace decentnet::net

@@ -1,0 +1,35 @@
+// Network-level node addressing. Overlay-level identifiers (Chord points,
+// Kademlia 256-bit ids) are derived from these by hashing, mirroring the
+// IP-address / overlay-id split in real deployments.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace decentnet::net {
+
+struct NodeId {
+  std::uint64_t value = 0;
+
+  auto operator<=>(const NodeId&) const = default;
+
+  bool valid() const { return value != 0; }
+
+  std::string str() const { return "n" + std::to_string(value); }
+
+  static constexpr NodeId invalid() { return NodeId{0}; }
+};
+
+struct NodeIdHasher {
+  std::size_t operator()(const NodeId& id) const {
+    // splitmix64 finalizer: NodeIds are sequential, so mix before bucketing.
+    std::uint64_t z = id.value + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace decentnet::net

@@ -1,0 +1,166 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace decentnet::net {
+
+namespace {
+
+void add_edge(AdjacencyList& adj, std::size_t a, std::size_t b) {
+  adj[a].push_back(b);
+  adj[b].push_back(a);
+}
+
+bool has_edge(const AdjacencyList& adj, std::size_t a, std::size_t b) {
+  const auto& smaller = adj[a].size() <= adj[b].size() ? adj[a] : adj[b];
+  const std::size_t other = adj[a].size() <= adj[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+}  // namespace
+
+AdjacencyList random_graph(std::size_t n, std::size_t degree, sim::Rng& rng) {
+  AdjacencyList adj(n);
+  if (n < 2) return adj;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t attempts = 0;
+    std::size_t added = 0;
+    while (added < degree && attempts < degree * 20) {
+      ++attempts;
+      const std::size_t j = rng.uniform_int(n);
+      if (j == i || has_edge(adj, i, j)) continue;
+      add_edge(adj, i, j);
+      ++added;
+    }
+  }
+  return adj;
+}
+
+AdjacencyList erdos_renyi(std::size_t n, double p, sim::Rng& rng) {
+  AdjacencyList adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.chance(p)) add_edge(adj, i, j);
+    }
+  }
+  return adj;
+}
+
+AdjacencyList watts_strogatz(std::size_t n, std::size_t k, double beta,
+                             sim::Rng& rng) {
+  AdjacencyList adj(n);
+  if (n < 2) return adj;
+  // Ring lattice.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      add_edge(adj, i, (i + d) % n);
+    }
+  }
+  // Rewire forward edges with probability beta.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      if (!rng.chance(beta)) continue;
+      const std::size_t old = (i + d) % n;
+      std::size_t candidate = rng.uniform_int(n);
+      std::size_t tries = 0;
+      while ((candidate == i || has_edge(adj, i, candidate)) && tries++ < 20) {
+        candidate = rng.uniform_int(n);
+      }
+      if (candidate == i || has_edge(adj, i, candidate)) continue;
+      // Remove edge i<->old, add i<->candidate.
+      auto erase_one = [](std::vector<std::size_t>& v, std::size_t x) {
+        const auto it = std::find(v.begin(), v.end(), x);
+        if (it != v.end()) v.erase(it);
+      };
+      erase_one(adj[i], old);
+      erase_one(adj[old], i);
+      add_edge(adj, i, candidate);
+    }
+  }
+  return adj;
+}
+
+AdjacencyList barabasi_albert(std::size_t n, std::size_t m, sim::Rng& rng) {
+  AdjacencyList adj(n);
+  if (n == 0) return adj;
+  const std::size_t seed_size = std::min(n, std::max<std::size_t>(m, 2));
+  // Seed: small clique.
+  for (std::size_t i = 0; i < seed_size; ++i) {
+    for (std::size_t j = i + 1; j < seed_size; ++j) add_edge(adj, i, j);
+  }
+  // Degree-proportional sampling via the repeated-endpoints trick.
+  std::vector<std::size_t> endpoints;
+  for (std::size_t i = 0; i < seed_size; ++i) {
+    endpoints.insert(endpoints.end(), adj[i].size(), i);
+  }
+  for (std::size_t i = seed_size; i < n; ++i) {
+    std::unordered_set<std::size_t> targets;
+    std::size_t tries = 0;
+    while (targets.size() < std::min(m, i) && tries++ < m * 50) {
+      const std::size_t t = endpoints[rng.uniform_int(endpoints.size())];
+      if (t != i) targets.insert(t);
+    }
+    for (std::size_t t : targets) {
+      add_edge(adj, i, t);
+      endpoints.push_back(i);
+      endpoints.push_back(t);
+    }
+  }
+  return adj;
+}
+
+bool is_connected(const AdjacencyList& adj) {
+  if (adj.empty()) return true;
+  std::vector<bool> seen(adj.size(), false);
+  std::deque<std::size_t> queue{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited == adj.size();
+}
+
+double mean_path_length(const AdjacencyList& adj, std::size_t samples,
+                        sim::Rng& rng) {
+  if (adj.size() < 2) return 0;
+  double total = 0;
+  std::uint64_t pairs = 0;
+  const std::size_t n_sources = std::min(samples, adj.size());
+  for (std::size_t s = 0; s < n_sources; ++s) {
+    const std::size_t src =
+        samples >= adj.size() ? s : rng.uniform_int(adj.size());
+    std::vector<int> dist(adj.size(), -1);
+    std::deque<std::size_t> queue{src};
+    dist[src] = 0;
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (std::size_t v : adj[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < adj.size(); ++v) {
+      if (v != src && dist[v] > 0) {
+        total += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace decentnet::net

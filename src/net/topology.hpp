@@ -1,0 +1,39 @@
+// Graph topology generators for unstructured overlays and blockchain gossip
+// meshes. All return symmetric adjacency lists over dense indices [0, n).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::net {
+
+using AdjacencyList = std::vector<std::vector<std::size_t>>;
+
+/// Each node gets `degree` random distinct neighbors (union of out-picks, so
+/// realized degree is ~2*degree before dedup); the classic P2P "connect to k
+/// random peers" bootstrap. Guarantees no self-loops or duplicate edges.
+AdjacencyList random_graph(std::size_t n, std::size_t degree, sim::Rng& rng);
+
+/// Erdős–Rényi G(n, p).
+AdjacencyList erdos_renyi(std::size_t n, double p, sim::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.
+AdjacencyList watts_strogatz(std::size_t n, std::size_t k, double beta,
+                             sim::Rng& rng);
+
+/// Barabási–Albert preferential attachment with m edges per new node:
+/// produces the power-law degree distributions observed in real overlays.
+AdjacencyList barabasi_albert(std::size_t n, std::size_t m, sim::Rng& rng);
+
+/// True if the graph is a single connected component.
+bool is_connected(const AdjacencyList& adj);
+
+/// Mean shortest-path length from a BFS sample of `samples` sources
+/// (exact when samples >= n). Unreachable pairs are skipped.
+double mean_path_length(const AdjacencyList& adj, std::size_t samples,
+                        sim::Rng& rng);
+
+}  // namespace decentnet::net

@@ -1,0 +1,362 @@
+#include "overlay/chord.hpp"
+
+#include <algorithm>
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::overlay {
+
+using chord_msg::GetState;
+using chord_msg::GetStateReply;
+using chord_msg::Notify;
+using chord_msg::Step;
+using chord_msg::StepReply;
+
+namespace {
+ChordId default_id(net::NodeId addr) {
+  crypto::ByteWriter w;
+  w.str("chord-node").u64(addr.value);
+  return w.sha256().prefix64();
+}
+}  // namespace
+
+ChordNode::ChordNode(net::Network& net, net::NodeId addr, ChordConfig config,
+                     std::optional<ChordId> id)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      id_(id ? *id : default_id(addr)),
+      config_(config),
+      fingers_(64, ChordContact{}) {}
+
+ChordNode::~ChordNode() {
+  if (online_) leave();
+}
+
+void ChordNode::create() {
+  net_.attach(addr_, this);
+  online_ = true;
+  pred_.reset();
+  successors_.assign(1, self());
+  std::fill(fingers_.begin(), fingers_.end(), self());
+  start_maintenance();
+}
+
+void ChordNode::join(const ChordContact& bootstrap) {
+  net_.attach(addr_, this);
+  online_ = true;
+  pred_.reset();
+  successors_.assign(1, bootstrap);  // provisional; refined by the lookup
+  std::fill(fingers_.begin(), fingers_.end(), bootstrap);
+  // Resolve our true successor through the bootstrap node.
+  lookup(id_, [this](ChordLookupResult r) {
+    if (r.ok && online_ && r.successor.addr != addr_) {
+      successors_.front() = r.successor;
+    }
+  });
+  start_maintenance();
+}
+
+void ChordNode::leave() {
+  online_ = false;
+  for (auto& t : timers_) t.cancel();
+  timers_.clear();
+  net_.detach(addr_);
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [nonce, rpc] : pending) {
+    rpc.timeout.cancel();
+    rpc.on_done(false, nullptr);
+  }
+}
+
+void ChordNode::start_maintenance() {
+  timers_.push_back(sim_.schedule_periodic(
+      config_.stabilize_interval / 2, config_.stabilize_interval,
+      [this] { stabilize(); }));
+  timers_.push_back(sim_.schedule_periodic(
+      config_.fix_fingers_interval, config_.fix_fingers_interval,
+      [this] { fix_fingers(); }));
+  timers_.push_back(sim_.schedule_periodic(
+      config_.check_predecessor_interval, config_.check_predecessor_interval,
+      [this] { check_predecessor(); }));
+}
+
+ChordContact ChordNode::closest_preceding(ChordId key) const {
+  for (auto it = fingers_.rbegin(); it != fingers_.rend(); ++it) {
+    if (it->addr.valid() && it->addr != addr_ &&
+        in_interval_oo(it->id, id_, key)) {
+      return *it;
+    }
+  }
+  // Fall back to the successor list.
+  for (auto it = successors_.rbegin(); it != successors_.rend(); ++it) {
+    if (it->addr.valid() && it->addr != addr_ &&
+        in_interval_oo(it->id, id_, key)) {
+      return *it;
+    }
+  }
+  return self();
+}
+
+void ChordNode::advance_successor() {
+  if (successors_.size() > 1) {
+    successors_.erase(successors_.begin());
+  } else {
+    successors_.assign(1, self());  // alone again
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPC plumbing
+// ---------------------------------------------------------------------------
+
+std::uint64_t ChordNode::register_pending(RpcCallback cb) {
+  const std::uint64_t nonce = next_nonce_++;
+  PendingRpc rpc;
+  rpc.on_done = std::move(cb);
+  rpc.timeout = sim_.schedule(config_.rpc_timeout, [this, nonce] {
+    auto it = pending_.find(nonce);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.on_done);
+    pending_.erase(it);
+    done(false, nullptr);
+  });
+  pending_.emplace(nonce, std::move(rpc));
+  return nonce;
+}
+
+void ChordNode::resolve_pending(std::uint64_t nonce,
+                                const net::Message* reply) {
+  const auto it = pending_.find(nonce);
+  if (it == pending_.end()) return;
+  auto done = std::move(it->second.on_done);
+  it->second.timeout.cancel();
+  pending_.erase(it);
+  done(true, reply);
+}
+
+void ChordNode::rpc_step(const ChordContact& to, ChordId key, RpcCallback cb) {
+  if (!online_) {
+    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    return;
+  }
+  const std::uint64_t nonce = register_pending(std::move(cb));
+  net_.send(addr_, to.addr, Step{key, nonce, self()}, config_.message_bytes);
+}
+
+void ChordNode::rpc_get_state(const ChordContact& to, RpcCallback cb) {
+  if (!online_) {
+    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    return;
+  }
+  const std::uint64_t nonce = register_pending(std::move(cb));
+  net_.send(addr_, to.addr, GetState{nonce, self()}, config_.message_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
+
+void ChordNode::lookup(ChordId key, LookupCallback cb) {
+  // Answer locally when we already own the key.
+  if (in_interval_oc(key, pred_ ? pred_->id : id_, id_) && pred_) {
+    ChordLookupResult r;
+    r.ok = true;
+    r.successor = self();
+    cb(std::move(r));
+    return;
+  }
+  if (in_interval_oc(key, id_, successor().id)) {
+    ChordLookupResult r;
+    r.ok = true;
+    r.successor = successor();
+    cb(std::move(r));
+    return;
+  }
+  auto state = std::make_shared<LookupState>();
+  state->key = key;
+  state->cb = std::move(cb);
+  state->current = closest_preceding(key);
+  state->started = sim_.now();
+  if (state->current.addr == addr_) {
+    // No better hop known: our successor is the best guess.
+    ChordLookupResult r;
+    r.ok = true;
+    r.successor = successor();
+    r.elapsed = 0;
+    state->cb(std::move(r));
+    return;
+  }
+
+  // Iterative hop loop implemented with a self-referencing continuation.
+  auto hop = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_hop = hop;
+  *hop = [this, state, weak_hop] {
+    auto strong = weak_hop.lock();
+    ++state->hops;
+    if (state->hops > config_.max_lookup_hops) {
+      ChordLookupResult r;
+      r.hops = state->hops;
+      r.timeouts = state->timeouts;
+      r.elapsed = sim_.now() - state->started;
+      state->cb(std::move(r));
+      return;
+    }
+    rpc_step(state->current, state->key,
+             [this, state, strong](bool ok, const net::Message* reply) {
+               if (!ok) {
+                 ++state->timeouts;
+                 ChordLookupResult r;
+                 r.hops = state->hops;
+                 r.timeouts = state->timeouts;
+                 r.elapsed = sim_.now() - state->started;
+                 state->cb(std::move(r));
+                 return;
+               }
+               const auto& sr = net::payload_as<StepReply>(*reply);
+               if (sr.done) {
+                 ChordLookupResult r;
+                 r.ok = true;
+                 r.successor = sr.node;
+                 r.hops = state->hops;
+                 r.timeouts = state->timeouts;
+                 r.elapsed = sim_.now() - state->started;
+                 state->cb(std::move(r));
+                 return;
+               }
+               if (sr.node.addr == state->current.addr) {
+                 // Stuck: remote has no better hop; treat its answer as final.
+                 ChordLookupResult r;
+                 r.ok = true;
+                 r.successor = sr.node;
+                 r.hops = state->hops;
+                 r.timeouts = state->timeouts;
+                 r.elapsed = sim_.now() - state->started;
+                 state->cb(std::move(r));
+                 return;
+               }
+               state->current = sr.node;
+               if (strong) (*strong)();
+             });
+  };
+  (*hop)();
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void ChordNode::stabilize() {
+  if (!online_) return;
+  const ChordContact succ = successor();
+  if (succ.addr == addr_) {
+    // Successor is ourselves. If someone has notified us (we have a
+    // predecessor), adopt it as a successor candidate so stabilization can
+    // walk the ring back into shape; a truly lone node stays put.
+    if (pred_ && pred_->addr != addr_) {
+      successors_.front() = *pred_;
+    }
+    return;
+  }
+  rpc_get_state(succ, [this, succ](bool ok, const net::Message* reply) {
+    if (!online_) return;
+    if (!ok) {
+      if (!successors_.empty() && successors_.front() == succ) {
+        advance_successor();
+      }
+      return;
+    }
+    const auto& r = net::payload_as<GetStateReply>(*reply);
+    if (successors_.empty() || !(successors_.front() == succ)) return;
+    if (r.has_pred && in_interval_oo(r.pred.id, id_, succ.id) &&
+        r.pred.addr != addr_) {
+      successors_.front() = r.pred;
+    }
+    // Adopt successor's list, shifted behind our own successor.
+    std::vector<ChordContact> fresh;
+    fresh.push_back(successors_.front());
+    for (const ChordContact& c : r.successors) {
+      if (fresh.size() >= config_.successor_list_size) break;
+      if (c.addr != addr_ &&
+          std::find(fresh.begin(), fresh.end(), c) == fresh.end()) {
+        fresh.push_back(c);
+      }
+    }
+    successors_ = std::move(fresh);
+    net_.send(addr_, successors_.front().addr, Notify{self()},
+              config_.message_bytes);
+  });
+}
+
+void ChordNode::fix_fingers() {
+  if (!online_) return;
+  next_finger_ = (next_finger_ + 1) % 64;
+  const ChordId start = id_ + (1ull << next_finger_);
+  const std::size_t idx = next_finger_;
+  lookup(start, [this, idx](ChordLookupResult r) {
+    if (r.ok && online_) fingers_[idx] = r.successor;
+  });
+}
+
+void ChordNode::check_predecessor() {
+  if (!online_ || !pred_) return;
+  const ChordContact p = *pred_;
+  rpc_get_state(p, [this, p](bool ok, const net::Message*) {
+    if (!ok && pred_ && pred_->addr == p.addr) pred_.reset();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void ChordNode::handle_message(const net::Message& msg) {
+  if (msg.is<Step>()) {
+    const auto& req = net::payload_as<Step>(msg);
+    StepReply reply;
+    reply.nonce = req.nonce;
+    if (in_interval_oc(req.key, id_, successor().id)) {
+      reply.done = true;
+      reply.node = successor();
+    } else {
+      reply.done = false;
+      reply.node = closest_preceding(req.key);
+      if (reply.node.addr == addr_) {
+        // We are the best predecessor we know; hand out our successor.
+        reply.done = true;
+        reply.node = successor();
+      }
+    }
+    net_.send(addr_, msg.from, std::move(reply), config_.message_bytes);
+    return;
+  }
+  if (msg.is<StepReply>()) {
+    resolve_pending(net::payload_as<StepReply>(msg).nonce, &msg);
+    return;
+  }
+  if (msg.is<GetState>()) {
+    const auto& req = net::payload_as<GetState>(msg);
+    GetStateReply reply;
+    reply.nonce = req.nonce;
+    reply.has_pred = pred_.has_value();
+    if (pred_) reply.pred = *pred_;
+    reply.successors = successors_;
+    const std::size_t bytes = 40 + 16 * reply.successors.size();
+    net_.send(addr_, msg.from, std::move(reply), bytes);
+    return;
+  }
+  if (msg.is<GetStateReply>()) {
+    resolve_pending(net::payload_as<GetStateReply>(msg).nonce, &msg);
+    return;
+  }
+  if (msg.is<Notify>()) {
+    const auto& n = net::payload_as<Notify>(msg);
+    if (!pred_ || in_interval_oo(n.candidate.id, pred_->id, id_)) {
+      pred_ = n.candidate;
+    }
+    return;
+  }
+}
+
+}  // namespace decentnet::overlay

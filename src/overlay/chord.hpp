@@ -1,0 +1,167 @@
+// Chord structured overlay (Stoica et al., SIGCOMM 2001).
+//
+// 64-bit identifier ring, finger tables, successor lists and the classic
+// stabilize / fix_fingers / check_predecessor maintenance loop. Lookups are
+// iterative: the initiator walks the ring one hop at a time, so hop counts
+// and per-hop latency are measured exactly — this is the multi-hop cost that
+// one-hop overlays (E4) trade maintenance bandwidth against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace decentnet::overlay {
+
+/// Position on the 2^64 ring.
+using ChordId = std::uint64_t;
+
+/// True if x is in the half-open ring interval (a, b].
+constexpr bool in_interval_oc(ChordId x, ChordId a, ChordId b) {
+  if (a == b) return true;  // full circle
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+
+/// True if x is in the open ring interval (a, b).
+constexpr bool in_interval_oo(ChordId x, ChordId a, ChordId b) {
+  if (a == b) return x != a;  // full circle
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+struct ChordContact {
+  ChordId id = 0;
+  net::NodeId addr;
+  bool operator==(const ChordContact& o) const { return addr == o.addr; }
+};
+
+struct ChordConfig {
+  std::size_t successor_list_size = 8;
+  sim::SimDuration stabilize_interval = sim::seconds(15);
+  sim::SimDuration fix_fingers_interval = sim::seconds(30);
+  sim::SimDuration check_predecessor_interval = sim::seconds(30);
+  sim::SimDuration rpc_timeout = sim::seconds(2);
+  std::size_t message_bytes = 80;
+  std::size_t max_lookup_hops = 128;
+};
+
+struct ChordLookupResult {
+  bool ok = false;
+  ChordContact successor;  // node responsible for the key
+  std::size_t hops = 0;
+  std::size_t timeouts = 0;
+  sim::SimDuration elapsed = 0;
+};
+
+class ChordNode final : public net::Host {
+ public:
+  using LookupCallback = std::function<void(ChordLookupResult)>;
+
+  ChordNode(net::Network& net, net::NodeId addr, ChordConfig config,
+            std::optional<ChordId> id = std::nullopt);
+  ~ChordNode() override;
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  ChordId id() const { return id_; }
+  net::NodeId addr() const { return addr_; }
+  ChordContact self() const { return {id_, addr_}; }
+  bool online() const { return online_; }
+
+  /// First node: create a ring. Otherwise join via `bootstrap`.
+  void create();
+  void join(const ChordContact& bootstrap);
+  void leave();
+
+  /// Resolve the node responsible for `key` (iterative).
+  void lookup(ChordId key, LookupCallback cb);
+
+  const std::optional<ChordContact>& predecessor() const { return pred_; }
+  const ChordContact& successor() const { return successors_.front(); }
+  const std::vector<ChordContact>& successor_list() const {
+    return successors_;
+  }
+  const std::vector<ChordContact>& fingers() const { return fingers_; }
+
+  void handle_message(const net::Message& msg) override;
+
+ private:
+  struct PendingRpc {
+    std::function<void(bool, const net::Message*)> on_done;
+    sim::EventHandle timeout;
+  };
+
+  void start_maintenance();
+  void stabilize();
+  void fix_fingers();
+  void check_predecessor();
+  ChordContact closest_preceding(ChordId key) const;
+  void advance_successor();
+
+  using RpcCallback = std::function<void(bool, const net::Message*)>;
+  std::uint64_t register_pending(RpcCallback cb);
+  void resolve_pending(std::uint64_t nonce, const net::Message* reply);
+  void rpc_step(const ChordContact& to, ChordId key, RpcCallback cb);
+  void rpc_get_state(const ChordContact& to, RpcCallback cb);
+
+  struct LookupState {
+    ChordId key;
+    LookupCallback cb;
+    ChordContact current;
+    std::size_t hops = 0;
+    std::size_t timeouts = 0;
+    sim::SimTime started = 0;
+  };
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId addr_;
+  ChordId id_;
+  ChordConfig config_;
+  bool online_ = false;
+  std::optional<ChordContact> pred_;
+  std::vector<ChordContact> successors_;  // [0] is the live successor
+  std::vector<ChordContact> fingers_;     // 64 entries
+  std::size_t next_finger_ = 0;
+  std::unordered_map<std::uint64_t, PendingRpc> pending_;
+  std::uint64_t next_nonce_ = 1;
+  std::vector<sim::EventHandle> timers_;
+};
+
+namespace chord_msg {
+/// "Find the next hop (or final successor) for key."
+struct Step {
+  ChordId key;
+  std::uint64_t nonce;
+  ChordContact sender;
+};
+struct StepReply {
+  std::uint64_t nonce;
+  bool done;            // true: `node` is the successor of key
+  ChordContact node;    // next hop or final answer
+};
+/// "Tell me your predecessor and successor list" (stabilize).
+struct GetState {
+  std::uint64_t nonce;
+  ChordContact sender;
+};
+struct GetStateReply {
+  std::uint64_t nonce;
+  bool has_pred;
+  ChordContact pred;
+  std::vector<ChordContact> successors;
+};
+struct Notify {
+  ChordContact candidate;
+};
+}  // namespace chord_msg
+
+}  // namespace decentnet::overlay

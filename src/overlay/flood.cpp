@@ -1,0 +1,128 @@
+#include "overlay/flood.hpp"
+
+#include <algorithm>
+
+namespace decentnet::overlay {
+
+using flood_msg::Query;
+using flood_msg::QueryHit;
+
+GnutellaNode::GnutellaNode(net::Network& net, net::NodeId addr,
+                           FloodConfig config)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      config_(config),
+      next_qid_base_(addr.value << 24) {}
+
+GnutellaNode::~GnutellaNode() {
+  if (online_) leave();
+}
+
+void GnutellaNode::join(std::vector<net::NodeId> neighbors) {
+  net_.attach(addr_, this);
+  online_ = true;
+  neighbors_ = std::move(neighbors);
+}
+
+void GnutellaNode::leave() {
+  online_ = false;
+  net_.detach(addr_);
+  for (auto& [qid, q] : own_queries_) q.deadline.cancel();
+  own_queries_.clear();
+}
+
+void GnutellaNode::add_neighbor(net::NodeId n) {
+  if (n != addr_ &&
+      std::find(neighbors_.begin(), neighbors_.end(), n) == neighbors_.end()) {
+    neighbors_.push_back(n);
+  }
+}
+
+void GnutellaNode::remove_neighbor(net::NodeId n) {
+  const auto it = std::find(neighbors_.begin(), neighbors_.end(), n);
+  if (it != neighbors_.end()) neighbors_.erase(it);
+}
+
+void GnutellaNode::query(ContentId item, QueryCallback cb) {
+  const std::uint64_t qid = ++next_qid_base_;
+  // Local hit short-circuits.
+  if (content_.count(item) > 0) {
+    QueryOutcome out;
+    out.found = true;
+    out.provider = addr_;
+    cb(std::move(out));
+    return;
+  }
+  ActiveQuery q;
+  q.cb = std::move(cb);
+  q.started = sim_.now();
+  q.deadline = sim_.schedule(config_.query_deadline, [this, qid] {
+    const auto it = own_queries_.find(qid);
+    if (it == own_queries_.end()) return;
+    auto cb = std::move(it->second.cb);
+    const sim::SimTime started = it->second.started;
+    own_queries_.erase(it);
+    QueryOutcome out;
+    out.found = false;
+    out.elapsed = sim_.now() - started;
+    cb(std::move(out));
+  });
+  own_queries_.emplace(qid, std::move(q));
+  seen_queries_[qid] = net::NodeId::invalid();  // we are the origin
+  forward_query(item, qid, config_.default_ttl, 0, net::NodeId::invalid());
+}
+
+void GnutellaNode::forward_query(ContentId item, std::uint64_t qid,
+                                 std::uint32_t ttl, std::uint32_t hops,
+                                 net::NodeId origin_hop) {
+  if (ttl == 0) return;
+  for (net::NodeId n : neighbors_) {
+    if (n == origin_hop) continue;
+    net_.send(addr_, n, Query{item, qid, ttl, hops}, config_.query_bytes);
+  }
+}
+
+void GnutellaNode::handle_message(const net::Message& msg) {
+  if (msg.is<Query>()) {
+    const auto& q = net::payload_as<Query>(msg);
+    // Dedup: first arrival wins and defines the reverse path.
+    if (!seen_queries_.emplace(q.qid, msg.from).second) return;
+    const std::uint32_t hops = q.hops + 1;
+    bool hit = false;
+    if (content_.count(q.item) > 0) {
+      hit = true;
+      net_.send(addr_, msg.from, QueryHit{q.item, q.qid, addr_, hops},
+                config_.query_bytes);
+    }
+    if ((!hit || config_.forward_after_hit) && q.ttl > 1) {
+      forward_query(q.item, q.qid, q.ttl - 1, hops, msg.from);
+    }
+    return;
+  }
+  if (msg.is<QueryHit>()) {
+    const auto& h = net::payload_as<QueryHit>(msg);
+    const auto own = own_queries_.find(h.qid);
+    if (own != own_queries_.end()) {
+      auto cb = std::move(own->second.cb);
+      own->second.deadline.cancel();
+      const sim::SimTime started = own->second.started;
+      own_queries_.erase(own);
+      QueryOutcome out;
+      out.found = true;
+      out.provider = h.provider;
+      out.hops = h.hops;
+      out.elapsed = sim_.now() - started;
+      cb(std::move(out));
+      return;
+    }
+    // Route back along the reverse path.
+    const auto it = seen_queries_.find(h.qid);
+    if (it != seen_queries_.end() && it->second.valid()) {
+      net_.send(addr_, it->second, h, config_.query_bytes);
+    }
+    return;
+  }
+}
+
+}  // namespace decentnet::overlay

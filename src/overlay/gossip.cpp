@@ -1,0 +1,155 @@
+#include "overlay/gossip.hpp"
+
+#include <algorithm>
+
+namespace decentnet::overlay {
+
+using gossip_msg::Rumor;
+using gossip_msg::ShuffleReply;
+using gossip_msg::ShuffleRequest;
+
+GossipNode::GossipNode(net::Network& net, net::NodeId addr,
+                       GossipConfig config)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      config_(config),
+      rng_(net.simulator().rng().fork(addr.value ^ 0x60551Bull)) {}
+
+GossipNode::~GossipNode() {
+  if (online_) leave();
+}
+
+void GossipNode::join(const std::vector<net::NodeId>& bootstrap_view) {
+  net_.attach(addr_, this);
+  online_ = true;
+  view_.clear();
+  for (net::NodeId p : bootstrap_view) {
+    if (p != addr_ && view_.size() < config_.view_size) {
+      view_.push_back(ViewEntry{p, 0});
+    }
+  }
+  shuffle_timer_ = sim_.schedule_periodic(
+      sim_.rng().uniform_int(0, config_.shuffle_interval),
+      config_.shuffle_interval, [this] { shuffle(); });
+}
+
+void GossipNode::leave() {
+  online_ = false;
+  shuffle_timer_.cancel();
+  net_.detach(addr_);
+}
+
+std::vector<net::NodeId> GossipNode::view() const {
+  std::vector<net::NodeId> peers;
+  peers.reserve(view_.size());
+  for (const auto& e : view_) peers.push_back(e.peer);
+  return peers;
+}
+
+void GossipNode::shuffle() {
+  if (!online_ || view_.empty()) return;
+  for (auto& e : view_) ++e.age;
+  // Pick the oldest peer (Cyclon): stale descriptors get verified first.
+  auto oldest = std::max_element(
+      view_.begin(), view_.end(),
+      [](const ViewEntry& a, const ViewEntry& b) { return a.age < b.age; });
+  const net::NodeId target = oldest->peer;
+  view_.erase(oldest);  // removed optimistically; reinserted via reply merge
+
+  std::vector<ViewEntry> sample;
+  sample.push_back(ViewEntry{addr_, 0});
+  std::vector<std::size_t> idx(view_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng_.shuffle(idx);
+  for (std::size_t i = 0;
+       i < idx.size() && sample.size() < config_.shuffle_size; ++i) {
+    sample.push_back(view_[idx[i]]);
+  }
+  net_.send(addr_, target, ShuffleRequest{std::move(sample)},
+            config_.message_bytes);
+}
+
+void GossipNode::merge_view(const std::vector<ViewEntry>& incoming) {
+  for (const ViewEntry& e : incoming) {
+    if (e.peer == addr_) continue;
+    const auto it = std::find_if(
+        view_.begin(), view_.end(),
+        [&](const ViewEntry& v) { return v.peer == e.peer; });
+    if (it != view_.end()) {
+      it->age = std::min(it->age, e.age);
+      continue;
+    }
+    if (view_.size() < config_.view_size) {
+      view_.push_back(e);
+    } else {
+      // Replace the oldest entry.
+      auto oldest = std::max_element(
+          view_.begin(), view_.end(),
+          [](const ViewEntry& a, const ViewEntry& b) { return a.age < b.age; });
+      if (oldest->age > e.age) *oldest = e;
+    }
+  }
+}
+
+void GossipNode::broadcast(RumorId rumor, std::size_t payload_bytes) {
+  accept_rumor(rumor, payload_bytes, 0);
+}
+
+void GossipNode::accept_rumor(RumorId rumor, std::size_t payload_bytes,
+                              std::size_t hops) {
+  if (!seen_.insert(rumor).second) {
+    ++duplicates_;
+    return;
+  }
+  if (deliver_) deliver_(rumor, hops);
+  forward_rumor(rumor, payload_bytes, hops, net::NodeId::invalid());
+}
+
+void GossipNode::forward_rumor(RumorId rumor, std::size_t payload_bytes,
+                               std::size_t hops, net::NodeId skip) {
+  if (view_.empty()) return;
+  std::vector<std::size_t> idx(view_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng_.shuffle(idx);
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < idx.size() && sent < config_.fanout; ++i) {
+    const net::NodeId peer = view_[idx[i]].peer;
+    if (peer == skip) continue;
+    net_.send(addr_, peer,
+              Rumor{rumor, payload_bytes, static_cast<std::uint32_t>(hops + 1)},
+              config_.message_bytes + payload_bytes);
+    ++sent;
+  }
+}
+
+void GossipNode::handle_message(const net::Message& msg) {
+  if (msg.is<ShuffleRequest>()) {
+    const auto& req = net::payload_as<ShuffleRequest>(msg);
+    // Reply with our own sample, then merge theirs.
+    std::vector<ViewEntry> sample;
+    sample.push_back(ViewEntry{addr_, 0});
+    std::vector<std::size_t> idx(view_.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng_.shuffle(idx);
+    for (std::size_t i = 0;
+         i < idx.size() && sample.size() < config_.shuffle_size; ++i) {
+      sample.push_back(view_[idx[i]]);
+    }
+    net_.send(addr_, msg.from, ShuffleReply{std::move(sample)},
+              config_.message_bytes);
+    merge_view(req.entries);
+    return;
+  }
+  if (msg.is<ShuffleReply>()) {
+    merge_view(net::payload_as<ShuffleReply>(msg).entries);
+    return;
+  }
+  if (msg.is<Rumor>()) {
+    const auto& r = net::payload_as<Rumor>(msg);
+    accept_rumor(r.id, r.payload_bytes, r.hops);
+    return;
+  }
+}
+
+}  // namespace decentnet::overlay

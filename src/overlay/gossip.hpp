@@ -1,0 +1,106 @@
+// Gossip substrate: Cyclon-style peer sampling plus push epidemic broadcast.
+//
+// The paper cites gossip protocols as one of P2P research's lasting
+// contributions (they underpin both Dynamo-style membership and blockchain
+// transaction/block dissemination). E16 measures coverage/redundancy versus
+// fanout; the chain module reuses the same dissemination pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace decentnet::overlay {
+
+struct GossipConfig {
+  std::size_t view_size = 20;       // partial view (Cyclon cache)
+  std::size_t shuffle_size = 8;     // entries exchanged per shuffle
+  sim::SimDuration shuffle_interval = sim::seconds(10);
+  std::size_t fanout = 4;           // rumor forwarding fanout
+  std::size_t message_bytes = 64;
+};
+
+/// A rumor's identity; payload size is carried for traffic accounting only.
+using RumorId = std::uint64_t;
+
+/// Partial-view entry: a peer descriptor plus its gossip age.
+struct ViewEntry {
+  net::NodeId peer;
+  std::uint32_t age = 0;
+};
+
+namespace gossip_msg {
+struct ShuffleRequest {
+  std::vector<ViewEntry> entries;
+};
+struct ShuffleReply {
+  std::vector<ViewEntry> entries;
+};
+struct Rumor {
+  RumorId id;
+  std::size_t payload_bytes;
+  std::uint32_t hops;
+};
+}  // namespace gossip_msg
+
+class GossipNode final : public net::Host {
+ public:
+  /// `on_deliver(rumor, hops)` fires exactly once per rumor per node.
+  using DeliverHook = std::function<void(RumorId, std::size_t hops)>;
+
+  GossipNode(net::Network& net, net::NodeId addr, GossipConfig config);
+  ~GossipNode() override;
+
+  GossipNode(const GossipNode&) = delete;
+  GossipNode& operator=(const GossipNode&) = delete;
+
+  net::NodeId addr() const { return addr_; }
+
+  void set_deliver_hook(DeliverHook hook) { deliver_ = std::move(hook); }
+
+  /// Come online with an initial partial view.
+  void join(const std::vector<net::NodeId>& bootstrap_view);
+  void leave();
+  bool online() const { return online_; }
+
+  /// Originate a rumor of `payload_bytes` size.
+  void broadcast(RumorId rumor, std::size_t payload_bytes);
+
+  /// Current partial view (peer sampling output).
+  std::vector<net::NodeId> view() const;
+
+  /// True if this node has seen `rumor`.
+  bool has_seen(RumorId rumor) const { return seen_.count(rumor) > 0; }
+
+  std::uint64_t duplicates_received() const { return duplicates_; }
+
+  void handle_message(const net::Message& msg) override;
+
+ private:
+  void shuffle();
+  void merge_view(const std::vector<ViewEntry>& incoming);
+  void accept_rumor(RumorId rumor, std::size_t payload_bytes,
+                    std::size_t hops);
+  void forward_rumor(RumorId rumor, std::size_t payload_bytes,
+                     std::size_t hops, net::NodeId skip);
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId addr_;
+  GossipConfig config_;
+  sim::Rng rng_;
+  bool online_ = false;
+  std::vector<ViewEntry> view_;
+  std::unordered_set<RumorId> seen_;
+  std::uint64_t duplicates_ = 0;
+  sim::EventHandle shuffle_timer_;
+  DeliverHook deliver_;
+};
+
+}  // namespace decentnet::overlay

@@ -1,0 +1,437 @@
+#include "overlay/kademlia.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::overlay {
+
+using kademlia_msg::FindNode;
+using kademlia_msg::FindNodeReply;
+using kademlia_msg::Store;
+
+namespace {
+Key default_id(net::NodeId addr) {
+  crypto::ByteWriter w;
+  w.str("kad-node").u64(addr.value);
+  return w.sha256();
+}
+}  // namespace
+
+KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
+                           KademliaConfig config, std::optional<Key> id)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      id_(id ? *id : default_id(addr)),
+      config_(config),
+      buckets_(256) {}
+
+KademliaNode::~KademliaNode() {
+  if (online_) leave();
+}
+
+void KademliaNode::join(const std::vector<Contact>& bootstrap) {
+  net_.attach(addr_, this);
+  online_ = true;
+  for (const Contact& c : bootstrap) touch_contact(c);
+  // Locate ourselves: populates buckets along the path to our own id.
+  if (!bootstrap.empty()) {
+    lookup(id_, [](LookupResult) {});
+  }
+  refresh_timer_ = sim_.schedule_periodic(
+      config_.refresh_interval, config_.refresh_interval,
+      [this] { refresh_buckets(); });
+}
+
+void KademliaNode::leave() {
+  online_ = false;
+  refresh_timer_.cancel();
+  net_.detach(addr_);
+  // Fail in-flight RPCs so outstanding lookups terminate promptly.
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [nonce, rpc] : pending) {
+    rpc.timeout.cancel();
+    rpc.on_done(false, nullptr);
+  }
+}
+
+int KademliaNode::bucket_index(const Key& other) const {
+  const int lz = id_.distance_to(other).leading_zero_bits();
+  if (lz >= 256) return -1;  // ourselves
+  return 255 - lz;
+}
+
+void KademliaNode::touch_contact(const Contact& c) {
+  if (c.addr == addr_) return;
+  const int idx = bucket_index(c.id);
+  if (idx < 0) return;
+  Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  auto it = std::find(bucket.contacts.begin(), bucket.contacts.end(), c);
+  if (it != bucket.contacts.end()) {
+    // Move to most-recently-seen position.
+    Contact moved = *it;
+    moved.id = c.id;
+    bucket.contacts.erase(it);
+    bucket.contacts.push_back(moved);
+    return;
+  }
+  if (bucket.contacts.size() < config_.k) {
+    bucket.contacts.push_back(c);
+    return;
+  }
+  if (config_.naive_eviction) {
+    // Faulty-client behaviour: drop the oldest without verifying it.
+    bucket.contacts.erase(bucket.contacts.begin());
+    bucket.contacts.push_back(c);
+    return;
+  }
+  evict_or_keep(idx, c);
+}
+
+void KademliaNode::evict_or_keep(int bucket_idx, const Contact& candidate) {
+  Bucket& bucket = buckets_[static_cast<std::size_t>(bucket_idx)];
+  // Remember the candidate; ping the least-recently-seen contact. If it
+  // answers, it stays (Kademlia's bias toward long-lived peers); if not, the
+  // candidate replaces it.
+  if (bucket.replacement_cache.size() < config_.k) {
+    if (std::find(bucket.replacement_cache.begin(),
+                  bucket.replacement_cache.end(),
+                  candidate) == bucket.replacement_cache.end()) {
+      bucket.replacement_cache.push_back(candidate);
+    }
+  }
+  if (bucket.contacts.empty() || bucket.eviction_ping_pending) return;
+  bucket.eviction_ping_pending = true;
+  const Contact lru = bucket.contacts.front();
+  send_rpc(lru, /*find_value=*/false, id_,
+           [this, bucket_idx, lru](bool ok, const net::Message*) {
+             Bucket& b = buckets_[static_cast<std::size_t>(bucket_idx)];
+             b.eviction_ping_pending = false;
+             auto it = std::find(b.contacts.begin(), b.contacts.end(), lru);
+             if (ok) {
+               if (it != b.contacts.end()) {
+                 const Contact c = *it;
+                 b.contacts.erase(it);
+                 b.contacts.push_back(c);
+               }
+             } else {
+               if (it != b.contacts.end()) b.contacts.erase(it);
+               if (!b.replacement_cache.empty() &&
+                   b.contacts.size() < config_.k) {
+                 b.contacts.push_back(b.replacement_cache.back());
+                 b.replacement_cache.pop_back();
+               }
+             }
+           });
+}
+
+std::vector<Contact> KademliaNode::closest_contacts(const Key& target,
+                                                    std::size_t count) const {
+  std::vector<Contact> all;
+  for (const Bucket& b : buckets_) {
+    all.insert(all.end(), b.contacts.begin(), b.contacts.end());
+  }
+  std::sort(all.begin(), all.end(), [&](const Contact& a, const Contact& b) {
+    return a.id.distance_to(target) < b.id.distance_to(target);
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+std::vector<Contact> KademliaNode::routing_table() const {
+  std::vector<Contact> all;
+  for (const Bucket& b : buckets_) {
+    all.insert(all.end(), b.contacts.begin(), b.contacts.end());
+  }
+  return all;
+}
+
+std::size_t KademliaNode::routing_table_size() const {
+  std::size_t n = 0;
+  for (const Bucket& b : buckets_) n += b.contacts.size();
+  return n;
+}
+
+std::uint64_t KademliaNode::send_rpc(
+    const Contact& to, bool find_value, const Key& target,
+    std::function<void(bool, const net::Message*)> cb) {
+  const std::uint64_t nonce = next_nonce_++;
+  if (!online_) {
+    // Caller left the network mid-lookup: fail asynchronously so the lookup
+    // engine unwinds without reentrancy surprises.
+    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    return nonce;
+  }
+  PendingRpc rpc;
+  rpc.on_done = std::move(cb);
+  rpc.timeout = sim_.schedule(config_.rpc_timeout, [this, nonce, to] {
+    auto it = pending_.find(nonce);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.on_done);
+    pending_.erase(it);
+    fail_contact(to);
+    done(false, nullptr);
+  });
+  pending_.emplace(nonce, std::move(rpc));
+  net_.send(addr_, to.addr,
+            FindNode{target, nonce, Contact{id_, addr_}, find_value},
+            config_.message_bytes);
+  return nonce;
+}
+
+void KademliaNode::fail_contact(const Contact& c) {
+  if (!config_.evict_on_failure) return;  // "questionable" contacts linger
+  const int idx = bucket_index(c.id);
+  if (idx < 0) return;
+  Bucket& b = buckets_[static_cast<std::size_t>(idx)];
+  const auto it = std::find(b.contacts.begin(), b.contacts.end(), c);
+  if (it != b.contacts.end()) b.contacts.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Iterative lookup engine
+// ---------------------------------------------------------------------------
+
+struct KademliaNode::LookupState {
+  enum class Status : std::uint8_t { New, InFlight, Done, Failed };
+  struct Entry {
+    Contact contact;
+    Status status = Status::New;
+  };
+
+  Key target;
+  bool want_value = false;
+  LookupCallback cb;
+  sim::SimTime started = 0;
+  std::vector<Entry> shortlist;  // kept sorted by XOR distance to target
+  std::size_t in_flight = 0;
+  std::size_t rpcs = 0;
+  std::size_t timeouts = 0;
+  bool finished = false;
+  std::optional<std::string> value;
+
+  bool contains(const Contact& c) const {
+    return std::any_of(shortlist.begin(), shortlist.end(),
+                       [&](const Entry& e) { return e.contact == c; });
+  }
+
+  void insert(const Contact& c) {
+    if (contains(c)) return;
+    Entry e{c, Status::New};
+    const auto pos = std::lower_bound(
+        shortlist.begin(), shortlist.end(), e,
+        [&](const Entry& a, const Entry& b) {
+          return a.contact.id.distance_to(target) <
+                 b.contact.id.distance_to(target);
+        });
+    shortlist.insert(pos, e);
+  }
+};
+
+void KademliaNode::lookup(const Key& target, LookupCallback cb) {
+  start_lookup(target, /*want_value=*/false, std::move(cb));
+}
+
+void KademliaNode::find_value(const Key& key, LookupCallback cb) {
+  // Serve from local storage first, as the protocol specifies.
+  const auto it = storage_.find(key);
+  if (it != storage_.end()) {
+    LookupResult r;
+    r.found_value = true;
+    r.value = it->second;
+    cb(std::move(r));
+    return;
+  }
+  start_lookup(key, /*want_value=*/true, std::move(cb));
+}
+
+void KademliaNode::store(const Key& key, std::string value,
+                         std::function<void(std::size_t)> cb) {
+  start_lookup(key, /*want_value=*/false,
+               [this, key, value = std::move(value),
+                cb = std::move(cb)](LookupResult r) {
+                 std::size_t replicas = 0;
+                 for (const Contact& c : r.closest) {
+                   net_.send(addr_, c.addr,
+                             Store{key, value, Contact{id_, addr_}},
+                             config_.message_bytes + value.size());
+                   ++replicas;
+                 }
+                 if (replicas == 0) {
+                   // No peers known: keep it locally so the data survives.
+                   storage_[key] = value;
+                 }
+                 if (cb) cb(replicas);
+               });
+}
+
+void KademliaNode::start_lookup(const Key& target, bool want_value,
+                                LookupCallback cb) {
+  auto state = std::make_shared<LookupState>();
+  state->target = target;
+  state->want_value = want_value;
+  state->cb = std::move(cb);
+  state->started = sim_.now();
+  for (const Contact& c : closest_contacts(target, config_.k)) {
+    state->insert(c);
+  }
+  if (state->shortlist.empty()) {
+    finish_lookup(state);
+    return;
+  }
+  lookup_step(state);
+}
+
+void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
+  if (state->finished) return;
+  using Status = LookupState::Status;
+
+  // Termination: the k closest non-failed entries are all Done.
+  std::size_t considered = 0;
+  bool all_done = true;
+  bool any_new = false;
+  for (const auto& e : state->shortlist) {
+    if (e.status == Status::Failed) continue;
+    if (considered++ >= config_.k) break;
+    if (e.status != Status::Done) all_done = false;
+    if (e.status == Status::New) any_new = true;
+  }
+  if ((all_done && considered > 0) || (!any_new && state->in_flight == 0)) {
+    finish_lookup(state);
+    return;
+  }
+
+  // Issue RPCs to the closest New entries, up to alpha in flight.
+  for (auto& e : state->shortlist) {
+    if (state->in_flight >= config_.alpha) break;
+    if (e.status != Status::New) continue;
+    // Only probe within the k closest non-failed window.
+    e.status = Status::InFlight;
+    ++state->in_flight;
+    ++state->rpcs;
+    const Contact peer = e.contact;
+    send_rpc(peer, state->want_value, state->target,
+             [this, state, peer](bool ok, const net::Message* reply) {
+               --state->in_flight;
+               auto it = std::find_if(
+                   state->shortlist.begin(), state->shortlist.end(),
+                   [&](const LookupState::Entry& en) {
+                     return en.contact == peer;
+                   });
+               if (!ok) {
+                 ++state->timeouts;
+                 if (it != state->shortlist.end()) {
+                   it->status = Status::Failed;
+                 }
+                 lookup_step(state);
+                 return;
+               }
+               if (it != state->shortlist.end()) it->status = Status::Done;
+               const auto& r = net::payload_as<FindNodeReply>(*reply);
+               if (state->want_value && r.has_value && !state->finished) {
+                 state->value = r.value;
+                 finish_lookup(state);
+                 return;
+               }
+               for (const Contact& c : r.contacts) {
+                 if (c.addr != addr_) state->insert(c);
+               }
+               lookup_step(state);
+             });
+  }
+}
+
+void KademliaNode::finish_lookup(const std::shared_ptr<LookupState>& state) {
+  if (state->finished) return;
+  state->finished = true;
+  LookupResult r;
+  r.found_value = state->value.has_value();
+  r.value = state->value;
+  r.rpcs_sent = state->rpcs;
+  r.timeouts = state->timeouts;
+  r.elapsed = sim_.now() - state->started;
+  using Status = LookupState::Status;
+  for (const auto& e : state->shortlist) {
+    if (e.status == Status::Done && r.closest.size() < config_.k) {
+      r.closest.push_back(e.contact);
+    }
+  }
+  state->cb(std::move(r));
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void KademliaNode::handle_message(const net::Message& msg) {
+  if (msg.is<FindNode>()) {
+    const auto& req = net::payload_as<FindNode>(msg);
+    touch_contact(req.sender);
+    FindNodeReply reply;
+    reply.nonce = req.nonce;
+    reply.sender = Contact{id_, addr_};
+    reply.has_value = false;
+    if (req.want_value) {
+      const auto it = storage_.find(req.target);
+      if (it != storage_.end()) {
+        reply.has_value = true;
+        reply.value = it->second;
+      }
+    }
+    if (!reply.has_value) {
+      reply.contacts = closest_contacts(req.target, config_.k);
+      // Do not hand the requester itself back.
+      std::erase_if(reply.contacts,
+                    [&](const Contact& c) { return c.addr == msg.from; });
+    }
+    const std::size_t bytes =
+        100 + 40 * reply.contacts.size() + reply.value.size();
+    net_.send(addr_, msg.from, std::move(reply), bytes);
+    return;
+  }
+  if (msg.is<FindNodeReply>()) {
+    const auto& r = net::payload_as<FindNodeReply>(msg);
+    // Per the Kademlia spec only the *responding* node earns a routing-table
+    // slot; contacts merely mentioned in a reply must answer a query of ours
+    // first. (Blind insertion would also let one poisoned reply trigger a
+    // cascade of eviction probes.)
+    touch_contact(r.sender);
+    const auto it = pending_.find(r.nonce);
+    if (it == pending_.end()) return;  // late reply after timeout
+    auto done = std::move(it->second.on_done);
+    it->second.timeout.cancel();
+    pending_.erase(it);
+    done(true, &msg);
+    return;
+  }
+  if (msg.is<Store>()) {
+    const auto& s = net::payload_as<Store>(msg);
+    touch_contact(s.sender);
+    storage_[s.key] = s.value;
+    return;
+  }
+}
+
+void KademliaNode::refresh_buckets() {
+  if (!online_) return;
+  sim::Rng& rng = sim_.rng();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].contacts.empty()) continue;
+    // Random target inside bucket i's range: shares exactly (255 - i) prefix
+    // bits with our id, differs at bit (255 - i).
+    Key target = id_;
+    const int diff_bit = 255 - static_cast<int>(i);
+    const auto byte = static_cast<std::size_t>(diff_bit / 8);
+    const int bit_in_byte = 7 - diff_bit % 8;
+    target.bytes[byte] ^= static_cast<std::uint8_t>(1u << bit_in_byte);
+    for (std::size_t b = byte + 1; b < 32; ++b) {
+      target.bytes[b] = static_cast<std::uint8_t>(rng.next());
+    }
+    lookup(target, [](LookupResult) {});
+  }
+}
+
+}  // namespace decentnet::overlay

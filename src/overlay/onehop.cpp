@@ -1,0 +1,256 @@
+#include "overlay/onehop.hpp"
+
+#include <algorithm>
+
+#include "crypto/buffer.hpp"
+
+namespace decentnet::overlay {
+
+namespace ohm = onehop_msg;
+
+namespace {
+ChordId default_id(net::NodeId addr) {
+  crypto::ByteWriter w;
+  w.str("onehop-node").u64(addr.value);
+  return w.sha256().prefix64();
+}
+}  // namespace
+
+OneHopNode::OneHopNode(net::Network& net, net::NodeId addr,
+                       OneHopConfig config, std::optional<ChordId> id)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      id_(id ? *id : default_id(addr)),
+      config_(config),
+      rng_(net.simulator().rng().fork(addr.value ^ 0x04E40Full)),
+      next_nonce_(addr.value << 20) {}
+
+OneHopNode::~OneHopNode() {
+  if (online_) crash();
+}
+
+void OneHopNode::create() {
+  net_.attach(addr_, this);
+  online_ = true;
+  members_.clear();
+  members_[id_] = self();
+  gossip_timer_ = sim_.schedule_periodic(
+      rng_.uniform_int(0, config_.gossip_interval), config_.gossip_interval,
+      [this] { gossip_tick(); });
+}
+
+void OneHopNode::join(const ChordContact& bootstrap) {
+  net_.attach(addr_, this);
+  online_ = true;
+  members_.clear();
+  members_[id_] = self();
+  members_[bootstrap.id] = bootstrap;
+  // Pull the full table from the bootstrap node.
+  const std::uint64_t nonce =
+      register_pending([this](bool ok, const net::Message* reply) {
+        if (!ok || !online_) return;
+        const auto& r = net::payload_as<ohm::TableReply>(*reply);
+        for (const ChordContact& c : r.members) members_[c.id] = c;
+      });
+  net_.send(addr_, bootstrap.addr, ohm::TableRequest{nonce},
+            config_.query_bytes);
+  // Announce ourselves.
+  emit_event(true, self());
+  gossip_timer_ = sim_.schedule_periodic(
+      rng_.uniform_int(0, config_.gossip_interval), config_.gossip_interval,
+      [this] { gossip_tick(); });
+}
+
+void OneHopNode::leave() {
+  if (online_) {
+    emit_event(false, self());
+    // Push the departure immediately so it spreads before we vanish.
+    gossip_tick();
+  }
+  crash();
+}
+
+void OneHopNode::crash() {
+  online_ = false;
+  gossip_timer_.cancel();
+  net_.detach(addr_);
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [nonce, rpc] : pending) {
+    rpc.timeout.cancel();
+    rpc.on_done(false, nullptr);
+  }
+}
+
+bool OneHopNode::knows(net::NodeId addr) const {
+  return std::any_of(members_.begin(), members_.end(), [&](const auto& kv) {
+    return kv.second.addr == addr;
+  });
+}
+
+void OneHopNode::emit_event(bool joined, const ChordContact& node) {
+  crypto::ByteWriter w;
+  w.str("onehop-event").u64(node.addr.value).u8(joined ? 1 : 0).u64(
+      static_cast<std::uint64_t>(sim_.now()));
+  const std::uint64_t event_id = w.sha256().prefix64();
+  apply_event(ohm::MembershipEvent{event_id, joined, node}, true);
+}
+
+void OneHopNode::apply_event(const ohm::MembershipEvent& ev, bool forward) {
+  if (!seen_events_.insert(ev.event_id).second) return;
+  if (ev.joined) {
+    members_[ev.node.id] = ev.node;
+  } else if (ev.node.addr != addr_) {
+    remove_member(ev.node);
+  }
+  if (forward) outbox_.push_back(ev);
+}
+
+void OneHopNode::remove_member(const ChordContact& c) {
+  const auto it = members_.find(c.id);
+  if (it != members_.end() && it->second.addr == c.addr) members_.erase(it);
+}
+
+void OneHopNode::gossip_tick() {
+  if (!online_ || outbox_.empty() || members_.size() < 2) {
+    // Events age out after a few rounds of spreading; cap outbox growth.
+    if (outbox_.size() > config_.max_events_per_gossip * 4) {
+      outbox_.erase(outbox_.begin(),
+                    outbox_.end() - static_cast<long>(
+                                        config_.max_events_per_gossip * 2));
+    }
+    return;
+  }
+  ohm::GossipBatch batch;
+  const std::size_t n =
+      std::min(outbox_.size(), config_.max_events_per_gossip);
+  batch.events.assign(outbox_.end() - static_cast<long>(n), outbox_.end());
+  // Pick fanout random members.
+  std::vector<ChordContact> targets;
+  targets.reserve(members_.size());
+  for (const auto& [mid, c] : members_) {
+    if (c.addr != addr_) targets.push_back(c);
+  }
+  rng_.shuffle(targets);
+  const std::size_t fanout = std::min(config_.gossip_fanout, targets.size());
+  const std::size_t bytes = 16 + config_.event_bytes * batch.events.size();
+  for (std::size_t i = 0; i < fanout; ++i) {
+    net_.send(addr_, targets[i].addr, batch, bytes);
+  }
+  // Each event is pushed for a bounded number of ticks: drop spread events
+  // probabilistically (infect-and-die with p=0.5 per tick after send).
+  std::erase_if(outbox_, [this](const ohm::MembershipEvent&) {
+    return rng_.chance(0.5);
+  });
+}
+
+ChordContact OneHopNode::successor_of(ChordId key) const {
+  if (members_.empty()) return self();
+  auto it = members_.lower_bound(key);
+  if (it == members_.end()) it = members_.begin();  // wrap
+  return it->second;
+}
+
+std::uint64_t OneHopNode::register_pending(
+    std::function<void(bool, const net::Message*)> cb) {
+  const std::uint64_t nonce = ++next_nonce_;
+  PendingRpc rpc;
+  rpc.on_done = std::move(cb);
+  rpc.timeout = sim_.schedule(config_.rpc_timeout, [this, nonce] {
+    const auto it = pending_.find(nonce);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.on_done);
+    pending_.erase(it);
+    done(false, nullptr);
+  });
+  pending_.emplace(nonce, std::move(rpc));
+  return nonce;
+}
+
+void OneHopNode::lookup(ChordId key, LookupCallback cb) {
+  auto acc = std::make_shared<OneHopLookupResult>();
+  acc->elapsed = 0;
+  try_lookup(acc, key, std::move(cb));
+}
+
+void OneHopNode::try_lookup(std::shared_ptr<OneHopLookupResult> acc,
+                            ChordId key, LookupCallback cb) {
+  ++acc->attempts;
+  const sim::SimTime started = sim_.now();
+  const ChordContact target = successor_of(key);
+  if (target.addr == addr_) {
+    acc->ok = true;
+    acc->owner = self();
+    cb(*acc);
+    return;
+  }
+  const std::uint64_t nonce = register_pending(
+      [this, acc, key, cb, started, target](bool ok,
+                                            const net::Message* reply) {
+        acc->elapsed += sim_.now() - started;
+        if (ok) {
+          acc->ok = true;
+          acc->owner = net::payload_as<ohm::DirectAck>(*reply).owner;
+          cb(*acc);
+          return;
+        }
+        // Stale entry: evict, spread the death, retry with the next owner.
+        remove_member(target);
+        emit_event(false, target);
+        if (acc->attempts >= config_.lookup_retries || !online_) {
+          cb(*acc);
+          return;
+        }
+        try_lookup(acc, key, cb);
+      });
+  net_.send(addr_, target.addr, ohm::DirectQuery{key, nonce},
+            config_.query_bytes);
+}
+
+void OneHopNode::handle_message(const net::Message& msg) {
+  if (msg.is<ohm::GossipBatch>()) {
+    for (const auto& ev : net::payload_as<ohm::GossipBatch>(msg).events) {
+      apply_event(ev, true);
+    }
+    return;
+  }
+  if (msg.is<ohm::TableRequest>()) {
+    const auto& req = net::payload_as<ohm::TableRequest>(msg);
+    ohm::TableReply reply;
+    reply.nonce = req.nonce;
+    reply.members.reserve(members_.size());
+    for (const auto& [mid, c] : members_) reply.members.push_back(c);
+    net_.send(addr_, msg.from, std::move(reply),
+              16 + config_.event_bytes * members_.size());
+    return;
+  }
+  if (msg.is<ohm::TableReply>()) {
+    const auto& r = net::payload_as<ohm::TableReply>(msg);
+    const auto it = pending_.find(r.nonce);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.on_done);
+    it->second.timeout.cancel();
+    pending_.erase(it);
+    done(true, &msg);
+    return;
+  }
+  if (msg.is<ohm::DirectQuery>()) {
+    const auto& q = net::payload_as<ohm::DirectQuery>(msg);
+    net_.send(addr_, msg.from, ohm::DirectAck{q.nonce, self()},
+              config_.query_bytes);
+    return;
+  }
+  if (msg.is<ohm::DirectAck>()) {
+    const auto& a = net::payload_as<ohm::DirectAck>(msg);
+    const auto it = pending_.find(a.nonce);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second.on_done);
+    it->second.timeout.cancel();
+    pending_.erase(it);
+    done(true, &msg);
+    return;
+  }
+}
+
+}  // namespace decentnet::overlay

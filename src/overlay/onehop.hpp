@@ -1,0 +1,131 @@
+// One-hop overlay with full membership (Gupta, Liskov & Rodrigues, HotOS'03).
+//
+// Every node keeps the complete membership table and routes in a single hop.
+// Membership events (joins, graceful leaves, suspected deaths) spread by
+// epidemic push gossip. The paper's E4 point: for 10K-100K reasonably stable
+// nodes, the maintenance bandwidth of full membership is affordable and
+// buys O(1) lookups — the design cloud key-value stores adopted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "overlay/chord.hpp"  // ChordId ring helpers
+#include "sim/simulator.hpp"
+
+namespace decentnet::overlay {
+
+struct OneHopConfig {
+  sim::SimDuration gossip_interval = sim::seconds(5);
+  std::size_t gossip_fanout = 4;
+  std::size_t max_events_per_gossip = 64;
+  sim::SimDuration rpc_timeout = sim::seconds(2);
+  std::size_t event_bytes = 24;  // one membership event on the wire
+  std::size_t query_bytes = 72;
+  std::size_t lookup_retries = 3;
+};
+
+struct OneHopLookupResult {
+  bool ok = false;
+  ChordContact owner;
+  std::size_t attempts = 0;  // 1 = succeeded on the first (one-hop) try
+  sim::SimDuration elapsed = 0;
+};
+
+namespace onehop_msg {
+struct MembershipEvent {
+  std::uint64_t event_id;
+  bool joined;  // false = left/dead
+  ChordContact node;
+};
+struct GossipBatch {
+  std::vector<MembershipEvent> events;
+};
+struct TableRequest {
+  std::uint64_t nonce;
+};
+struct TableReply {
+  std::uint64_t nonce;
+  std::vector<ChordContact> members;
+};
+struct DirectQuery {
+  ChordId key;
+  std::uint64_t nonce;
+};
+struct DirectAck {
+  std::uint64_t nonce;
+  ChordContact owner;
+};
+}  // namespace onehop_msg
+
+class OneHopNode final : public net::Host {
+ public:
+  using LookupCallback = std::function<void(OneHopLookupResult)>;
+
+  OneHopNode(net::Network& net, net::NodeId addr, OneHopConfig config,
+             std::optional<ChordId> id = std::nullopt);
+  ~OneHopNode() override;
+
+  OneHopNode(const OneHopNode&) = delete;
+  OneHopNode& operator=(const OneHopNode&) = delete;
+
+  ChordId id() const { return id_; }
+  net::NodeId addr() const { return addr_; }
+  ChordContact self() const { return {id_, addr_}; }
+  bool online() const { return online_; }
+
+  /// First node: create. Later nodes: join via any member (pulls the full
+  /// table, announces itself as a membership event).
+  void create();
+  void join(const ChordContact& bootstrap);
+  /// Graceful leave announces a departure event before detaching.
+  void leave();
+  /// Crash: drop off the network without telling anyone (for experiments).
+  void crash();
+
+  /// Route to the ring successor of `key` — one hop if the table is fresh.
+  void lookup(ChordId key, LookupCallback cb);
+
+  std::size_t membership_size() const { return members_.size(); }
+  bool knows(net::NodeId addr) const;
+
+  void handle_message(const net::Message& msg) override;
+
+ private:
+  struct PendingRpc {
+    std::function<void(bool, const net::Message*)> on_done;
+    sim::EventHandle timeout;
+  };
+
+  void gossip_tick();
+  void apply_event(const onehop_msg::MembershipEvent& ev, bool forward);
+  void emit_event(bool joined, const ChordContact& node);
+  ChordContact successor_of(ChordId key) const;
+  void remove_member(const ChordContact& c);
+  std::uint64_t register_pending(
+      std::function<void(bool, const net::Message*)> cb);
+  void try_lookup(std::shared_ptr<OneHopLookupResult> acc, ChordId key,
+                  LookupCallback cb);
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  net::NodeId addr_;
+  ChordId id_;
+  OneHopConfig config_;
+  sim::Rng rng_;
+  bool online_ = false;
+  std::map<ChordId, ChordContact> members_;  // ordered ring
+  std::unordered_set<std::uint64_t> seen_events_;
+  std::vector<onehop_msg::MembershipEvent> outbox_;  // events still spreading
+  std::unordered_map<std::uint64_t, PendingRpc> pending_;
+  std::uint64_t next_nonce_;
+  sim::EventHandle gossip_timer_;
+};
+
+}  // namespace decentnet::overlay

@@ -1,0 +1,197 @@
+#include "overlay/superpeer.hpp"
+
+#include <algorithm>
+
+namespace decentnet::overlay {
+
+namespace spm = superpeer_msg;
+
+// ---------------------------------------------------------------------------
+// SuperpeerNode
+// ---------------------------------------------------------------------------
+
+SuperpeerNode::SuperpeerNode(net::Network& net, net::NodeId addr,
+                             SuperpeerConfig config)
+    : net_(net), sim_(net.simulator()), addr_(addr), config_(config) {}
+
+SuperpeerNode::~SuperpeerNode() {
+  if (online_) leave();
+}
+
+void SuperpeerNode::join(std::vector<net::NodeId> sp_neighbors) {
+  net_.attach(addr_, this);
+  online_ = true;
+  sp_neighbors_ = std::move(sp_neighbors);
+}
+
+void SuperpeerNode::leave() {
+  online_ = false;
+  net_.detach(addr_);
+}
+
+net::NodeId SuperpeerNode::local_provider(ContentId item) const {
+  const auto it = index_.find(item);
+  if (it == index_.end() || it->second.empty()) return net::NodeId::invalid();
+  return it->second.front();
+}
+
+void SuperpeerNode::flood_to_sps(const spm::SpQuery& q, net::NodeId skip) {
+  if (q.ttl == 0) return;
+  for (net::NodeId sp : sp_neighbors_) {
+    if (sp == skip) continue;
+    net_.send(addr_, sp, q, config_.query_bytes);
+  }
+}
+
+void SuperpeerNode::handle_message(const net::Message& msg) {
+  if (msg.is<spm::LeafRegister>()) {
+    const auto& reg = net::payload_as<spm::LeafRegister>(msg);
+    auto& items = leaf_items_[msg.from];
+    for (ContentId item : reg.items) {
+      items.push_back(item);
+      index_[item].push_back(msg.from);
+    }
+    return;
+  }
+  if (msg.is<spm::LeafUnregister>()) {
+    const auto it = leaf_items_.find(msg.from);
+    if (it == leaf_items_.end()) return;
+    for (ContentId item : it->second) {
+      auto idx = index_.find(item);
+      if (idx == index_.end()) continue;
+      std::erase(idx->second, msg.from);
+      if (idx->second.empty()) index_.erase(idx);
+    }
+    leaf_items_.erase(it);
+    return;
+  }
+  if (msg.is<spm::LeafQuery>()) {
+    const auto& q = net::payload_as<spm::LeafQuery>(msg);
+    const net::NodeId local = local_provider(q.item);
+    if (local.valid()) {
+      net_.send(addr_, msg.from, spm::LeafQueryReply{q.qid, true, local, 1},
+                config_.query_bytes);
+      return;
+    }
+    leaf_queries_[q.qid] = msg.from;
+    seen_queries_[q.qid] = net::NodeId::invalid();
+    flood_to_sps(spm::SpQuery{q.item, q.qid, config_.sp_ttl, 1, addr_},
+                 net::NodeId::invalid());
+    return;
+  }
+  if (msg.is<spm::SpQuery>()) {
+    const auto& q = net::payload_as<spm::SpQuery>(msg);
+    if (!seen_queries_.emplace(q.qid, msg.from).second) return;
+    const net::NodeId local = local_provider(q.item);
+    if (local.valid()) {
+      net_.send(addr_, msg.from, spm::SpQueryHit{q.qid, local, q.hops + 1},
+                config_.query_bytes);
+      return;
+    }
+    if (q.ttl > 1) {
+      spm::SpQuery fwd = q;
+      fwd.ttl -= 1;
+      fwd.hops += 1;
+      flood_to_sps(fwd, msg.from);
+    }
+    return;
+  }
+  if (msg.is<spm::SpQueryHit>()) {
+    const auto& h = net::payload_as<spm::SpQueryHit>(msg);
+    const auto leaf = leaf_queries_.find(h.qid);
+    if (leaf != leaf_queries_.end()) {
+      net_.send(addr_, leaf->second,
+                spm::LeafQueryReply{h.qid, true, h.provider, h.hops},
+                config_.query_bytes);
+      leaf_queries_.erase(leaf);
+      return;
+    }
+    const auto it = seen_queries_.find(h.qid);
+    if (it != seen_queries_.end() && it->second.valid()) {
+      net_.send(addr_, it->second, h, config_.query_bytes);
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LeafNode
+// ---------------------------------------------------------------------------
+
+LeafNode::LeafNode(net::Network& net, net::NodeId addr, SuperpeerConfig config)
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      config_(config),
+      next_qid_(addr.value << 24) {}
+
+LeafNode::~LeafNode() {
+  if (online_) leave();
+}
+
+void LeafNode::join(net::NodeId superpeer, std::vector<ContentId> shared) {
+  net_.attach(addr_, this);
+  online_ = true;
+  superpeer_ = superpeer;
+  shared_ = std::move(shared);
+  if (!shared_.empty()) {
+    net_.send(addr_, superpeer_, superpeer_msg::LeafRegister{shared_},
+              32 + config_.register_bytes_per_item * shared_.size());
+  }
+}
+
+void LeafNode::leave() {
+  if (online_) {
+    net_.send(addr_, superpeer_, superpeer_msg::LeafUnregister{}, 32);
+  }
+  online_ = false;
+  net_.detach(addr_);
+  for (auto& [qid, q] : queries_) q.deadline.cancel();
+  queries_.clear();
+}
+
+void LeafNode::query(ContentId item, QueryCallback cb) {
+  if (std::find(shared_.begin(), shared_.end(), item) != shared_.end()) {
+    QueryOutcome out;
+    out.found = true;
+    out.provider = addr_;
+    cb(std::move(out));
+    return;
+  }
+  const std::uint64_t qid = ++next_qid_;
+  ActiveQuery q;
+  q.cb = std::move(cb);
+  q.started = sim_.now();
+  q.deadline = sim_.schedule(config_.query_deadline, [this, qid] {
+    const auto it = queries_.find(qid);
+    if (it == queries_.end()) return;
+    auto cb = std::move(it->second.cb);
+    const sim::SimTime started = it->second.started;
+    queries_.erase(it);
+    QueryOutcome out;
+    out.elapsed = sim_.now() - started;
+    cb(std::move(out));
+  });
+  queries_.emplace(qid, std::move(q));
+  net_.send(addr_, superpeer_, superpeer_msg::LeafQuery{item, qid},
+            config_.query_bytes);
+}
+
+void LeafNode::handle_message(const net::Message& msg) {
+  if (!msg.is<superpeer_msg::LeafQueryReply>()) return;
+  const auto& r = net::payload_as<superpeer_msg::LeafQueryReply>(msg);
+  const auto it = queries_.find(r.qid);
+  if (it == queries_.end()) return;
+  auto cb = std::move(it->second.cb);
+  it->second.deadline.cancel();
+  const sim::SimTime started = it->second.started;
+  queries_.erase(it);
+  QueryOutcome out;
+  out.found = r.found;
+  out.provider = r.provider;
+  out.hops = r.hops;
+  out.elapsed = sim_.now() - started;
+  cb(std::move(out));
+}
+
+}  // namespace decentnet::overlay

@@ -1,0 +1,228 @@
+#include "p2p/bittorrent.hpp"
+
+#include <algorithm>
+
+namespace decentnet::p2p {
+
+Swarm::Swarm(sim::Simulator& sim, SwarmConfig config, std::size_t seeds,
+             std::size_t leechers, std::size_t free_riders)
+    : sim_(sim),
+      config_(config),
+      rng_(sim.rng().fork(0xB17704)),
+      availability_(config.pieces, 0) {
+  const std::size_t n = seeds + leechers + free_riders;
+  peers_.resize(n);
+  stats_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Peer& p = peers_[i];
+    p.is_seed = i < seeds;
+    p.free_rider = i >= seeds + leechers;
+    p.have.assign(config_.pieces, p.is_seed);
+    p.have_count = p.is_seed ? config_.pieces : 0;
+    p.received_from.assign(n, 0);
+    p.requested.assign(config_.pieces, false);
+    p.finished = p.is_seed;
+    stats_[i].is_seed = p.is_seed;
+    stats_[i].free_rider = p.free_rider;
+    stats_[i].finished = p.is_seed;
+    if (p.is_seed) {
+      for (auto& a : availability_) ++a;
+    }
+  }
+  // Random neighbor sets (tracker handout).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t want = std::min(config_.neighbors, n - 1);
+    std::vector<std::size_t> others;
+    others.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    rng_.shuffle(others);
+    peers_[i].neighbors.assign(others.begin(),
+                               others.begin() + static_cast<long>(want));
+  }
+}
+
+void Swarm::start() {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    // Staggered rechoke timers avoid lock-step artifacts.
+    const sim::SimDuration offset =
+        rng_.uniform_int(0, config_.rechoke_interval);
+    sim_.schedule_periodic(offset, config_.rechoke_interval,
+                           [this, i] { rechoke(i); });
+  }
+}
+
+bool Swarm::is_unchoked_by(std::size_t downloader,
+                           std::size_t uploader) const {
+  const auto& u = peers_[uploader].unchoked;
+  return std::find(u.begin(), u.end(), downloader) != u.end();
+}
+
+void Swarm::rechoke(std::size_t p) {
+  Peer& peer = peers_[p];
+  if (peer.free_rider && !peer.is_seed) {
+    // Free riders never upload; they only clear their accounting.
+    std::fill(peer.received_from.begin(), peer.received_from.end(), 0);
+    return;
+  }
+  // Interested neighbors: those that lack a piece we have.
+  std::vector<std::size_t> interested;
+  for (std::size_t nb : peer.neighbors) {
+    const Peer& other = peers_[nb];
+    if (other.finished) continue;
+    for (std::size_t piece = 0; piece < config_.pieces; ++piece) {
+      if (peer.have[piece] && !other.have[piece]) {
+        interested.push_back(nb);
+        break;
+      }
+    }
+  }
+  peer.unchoked.clear();
+  if (interested.empty()) {
+    std::fill(peer.received_from.begin(), peer.received_from.end(), 0);
+    return;
+  }
+  const std::size_t slots = config_.upload_slots;
+  if (config_.tit_for_tat && !peer.is_seed) {
+    // Reciprocate: regular slots go ONLY to peers that actually uploaded to
+    // us in the recent window — a tie among zero-contributors must never
+    // win a regular slot, or free riders sneak in. One optimistic slot is
+    // reserved for everyone else (how newcomers bootstrap).
+    std::vector<std::size_t> contributors, rest;
+    for (std::size_t nb : interested) {
+      (peer.received_from[nb] > 0 ? contributors : rest).push_back(nb);
+    }
+    std::sort(contributors.begin(), contributors.end(),
+              [&](std::size_t a, std::size_t b) {
+                return peer.received_from[a] > peer.received_from[b];
+              });
+    const std::size_t regular = slots > 1 ? slots - 1 : slots;
+    for (std::size_t i = 0;
+         i < contributors.size() && peer.unchoked.size() < regular; ++i) {
+      peer.unchoked.push_back(contributors[i]);
+    }
+    // Optimistic unchoke: a uniformly random non-contributor (or leftover
+    // contributor) fills the final slot.
+    for (std::size_t i = regular; i < contributors.size(); ++i) {
+      rest.push_back(contributors[i]);
+    }
+    if (!rest.empty() && peer.unchoked.size() < slots) {
+      peer.unchoked.push_back(rest[rng_.uniform_int(rest.size())]);
+    }
+  } else {
+    // Seeds and no-incentive mode: random unchoking.
+    rng_.shuffle(interested);
+    for (std::size_t i = 0; i < interested.size() && i < slots; ++i) {
+      peer.unchoked.push_back(interested[i]);
+    }
+  }
+  // Decay (rather than zero) the reciprocation window so rankings are
+  // smooth across rechoke intervals.
+  for (auto& b : peer.received_from) b /= 2;
+  // Newly unchoked peers may start requesting immediately.
+  for (std::size_t nb : peer.unchoked) try_request(nb, p);
+}
+
+int Swarm::pick_piece(std::size_t downloader, std::size_t uploader,
+                      sim::Rng& rng) const {
+  // Rarest-first with random tie-break.
+  const Peer& d = peers_[downloader];
+  const Peer& u = peers_[uploader];
+  int best = -1;
+  std::uint32_t best_avail = 0;
+  std::size_t ties = 0;
+  for (std::size_t piece = 0; piece < config_.pieces; ++piece) {
+    if (!u.have[piece] || d.have[piece] || d.requested[piece]) continue;
+    if (best < 0 || availability_[piece] < best_avail) {
+      best = static_cast<int>(piece);
+      best_avail = availability_[piece];
+      ties = 1;
+    } else if (availability_[piece] == best_avail) {
+      // Reservoir-style random tie-break.
+      ++ties;
+      if (rng.uniform_int(ties) == 0) best = static_cast<int>(piece);
+    }
+  }
+  return best;
+}
+
+void Swarm::try_request(std::size_t downloader, std::size_t uploader) {
+  Peer& u = peers_[uploader];
+  if (u.busy_slots >= config_.upload_slots) return;
+  if (!is_unchoked_by(downloader, uploader)) return;
+  const int piece = pick_piece(downloader, uploader, rng_);
+  if (piece < 0) return;
+  peers_[downloader].requested[static_cast<std::size_t>(piece)] = true;
+  transfer_piece(downloader, uploader, static_cast<std::size_t>(piece));
+}
+
+void Swarm::transfer_piece(std::size_t downloader, std::size_t uploader,
+                           std::size_t piece) {
+  Peer& u = peers_[uploader];
+  ++u.busy_slots;
+  const double rate =
+      (u.is_seed ? config_.seed_upload_bps : config_.peer_upload_bps) /
+      static_cast<double>(config_.upload_slots);
+  const auto duration = static_cast<sim::SimDuration>(
+      static_cast<double>(config_.piece_bytes) / rate *
+      static_cast<double>(sim::kSecond));
+  sim_.schedule(duration, [this, downloader, uploader, piece] {
+    complete_piece(downloader, uploader, piece);
+  });
+}
+
+void Swarm::complete_piece(std::size_t downloader, std::size_t uploader,
+                           std::size_t piece) {
+  Peer& u = peers_[uploader];
+  Peer& d = peers_[downloader];
+  if (u.busy_slots > 0) --u.busy_slots;
+  d.requested[piece] = false;
+  stats_[uploader].bytes_uploaded += config_.piece_bytes;
+  stats_[downloader].bytes_downloaded += config_.piece_bytes;
+  d.received_from[uploader] += config_.piece_bytes;
+  if (!d.have[piece]) {
+    d.have[piece] = true;
+    ++d.have_count;
+    ++availability_[piece];
+    stats_[downloader].pieces_have = d.have_count;
+    if (d.have_count == config_.pieces && !d.finished) {
+      d.finished = true;
+      stats_[downloader].finished = true;
+      stats_[downloader].finish_time = sim_.now();
+    }
+  }
+  // Keep the pipe full: downloader asks this uploader for the next piece,
+  // and the freed slot may serve another unchoked peer.
+  try_request(downloader, uploader);
+  for (std::size_t nb : u.unchoked) {
+    if (u.busy_slots >= config_.upload_slots) break;
+    if (nb != downloader) try_request(nb, uploader);
+  }
+}
+
+double Swarm::finished_fraction(bool free_riders_only,
+                                sim::SimTime deadline) const {
+  std::size_t total = 0, done = 0;
+  for (const auto& s : stats_) {
+    if (s.is_seed) continue;
+    if (s.free_rider != free_riders_only) continue;
+    ++total;
+    if (s.finished && s.finish_time <= deadline) ++done;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(done) / static_cast<double>(total);
+}
+
+sim::SimTime Swarm::median_finish_time(bool free_riders_only) const {
+  std::vector<sim::SimTime> times;
+  for (const auto& s : stats_) {
+    if (s.is_seed || s.free_rider != free_riders_only || !s.finished) continue;
+    times.push_back(s.finish_time);
+  }
+  if (times.empty()) return 0;
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace decentnet::p2p

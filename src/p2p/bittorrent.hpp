@@ -1,0 +1,90 @@
+// BitTorrent swarm model: choke/unchoke reciprocation (tit-for-tat),
+// optimistic unchoking, and rarest-first piece selection.
+//
+// E2's second half: incentives fix free riding *during a download* — with
+// tit-for-tat enabled, free riders crawl while contributors finish; with
+// random unchoking (no incentives) free riders do just as well. The model is
+// flow-level: transfers occupy upload slots at a fixed per-slot rate, which
+// is the granularity the claim lives at.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace decentnet::p2p {
+
+struct SwarmConfig {
+  std::size_t pieces = 128;
+  std::size_t piece_bytes = 256 * 1024;
+  double seed_upload_bps = 5e6 / 8;    // 5 Mbit/s
+  double peer_upload_bps = 2e6 / 8;    // 2 Mbit/s
+  std::size_t upload_slots = 4;
+  std::size_t neighbors = 20;          // peers each node knows
+  sim::SimDuration rechoke_interval = sim::seconds(10);
+  bool tit_for_tat = true;             // false: random unchoking
+};
+
+struct SwarmPeerStats {
+  bool is_seed = false;
+  bool free_rider = false;
+  bool finished = false;
+  sim::SimTime finish_time = 0;
+  std::size_t pieces_have = 0;
+  std::uint64_t bytes_uploaded = 0;
+  std::uint64_t bytes_downloaded = 0;
+};
+
+/// One torrent swarm simulated to completion (or a deadline).
+class Swarm {
+ public:
+  Swarm(sim::Simulator& sim, SwarmConfig config, std::size_t seeds,
+        std::size_t leechers, std::size_t free_riders);
+
+  /// Begin choking timers and initial requests. Call once, then run the
+  /// simulator; query stats afterwards.
+  void start();
+
+  const std::vector<SwarmPeerStats>& stats() const { return stats_; }
+  std::size_t peer_count() const { return peers_.size(); }
+
+  /// Fraction of the given class that finished by `deadline`.
+  double finished_fraction(bool free_riders_only, sim::SimTime deadline) const;
+  /// Median finish time of finished peers in the class (0 if none).
+  sim::SimTime median_finish_time(bool free_riders_only) const;
+
+ private:
+  struct Peer {
+    bool is_seed = false;
+    bool free_rider = false;
+    std::vector<bool> have;
+    std::size_t have_count = 0;
+    std::vector<std::size_t> neighbors;
+    std::vector<std::size_t> unchoked;        // whom I am uploading to
+    std::vector<std::uint64_t> received_from; // bytes since last rechoke
+    std::vector<bool> requested;               // pieces currently in flight
+    std::size_t busy_slots = 0;
+    bool finished = false;
+  };
+
+  void rechoke(std::size_t p);
+  void try_request(std::size_t downloader, std::size_t uploader);
+  bool is_unchoked_by(std::size_t downloader, std::size_t uploader) const;
+  int pick_piece(std::size_t downloader, std::size_t uploader,
+                 sim::Rng& rng) const;
+  void transfer_piece(std::size_t downloader, std::size_t uploader,
+                      std::size_t piece);
+  void complete_piece(std::size_t downloader, std::size_t uploader,
+                      std::size_t piece);
+
+  sim::Simulator& sim_;
+  SwarmConfig config_;
+  sim::Rng rng_;
+  std::vector<Peer> peers_;
+  std::vector<SwarmPeerStats> stats_;
+  std::vector<std::uint32_t> availability_;  // copies of each piece
+};
+
+}  // namespace decentnet::p2p

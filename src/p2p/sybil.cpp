@@ -1,0 +1,89 @@
+#include "p2p/sybil.hpp"
+
+namespace decentnet::p2p {
+
+using overlay::kademlia_msg::FindNode;
+using overlay::kademlia_msg::FindNodeReply;
+
+SybilNode::SybilNode(net::Network& net, net::NodeId addr, overlay::Key id)
+    : net_(net), addr_(addr), id_(id) {}
+
+SybilNode::~SybilNode() {
+  // In-flight messages to this identity must drop, not dangle.
+  net_.detach(addr_);
+}
+
+void SybilNode::handle_message(const net::Message& msg) {
+  if (!msg.is<FindNode>()) return;  // ignore stores; swallow the data
+  const auto& req = net::payload_as<FindNode>(msg);
+  ++captured_;
+  FindNodeReply reply;
+  reply.nonce = req.nonce;
+  reply.sender = contact();
+  reply.has_value = false;  // deny every value
+  for (const overlay::Contact& c : cohort_) {
+    if (c.addr != addr_ && c.addr != msg.from) reply.contacts.push_back(c);
+    if (reply.contacts.size() >= 8) break;
+  }
+  net_.send(addr_, msg.from, std::move(reply),
+            100 + 40 * reply.contacts.size());
+}
+
+overlay::Key sybil_id_near(const overlay::Key& key, int prefix_bits,
+                           sim::Rng& rng) {
+  overlay::Key id = key;
+  // Randomize everything below the shared prefix.
+  for (int bit = prefix_bits; bit < 256; ++bit) {
+    const auto byte = static_cast<std::size_t>(bit / 8);
+    const int in_byte = 7 - bit % 8;
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << in_byte);
+    if (rng.chance(0.5)) {
+      id.bytes[byte] |= mask;
+    } else {
+      id.bytes[byte] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+  // Guarantee it differs from the key itself at the first free bit.
+  if (id == key && prefix_bits < 256) {
+    const auto byte = static_cast<std::size_t>(prefix_bits / 8);
+    const int in_byte = 7 - prefix_bits % 8;
+    id.bytes[byte] ^= static_cast<std::uint8_t>(1u << in_byte);
+  }
+  return id;
+}
+
+SybilAttack::SybilAttack(net::Network& net, SybilConfig config,
+                         const overlay::Key& victim_key, sim::Rng& rng) {
+  sybils_.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const overlay::Key id =
+        config.target_key
+            ? sybil_id_near(victim_key, /*prefix_bits=*/24, rng)
+            : sybil_id_near(overlay::Key{}, /*prefix_bits=*/0, rng);
+    sybils_.push_back(
+        std::make_unique<SybilNode>(net, net.new_node_id(), id));
+    contacts_.push_back(sybils_.back()->contact());
+  }
+  for (auto& s : sybils_) s->set_cohort(contacts_);
+}
+
+void SybilAttack::launch() {
+  for (auto& s : sybils_) s->join();
+}
+
+void SybilAttack::infiltrate(std::vector<overlay::KademliaNode*>& honest,
+                             std::size_t contacts_per_node, sim::Rng& rng) {
+  for (overlay::KademliaNode* node : honest) {
+    for (std::size_t i = 0; i < contacts_per_node; ++i) {
+      node->observe(contacts_[rng.uniform_int(contacts_.size())]);
+    }
+  }
+}
+
+std::uint64_t SybilAttack::captured_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sybils_) total += s->captured_requests();
+  return total;
+}
+
+}  // namespace decentnet::p2p

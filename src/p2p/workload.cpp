@@ -1,0 +1,39 @@
+#include "p2p/workload.hpp"
+
+#include <cmath>
+
+namespace decentnet::p2p {
+
+ContentCatalog::ContentCatalog(CatalogConfig config, sim::Rng&)
+    : config_(config), sampler_(config.items, config.zipf_exponent) {}
+
+overlay::ContentId ContentCatalog::sample_query(sim::Rng& rng) const {
+  return static_cast<overlay::ContentId>(sampler_.sample(rng));
+}
+
+std::vector<overlay::ContentId> ContentCatalog::sample_shared_items(
+    sim::Rng& rng) const {
+  // Geometric item count with the configured mean, at least one item.
+  std::vector<overlay::ContentId> items;
+  const double p_stop = 1.0 / config_.copies_per_sharer;
+  do {
+    items.push_back(static_cast<overlay::ContentId>(sampler_.sample(rng)));
+  } while (!rng.chance(p_stop) && items.size() < config_.items);
+  return items;
+}
+
+PopulationPlan plan_population(const ContentCatalog& catalog, std::size_t n,
+                               double free_rider_fraction, sim::Rng& rng) {
+  PopulationPlan plan;
+  plan.shared.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(free_rider_fraction)) {
+      ++plan.free_riders;
+      continue;  // shares nothing
+    }
+    plan.shared[i] = catalog.sample_shared_items(rng);
+  }
+  return plan;
+}
+
+}  // namespace decentnet::p2p

@@ -1,0 +1,50 @@
+// File-sharing workload model: a catalog of content items with Zipf
+// popularity, and helpers to distribute items across a peer population with
+// a configurable free-rider fraction (peers who consume but share nothing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/flood.hpp"  // ContentId
+#include "sim/rng.hpp"
+
+namespace decentnet::p2p {
+
+struct CatalogConfig {
+  std::size_t items = 1000;
+  double zipf_exponent = 0.8;        // measured file-sharing skew
+  double copies_per_sharer = 8;      // mean items a sharing peer offers
+};
+
+class ContentCatalog {
+ public:
+  ContentCatalog(CatalogConfig config, sim::Rng& rng);
+
+  std::size_t size() const { return config_.items; }
+
+  /// Sample an item to query, Zipf-distributed (popular items more often).
+  overlay::ContentId sample_query(sim::Rng& rng) const;
+
+  /// Items a sharing peer offers: Poisson-ish count of Zipf-popular items
+  /// (popular content is replicated on more peers, as measured in Gnutella).
+  std::vector<overlay::ContentId> sample_shared_items(sim::Rng& rng) const;
+
+ private:
+  CatalogConfig config_;
+  sim::ZipfSampler sampler_;
+};
+
+/// Assignment of sharing behaviour across a population.
+struct PopulationPlan {
+  /// per-peer shared items; empty vector = free rider.
+  std::vector<std::vector<overlay::ContentId>> shared;
+  std::size_t free_riders = 0;
+};
+
+/// Build a plan where `free_rider_fraction` of peers share nothing and the
+/// rest share catalog samples.
+PopulationPlan plan_population(const ContentCatalog& catalog, std::size_t n,
+                               double free_rider_fraction, sim::Rng& rng);
+
+}  // namespace decentnet::p2p

@@ -1,0 +1,91 @@
+// Measurement primitives used by every experiment.
+//
+// Histogram keeps raw samples (with optional reservoir downsampling) so the
+// benches can report exact percentiles; Counter/Gauge are simple named
+// scalars grouped in a MetricRegistry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decentnet::sim {
+
+/// Collects double-valued samples and answers summary-statistics queries.
+///
+/// Stores every sample up to `max_samples`, then switches to reservoir
+/// sampling (Vitter's algorithm R) so memory stays bounded while percentile
+/// estimates remain unbiased. count()/sum()/mean() are always exact.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_samples = 1 << 20,
+                     std::uint64_t reservoir_seed = 0x5EED);
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Percentile in [0, 100]. Returns 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50); }
+
+  /// Fraction of samples <= threshold (empirical CDF). Returns 0 when empty.
+  double fraction_below(double threshold) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::size_t max_samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+  mutable Rng reservoir_rng_;
+};
+
+/// Monotonically increasing named count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A named collection of counters and histograms, shared across the
+/// components of one experiment.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Render all metrics as "name: value" lines (for debugging/examples).
+  std::string summary() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace decentnet::sim

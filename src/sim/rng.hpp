@@ -1,0 +1,90 @@
+// Deterministic random number generation for simulations.
+//
+// The kernel uses xoshiro256** seeded via splitmix64. Every simulation object
+// that needs randomness should take a seed (or a Rng forked from the parent's)
+// so a whole experiment replays exactly from a single root seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace decentnet::sim {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions, but the built-in draws below are preferred for
+/// cross-platform determinism (libstdc++/libc++ distributions differ).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xDECE57ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Fork an independent stream; deterministic in (parent state, tag).
+  Rng fork(std::uint64_t tag);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  /// Pareto with scale x_m and shape alpha (heavy-tailed session times).
+  double pareto(double x_m, double alpha);
+  /// Weibull with scale lambda and shape k (churn session models).
+  double weibull(double lambda, double k);
+
+  /// Sample an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(1..n, exponent s) sampler with O(1) amortized draws via precomputed
+/// CDF. Used for content popularity and transaction skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace decentnet::sim

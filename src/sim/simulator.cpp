@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace decentnet::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+EventHandle Simulator::schedule_periodic(SimDuration initial_delay,
+                                         SimDuration period, Callback fn) {
+  if (period <= 0) throw std::invalid_argument("periodic event needs period > 0");
+  // One shared liveness flag governs the whole series; each firing re-arms
+  // the next occurrence under the same flag. The scheduled event holds `arm`
+  // strongly while `arm`'s own closure holds it weakly, so cancelling the
+  // series lets the whole chain be reclaimed.
+  auto series = std::make_shared<bool>(true);
+  auto arm = std::make_shared<std::function<void(SimTime)>>();
+  std::weak_ptr<std::function<void(SimTime)>> weak_arm = arm;
+  *arm = [this, period, fn = std::move(fn), series, weak_arm](SimTime when) {
+    auto strong = weak_arm.lock();
+    schedule_at(when, [this, period, fn, series, strong] {
+      if (!*series) return;
+      fn();
+      if (*series && strong) (*strong)(now_ + period);
+    });
+  };
+  (*arm)(now_ + (initial_delay < 0 ? 0 : initial_delay));
+  return EventHandle(std::move(series));
+}
+
+bool Simulator::pop_one() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    *ev.alive = false;         // fired
+    now_ = ev.when;
+    ev.fn();
+    ++processed_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled events cheaply without advancing the clock.
+    if (!*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    if (pop_one()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t n = 0;
+  while (pop_one()) ++n;
+  return n;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace decentnet::sim

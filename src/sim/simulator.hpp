@@ -1,0 +1,104 @@
+// The discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of timestamped callbacks and a simulated
+// clock. Everything in decentnet — network delivery, protocol timers, churn,
+// mining — is expressed as events on one Simulator instance, which makes each
+// experiment single-threaded and bit-for-bit reproducible from its root seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::sim {
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+/// stays in the queue but its callback is dropped when it surfaces.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the handle refers to an event that has not fired or been
+  /// cancelled (as of the last kernel interaction).
+  bool valid() const { return alive_ && *alive_; }
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 0xDECE57ull) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Root RNG for the simulation; fork per component for isolation.
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` from now. Negative delays clamp to "now".
+  EventHandle schedule(SimDuration delay, Callback fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute simulated time (>= now).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Schedule `fn` every `period`, starting after `initial_delay`.
+  /// The returned handle cancels all future firings.
+  EventHandle schedule_periodic(SimDuration initial_delay, SimDuration period,
+                                Callback fn);
+
+  /// Run events until the queue drains or simulated time would pass `until`.
+  /// Events at exactly `until` are executed. Returns events processed.
+  std::size_t run_until(SimTime until);
+
+  /// Run until the queue is empty (use with care: periodic timers never end).
+  std::size_t run_all();
+
+  /// Drop every pending event.
+  void clear();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t total_events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace decentnet::sim

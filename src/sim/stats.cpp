@@ -1,0 +1,68 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace decentnet::sim {
+
+double gini(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0) return 0.0;
+  // G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n+1)/n, with i starting at 1.
+  double weighted = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  const double n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+std::size_t nakamoto_coefficient(std::vector<double> shares, double threshold) {
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  if (total <= 0) return 0;
+  std::sort(shares.begin(), shares.end(), std::greater<>());
+  double acc = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    acc += shares[i];
+    if (acc / total > threshold) return i + 1;
+  }
+  return shares.size();
+}
+
+double shannon_entropy(const std::vector<double>& shares) {
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  if (total <= 0) return 0.0;
+  double h = 0;
+  for (double s : shares) {
+    if (s <= 0) continue;
+    const double p = s / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double hhi(const std::vector<double>& shares) {
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  if (total <= 0) return 0.0;
+  double sum_sq = 0;
+  for (double s : shares) {
+    const double p = s / total;
+    sum_sq += p * p;
+  }
+  return sum_sq;
+}
+
+double top_k_share(std::vector<double> shares, std::size_t k) {
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  if (total <= 0 || k == 0) return 0.0;
+  std::sort(shares.begin(), shares.end(), std::greater<>());
+  k = std::min(k, shares.size());
+  return std::accumulate(shares.begin(), shares.begin() + static_cast<long>(k),
+                         0.0) /
+         total;
+}
+
+}  // namespace decentnet::sim

@@ -1,0 +1,31 @@
+// Inequality and decentralization statistics used throughout the paper's
+// argument: who controls how much of a network's resources.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace decentnet::sim {
+
+/// Gini coefficient of a distribution of non-negative shares.
+/// 0 = perfectly equal, 1 = one entity holds everything.
+double gini(std::vector<double> values);
+
+/// Nakamoto coefficient: the minimum number of entities whose combined share
+/// exceeds `threshold` (default: strict majority). Higher = more
+/// decentralized. Returns 0 for an empty or all-zero input.
+std::size_t nakamoto_coefficient(std::vector<double> shares,
+                                 double threshold = 0.5);
+
+/// Shannon entropy (bits) of the normalized share distribution. log2(n) for a
+/// perfectly even n-way split, 0 when a single entity holds everything.
+double shannon_entropy(const std::vector<double>& shares);
+
+/// Herfindahl-Hirschman index of the normalized shares (sum of squared
+/// shares): 1/n for even split, 1.0 for a monopoly.
+double hhi(const std::vector<double>& shares);
+
+/// Combined share of the k largest entities (e.g. "top 6 pools held 75%").
+double top_k_share(std::vector<double> shares, std::size_t k);
+
+}  // namespace decentnet::sim

@@ -1,0 +1,78 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace decentnet::sim {
+
+void Table::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+          c == 'x')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      const std::size_t pad = width[i] - cell.size();
+      if (i > 0) os << "  ";
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace decentnet::sim

@@ -1,0 +1,32 @@
+// Plain-text table rendering so every bench prints its experiment's
+// rows/series in a consistent, paper-like format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decentnet::sim {
+
+/// Column-aligned ASCII table. Add a header once, then rows; `to_string`
+/// right-aligns numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace decentnet::sim

@@ -1,0 +1,30 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace decentnet::sim {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  if (d >= kHour) {
+    std::snprintf(buf, sizeof buf, "%s%.2fh", neg ? "-" : "",
+                  static_cast<double>(d) / static_cast<double>(kHour));
+  } else if (d >= kMinute) {
+    std::snprintf(buf, sizeof buf, "%s%.2fmin", neg ? "-" : "",
+                  static_cast<double>(d) / static_cast<double>(kMinute));
+  } else if (d >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%s%.2fs", neg ? "-" : "",
+                  static_cast<double>(d) / static_cast<double>(kSecond));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%s%.2fms", neg ? "-" : "",
+                  static_cast<double>(d) / static_cast<double>(kMillisecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%lldus", neg ? "-" : "",
+                  static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace decentnet::sim

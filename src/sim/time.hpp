@@ -1,0 +1,53 @@
+// Simulated-time types and helpers for the decentnet discrete-event kernel.
+//
+// All simulated durations and instants are expressed as a signed 64-bit count
+// of microseconds. Using an integer (rather than floating point) keeps event
+// ordering exact and runs fully deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace decentnet::sim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr SimDuration micros(double n) { return static_cast<SimDuration>(n); }
+constexpr SimDuration millis(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+constexpr SimDuration minutes(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMinute));
+}
+constexpr SimDuration hours(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kHour));
+}
+
+/// Convert a simulated duration to fractional seconds (for reporting).
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Convert a simulated duration to fractional milliseconds (for reporting).
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Render a duration as a short human-readable string, e.g. "1.50s", "340ms".
+std::string format_duration(SimDuration d);
+
+}  // namespace decentnet::sim

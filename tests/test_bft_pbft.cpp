@@ -1,0 +1,183 @@
+// PBFT tests: three-phase commit, client reply quorums, in-order execution,
+// batching, crash tolerance up to f, and view change on primary failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bft/pbft.hpp"
+#include "net/network.hpp"
+
+namespace db = decentnet::bft;
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+
+namespace {
+
+struct PbftCluster {
+  ds::Simulator sim{61};
+  dn::Network net{sim, std::make_unique<dn::ConstantLatency>(ds::millis(5))};
+  db::PbftConfig config;
+  std::vector<std::unique_ptr<db::PbftReplica>> replicas;
+  std::vector<std::vector<db::Command>> executed;
+  std::unique_ptr<db::PbftClient> client;
+  std::vector<std::pair<db::Command, ds::SimDuration>> completions;
+
+  explicit PbftCluster(std::size_t f, db::PbftConfig cfg = {}) {
+    cfg.f = f;
+    config = cfg;
+    const std::size_t n = 3 * f + 1;
+    std::vector<dn::NodeId> addrs;
+    for (std::size_t i = 0; i < n; ++i) addrs.push_back(net.new_node_id());
+    executed.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      replicas.push_back(
+          std::make_unique<db::PbftReplica>(net, addrs[i], i, cfg));
+      replicas.back()->set_group(addrs);
+      replicas.back()->set_commit_hook(
+          [this, i](std::uint64_t, const db::Command& cmd) {
+            executed[i].push_back(cmd);
+          });
+    }
+    client = std::make_unique<db::PbftClient>(net, net.new_node_id(), 1, cfg);
+    client->set_group(addrs);
+    client->set_done_hook(
+        [this](const db::Command& cmd, ds::SimDuration latency) {
+          completions.emplace_back(cmd, latency);
+        });
+  }
+};
+
+}  // namespace
+
+TEST(Pbft, CommitsASingleRequest) {
+  PbftCluster pc(1);
+  pc.client->submit("hello");
+  pc.sim.run_until(ds::seconds(5));
+  EXPECT_EQ(pc.completions.size(), 1u);
+  for (std::size_t i = 0; i < pc.replicas.size(); ++i) {
+    ASSERT_EQ(pc.executed[i].size(), 1u) << "replica " << i;
+    EXPECT_EQ(pc.executed[i][0].op, "hello");
+  }
+}
+
+TEST(Pbft, ExecutesManyRequestsInIdenticalOrder) {
+  PbftCluster pc(1);
+  for (int i = 0; i < 50; ++i) pc.client->submit("op" + std::to_string(i));
+  pc.sim.run_until(ds::seconds(30));
+  EXPECT_EQ(pc.completions.size(), 50u);
+  for (std::size_t r = 1; r < pc.replicas.size(); ++r) {
+    ASSERT_EQ(pc.executed[r].size(), pc.executed[0].size());
+    for (std::size_t i = 0; i < pc.executed[0].size(); ++i) {
+      EXPECT_EQ(pc.executed[r][i].id, pc.executed[0][i].id)
+          << "order divergence at " << i;
+    }
+  }
+}
+
+TEST(Pbft, BatchingReducesConsensusRounds) {
+  db::PbftConfig batched;
+  batched.batch_size = 10;
+  PbftCluster pc(1, batched);
+  for (int i = 0; i < 40; ++i) pc.client->submit("op" + std::to_string(i));
+  pc.sim.run_until(ds::seconds(30));
+  EXPECT_EQ(pc.completions.size(), 40u);
+  // 40 requests in batches of ~10 -> executed_count (sequence slots) small.
+  EXPECT_LE(pc.replicas[0]->executed_count(), 10u);
+}
+
+TEST(Pbft, ToleratesFCrashedBackups) {
+  PbftCluster pc(1);  // n = 4, tolerates 1
+  // Crash one non-primary replica.
+  pc.replicas[2]->crash();
+  for (int i = 0; i < 10; ++i) pc.client->submit("op" + std::to_string(i));
+  pc.sim.run_until(ds::seconds(30));
+  EXPECT_EQ(pc.completions.size(), 10u)
+      << "f crashed backups must not block progress";
+}
+
+TEST(Pbft, StallsBeyondFCrashes) {
+  PbftCluster pc(1);
+  pc.replicas[2]->crash();
+  pc.replicas[3]->crash();  // two failures with f = 1
+  pc.client->submit("doomed");
+  pc.sim.run_until(ds::seconds(30));
+  EXPECT_EQ(pc.completions.size(), 0u)
+      << "more than f failures must prevent commitment";
+}
+
+TEST(Pbft, ViewChangeReplacesCrashedPrimary) {
+  PbftCluster pc(1);
+  pc.replicas[0]->crash();  // primary of view 0
+  pc.client->submit("after-crash");
+  pc.sim.run_until(ds::minutes(2));
+  ASSERT_EQ(pc.completions.size(), 1u)
+      << "view change should recover liveness";
+  // Survivors moved past view 0.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(pc.replicas[i]->view(), 0u) << "replica " << i;
+  }
+  // And the committed op is executed by all survivors.
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(pc.executed[i].size(), 1u);
+    EXPECT_EQ(pc.executed[i][0].op, "after-crash");
+  }
+}
+
+TEST(Pbft, SurvivesPrimaryCrashMidStream) {
+  PbftCluster pc(1);
+  for (int i = 0; i < 5; ++i) pc.client->submit("pre" + std::to_string(i));
+  pc.sim.run_until(ds::seconds(10));
+  pc.replicas[0]->crash();
+  for (int i = 0; i < 5; ++i) pc.client->submit("post" + std::to_string(i));
+  pc.sim.run_until(ds::minutes(3));
+  EXPECT_EQ(pc.completions.size(), 10u);
+  // Execution histories of the survivors agree.
+  for (std::size_t r = 2; r < 4; ++r) {
+    const std::size_t common =
+        std::min(pc.executed[1].size(), pc.executed[r].size());
+    for (std::size_t i = 0; i < common; ++i) {
+      EXPECT_EQ(pc.executed[1][i].id, pc.executed[r][i].id);
+    }
+  }
+}
+
+TEST(Pbft, LargerClustersStillCommit) {
+  PbftCluster pc(3);  // n = 10
+  for (int i = 0; i < 10; ++i) pc.client->submit("op" + std::to_string(i));
+  pc.sim.run_until(ds::seconds(30));
+  EXPECT_EQ(pc.completions.size(), 10u);
+}
+
+TEST(Pbft, QuadraticMessageComplexity) {
+  // Message count per request grows ~n^2: measure n=4 vs n=10.
+  auto run = [](std::size_t f) {
+    PbftCluster pc(f);
+    const auto before = pc.net.messages_sent();
+    for (int i = 0; i < 10; ++i) pc.client->submit("op");
+    pc.sim.run_until(ds::seconds(20));
+    EXPECT_EQ(pc.completions.size(), 10u);
+    return (pc.net.messages_sent() - before) / 10;
+  };
+  const auto small = run(1);   // n = 4
+  const auto large = run(3);   // n = 10
+  // (10/4)^2 ~ 6.2x; demand at least 3x to allow for client traffic.
+  EXPECT_GT(large, small * 3);
+}
+
+TEST(Pbft, DuplicateClientRequestExecutedOnce) {
+  PbftCluster pc(1);
+  pc.client->submit("only-once");
+  pc.sim.run_until(ds::seconds(5));
+  // Client retry path: resubmit the same command id manually by poking the
+  // replicas with a duplicate request.
+  ASSERT_EQ(pc.executed[1].size(), 1u);
+  const db::Command& cmd = pc.executed[1][0];
+  for (auto& r : pc.replicas) {
+    pc.net.send(pc.client->addr(), r->addr(), db::pbft_msg::Request{cmd}, 64);
+  }
+  pc.sim.run_until(pc.sim.now() + ds::seconds(10));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pc.executed[i].size(), 1u) << "replica " << i;
+  }
+}

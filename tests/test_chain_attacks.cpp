@@ -1,0 +1,171 @@
+// Selfish mining, double-spend, energy and pool-concentration models.
+#include <gtest/gtest.h>
+
+#include "chain/attacks.hpp"
+#include "chain/economics.hpp"
+#include "sim/stats.hpp"
+
+namespace dc = decentnet::chain;
+namespace ds = decentnet::sim;
+
+// --- Selfish mining ----------------------------------------------------------
+
+TEST(SelfishMining, AnalyticMatchesKnownValues) {
+  // At the gamma=0 threshold alpha=1/3 revenue equals the fair share.
+  EXPECT_NEAR(dc::selfish_revenue_analytic(1.0 / 3.0, 0.0), 1.0 / 3.0, 1e-9);
+  // Thresholds from the paper.
+  EXPECT_NEAR(dc::selfish_threshold(0.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dc::selfish_threshold(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(dc::selfish_threshold(0.5), 0.25, 1e-12);
+}
+
+class SelfishSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SelfishSweep, MonteCarloTracksAnalytic) {
+  const auto [alpha, gamma] = GetParam();
+  ds::Rng rng(1234);
+  const auto out = dc::simulate_selfish_mining(alpha, gamma, 1'000'000, rng);
+  const double analytic = dc::selfish_revenue_analytic(alpha, gamma);
+  EXPECT_NEAR(out.pool_revenue_share(), analytic, 0.01)
+      << "alpha=" << alpha << " gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGamma, SelfishSweep,
+    ::testing::Values(std::make_tuple(0.2, 0.0), std::make_tuple(0.3, 0.0),
+                      std::make_tuple(0.4, 0.0), std::make_tuple(0.45, 0.0),
+                      std::make_tuple(0.3, 0.5), std::make_tuple(0.4, 0.5),
+                      std::make_tuple(0.3, 1.0), std::make_tuple(0.4, 1.0)));
+
+TEST(SelfishMining, BelowThresholdEarnsLessThanFair) {
+  ds::Rng rng(5);
+  const auto out = dc::simulate_selfish_mining(0.2, 0.0, 2'000'000, rng);
+  EXPECT_LT(out.pool_revenue_share(), 0.2);
+}
+
+TEST(SelfishMining, AboveThresholdEarnsMoreThanFair) {
+  ds::Rng rng(6);
+  const auto out = dc::simulate_selfish_mining(0.4, 0.0, 2'000'000, rng);
+  EXPECT_GT(out.pool_revenue_share(), 0.4);
+}
+
+TEST(SelfishMining, CausesStaleBlocks) {
+  ds::Rng rng(7);
+  const auto out = dc::simulate_selfish_mining(0.35, 0.5, 1'000'000, rng);
+  EXPECT_GT(out.stale_rate(), 0.01)
+      << "withholding must orphan honest work";
+}
+
+TEST(SelfishMining, ZeroAlphaEarnsNothing) {
+  ds::Rng rng(8);
+  const auto out = dc::simulate_selfish_mining(0.0, 0.0, 100'000, rng);
+  EXPECT_EQ(out.pool_blocks, 0u);
+  EXPECT_EQ(out.honest_blocks, 100'000u);
+}
+
+// --- Double spend -------------------------------------------------------------
+
+TEST(DoubleSpend, AnalyticBoundaries) {
+  EXPECT_DOUBLE_EQ(dc::doublespend_success_probability(0.0, 6), 0.0);
+  EXPECT_DOUBLE_EQ(dc::doublespend_success_probability(0.5, 6), 1.0);
+  EXPECT_DOUBLE_EQ(dc::doublespend_success_probability(0.6, 1), 1.0);
+  // Nakamoto's table: q=0.1, z=10 -> ~0.0000012 (vanishing).
+  EXPECT_LT(dc::doublespend_success_probability(0.1, 10), 1e-4);
+  // q=0.3, z=6 -> ~0.13 in Nakamoto's paper (his formula).
+  EXPECT_NEAR(dc::doublespend_success_probability(0.3, 6), 0.13, 0.05);
+}
+
+TEST(DoubleSpend, MoreConfirmationsLowerRisk) {
+  double prev = 1.0;
+  for (unsigned z = 0; z <= 8; z += 2) {
+    const double p = dc::doublespend_success_probability(0.25, z);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+class DoubleSpendMc : public ::testing::TestWithParam<std::tuple<double, unsigned>> {};
+
+TEST_P(DoubleSpendMc, MonteCarloTracksAnalytic) {
+  const auto [q, z] = GetParam();
+  ds::Rng rng(777);
+  const double mc = dc::doublespend_success_mc(q, z, 100'000, 200, rng);
+  const double an = dc::doublespend_success_probability(q, z);
+  // Nakamoto's closed form uses a Poisson approximation for the attacker's
+  // head start; the Monte Carlo runs the exact race; the gap widens as q approaches 0.5.
+  EXPECT_NEAR(mc, an, 0.035) << "q=" << q << " z=" << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QZ, DoubleSpendMc,
+    ::testing::Values(std::make_tuple(0.1, 2), std::make_tuple(0.1, 6),
+                      std::make_tuple(0.25, 2), std::make_tuple(0.25, 6),
+                      std::make_tuple(0.4, 4), std::make_tuple(0.45, 2)));
+
+// --- Energy model --------------------------------------------------------------
+
+TEST(Energy, EquilibriumScalesWithPrice) {
+  dc::EnergyParams p;
+  p.coin_price_usd = 10000;
+  const double h1 = dc::equilibrium_hashrate(p);
+  p.coin_price_usd = 20000;
+  const double h2 = dc::equilibrium_hashrate(p);
+  EXPECT_NEAR(h2 / h1, 2.0, 1e-9) << "hashrate tracks price linearly";
+}
+
+TEST(Energy, Circa2018NumbersReproduceTensOfTwh) {
+  // ~$8k BTC, 12.5 BTC reward, 144 blocks/day, 50 pJ/hash, 5 ct/kWh:
+  // the Economist's "~70 TWh/yr, roughly Austria" claim should appear.
+  dc::EnergyParams p;
+  p.coin_price_usd = 8000;
+  p.block_reward_coins = 12.5;
+  p.blocks_per_day = 144;
+  p.joules_per_hash = 50e-12;
+  p.electricity_usd_per_kwh = 0.05;
+  p.electricity_revenue_fraction = 0.7;
+  const double h = dc::equilibrium_hashrate(p);
+  const double twh = dc::annual_energy_twh(h, p.joules_per_hash);
+  EXPECT_GT(twh, 30.0);
+  EXPECT_LT(twh, 120.0);
+}
+
+TEST(Energy, ConsumptionIndependentOfThroughput) {
+  // Throughput depends on block size; energy does not.
+  dc::EnergyParams p;
+  const double h = dc::equilibrium_hashrate(p);
+  const double tx_small = dc::daily_tx_capacity(144, 1'000'000, 250);
+  const double tx_large = dc::daily_tx_capacity(144, 8'000'000, 250);
+  EXPECT_NEAR(tx_large / tx_small, 8.0, 1e-9);
+  // Same hashrate either way: energy per tx differs 8x.
+  EXPECT_GT(h, 0);
+}
+
+// --- Pool concentration ---------------------------------------------------------
+
+TEST(Pools, ScaleEconomiesConcentrateHashpower) {
+  dc::PoolSimConfig flat;
+  flat.scale_exponent = 0.0;
+  flat.rounds = 300;
+  dc::PoolSimConfig scaled = flat;
+  scaled.scale_exponent = 0.25;
+  ds::Rng rng1(42), rng2(42);
+  const auto flat_shares = dc::simulate_pool_concentration(flat, rng1);
+  const auto scaled_shares = dc::simulate_pool_concentration(scaled, rng2);
+  const double gini_flat = ds::gini(flat_shares);
+  const double gini_scaled = ds::gini(scaled_shares);
+  EXPECT_GT(gini_scaled, gini_flat)
+      << "economies of scale must increase inequality";
+  EXPECT_LE(ds::nakamoto_coefficient(scaled_shares),
+            ds::nakamoto_coefficient(flat_shares));
+}
+
+TEST(Pools, OutputSizesMatchMinerCount) {
+  dc::PoolSimConfig cfg;
+  cfg.miners = 500;
+  cfg.rounds = 50;
+  ds::Rng rng(1);
+  const auto shares = dc::simulate_pool_concentration(cfg, rng);
+  EXPECT_EQ(shares.size(), 500u);
+  for (double s : shares) EXPECT_GE(s, 0.0);
+}

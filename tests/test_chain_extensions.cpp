@@ -1,0 +1,182 @@
+// Proof-of-stake model and layer-2 payment channels (the paper's §III-C
+// asides: proof-of-X alternatives and Lightning/Plasma-style off-chain
+// designs).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chain/channels.hpp"
+#include "chain/pos.hpp"
+#include "sim/stats.hpp"
+
+namespace dc = decentnet::chain;
+namespace ds = decentnet::sim;
+
+// --- Proof of stake ----------------------------------------------------------
+
+TEST(Pos, SelectionIsStakeProportional) {
+  ds::Rng rng(1);
+  std::vector<double> stakes{10, 30, 60};
+  std::vector<int> wins(3, 0);
+  const int slots = 60000;
+  for (int i = 0; i < slots; ++i) {
+    ++wins[dc::pos_select_validator(stakes, rng)];
+  }
+  EXPECT_NEAR(wins[0] / static_cast<double>(slots), 0.10, 0.01);
+  EXPECT_NEAR(wins[1] / static_cast<double>(slots), 0.30, 0.01);
+  EXPECT_NEAR(wins[2] / static_cast<double>(slots), 0.60, 0.01);
+}
+
+TEST(Pos, UniversalStakingIsShareStable) {
+  // When everyone stakes, compounding rewards are a fair lottery: the Gini
+  // coefficient should not move systematically.
+  dc::StakeSimConfig cfg;
+  cfg.validators = 400;
+  cfg.slots = 100'000;
+  ds::Rng rng0(7);
+  std::vector<double> initial(cfg.validators);
+  for (auto& s : initial) s = rng0.pareto(1.0, cfg.initial_pareto_alpha);
+  const double gini_initial_like = ds::gini(initial);
+  ds::Rng rng(7);
+  const auto final_stake = dc::simulate_stake_concentration(cfg, rng);
+  EXPECT_NEAR(ds::gini(final_stake), gini_initial_like, 0.1);
+}
+
+TEST(Pos, MinimumStakeConcentrates) {
+  dc::StakeSimConfig open_cfg;
+  open_cfg.validators = 400;
+  open_cfg.slots = 200'000;
+  dc::StakeSimConfig gated = open_cfg;
+  gated.min_stake_rel = 2.0;           // only above-mean holders may stake
+  gated.non_staking_fraction = 0.3;    // the small tail cannot afford to
+  ds::Rng r1(9), r2(9);
+  const auto open_stake = dc::simulate_stake_concentration(open_cfg, r1);
+  const auto gated_stake = dc::simulate_stake_concentration(gated, r2);
+  EXPECT_GT(ds::gini(gated_stake), ds::gini(open_stake));
+  EXPECT_LE(ds::nakamoto_coefficient(gated_stake),
+            ds::nakamoto_coefficient(open_stake));
+}
+
+TEST(Pos, AttackCostCollapsesWithRecovery) {
+  dc::PosAttackParams p;
+  p.total_stake_value_usd = 1e9;
+  p.control_fraction = 0.5;
+  p.recovery_fraction = 0.9;
+  const auto cost = dc::pos_attack_cost(p);
+  EXPECT_DOUBLE_EQ(cost.outlay_usd, 5e8);
+  EXPECT_DOUBLE_EQ(cost.net_cost_usd, 5e7);
+  // Houy's limit: perfect hedging makes the attack free.
+  p.recovery_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(dc::pos_attack_cost(p).net_cost_usd, 0.0);
+}
+
+TEST(Pos, PowAttackBurnsRealResources) {
+  dc::PowAttackParams p;
+  const auto cost = dc::pow_attack_cost(p);
+  EXPECT_GT(cost.outlay_usd, 0);
+  // Even with hardware resale, the power bill and stranded ASICs remain.
+  EXPECT_GT(cost.net_cost_usd, cost.outlay_usd * 0.5);
+}
+
+// --- Payment channels ----------------------------------------------------------
+
+TEST(Channels, DirectPaymentShiftsBalance) {
+  dc::ChannelNetwork net(2);
+  net.open_channel(0, 1, 100, 100);
+  const auto r = net.pay(0, 1, 60);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.hops, 1u);
+  EXPECT_EQ(net.spendable(0), 40);
+  EXPECT_EQ(net.spendable(1), 160);
+}
+
+TEST(Channels, PaymentFailsBeyondCapacity) {
+  dc::ChannelNetwork net(2);
+  net.open_channel(0, 1, 100, 0);
+  EXPECT_FALSE(net.pay(0, 1, 150).ok);
+  EXPECT_TRUE(net.pay(0, 1, 100).ok);
+  // Direction matters: 1 can pay back what it received, and no more.
+  EXPECT_FALSE(net.pay(1, 0, 200).ok);
+  EXPECT_TRUE(net.pay(1, 0, 100).ok);
+}
+
+TEST(Channels, MultiHopRoutesThroughIntermediary) {
+  dc::ChannelNetwork net(3);
+  net.open_channel(0, 1, 100, 100);
+  net.open_channel(1, 2, 100, 100);
+  const auto r = net.pay(0, 2, 50);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.hops, 2u);
+  // The intermediary's total is conserved, shifted between its channels.
+  EXPECT_EQ(net.spendable(1), 200);
+  EXPECT_EQ(net.spendable(2), 150);
+  const auto load = net.forwarding_load();
+  EXPECT_EQ(load[1], 1.0);
+}
+
+TEST(Channels, RoutingAvoidsDepletedEdges) {
+  // 0-1-3 depleted; 0-2-3 has capacity: BFS must take the open route.
+  dc::ChannelNetwork net(4);
+  net.open_channel(0, 1, 10, 0);
+  net.open_channel(1, 3, 0, 10);   // 1 cannot forward to 3
+  net.open_channel(0, 2, 100, 0);
+  net.open_channel(2, 3, 100, 0);
+  const auto r = net.pay(0, 3, 50);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.path.size(), 3u);
+  EXPECT_EQ(r.path[1], 2u);
+}
+
+TEST(Channels, ConservationOfFunds) {
+  ds::Rng rng(3);
+  auto net = dc::make_mesh_topology(30, 3, 1000, rng);
+  std::int64_t total_before = 0;
+  for (const auto& ch : net.channels()) total_before += ch.capacity();
+  for (int i = 0; i < 500; ++i) {
+    net.pay(rng.uniform_int(30), rng.uniform_int(30),
+            static_cast<std::int64_t>(1 + rng.uniform_int(200ul)));
+  }
+  std::int64_t total_after = 0;
+  for (const auto& ch : net.channels()) total_after += ch.capacity();
+  EXPECT_EQ(total_before, total_after);
+}
+
+TEST(Channels, HubTopologyConcentratesForwarding) {
+  ds::Rng rng(5);
+  auto hub = dc::make_hub_topology(200, 3, 500, 100000, rng);
+  auto mesh = dc::make_mesh_topology(200, 4, 500, rng);
+  int hub_ok = 0, mesh_ok = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = rng.uniform_int(200);
+    auto b = rng.uniform_int(200);
+    if (b == a) b = (b + 1) % 200;
+    const std::int64_t amount = 1 + static_cast<std::int64_t>(rng.uniform_int(50ul));
+    if (hub.pay(a, b, amount).ok) ++hub_ok;
+    if (mesh.pay(a, b, amount).ok) ++mesh_ok;
+  }
+  EXPECT_GT(hub_ok, 1500);
+  const double hub_gini = ds::gini(hub.forwarding_load());
+  const double mesh_gini = ds::gini(mesh.forwarding_load());
+  EXPECT_GT(hub_gini, mesh_gini)
+      << "hub-and-spoke must concentrate routing power";
+  EXPECT_LE(ds::nakamoto_coefficient(hub.forwarding_load()), 3u);
+}
+
+TEST(Channels, MeshPaymentsSucceedAndSpreadLoad) {
+  ds::Rng rng(6);
+  auto mesh = dc::make_mesh_topology(100, 4, 1000, rng);
+  int ok = 0;
+  double total_hops = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = rng.uniform_int(100);
+    auto b = rng.uniform_int(100);
+    if (b == a) b = (b + 1) % 100;
+    const auto r = mesh.pay(a, b, 10);
+    if (r.ok) {
+      ++ok;
+      total_hops += static_cast<double>(r.hops);
+    }
+  }
+  EXPECT_GT(ok, 900);
+  EXPECT_LT(total_hops / ok, 6.0);  // small-world-ish diameter
+}

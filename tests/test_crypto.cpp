@@ -1,0 +1,220 @@
+// Crypto substrate tests: SHA-256 against FIPS/NIST vectors, HMAC-SHA256
+// against RFC 4231 vectors, Merkle proofs across tree sizes, and the
+// simulation signature scheme.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/buffer.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/merkle.hpp"
+
+namespace dc = decentnet::crypto;
+
+TEST(Sha256, NistVectorEmpty) {
+  EXPECT_EQ(dc::sha256("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, NistVectorAbc) {
+  EXPECT_EQ(dc::sha256("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistVectorTwoBlocks) {
+  EXPECT_EQ(
+      dc::sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const std::string input(1000000, 'a');
+  EXPECT_EQ(dc::sha256(input).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/64-byte messages exercise the padding edge cases.
+  EXPECT_EQ(dc::sha256(std::string(55, 'x')).hex().size(), 64u);
+  EXPECT_NE(dc::sha256(std::string(55, 'x')), dc::sha256(std::string(56, 'x')));
+  EXPECT_NE(dc::sha256(std::string(64, 'x')), dc::sha256(std::string(65, 'x')));
+}
+
+TEST(Sha256, DoubleHashDiffersFromSingle) {
+  const auto once = dc::sha256("payload");
+  const auto twice = dc::sha256d(dc::as_bytes("payload"));
+  EXPECT_NE(once, twice);
+  EXPECT_EQ(twice, dc::sha256(std::span<const std::uint8_t>(once.bytes)));
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(dc::hmac_sha256(key, dc::as_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(dc::hmac_sha256(dc::as_bytes("Jefe"),
+                            dc::as_bytes("what do ya want for nothing?"))
+                .hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(dc::hmac_sha256(
+                key, dc::as_bytes("Test Using Larger Than Block-Size Key - "
+                                  "Hash Key First"))
+                .hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hash256, HexRoundTrip) {
+  const auto h = dc::sha256("round trip");
+  EXPECT_EQ(dc::Hash256::from_hex(h.hex()), h);
+}
+
+TEST(Hash256, ComparisonIsBigEndianNumeric) {
+  dc::Hash256 small, big;
+  small.bytes[31] = 1;
+  big.bytes[0] = 1;
+  EXPECT_LT(small, big);
+  EXPECT_TRUE(dc::Hash256{}.is_zero());
+  EXPECT_FALSE(small.is_zero());
+}
+
+TEST(Hash256, XorDistanceProperties) {
+  const auto a = dc::sha256("a");
+  const auto b = dc::sha256("b");
+  EXPECT_TRUE(a.distance_to(a).is_zero());
+  EXPECT_EQ(a.distance_to(b), b.distance_to(a));
+}
+
+TEST(Hash256, LeadingZeroBits) {
+  dc::Hash256 h;
+  EXPECT_EQ(h.leading_zero_bits(), 256);
+  h.bytes[0] = 0x80;
+  EXPECT_EQ(h.leading_zero_bits(), 0);
+  h.bytes[0] = 0x01;
+  EXPECT_EQ(h.leading_zero_bits(), 7);
+  h.bytes[0] = 0;
+  h.bytes[2] = 0x10;
+  EXPECT_EQ(h.leading_zero_bits(), 16 + 3);
+}
+
+TEST(Hash256, BitAccessor) {
+  dc::Hash256 h;
+  h.bytes[0] = 0x80;
+  EXPECT_TRUE(h.bit(0));
+  EXPECT_FALSE(h.bit(1));
+  h.bytes[1] = 0x01;
+  EXPECT_TRUE(h.bit(15));
+}
+
+TEST(ByteWriter, DeterministicDigest) {
+  dc::ByteWriter w1, w2;
+  w1.str("hello").u64(42).u32(7).u8(1);
+  w2.str("hello").u64(42).u32(7).u8(1);
+  EXPECT_EQ(w1.sha256(), w2.sha256());
+  dc::ByteWriter w3;
+  w3.str("hello").u64(43).u32(7).u8(1);
+  EXPECT_NE(w1.sha256(), w3.sha256());
+}
+
+TEST(Keys, SignVerifyRoundTrip) {
+  auto& authority = dc::KeyAuthority::global();
+  const dc::PrivateKey key = authority.issue(12345);
+  const auto sig = key.sign("message");
+  EXPECT_TRUE(authority.verify(key.public_key(), "message", sig));
+  EXPECT_FALSE(authority.verify(key.public_key(), "other message", sig));
+}
+
+TEST(Keys, UnknownKeyFailsVerification) {
+  const dc::PrivateKey unregistered = dc::PrivateKey::from_seed(999999999);
+  const auto sig = unregistered.sign("m");
+  // The authority never saw this key pair.
+  EXPECT_FALSE(dc::KeyAuthority::global().verify(unregistered.public_key(),
+                                                 "m", sig));
+}
+
+TEST(Keys, WrongKeyCannotForge) {
+  auto& authority = dc::KeyAuthority::global();
+  const dc::PrivateKey alice = authority.issue(111);
+  const dc::PrivateKey mallory = authority.issue(222);
+  const auto forged = mallory.sign("pay mallory");
+  EXPECT_FALSE(authority.verify(alice.public_key(), "pay mallory", forged));
+}
+
+TEST(Keys, DeterministicFromSeed) {
+  EXPECT_EQ(dc::PrivateKey::from_seed(7).public_key(),
+            dc::PrivateKey::from_seed(7).public_key());
+  EXPECT_NE(dc::PrivateKey::from_seed(7).public_key(),
+            dc::PrivateKey::from_seed(8).public_key());
+}
+
+// --- Merkle trees, parameterized over leaf counts ---------------------------
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  std::vector<dc::Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(dc::sha256("leaf-" + std::to_string(i)));
+  }
+  dc::MerkleTree tree(leaves);
+  EXPECT_EQ(tree.leaf_count(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_TRUE(dc::MerkleTree::verify(leaves[i], i, proof, tree.root()))
+        << "leaf " << i << " of " << n;
+    // A different leaf must not verify with this proof.
+    const auto wrong = dc::sha256("tampered");
+    EXPECT_FALSE(dc::MerkleTree::verify(wrong, i, proof, tree.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33,
+                                           100));
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  dc::MerkleTree tree({});
+  EXPECT_TRUE(tree.root().is_zero());
+  EXPECT_TRUE(dc::MerkleTree::compute_root({}).is_zero());
+}
+
+TEST(Merkle, ComputeRootMatchesTree) {
+  std::vector<dc::Hash256> leaves;
+  for (int i = 0; i < 13; ++i) leaves.push_back(dc::sha256(std::to_string(i)));
+  dc::MerkleTree tree(leaves);
+  EXPECT_EQ(dc::MerkleTree::compute_root(leaves), tree.root());
+}
+
+TEST(Merkle, ProofWithWrongIndexFails) {
+  std::vector<dc::Hash256> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(dc::sha256(std::to_string(i)));
+  dc::MerkleTree tree(leaves);
+  const auto proof = tree.prove(3);
+  EXPECT_FALSE(dc::MerkleTree::verify(leaves[3], 4, proof, tree.root()));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  dc::MerkleTree tree({dc::sha256("only")});
+  EXPECT_THROW(tree.prove(1), std::out_of_range);
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  std::vector<dc::Hash256> leaves;
+  for (int i = 0; i < 6; ++i) leaves.push_back(dc::sha256(std::to_string(i)));
+  const auto root = dc::MerkleTree::compute_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i] = dc::sha256("mutated");
+    EXPECT_NE(dc::MerkleTree::compute_root(mutated), root);
+  }
+}

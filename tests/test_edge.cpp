@@ -1,0 +1,152 @@
+// Edge federation tests: placement policies, latency, control locality,
+// queueing at constrained tiers, and usage recording for cross-domain trust.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "edge/federation.hpp"
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+
+namespace de = decentnet::edge;
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+
+namespace {
+
+struct EdgeFixture {
+  ds::Simulator sim{31};
+  dn::GeoLatency* geo = nullptr;
+  std::unique_ptr<dn::Network> net;
+  std::unique_ptr<de::Federation> fed;
+  ds::Rng rng{9};
+
+  explicit EdgeFixture(de::Federation::Topology topo = {},
+                       de::EdgeConfig cfg = {}) {
+    auto geo_model = std::make_unique<dn::GeoLatency>(0.05);
+    geo = geo_model.get();
+    net = std::make_unique<dn::Network>(sim, std::move(geo_model));
+    fed = std::make_unique<de::Federation>(*net, *geo, topo, cfg);
+  }
+
+  /// Run `count` requests under `policy`; returns (ok, latency histogram,
+  /// in-region fraction).
+  struct Outcome {
+    ds::Histogram latency;
+    std::size_t ok = 0;
+    std::size_t in_region = 0;
+    std::size_t total = 0;
+  };
+
+  Outcome drive(de::PlacementPolicy policy, std::size_t count) {
+    auto outcome = std::make_shared<Outcome>();
+    for (std::size_t i = 0; i < count; ++i) {
+      sim.schedule(ds::millis(50) * static_cast<ds::SimDuration>(i), [this, policy, outcome] {
+        fed->issue_request(policy, rng,
+                           [outcome](bool ok, ds::SimDuration latency,
+                                     bool in_region, bool) {
+                             ++outcome->total;
+                             if (ok) {
+                               ++outcome->ok;
+                               outcome->latency.record(ds::to_millis(latency));
+                             }
+                             if (in_region) ++outcome->in_region;
+                           });
+      });
+    }
+    sim.run_until(sim.now() + ds::minutes(5));
+    return *outcome;
+  }
+};
+
+}  // namespace
+
+TEST(Edge, CloudOnlyServesEverythingRemotely) {
+  EdgeFixture fx;
+  const auto out = fx.drive(de::PlacementPolicy::CloudOnly, 100);
+  EXPECT_EQ(out.ok, 100u);
+  // Only users in the cloud's own region are "in region" (1 of 5 regions).
+  EXPECT_LT(static_cast<double>(out.in_region) / 100.0, 0.4);
+}
+
+TEST(Edge, EdgeFirstKeepsRequestsLocal) {
+  EdgeFixture fx;
+  const auto out = fx.drive(de::PlacementPolicy::EdgeFirst, 100);
+  EXPECT_EQ(out.ok, 100u);
+  EXPECT_GT(static_cast<double>(out.in_region) / 100.0, 0.8);
+}
+
+TEST(Edge, EdgeFirstCutsTailLatency) {
+  EdgeFixture cloud_fx;
+  const auto cloud = cloud_fx.drive(de::PlacementPolicy::CloudOnly, 200);
+  EdgeFixture edge_fx;
+  const auto edge = edge_fx.drive(de::PlacementPolicy::EdgeFirst, 200);
+  EXPECT_LT(edge.latency.percentile(50), cloud.latency.percentile(50))
+      << "median latency should drop with in-region serving";
+  EXPECT_LT(edge.latency.mean(), cloud.latency.mean());
+}
+
+TEST(Edge, UsageRecorderFiresOnCrossDomainService) {
+  EdgeFixture fx;
+  std::size_t recorded = 0;
+  fx.fed->set_usage_recorder(
+      [&](const std::string& provider, const std::string& user) {
+        EXPECT_NE(provider, user);
+        ++recorded;
+      });
+  fx.drive(de::PlacementPolicy::EdgeFirst, 100);
+  // Users' home domain is org-R-0; half of in-region hits go to org-R-1.
+  EXPECT_GT(recorded, 10u);
+}
+
+TEST(Edge, QueueingDelaysShowUnderLoad) {
+  // A single-slot personal device serving many simultaneous requests must
+  // exhibit queueing growth.
+  ds::Simulator sim(3);
+  auto geo = std::make_unique<dn::GeoLatency>(0.0);
+  dn::GeoLatency* geo_ptr = geo.get();
+  dn::Network net(sim, std::move(geo));
+  de::EdgeConfig cfg;
+  cfg.personal.service_time = ds::millis(50);
+  cfg.personal.slots = 1;
+  de::EdgeNode device(net, net.new_node_id(), de::DeviceTier::Personal,
+                      "home", 0, cfg);
+  geo_ptr->assign(device.addr(), 0);
+  de::UserAgent user(net, net.new_node_id(), "home", 0, cfg);
+  geo_ptr->assign(user.addr(), 0);
+  std::vector<double> latencies;
+  for (int i = 0; i < 10; ++i) {
+    user.request(device, [&](bool ok, ds::SimDuration latency) {
+      EXPECT_TRUE(ok);
+      latencies.push_back(ds::to_millis(latency));
+    });
+  }
+  sim.run_until(ds::minutes(1));
+  ASSERT_EQ(latencies.size(), 10u);
+  // The 10th request waited behind nine 50 ms services.
+  EXPECT_GT(latencies.back(), latencies.front() + 400.0);
+  EXPECT_EQ(device.served(), 10u);
+}
+
+TEST(Edge, CloudAbsorbsTheSameBurst) {
+  ds::Simulator sim(4);
+  auto geo = std::make_unique<dn::GeoLatency>(0.0);
+  dn::GeoLatency* geo_ptr = geo.get();
+  dn::Network net(sim, std::move(geo));
+  de::EdgeConfig cfg;
+  de::EdgeNode dc(net, net.new_node_id(), de::DeviceTier::Cloud, "hyper", 0,
+                  cfg);
+  geo_ptr->assign(dc.addr(), 0);
+  de::UserAgent user(net, net.new_node_id(), "home", 0, cfg);
+  geo_ptr->assign(user.addr(), 0);
+  std::vector<double> latencies;
+  for (int i = 0; i < 10; ++i) {
+    user.request(dc, [&](bool ok, ds::SimDuration latency) {
+      if (ok) latencies.push_back(ds::to_millis(latency));
+    });
+  }
+  sim.run_until(ds::minutes(1));
+  ASSERT_EQ(latencies.size(), 10u);
+  // 64 parallel slots: no queueing for a burst of 10.
+  EXPECT_LT(latencies.back(), latencies.front() + 5.0);
+}

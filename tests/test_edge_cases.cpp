@@ -1,0 +1,222 @@
+// Boundary and corner cases across modules: empty inputs, single-element
+// populations, exhausted capacity, reorged-out history, hostile parameters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "chain/channels.hpp"
+#include "chain/light.hpp"
+#include "chain/miner.hpp"
+#include "chain/node.hpp"
+#include "chain/wallet.hpp"
+#include "net/churn.hpp"
+#include "net/network.hpp"
+#include "overlay/gossip.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace dc = decentnet::chain;
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+namespace ov = decentnet::overlay;
+
+// --- sim ------------------------------------------------------------------------
+
+TEST(EdgeCases, EmptyHistogramIsZeroEverywhere) {
+  ds::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1.0), 0);
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(EdgeCases, StatsOnEmptyAndDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(ds::gini({}), 0);
+  EXPECT_DOUBLE_EQ(ds::gini({0, 0, 0}), 0);
+  EXPECT_EQ(ds::nakamoto_coefficient({}), 0u);
+  EXPECT_EQ(ds::nakamoto_coefficient({5}), 1u);
+  EXPECT_DOUBLE_EQ(ds::shannon_entropy({}), 0);
+  EXPECT_DOUBLE_EQ(ds::top_k_share({1, 2, 3}, 0), 0);
+  EXPECT_DOUBLE_EQ(ds::top_k_share({1, 2, 3}, 99), 1.0);
+}
+
+TEST(EdgeCases, RngRejectsNonPositiveRates) {
+  ds::Rng rng(1);
+  EXPECT_THROW(rng.exponential(0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(0, 1), std::invalid_argument);
+  EXPECT_THROW(rng.weibull(1, 0), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(EdgeCases, PeriodicWithNonPositivePeriodThrows) {
+  ds::Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(0, 0, [] {}), std::invalid_argument);
+}
+
+// --- net ------------------------------------------------------------------------
+
+TEST(EdgeCases, UnreachableNodeCanSendButNotReceive) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  struct Probe : dn::Host {
+    int got = 0;
+    void handle_message(const dn::Message&) override { ++got; }
+  } a, b;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.set_unreachable(ida, true);
+  net.send(ida, idb, 1, 8);  // NATed node can still send
+  net.send(idb, ida, 2, 8);  // but never receives
+  sim.run_all();
+  EXPECT_EQ(b.got, 1);
+  EXPECT_EQ(a.got, 0);
+  net.set_unreachable(ida, false);
+  net.send(idb, ida, 3, 8);
+  sim.run_all();
+  EXPECT_EQ(a.got, 1);
+}
+
+TEST(EdgeCases, ChurnDriverWithZeroPeers) {
+  ds::Simulator sim;
+  dn::ChurnDriver churn(
+      sim, 0, dn::ChurnConfig{}, [](std::size_t) {}, [](std::size_t) {});
+  churn.start();
+  sim.run_until(ds::minutes(1));
+  EXPECT_EQ(churn.online_count(), 0u);
+}
+
+// --- overlays ---------------------------------------------------------------------
+
+TEST(EdgeCases, KademliaLookupWithEmptyTableCompletes) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  ov::KademliaNode lonely(net, net.new_node_id(), ov::KademliaConfig{});
+  lonely.join({});
+  bool done = false;
+  lonely.lookup(decentnet::crypto::sha256("anything"),
+                [&](ov::LookupResult r) {
+                  done = true;
+                  EXPECT_TRUE(r.closest.empty());
+                });
+  sim.run_until(ds::minutes(1));
+  EXPECT_TRUE(done);
+}
+
+TEST(EdgeCases, GossipNodeAloneDoesNotCrash) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  ov::GossipNode solo(net, net.new_node_id(), ov::GossipConfig{});
+  solo.join({});
+  solo.broadcast(7, 16);
+  sim.run_until(ds::minutes(2));
+  EXPECT_TRUE(solo.has_seen(7));
+}
+
+// --- chain ------------------------------------------------------------------------
+
+TEST(EdgeCases, WalletPayRejectsNonPositiveAmount) {
+  const dc::Wallet w = dc::Wallet::from_seed(0xEC1);
+  dc::UtxoSet utxo;
+  const auto genesis = dc::make_genesis_multi({{w.address(), 100}}, 1.0);
+  (void)utxo.apply_block(*genesis, 0);
+  EXPECT_FALSE(w.pay(utxo, w.address(), 0, 0).has_value());
+  EXPECT_FALSE(w.pay(utxo, w.address(), -5, 0).has_value());
+}
+
+TEST(EdgeCases, LightClientProofFailsForReorgedOutTransaction) {
+  // Build two nodes; a tx confirms on a short branch that later loses.
+  ds::Simulator sim(9);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)));
+  dc::ChainParams params;
+  params.retarget_window = 0;
+  params.initial_difficulty = 1e6;
+  const dc::Wallet alice = dc::Wallet::from_seed(0xEC2);
+  const dc::Wallet bob = dc::Wallet::from_seed(0xEC3);
+  const auto genesis =
+      dc::make_genesis_multi({{alice.address(), 5000}}, 1e6);
+  dc::FullNode node(net, net.new_node_id(), params, genesis);
+  dc::LightNode phone(net, net.new_node_id());
+  phone.set_server(node.addr());
+  node.add_light_client(phone.addr());
+
+  // Branch A: one block containing alice->bob.
+  const auto tx = alice.pay(node.utxo(), bob.address(), 1000, 0);
+  ASSERT_TRUE(tx.has_value());
+  node.submit_transaction(*tx);
+  dc::Block a1 = node.make_block_template(bob.address(), 1);
+  ASSERT_TRUE(node.submit_block(std::make_shared<const dc::Block>(a1)));
+  sim.run_until(sim.now() + ds::seconds(5));
+
+  // Branch B: two empty blocks from genesis take over (more work).
+  dc::BlockId prev = genesis->id();
+  for (int i = 0; i < 2; ++i) {
+    dc::Block b;
+    b.header.prev = prev;
+    b.header.difficulty = params.initial_difficulty;
+    b.header.timestamp = sim.now();
+    b.txs.push_back(dc::make_coinbase(bob.address(), params.block_reward,
+                                      static_cast<std::uint64_t>(100 + i)));
+    b.header.merkle_root = b.compute_merkle_root();
+    auto ptr = std::make_shared<const dc::Block>(std::move(b));
+    ASSERT_TRUE(node.submit_block(ptr));
+    prev = ptr->id();
+  }
+  sim.run_until(sim.now() + ds::seconds(5));
+  EXPECT_EQ(node.tree().best_height(), 2u);
+  EXPECT_EQ(node.utxo().balance_of(bob.address()),
+            2 * params.block_reward)
+      << "the reorged-out payment must be gone from the UTXO";
+
+  // The full node no longer serves a proof for the orphaned tx.
+  bool done = false;
+  phone.verify_inclusion(tx->id(), [&](bool ok) {
+    done = true;
+    EXPECT_FALSE(ok);
+  });
+  sim.run_until(sim.now() + ds::seconds(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(EdgeCases, MinerStopsCleanly) {
+  ds::Simulator sim(3);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  dc::ChainParams params;
+  params.retarget_window = 0;
+  params.initial_difficulty = 1e5;
+  const dc::Wallet w = dc::Wallet::from_seed(0xEC4);
+  dc::FullNode node(net, net.new_node_id(), params,
+                    dc::make_genesis(w.address(), 10, 1e5));
+  dc::Miner miner(node, w.address(), 1e5 / 10.0);
+  miner.start();
+  sim.run_until(ds::minutes(5));
+  miner.stop();
+  const auto height = node.tree().best_height();
+  EXPECT_GT(height, 0u);
+  sim.run_until(sim.now() + ds::minutes(10));
+  EXPECT_EQ(node.tree().best_height(), height) << "no blocks after stop";
+  miner.set_hashrate(0);
+  miner.start();  // zero hashrate: must not schedule anything
+  sim.run_until(sim.now() + ds::minutes(5));
+  EXPECT_EQ(node.tree().best_height(), height);
+}
+
+TEST(EdgeCases, ChannelNetworkRejectsBadEndpoints) {
+  dc::ChannelNetwork net(3);
+  EXPECT_THROW(net.open_channel(0, 0, 10, 10), std::invalid_argument);
+  EXPECT_THROW(net.open_channel(0, 7, 10, 10), std::invalid_argument);
+  EXPECT_FALSE(net.pay(0, 0, 5).ok);
+  EXPECT_FALSE(net.pay(0, 1, 5).ok);  // no channels at all
+  net.open_channel(0, 1, 10, 0);
+  EXPECT_FALSE(net.pay(0, 1, 0).ok);   // non-positive amount
+  EXPECT_FALSE(net.pay(0, 2, 5).ok);   // unreachable payee
+}

@@ -1,0 +1,136 @@
+// Failure injection: protocols that must survive a lossy, flaky network.
+// Raft's retransmitting heartbeats and gossip's redundancy are the two
+// self-healing mechanisms the cloud stack (and Fabric) leans on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bft/raft.hpp"
+#include "net/network.hpp"
+#include "overlay/gossip.hpp"
+#include "sim/simulator.hpp"
+
+namespace db = decentnet::bft;
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+namespace ov = decentnet::overlay;
+
+TEST(FaultInjection, RaftCommitsDespiteMessageLoss) {
+  ds::Simulator sim(99);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)));
+  net.set_drop_probability(0.10);  // 10% of every message vanishes
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 5; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<db::RaftNode>> nodes;
+  std::vector<std::vector<db::Command>> applied(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<db::RaftNode>(net, addrs[i], i,
+                                                   db::RaftConfig{}));
+    nodes.back()->set_group(addrs);
+    nodes.back()->set_commit_hook(
+        [&applied, i](std::uint64_t, const db::Command& cmd) {
+          applied[i].push_back(cmd);
+        });
+    nodes.back()->start();
+  }
+  sim.run_until(ds::seconds(5));
+  // Propose through whoever leads, re-finding the leader as terms churn.
+  std::uint64_t next = 1;
+  for (int round = 0; round < 40; ++round) {
+    for (auto& n : nodes) {
+      if (n->is_leader()) {
+        db::Command cmd;
+        cmd.id = next++;
+        n->propose(std::move(cmd));
+        break;
+      }
+    }
+    sim.run_until(sim.now() + ds::millis(500));
+  }
+  sim.run_until(sim.now() + ds::seconds(10));
+  // Liveness: most proposals commit; safety: identical prefixes.
+  EXPECT_GT(applied[0].size(), 25u);
+  for (std::size_t nidx = 1; nidx < 5; ++nidx) {
+    const std::size_t common =
+        std::min(applied[0].size(), applied[nidx].size());
+    for (std::size_t i = 0; i < common; ++i) {
+      EXPECT_EQ(applied[0][i].id, applied[nidx][i].id);
+    }
+  }
+}
+
+TEST(FaultInjection, GossipCoverageSurvivesLoss) {
+  ds::Simulator sim(5);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(15)));
+  net.set_drop_probability(0.20);
+  ov::GossipConfig cfg;
+  cfg.fanout = 6;  // extra redundancy vs the lossless default of 4
+  std::vector<dn::NodeId> addrs;
+  const std::size_t n = 150;
+  for (std::size_t i = 0; i < n; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<ov::GossipNode>> nodes;
+  ds::Rng rng(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<ov::GossipNode>(net, addrs[i], cfg));
+    std::vector<dn::NodeId> view;
+    for (int k = 0; k < 10; ++k) view.push_back(addrs[rng.uniform_int(n)]);
+    nodes.back()->join(view);
+  }
+  sim.run_until(ds::minutes(2));
+  nodes[0]->broadcast(1, 128);
+  sim.run_until(sim.now() + ds::minutes(1));
+  std::size_t reached = 0;
+  for (const auto& node : nodes) {
+    if (node->has_seen(1)) ++reached;
+  }
+  EXPECT_GT(reached, n * 85 / 100)
+      << "epidemic redundancy should absorb 20% loss";
+}
+
+TEST(FaultInjection, RaftRecoversFromRollingCrashes) {
+  ds::Simulator sim(123);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)));
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 5; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<db::RaftNode>> nodes;
+  std::vector<std::vector<db::Command>> applied(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    nodes.push_back(std::make_unique<db::RaftNode>(net, addrs[i], i,
+                                                   db::RaftConfig{}));
+    nodes.back()->set_group(addrs);
+    nodes.back()->set_commit_hook(
+        [&applied, i](std::uint64_t, const db::Command& cmd) {
+          applied[i].push_back(cmd);
+        });
+    nodes.back()->start();
+  }
+  sim.run_until(ds::seconds(2));
+  std::uint64_t next = 1;
+  // Roll a crash across the cluster: one node down at a time.
+  for (std::size_t victim = 0; victim < 5; ++victim) {
+    nodes[victim]->crash();
+    for (int i = 0; i < 5; ++i) {
+      sim.run_until(sim.now() + ds::seconds(1));
+      for (auto& nd : nodes) {
+        if (nd->is_leader()) {
+          db::Command cmd;
+          cmd.id = next++;
+          nd->propose(std::move(cmd));
+          break;
+        }
+      }
+    }
+    nodes[victim]->restart();
+    sim.run_until(sim.now() + ds::seconds(2));
+  }
+  sim.run_until(sim.now() + ds::seconds(5));
+  // All nodes eventually applied the same full sequence.
+  EXPECT_GT(applied[0].size(), 15u);
+  for (std::size_t nidx = 1; nidx < 5; ++nidx) {
+    EXPECT_EQ(applied[nidx].size(), applied[0].size()) << "node " << nidx;
+    for (std::size_t i = 0; i < applied[0].size(); ++i) {
+      EXPECT_EQ(applied[0][i].id, applied[nidx][i].id);
+    }
+  }
+}

@@ -1,0 +1,265 @@
+// Network substrate tests: message delivery and latency, loss, partitions,
+// bandwidth serialization, churn processes, topology generators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/churn.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+
+namespace {
+
+struct Probe : dn::Host {
+  std::vector<ds::SimTime> arrivals;
+  std::vector<int> values;
+  ds::Simulator* sim = nullptr;
+  void handle_message(const dn::Message& msg) override {
+    arrivals.push_back(sim->now());
+    values.push_back(dn::payload_as<int>(msg));
+  }
+};
+
+}  // namespace
+
+TEST(Network, DeliversAfterConstantLatency) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(25)));
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.send(ida, idb, 42, 100);
+  sim.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0], ds::millis(25));
+  EXPECT_EQ(b.values[0], 42);
+}
+
+TEST(Network, DropsToOfflineNodes) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a;
+  a.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.send(ida, idb, 1, 10);  // b never attached
+  sim.run_all();
+  EXPECT_EQ(net.metrics().counter("net.dropped.offline").value(), 1u);
+}
+
+TEST(Network, DetachStopsDelivery) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(10)));
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.send(ida, idb, 1, 10);
+  net.detach(idb);  // detached before delivery
+  sim.run_all();
+  EXPECT_TRUE(b.values.empty());
+}
+
+TEST(Network, UniformLossDropsRoughlyHalf) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  net.set_drop_probability(0.5);
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  for (int i = 0; i < 2000; ++i) net.send(ida, idb, i, 10);
+  sim.run_all();
+  EXPECT_NEAR(static_cast<double>(b.values.size()), 1000.0, 100.0);
+}
+
+TEST(Network, PartitionBlocksCrossTraffic) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a, b, c;
+  a.sim = b.sim = c.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  const auto idc = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.attach(idc, &c);
+  net.set_partition({ida.value, idb.value});  // c is on the other side
+  net.send(ida, idb, 1, 10);  // same side: delivered
+  net.send(ida, idc, 2, 10);  // cross: dropped
+  sim.run_all();
+  EXPECT_EQ(b.values.size(), 1u);
+  EXPECT_TRUE(c.values.empty());
+  net.clear_partition();
+  net.send(ida, idc, 3, 10);
+  sim.run_all();
+  EXPECT_EQ(c.values.size(), 1u);
+}
+
+TEST(Network, BandwidthSerializesLargeMessages) {
+  ds::Simulator sim;
+  dn::NetworkConfig cfg;
+  cfg.model_bandwidth = true;
+  cfg.default_uplink_bps = 1e6;    // 1 MB/s
+  cfg.default_downlink_bps = 1e9;  // negligible
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(10)),
+                  cfg);
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  // 1 MB at 1 MB/s = 1 s serialization + 10 ms propagation.
+  net.send(ida, idb, 0, 1'000'000);
+  sim.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_NEAR(ds::to_seconds(b.arrivals[0]), 1.01, 0.01);
+}
+
+TEST(Network, SenderQueueIsFifo) {
+  ds::Simulator sim;
+  dn::NetworkConfig cfg;
+  cfg.model_bandwidth = true;
+  cfg.default_uplink_bps = 1e6;
+  cfg.default_downlink_bps = 1e9;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)),
+                  cfg);
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.send(ida, idb, 1, 500'000);  // 0.5 s
+  net.send(ida, idb, 2, 500'000);  // queued behind: arrives ~1 s
+  sim.run_all();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_NEAR(ds::to_seconds(b.arrivals[1] - b.arrivals[0]), 0.5, 0.05);
+}
+
+TEST(GeoLatency, IntraRegionIsFasterThanInterRegion) {
+  ds::Simulator sim;
+  auto geo = std::make_unique<dn::GeoLatency>(0.0);  // no jitter
+  dn::GeoLatency* geo_ptr = geo.get();
+  dn::Network net(sim, std::move(geo));
+  const auto a = net.new_node_id();
+  const auto b = net.new_node_id();
+  const auto c = net.new_node_id();
+  geo_ptr->assign(a, 0);
+  geo_ptr->assign(b, 0);
+  geo_ptr->assign(c, 2);
+  ds::Rng rng(1);
+  EXPECT_LT(geo_ptr->sample(a, b, rng), geo_ptr->sample(a, c, rng));
+}
+
+TEST(ChurnDriver, AlternatesOnlineOffline) {
+  ds::Simulator sim;
+  int ons = 0, offs = 0;
+  dn::ChurnConfig cfg;
+  cfg.session = dn::DurationDist::constant(100);
+  cfg.downtime = dn::DurationDist::constant(100);
+  cfg.initially_online = 1.0;
+  dn::ChurnDriver churn(
+      sim, 10, cfg, [&](std::size_t) { ++ons; }, [&](std::size_t) { ++offs; });
+  churn.start();
+  EXPECT_EQ(ons, 10);
+  EXPECT_EQ(churn.online_count(), 10u);
+  sim.run_until(ds::seconds(150));
+  EXPECT_EQ(offs, 10);  // all went offline at t=100
+  EXPECT_EQ(churn.online_count(), 0u);
+  sim.run_until(ds::seconds(250));
+  EXPECT_EQ(ons, 20);  // and back online at t=200
+}
+
+TEST(ChurnDriver, InitiallyOfflineFractionRespected) {
+  ds::Simulator sim;
+  dn::ChurnConfig cfg;
+  cfg.initially_online = 0.0;
+  int ons = 0;
+  dn::ChurnDriver churn(
+      sim, 50, cfg, [&](std::size_t) { ++ons; }, [](std::size_t) {});
+  churn.start();
+  EXPECT_EQ(ons, 0);
+  EXPECT_EQ(churn.online_count(), 0u);
+}
+
+TEST(DurationDist, SamplesArePositive) {
+  ds::Rng rng(3);
+  for (const auto& dist :
+       {dn::DurationDist::constant(10), dn::DurationDist::exponential_mean(10),
+        dn::DurationDist::pareto(2, 1.5), dn::DurationDist::weibull(10, 0.6),
+        dn::DurationDist::lognormal(10, 1.0)}) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_GT(dist.sample(rng), 0);
+    }
+  }
+}
+
+// --- Topologies -------------------------------------------------------------
+
+TEST(Topology, RandomGraphIsConnectedAtModestDegree) {
+  ds::Rng rng(5);
+  const auto adj = dn::random_graph(500, 6, rng);
+  EXPECT_TRUE(dn::is_connected(adj));
+  for (const auto& nbrs : adj) EXPECT_GE(nbrs.size(), 6u);
+}
+
+TEST(Topology, ErdosRenyiEdgeCountMatchesP) {
+  ds::Rng rng(6);
+  const auto adj = dn::erdos_renyi(200, 0.1, rng);
+  std::size_t edges = 0;
+  for (const auto& nbrs : adj) edges += nbrs.size();
+  edges /= 2;
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(edges), expected, expected * 0.15);
+}
+
+TEST(Topology, WattsStrogatzKeepsDegreeSum) {
+  ds::Rng rng(7);
+  const auto adj = dn::watts_strogatz(100, 3, 0.2, rng);
+  std::size_t edges = 0;
+  for (const auto& nbrs : adj) edges += nbrs.size();
+  EXPECT_EQ(edges / 2, 300u);  // n*k edges total
+}
+
+TEST(Topology, SmallWorldShortensPaths) {
+  ds::Rng rng(8);
+  const auto ring = dn::watts_strogatz(200, 2, 0.0, rng);
+  const auto small_world = dn::watts_strogatz(200, 2, 0.3, rng);
+  const double ring_path = dn::mean_path_length(ring, 200, rng);
+  const double sw_path = dn::mean_path_length(small_world, 200, rng);
+  EXPECT_LT(sw_path, ring_path * 0.6);
+}
+
+TEST(Topology, BarabasiAlbertIsSkewed) {
+  ds::Rng rng(9);
+  const auto adj = dn::barabasi_albert(500, 2, rng);
+  EXPECT_TRUE(dn::is_connected(adj));
+  std::size_t max_degree = 0;
+  std::size_t total = 0;
+  for (const auto& nbrs : adj) {
+    max_degree = std::max(max_degree, nbrs.size());
+    total += nbrs.size();
+  }
+  const double mean_degree = static_cast<double>(total) / 500.0;
+  // Hubs: the max degree should far exceed the mean.
+  EXPECT_GT(static_cast<double>(max_degree), mean_degree * 5);
+}
+
+TEST(Topology, SingleNodeGraphIsConnected) {
+  ds::Rng rng(10);
+  EXPECT_TRUE(dn::is_connected(dn::random_graph(1, 3, rng)));
+  EXPECT_TRUE(dn::is_connected(dn::AdjacencyList{}));
+}

@@ -1,0 +1,193 @@
+// Chord tests: ring formation via stabilization, successor/predecessor
+// invariants, lookup correctness against ground truth, O(log n) hop counts,
+// and recovery when nodes fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "overlay/chord.hpp"
+
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+namespace ov = decentnet::overlay;
+
+namespace {
+
+struct ChordRing {
+  ds::Simulator sim{777};
+  dn::Network net{sim, std::make_unique<dn::ConstantLatency>(ds::millis(10))};
+  ov::ChordConfig config;
+  std::vector<std::unique_ptr<ov::ChordNode>> nodes;
+
+  explicit ChordRing(std::size_t n) {
+    config.stabilize_interval = ds::seconds(5);
+    config.fix_fingers_interval = ds::seconds(5);
+    config.check_predecessor_interval = ds::seconds(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<ov::ChordNode>(net, net.new_node_id(), config));
+    }
+    nodes[0]->create();
+    for (std::size_t i = 1; i < n; ++i) {
+      nodes[i]->join(nodes[0]->self());
+      sim.run_until(sim.now() + ds::seconds(12));
+    }
+    // Let stabilization and finger repair converge.
+    sim.run_until(sim.now() + ds::minutes(20));
+  }
+
+  /// Ground truth successor of `key` among online nodes.
+  ov::ChordContact true_successor(ov::ChordId key) const {
+    std::vector<ov::ChordContact> ring;
+    for (const auto& n : nodes) {
+      if (n->online()) ring.push_back(n->self());
+    }
+    std::sort(ring.begin(), ring.end(),
+              [](const ov::ChordContact& a, const ov::ChordContact& b) {
+                return a.id < b.id;
+              });
+    for (const auto& c : ring) {
+      if (c.id >= key) return c;
+    }
+    return ring.front();  // wrap
+  }
+};
+
+}  // namespace
+
+TEST(ChordInterval, HalfOpenSemantics) {
+  EXPECT_TRUE(ov::in_interval_oc(5, 3, 7));
+  EXPECT_TRUE(ov::in_interval_oc(7, 3, 7));
+  EXPECT_FALSE(ov::in_interval_oc(3, 3, 7));
+  // Wrapped interval.
+  EXPECT_TRUE(ov::in_interval_oc(1, 100, 10));
+  EXPECT_TRUE(ov::in_interval_oc(200, 100, 10));
+  EXPECT_FALSE(ov::in_interval_oc(50, 100, 10));
+  // Full circle.
+  EXPECT_TRUE(ov::in_interval_oc(42, 9, 9));
+}
+
+TEST(ChordInterval, OpenSemantics) {
+  EXPECT_TRUE(ov::in_interval_oo(5, 3, 7));
+  EXPECT_FALSE(ov::in_interval_oo(7, 3, 7));
+  EXPECT_FALSE(ov::in_interval_oo(3, 3, 7));
+  EXPECT_TRUE(ov::in_interval_oo(1, 100, 10));
+}
+
+TEST(Chord, RingConvergesToSortedOrder) {
+  ChordRing ring(16);
+  // Every node's successor must be the next node clockwise.
+  for (const auto& n : ring.nodes) {
+    const auto truth = ring.true_successor(n->id() + 1);
+    EXPECT_EQ(n->successor().addr, truth.addr)
+        << "node " << n->id() << " has wrong successor";
+  }
+}
+
+TEST(Chord, PredecessorsConverge) {
+  ChordRing ring(12);
+  std::size_t with_pred = 0;
+  for (const auto& n : ring.nodes) {
+    if (n->predecessor()) ++with_pred;
+  }
+  EXPECT_EQ(with_pred, ring.nodes.size());
+}
+
+TEST(Chord, LookupsResolveToTrueSuccessor) {
+  ChordRing ring(20);
+  ds::Rng rng(9);
+  int correct = 0;
+  const int queries = 30;
+  for (int q = 0; q < queries; ++q) {
+    const ov::ChordId key = rng.next();
+    auto& src = *ring.nodes[rng.uniform_int(ring.nodes.size())];
+    bool done = false;
+    ov::ChordLookupResult result;
+    src.lookup(key, [&](ov::ChordLookupResult r) {
+      done = true;
+      result = r;
+    });
+    ring.sim.run_until(ring.sim.now() + ds::minutes(1));
+    ASSERT_TRUE(done);
+    if (result.ok &&
+        result.successor.addr == ring.true_successor(key).addr) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, queries * 9 / 10);
+}
+
+TEST(Chord, HopCountIsLogarithmic) {
+  ChordRing ring(32);
+  ds::Rng rng(10);
+  double total_hops = 0;
+  int done_count = 0;
+  for (int q = 0; q < 20; ++q) {
+    const ov::ChordId key = rng.next();
+    bool done = false;
+    ring.nodes[0]->lookup(key, [&](ov::ChordLookupResult r) {
+      done = true;
+      if (r.ok) {
+        total_hops += static_cast<double>(r.hops);
+        ++done_count;
+      }
+    });
+    ring.sim.run_until(ring.sim.now() + ds::minutes(1));
+    ASSERT_TRUE(done);
+  }
+  ASSERT_GT(done_count, 0);
+  const double mean_hops = total_hops / done_count;
+  // log2(32) = 5; allow generous slack but far below O(n).
+  EXPECT_LE(mean_hops, 10.0);
+}
+
+TEST(Chord, SuccessorListSurvivesNodeFailure) {
+  ChordRing ring(12);
+  // Find some node's successor and kill it without warning.
+  ov::ChordNode* observer = ring.nodes[0].get();
+  const dn::NodeId doomed_addr = observer->successor().addr;
+  for (auto& n : ring.nodes) {
+    if (n->addr() == doomed_addr) {
+      n->leave();
+      break;
+    }
+  }
+  // Stabilization should route around the failure.
+  ring.sim.run_until(ring.sim.now() + ds::minutes(5));
+  EXPECT_NE(observer->successor().addr, doomed_addr);
+  const auto truth = ring.true_successor(observer->id() + 1);
+  EXPECT_EQ(observer->successor().addr, truth.addr);
+}
+
+TEST(Chord, LoneNodeOwnsWholeRing) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  ov::ChordNode solo(net, net.new_node_id(), ov::ChordConfig{});
+  solo.create();
+  sim.run_until(ds::minutes(2));
+  bool done = false;
+  solo.lookup(12345, [&](ov::ChordLookupResult r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.successor.addr, solo.addr());
+  });
+  sim.run_until(sim.now() + ds::minutes(1));
+  EXPECT_TRUE(done);
+}
+
+TEST(Chord, FingersPointForward) {
+  ChordRing ring(16);
+  // After convergence every finger entry must be an online node.
+  for (const auto& n : ring.nodes) {
+    for (const auto& f : n->fingers()) {
+      if (!f.addr.valid()) continue;
+      const bool exists = std::any_of(
+          ring.nodes.begin(), ring.nodes.end(),
+          [&](const auto& m) { return m->addr() == f.addr; });
+      EXPECT_TRUE(exists);
+    }
+  }
+}

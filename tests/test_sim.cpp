@@ -1,0 +1,253 @@
+// Kernel tests: event ordering, periodic timers, cancellation, RNG
+// determinism and distribution sanity, histogram percentiles, and the
+// decentralization statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/time.hpp"
+
+namespace ds = decentnet::sim;
+
+TEST(Simulator, ExecutesEventsInTimestampOrder) {
+  ds::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(ds::millis(30), [&] { order.push_back(3); });
+  sim.schedule(ds::millis(10), [&] { order.push_back(1); });
+  sim.schedule(ds::millis(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ds::millis(30));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  ds::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(ds::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  ds::Simulator sim;
+  int fired = 0;
+  sim.schedule(ds::seconds(1), [&] { ++fired; });
+  sim.schedule(ds::seconds(2), [&] { ++fired; });
+  sim.schedule(ds::seconds(3), [&] { ++fired; });
+  sim.run_until(ds::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), ds::seconds(2));
+  sim.run_until(ds::seconds(10));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), ds::seconds(10));  // clock advances to the horizon
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  ds::Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule(ds::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(handle.valid());
+  handle.cancel();
+  EXPECT_FALSE(handle.valid());
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedlyUntilCancelled) {
+  ds::Simulator sim;
+  int fired = 0;
+  auto handle = sim.schedule_periodic(ds::seconds(1), ds::seconds(1), [&] {
+    ++fired;
+  });
+  sim.run_until(ds::seconds(5) + ds::millis(1));
+  EXPECT_EQ(fired, 5);
+  handle.cancel();
+  sim.run_until(ds::seconds(20));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, EventsScheduledFromEventsRun) {
+  ds::Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule(ds::millis(1), recurse);
+  };
+  sim.schedule(0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  ds::Simulator sim;
+  sim.schedule(ds::seconds(1), [] {});
+  sim.run_all();
+  bool fired = false;
+  sim.schedule(-ds::seconds(5), [&] { fired = true; });
+  sim.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), ds::seconds(1));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  ds::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  ds::Rng a(123);
+  ds::Rng b = a.fork(1);
+  ds::Rng c = a.fork(1);
+  // Different forks of advancing parent state must differ.
+  EXPECT_NE(b.next(), c.next());
+}
+
+TEST(Rng, UniformIsInRange) {
+  ds::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto n = rng.uniform_int(std::uint64_t{10});
+    EXPECT_LT(n, 10u);
+    const auto s = rng.uniform_int(std::int64_t{-5}, std::int64_t{5});
+    EXPECT_GE(s, -5);
+    EXPECT_LE(s, 5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  ds::Rng rng(99);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  ds::Rng rng(4);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  ds::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  ds::Rng rng(6);
+  std::vector<double> weights{1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  ds::Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ZipfSampler, RankZeroIsMostFrequent) {
+  ds::Rng rng(11);
+  ds::ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(Histogram, ExactPercentilesOnSmallData) {
+  ds::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile(99), 99.01, 0.01);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, FractionBelow) {
+  ds::Histogram h;
+  for (int i = 1; i <= 10; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.fraction_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_below(100.0), 1.0);
+}
+
+TEST(Histogram, ReservoirKeepsCountExact) {
+  ds::Histogram h(/*max_samples=*/100);
+  for (int i = 0; i < 10000; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.samples().size(), 100u);
+  // The reservoir median should approximate the true median.
+  EXPECT_NEAR(h.percentile(50), 5000, 1500);
+}
+
+TEST(Stats, GiniOfEqualSharesIsZero) {
+  EXPECT_NEAR(decentnet::sim::gini({5, 5, 5, 5}), 0.0, 1e-9);
+}
+
+TEST(Stats, GiniOfMonopolyApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000;
+  EXPECT_NEAR(decentnet::sim::gini(v), 0.99, 0.011);
+}
+
+TEST(Stats, NakamotoCoefficient) {
+  // Six pools with 75%: {20,15,12,11,9,8} + tail of small miners.
+  std::vector<double> shares{20, 15, 12, 11, 9, 8};
+  for (int i = 0; i < 25; ++i) shares.push_back(1.0);
+  EXPECT_EQ(decentnet::sim::nakamoto_coefficient(shares), 4u);
+  EXPECT_NEAR(decentnet::sim::top_k_share(shares, 6), 0.75, 0.001);
+}
+
+TEST(Stats, EntropyBounds) {
+  EXPECT_NEAR(decentnet::sim::shannon_entropy({1, 1, 1, 1}), 2.0, 1e-9);
+  EXPECT_NEAR(decentnet::sim::shannon_entropy({1, 0, 0, 0}), 0.0, 1e-9);
+}
+
+TEST(Stats, HhiBounds) {
+  EXPECT_NEAR(decentnet::sim::hhi({1, 1, 1, 1}), 0.25, 1e-9);
+  EXPECT_NEAR(decentnet::sim::hhi({42}), 1.0, 1e-9);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  ds::Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", ds::Table::num(1.5)});
+  t.add_row({"beta", ds::Table::num(20.25)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20.25"), std::string::npos);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(ds::format_duration(ds::seconds(1.5)), "1.50s");
+  EXPECT_EQ(ds::format_duration(ds::millis(340)), "340.00ms");
+  EXPECT_EQ(ds::format_duration(ds::minutes(2)), "2.00min");
+}
