@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_kernel.dir/bench_ablate_kernel.cpp.o"
+  "CMakeFiles/bench_ablate_kernel.dir/bench_ablate_kernel.cpp.o.d"
+  "bench_ablate_kernel"
+  "bench_ablate_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_mining.dir/bench_ablate_mining.cpp.o"
+  "CMakeFiles/bench_ablate_mining.dir/bench_ablate_mining.cpp.o.d"
+  "bench_ablate_mining"
+  "bench_ablate_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_forks.dir/bench_e10_forks.cpp.o"
+  "CMakeFiles/bench_e10_forks.dir/bench_e10_forks.cpp.o.d"
+  "bench_e10_forks"
+  "bench_e10_forks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_forks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

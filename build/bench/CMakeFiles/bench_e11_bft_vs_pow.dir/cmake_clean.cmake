@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_bft_vs_pow.dir/bench_e11_bft_vs_pow.cpp.o"
+  "CMakeFiles/bench_e11_bft_vs_pow.dir/bench_e11_bft_vs_pow.cpp.o.d"
+  "bench_e11_bft_vs_pow"
+  "bench_e11_bft_vs_pow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_bft_vs_pow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

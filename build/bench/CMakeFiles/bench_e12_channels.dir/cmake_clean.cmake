@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_channels.dir/bench_e12_channels.cpp.o"
+  "CMakeFiles/bench_e12_channels.dir/bench_e12_channels.cpp.o.d"
+  "bench_e12_channels"
+  "bench_e12_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_edge.dir/bench_e13_edge.cpp.o"
+  "CMakeFiles/bench_e13_edge.dir/bench_e13_edge.cpp.o.d"
+  "bench_e13_edge"
+  "bench_e13_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

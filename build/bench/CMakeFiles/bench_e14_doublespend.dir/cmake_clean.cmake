@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_doublespend.dir/bench_e14_doublespend.cpp.o"
+  "CMakeFiles/bench_e14_doublespend.dir/bench_e14_doublespend.cpp.o.d"
+  "bench_e14_doublespend"
+  "bench_e14_doublespend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_doublespend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

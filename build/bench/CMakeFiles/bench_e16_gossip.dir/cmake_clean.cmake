@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_gossip.dir/bench_e16_gossip.cpp.o"
+  "CMakeFiles/bench_e16_gossip.dir/bench_e16_gossip.cpp.o.d"
+  "bench_e16_gossip"
+  "bench_e16_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

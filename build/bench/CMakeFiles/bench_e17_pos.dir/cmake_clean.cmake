@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_pos.dir/bench_e17_pos.cpp.o"
+  "CMakeFiles/bench_e17_pos.dir/bench_e17_pos.cpp.o.d"
+  "bench_e17_pos"
+  "bench_e17_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

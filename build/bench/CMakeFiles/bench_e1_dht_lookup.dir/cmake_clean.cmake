@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dht_lookup.dir/bench_e1_dht_lookup.cpp.o"
+  "CMakeFiles/bench_e1_dht_lookup.dir/bench_e1_dht_lookup.cpp.o.d"
+  "bench_e1_dht_lookup"
+  "bench_e1_dht_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dht_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_free_riding.dir/bench_e2_free_riding.cpp.o"
+  "CMakeFiles/bench_e2_free_riding.dir/bench_e2_free_riding.cpp.o.d"
+  "bench_e2_free_riding"
+  "bench_e2_free_riding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_free_riding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

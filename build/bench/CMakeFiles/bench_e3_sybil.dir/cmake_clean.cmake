@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_sybil.dir/bench_e3_sybil.cpp.o"
+  "CMakeFiles/bench_e3_sybil.dir/bench_e3_sybil.cpp.o.d"
+  "bench_e3_sybil"
+  "bench_e3_sybil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_sybil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_onehop.dir/bench_e4_onehop.cpp.o"
+  "CMakeFiles/bench_e4_onehop.dir/bench_e4_onehop.cpp.o.d"
+  "bench_e4_onehop"
+  "bench_e4_onehop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_onehop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

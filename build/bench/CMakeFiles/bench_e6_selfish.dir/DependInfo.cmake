@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_selfish.cpp" "bench/CMakeFiles/bench_e6_selfish.dir/bench_e6_selfish.cpp.o" "gcc" "bench/CMakeFiles/bench_e6_selfish.dir/bench_e6_selfish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/decentnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/decentnet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/decentnet_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/decentnet_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2p/CMakeFiles/decentnet_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/decentnet_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/decentnet_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

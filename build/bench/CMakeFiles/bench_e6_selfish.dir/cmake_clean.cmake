@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_selfish.dir/bench_e6_selfish.cpp.o"
+  "CMakeFiles/bench_e6_selfish.dir/bench_e6_selfish.cpp.o.d"
+  "bench_e6_selfish"
+  "bench_e6_selfish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_selfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_pools.dir/bench_e7_pools.cpp.o"
+  "CMakeFiles/bench_e7_pools.dir/bench_e7_pools.cpp.o.d"
+  "bench_e7_pools"
+  "bench_e7_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

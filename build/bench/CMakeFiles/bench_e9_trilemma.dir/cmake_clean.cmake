@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_trilemma.dir/bench_e9_trilemma.cpp.o"
+  "CMakeFiles/bench_e9_trilemma.dir/bench_e9_trilemma.cpp.o.d"
+  "bench_e9_trilemma"
+  "bench_e9_trilemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_trilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blockchain_islands.dir/blockchain_islands.cpp.o"
+  "CMakeFiles/example_blockchain_islands.dir/blockchain_islands.cpp.o.d"
+  "example_blockchain_islands"
+  "example_blockchain_islands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blockchain_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_blockchain_islands.
+# This may be replaced when dependencies are built.

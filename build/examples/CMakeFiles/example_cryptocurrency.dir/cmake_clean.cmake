@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cryptocurrency.dir/cryptocurrency.cpp.o"
+  "CMakeFiles/example_cryptocurrency.dir/cryptocurrency.cpp.o.d"
+  "example_cryptocurrency"
+  "example_cryptocurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cryptocurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

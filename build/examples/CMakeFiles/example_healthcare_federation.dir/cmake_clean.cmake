@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_healthcare_federation.dir/healthcare_federation.cpp.o"
+  "CMakeFiles/example_healthcare_federation.dir/healthcare_federation.cpp.o.d"
+  "example_healthcare_federation"
+  "example_healthcare_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_healthcare_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

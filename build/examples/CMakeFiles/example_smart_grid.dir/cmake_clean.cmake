@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_grid.dir/smart_grid.cpp.o"
+  "CMakeFiles/example_smart_grid.dir/smart_grid.cpp.o.d"
+  "example_smart_grid"
+  "example_smart_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

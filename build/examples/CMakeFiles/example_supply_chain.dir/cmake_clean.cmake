@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_supply_chain.dir/supply_chain.cpp.o"
+  "CMakeFiles/example_supply_chain.dir/supply_chain.cpp.o.d"
+  "example_supply_chain"
+  "example_supply_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_supply_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/pbft.cpp" "src/bft/CMakeFiles/decentnet_bft.dir/pbft.cpp.o" "gcc" "src/bft/CMakeFiles/decentnet_bft.dir/pbft.cpp.o.d"
+  "/root/repo/src/bft/raft.cpp" "src/bft/CMakeFiles/decentnet_bft.dir/raft.cpp.o" "gcc" "src/bft/CMakeFiles/decentnet_bft.dir/raft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

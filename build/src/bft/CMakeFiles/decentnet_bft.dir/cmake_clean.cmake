@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_bft.dir/pbft.cpp.o"
+  "CMakeFiles/decentnet_bft.dir/pbft.cpp.o.d"
+  "CMakeFiles/decentnet_bft.dir/raft.cpp.o"
+  "CMakeFiles/decentnet_bft.dir/raft.cpp.o.d"
+  "libdecentnet_bft.a"
+  "libdecentnet_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

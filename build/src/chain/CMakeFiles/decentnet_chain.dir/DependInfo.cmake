@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/attacks.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/attacks.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/attacks.cpp.o.d"
+  "/root/repo/src/chain/blocktree.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/blocktree.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/blocktree.cpp.o.d"
+  "/root/repo/src/chain/channels.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/channels.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/channels.cpp.o.d"
+  "/root/repo/src/chain/economics.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/economics.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/economics.cpp.o.d"
+  "/root/repo/src/chain/ledger.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/ledger.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/ledger.cpp.o.d"
+  "/root/repo/src/chain/light.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/light.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/light.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/miner.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/miner.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/miner.cpp.o.d"
+  "/root/repo/src/chain/node.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/node.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/node.cpp.o.d"
+  "/root/repo/src/chain/params.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/params.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/params.cpp.o.d"
+  "/root/repo/src/chain/pos.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/pos.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/pos.cpp.o.d"
+  "/root/repo/src/chain/types.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/types.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/types.cpp.o.d"
+  "/root/repo/src/chain/wallet.cpp" "src/chain/CMakeFiles/decentnet_chain.dir/wallet.cpp.o" "gcc" "src/chain/CMakeFiles/decentnet_chain.dir/wallet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_chain.dir/attacks.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/attacks.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/blocktree.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/blocktree.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/channels.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/channels.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/economics.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/economics.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/ledger.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/light.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/light.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/mempool.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/miner.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/miner.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/node.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/node.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/params.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/params.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/pos.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/pos.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/types.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/types.cpp.o.d"
+  "CMakeFiles/decentnet_chain.dir/wallet.cpp.o"
+  "CMakeFiles/decentnet_chain.dir/wallet.cpp.o.d"
+  "libdecentnet_chain.a"
+  "libdecentnet_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

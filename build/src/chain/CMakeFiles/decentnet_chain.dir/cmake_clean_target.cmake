@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecentnet_chain.a"
+)

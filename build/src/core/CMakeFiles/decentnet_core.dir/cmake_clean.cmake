@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_core.dir/scenarios.cpp.o"
+  "CMakeFiles/decentnet_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/decentnet_core.dir/trilemma.cpp.o"
+  "CMakeFiles/decentnet_core.dir/trilemma.cpp.o.d"
+  "libdecentnet_core.a"
+  "libdecentnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

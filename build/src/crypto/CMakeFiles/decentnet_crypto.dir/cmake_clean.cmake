@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_crypto.dir/keys.cpp.o"
+  "CMakeFiles/decentnet_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/decentnet_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/decentnet_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/decentnet_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/decentnet_crypto.dir/sha256.cpp.o.d"
+  "libdecentnet_crypto.a"
+  "libdecentnet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

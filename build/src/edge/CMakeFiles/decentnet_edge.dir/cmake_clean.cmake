@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_edge.dir/federation.cpp.o"
+  "CMakeFiles/decentnet_edge.dir/federation.cpp.o.d"
+  "libdecentnet_edge.a"
+  "libdecentnet_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/chaincode.cpp" "src/fabric/CMakeFiles/decentnet_fabric.dir/chaincode.cpp.o" "gcc" "src/fabric/CMakeFiles/decentnet_fabric.dir/chaincode.cpp.o.d"
+  "/root/repo/src/fabric/channel.cpp" "src/fabric/CMakeFiles/decentnet_fabric.dir/channel.cpp.o" "gcc" "src/fabric/CMakeFiles/decentnet_fabric.dir/channel.cpp.o.d"
+  "/root/repo/src/fabric/consortium.cpp" "src/fabric/CMakeFiles/decentnet_fabric.dir/consortium.cpp.o" "gcc" "src/fabric/CMakeFiles/decentnet_fabric.dir/consortium.cpp.o.d"
+  "/root/repo/src/fabric/contracts.cpp" "src/fabric/CMakeFiles/decentnet_fabric.dir/contracts.cpp.o" "gcc" "src/fabric/CMakeFiles/decentnet_fabric.dir/contracts.cpp.o.d"
+  "/root/repo/src/fabric/msp.cpp" "src/fabric/CMakeFiles/decentnet_fabric.dir/msp.cpp.o" "gcc" "src/fabric/CMakeFiles/decentnet_fabric.dir/msp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bft/CMakeFiles/decentnet_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_fabric.dir/chaincode.cpp.o"
+  "CMakeFiles/decentnet_fabric.dir/chaincode.cpp.o.d"
+  "CMakeFiles/decentnet_fabric.dir/channel.cpp.o"
+  "CMakeFiles/decentnet_fabric.dir/channel.cpp.o.d"
+  "CMakeFiles/decentnet_fabric.dir/consortium.cpp.o"
+  "CMakeFiles/decentnet_fabric.dir/consortium.cpp.o.d"
+  "CMakeFiles/decentnet_fabric.dir/contracts.cpp.o"
+  "CMakeFiles/decentnet_fabric.dir/contracts.cpp.o.d"
+  "CMakeFiles/decentnet_fabric.dir/msp.cpp.o"
+  "CMakeFiles/decentnet_fabric.dir/msp.cpp.o.d"
+  "libdecentnet_fabric.a"
+  "libdecentnet_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

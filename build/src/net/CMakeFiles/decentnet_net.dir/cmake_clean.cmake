@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_net.dir/churn.cpp.o"
+  "CMakeFiles/decentnet_net.dir/churn.cpp.o.d"
+  "CMakeFiles/decentnet_net.dir/latency.cpp.o"
+  "CMakeFiles/decentnet_net.dir/latency.cpp.o.d"
+  "CMakeFiles/decentnet_net.dir/network.cpp.o"
+  "CMakeFiles/decentnet_net.dir/network.cpp.o.d"
+  "CMakeFiles/decentnet_net.dir/topology.cpp.o"
+  "CMakeFiles/decentnet_net.dir/topology.cpp.o.d"
+  "libdecentnet_net.a"
+  "libdecentnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/chord.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/chord.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/chord.cpp.o.d"
+  "/root/repo/src/overlay/flood.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/flood.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/flood.cpp.o.d"
+  "/root/repo/src/overlay/gossip.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/gossip.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/gossip.cpp.o.d"
+  "/root/repo/src/overlay/kademlia.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/kademlia.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/kademlia.cpp.o.d"
+  "/root/repo/src/overlay/onehop.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/onehop.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/onehop.cpp.o.d"
+  "/root/repo/src/overlay/superpeer.cpp" "src/overlay/CMakeFiles/decentnet_overlay.dir/superpeer.cpp.o" "gcc" "src/overlay/CMakeFiles/decentnet_overlay.dir/superpeer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_overlay.dir/chord.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/chord.cpp.o.d"
+  "CMakeFiles/decentnet_overlay.dir/flood.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/flood.cpp.o.d"
+  "CMakeFiles/decentnet_overlay.dir/gossip.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/gossip.cpp.o.d"
+  "CMakeFiles/decentnet_overlay.dir/kademlia.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/kademlia.cpp.o.d"
+  "CMakeFiles/decentnet_overlay.dir/onehop.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/onehop.cpp.o.d"
+  "CMakeFiles/decentnet_overlay.dir/superpeer.cpp.o"
+  "CMakeFiles/decentnet_overlay.dir/superpeer.cpp.o.d"
+  "libdecentnet_overlay.a"
+  "libdecentnet_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

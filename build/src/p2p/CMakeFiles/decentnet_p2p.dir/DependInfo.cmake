@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2p/bittorrent.cpp" "src/p2p/CMakeFiles/decentnet_p2p.dir/bittorrent.cpp.o" "gcc" "src/p2p/CMakeFiles/decentnet_p2p.dir/bittorrent.cpp.o.d"
+  "/root/repo/src/p2p/sybil.cpp" "src/p2p/CMakeFiles/decentnet_p2p.dir/sybil.cpp.o" "gcc" "src/p2p/CMakeFiles/decentnet_p2p.dir/sybil.cpp.o.d"
+  "/root/repo/src/p2p/workload.cpp" "src/p2p/CMakeFiles/decentnet_p2p.dir/workload.cpp.o" "gcc" "src/p2p/CMakeFiles/decentnet_p2p.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/decentnet_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/decentnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decentnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/decentnet_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_p2p.dir/bittorrent.cpp.o"
+  "CMakeFiles/decentnet_p2p.dir/bittorrent.cpp.o.d"
+  "CMakeFiles/decentnet_p2p.dir/sybil.cpp.o"
+  "CMakeFiles/decentnet_p2p.dir/sybil.cpp.o.d"
+  "CMakeFiles/decentnet_p2p.dir/workload.cpp.o"
+  "CMakeFiles/decentnet_p2p.dir/workload.cpp.o.d"
+  "libdecentnet_p2p.a"
+  "libdecentnet_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

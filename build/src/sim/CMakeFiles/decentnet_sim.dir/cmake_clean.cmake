@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentnet_sim.dir/metrics.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/decentnet_sim.dir/rng.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/decentnet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/decentnet_sim.dir/stats.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/decentnet_sim.dir/table.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/table.cpp.o.d"
+  "CMakeFiles/decentnet_sim.dir/time.cpp.o"
+  "CMakeFiles/decentnet_sim.dir/time.cpp.o.d"
+  "libdecentnet_sim.a"
+  "libdecentnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

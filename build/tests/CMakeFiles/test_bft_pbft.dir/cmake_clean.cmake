@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bft_pbft.dir/test_bft_pbft.cpp.o"
+  "CMakeFiles/test_bft_pbft.dir/test_bft_pbft.cpp.o.d"
+  "test_bft_pbft"
+  "test_bft_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bft_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_attacks.dir/test_chain_attacks.cpp.o"
+  "CMakeFiles/test_chain_attacks.dir/test_chain_attacks.cpp.o.d"
+  "test_chain_attacks"
+  "test_chain_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

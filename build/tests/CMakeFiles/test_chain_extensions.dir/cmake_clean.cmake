@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_extensions.dir/test_chain_extensions.cpp.o"
+  "CMakeFiles/test_chain_extensions.dir/test_chain_extensions.cpp.o.d"
+  "test_chain_extensions"
+  "test_chain_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_ledger.dir/test_chain_ledger.cpp.o"
+  "CMakeFiles/test_chain_ledger.dir/test_chain_ledger.cpp.o.d"
+  "test_chain_ledger"
+  "test_chain_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

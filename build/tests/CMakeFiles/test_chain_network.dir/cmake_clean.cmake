@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_network.dir/test_chain_network.cpp.o"
+  "CMakeFiles/test_chain_network.dir/test_chain_network.cpp.o.d"
+  "test_chain_network"
+  "test_chain_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_chord.dir/test_overlay_chord.cpp.o"
+  "CMakeFiles/test_overlay_chord.dir/test_overlay_chord.cpp.o.d"
+  "test_overlay_chord"
+  "test_overlay_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_kademlia.dir/test_overlay_kademlia.cpp.o"
+  "CMakeFiles/test_overlay_kademlia.dir/test_overlay_kademlia.cpp.o.d"
+  "test_overlay_kademlia"
+  "test_overlay_kademlia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_kademlia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
