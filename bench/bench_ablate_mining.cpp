@@ -14,8 +14,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("ablate_mining", argc, argv, {.seed = 1234});
+  ex.describe(
       "Ablation: exponential-race mining vs theory",
       "(substitution check, not a paper claim) simulated mining must give "
       "hash-share-proportional revenue and exponential inter-block times",
@@ -23,9 +24,11 @@ int main() {
       "difficulty, ~2000 blocks; compare revenue shares and the "
       "inter-arrival CV against the exponential's CV of 1.0");
 
-  sim::Simulator simu(1234);
+  sim::Simulator simu(ex.seed());
+  simu.set_trace(ex.trace());
   net::Network netw(simu,
-                    std::make_unique<net::ConstantLatency>(sim::millis(20)));
+                    std::make_unique<net::ConstantLatency>(sim::millis(20)),
+                    {}, &ex.metrics());
   chain::ChainParams params;
   params.retarget_window = 0;
   params.initial_difficulty = 1e6;
@@ -78,27 +81,30 @@ int main() {
       }
     }
   }
-  bench::Table t("revenue share vs hash share (" + std::to_string(total) +
-                 " blocks)");
-  t.set_header({"miner", "hash_share", "block_share", "blocks"});
   for (int m = 0; m < 3; ++m) {
-    t.add_row({"miner" + std::to_string(m), sim::Table::num(shares[m], 2),
-               sim::Table::num(static_cast<double>(counts[m]) /
-                                   static_cast<double>(total),
-                               3),
-               std::to_string(counts[m])});
+    ex.add_row({{"kind", "revenue_share"},
+                {"miner", "miner" + std::to_string(m)},
+                {"hash_share", bench::Value(shares[m], 2)},
+                {"block_share",
+                 bench::Value(static_cast<double>(counts[m]) /
+                                  static_cast<double>(total),
+                              3)},
+                {"blocks", counts[m]}});
   }
-  t.print();
 
   const double mean = gaps.mean();
   const double cv = mean > 0 ? gaps.stddev() / mean : 0;
-  bench::Table t2("block inter-arrival statistics");
-  t2.set_header({"metric", "value", "theory"});
-  t2.add_row({"mean_s", sim::Table::num(mean, 1), "30.0"});
-  t2.add_row({"coefficient_of_variation", sim::Table::num(cv, 2),
-              "1.00 (exponential)"});
-  t2.add_row({"p50_s", sim::Table::num(gaps.percentile(50), 1),
-              sim::Table::num(30.0 * 0.6931, 1) + " (ln2 * mean)"});
-  t2.print();
-  return 0;
+  ex.add_row({{"kind", "inter_arrival"},
+              {"metric", "mean_s"},
+              {"value", bench::Value(mean, 1)},
+              {"theory", "30.0"}});
+  ex.add_row({{"kind", "inter_arrival"},
+              {"metric", "coefficient_of_variation"},
+              {"value", bench::Value(cv, 2)},
+              {"theory", "1.00 (exponential)"}});
+  ex.add_row({{"kind", "inter_arrival"},
+              {"metric", "p50_s"},
+              {"value", bench::Value(gaps.percentile(50), 1)},
+              {"theory", "20.8 (ln2 * mean)"}});
+  return ex.finish();
 }

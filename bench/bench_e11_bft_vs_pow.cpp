@@ -26,10 +26,13 @@ struct BftRun {
   double msgs_per_commit = 0;
 };
 
-BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur) {
-  sim::Simulator simu(7);
+BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur,
+                sim::ExperimentHarness& ex) {
+  sim::Simulator simu(ex.seed());
+  simu.set_trace(ex.trace());
   net::Network netw(simu,
-                    std::make_unique<net::ConstantLatency>(sim::millis(5)));
+                    std::make_unique<net::ConstantLatency>(sim::millis(5)),
+                    {}, &ex.metrics());
   bft::PbftConfig cfg;
   cfg.f = f;
   cfg.batch_size = 16;
@@ -74,10 +77,13 @@ BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur) {
   return out;
 }
 
-BftRun run_raft(std::size_t n, double offered_tps, sim::SimDuration dur) {
-  sim::Simulator simu(8);
+BftRun run_raft(std::size_t n, double offered_tps, sim::SimDuration dur,
+                sim::ExperimentHarness& ex) {
+  sim::Simulator simu(ex.seed() + 1);
+  simu.set_trace(ex.trace());
   net::Network netw(simu,
-                    std::make_unique<net::ConstantLatency>(sim::millis(5)));
+                    std::make_unique<net::ConstantLatency>(sim::millis(5)),
+                    {}, &ex.metrics());
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
   std::vector<std::unique_ptr<bft::RaftNode>> nodes;
@@ -138,8 +144,9 @@ BftRun run_raft(std::size_t n, double offered_tps, sim::SimDuration dur) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E11_bft_vs_pow", argc, argv, {.seed = 7});
+  ex.describe(
       "E11: permissioned consensus (PBFT/Raft) vs permissionless PoW",
       "BFT among a limited set of authenticated nodes commits in "
       "network-RTT time at thousands of tps; PoW needs minutes and caps at "
@@ -148,22 +155,23 @@ int main() {
       "offered load 500 tps, 5 ms LAN; sweep replica count; PoW row "
       "reproduced from E5's Bitcoin-like configuration");
 
-  bench::Table t("consensus families under identical substrate");
-  t.set_header({"system", "replicas", "tps", "p50_ms", "p99_ms",
-                "msgs_per_commit"});
   for (const std::size_t f : {1u, 2u, 3u, 5u, 8u}) {
-    const auto r = run_pbft(f, 500, sim::seconds(30));
-    t.add_row({"PBFT f=" + std::to_string(f), std::to_string(3 * f + 1),
-               sim::Table::num(r.tps, 0), sim::Table::num(r.p50_ms, 1),
-               sim::Table::num(r.p99_ms, 1),
-               sim::Table::num(r.msgs_per_commit, 1)});
+    const auto r = run_pbft(f, 500, sim::seconds(30), ex);
+    ex.add_row({{"system", "PBFT f=" + std::to_string(f)},
+                {"replicas", std::uint64_t{3 * f + 1}},
+                {"tps", bench::Value(r.tps, 0)},
+                {"p50_ms", bench::Value(r.p50_ms, 1)},
+                {"p99_ms", bench::Value(r.p99_ms, 1)},
+                {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
   }
   for (const std::size_t n : {3u, 5u, 7u, 11u}) {
-    const auto r = run_raft(n, 500, sim::seconds(30));
-    t.add_row({"Raft n=" + std::to_string(n), std::to_string(n),
-               sim::Table::num(r.tps, 0), sim::Table::num(r.p50_ms, 1),
-               sim::Table::num(r.p99_ms, 1),
-               sim::Table::num(r.msgs_per_commit, 1)});
+    const auto r = run_raft(n, 500, sim::seconds(30), ex);
+    ex.add_row({{"system", "Raft n=" + std::to_string(n)},
+                {"replicas", std::uint64_t{n}},
+                {"tps", bench::Value(r.tps, 0)},
+                {"p50_ms", bench::Value(r.p50_ms, 1)},
+                {"p99_ms", bench::Value(r.p99_ms, 1)},
+                {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
   }
   {
     core::PowScenarioConfig cfg;
@@ -175,12 +183,15 @@ int main() {
     cfg.wallets = 32;
     cfg.tx_rate_per_sec = 10;
     cfg.duration = sim::hours(1);
+    cfg.seed = ex.seed();
     const auto r = core::run_pow_scenario(cfg);
-    t.add_row({"PoW (Bitcoin-like)", "24",
-               sim::Table::num(r.throughput_tps, 1), "~600000", "~3600000",
-               "-"});
+    ex.add_row({{"system", "PoW (Bitcoin-like)"},
+                {"replicas", 24},
+                {"tps", bench::Value(r.throughput_tps, 1)},
+                {"p50_ms", "~600000"},
+                {"p99_ms", "~3600000"}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nPBFT latency stays at a few RTTs but msgs/commit grows with n^2 —\n"
       "the structural reason permissioned consensus runs among consortium\n"
@@ -188,5 +199,5 @@ int main() {
       "byzantine behaviour is handled by identity/legal trust (the MSP).\n"
       "PoW 'latency' is confirmation depth: ~10 min for one block, ~1 h for\n"
       "the customary six.\n");
-  return 0;
+  return rc;
 }

@@ -8,8 +8,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E12_channels", argc, argv, {.seed = 42});
+  ex.describe(
       "E12: one global channel vs partitioned channels",
       "scoping consensus to the interested subset (channels) multiplies "
       "aggregate throughput and removes unrelated parties from the "
@@ -17,11 +18,6 @@ int main() {
       "8 organizations; compare one channel spanning all orgs (5-of-8 "
       "endorsement) with 2/4 independent channels (2-of-2 endorsement "
       "each); Raft ordering throughout, identical offered load per org");
-
-  bench::Table t("fabric channel layouts, 8 orgs, aggregate offered 640 tps");
-  t.set_header({"layout", "channels", "endorsement", "agg_tps",
-                "validate_tps_per_org", "endorse_msgs_per_tx", "p50_ms",
-                "p99_ms"});
 
   auto run_layout = [&](std::size_t channels, std::size_t orgs_per_channel,
                         std::size_t required, const std::string& label) {
@@ -39,7 +35,7 @@ int main() {
       cfg.block_max_txs = 64;
       cfg.block_timeout = sim::millis(100);
       cfg.duration = sim::seconds(30);
-      cfg.seed = 42 + c;
+      cfg.seed = ex.seed() + c;
       const auto r = core::run_fabric_scenario(cfg);
       agg_tps += r.throughput_tps;
       p50 += r.latency_p50_ms;
@@ -50,20 +46,23 @@ int main() {
     // Each org's peer validates every transaction in its own channel only.
     const double per_org_validate =
         agg_tps / static_cast<double>(channels);
-    t.add_row({label, std::to_string(channels),
-               std::to_string(required) + "-of-" +
-                   std::to_string(orgs_per_channel),
-               sim::Table::num(agg_tps, 0),
-               sim::Table::num(per_org_validate, 0),
-               std::to_string(required),
-               sim::Table::num(p50 / static_cast<double>(channels), 1),
-               sim::Table::num(p99 / static_cast<double>(channels), 1)});
+    ex.add_row({{"layout", label},
+                {"channels", std::uint64_t{channels}},
+                {"endorsement", std::to_string(required) + "-of-" +
+                                    std::to_string(orgs_per_channel)},
+                {"agg_tps", bench::Value(agg_tps, 0)},
+                {"validate_tps_per_org", bench::Value(per_org_validate, 0)},
+                {"endorse_msgs_per_tx", std::uint64_t{required}},
+                {"p50_ms",
+                 bench::Value(p50 / static_cast<double>(channels), 1)},
+                {"p99_ms",
+                 bench::Value(p99 / static_cast<double>(channels), 1)}});
   };
 
   run_layout(1, 8, 5, "global channel (everyone validates)");
   run_layout(2, 4, 3, "two consortium channels");
   run_layout(4, 2, 2, "four bilateral channels");
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nAll layouts keep up with the offered load, but the cost structure\n"
       "differs: in the global channel every org validates all 640 tps and\n"
@@ -71,5 +70,5 @@ int main() {
       "validation 4x and endorsement fan-out to 2 — consensus scoped 'between\n"
       "a subset of the nodes', the architectural escape from 'all nodes\n"
       "validate all transactions' that permissionless broadcast cannot take.\n");
-  return 0;
+  return rc;
 }

@@ -14,8 +14,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E13_edge", argc, argv, {.seed = 99});
+  ex.describe(
       "E13: edge federation vs centralized cloud",
       "serving from in-region nano-datacenters cuts latency and keeps "
       "control in the user's administrative domain; a permissioned channel "
@@ -25,16 +26,13 @@ int main() {
       "requests per policy; cross-domain usage settles on a fabric channel "
       "running on the same network");
 
-  bench::Table t("placement policy comparison (same workload, same network)");
-  t.set_header({"policy", "ok", "p50_ms", "p99_ms", "in_region%",
-                "in_domain%", "usage_records"});
-
   for (const auto policy :
        {edge::PlacementPolicy::CloudOnly, edge::PlacementPolicy::EdgeFirst}) {
-    sim::Simulator simu(99);
+    sim::Simulator simu(ex.seed());
+    simu.set_trace(ex.trace());
     auto geo_model = std::make_unique<net::GeoLatency>(0.15);
     net::GeoLatency* geo = geo_model.get();
-    net::Network netw(simu, std::move(geo_model));
+    net::Network netw(simu, std::move(geo_model), {}, &ex.metrics());
     edge::Federation fed(netw, *geo, {}, {});
 
     // Permissioned trust substrate on the same network: usage records are
@@ -68,7 +66,7 @@ int main() {
 
     sim::Histogram lat;
     std::size_t ok = 0, in_region = 0, in_domain = 0, total = 0;
-    sim::Rng rng(13);
+    sim::Rng rng(ex.seed() ^ 13);
     const std::size_t kRequests = 2000;
     for (std::size_t i = 0; i < kRequests; ++i) {
       simu.schedule(sim::millis(10) * static_cast<sim::SimDuration>(i),
@@ -88,24 +86,28 @@ int main() {
                     });
     }
     simu.run_until(sim::minutes(5));
-    t.add_row({policy == edge::PlacementPolicy::CloudOnly ? "cloud-only"
-                                                          : "edge-first",
-               std::to_string(ok), sim::Table::num(lat.percentile(50), 1),
-               sim::Table::num(lat.percentile(99), 1),
-               sim::Table::num(100.0 * static_cast<double>(in_region) /
-                                   static_cast<double>(total),
-                               1),
-               sim::Table::num(100.0 * static_cast<double>(in_domain) /
-                                   static_cast<double>(total),
-                               1),
-               std::to_string(usage_records)});
+    ex.add_row({{"policy", policy == edge::PlacementPolicy::CloudOnly
+                               ? "cloud-only"
+                               : "edge-first"},
+                {"ok", std::uint64_t{ok}},
+                {"p50_ms", bench::Value(lat.percentile(50), 1)},
+                {"p99_ms", bench::Value(lat.percentile(99), 1)},
+                {"in_region_pct",
+                 bench::Value(100.0 * static_cast<double>(in_region) /
+                                  static_cast<double>(total),
+                              1)},
+                {"in_domain_pct",
+                 bench::Value(100.0 * static_cast<double>(in_domain) /
+                                  static_cast<double>(total),
+                              1)},
+                {"usage_records", usage_records}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nEdge-first turns a transcontinental round trip into an in-region\n"
       "hop for ~90%% of requests, and the federation's cross-domain usage is\n"
       "accounted on the permissioned channel instead of a trusted broker —\n"
       "decentralized control (edge) + decentralized trust (permissioned\n"
       "ledger), the paper's closing proposal.\n");
-  return 0;
+  return rc;
 }

@@ -8,8 +8,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E14_doublespend", argc, argv, {.seed = 1000});
+  ex.describe(
       "E14: double-spend success probability vs confirmations",
       "immutability is probabilistic: an attacker with hash share q < 0.5 "
       "succeeds with probability falling geometrically in the number of "
@@ -17,31 +18,28 @@ int main() {
       "Nakamoto's closed form plus a 100k-trial Monte-Carlo of the exact "
       "mining race, for q in {5%..50%} and z in {0..10}");
 
-  bench::Table t("double-spend success probability (analytic | monte-carlo)");
-  t.set_header({"q", "z=0", "z=1", "z=2", "z=4", "z=6", "z=10"});
   for (const double q : {0.05, 0.10, 0.20, 0.30, 0.40, 0.50}) {
-    std::vector<std::string> row{sim::Table::num(q, 2)};
     for (const unsigned z : {0u, 1u, 2u, 4u, 6u, 10u}) {
-      sim::Rng rng(1000 + static_cast<std::uint64_t>(q * 100) + z);
+      sim::Rng rng(ex.seed() + static_cast<std::uint64_t>(q * 100) + z);
       const double an = chain::doublespend_success_probability(q, z);
       const double mc = chain::doublespend_success_mc(q, z, 100'000, 300, rng);
-      row.push_back(sim::Table::num(an, 4) + "|" + sim::Table::num(mc, 4));
+      ex.add_row({{"kind", "success_probability"},
+                  {"q", bench::Value(q, 2)},
+                  {"z", std::uint64_t{z}},
+                  {"analytic", bench::Value(an, 4)},
+                  {"monte_carlo", bench::Value(mc, 4)}});
     }
-    t.add_row(row);
   }
-  t.print();
-
-  std::printf("\nMerchant rule of thumb (probability < 0.1%%):\n");
-  bench::Table t2("confirmations needed vs attacker share");
-  t2.set_header({"q", "confirmations_for_p<0.001"});
   for (const double q : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
     unsigned z = 0;
     while (z < 400 && chain::doublespend_success_probability(q, z) > 0.001) {
       ++z;
     }
-    t2.add_row({sim::Table::num(q, 2),
-                z >= 400 ? ">400" : std::to_string(z)});
+    ex.add_row({{"kind", "confirmations_for_p<0.001"},
+                {"q", bench::Value(q, 2)},
+                {"z", std::uint64_t{z}},
+                {"analytic",
+                 z >= 400 ? bench::Value(">400") : bench::Value()}});
   }
-  t2.print();
-  return 0;
+  return ex.finish();
 }

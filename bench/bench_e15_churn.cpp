@@ -25,10 +25,13 @@ struct Row {
 
 /// Kademlia under live churn: peers alternate sessions/downtime while
 /// queries run. `mean_session_min == 0` disables churn (stable servers).
-Row run(std::size_t n, double mean_session_min, std::uint64_t seed) {
+Row run(std::size_t n, double mean_session_min, std::uint64_t seed,
+        sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4));
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
+      {}, &ex.metrics());
   overlay::KademliaConfig cfg;
   std::vector<std::unique_ptr<overlay::KademliaNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -114,8 +117,9 @@ Row run(std::size_t n, double mean_session_min, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E15_churn", argc, argv, {.seed = 17});
+  ex.describe(
       "E15: overlay quality vs churn intensity",
       "high churn degrades open overlays: lookups hit departed nodes, pay "
       "timeouts, and fail — while a stable (cloud-like) population keeps "
@@ -124,9 +128,6 @@ int main() {
       "session length down from 'stable servers' to minutes-long sessions; "
       "120 find-node queries per row");
 
-  bench::Table t("lookup quality vs mean session length");
-  t.set_header({"population", "success", "p50_s", "p90_s",
-                "timeouts/lookup"});
   struct Cfg {
     const char* label;
     double session_min;
@@ -139,16 +140,19 @@ int main() {
       {"mean session 5 min", 5},
   };
   for (const auto& r : rows) {
-    const Row out = run(300, r.session_min, 17);
-    t.add_row({r.label, sim::Table::num(out.success, 2),
-               sim::Table::num(out.p50_s, 2), sim::Table::num(out.p90_s, 2),
-               sim::Table::num(out.timeouts_per_lookup, 1)});
+    const Row out = run(300, r.session_min, ex.seed(), ex);
+    ex.add_row({{"population", r.label},
+                {"success", bench::Value(out.success, 2)},
+                {"p50_s", bench::Value(out.p50_s, 2)},
+                {"p90_s", bench::Value(out.p90_s, 2)},
+                {"timeouts_per_lookup",
+                 bench::Value(out.timeouts_per_lookup, 1)}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nThe stable row answers nearly everything within a couple of RTT\n"
       "rounds; as sessions shrink toward file-sharing-like lifetimes the\n"
       "timeout tax mounts and success erodes — Problem 2's 'no rival to\n"
       "stable cloud servers' in one table.\n");
-  return 0;
+  return rc;
 }

@@ -21,10 +21,13 @@ struct Row {
   double bytes_per_node;
 };
 
-Row run(std::size_t n, std::size_t fanout, std::uint64_t seed) {
+Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
+        sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4));
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
+      {}, &ex.metrics());
   overlay::GossipConfig cfg;
   cfg.fanout = fanout;
   std::vector<net::NodeId> addrs;
@@ -66,8 +69,9 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E16_gossip", argc, argv, {.seed = 21});
+  ex.describe(
       "E16: epidemic broadcast coverage vs fanout and size",
       "push gossip reaches (almost) everyone in O(log n) hops once fanout "
       "clears the epidemic threshold; below it, rumors die out — redundancy "
@@ -75,30 +79,29 @@ int main() {
       "Cyclon peer sampling + infect-and-die push; sweep fanout at n=500 "
       "and network size at fanout=4");
 
-  bench::Table t1("fanout sweep, n = 500");
-  t1.set_header({"fanout", "coverage", "mean_hops", "dups_per_node",
-                 "bytes_per_node"});
   for (const std::size_t fanout : {1u, 2u, 3u, 4u, 6u, 8u}) {
-    const Row r = run(500, fanout, 21);
-    t1.add_row({std::to_string(fanout), sim::Table::num(r.coverage, 3),
-                sim::Table::num(r.mean_hops, 1),
-                sim::Table::num(r.duplicates_per_node, 2),
-                sim::Table::num(r.bytes_per_node, 0)});
+    const Row r = run(500, fanout, ex.seed(), ex);
+    ex.add_row({{"sweep", "fanout"},
+                {"n", std::uint64_t{500}},
+                {"fanout", std::uint64_t{fanout}},
+                {"coverage", bench::Value(r.coverage, 3)},
+                {"mean_hops", bench::Value(r.mean_hops, 1)},
+                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
+                {"bytes_per_node", bench::Value(r.bytes_per_node, 0)}});
   }
-  t1.print();
-
-  bench::Table t2("size sweep, fanout = 4");
-  t2.set_header({"n", "coverage", "mean_hops", "dups_per_node"});
   for (const std::size_t n : {100u, 300u, 1000u, 3000u}) {
-    const Row r = run(n, 4, 22);
-    t2.add_row({std::to_string(n), sim::Table::num(r.coverage, 3),
-                sim::Table::num(r.mean_hops, 1),
-                sim::Table::num(r.duplicates_per_node, 2)});
+    const Row r = run(n, 4, ex.seed() + 1, ex);
+    ex.add_row({{"sweep", "size"},
+                {"n", std::uint64_t{n}},
+                {"fanout", std::uint64_t{4}},
+                {"coverage", bench::Value(r.coverage, 3)},
+                {"mean_hops", bench::Value(r.mean_hops, 1)},
+                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)}});
   }
-  t2.print();
+  const int rc = ex.finish();
   std::printf(
       "\nHop counts grow logarithmically with n while coverage holds — the\n"
       "scalable-dissemination result that cloud systems (Dynamo, Cassandra)\n"
       "and every blockchain mesh inherited from P2P research.\n");
-  return 0;
+  return rc;
 }

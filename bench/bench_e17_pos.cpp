@@ -10,8 +10,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E17_pos", argc, argv, {.seed = 2});
+  ex.describe(
       "E17: proof-of-stake — participation gates and attack economics",
       "PoS removes the energy burn but not the concentration pressure "
       "(minimum stakes and operating costs gate out small holders), and "
@@ -21,9 +22,6 @@ int main() {
       "slots, sweeping participation gates; (b) net attack cost vs hedge "
       "recovery, compared with the PoW equivalent");
 
-  bench::Table t1("stake concentration after 500k slots");
-  t1.set_header({"participation", "gini_initial~", "gini_final",
-                 "nakamoto_coeff", "top6_share"});
   struct Cfg {
     const char* label;
     double non_staking;
@@ -41,43 +39,47 @@ int main() {
     cfg.slots = 500'000;
     cfg.non_staking_fraction = r.non_staking;
     cfg.min_stake_rel = r.min_stake_rel;
-    sim::Rng rng0(2);
+    sim::Rng rng0(ex.seed());
     std::vector<double> initial(cfg.validators);
     for (auto& s : initial) s = rng0.pareto(1.0, cfg.initial_pareto_alpha);
-    sim::Rng rng(2);
+    sim::Rng rng(ex.seed());
     const auto final_stake = chain::simulate_stake_concentration(cfg, rng);
-    t1.add_row({r.label, sim::Table::num(sim::gini(initial), 3),
-                sim::Table::num(sim::gini(final_stake), 3),
-                std::to_string(sim::nakamoto_coefficient(final_stake)),
-                sim::Table::num(sim::top_k_share(final_stake, 6), 3)});
+    ex.add_row(
+        {{"kind", "stake_concentration"},
+         {"participation", r.label},
+         {"gini_initial", bench::Value(sim::gini(initial), 3)},
+         {"gini_final", bench::Value(sim::gini(final_stake), 3)},
+         {"nakamoto_coeff",
+          std::uint64_t{sim::nakamoto_coefficient(final_stake)}},
+         {"top6_share", bench::Value(sim::top_k_share(final_stake, 6), 3)}});
   }
-  t1.print();
-
-  bench::Table t2("cost to control consensus ($1B staked / equivalent PoW)");
-  t2.set_header({"attack", "outlay_usd_M", "net_cost_usd_M"});
   for (const double recovery : {0.0, 0.5, 0.9, 0.99}) {
     chain::PosAttackParams p;
     p.total_stake_value_usd = 1e9;
     p.recovery_fraction = recovery;
     const auto c = chain::pos_attack_cost(p);
-    t2.add_row({"PoS, hedge recovers " + sim::Table::num(recovery * 100, 0) +
-                    "%",
-                sim::Table::num(c.outlay_usd / 1e6, 0),
-                sim::Table::num(c.net_cost_usd / 1e6, 1)});
+    ex.add_row({{"kind", "attack_cost"},
+                {"attack", "PoS, hedge recovers " +
+                               std::to_string(
+                                   static_cast<int>(recovery * 100)) +
+                               "%"},
+                {"outlay_usd_M", bench::Value(c.outlay_usd / 1e6, 0)},
+                {"net_cost_usd_M", bench::Value(c.net_cost_usd / 1e6, 1)}});
   }
   {
     chain::PowAttackParams p;
     const auto c = chain::pow_attack_cost(p);
-    t2.add_row({"PoW, 6h 51% (own hardware)",
-                sim::Table::num(c.outlay_usd / 1e6, 0),
-                sim::Table::num(c.net_cost_usd / 1e6, 1)});
+    ex.add_row({{"kind", "attack_cost"},
+                {"attack", "PoW, 6h 51% (own hardware)"},
+                {"outlay_usd_M", bench::Value(c.outlay_usd / 1e6, 0)},
+                {"net_cost_usd_M", bench::Value(c.net_cost_usd / 1e6, 1)}});
   }
-  t2.print();
+  const int rc = ex.finish();
   std::printf(
       "\nWith universal participation, compounding rewards are a fair\n"
       "lottery (Gini barely moves); realistic participation gates reproduce\n"
       "the concentration of E7 without burning a single joule. And on the\n"
       "attack side, the better the attacker's hedge, the closer 'killing'\n"
       "the PoS chain gets to free — the paper's reference [32] in numbers.\n");
-  return 0;
+  return rc;
 }

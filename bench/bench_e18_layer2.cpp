@@ -50,8 +50,9 @@ Row drive(chain::ChannelNetwork& net, std::size_t payments,
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E18_layer2", argc, argv, {.seed = 77});
+  ex.describe(
       "E18: off-chain payment channels — throughput vs re-centralization",
       "layer-2 escapes the E5 throughput ceiling (payments no longer touch "
       "the chain) but traffic concentrates through a few well-funded hubs — "
@@ -60,29 +61,28 @@ int main() {
       "liquidity economics produces) vs an idealized symmetric mesh; "
       "routing-power concentration measured over intermediaries");
 
-  sim::Rng rng(77);
-  bench::Table t("topology comparison, 20k off-chain payments");
-  t.set_header({"topology", "success", "mean_hops", "routing_gini",
-                "routing_nakamoto", "top3_route_share"});
+  sim::Rng rng(ex.seed());
   {
     auto hub = chain::make_hub_topology(500, 3, 500, 2'000'000, rng);
     const Row r = drive(hub, 20'000, 40, rng);
-    t.add_row({"hub-and-spoke (3 hubs)", sim::Table::num(r.success, 3),
-               sim::Table::num(r.mean_hops, 2),
-               sim::Table::num(r.routing_gini, 3),
-               std::to_string(r.routing_nakamoto),
-               sim::Table::num(r.top3_share, 3)});
+    ex.add_row({{"topology", "hub-and-spoke (3 hubs)"},
+                {"success", bench::Value(r.success, 3)},
+                {"mean_hops", bench::Value(r.mean_hops, 2)},
+                {"routing_gini", bench::Value(r.routing_gini, 3)},
+                {"routing_nakamoto", std::uint64_t{r.routing_nakamoto}},
+                {"top3_route_share", bench::Value(r.top3_share, 3)}});
   }
   {
     auto mesh = chain::make_mesh_topology(500, 4, 500, rng);
     const Row r = drive(mesh, 20'000, 40, rng);
-    t.add_row({"symmetric mesh (4 ch/node)", sim::Table::num(r.success, 3),
-               sim::Table::num(r.mean_hops, 2),
-               sim::Table::num(r.routing_gini, 3),
-               std::to_string(r.routing_nakamoto),
-               sim::Table::num(r.top3_share, 3)});
+    ex.add_row({{"topology", "symmetric mesh (4 ch/node)"},
+                {"success", bench::Value(r.success, 3)},
+                {"mean_hops", bench::Value(r.mean_hops, 2)},
+                {"routing_gini", bench::Value(r.routing_gini, 3)},
+                {"routing_nakamoto", std::uint64_t{r.routing_nakamoto}},
+                {"top3_route_share", bench::Value(r.top3_share, 3)}});
   }
-  t.print();
+  const int rc = ex.finish();
 
   std::printf(
       "\nOn-chain equivalence: 20k payments would need ~%.0f Bitcoin blocks\n"
@@ -91,5 +91,5 @@ int main() {
       "hub topology three nodes carry almost all routed value — the 'much\n"
       "smaller set of peers' the paper warns the scaling roadmap leads to.\n",
       20000.0 / 4000.0, 20000.0 / 4000.0 / 6.0);
-  return 0;
+  return rc;
 }

@@ -25,10 +25,13 @@ struct GnutellaRow {
   double mean_hops;
 };
 
-GnutellaRow run_gnutella(double free_rider_fraction, std::uint64_t seed) {
+GnutellaRow run_gnutella(double free_rider_fraction, std::uint64_t seed,
+                         sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4));
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
+      {}, &ex.metrics());
   const std::size_t n = 400;
   sim::Rng rng(seed ^ 0x62);
   p2p::ContentCatalog catalog({}, rng);
@@ -75,8 +78,9 @@ GnutellaRow run_gnutella(double free_rider_fraction, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E2_free_riding", argc, argv, {.seed = 5});
+  ex.describe(
       "E2: free riding in open file-sharing networks",
       "most Gnutella peers shared nothing, degrading search for everyone; "
       "BitTorrent's tit-for-tat punishes riders during a download but "
@@ -85,22 +89,18 @@ int main() {
       "BitTorrent swarm with/without tit-for-tat, contributor vs rider "
       "completion");
 
-  bench::Table t1("Gnutella: search vs free-rider fraction (TTL 7)");
-  t1.set_header({"free_riders%", "success_rate", "msgs_per_query",
-                 "mean_hops_to_hit"});
   for (const double fr : {0.0, 0.25, 0.50, 0.66, 0.80, 0.90}) {
-    const auto r = run_gnutella(fr, 5);
-    t1.add_row({sim::Table::num(fr * 100, 0), sim::Table::num(r.success, 3),
-                sim::Table::num(r.msgs_per_query, 0),
-                sim::Table::num(r.mean_hops, 1)});
+    const auto r = run_gnutella(fr, ex.seed(), ex);
+    ex.add_row({{"scenario", "gnutella"},
+                {"free_riders_pct", bench::Value(fr * 100, 0)},
+                {"success_rate", bench::Value(r.success, 3)},
+                {"msgs_per_query", bench::Value(r.msgs_per_query, 0)},
+                {"mean_hops_to_hit", bench::Value(r.mean_hops, 1)}});
   }
-  t1.print();
 
-  bench::Table t2("BitTorrent swarm: 1 seed, 16 contributors, 4 free riders");
-  t2.set_header({"choking", "contrib_median_s", "rider_median_s",
-                 "rider_penalty_x"});
   for (const bool tft : {true, false}) {
-    sim::Simulator simu(7);
+    sim::Simulator simu(ex.seed() ^ 2);
+    simu.set_trace(ex.trace());
     p2p::SwarmConfig cfg;
     cfg.pieces = 64;
     cfg.piece_bytes = 64 * 1024;
@@ -112,16 +112,20 @@ int main() {
     simu.run_until(sim::hours(2));
     const double contrib = sim::to_seconds(swarm.median_finish_time(false));
     const double rider = sim::to_seconds(swarm.median_finish_time(true));
-    t2.add_row({tft ? "tit-for-tat" : "random (no incentives)",
-                sim::Table::num(contrib, 1), sim::Table::num(rider, 1),
-                contrib > 0 ? sim::Table::num(rider / contrib, 2) : "-"});
+    ex.add_row(
+        {{"scenario", "bittorrent"},
+         {"choking", tft ? "tit-for-tat" : "random (no incentives)"},
+         {"contrib_median_s", bench::Value(contrib, 1)},
+         {"rider_median_s", bench::Value(rider, 1)},
+         {"rider_penalty_x",
+          contrib > 0 ? bench::Value(rider / contrib, 2) : bench::Value()}});
   }
-  t2.print();
+  const int rc = ex.finish();
   std::printf(
       "\nGnutella search quality collapses with the sharing base; under\n"
       "tit-for-tat riders pay a completion-time penalty that vanishes with\n"
       "random unchoking. Neither mechanism pays anyone to keep a DHT or\n"
       "relay infrastructure alive between downloads — the gap the paper says\n"
       "cryptocurrency incentives tried (and failed) to fill for services.\n");
-  return 0;
+  return rc;
 }

@@ -20,10 +20,13 @@ struct Row {
   std::uint64_t captured_rpcs;
 };
 
-Row run(std::size_t honest_n, std::size_t sybils, std::uint64_t seed) {
+Row run(std::size_t honest_n, std::size_t sybils, std::uint64_t seed,
+        sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::ConstantLatency>(sim::millis(40)));
+      simu, std::make_unique<net::ConstantLatency>(sim::millis(40)),
+      {}, &ex.metrics());
   overlay::KademliaConfig cfg;
   std::vector<std::unique_ptr<overlay::KademliaNode>> honest;
   for (std::size_t i = 0; i < honest_n; ++i) {
@@ -82,8 +85,9 @@ Row run(std::size_t honest_n, std::size_t sybils, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E3_sybil", argc, argv, {.seed = 77});
+  ex.describe(
       "E3: sybil capture of a Kademlia keyspace region",
       "self-assigned identifiers let an attacker park identities next to "
       "any key: new stores land on attacker nodes and vanish (the measured "
@@ -91,20 +95,18 @@ int main() {
       "250 honest nodes; per key, mint N sybil ids sharing a 24-bit prefix "
       "with the key, infiltrate, then publish + fetch; 20 keys per row");
 
-  bench::Table t("attack strength vs sybil population (per targeted key)");
-  t.set_header({"sybils_per_key", "store_capture", "lookup_failure",
-                "captured_rpcs"});
   for (const std::size_t sybils : {0u, 2u, 4u, 6u, 8u, 16u, 64u}) {
-    const Row r = run(250, sybils, 77);
-    t.add_row({std::to_string(sybils), sim::Table::num(r.store_capture, 2),
-               sim::Table::num(r.lookup_failure, 2),
-               std::to_string(r.captured_rpcs)});
+    const Row r = run(250, sybils, ex.seed(), ex);
+    ex.add_row({{"sybils_per_key", std::uint64_t{sybils}},
+                {"store_capture", bench::Value(r.store_capture, 2)},
+                {"lookup_failure", bench::Value(r.lookup_failure, 2)},
+                {"captured_rpcs", r.captured_rpcs}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nA few dozen identities per key — trivially cheap, since identities\n"
       "are free — suffice to swallow most new publications in the region.\n"
       "This is the paper's Problem 3, and the defense (admission-controlled\n"
       "identity) is exactly what the permissioned MSP in E12 provides.\n");
-  return 0;
+  return rc;
 }

@@ -24,10 +24,13 @@ struct Row {
   double maint_bytes_per_node_s;
 };
 
-Row run_chord(std::size_t n, bool churn, std::uint64_t seed) {
+Row run_chord(std::size_t n, bool churn, std::uint64_t seed,
+              sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3));
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
+      {}, &ex.metrics());
   overlay::ChordConfig cfg;
   std::vector<std::unique_ptr<overlay::ChordNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -83,10 +86,13 @@ Row run_chord(std::size_t n, bool churn, std::uint64_t seed) {
              static_cast<double>(ok) / kQueries, maint};
 }
 
-Row run_onehop(std::size_t n, bool churn, std::uint64_t seed) {
+Row run_onehop(std::size_t n, bool churn, std::uint64_t seed,
+               sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
+  simu.set_trace(ex.trace());
   net::Network netw(
-      simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3));
+      simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
+      {}, &ex.metrics());
   overlay::OneHopConfig cfg;
   std::vector<std::unique_ptr<overlay::OneHopNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -142,8 +148,9 @@ Row run_onehop(std::size_t n, bool churn, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E4_onehop", argc, argv, {.seed = 31});
+  ex.describe(
       "E4: one-hop full membership vs Chord multi-hop routing",
       "for stable populations up to ~100K, keeping the full membership "
       "table costs modest maintenance bandwidth and buys O(1) lookups — "
@@ -152,30 +159,33 @@ int main() {
       "maintenance bytes measured over a quiet 10-minute window, then 100 "
       "lookups");
 
-  bench::Table t("routing architecture comparison");
-  t.set_header({"overlay", "nodes", "churn", "p50_lookup_ms",
-                "hops|attempts", "success", "maint_B/node/s"});
   for (const std::size_t n : {200u, 500u}) {
     for (const bool churn : {false, true}) {
-      const Row c = run_chord(n, churn, 31);
-      t.add_row({"Chord", std::to_string(n), churn ? "6/min" : "none",
-                 sim::Table::num(c.lookup_p50_ms, 0),
-                 sim::Table::num(c.lookup_hops, 1),
-                 sim::Table::num(c.success, 2),
-                 sim::Table::num(c.maint_bytes_per_node_s, 1)});
-      const Row o = run_onehop(n, churn, 32);
-      t.add_row({"One-hop", std::to_string(n), churn ? "6/min" : "none",
-                 sim::Table::num(o.lookup_p50_ms, 0),
-                 sim::Table::num(o.lookup_hops, 2),
-                 sim::Table::num(o.success, 2),
-                 sim::Table::num(o.maint_bytes_per_node_s, 1)});
+      const Row c = run_chord(n, churn, ex.seed(), ex);
+      ex.add_row({{"overlay", "Chord"},
+                  {"nodes", std::uint64_t{n}},
+                  {"churn", churn ? "6/min" : "none"},
+                  {"p50_lookup_ms", bench::Value(c.lookup_p50_ms, 0)},
+                  {"hops_or_attempts", bench::Value(c.lookup_hops, 1)},
+                  {"success", bench::Value(c.success, 2)},
+                  {"maint_bytes_node_s",
+                   bench::Value(c.maint_bytes_per_node_s, 1)}});
+      const Row o = run_onehop(n, churn, ex.seed() + 1, ex);
+      ex.add_row({{"overlay", "One-hop"},
+                  {"nodes", std::uint64_t{n}},
+                  {"churn", churn ? "6/min" : "none"},
+                  {"p50_lookup_ms", bench::Value(o.lookup_p50_ms, 0)},
+                  {"hops_or_attempts", bench::Value(o.lookup_hops, 2)},
+                  {"success", bench::Value(o.success, 2)},
+                  {"maint_bytes_node_s",
+                   bench::Value(o.maint_bytes_per_node_s, 1)}});
     }
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nOne-hop answers in a single RTT where Chord pays ~log2(n) RTTs; the\n"
       "price is membership gossip that grows with churn x n. For a stable\n"
       "corporate/cloud population that trade is obviously right — which is\n"
       "how Dynamo-style stores ended the DHT's multi-hop era.\n");
-  return 0;
+  return rc;
 }

@@ -12,8 +12,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E5_throughput", argc, argv, {.seed = 42});
+  ex.describe(
       "E5: transactions per second across architectures",
       "Bitcoin 3.3-7 tps, Ethereum ~15 tps, VISA ~24,000 tps: global "
       "broadcast + full replication caps throughput at one node's capacity, "
@@ -21,10 +22,6 @@ int main() {
       "full-protocol simulations: PoW gossip networks with Bitcoin-like and "
       "Ethereum-like parameters under saturating load, and a Raft-replicated "
       "partitioned commit substrate (the cloud/VISA architecture)");
-
-  bench::Table t("architecture comparison (same network substrate)");
-  t.set_header({"system", "tps", "block_interval_s", "stale_rate",
-                "offered_tps", "notes"});
 
   {
     core::PowScenarioConfig cfg;
@@ -37,11 +34,15 @@ int main() {
     cfg.wallets = 48;
     cfg.tx_rate_per_sec = 10;  // saturating: capacity is ~6.7 tps
     cfg.duration = sim::hours(3);
+    cfg.seed = ex.seed();
     const auto r = core::run_pow_scenario(cfg);
-    t.add_row({"Bitcoin-like PoW", sim::Table::num(r.throughput_tps, 1),
-               sim::Table::num(r.mean_block_interval_s, 0),
-               sim::Table::num(r.stale_rate, 4),
-               sim::Table::num(10, 0), "1MB blocks / 10 min"});
+    ex.add_row({{"system", "Bitcoin-like PoW"},
+                {"tps", bench::Value(r.throughput_tps, 1)},
+                {"block_interval_s",
+                 bench::Value(r.mean_block_interval_s, 0)},
+                {"stale_rate", bench::Value(r.stale_rate, 4)},
+                {"offered_tps", 10},
+                {"notes", "1MB blocks / 10 min"}});
   }
   {
     core::PowScenarioConfig cfg;
@@ -54,11 +55,15 @@ int main() {
     cfg.wallets = 48;
     cfg.tx_rate_per_sec = 30;  // capacity ~17 tps
     cfg.duration = sim::minutes(30);
+    cfg.seed = ex.seed();
     const auto r = core::run_pow_scenario(cfg);
-    t.add_row({"Ethereum-like PoW", sim::Table::num(r.throughput_tps, 1),
-               sim::Table::num(r.mean_block_interval_s, 1),
-               sim::Table::num(r.stale_rate, 4),
-               sim::Table::num(30, 0), "60KB blocks / 13 s"});
+    ex.add_row({{"system", "Ethereum-like PoW"},
+                {"tps", bench::Value(r.throughput_tps, 1)},
+                {"block_interval_s",
+                 bench::Value(r.mean_block_interval_s, 1)},
+                {"stale_rate", bench::Value(r.stale_rate, 4)},
+                {"offered_tps", 30},
+                {"notes", "60KB blocks / 13 s"}});
   }
   {
     core::PartitionedScenarioConfig cfg;
@@ -66,11 +71,12 @@ int main() {
     cfg.replicas = 3;
     cfg.tx_rate_per_sec = 8000;
     cfg.duration = sim::seconds(20);
+    cfg.seed = ex.seed();
     const auto r = core::run_partitioned_scenario(cfg);
-    t.add_row({"Partitioned cloud (16 shards)",
-               sim::Table::num(r.throughput_tps, 0), "-", "-",
-               sim::Table::num(8000, 0),
-               "p50 " + sim::Table::num(r.latency_p50_ms, 0) + "ms"});
+    ex.add_row({{"system", "Partitioned cloud (16 shards)"},
+                {"tps", bench::Value(r.throughput_tps, 0)},
+                {"offered_tps", 8000},
+                {"p50_latency_ms", bench::Value(r.latency_p50_ms, 0)}});
   }
   {
     core::PartitionedScenarioConfig cfg;
@@ -78,16 +84,17 @@ int main() {
     cfg.replicas = 3;
     cfg.tx_rate_per_sec = 24000;
     cfg.duration = sim::seconds(10);
+    cfg.seed = ex.seed();
     const auto r = core::run_partitioned_scenario(cfg);
-    t.add_row({"Partitioned cloud (48 shards)",
-               sim::Table::num(r.throughput_tps, 0), "-", "-",
-               sim::Table::num(24000, 0),
-               "p50 " + sim::Table::num(r.latency_p50_ms, 0) + "ms"});
+    ex.add_row({{"system", "Partitioned cloud (48 shards)"},
+                {"tps", bench::Value(r.throughput_tps, 0)},
+                {"offered_tps", 24000},
+                {"p50_latency_ms", bench::Value(r.latency_p50_ms, 0)}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nThe PoW rows are capped near block_bytes/(tx_bytes*interval) no\n"
       "matter the offered load; the partitioned rows track offered load —\n"
       "add shards, get throughput. That is the paper's VISA contrast.\n");
-  return 0;
+  return rc;
 }

@@ -7,8 +7,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E6_selfish", argc, argv, {.seed = 42});
+  ex.describe(
       "E6: selfish mining revenue vs pool size",
       "a minority pool (alpha > (1-gamma)/(3-2gamma)) earns more than its "
       "fair share by withholding blocks [Eyal & Sirer]",
@@ -16,24 +17,23 @@ int main() {
       "point) against the closed-form revenue; gamma = tie-break share");
 
   for (const double gamma : {0.0, 0.5, 1.0}) {
-    bench::Table t("selfish mining, gamma = " + sim::Table::num(gamma, 1) +
-                   "  (threshold alpha = " +
-                   sim::Table::num(chain::selfish_threshold(gamma), 3) + ")");
-    t.set_header({"alpha", "fair_share", "simulated", "analytic", "stale_rate",
-                  "profitable"});
     for (const double alpha :
          {0.10, 0.20, 0.25, 0.30, 1.0 / 3.0, 0.35, 0.40, 0.45}) {
-      sim::Rng rng(42);
+      sim::Rng rng(ex.seed());
       const auto out =
           chain::simulate_selfish_mining(alpha, gamma, 2'000'000, rng);
       const double analytic = chain::selfish_revenue_analytic(alpha, gamma);
-      t.add_row({sim::Table::num(alpha, 3), sim::Table::num(alpha, 3),
-                 sim::Table::num(out.pool_revenue_share(), 4),
-                 sim::Table::num(analytic, 4),
-                 sim::Table::num(out.stale_rate(), 4),
-                 out.pool_revenue_share() > alpha ? "YES" : "no"});
+      ex.add_row({{"gamma", bench::Value(gamma, 1)},
+                  {"threshold_alpha",
+                   bench::Value(chain::selfish_threshold(gamma), 3)},
+                  {"alpha", bench::Value(alpha, 3)},
+                  {"fair_share", bench::Value(alpha, 3)},
+                  {"simulated", bench::Value(out.pool_revenue_share(), 4)},
+                  {"analytic", bench::Value(analytic, 4)},
+                  {"stale_rate", bench::Value(out.stale_rate(), 4)},
+                  {"profitable",
+                   out.pool_revenue_share() > alpha ? "YES" : "no"}});
     }
-    t.print();
   }
-  return 0;
+  return ex.finish();
 }

@@ -6,8 +6,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E8_energy", argc, argv);
+  ex.describe(
       "E8: proof-of-work energy equilibrium vs coin price",
       "mining spend tracks the coin price (~70 TWh/yr at the 2018 peak, "
       "'roughly what Austria consumes') and is untethered from useful "
@@ -25,9 +26,6 @@ int main() {
 
   const double tx_per_day = chain::daily_tx_capacity(144, 1'000'000, 250);
 
-  bench::Table t("energy equilibrium vs BTC price (protocol throughput fixed)");
-  t.set_header({"price_usd", "hashrate_EH/s", "energy_TWh/yr", "tx_per_day",
-                "kWh_per_tx"});
   for (const double price : {13.0, 100.0, 770.0, 4000.0, 8000.0, 19783.0}) {
     chain::EnergyParams p = base;
     p.coin_price_usd = price;
@@ -35,11 +33,13 @@ int main() {
     const double twh = chain::annual_energy_twh(h, p.joules_per_hash);
     const double kwh_per_tx =
         twh * 1e9 / 365.0 / tx_per_day;  // TWh/yr -> kWh/day basis
-    t.add_row({sim::Table::num(price, 0), sim::Table::num(h / 1e18, 3),
-               sim::Table::num(twh, 1), sim::Table::num(tx_per_day, 0),
-               sim::Table::num(kwh_per_tx, 1)});
+    ex.add_row({{"price_usd", bench::Value(price, 0)},
+                {"hashrate_EH_s", bench::Value(h / 1e18, 3)},
+                {"energy_TWh_yr", bench::Value(twh, 1)},
+                {"tx_per_day", bench::Value(tx_per_day, 0)},
+                {"kWh_per_tx", bench::Value(kwh_per_tx, 1)}});
   }
-  t.print();
+  const int rc = ex.finish();
 
   std::printf(
       "\nThroughput never moves (still ~%.0f tx/day) while energy scales\n"
@@ -48,5 +48,5 @@ int main() {
       "VISA-scale traffic (~2e9 tx/day) runs on ~one datacenter (~0.1 TWh/yr),\n"
       "five orders of magnitude less per transaction.\n",
       tx_per_day);
-  return 0;
+  return rc;
 }

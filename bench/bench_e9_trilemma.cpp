@@ -7,8 +7,9 @@
 
 using namespace decentnet;
 
-int main() {
-  bench::banner(
+int main(int argc, char** argv) {
+  bench::ExperimentHarness ex("E9_trilemma", argc, argv);
+  ex.describe(
       "E9: quantifying the scalability trilemma",
       "scalability (O(n) > O(c) throughput), decentralization (commodity "
       "nodes can validate) and security (cost to capture consensus) cannot "
@@ -18,17 +19,14 @@ int main() {
 
   const auto sweep =
       core::trilemma_sweep(10'000, 15.0, {1, 2, 4, 8, 16, 64, 256, 1024});
-  bench::Table t("design space: shards vs the three axes");
-  t.set_header({"shards", "throughput_tps", "scalability_x",
-                "per_node_load", "security_(capture_fraction)"});
   for (const auto& p : sweep) {
-    t.add_row({std::to_string(p.design.shards),
-               sim::Table::num(p.throughput_tps, 0),
-               sim::Table::num(p.scalability, 0),
-               sim::Table::num(p.per_node_load, 4),
-               sim::Table::num(p.security, 4)});
+    ex.add_row({{"shards", std::uint64_t{p.design.shards}},
+                {"throughput_tps", bench::Value(p.throughput_tps, 0)},
+                {"scalability_x", bench::Value(p.scalability, 0)},
+                {"per_node_load", bench::Value(p.per_node_load, 4)},
+                {"security_capture_fraction", bench::Value(p.security, 4)}});
   }
-  t.print();
+  const int rc = ex.finish();
   std::printf(
       "\nInvariant: scalability x security = 0.5 across the whole sweep —\n"
       "every shard of extra throughput divides the resources an attacker\n"
@@ -36,5 +34,5 @@ int main() {
       "keeps 51%%-security but is pinned to one node's validation capacity:\n"
       "Bitcoin's ~7 tps (E5) is this corner of the space. VISA picks\n"
       "scalability + a trusted operator instead of open security.\n");
-  return 0;
+  return rc;
 }

@@ -1,24 +1,16 @@
-// Shared helpers for the experiment benches: consistent headers that state
-// the paper claim being regenerated, plus the table printer.
+// Shared include for the experiment benches: every bench runs on the
+// sim::ExperimentHarness (banner, results table, BENCH_<id>.json artifact,
+// --seed/--json/--trace CLI). See src/sim/experiment.hpp for the canonical
+// bench shape.
 #pragma once
 
 #include <cstdio>
-#include <string>
 
-#include "sim/table.hpp"
+#include "sim/experiment.hpp"
 
 namespace decentnet::bench {
 
-/// Print the experiment banner: id, claim, and what the bench sweeps.
-inline void banner(const std::string& id, const std::string& claim,
-                   const std::string& method) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n", id.c_str());
-  std::printf("Paper claim : %s\n", claim.c_str());
-  std::printf("This bench  : %s\n", method.c_str());
-  std::printf("================================================================\n");
-}
-
-using decentnet::sim::Table;
+using decentnet::sim::ExperimentHarness;
+using decentnet::sim::Value;
 
 }  // namespace decentnet::bench

@@ -14,15 +14,24 @@
 #include <vector>
 
 #include "core/decentnet.hpp"
+#include "sim/experiment.hpp"
 
 using namespace decentnet;
 
-int main() {
-  std::printf("== healthcare federation: consent on a shared ledger ==\n\n");
-  sim::Simulator simu(11);
+int main(int argc, char** argv) {
+  sim::ExperimentHarness ex("example_healthcare_federation", argc, argv,
+                            {.seed = 11});
+  ex.describe("healthcare federation: consent on a shared ledger",
+              "records stay at each hospital's edge nano-DC; only consent "
+              "facts and audit events cross org lines, via a BFT-ordered "
+              "permissioned channel",
+              "3-org Fabric channel with PBFT ordering + an edge-vs-cloud "
+              "latency check on the same simulated network");
+  sim::Simulator simu(ex.seed());
+  simu.set_trace(ex.trace());
   auto geo_model = std::make_unique<net::GeoLatency>(0.1);
   net::GeoLatency* geo = geo_model.get();
-  net::Network netw(simu, std::move(geo_model));
+  net::Network netw(simu, std::move(geo_model), {}, &ex.metrics());
 
   // --- The permissioned consent/audit channel --------------------------------
   fabric::MembershipService msp(3);
@@ -45,12 +54,14 @@ int main() {
   client.set_orderer(&orderer);
 
   int denied = 0;
+  int surprises = 0;
   auto invoke = [&](std::vector<std::string> args, bool expect_ok) {
     client.invoke("health", std::move(args),
                   [&, expect_ok](bool ok, const std::string& payload,
                                  sim::SimDuration) {
                     if (!ok) ++denied;
                     if (ok != expect_ok) {
+                      ++surprises;
                       std::printf("  UNEXPECTED: ok=%d payload=%s\n", ok,
                                   payload.c_str());
                     }
@@ -112,5 +123,15 @@ int main() {
       "Records stay at the hospitals' edge; only consent facts and audit\n"
       "events cross organizational lines, via a BFT-ordered channel.\n",
       denied);
-  return 0;
+
+  ex.add_row({{"check", "all_consent_outcomes_as_expected"},
+              {"ok", surprises == 0},
+              {"count", std::int64_t{surprises}}});
+  ex.add_row({{"check", "denied_operations"},
+              {"ok", denied == 3},
+              {"count", std::int64_t{denied}}});
+  ex.add_row({{"check", "edge_faster_than_cloud"},
+              {"ok", nano_ms < cloud_ms},
+              {"count", sim::Value()}});
+  return ex.finish();
 }

@@ -13,17 +13,25 @@
 #include <vector>
 
 #include "core/decentnet.hpp"
+#include "sim/experiment.hpp"
 
 using namespace decentnet;
 
-int main() {
-  std::printf("== decentnet quickstart ==\n\n");
+int main(int argc, char** argv) {
+  sim::ExperimentHarness ex("example_quickstart", argc, argv, {.seed = 2026});
+  ex.describe("decentnet quickstart",
+              "whirlwind tour of the public API: one kernel runs a DHT, a "
+              "PoW currency, and a permissioned channel",
+              "50-node Kademlia, 8-node PoW mesh, 3-org Fabric channel on "
+              "one simulated network");
 
   // --- 1. Kernel + network --------------------------------------------------
-  sim::Simulator simu(/*seed=*/2026);
+  sim::Simulator simu(ex.seed());
+  simu.set_trace(ex.trace());
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(50),
-                                                            0.4));
+                                                            0.4),
+                    {}, &ex.metrics());
 
   // --- 2. A 50-node Kademlia DHT --------------------------------------------
   std::vector<std::unique_ptr<overlay::KademliaNode>> dht;
@@ -39,8 +47,12 @@ int main() {
 
   dht[7]->store(crypto::sha256("greeting"), "hello, decentralized world");
   simu.run_until(simu.now() + sim::seconds(30));
+  bool dht_found = false;
+  std::uint64_t dht_rpcs = 0;
   dht[33]->find_value(crypto::sha256("greeting"),
-                      [](overlay::LookupResult r) {
+                      [&](overlay::LookupResult r) {
+                        dht_found = r.found_value;
+                        dht_rpcs = r.rpcs_sent;
                         std::printf("DHT lookup: %s (rpcs=%zu, %.0f ms)\n",
                                     r.found_value ? r.value->c_str()
                                                   : "(not found)",
@@ -107,25 +119,44 @@ int main() {
   client.set_endorsers({peers[0].get(), peers[1].get(), peers[2].get()});
   client.set_orderer(&orderer);
 
+  bool fabric_commit_ok = false;
   client.invoke("asset", {"create", "bike42", "alice", "900"},
-                [](bool ok, const std::string&, sim::SimDuration latency) {
+                [&](bool ok, const std::string&, sim::SimDuration latency) {
+                  fabric_commit_ok = ok;
                   std::printf(
                       "Fabric commit: asset created=%s in %.0f ms "
                       "(endorse -> order -> validate)\n",
                       ok ? "yes" : "no", sim::to_millis(latency));
                 });
   simu.run_until(simu.now() + sim::seconds(10));
+  bool fabric_query_ok = false;
   client.invoke("asset", {"read", "bike42"},
-                [](bool ok, const std::string& payload, sim::SimDuration) {
+                [&](bool ok, const std::string& payload, sim::SimDuration) {
+                  fabric_query_ok = ok;
                   std::printf("Fabric query: bike42 -> %s\n",
                               ok ? payload.c_str() : "(error)");
                 });
   simu.run_until(simu.now() + sim::seconds(10));
+
+  ex.add_row({{"stage", "dht_lookup"},
+              {"ok", dht_found},
+              {"value", dht_rpcs}});
+  ex.add_row({{"stage", "pow_chain_height"},
+              {"ok", nodes[5]->tree().best_height() > 0},
+              {"value", std::uint64_t{nodes[5]->tree().best_height()}}});
+  ex.add_row(
+      {{"stage", "pow_bob_balance"},
+       {"ok", nodes[5]->utxo().balance_of(bob.address()) == 25'000},
+       {"value",
+        std::uint64_t{static_cast<std::uint64_t>(
+            nodes[5]->utxo().balance_of(bob.address()))}}});
+  ex.add_row({{"stage", "fabric_commit"}, {"ok", fabric_commit_ok}});
+  ex.add_row({{"stage", "fabric_query"}, {"ok", fabric_query_ok}});
 
   std::printf(
       "\nSimulated %s of protocol time; %llu events; every run of this "
       "program\nprints exactly the same thing (seeded determinism).\n",
       sim::format_duration(simu.now()).c_str(),
       static_cast<unsigned long long>(simu.total_events_processed()));
-  return 0;
+  return ex.finish();
 }

@@ -14,15 +14,24 @@
 #include <vector>
 
 #include "core/decentnet.hpp"
+#include "sim/experiment.hpp"
 
 using namespace decentnet;
 
-int main() {
-  std::printf("== smart-grid energy trading island ==\n\n");
-  sim::Simulator simu(88);
+int main(int argc, char** argv) {
+  sim::ExperimentHarness ex("example_smart_grid", argc, argv, {.seed = 88});
+  ex.describe("smart-grid energy trading island",
+              "prosumers trade surplus kWh on a permissioned channel; "
+              "double-sells die by MVCC, over-sells by chaincode, and no "
+              "broker holds the master copy",
+              "3-org Fabric channel (utility, coop, regulator) with Raft "
+              "ordering; metering, offers, buys, and a racing double-buy");
+  sim::Simulator simu(ex.seed());
+  simu.set_trace(ex.trace());
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(5),
-                                                            0.3));
+                                                            0.3),
+                    {}, &ex.metrics());
   fabric::MembershipService msp(4);
   fabric::EndorsementPolicy policy{2};
   const char* orgs[] = {"utility", "coop", "regulator"};
@@ -112,5 +121,15 @@ int main() {
       "\nGrid trust without a broker: settlement needs 2-of-3 org\n"
       "endorsements, the regulator audits by holding a full replica, and\n"
       "conflicting trades are serialized by the ledger, not by a middleman.\n");
-  return 0;
+
+  ex.add_row({{"check", "ops_committed"},
+              {"ok", ok_count > 0},
+              {"count", std::int64_t{ok_count}}});
+  ex.add_row({{"check", "invalid_ops_rejected"},
+              {"ok", rejected == 2},
+              {"count", std::int64_t{rejected}}});
+  ex.add_row({{"check", "mvcc_race_exactly_one_winner"},
+              {"ok", race_ok == 1 && race_fail == 1},
+              {"count", std::int64_t{race_ok}}});
+  return ex.finish();
 }

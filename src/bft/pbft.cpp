@@ -35,7 +35,10 @@ PbftReplica::PbftReplica(net::Network& net, net::NodeId addr,
       sim_(net.simulator()),
       addr_(addr),
       index_(index),
-      config_(config) {
+      config_(config),
+      m_batches_executed_(net.metrics().counter("bft/pbft_batches_executed")),
+      m_commands_executed_(net.metrics().counter("bft/pbft_commands_executed")),
+      m_view_changes_(net.metrics().counter("bft/pbft_view_changes")) {
   net_.attach(addr_, this);
 }
 
@@ -85,9 +88,11 @@ void PbftReplica::on_request(const Command& cmd) {
   if (pending_.size() >= config_.batch_size) {
     flush_batch();
   } else if (!batch_timer_.valid()) {
-    batch_timer_ = sim_.schedule(config_.batch_delay, [this] {
-      if (!crashed_) flush_batch();
-    });
+    batch_timer_ = sim_.schedule(
+        config_.batch_delay, [this] {
+          if (!crashed_) flush_batch();
+        },
+        "pbft/batch");
   }
 }
 
@@ -111,9 +116,11 @@ void PbftReplica::flush_batch() {
   s.pre_prepare = pp;
   try_prepare(pp.seq);
   if (!pending_.empty()) {
-    batch_timer_ = sim_.schedule(config_.batch_delay, [this] {
-      if (!crashed_) flush_batch();
-    });
+    batch_timer_ = sim_.schedule(
+        config_.batch_delay, [this] {
+          if (!crashed_) flush_batch();
+        },
+        "pbft/batch");
   }
 }
 
@@ -152,11 +159,13 @@ void PbftReplica::execute_ready() {
     }
     s.executed = true;
     ++executed_seq_;
+    m_batches_executed_.add();
     view_timer_.cancel();  // progress: the primary is alive
     for (const Command& cmd : s.pre_prepare->batch) {
       const auto key = std::make_pair(cmd.client, cmd.id);
       forwarded_.erase(key);
       if (!executed_cmds_.insert(key).second) continue;
+      m_commands_executed_.add();
       if (commit_hook_) commit_hook_(executed_seq_, cmd);
       const auto client = client_addrs_.find(cmd.client);
       if (client != client_addrs_.end()) {
@@ -171,15 +180,18 @@ void PbftReplica::execute_ready() {
 
 void PbftReplica::arm_view_timer() {
   if (view_timer_.valid()) return;
-  view_timer_ = sim_.schedule(config_.view_change_timeout, [this] {
-    if (!crashed_) start_view_change();
-  });
+  view_timer_ = sim_.schedule(
+      config_.view_change_timeout, [this] {
+        if (!crashed_) start_view_change();
+      },
+      "pbft/view_change");
 }
 
 void PbftReplica::start_view_change() {
   const std::uint64_t target = view_ + 1;
   if (pending_view_ >= target) return;
   pending_view_ = target;
+  m_view_changes_.add();
   pm::ViewChange vc;
   vc.new_view = target;
   vc.replica = index_;
@@ -196,9 +208,11 @@ void PbftReplica::start_view_change() {
   }
   multicast(vc, config_.message_bytes + 64 * vc.prepared.size());
   // Keep escalating if this view change also stalls.
-  view_timer_ = sim_.schedule(config_.view_change_timeout * 2, [this] {
-    if (!crashed_) start_view_change();
-  });
+  view_timer_ = sim_.schedule(
+      config_.view_change_timeout * 2, [this] {
+        if (!crashed_) start_view_change();
+      },
+      "pbft/view_change");
 }
 
 void PbftReplica::enter_new_view(

@@ -135,6 +135,10 @@ class PbftReplica final : public net::Host {
   net::NodeId addr_;
   std::size_t index_;
   PbftConfig config_;
+  // Experiment-scoped metric handles (aggregated across all replicas).
+  sim::Counter& m_batches_executed_;
+  sim::Counter& m_commands_executed_;
+  sim::Counter& m_view_changes_;
   std::vector<net::NodeId> group_;
   bool crashed_ = false;
 

@@ -13,6 +13,9 @@ RaftNode::RaftNode(net::Network& net, net::NodeId addr, std::size_t index,
       addr_(addr),
       index_(index),
       config_(config),
+      m_elections_(net.metrics().counter("bft/raft_elections")),
+      m_entries_applied_(net.metrics().counter("bft/raft_entries_applied")),
+      m_leader_changes_(net.metrics().counter("bft/raft_leader_changes")),
       rng_(net.simulator().rng().fork(addr.value ^ 0x4AF7ull)) {
   net_.attach(addr_, this);
 }
@@ -32,9 +35,11 @@ void RaftNode::reset_election_timer() {
   election_timer_.cancel();
   const sim::SimDuration timeout = rng_.uniform_int(
       config_.election_timeout_min, config_.election_timeout_max);
-  election_timer_ = sim_.schedule(timeout, [this] {
-    if (!crashed_ && role_ != Role::Leader) become_candidate();
-  });
+  election_timer_ = sim_.schedule(
+      timeout, [this] {
+        if (!crashed_ && role_ != Role::Leader) become_candidate();
+      },
+      "raft/election");
 }
 
 void RaftNode::become_follower(std::uint64_t term) {
@@ -49,6 +54,7 @@ void RaftNode::become_follower(std::uint64_t term) {
 
 void RaftNode::become_candidate() {
   role_ = Role::Candidate;
+  m_elections_.add();
   ++term_;
   voted_for_ = index_;
   votes_ = 1;
@@ -62,6 +68,7 @@ void RaftNode::become_candidate() {
 
 void RaftNode::become_leader() {
   role_ = Role::Leader;
+  m_leader_changes_.add();
   election_timer_.cancel();
   next_index_.assign(group_.size(), log_.size() + 1);
   match_index_.assign(group_.size(), 0);
@@ -131,6 +138,7 @@ void RaftNode::advance_commit() {
 void RaftNode::apply_committed() {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
+    m_entries_applied_.add();
     const rm::LogEntry& entry = log_[last_applied_ - 1];
     if (commit_hook_) commit_hook_(last_applied_, entry.cmd);
     if (role_ == Role::Leader) {

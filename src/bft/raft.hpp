@@ -120,6 +120,10 @@ class RaftNode final : public net::Host {
   net::NodeId addr_;
   std::size_t index_;
   RaftConfig config_;
+  // Experiment-scoped metric handles (aggregated across all nodes).
+  sim::Counter& m_elections_;
+  sim::Counter& m_entries_applied_;
+  sim::Counter& m_leader_changes_;
   sim::Rng rng_;
   std::vector<net::NodeId> group_;
   bool crashed_ = false;

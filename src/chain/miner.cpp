@@ -6,6 +6,7 @@ Miner::Miner(FullNode& node, crypto::PublicKey payout,
              double hashes_per_second)
     : node_(node),
       sim_(node.simulator()),
+      m_blocks_mined_(node.network().metrics().counter("chain/blocks_mined")),
       payout_(payout),
       rate_(hashes_per_second),
       // Nonce stream must be unique per miner even when several miners pay
@@ -42,12 +43,14 @@ void Miner::reschedule() {
   const double difficulty =
       next_difficulty(node_.tree(), node_.tree().best_tip(), node_.params());
   const double seconds = rng_.exponential(rate_ / difficulty);
-  next_find_ = sim_.schedule(sim::seconds(seconds), [this] { on_found(); });
+  next_find_ = sim_.schedule(sim::seconds(seconds), [this] { on_found(); },
+                             "miner/find");
 }
 
 void Miner::on_found() {
   if (!running_) return;
   ++found_;
+  m_blocks_mined_.add();
   Block block = node_.make_block_template(payout_, ++nonce_);
   node_.submit_block(std::make_shared<const Block>(std::move(block)));
   // submit_block fires the tip hook, which reschedules; if the block was

@@ -41,6 +41,7 @@ class Miner {
 
   FullNode& node_;
   sim::Simulator& sim_;
+  sim::Counter& m_blocks_mined_;
   crypto::PublicKey payout_;
   double rate_;
   bool running_ = false;

@@ -17,6 +17,11 @@ FullNode::FullNode(net::Network& net, net::NodeId addr, ChainParams params,
       sim_(net.simulator()),
       addr_(addr),
       params_(std::move(params)),
+      m_blocks_accepted_(net.metrics().counter("chain/blocks_accepted")),
+      m_blocks_rejected_(net.metrics().counter("chain/blocks_rejected")),
+      m_txs_accepted_(net.metrics().counter("chain/txs_accepted")),
+      m_txs_rejected_(net.metrics().counter("chain/txs_rejected")),
+      m_reorgs_(net.metrics().counter("chain/reorgs")),
       tree_(genesis) {
   net_.attach(addr_, this);
   known_blocks_.insert(genesis->id());
@@ -47,9 +52,11 @@ bool FullNode::submit_transaction(const Transaction& tx) {
   const auto err = mempool_.add(tx, utxo_);
   if (err) {
     ++stats_.txs_rejected;
+    m_txs_rejected_.add();
     return false;
   }
   ++stats_.txs_accepted;
+  m_txs_accepted_.add();
   relay_tx(std::make_shared<const Transaction>(tx), id,
            net::NodeId::invalid());
   return true;
@@ -88,6 +95,7 @@ bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
   if (block->txs.empty() || !block->txs.front().is_coinbase() ||
       !(block->compute_merkle_root() == block->header.merkle_root)) {
     ++stats_.blocks_rejected;
+    m_blocks_rejected_.add();
     return false;
   }
 
@@ -106,14 +114,17 @@ bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
   if (block->header.difficulty < expected * 0.999 ||
       block->header.difficulty > expected * 1.001) {
     ++stats_.blocks_rejected;
+    m_blocks_rejected_.add();
     return false;
   }
 
   if (!tree_.insert(block)) {
     ++stats_.blocks_rejected;
+    m_blocks_rejected_.add();
     return false;
   }
   ++stats_.blocks_accepted;
+  m_blocks_accepted_.add();
   update_active_chain();
   relay_block(block, from);
   process_orphans(id);
@@ -185,6 +196,7 @@ void FullNode::update_active_chain() {
         }
         tree_.mark_invalid(b->id());
         ++stats_.blocks_rejected;
+    m_blocks_rejected_.add();
         failed = true;
         break;
       }
@@ -197,6 +209,7 @@ void FullNode::update_active_chain() {
 
     if (!plan.revert.empty()) {
       ++stats_.reorgs;
+      m_reorgs_.add();
       stats_.reorg_depth_max =
           std::max<std::uint64_t>(stats_.reorg_depth_max, plan.revert.size());
     }

@@ -140,6 +140,13 @@ class FullNode : public net::Host {
   sim::Simulator& sim_;
   net::NodeId addr_;
   ChainParams params_;
+  // Experiment-scoped metric handles (aggregated across all nodes sharing
+  // the network's registry); per-node numbers stay in stats_.
+  sim::Counter& m_blocks_accepted_;
+  sim::Counter& m_blocks_rejected_;
+  sim::Counter& m_txs_accepted_;
+  sim::Counter& m_txs_rejected_;
+  sim::Counter& m_reorgs_;
   BlockTree tree_;
   UtxoSet utxo_;
   Mempool mempool_;

@@ -94,10 +94,10 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
                                       ++tx_nonce, &rng);
     if (tx && gateway.submit_transaction(*tx)) ++submitted;
     const double gap = rng.exponential(config.tx_rate_per_sec);
-    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+    if (strong) sim.post(sim::seconds(gap), [strong] { (*strong)(); });
   };
   if (config.tx_rate_per_sec > 0) {
-    sim.schedule(sim::seconds(1), [next_tx] { (*next_tx)(); });
+    sim.post(sim::seconds(1), [next_tx] { (*next_tx)(); });
   }
 
   sim.run_until(config.duration);
@@ -217,10 +217,10 @@ FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
                     if (ok) latencies.record(sim::to_millis(latency));
                   });
     const double gap = rng.exponential(config.tx_rate_per_sec);
-    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+    if (strong) sim.post(sim::seconds(gap), [strong] { (*strong)(); });
   };
   // Let Raft/PBFT settle leadership before offering load.
-  sim.schedule(sim::seconds(2), [next_tx] { (*next_tx)(); });
+  sim.post(sim::seconds(2), [next_tx] { (*next_tx)(); });
 
   sim.run_until(config.duration + sim::seconds(2));
 
@@ -304,9 +304,9 @@ PartitionedScenarioResult run_partitioned_scenario(
       leader->propose(std::move(cmd));
     }
     const double gap = rng.exponential(config.tx_rate_per_sec);
-    if (strong) sim.schedule(sim::seconds(gap), [strong] { (*strong)(); });
+    if (strong) sim.post(sim::seconds(gap), [strong] { (*strong)(); });
   };
-  sim.schedule(sim::seconds(1), [next_tx] { (*next_tx)(); });
+  sim.post(sim::seconds(1), [next_tx] { (*next_tx)(); });
 
   sim.run_until(config.duration + sim::seconds(1));
 

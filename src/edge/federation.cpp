@@ -48,9 +48,12 @@ void EdgeNode::handle_message(const net::Message& msg) {
   ++served_;
   const net::NodeId requester = msg.from;
   const std::uint64_t id = req.id;
-  sim_.schedule_at(done, [this, requester, id] {
-    net_.send(addr_, requester, em::ServiceReply{id}, reply_bytes_);
-  });
+  sim_.post_at(
+      done,
+      [this, requester, id] {
+        net_.send(addr_, requester, em::ServiceReply{id}, reply_bytes_);
+      },
+      "edge/service_done");
 }
 
 // ---------------------------------------------------------------------------

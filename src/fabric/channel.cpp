@@ -56,6 +56,11 @@ FabricPeer::FabricPeer(net::Network& net, net::NodeId addr, std::string org,
       org_(std::move(org)),
       msp_(msp),
       policy_(policy),
+      m_endorsements_(net.metrics().counter("fabric/endorsements")),
+      m_txs_committed_(net.metrics().counter("fabric/txs_committed")),
+      m_mvcc_conflicts_(net.metrics().counter("fabric/mvcc_conflicts")),
+      m_policy_failures_(net.metrics().counter("fabric/policy_failures")),
+      m_blocks_received_(net.metrics().counter("fabric/blocks_received")),
       key_(crypto::KeyAuthority::global().issue(key_seed)),
       cert_(msp.enroll(key_.public_key(), org_, "peer")) {
   net_.attach(addr_, this);
@@ -84,6 +89,7 @@ void FabricPeer::handle_message(const net::Message& msg) {
       if (result.ok) {
         reply.rwset = stub.take_rwset();
         ++stats_.endorsements;
+        m_endorsements_.add();
         EndorsedTx tmp;
         tmp.tx_id = p.tx_id;
         tmp.chaincode = p.chaincode;
@@ -102,6 +108,7 @@ void FabricPeer::handle_message(const net::Message& msg) {
     if (block.number <= last_block_) return;  // duplicate delivery
     last_block_ = block.number;
     ++stats_.blocks_received;
+    m_blocks_received_.add();
     commit_block(block);
     return;
   }
@@ -129,6 +136,7 @@ void FabricPeer::commit_block(const FabricBlock& block) {
       valid = false;
       reason = "endorsement policy not satisfied";
       ++stats_.policy_failures;
+      m_policy_failures_.add();
     }
 
     // MVCC: reads must still be current.
@@ -136,11 +144,13 @@ void FabricPeer::commit_block(const FabricBlock& block) {
       valid = false;
       reason = "mvcc conflict";
       ++stats_.mvcc_conflicts;
+      m_mvcc_conflicts_.add();
     }
 
     if (valid) {
       apply_writes(state_, tx.rwset);
       ++stats_.txs_committed;
+      m_txs_committed_.add();
     }
     if (commit_hook_) commit_hook_(tx, valid);
     if (event_source_ && tx.client_addr.valid()) {
@@ -156,7 +166,11 @@ void FabricPeer::commit_block(const FabricBlock& block) {
 
 SoloOrderer::SoloOrderer(net::Network& net, net::NodeId addr,
                          OrdererConfig config)
-    : net_(net), sim_(net.simulator()), addr_(addr), config_(config) {
+    : net_(net),
+      sim_(net.simulator()),
+      addr_(addr),
+      config_(config),
+      m_blocks_cut_(net.metrics().counter("fabric/blocks_cut")) {
   net_.attach(addr_, this);
 }
 
@@ -168,7 +182,8 @@ void SoloOrderer::handle_message(const net::Message& msg) {
   if (pending_.size() >= config_.block_max_txs) {
     cut_block();
   } else if (!timer_.valid()) {
-    timer_ = sim_.schedule(config_.block_timeout, [this] { cut_block(); });
+    timer_ = sim_.schedule(config_.block_timeout,
+                           [this] { cut_block(); }, "fabric/block_cut");
   }
 }
 
@@ -177,6 +192,7 @@ void SoloOrderer::cut_block() {
   while (!pending_.empty()) {
     auto block = std::make_shared<FabricBlock>();
     block->number = next_block_++;
+    m_blocks_cut_.add();
     while (!pending_.empty() && block->txs.size() < config_.block_max_txs) {
       block->txs.push_back(std::move(pending_.front()));
       pending_.pop_front();
@@ -189,7 +205,8 @@ void SoloOrderer::cut_block() {
     if (pending_.size() < config_.block_max_txs) break;
   }
   if (!pending_.empty() && !timer_.valid()) {
-    timer_ = sim_.schedule(config_.block_timeout, [this] { cut_block(); });
+    timer_ = sim_.schedule(config_.block_timeout,
+                           [this] { cut_block(); }, "fabric/block_cut");
   }
 }
 
@@ -202,7 +219,8 @@ RaftOrderer::RaftOrderer(net::Network& net, std::size_t nodes,
     : net_(net),
       sim_(net.simulator()),
       addr_(net.new_node_id()),
-      config_(config) {
+      config_(config),
+      m_blocks_cut_(net.metrics().counter("fabric/blocks_cut")) {
   net_.attach(addr_, this);
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < nodes; ++i) addrs.push_back(net.new_node_id());
@@ -285,7 +303,8 @@ void RaftOrderer::on_ordered(std::uint64_t, const bft::Command& cmd) {
   if (pending_block_.size() >= config_.block_max_txs) {
     cut_block();
   } else if (!timer_.valid()) {
-    timer_ = sim_.schedule(config_.block_timeout, [this] { cut_block(); });
+    timer_ = sim_.schedule(config_.block_timeout,
+                           [this] { cut_block(); }, "fabric/block_cut");
   }
 }
 
@@ -294,6 +313,7 @@ void RaftOrderer::cut_block() {
   while (!pending_block_.empty()) {
     auto block = std::make_shared<FabricBlock>();
     block->number = next_block_++;
+    m_blocks_cut_.add();
     while (!pending_block_.empty() &&
            block->txs.size() < config_.block_max_txs) {
       block->txs.push_back(std::move(pending_block_.front()));
@@ -317,7 +337,8 @@ PbftOrderer::PbftOrderer(net::Network& net, std::size_t f,
     : net_(net),
       sim_(net.simulator()),
       addr_(net.new_node_id()),
-      config_(config) {
+      config_(config),
+      m_blocks_cut_(net.metrics().counter("fabric/blocks_cut")) {
   net_.attach(addr_, this);
   pbft_config.f = f;
   const std::size_t n = 3 * f + 1;
@@ -365,7 +386,8 @@ void PbftOrderer::on_ordered(std::uint64_t, const bft::Command& cmd) {
   if (pending_block_.size() >= config_.block_max_txs) {
     cut_block();
   } else if (!timer_.valid()) {
-    timer_ = sim_.schedule(config_.block_timeout, [this] { cut_block(); });
+    timer_ = sim_.schedule(config_.block_timeout,
+                           [this] { cut_block(); }, "fabric/block_cut");
   }
 }
 
@@ -374,6 +396,7 @@ void PbftOrderer::cut_block() {
   while (!pending_block_.empty()) {
     auto block = std::make_shared<FabricBlock>();
     block->number = next_block_++;
+    m_blocks_cut_.add();
     while (!pending_block_.empty() &&
            block->txs.size() < config_.block_max_txs) {
       block->txs.push_back(std::move(pending_block_.front()));

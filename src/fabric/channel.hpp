@@ -130,6 +130,13 @@ class FabricPeer final : public net::Host {
   std::string org_;
   MembershipService& msp_;
   EndorsementPolicy policy_;
+  // Experiment-scoped metric handles (aggregated across all peers sharing
+  // the network's registry); per-peer numbers stay in stats_.
+  sim::Counter& m_endorsements_;
+  sim::Counter& m_txs_committed_;
+  sim::Counter& m_mvcc_conflicts_;
+  sim::Counter& m_policy_failures_;
+  sim::Counter& m_blocks_received_;
   crypto::PrivateKey key_;
   Certificate cert_;
   KvStore state_;
@@ -178,6 +185,7 @@ class SoloOrderer final : public net::Host, public OrderingService {
   sim::Simulator& sim_;
   net::NodeId addr_;
   OrdererConfig config_;
+  sim::Counter& m_blocks_cut_;
   std::vector<net::NodeId> peers_;
   std::deque<EndorsedTx> pending_;
   std::uint64_t next_block_ = 1;
@@ -215,6 +223,7 @@ class RaftOrderer final : public net::Host, public OrderingService {
   sim::Simulator& sim_;
   net::NodeId addr_;
   OrdererConfig config_;
+  sim::Counter& m_blocks_cut_;
   std::vector<std::unique_ptr<bft::RaftNode>> nodes_;
   std::vector<net::NodeId> peers_;
   std::unordered_map<std::uint64_t, EndorsedTx> store_;  // tx_id -> payload
@@ -249,6 +258,7 @@ class PbftOrderer final : public net::Host, public OrderingService {
   sim::Simulator& sim_;
   net::NodeId addr_;
   OrdererConfig config_;
+  sim::Counter& m_blocks_cut_;
   std::vector<std::unique_ptr<bft::PbftReplica>> replicas_;
   std::unique_ptr<bft::PbftClient> client_;
   std::vector<net::NodeId> peers_;

@@ -51,9 +51,12 @@ void ChurnDriver::stop() { stopped_ = true; }
 void ChurnDriver::schedule_next(std::size_t peer_index) {
   const DurationDist& dist =
       online_[peer_index] ? config_.session : config_.downtime;
-  sim_.schedule(dist.sample(rng_), [this, peer_index] {
-    if (!stopped_) transition(peer_index);
-  });
+  sim_.post(
+      dist.sample(rng_),
+      [this, peer_index] {
+        if (!stopped_) transition(peer_index);
+      },
+      "churn/transition");
 }
 
 void ChurnDriver::transition(std::size_t peer_index) {

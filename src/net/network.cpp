@@ -3,11 +3,20 @@
 namespace decentnet::net {
 
 Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
-                 NetworkConfig config)
+                 NetworkConfig config, sim::MetricRegistry* metrics)
     : sim_(sim),
       latency_(std::move(latency)),
       config_(config),
-      rng_(sim.rng().fork(0x4E457457u)) {}
+      rng_(sim.rng().fork(0x4E457457u)),
+      owned_metrics_(metrics ? nullptr
+                             : std::make_unique<sim::MetricRegistry>()),
+      metrics_(metrics ? *metrics : *owned_metrics_),
+      m_messages_sent_(metrics_.counter("net/messages_sent")),
+      m_bytes_sent_(metrics_.counter("net/bytes_sent")),
+      m_dropped_partition_(metrics_.counter("net/dropped_partition")),
+      m_dropped_unreachable_(metrics_.counter("net/dropped_unreachable")),
+      m_dropped_loss_(metrics_.counter("net/dropped_loss")),
+      m_dropped_offline_(metrics_.counter("net/dropped_offline")) {}
 
 void Network::attach(NodeId id, Host* host) {
   hosts_[id] = host;
@@ -50,21 +59,36 @@ Network::LinkState& Network::link(NodeId id) {
 }
 
 void Network::deliver(Message msg) {
-  ++messages_sent_;
+  const std::uint64_t msg_seq = ++messages_sent_;
   bytes_sent_ += msg.size_bytes;
-  metrics_.counter("net.messages").add();
-  metrics_.counter("net.bytes").add(msg.size_bytes);
+  m_messages_sent_.add();
+  m_bytes_sent_.add(msg.size_bytes);
+
+  sim::TraceSink* const tr = sim_.trace();
+  if (tr) {
+    tr->record({sim_.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
+                msg.size_bytes});
+  }
+  const auto trace_drop = [&](const char* reason) {
+    if (tr) {
+      tr->record({sim_.now(), "drop", reason, msg_seq, msg.from.value,
+                  msg.to.value, msg.size_bytes});
+    }
+  };
 
   if (partitioned(msg.from, msg.to)) {
-    metrics_.counter("net.dropped.partition").add();
+    m_dropped_partition_.add();
+    trace_drop("partition");
     return;
   }
   if (!unreachable_.empty() && unreachable_.count(msg.to.value) > 0) {
-    metrics_.counter("net.dropped.unreachable").add();
+    m_dropped_unreachable_.add();
+    trace_drop("unreachable");
     return;
   }
   if (config_.drop_probability > 0 && rng_.chance(config_.drop_probability)) {
-    metrics_.counter("net.dropped.loss").add();
+    m_dropped_loss_.add();
+    trace_drop("loss");
     return;
   }
 
@@ -92,14 +116,23 @@ void Network::deliver(Message msg) {
     arrive = rx.rx_free_at;
   }
 
-  sim_.schedule_at(arrive, [this, msg = std::move(msg)] {
-    const auto it = hosts_.find(msg.to);
-    if (it == hosts_.end()) {
-      metrics_.counter("net.dropped.offline").add();
-      return;
-    }
-    it->second->handle_message(msg);
-  });
+  // Detached event: delivery is fire-and-forget, so skip the cancellation
+  // flag allocation — this is the kernel's hottest path.
+  sim_.post_at(
+      arrive,
+      [this, msg_seq, msg = std::move(msg)] {
+        const auto it = hosts_.find(msg.to);
+        if (it == hosts_.end()) {
+          m_dropped_offline_.add();
+          if (sim::TraceSink* const tr = sim_.trace()) {
+            tr->record({sim_.now(), "drop", "offline", msg_seq,
+                        msg.from.value, msg.to.value, msg.size_bytes});
+          }
+          return;
+        }
+        it->second->handle_message(msg);
+      },
+      "net/deliver");
 }
 
 }  // namespace decentnet::net

@@ -36,8 +36,12 @@ struct NetworkConfig {
 
 class Network {
  public:
+  /// `metrics` optionally points at an experiment-scoped registry (e.g.
+  /// ExperimentHarness::metrics()); when null the network owns a private
+  /// one. Either way components reach it through metrics() and register
+  /// their scoped handles there once at construction.
   Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
-          NetworkConfig config = {});
+          NetworkConfig config = {}, sim::MetricRegistry* metrics = nullptr);
 
   sim::Simulator& simulator() { return sim_; }
   sim::MetricRegistry& metrics() { return metrics_; }
@@ -99,7 +103,16 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   NetworkConfig config_;
   sim::Rng rng_;
-  sim::MetricRegistry metrics_;
+  std::unique_ptr<sim::MetricRegistry> owned_metrics_;
+  sim::MetricRegistry& metrics_;
+  // Stable handles, registered once; the per-message path never does a
+  // string lookup.
+  sim::Counter& m_messages_sent_;
+  sim::Counter& m_bytes_sent_;
+  sim::Counter& m_dropped_partition_;
+  sim::Counter& m_dropped_unreachable_;
+  sim::Counter& m_dropped_loss_;
+  sim::Counter& m_dropped_offline_;
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;

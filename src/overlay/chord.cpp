@@ -27,6 +27,8 @@ ChordNode::ChordNode(net::Network& net, net::NodeId addr, ChordConfig config,
       addr_(addr),
       id_(id ? *id : default_id(addr)),
       config_(config),
+      m_lookups_(net.metrics().counter("overlay/chord_lookups")),
+      m_rpc_timeouts_(net.metrics().counter("overlay/chord_rpc_timeouts")),
       fingers_(64, ChordContact{}) {}
 
 ChordNode::~ChordNode() {
@@ -115,13 +117,17 @@ std::uint64_t ChordNode::register_pending(RpcCallback cb) {
   const std::uint64_t nonce = next_nonce_++;
   PendingRpc rpc;
   rpc.on_done = std::move(cb);
-  rpc.timeout = sim_.schedule(config_.rpc_timeout, [this, nonce] {
-    auto it = pending_.find(nonce);
-    if (it == pending_.end()) return;
-    auto done = std::move(it->second.on_done);
-    pending_.erase(it);
-    done(false, nullptr);
-  });
+  rpc.timeout = sim_.schedule(
+      config_.rpc_timeout,
+      [this, nonce] {
+        auto it = pending_.find(nonce);
+        if (it == pending_.end()) return;
+        auto done = std::move(it->second.on_done);
+        pending_.erase(it);
+        m_rpc_timeouts_.add();
+        done(false, nullptr);
+      },
+      "chord/rpc_timeout");
   pending_.emplace(nonce, std::move(rpc));
   return nonce;
 }
@@ -138,7 +144,7 @@ void ChordNode::resolve_pending(std::uint64_t nonce,
 
 void ChordNode::rpc_step(const ChordContact& to, ChordId key, RpcCallback cb) {
   if (!online_) {
-    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    sim_.post(0, [cb = std::move(cb)] { cb(false, nullptr); });
     return;
   }
   const std::uint64_t nonce = register_pending(std::move(cb));
@@ -147,7 +153,7 @@ void ChordNode::rpc_step(const ChordContact& to, ChordId key, RpcCallback cb) {
 
 void ChordNode::rpc_get_state(const ChordContact& to, RpcCallback cb) {
   if (!online_) {
-    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    sim_.post(0, [cb = std::move(cb)] { cb(false, nullptr); });
     return;
   }
   const std::uint64_t nonce = register_pending(std::move(cb));
@@ -159,6 +165,7 @@ void ChordNode::rpc_get_state(const ChordContact& to, RpcCallback cb) {
 // ---------------------------------------------------------------------------
 
 void ChordNode::lookup(ChordId key, LookupCallback cb) {
+  m_lookups_.add();
   // Answer locally when we already own the key.
   if (in_interval_oc(key, pred_ ? pred_->id : id_, id_) && pred_) {
     ChordLookupResult r;

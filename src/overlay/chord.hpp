@@ -126,6 +126,8 @@ class ChordNode final : public net::Host {
   net::NodeId addr_;
   ChordId id_;
   ChordConfig config_;
+  sim::Counter& m_lookups_;       // finished lookups (all nodes, success or not)
+  sim::Counter& m_rpc_timeouts_;  // step/get-state RPCs that expired
   bool online_ = false;
   std::optional<ChordContact> pred_;
   std::vector<ChordContact> successors_;  // [0] is the live successor

@@ -13,6 +13,9 @@ GnutellaNode::GnutellaNode(net::Network& net, net::NodeId addr,
       sim_(net.simulator()),
       addr_(addr),
       config_(config),
+      m_queries_(net.metrics().counter("overlay/flood_queries")),
+      m_query_hits_(net.metrics().counter("overlay/flood_query_hits")),
+      m_query_misses_(net.metrics().counter("overlay/flood_query_misses")),
       next_qid_base_(addr.value << 24) {}
 
 GnutellaNode::~GnutellaNode() {
@@ -46,8 +49,10 @@ void GnutellaNode::remove_neighbor(net::NodeId n) {
 
 void GnutellaNode::query(ContentId item, QueryCallback cb) {
   const std::uint64_t qid = ++next_qid_base_;
+  m_queries_.add();
   // Local hit short-circuits.
   if (content_.count(item) > 0) {
+    m_query_hits_.add();
     QueryOutcome out;
     out.found = true;
     out.provider = addr_;
@@ -57,17 +62,21 @@ void GnutellaNode::query(ContentId item, QueryCallback cb) {
   ActiveQuery q;
   q.cb = std::move(cb);
   q.started = sim_.now();
-  q.deadline = sim_.schedule(config_.query_deadline, [this, qid] {
-    const auto it = own_queries_.find(qid);
-    if (it == own_queries_.end()) return;
-    auto cb = std::move(it->second.cb);
-    const sim::SimTime started = it->second.started;
-    own_queries_.erase(it);
-    QueryOutcome out;
-    out.found = false;
-    out.elapsed = sim_.now() - started;
-    cb(std::move(out));
-  });
+  q.deadline = sim_.schedule(
+      config_.query_deadline,
+      [this, qid] {
+        const auto it = own_queries_.find(qid);
+        if (it == own_queries_.end()) return;
+        auto cb = std::move(it->second.cb);
+        const sim::SimTime started = it->second.started;
+        own_queries_.erase(it);
+        m_query_misses_.add();
+        QueryOutcome out;
+        out.found = false;
+        out.elapsed = sim_.now() - started;
+        cb(std::move(out));
+      },
+      "flood/deadline");
   own_queries_.emplace(qid, std::move(q));
   seen_queries_[qid] = net::NodeId::invalid();  // we are the origin
   forward_query(item, qid, config_.default_ttl, 0, net::NodeId::invalid());
@@ -108,6 +117,7 @@ void GnutellaNode::handle_message(const net::Message& msg) {
       own->second.deadline.cancel();
       const sim::SimTime started = own->second.started;
       own_queries_.erase(own);
+      m_query_hits_.add();
       QueryOutcome out;
       out.found = true;
       out.provider = h.provider;

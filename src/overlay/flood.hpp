@@ -83,6 +83,9 @@ class GnutellaNode final : public net::Host {
   sim::Simulator& sim_;
   net::NodeId addr_;
   FloodConfig config_;
+  sim::Counter& m_queries_;       // queries originated (all nodes)
+  sim::Counter& m_query_hits_;    // queries resolved with a provider
+  sim::Counter& m_query_misses_;  // queries that hit the deadline
   bool online_ = false;
   std::vector<net::NodeId> neighbors_;
   std::unordered_set<ContentId> content_;

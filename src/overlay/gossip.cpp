@@ -14,7 +14,10 @@ GossipNode::GossipNode(net::Network& net, net::NodeId addr,
       sim_(net.simulator()),
       addr_(addr),
       config_(config),
-      rng_(net.simulator().rng().fork(addr.value ^ 0x60551Bull)) {}
+      rng_(net.simulator().rng().fork(addr.value ^ 0x60551Bull)),
+      m_delivered_(net.metrics().counter("overlay/gossip_delivered")),
+      m_duplicates_(net.metrics().counter("overlay/gossip_duplicates")),
+      m_shuffles_(net.metrics().counter("overlay/gossip_shuffles")) {}
 
 GossipNode::~GossipNode() {
   if (online_) leave();
@@ -31,7 +34,7 @@ void GossipNode::join(const std::vector<net::NodeId>& bootstrap_view) {
   }
   shuffle_timer_ = sim_.schedule_periodic(
       sim_.rng().uniform_int(0, config_.shuffle_interval),
-      config_.shuffle_interval, [this] { shuffle(); });
+      config_.shuffle_interval, [this] { shuffle(); }, "gossip/shuffle");
 }
 
 void GossipNode::leave() {
@@ -49,6 +52,7 @@ std::vector<net::NodeId> GossipNode::view() const {
 
 void GossipNode::shuffle() {
   if (!online_ || view_.empty()) return;
+  m_shuffles_.add();
   for (auto& e : view_) ++e.age;
   // Pick the oldest peer (Cyclon): stale descriptors get verified first.
   auto oldest = std::max_element(
@@ -100,8 +104,10 @@ void GossipNode::accept_rumor(RumorId rumor, std::size_t payload_bytes,
                               std::size_t hops) {
   if (!seen_.insert(rumor).second) {
     ++duplicates_;
+    m_duplicates_.add();
     return;
   }
+  m_delivered_.add();
   if (deliver_) deliver_(rumor, hops);
   forward_rumor(rumor, payload_bytes, hops, net::NodeId::invalid());
 }

@@ -95,6 +95,10 @@ class GossipNode final : public net::Host {
   net::NodeId addr_;
   GossipConfig config_;
   sim::Rng rng_;
+  // Experiment-scoped handles (aggregated across all nodes on the network).
+  sim::Counter& m_delivered_;
+  sim::Counter& m_duplicates_;
+  sim::Counter& m_shuffles_;
   bool online_ = false;
   std::vector<ViewEntry> view_;
   std::unordered_set<RumorId> seen_;

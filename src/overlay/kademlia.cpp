@@ -26,6 +26,9 @@ KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
       addr_(addr),
       id_(id ? *id : default_id(addr)),
       config_(config),
+      m_lookups_(net.metrics().counter("overlay/kad_lookups")),
+      m_rpcs_(net.metrics().counter("overlay/kad_rpcs")),
+      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")),
       buckets_(256) {}
 
 KademliaNode::~KademliaNode() {
@@ -162,19 +165,24 @@ std::uint64_t KademliaNode::send_rpc(
   if (!online_) {
     // Caller left the network mid-lookup: fail asynchronously so the lookup
     // engine unwinds without reentrancy surprises.
-    sim_.schedule(0, [cb = std::move(cb)] { cb(false, nullptr); });
+    sim_.post(0, [cb = std::move(cb)] { cb(false, nullptr); });
     return nonce;
   }
+  m_rpcs_.add();
   PendingRpc rpc;
   rpc.on_done = std::move(cb);
-  rpc.timeout = sim_.schedule(config_.rpc_timeout, [this, nonce, to] {
-    auto it = pending_.find(nonce);
-    if (it == pending_.end()) return;
-    auto done = std::move(it->second.on_done);
-    pending_.erase(it);
-    fail_contact(to);
-    done(false, nullptr);
-  });
+  rpc.timeout = sim_.schedule(
+      config_.rpc_timeout,
+      [this, nonce, to] {
+        auto it = pending_.find(nonce);
+        if (it == pending_.end()) return;
+        auto done = std::move(it->second.on_done);
+        pending_.erase(it);
+        m_rpc_timeouts_.add();
+        fail_contact(to);
+        done(false, nullptr);
+      },
+      "kad/rpc_timeout");
   pending_.emplace(nonce, std::move(rpc));
   net_.send(addr_, to.addr,
             FindNode{target, nonce, Contact{id_, addr_}, find_value},
@@ -347,6 +355,7 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
 void KademliaNode::finish_lookup(const std::shared_ptr<LookupState>& state) {
   if (state->finished) return;
   state->finished = true;
+  m_lookups_.add();
   LookupResult r;
   r.found_value = state->value.has_value();
   r.value = state->value;

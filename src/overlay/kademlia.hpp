@@ -146,6 +146,9 @@ class KademliaNode final : public net::Host {
   net::NodeId addr_;
   Key id_;
   KademliaConfig config_;
+  sim::Counter& m_lookups_;      // finished iterative lookups (all nodes)
+  sim::Counter& m_rpcs_;         // FIND_NODE/FIND_VALUE RPCs sent
+  sim::Counter& m_rpc_timeouts_; // RPCs that expired unanswered
   bool online_ = false;
   std::vector<Bucket> buckets_;  // 256 buckets by shared-prefix length
   std::unordered_map<Key, std::string, crypto::Hash256Hasher> storage_;

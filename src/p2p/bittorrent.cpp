@@ -167,9 +167,12 @@ void Swarm::transfer_piece(std::size_t downloader, std::size_t uploader,
   const auto duration = static_cast<sim::SimDuration>(
       static_cast<double>(config_.piece_bytes) / rate *
       static_cast<double>(sim::kSecond));
-  sim_.schedule(duration, [this, downloader, uploader, piece] {
-    complete_piece(downloader, uploader, piece);
-  });
+  sim_.post(
+      duration,
+      [this, downloader, uploader, piece] {
+        complete_piece(downloader, uploader, piece);
+      },
+      "bt/piece_done");
 }
 
 void Swarm::complete_piece(std::size_t downloader, std::size_t uploader,

@@ -1,0 +1,334 @@
+#include "sim/experiment.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace decentnet::sim {
+
+namespace {
+
+std::string format_double(double v, int precision) {
+  if (!std::isfinite(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(c >> 4) & 0xF];
+      out += hex[c & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Value::to_cell() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "-";
+    case Kind::Bool:
+      return u_ ? "true" : "false";
+    case Kind::Int:
+      return std::to_string(i_);
+    case Kind::Uint:
+      return std::to_string(u_);
+    case Kind::Double:
+      return format_double(d_, precision_);
+    case Kind::Str:
+      return s_;
+  }
+  return "-";
+}
+
+std::string Value::to_json() const {
+  switch (kind_) {
+    case Kind::Null:
+      return "null";
+    case Kind::Bool:
+      return u_ ? "true" : "false";
+    case Kind::Int:
+      return std::to_string(i_);
+    case Kind::Uint:
+      return std::to_string(u_);
+    case Kind::Double:
+      return json_double(d_);
+    case Kind::Str:
+      return json_string(s_);
+  }
+  return "null";
+}
+
+bool ExperimentHarness::parse_cli(int argc, char* const* argv,
+                                  ExperimentOptions& opts,
+                                  std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      const char* v = want_value("--seed");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') {
+        error = "--seed: not an integer: " + std::string(v);
+        return false;
+      }
+      opts.seed = parsed;
+    } else if (arg == "--json") {
+      const char* v = want_value("--json");
+      if (!v) return false;
+      opts.json_path = v;
+      opts.emit_json = true;
+    } else if (arg == "--no-json") {
+      opts.emit_json = false;
+    } else if (arg == "--trace") {
+      const char* v = want_value("--trace");
+      if (!v) return false;
+      opts.trace_path = v;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      error = "unrecognized argument: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ExperimentHarness::usage(const std::string& prog,
+                                     const std::string& id) {
+  return "usage: " + prog +
+         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--quiet]\n"
+         "  --seed N      root seed (default: the bench's published seed)\n"
+         "  --json PATH   result artifact path (default BENCH_" +
+         id +
+         ".json)\n"
+         "  --no-json     skip the JSON artifact\n"
+         "  --trace PATH  write kernel/net trace as JSONL to PATH\n"
+         "  --quiet       suppress banner and table\n";
+}
+
+ExperimentHarness::ExperimentHarness(std::string id, ExperimentOptions opts)
+    : id_(std::move(id)), opts_(std::move(opts)) {
+  if (!opts_.trace_path.empty()) {
+    trace_ = std::make_unique<JsonlTraceSink>(opts_.trace_path);
+  }
+}
+
+ExperimentHarness::ExperimentHarness(std::string id, int argc,
+                                     char* const* argv,
+                                     ExperimentOptions defaults)
+    // `id` is deliberately copied (not moved) into the delegated ctor: the
+    // lambda below still reads it, and the two arguments are
+    // indeterminately sequenced.
+    : ExperimentHarness(id, [&] {
+        const std::string prog = (argv && argc > 0) ? argv[0] : "bench";
+        ExperimentOptions opts = std::move(defaults);
+        std::string error;
+        if (!parse_cli(argc, argv, opts, error)) {
+          std::fprintf(stderr, "%s\n%s", error.c_str(),
+                       usage(prog, id).c_str());
+          std::exit(2);
+        }
+        if (opts.help) {
+          std::fputs(usage(prog, id).c_str(), stdout);
+          std::exit(0);
+        }
+        return opts;
+      }()) {}
+
+ExperimentHarness::~ExperimentHarness() {
+  if (trace_) trace_->flush();
+}
+
+std::uint64_t ExperimentHarness::seed_for(std::uint64_t index) const {
+  std::uint64_t state = opts_.seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  return splitmix64(state);
+}
+
+void ExperimentHarness::describe(std::string title, std::string claim,
+                                 std::string method) {
+  title_ = std::move(title);
+  claim_ = std::move(claim);
+  method_ = std::move(method);
+  if (opts_.quiet) return;
+  std::printf(
+      "\n================================================================\n");
+  std::printf("%s\n", title_.c_str());
+  if (!claim_.empty()) std::printf("Paper claim : %s\n", claim_.c_str());
+  if (!method_.empty()) std::printf("This bench  : %s\n", method_.c_str());
+  std::printf("Seed        : %llu\n",
+              static_cast<unsigned long long>(opts_.seed));
+  std::printf(
+      "================================================================\n");
+}
+
+Simulator& ExperimentHarness::simulator() {
+  if (!sim_) {
+    sim_ = std::make_unique<Simulator>(opts_.seed);
+    sim_->set_trace(trace_.get());
+  }
+  return *sim_;
+}
+
+void ExperimentHarness::set_param(const std::string& key, Value v) {
+  for (auto& [k, existing] : params_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  params_.emplace_back(key, std::move(v));
+}
+
+void ExperimentHarness::add_row(
+    std::vector<std::pair<std::string, Value>> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string ExperimentHarness::to_json() const {
+  // Column order: union of row keys, first-seen; timing cells excluded so
+  // the artifact is deterministic in the seed.
+  std::vector<std::string> columns;
+  for (const auto& row : rows_) {
+    for (const auto& [key, value] : row) {
+      if (value.is_timing()) continue;
+      bool seen = false;
+      for (const auto& c : columns) {
+        if (c == key) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) columns.push_back(key);
+    }
+  }
+
+  std::string out = "{\n  \"id\": " + json_string(id_);
+  if (!title_.empty()) out += ",\n  \"title\": " + json_string(title_);
+  if (!claim_.empty()) out += ",\n  \"claim\": " + json_string(claim_);
+  if (!method_.empty()) out += ",\n  \"method\": " + json_string(method_);
+  out += ",\n  \"seed\": " + std::to_string(opts_.seed);
+  if (!params_.empty()) {
+    out += ",\n  \"params\": {";
+    bool first = true;
+    for (const auto& [key, value] : params_) {
+      if (!first) out += ", ";
+      first = false;
+      out += json_string(key) + ": " + value.to_json();
+    }
+    out += "}";
+  }
+  out += ",\n  \"columns\": [";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    out += json_string(columns[i]);
+  }
+  out += "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n    {" : "\n    {";
+    bool first = true;
+    for (const auto& [key, value] : rows_[r]) {
+      if (value.is_timing()) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += json_string(key) + ": " + value.to_json();
+    }
+    out += "}";
+  }
+  out += rows_.empty() ? "]" : "\n  ]";
+  const std::string metrics_json = metrics_.to_json();
+  if (metrics_json != "{}") {
+    out += ",\n  \"metrics\": " + metrics_json;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+int ExperimentHarness::finish() {
+  if (finished_) return 0;
+  finished_ = true;
+
+  if (!opts_.quiet && !rows_.empty()) {
+    Table t(title_.empty() ? id_ : title_);
+    std::vector<std::string> columns;
+    for (const auto& row : rows_) {
+      for (const auto& [key, value] : row) {
+        (void)value;
+        bool seen = false;
+        for (const auto& c : columns) {
+          if (c == key) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) columns.push_back(key);
+      }
+    }
+    t.set_header(columns);
+    for (const auto& row : rows_) {
+      std::vector<std::string> cells;
+      for (const auto& col : columns) {
+        const Value* found = nullptr;
+        for (const auto& [key, value] : row) {
+          if (key == col) {
+            found = &value;
+            break;
+          }
+        }
+        cells.push_back(found ? found->to_cell() : "-");
+      }
+      t.add_row(std::move(cells));
+    }
+    t.print();
+  }
+
+  if (opts_.emit_json) {
+    const std::string path =
+        opts_.json_path.empty() ? "BENCH_" + id_ + ".json" : opts_.json_path;
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << to_json();
+    if (!opts_.quiet) std::printf("\n[results written to %s]\n", path.c_str());
+  }
+  if (trace_) trace_->flush();
+  return 0;
+}
+
+}  // namespace decentnet::sim

@@ -1,0 +1,179 @@
+// ExperimentHarness: the one way every bench and example wires itself up.
+//
+// The harness owns the experiment scope — root seed, CLI options, the shared
+// MetricRegistry, an optional JSONL trace sink, a default Simulator — and the
+// result pipeline: rows accumulate as named cells and are emitted twice, as
+// the human-readable Table the benches always printed and as a
+// machine-readable BENCH_<id>.json whose bytes are a pure function of the
+// seed (the repo's perf trajectory).
+//
+// Canonical bench shape:
+//
+//   int main(int argc, char** argv) {
+//     sim::ExperimentHarness ex("E1_dht_lookup", argc, argv, {.seed = 11});
+//     ex.describe("E1: lookup latency", "paper claim...", "what we sweep...");
+//     for (...) {
+//       sim::Simulator simu(ex.seed());
+//       simu.set_trace(ex.trace());          // no-op unless --trace given
+//       net::Network netw(simu, ..., {}, &ex.metrics());
+//       ... run ...
+//       ex.add_row({{"profile", label}, {"p50_s", sim::Value(p50, 2)}});
+//     }
+//     return ex.finish();   // prints the table, writes BENCH_E1_dht_lookup.json
+//   }
+//
+// CLI accepted by every harness binary:
+//   --seed N       override the experiment's root seed
+//   --json PATH    write results to PATH (default BENCH_<id>.json in cwd)
+//   --no-json      skip the JSON artifact
+//   --trace PATH   stream kernel/net trace records to PATH as JSONL
+//   --quiet        suppress banner and table output
+//   --help         print usage
+//
+// Wall-clock measurements (Value::timing) appear in the printed table but are
+// excluded from the JSON so that BENCH_*.json stays byte-identical across
+// runs with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/table.hpp"
+#include "sim/trace.hpp"
+
+namespace decentnet::sim {
+
+/// One result cell: a tagged scalar that renders into both a table cell and
+/// a JSON literal. Doubles carry a table precision; JSON always uses
+/// shortest-round-trip formatting.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Int, Uint, Double, Str };
+
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), u_(b ? 1 : 0) {}
+  Value(int v) : kind_(Kind::Int), i_(v) {}
+  Value(unsigned v) : kind_(Kind::Uint), u_(v) {}
+  Value(std::int64_t v) : kind_(Kind::Int), i_(v) {}
+  Value(std::uint64_t v) : kind_(Kind::Uint), u_(v) {}
+  Value(double v, int precision = 3)
+      : kind_(Kind::Double), d_(v), precision_(precision) {}
+  Value(const char* s) : kind_(Kind::Str), s_(s) {}
+  Value(std::string s) : kind_(Kind::Str), s_(std::move(s)) {}
+
+  /// A wall-clock-derived measurement: shown in the table, omitted from the
+  /// JSON artifact (which must be deterministic in the seed).
+  static Value timing(double v, int precision = 0) {
+    Value val(v, precision);
+    val.timing_ = true;
+    return val;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_timing() const { return timing_; }
+
+  /// Render for the ASCII table.
+  std::string to_cell() const;
+  /// Render as a JSON literal (quoted/escaped for strings).
+  std::string to_json() const;
+
+ private:
+  Kind kind_;
+  bool timing_ = false;
+  std::int64_t i_ = 0;
+  std::uint64_t u_ = 0;
+  double d_ = 0;
+  int precision_ = 3;
+  std::string s_;
+};
+
+struct ExperimentOptions {
+  std::uint64_t seed = 1;
+  std::string json_path;   // empty => "BENCH_<id>.json"
+  std::string trace_path;  // empty => tracing disabled
+  bool emit_json = true;
+  bool quiet = false;
+  bool help = false;
+};
+
+class ExperimentHarness {
+ public:
+  /// Construct with explicit options (tests, embedding).
+  explicit ExperimentHarness(std::string id, ExperimentOptions opts = {});
+
+  /// Construct from CLI args. `defaults` carries the bench's historical
+  /// seed. Prints usage and exits on --help or an unrecognized flag.
+  ExperimentHarness(std::string id, int argc, char* const* argv,
+                    ExperimentOptions defaults = {});
+
+  ~ExperimentHarness();
+
+  ExperimentHarness(const ExperimentHarness&) = delete;
+  ExperimentHarness& operator=(const ExperimentHarness&) = delete;
+
+  /// Parse harness flags into `opts` (pre-loaded with defaults). Returns
+  /// false and sets `error` on an unrecognized or malformed argument.
+  static bool parse_cli(int argc, char* const* argv, ExperimentOptions& opts,
+                        std::string& error);
+  static std::string usage(const std::string& prog, const std::string& id);
+
+  const std::string& id() const { return id_; }
+  const ExperimentOptions& options() const { return opts_; }
+
+  /// Root seed for the experiment (bench default unless --seed overrode it).
+  std::uint64_t seed() const { return opts_.seed; }
+  /// Deterministic per-run seed stream: splitmix of (root seed, index).
+  std::uint64_t seed_for(std::uint64_t index) const;
+
+  /// Print the banner (unless --quiet) and record title/claim/method for the
+  /// JSON artifact.
+  void describe(std::string title, std::string claim, std::string method);
+
+  /// The experiment-scoped registry. Pass `&metrics()` to Network (and thus
+  /// to every component constructed over it) to aggregate layer metrics
+  /// here; they are embedded in the JSON artifact when non-empty.
+  MetricRegistry& metrics() { return metrics_; }
+
+  /// The trace sink, or nullptr when tracing is off. Install on each kernel
+  /// with `simulator.set_trace(harness.trace())`.
+  TraceSink* trace() { return trace_.get(); }
+
+  /// Lazily constructed default kernel, seeded with seed() and with the
+  /// trace sink pre-installed. Sweep benches that need one kernel per row
+  /// construct their own Simulators from seed()/seed_for() instead.
+  Simulator& simulator();
+
+  /// A swept/configured parameter recorded in the JSON "params" object.
+  void set_param(const std::string& key, Value v);
+
+  /// Append one result row; cells keep insertion order. The table header is
+  /// the union of row keys in first-seen order.
+  void add_row(std::vector<std::pair<std::string, Value>> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Print the results table (unless --quiet), write the JSON artifact
+  /// (unless --no-json), and return 0. Idempotent.
+  int finish();
+
+  /// The JSON artifact body (also what finish() writes).
+  std::string to_json() const;
+
+ private:
+  std::string id_;
+  ExperimentOptions opts_;
+  std::string title_, claim_, method_;
+  MetricRegistry metrics_;
+  std::unique_ptr<JsonlTraceSink> trace_;
+  std::unique_ptr<Simulator> sim_;
+  std::vector<std::pair<std::string, Value>> params_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
+  bool finished_ = false;
+};
+
+}  // namespace decentnet::sim

@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -82,6 +83,20 @@ void Histogram::clear() {
   sorted_ = true;
 }
 
+Counter& MetricRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::size_t max_samples) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(max_samples))
+      .first->second;
+}
+
 std::string MetricRegistry::summary() const {
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
@@ -92,6 +107,52 @@ std::string MetricRegistry::summary() const {
        << " p50=" << h.percentile(50) << " p99=" << h.percentile(99) << '\n';
   }
   return os.str();
+}
+
+namespace {
+
+// Shortest round-trip double rendering (locale-free, deterministic).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // scoped names contain no characters needing escapes
+    out += "\":";
+    out += std::to_string(c.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"mean\":";
+    out += json_double(h.mean());
+    out += ",\"p50\":";
+    out += json_double(h.percentile(50));
+    out += ",\"p90\":";
+    out += json_double(h.percentile(90));
+    out += ",\"p99\":";
+    out += json_double(h.percentile(99));
+    out += ",\"max\":";
+    out += json_double(h.max());
+    out += '}';
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace decentnet::sim

@@ -1,13 +1,17 @@
 // Measurement primitives used by every experiment.
 //
 // Histogram keeps raw samples (with optional reservoir downsampling) so the
-// benches can report exact percentiles; Counter/Gauge are simple named
-// scalars grouped in a MetricRegistry.
+// benches can report exact percentiles; Counter is a simple scalar. A
+// MetricRegistry maps scoped names ("<layer>/<name>", e.g. "net/bytes_sent",
+// "chain/blocks_mined") to metric objects with *stable addresses*: components
+// look a handle up once at construction and record through the reference on
+// the hot path — no per-record string hashing or map walks.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -57,7 +61,7 @@ class Histogram {
   mutable Rng reservoir_rng_;
 };
 
-/// Monotonically increasing named count.
+/// Monotonically increasing count.
 class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
@@ -70,22 +74,44 @@ class Counter {
 
 /// A named collection of counters and histograms, shared across the
 /// components of one experiment.
+///
+/// Handle contract: counter()/histogram() return references that stay valid
+/// for the registry's lifetime (node-based storage), so the idiomatic use is
+///
+///   class FullNode {
+///     sim::Counter& blocks_accepted_;   // bound once in the ctor
+///     ...
+///     FullNode(net::Network& net, ...)
+///         : blocks_accepted_(net.metrics().counter("chain/blocks_accepted"))
+///   };
+///
+/// and the hot path is a plain integer add through the reference.
 class MetricRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  /// Look up or create the counter under `name` (scoped "<layer>/<name>").
+  Counter& counter(std::string_view name);
+  /// Look up or create the histogram under `name`. `max_samples` only
+  /// applies when the call creates the histogram.
+  Histogram& histogram(std::string_view name,
+                       std::size_t max_samples = 1 << 20);
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const {
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
 
   /// Render all metrics as "name: value" lines (for debugging/examples).
   std::string summary() const;
 
+  /// All metrics as one deterministic JSON object: counters map to integer
+  /// values, histograms to {count, mean, p50, p90, p99, max} objects.
+  std::string to_json() const;
+
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace decentnet::sim

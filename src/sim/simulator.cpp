@@ -6,30 +6,52 @@
 
 namespace decentnet::sim {
 
-EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+void Simulator::push_event(SimTime when, Callback fn,
+                           std::shared_ptr<bool> alive, const char* tag) {
   if (when < now_) when = now_;
+  const std::uint64_t id = seq_++;
+  if (trace_) {
+    trace_->record({now_, "sched", tag ? tag : "", id,
+                    static_cast<std::uint64_t>(when), 0, 0});
+  }
+  queue_.push(Event{when, id, std::move(fn), std::move(alive), tag});
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn,
+                                   const char* tag) {
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, seq_++, std::move(fn), alive});
-  return EventHandle(std::move(alive));
+  EventHandle handle(alive);
+  push_event(when, std::move(fn), std::move(alive), tag);
+  return handle;
+}
+
+void Simulator::post_at(SimTime when, Callback fn, const char* tag) {
+  push_event(when, std::move(fn), nullptr, tag);
 }
 
 EventHandle Simulator::schedule_periodic(SimDuration initial_delay,
-                                         SimDuration period, Callback fn) {
+                                         SimDuration period, Callback fn,
+                                         const char* tag) {
   if (period <= 0) throw std::invalid_argument("periodic event needs period > 0");
   // One shared liveness flag governs the whole series; each firing re-arms
   // the next occurrence under the same flag. The scheduled event holds `arm`
   // strongly while `arm`'s own closure holds it weakly, so cancelling the
-  // series lets the whole chain be reclaimed.
+  // series lets the whole chain be reclaimed. The per-firing events are
+  // detached (post_at): cancellation goes through the series flag alone.
   auto series = std::make_shared<bool>(true);
   auto arm = std::make_shared<std::function<void(SimTime)>>();
   std::weak_ptr<std::function<void(SimTime)>> weak_arm = arm;
-  *arm = [this, period, fn = std::move(fn), series, weak_arm](SimTime when) {
+  *arm = [this, period, tag, fn = std::move(fn), series,
+          weak_arm](SimTime when) {
     auto strong = weak_arm.lock();
-    schedule_at(when, [this, period, fn, series, strong] {
-      if (!*series) return;
-      fn();
-      if (*series && strong) (*strong)(now_ + period);
-    });
+    post_at(
+        when,
+        [this, period, fn, series, strong] {
+          if (!*series) return;
+          fn();
+          if (*series && strong) (*strong)(now_ + period);
+        },
+        tag);
   };
   (*arm)(now_ + (initial_delay < 0 ? 0 : initial_delay));
   return EventHandle(std::move(series));
@@ -39,9 +61,19 @@ bool Simulator::pop_one() {
   while (!queue_.empty()) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    *ev.alive = false;         // fired
+    if (ev.alive) {
+      if (!*ev.alive) {  // cancelled
+        if (trace_) {
+          trace_->record({now_, "cancel", ev.tag ? ev.tag : "", ev.seq, 0, 0, 0});
+        }
+        continue;
+      }
+      *ev.alive = false;  // fired
+    }
     now_ = ev.when;
+    if (trace_) {
+      trace_->record({now_, "fire", ev.tag ? ev.tag : "", ev.seq, 0, 0, 0});
+    }
     ev.fn();
     ++processed_;
     return true;
@@ -53,11 +85,15 @@ std::size_t Simulator::run_until(SimTime until) {
   std::size_t n = 0;
   while (!queue_.empty()) {
     // Skip cancelled events cheaply without advancing the clock.
-    if (!*queue_.top().alive) {
+    const Event& top = queue_.top();
+    if (top.alive && !*top.alive) {
+      if (trace_) {
+        trace_->record({now_, "cancel", top.tag ? top.tag : "", top.seq, 0, 0, 0});
+      }
       queue_.pop();
       continue;
     }
-    if (queue_.top().when > until) break;
+    if (top.when > until) break;
     if (pop_one()) ++n;
   }
   if (now_ < until) now_ = until;

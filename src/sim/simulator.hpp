@@ -4,6 +4,16 @@
 // clock. Everything in decentnet — network delivery, protocol timers, churn,
 // mining — is expressed as events on one Simulator instance, which makes each
 // experiment single-threaded and bit-for-bit reproducible from its root seed.
+//
+// Two scheduling flavours exist:
+//   * schedule()/schedule_at()/schedule_periodic() return an EventHandle for
+//     later cancellation, which costs one shared_ptr<bool> allocation.
+//   * post()/post_at() are fire-and-forget: no cancellation flag, no
+//     allocation. Use them whenever the handle would be discarded — message
+//     delivery, one-shot continuations — they are the kernel's hot path.
+//
+// An optional TraceSink observes every scheduled/fired/cancelled event; with
+// no sink installed the hooks cost a single predictable null test.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +24,7 @@
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace decentnet::sim {
 
@@ -52,18 +63,35 @@ class Simulator {
   /// Root RNG for the simulation; fork per component for isolation.
   Rng& rng() { return rng_; }
 
+  /// Install (or clear, with nullptr) the trace sink. The sink is borrowed:
+  /// the caller keeps ownership and must outlive the simulator's use of it.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace() const { return trace_; }
+
   /// Schedule `fn` to run `delay` from now. Negative delays clamp to "now".
-  EventHandle schedule(SimDuration delay, Callback fn) {
-    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  /// `tag` (a string literal) labels the event in trace output.
+  EventHandle schedule(SimDuration delay, Callback fn,
+                       const char* tag = nullptr) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn), tag);
   }
 
   /// Schedule `fn` at an absolute simulated time (>= now).
-  EventHandle schedule_at(SimTime when, Callback fn);
+  EventHandle schedule_at(SimTime when, Callback fn,
+                          const char* tag = nullptr);
+
+  /// Fire-and-forget variant of schedule(): no EventHandle, no cancellation
+  /// flag allocation. Prefer this when the handle would be discarded.
+  void post(SimDuration delay, Callback fn, const char* tag = nullptr) {
+    post_at(now_ + (delay < 0 ? 0 : delay), std::move(fn), tag);
+  }
+
+  /// Fire-and-forget variant of schedule_at().
+  void post_at(SimTime when, Callback fn, const char* tag = nullptr);
 
   /// Schedule `fn` every `period`, starting after `initial_delay`.
   /// The returned handle cancels all future firings.
   EventHandle schedule_periodic(SimDuration initial_delay, SimDuration period,
-                                Callback fn);
+                                Callback fn, const char* tag = nullptr);
 
   /// Run events until the queue drains or simulated time would pass `until`.
   /// Events at exactly `until` are executed. Returns events processed.
@@ -83,7 +111,8 @@ class Simulator {
     SimTime when;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events
     Callback fn;
-    std::shared_ptr<bool> alive;
+    std::shared_ptr<bool> alive;  // null for detached (post) events
+    const char* tag;              // trace category; may be null
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -92,12 +121,15 @@ class Simulator {
     }
   };
 
+  void push_event(SimTime when, Callback fn, std::shared_ptr<bool> alive,
+                  const char* tag);
   bool pop_one();
 
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   Rng rng_;
+  TraceSink* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

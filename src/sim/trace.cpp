@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace decentnet::sim {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      // Control characters never appear in our literal tags; keep the
+      // escape anyway so arbitrary sink reuse stays valid JSON.
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(c >> 4) & 0xF];
+      out += hex[c & 0xF];
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : owned_(path, std::ios::out | std::ios::trunc), os_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  }
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::record(const TraceRecord& rec) {
+  // Hand-rolled serialization: integer-only fields, no locale, no
+  // allocation churn beyond one reused line buffer.
+  std::string line;
+  line.reserve(96);
+  line += "{\"t\":";
+  line += std::to_string(rec.t);
+  line += ",\"kind\":\"";
+  append_escaped(line, rec.kind);
+  line += '"';
+  if (rec.tag && rec.tag[0] != '\0') {
+    line += ",\"tag\":\"";
+    append_escaped(line, rec.tag);
+    line += '"';
+  }
+  line += ",\"id\":";
+  line += std::to_string(rec.id);
+  if (rec.a != 0) {
+    line += ",\"a\":";
+    line += std::to_string(rec.a);
+  }
+  if (rec.b != 0) {
+    line += ",\"b\":";
+    line += std::to_string(rec.b);
+  }
+  if (rec.bytes != 0) {
+    line += ",\"bytes\":";
+    line += std::to_string(rec.bytes);
+  }
+  line += "}\n";
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  ++written_;
+}
+
+void JsonlTraceSink::flush() {
+  if (os_) os_->flush();
+}
+
+}  // namespace decentnet::sim

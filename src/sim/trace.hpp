@@ -1,0 +1,73 @@
+// Structured tracing for the simulation kernel (Shadow-style).
+//
+// A TraceSink receives a flat stream of TraceRecords from the Simulator
+// (event scheduled / fired / cancelled) and from the Network (message send /
+// drop, with the drop reason). Sinks are installed per-Simulator; with no
+// sink installed the hot path pays a single null-pointer test. The JSONL
+// sink writes one compact JSON object per record, so two runs from the same
+// seed produce byte-identical trace files — the determinism contract the
+// tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace decentnet::sim {
+
+/// One structured trace record. `kind` says which fields are meaningful:
+///
+///   kind="sched"  — event pushed: id=event seq, a=fire time, tag=category
+///   kind="fire"   — event callback about to run: id=event seq
+///   kind="cancel" — cancelled event surfaced (lazy): id=event seq
+///   kind="send"   — Network accepted a message: id=msg seq, a=from, b=to,
+///                   bytes=wire size
+///   kind="drop"   — Network dropped a message: tag=reason ("partition",
+///                   "unreachable", "loss", "offline"), id/a/b/bytes as send
+///
+/// `kind` and `tag` must point at string literals (or otherwise outlive the
+/// sink call); records are emitted synchronously and never stored.
+struct TraceRecord {
+  SimTime t = 0;           // simulated time at emission
+  const char* kind = "";   // record type, see above
+  const char* tag = "";    // category / drop reason; may be empty
+  std::uint64_t id = 0;    // event or message sequence number
+  std::uint64_t a = 0;     // kind-specific
+  std::uint64_t b = 0;     // kind-specific
+  std::uint64_t bytes = 0; // payload size for net records
+};
+
+/// Receives trace records. Implementations must not re-enter the simulator.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& rec) = 0;
+  virtual void flush() {}
+};
+
+/// Writes one JSON object per line ("JSON Lines"). Output is a pure function
+/// of the record stream: no wall-clock, no pointers, no locale dependence.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Open `path` for writing (truncates). Throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Write to an externally owned stream (tests).
+  explicit JsonlTraceSink(std::ostream& os);
+  ~JsonlTraceSink() override;
+
+  void record(const TraceRecord& rec) override;
+  void flush() override;
+
+  std::uint64_t records_written() const { return written_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace decentnet::sim

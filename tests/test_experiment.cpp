@@ -1,0 +1,185 @@
+// ExperimentHarness tests: CLI parsing, Value rendering, the JSON artifact
+// shape, timing-cell exclusion, and seed derivation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace ds = decentnet::sim;
+
+namespace {
+
+ds::ExperimentOptions parse(std::vector<const char*> argv_tail,
+                            bool* ok = nullptr,
+                            std::string* error_out = nullptr) {
+  std::vector<const char*> argv{"bench"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  ds::ExperimentOptions opts;
+  std::string error;
+  const bool parsed = ds::ExperimentHarness::parse_cli(
+      static_cast<int>(argv.size()),
+      const_cast<char* const*>(argv.data()), opts, error);
+  if (ok) *ok = parsed;
+  if (error_out) *error_out = error;
+  return opts;
+}
+
+}  // namespace
+
+TEST(ExperimentCli, DefaultsSurviveEmptyArgv) {
+  bool ok = false;
+  ds::ExperimentOptions opts = parse({}, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(opts.seed, 1u);
+  EXPECT_TRUE(opts.emit_json);
+  EXPECT_FALSE(opts.quiet);
+  EXPECT_FALSE(opts.help);
+  EXPECT_TRUE(opts.json_path.empty());
+  EXPECT_TRUE(opts.trace_path.empty());
+}
+
+TEST(ExperimentCli, ParsesEveryFlag) {
+  bool ok = false;
+  ds::ExperimentOptions opts =
+      parse({"--seed", "777", "--json", "out.json", "--trace", "t.jsonl",
+             "--quiet"},
+            &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(opts.seed, 777u);
+  EXPECT_EQ(opts.json_path, "out.json");
+  EXPECT_EQ(opts.trace_path, "t.jsonl");
+  EXPECT_TRUE(opts.quiet);
+  EXPECT_TRUE(opts.emit_json);
+}
+
+TEST(ExperimentCli, NoJsonAndHelp) {
+  bool ok = false;
+  ds::ExperimentOptions opts = parse({"--no-json", "--help"}, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(opts.emit_json);
+  EXPECT_TRUE(opts.help);
+}
+
+TEST(ExperimentCli, RejectsUnknownFlagAndMissingValue) {
+  bool ok = true;
+  std::string error;
+  parse({"--frobnicate"}, &ok, &error);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(error.empty());
+  parse({"--seed"}, &ok, &error);
+  EXPECT_FALSE(ok);
+  parse({"--seed", "not-a-number"}, &ok, &error);
+  EXPECT_FALSE(ok);
+}
+
+TEST(ExperimentValue, JsonRendering) {
+  EXPECT_EQ(ds::Value().to_json(), "null");
+  EXPECT_EQ(ds::Value(true).to_json(), "true");
+  EXPECT_EQ(ds::Value(false).to_json(), "false");
+  EXPECT_EQ(ds::Value(std::int64_t{-42}).to_json(), "-42");
+  EXPECT_EQ(ds::Value(std::uint64_t{42}).to_json(), "42");
+  EXPECT_EQ(ds::Value("a \"quoted\" cell").to_json(),
+            "\"a \\\"quoted\\\" cell\"");
+  // Doubles serialize shortest-round-trip, independent of table precision.
+  EXPECT_EQ(ds::Value(0.5, 0).to_json(), ds::Value(0.5, 6).to_json());
+}
+
+TEST(ExperimentHarness, JsonArtifactShapeAndDeterminism) {
+  const auto build = [] {
+    ds::ExperimentOptions opts;
+    opts.seed = 5;
+    opts.quiet = true;
+    opts.emit_json = false;  // keep the filesystem out of the test
+    ds::ExperimentHarness ex("unit_shape", opts);
+    ex.describe("title", "claim", "method");
+    ex.set_param("sweep", ds::Value(std::uint64_t{3}));
+    ex.metrics().counter("net/bytes_sent").add(123);
+    ex.add_row({{"label", "a"}, {"v", ds::Value(1.25, 2)}});
+    ex.add_row({{"label", "b"},
+                {"v", ds::Value(2.5, 2)},
+                {"extra", ds::Value(std::int64_t{7})}});
+    return ex.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());  // byte-identical across runs
+  EXPECT_NE(json.find("\"id\": \"unit_shape\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"claim\": \"claim\""), std::string::npos);
+  EXPECT_NE(json.find("\"net/bytes_sent\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\""), std::string::npos);
+  // Column union keeps first-seen order: label, v, extra.
+  const auto label_pos = json.find("\"label\"");
+  const auto extra_pos = json.find("\"extra\"");
+  ASSERT_NE(extra_pos, std::string::npos);
+  EXPECT_LT(label_pos, extra_pos);
+  // Rows serialize only the cells they set; "extra" appears in the column
+  // union and in row "b" alone.
+  const auto row_a = json.find("\"label\": \"a\"");
+  const auto row_b = json.find("\"label\": \"b\"");
+  ASSERT_NE(row_a, std::string::npos);
+  ASSERT_NE(row_b, std::string::npos);
+  EXPECT_EQ(json.find("\"extra\"", row_a), json.find("\"extra\"", row_b));
+}
+
+TEST(ExperimentHarness, TimingCellsExcludedFromJson) {
+  ds::ExperimentOptions opts;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_timing", opts);
+  ex.add_row({{"n", ds::Value(std::uint64_t{10})},
+              {"wall_ms", ds::Value::timing(123.456, 1)}});
+  const std::string json = ex.to_json();
+  EXPECT_NE(json.find("\"n\""), std::string::npos);
+  EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(json.find("123.4"), std::string::npos);
+}
+
+TEST(ExperimentHarness, SeedForIsDeterministicAndSpreads) {
+  ds::ExperimentOptions opts;
+  opts.seed = 11;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_seeds", opts);
+  EXPECT_EQ(ex.seed(), 11u);
+  EXPECT_EQ(ex.seed_for(0), ex.seed_for(0));
+  EXPECT_NE(ex.seed_for(0), ex.seed_for(1));
+  EXPECT_NE(ex.seed_for(1), ex.seed_for(2));
+
+  ds::ExperimentOptions opts2 = opts;
+  opts2.seed = 12;
+  ds::ExperimentHarness ex2("unit_seeds", opts2);
+  EXPECT_NE(ex.seed_for(0), ex2.seed_for(0));
+}
+
+TEST(ExperimentHarness, TraceSinkInstalledOnlyWhenRequested) {
+  ds::ExperimentOptions opts;
+  opts.quiet = true;
+  opts.emit_json = false;
+  {
+    ds::ExperimentHarness ex("unit_notrace", opts);
+    EXPECT_EQ(ex.trace(), nullptr);
+  }
+  opts.trace_path = "unit_trace_tmp.jsonl";
+  {
+    ds::ExperimentHarness ex("unit_trace", opts);
+    EXPECT_NE(ex.trace(), nullptr);
+    ex.simulator().post(ds::millis(1), [] {});
+    ex.simulator().run_all();
+  }
+  std::remove("unit_trace_tmp.jsonl");
+}
+
+TEST(ExperimentHarness, FinishIsIdempotentAndReturnsZero) {
+  ds::ExperimentOptions opts;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_finish", opts);
+  ex.add_row({{"x", ds::Value(std::uint64_t{1})}});
+  EXPECT_EQ(ex.finish(), 0);
+  EXPECT_EQ(ex.finish(), 0);
+  EXPECT_EQ(ex.row_count(), 1u);
+}

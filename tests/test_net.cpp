@@ -51,7 +51,7 @@ TEST(Network, DropsToOfflineNodes) {
   net.attach(ida, &a);
   net.send(ida, idb, 1, 10);  // b never attached
   sim.run_all();
-  EXPECT_EQ(net.metrics().counter("net.dropped.offline").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/dropped_offline").value(), 1u);
 }
 
 TEST(Network, DetachStopsDelivery) {

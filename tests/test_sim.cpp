@@ -207,6 +207,37 @@ TEST(Histogram, ReservoirKeepsCountExact) {
   EXPECT_NEAR(h.percentile(50), 5000, 1500);
 }
 
+TEST(Histogram, ReservoirPercentilesTrackDistributionPastCapacity) {
+  // Regression: once record() crosses max_samples and switches to
+  // reservoir downsampling, every percentile (not just the median) must
+  // keep tracking the underlying distribution, and the result must be a
+  // pure function of the seed.
+  ds::Histogram h(/*max_samples=*/500, /*reservoir_seed=*/0x5EED);
+  const std::uint64_t n = 50'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h.record(static_cast<double>(i));  // uniform on [0, n)
+  }
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.samples().size(), 500u);
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double truth = static_cast<double>(n) * p / 100.0;
+    // Binomial spread of a 500-sample reservoir: ~5 percentage points of
+    // mass, generously doubled for the tails.
+    EXPECT_NEAR(h.percentile(p), truth, static_cast<double>(n) * 0.10)
+        << "p" << p;
+  }
+  EXPECT_NEAR(h.mean(), static_cast<double>(n) / 2.0,
+              static_cast<double>(n) * 0.01);  // mean is exact, not sampled
+
+  // Same seed, same stream -> identical reservoir.
+  ds::Histogram again(500, 0x5EED);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    again.record(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(90), again.percentile(90));
+  EXPECT_EQ(h.samples(), again.samples());
+}
+
 TEST(Stats, GiniOfEqualSharesIsZero) {
   EXPECT_NEAR(decentnet::sim::gini({5, 5, 5, 5}), 0.0, 1e-9);
 }
