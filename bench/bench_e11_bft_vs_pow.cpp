@@ -5,6 +5,7 @@
 // protocols" — BFT commits in milliseconds among tens of known nodes; PoW
 // takes minutes among thousands of anonymous ones, and BFT's quadratic
 // message cost is why it stays small.
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -27,16 +28,18 @@ struct BftRun {
 };
 
 BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur,
-                sim::ExperimentHarness& ex) {
-  sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+                sim::PointScope& scope) {
+  sim::Simulator simu(scope.root_seed());
+  simu.set_trace(scope.trace());
+  const std::size_t n = 3 * f + 1;
+  net::NetworkConfig net_cfg;
+  net_cfg.expected_nodes = n + 1;  // replicas + client
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(5)),
-                    {}, &ex.metrics());
+                    net_cfg, &scope.metrics());
   bft::PbftConfig cfg;
   cfg.f = f;
   cfg.batch_size = 16;
-  const std::size_t n = 3 * f + 1;
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
   std::vector<std::unique_ptr<bft::PbftReplica>> replicas;
@@ -78,12 +81,14 @@ BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur,
 }
 
 BftRun run_raft(std::size_t n, double offered_tps, sim::SimDuration dur,
-                sim::ExperimentHarness& ex) {
-  sim::Simulator simu(ex.seed() + 1);
-  simu.set_trace(ex.trace());
+                sim::PointScope& scope) {
+  sim::Simulator simu(scope.root_seed() + 1);
+  simu.set_trace(scope.trace());
+  net::NetworkConfig net_cfg;
+  net_cfg.expected_nodes = n;
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(5)),
-                    {}, &ex.metrics());
+                    net_cfg, &scope.metrics());
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
   std::vector<std::unique_ptr<bft::RaftNode>> nodes;
@@ -155,42 +160,52 @@ int main(int argc, char** argv) {
       "offered load 500 tps, 5 ms LAN; sweep replica count; PoW row "
       "reproduced from E5's Bitcoin-like configuration");
 
-  for (const std::size_t f : {1u, 2u, 3u, 5u, 8u}) {
-    const auto r = run_pbft(f, 500, sim::seconds(30), ex);
-    ex.add_row({{"system", "PBFT f=" + std::to_string(f)},
-                {"replicas", std::uint64_t{3 * f + 1}},
-                {"tps", bench::Value(r.tps, 0)},
-                {"p50_ms", bench::Value(r.p50_ms, 1)},
-                {"p99_ms", bench::Value(r.p99_ms, 1)},
-                {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
-  }
-  for (const std::size_t n : {3u, 5u, 7u, 11u}) {
-    const auto r = run_raft(n, 500, sim::seconds(30), ex);
-    ex.add_row({{"system", "Raft n=" + std::to_string(n)},
-                {"replicas", std::uint64_t{n}},
-                {"tps", bench::Value(r.tps, 0)},
-                {"p50_ms", bench::Value(r.p50_ms, 1)},
-                {"p99_ms", bench::Value(r.p99_ms, 1)},
-                {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
-  }
-  {
-    core::PowScenarioConfig cfg;
-    cfg.params.retarget_window = 0;
-    cfg.params.initial_difficulty = 1e9;
-    cfg.total_hashrate = 1e9 / 600.0;
-    cfg.nodes = 24;
-    cfg.miners = 8;
-    cfg.wallets = 32;
-    cfg.tx_rate_per_sec = 10;
-    cfg.duration = sim::hours(1);
-    cfg.seed = ex.seed();
-    const auto r = core::run_pow_scenario(cfg);
-    ex.add_row({{"system", "PoW (Bitcoin-like)"},
-                {"replicas", 24},
-                {"tps", bench::Value(r.throughput_tps, 1)},
-                {"p50_ms", "~600000"},
-                {"p99_ms", "~3600000"}});
-  }
+  // 10 independent sweep points (5 PBFT sizes, 4 Raft sizes, 1 PoW); each
+  // builds its own Simulator from the root seed, so with --jobs N they run
+  // on worker threads and merge in index order — artifact bytes are
+  // independent of N.
+  const std::size_t kPbftF[] = {1, 2, 3, 5, 8};
+  const std::size_t kRaftN[] = {3, 5, 7, 11};
+  ex.run_points(std::size(kPbftF) + std::size(kRaftN) + 1,
+                [&](sim::PointScope& scope) {
+    const std::size_t i = scope.index();
+    if (i < std::size(kPbftF)) {
+      const std::size_t f = kPbftF[i];
+      const auto r = run_pbft(f, 500, sim::seconds(30), scope);
+      scope.add_row({{"system", "PBFT f=" + std::to_string(f)},
+                     {"replicas", std::uint64_t{3 * f + 1}},
+                     {"tps", bench::Value(r.tps, 0)},
+                     {"p50_ms", bench::Value(r.p50_ms, 1)},
+                     {"p99_ms", bench::Value(r.p99_ms, 1)},
+                     {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
+    } else if (i < std::size(kPbftF) + std::size(kRaftN)) {
+      const std::size_t n = kRaftN[i - std::size(kPbftF)];
+      const auto r = run_raft(n, 500, sim::seconds(30), scope);
+      scope.add_row({{"system", "Raft n=" + std::to_string(n)},
+                     {"replicas", std::uint64_t{n}},
+                     {"tps", bench::Value(r.tps, 0)},
+                     {"p50_ms", bench::Value(r.p50_ms, 1)},
+                     {"p99_ms", bench::Value(r.p99_ms, 1)},
+                     {"msgs_per_commit", bench::Value(r.msgs_per_commit, 1)}});
+    } else {
+      core::PowScenarioConfig cfg;
+      cfg.params.retarget_window = 0;
+      cfg.params.initial_difficulty = 1e9;
+      cfg.total_hashrate = 1e9 / 600.0;
+      cfg.nodes = 24;
+      cfg.miners = 8;
+      cfg.wallets = 32;
+      cfg.tx_rate_per_sec = 10;
+      cfg.duration = sim::hours(1);
+      cfg.seed = scope.root_seed();
+      const auto r = core::run_pow_scenario(cfg);
+      scope.add_row({{"system", "PoW (Bitcoin-like)"},
+                     {"replicas", 24},
+                     {"tps", bench::Value(r.throughput_tps, 1)},
+                     {"p50_ms", "~600000"},
+                     {"p99_ms", "~3600000"}});
+    }
+  });
   const int rc = ex.finish();
   std::printf(
       "\nPBFT latency stays at a few RTTs but msgs/commit grows with n^2 —\n"

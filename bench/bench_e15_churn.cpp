@@ -3,6 +3,7 @@
 // maintain the service these protocols must be fault-tolerant and
 // self-adjusting, but this can cause performance problems and latency ...
 // stable cloud servers have no rival."
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -26,12 +27,14 @@ struct Row {
 /// Kademlia under live churn: peers alternate sessions/downtime while
 /// queries run. `mean_session_min == 0` disables churn (stable servers).
 Row run(std::size_t n, double mean_session_min, std::uint64_t seed,
-        sim::ExperimentHarness& ex) {
+        sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  simu.set_trace(scope.trace());
+  net::NetworkConfig net_cfg;
+  net_cfg.expected_nodes = n;
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
-      {}, &ex.metrics());
+      net_cfg, &scope.metrics());
   overlay::KademliaConfig cfg;
   std::vector<std::unique_ptr<overlay::KademliaNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -139,15 +142,19 @@ int main(int argc, char** argv) {
       {"mean session 20 min", 20},
       {"mean session 5 min", 5},
   };
-  for (const auto& r : rows) {
-    const Row out = run(300, r.session_min, ex.seed(), ex);
-    ex.add_row({{"population", r.label},
-                {"success", bench::Value(out.success, 2)},
-                {"p50_s", bench::Value(out.p50_s, 2)},
-                {"p90_s", bench::Value(out.p90_s, 2)},
-                {"timeouts_per_lookup",
-                 bench::Value(out.timeouts_per_lookup, 1)}});
-  }
+  // Independent sweep points: each builds its own Simulator from the root
+  // seed, so with --jobs N they run on worker threads and merge in index
+  // order — the artifact bytes don't depend on N.
+  ex.run_points(std::size(rows), [&](sim::PointScope& scope) {
+    const Cfg& r = rows[scope.index()];
+    const Row out = run(300, r.session_min, scope.root_seed(), scope);
+    scope.add_row({{"population", r.label},
+                   {"success", bench::Value(out.success, 2)},
+                   {"p50_s", bench::Value(out.p50_s, 2)},
+                   {"p90_s", bench::Value(out.p90_s, 2)},
+                   {"timeouts_per_lookup",
+                    bench::Value(out.timeouts_per_lookup, 1)}});
+  });
   const int rc = ex.finish();
   std::printf(
       "\nThe stable row answers nearly everything within a couple of RTT\n"

@@ -26,6 +26,7 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
   net_cfg.model_bandwidth = config.model_bandwidth;
   net_cfg.default_uplink_bps = config.uplink_bps;
   net_cfg.default_downlink_bps = config.downlink_bps;
+  net_cfg.expected_nodes = config.nodes;
   net::Network net(sim,
                    std::make_unique<net::LogNormalLatency>(
                        config.median_latency, 0.4),
@@ -139,10 +140,10 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
 
 FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
   sim::Simulator sim(config.seed);
-  net::Network net(sim,
-                   std::make_unique<net::LogNormalLatency>(config.lan_latency,
-                                                           0.2),
-                   net::NetworkConfig{});
+  net::Network net(
+      sim, std::make_unique<net::LogNormalLatency>(config.lan_latency, 0.2),
+      net::NetworkConfig{
+          .expected_nodes = config.orgs * config.peers_per_org + 4});
   sim::Rng rng = sim.rng().fork(0xFAB);
 
   fabric::MembershipService msp(config.seed);
@@ -243,9 +244,10 @@ FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
 PartitionedScenarioResult run_partitioned_scenario(
     const PartitionedScenarioConfig& config) {
   sim::Simulator sim(config.seed);
-  net::Network net(sim,
-                   std::make_unique<net::ConstantLatency>(config.lan_latency),
-                   net::NetworkConfig{});
+  net::Network net(
+      sim, std::make_unique<net::ConstantLatency>(config.lan_latency),
+      net::NetworkConfig{.expected_nodes =
+                             config.partitions * config.replicas + 1});
   sim::Rng rng = sim.rng().fork(0x9A27);
 
   struct Partition {

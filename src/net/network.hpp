@@ -32,6 +32,9 @@ struct NetworkConfig {
   double default_downlink_bps = 50e6 / 8;  // 50 Mbit/s, in bytes/s
   /// When false, bandwidth is infinite and only latency applies.
   bool model_bandwidth = false;
+  /// Expected topology size; pre-sizes the peer table so attach() never
+  /// rehashes mid-experiment. 0 keeps the default initial capacity.
+  std::size_t expected_nodes = 0;
 };
 
 class Network {
@@ -54,8 +57,16 @@ class Network {
   /// (churn): messages sent while it was offline are gone.
   void attach(NodeId id, Host* host);
   void detach(NodeId id);
-  bool online(NodeId id) const { return hosts_.find(id) != hosts_.end(); }
-  std::size_t online_count() const { return hosts_.size(); }
+  bool online(NodeId id) const {
+    const auto it = peers_.find(id);
+    return it != peers_.end() && it->second.host != nullptr;
+  }
+  std::size_t online_count() const { return online_; }
+
+  /// Pre-size the peer table for `n` nodes (same effect as
+  /// NetworkConfig::expected_nodes, for callers that learn the topology
+  /// size after construction).
+  void reserve_nodes(std::size_t n) { peers_.reserve(n); }
 
   /// Per-node link capacity override (bytes per simulated second).
   void set_bandwidth(NodeId id, double uplink_bps, double downlink_bps);
@@ -95,8 +106,18 @@ class Network {
     sim::SimTime rx_free_at = 0;  // receiver-side FIFO serialization
   };
 
+  /// Host and link state share one hash entry so the send path resolves a
+  /// node with a single lookup. Entries are never erased — detach() only
+  /// nulls `host`, preserving link serialization state across churn and
+  /// keeping Peer* stable for in-flight delivery events (unordered_map
+  /// never moves its nodes).
+  struct Peer {
+    Host* host = nullptr;  // null while offline
+    LinkState link;
+  };
+
   void deliver(Message msg);
-  LinkState& link(NodeId id);
+  Peer& peer(NodeId id);
   bool partitioned(NodeId a, NodeId b) const;
 
   sim::Simulator& sim_;
@@ -116,8 +137,8 @@ class Network {
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
-  std::unordered_map<NodeId, Host*, NodeIdHasher> hosts_;
-  std::unordered_map<NodeId, LinkState, NodeIdHasher> links_;
+  std::size_t online_ = 0;
+  std::unordered_map<NodeId, Peer, NodeIdHasher> peers_;
   std::unordered_set<std::uint64_t> partition_;
   std::unordered_set<std::uint64_t> unreachable_;
 };

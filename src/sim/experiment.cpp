@@ -1,12 +1,16 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <exception>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 namespace decentnet::sim {
 
@@ -116,6 +120,16 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
       const char* v = want_value("--trace");
       if (!v) return false;
       opts.trace_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = want_value("--jobs");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        error = "--jobs: need a positive integer, got: " + std::string(v);
+        return false;
+      }
+      opts.jobs = static_cast<std::size_t>(parsed);
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -131,13 +145,16 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
 std::string ExperimentHarness::usage(const std::string& prog,
                                      const std::string& id) {
   return "usage: " + prog +
-         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--quiet]\n"
+         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--jobs N] "
+         "[--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
          id +
          ".json)\n"
          "  --no-json     skip the JSON artifact\n"
          "  --trace PATH  write kernel/net trace as JSONL to PATH\n"
+         "  --jobs N      worker threads for independent sweep points\n"
+         "                (results are byte-identical for any N)\n"
          "  --quiet       suppress banner and table\n";
 }
 
@@ -217,6 +234,77 @@ void ExperimentHarness::set_param(const std::string& key, Value v) {
 void ExperimentHarness::add_row(
     std::vector<std::pair<std::string, Value>> cells) {
   rows_.push_back(std::move(cells));
+}
+
+std::size_t ExperimentHarness::effective_jobs() const {
+  // A single interleaved trace stream must stay deterministic, so tracing
+  // pins execution to one worker.
+  if (trace_) return 1;
+  return opts_.jobs == 0 ? 1 : opts_.jobs;
+}
+
+void ExperimentHarness::run_points(
+    std::size_t count, const std::function<void(PointScope&)>& body) {
+  if (count == 0) return;
+  std::size_t jobs = effective_jobs();
+  if (trace_ && opts_.jobs > 1 && !opts_.quiet) {
+    std::fprintf(stderr,
+                 "[%s] --trace forces --jobs 1 (deterministic trace)\n",
+                 id_.c_str());
+  }
+  if (jobs > count) jobs = count;
+
+  // Scopes are pre-built so every point's seed derivation is fixed before
+  // any work starts; deque keeps addresses stable for the workers.
+  std::deque<PointScope> scopes;
+  for (std::size_t i = 0; i < count; ++i) {
+    scopes.emplace_back(
+        PointScope(i, opts_.seed, seed_for(i), trace_.get()));
+  }
+
+  if (jobs <= 1) {
+    for (auto& scope : scopes) body(scope);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::size_t> failed_index(jobs, count);
+    std::vector<std::exception_ptr> failure(jobs);
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      pool.emplace_back([&, w] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= count) return;
+          try {
+            body(scopes[i]);
+          } catch (...) {
+            // Remember the worker's first failure (lowest index wins at
+            // rethrow time); keep draining so merge order stays defined.
+            if (!failure[w]) {
+              failure[w] = std::current_exception();
+              failed_index[w] = i;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    std::size_t best = count;
+    std::exception_ptr first;
+    for (std::size_t w = 0; w < jobs; ++w) {
+      if (failure[w] && failed_index[w] < best) {
+        best = failed_index[w];
+        first = failure[w];
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  // Deterministic merge: submission (index) order, never completion order.
+  for (auto& scope : scopes) {
+    for (auto& row : scope.rows_) rows_.push_back(std::move(row));
+    metrics_.merge_from(scope.metrics_);
+  }
 }
 
 std::string ExperimentHarness::to_json() const {

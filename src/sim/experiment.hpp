@@ -27,15 +27,26 @@
 //   --json PATH    write results to PATH (default BENCH_<id>.json in cwd)
 //   --no-json      skip the JSON artifact
 //   --trace PATH   stream kernel/net trace records to PATH as JSONL
+//   --jobs N       run independent sweep points on N worker threads
 //   --quiet        suppress banner and table output
 //   --help         print usage
+//
+// Parallel replication (run_points): a bench that expresses its sweep as
+// independent points gets --jobs for free. Every point runs with its own
+// Simulator (constructed by the bench), its own MetricRegistry, and a
+// deterministic seed; results are buffered per point and merged in
+// submission order, so BENCH_<id>.json is byte-identical for any --jobs
+// value. Tracing forces --jobs 1 (a single interleaved JSONL stream must
+// stay deterministic).
 //
 // Wall-clock measurements (Value::timing) appear in the printed table but are
 // excluded from the JSON so that BENCH_*.json stays byte-identical across
 // runs with the same seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -96,9 +107,59 @@ struct ExperimentOptions {
   std::uint64_t seed = 1;
   std::string json_path;   // empty => "BENCH_<id>.json"
   std::string trace_path;  // empty => tracing disabled
+  std::size_t jobs = 1;    // worker threads for run_points()
   bool emit_json = true;
   bool quiet = false;
   bool help = false;
+};
+
+class ExperimentHarness;
+
+/// Per-sweep-point execution scope handed to run_points() bodies. Each point
+/// gets a private MetricRegistry and a row buffer; the harness merges both
+/// in point-index order after all points finish, so results are independent
+/// of --jobs and of thread scheduling. The body must route all output
+/// through the scope (no direct harness mutation, no stdout) and build its
+/// own Simulator — seeded with root_seed() to reproduce a bench's historical
+/// single-seed sweep, or seed() for decorrelated replicas.
+class PointScope {
+ public:
+  /// Index of this sweep point in [0, count).
+  std::size_t index() const { return index_; }
+  /// The experiment's root seed (same for every point).
+  std::uint64_t root_seed() const { return root_seed_; }
+  /// Deterministic per-point seed: splitmix of (root seed, index). Use for
+  /// replica-style sweeps where points must be statistically independent.
+  std::uint64_t seed() const { return point_seed_; }
+
+  /// Point-private registry; merged into the harness registry afterwards.
+  MetricRegistry& metrics() { return metrics_; }
+
+  /// Trace sink for this point's Simulator (null unless tracing is enabled,
+  /// which forces sequential execution).
+  TraceSink* trace() const { return trace_; }
+
+  /// Buffer one result row; rows from point i precede rows from point i+1
+  /// in the final table/artifact regardless of completion order.
+  void add_row(std::vector<std::pair<std::string, Value>> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+ private:
+  friend class ExperimentHarness;
+  PointScope(std::size_t index, std::uint64_t root_seed,
+             std::uint64_t point_seed, TraceSink* trace)
+      : index_(index),
+        root_seed_(root_seed),
+        point_seed_(point_seed),
+        trace_(trace) {}
+
+  std::size_t index_;
+  std::uint64_t root_seed_;
+  std::uint64_t point_seed_;
+  TraceSink* trace_;
+  MetricRegistry metrics_;
+  std::vector<std::vector<std::pair<std::string, Value>>> rows_;
 };
 
 class ExperimentHarness {
@@ -154,6 +215,19 @@ class ExperimentHarness {
   /// Append one result row; cells keep insertion order. The table header is
   /// the union of row keys in first-seen order.
   void add_row(std::vector<std::pair<std::string, Value>> cells);
+
+  /// Run `count` independent sweep points through `body`, on --jobs worker
+  /// threads (default 1). Rows and metrics recorded through each PointScope
+  /// are merged in point-index order once every point has finished, so the
+  /// artifact bytes are a pure function of the seed for any --jobs value.
+  /// Exceptions from a body are rethrown (lowest point index wins) after the
+  /// pool drains. Tracing (--trace) forces sequential execution.
+  void run_points(std::size_t count,
+                  const std::function<void(PointScope&)>& body);
+
+  /// The worker count run_points() will actually use (after the tracing
+  /// override), for banners/tests.
+  std::size_t effective_jobs() const;
 
   std::size_t row_count() const { return rows_.size(); }
 

@@ -76,6 +76,36 @@ double Histogram::fraction_below(double threshold) const {
          static_cast<double>(samples_.size());
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // `seen` tracks the effective sample-stream length so downsampling keeps
+  // reservoir semantics when the pool is already full.
+  std::uint64_t seen = count_;
+  for (const double v : other.samples_) {
+    ++seen;
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(v);
+      sorted_ = false;
+    } else {
+      const std::uint64_t j = reservoir_rng_.uniform_int(seen);
+      if (j < max_samples_) {
+        samples_[static_cast<std::size_t>(j)] = v;
+        sorted_ = false;
+      }
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 void Histogram::clear() {
   count_ = 0;
   sum_ = sum_sq_ = min_ = max_ = 0;
@@ -95,6 +125,15 @@ Histogram& MetricRegistry::histogram(std::string_view name,
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(std::string(name), Histogram(max_samples))
       .first->second;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).add(c.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.max_samples()).merge(h);
+  }
 }
 
 std::string MetricRegistry::summary() const {

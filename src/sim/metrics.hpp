@@ -44,6 +44,15 @@ class Histogram {
   /// Fraction of samples <= threshold (empirical CDF). Returns 0 when empty.
   double fraction_below(double threshold) const;
 
+  /// Fold `other`'s data into this histogram. count/sum/mean/min/max stay
+  /// exact; the sample pool is the concatenation of both pools (reservoir-
+  /// downsampled past capacity), so percentiles are exact whenever neither
+  /// side overflowed its reservoir. Deterministic in the merge order — the
+  /// parallel experiment runner merges per-point registries in submission
+  /// order so artifacts don't depend on thread scheduling.
+  void merge(const Histogram& other);
+
+  std::size_t max_samples() const { return max_samples_; }
   const std::vector<double>& samples() const { return samples_; }
   void clear();
 
@@ -101,6 +110,11 @@ class MetricRegistry {
   const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
+
+  /// Fold every metric of `other` into this registry (counters add, same-name
+  /// histograms merge). Used by the parallel experiment runner to combine
+  /// per-sweep-point registries deterministically.
+  void merge_from(const MetricRegistry& other);
 
   /// Render all metrics as "name: value" lines (for debugging/examples).
   std::string summary() const;

@@ -1,100 +1,175 @@
 #include "sim/simulator.hpp"
 
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace decentnet::sim {
 
-void Simulator::push_event(SimTime when, Callback fn,
-                           std::shared_ptr<bool> alive, const char* tag) {
+std::uint32_t Simulator::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  arena_.emplace_back();
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Event& ev = arena_[slot];
+  ev.fn.reset();
+  ev.tag = nullptr;
+  ev.state = State::kFree;
+  ++ev.gen;  // outstanding handles to this slot read as invalid from here on
+  free_.push_back(slot);
+}
+
+void Simulator::heap_push(HeapEntry e) {
+  // Hole insertion: slide parents down into the hole and place the new
+  // entry once, instead of a 3-move swap per level.
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_min() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Hole percolation with the displaced last entry.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+std::uint32_t Simulator::push_event(SimTime when, Callback fn,
+                                    const char* tag) {
   if (when < now_) when = now_;
   const std::uint64_t id = seq_++;
   if (trace_) {
     trace_->record({now_, "sched", tag ? tag : "", id,
                     static_cast<std::uint64_t>(when), 0, 0});
   }
-  queue_.push(Event{when, id, std::move(fn), std::move(alive), tag});
+  const std::uint32_t slot = alloc_slot();
+  Event& ev = arena_[slot];
+  ev.when = when;
+  ev.fn = std::move(fn);
+  ev.tag = tag;
+  ev.state = State::kPending;
+  heap_push({when, id, slot});
+  return slot;
 }
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn,
                                    const char* tag) {
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle(alive);
-  push_event(when, std::move(fn), std::move(alive), tag);
-  return handle;
+  const std::uint32_t slot = push_event(when, std::move(fn), tag);
+  return EventHandle(this, slot, arena_[slot].gen);
 }
 
 void Simulator::post_at(SimTime when, Callback fn, const char* tag) {
-  push_event(when, std::move(fn), nullptr, tag);
+  push_event(when, std::move(fn), tag);
+}
+
+void Simulator::arm_periodic(std::uint32_t slot, std::uint32_t gen,
+                             SimTime when, const char* tag) {
+  // Each firing is a detached event with a 16-byte {this-free} capture; the
+  // series callback itself stays parked in the series slot.
+  post_at(when, [this, slot, gen] { fire_periodic(slot, gen); }, tag);
+}
+
+void Simulator::fire_periodic(std::uint32_t slot, std::uint32_t gen) {
+  {
+    const Event& ev = arena_[slot];
+    if (ev.gen != gen || ev.state != State::kSeries) return;  // cancelled
+  }
+  // Move the callback out before invoking: the callback may schedule events,
+  // which can grow (reallocate) the arena under us.
+  Callback fn = std::move(arena_[slot].fn);
+  const SimDuration period = static_cast<SimDuration>(arena_[slot].when);
+  const char* tag = arena_[slot].tag;
+  fn();
+  // The callback may have cancelled its own series (or cleared the kernel);
+  // re-check before parking the callback back and re-arming.
+  Event& ev = arena_[slot];
+  if (ev.gen != gen || ev.state != State::kSeries) return;
+  ev.fn = std::move(fn);
+  arm_periodic(slot, gen, now_ + period, tag);
 }
 
 EventHandle Simulator::schedule_periodic(SimDuration initial_delay,
                                          SimDuration period, Callback fn,
                                          const char* tag) {
   if (period <= 0) throw std::invalid_argument("periodic event needs period > 0");
-  // One shared liveness flag governs the whole series; each firing re-arms
-  // the next occurrence under the same flag. The scheduled event holds `arm`
-  // strongly while `arm`'s own closure holds it weakly, so cancelling the
-  // series lets the whole chain be reclaimed. The per-firing events are
-  // detached (post_at): cancellation goes through the series flag alone.
-  auto series = std::make_shared<bool>(true);
-  auto arm = std::make_shared<std::function<void(SimTime)>>();
-  std::weak_ptr<std::function<void(SimTime)>> weak_arm = arm;
-  *arm = [this, period, tag, fn = std::move(fn), series,
-          weak_arm](SimTime when) {
-    auto strong = weak_arm.lock();
-    post_at(
-        when,
-        [this, period, fn, series, strong] {
-          if (!*series) return;
-          fn();
-          if (*series && strong) (*strong)(now_ + period);
-        },
-        tag);
-  };
-  (*arm)(now_ + (initial_delay < 0 ? 0 : initial_delay));
-  return EventHandle(std::move(series));
+  const std::uint32_t slot = alloc_slot();
+  Event& ev = arena_[slot];
+  ev.when = period;  // series slots park the period here (never heap-ordered)
+  ev.fn = std::move(fn);
+  ev.tag = tag;
+  ev.state = State::kSeries;
+  const std::uint32_t gen = ev.gen;
+  arm_periodic(slot, gen, now_ + (initial_delay < 0 ? 0 : initial_delay), tag);
+  return EventHandle(this, slot, gen);
 }
 
-bool Simulator::pop_one() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (ev.alive) {
-      if (!*ev.alive) {  // cancelled
-        if (trace_) {
-          trace_->record({now_, "cancel", ev.tag ? ev.tag : "", ev.seq, 0, 0, 0});
-        }
-        continue;
-      }
-      *ev.alive = false;  // fired
-    }
-    now_ = ev.when;
-    if (trace_) {
-      trace_->record({now_, "fire", ev.tag ? ev.tag : "", ev.seq, 0, 0, 0});
-    }
-    ev.fn();
-    ++processed_;
-    return true;
+void Simulator::reclaim_cancelled_top(const HeapEntry& top) {
+  if (trace_) {
+    const Event& ev = arena_[top.slot];
+    trace_->record({now_, "cancel", ev.tag ? ev.tag : "", top.seq, 0, 0, 0});
   }
-  return false;
+  heap_pop_min();
+  release_slot(top.slot);
+}
+
+void Simulator::fire_top(const HeapEntry& top) {
+  // Detach the callback and recycle the slot *before* invoking it: inside
+  // its own callback a handle reads invalid and cancel() is a no-op (the
+  // generation already moved on), and the callback is free to schedule new
+  // events even though that may reallocate the arena.
+  Event& ev = arena_[top.slot];
+  Callback fn = std::move(ev.fn);
+  const char* tag = ev.tag;
+  heap_pop_min();
+  release_slot(top.slot);
+  now_ = top.when;
+  if (trace_) {
+    trace_->record({now_, "fire", tag ? tag : "", top.seq, 0, 0, 0});
+  }
+  fn();
+  ++processed_;
 }
 
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled events cheaply without advancing the clock.
-    const Event& top = queue_.top();
-    if (top.alive && !*top.alive) {
-      if (trace_) {
-        trace_->record({now_, "cancel", top.tag ? top.tag : "", top.seq, 0, 0, 0});
-      }
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    // Skip cancelled events cheaply without advancing the clock (even past
+    // the horizon — reclamation is what empties the queue).
+    if (arena_[top.slot].state == State::kCancelled) {
+      reclaim_cancelled_top(top);
       continue;
     }
     if (top.when > until) break;
-    if (pop_one()) ++n;
+    fire_top(top);
+    ++n;
   }
   if (now_ < until) now_ = until;
   return n;
@@ -102,12 +177,26 @@ std::size_t Simulator::run_until(SimTime until) {
 
 std::size_t Simulator::run_all() {
   std::size_t n = 0;
-  while (pop_one()) ++n;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (arena_[top.slot].state == State::kCancelled) {
+      reclaim_cancelled_top(top);
+      continue;
+    }
+    fire_top(top);
+    ++n;
+  }
   return n;
 }
 
 void Simulator::clear() {
-  while (!queue_.empty()) queue_.pop();
+  for (const HeapEntry& e : heap_) release_slot(e.slot);
+  heap_.clear();
+  // Periodic series slots are parked outside the heap; invalidate them too
+  // so no orphaned handle can resurrect a series.
+  for (std::uint32_t i = 0; i < arena_.size(); ++i) {
+    if (arena_[i].state == State::kSeries) release_slot(i);
+  }
 }
 
 }  // namespace decentnet::sim

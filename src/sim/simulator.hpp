@@ -1,56 +1,81 @@
 // The discrete-event simulation kernel.
 //
-// A Simulator owns a priority queue of timestamped callbacks and a simulated
-// clock. Everything in decentnet — network delivery, protocol timers, churn,
-// mining — is expressed as events on one Simulator instance, which makes each
-// experiment single-threaded and bit-for-bit reproducible from its root seed.
+// A Simulator owns an indexed priority queue of timestamped callbacks and a
+// simulated clock. Everything in decentnet — network delivery, protocol
+// timers, churn, mining — is expressed as events on one Simulator instance,
+// which makes each experiment single-threaded and bit-for-bit reproducible
+// from its root seed.
+//
+// Hot-path design (this is the layer every experiment's scale is bounded by):
+//   * Callbacks are sim::InlineFn<64>: captures up to 64 bytes live inside
+//     the event slot itself (larger ones take a single boxed allocation), so
+//     neither post() nor schedule() allocates in steady state.
+//   * Events live in a slab arena recycled through a free list and are
+//     referenced by slot index; the ready queue is a 4-ary heap of small
+//     {when, seq, slot} entries, so sifting moves 24-byte records instead of
+//     whole events and keeps the (when, seq) FIFO tie-break exact.
+//   * EventHandle is a {slot, generation} ticket: cancellation flips the
+//     slot's state, validity compares generations — no shared_ptr, no
+//     allocation. Generations bump whenever a slot is released (fire,
+//     cancelled-event reclaim, clear()), so stale handles read as invalid.
 //
 // Two scheduling flavours exist:
 //   * schedule()/schedule_at()/schedule_periodic() return an EventHandle for
-//     later cancellation, which costs one shared_ptr<bool> allocation.
-//   * post()/post_at() are fire-and-forget: no cancellation flag, no
-//     allocation. Use them whenever the handle would be discarded — message
-//     delivery, one-shot continuations — they are the kernel's hot path.
+//     later cancellation.
+//   * post()/post_at() are fire-and-forget. Both flavours are now
+//     allocation-free; post() remains the idiomatic choice when the handle
+//     would be discarded.
+//
+// Lifetime: EventHandle does not own the kernel. Handles must not be used
+// after their Simulator is destroyed (every component in this repo holds a
+// reference to a Simulator that outlives it, so this is the natural order).
 //
 // An optional TraceSink observes every scheduled/fired/cancelled event; with
-// no sink installed the hooks cost a single predictable null test.
+// no sink installed the hooks cost a single predictable null test. Cancelled
+// events are reclaimed lazily — the "cancel" trace record is emitted when
+// the event would have fired, exactly as the original kernel did.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
 namespace decentnet::sim {
 
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-/// stays in the queue but its callback is dropped when it surfaces.
+class Simulator;
+
+/// Handle used to cancel a scheduled event (or a periodic series).
+/// Cheap to copy; all copies refer to the same event.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// True if the handle refers to an event that has not fired or been
-  /// cancelled (as of the last kernel interaction).
-  bool valid() const { return alive_ && *alive_; }
+  /// True if the handle refers to an event (or periodic series) that has not
+  /// fired or been cancelled. After Simulator::clear() all outstanding
+  /// handles report invalid.
+  bool valid() const;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  /// Cancel the event. Reclamation is lazy: the slot is recycled when the
+  /// event surfaces in the queue. Idempotent; no-op after firing.
+  void cancel();
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFn<64>;
 
   explicit Simulator(std::uint64_t seed = 0xDECE57ull) : rng_(seed) {}
 
@@ -79,8 +104,8 @@ class Simulator {
   EventHandle schedule_at(SimTime when, Callback fn,
                           const char* tag = nullptr);
 
-  /// Fire-and-forget variant of schedule(): no EventHandle, no cancellation
-  /// flag allocation. Prefer this when the handle would be discarded.
+  /// Fire-and-forget variant of schedule(): no EventHandle. Prefer this when
+  /// the handle would be discarded.
   void post(SimDuration delay, Callback fn, const char* tag = nullptr) {
     post_at(now_ + (delay < 0 ? 0 : delay), std::move(fn), tag);
   }
@@ -100,37 +125,92 @@ class Simulator {
   /// Run until the queue is empty (use with care: periodic timers never end).
   std::size_t run_all();
 
-  /// Drop every pending event.
+  /// Drop every pending event and periodic series. Outstanding EventHandles
+  /// become invalid (their slots' generations are bumped).
   void clear();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t total_events_processed() const { return processed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Callback fn;
-    std::shared_ptr<bool> alive;  // null for detached (post) events
-    const char* tag;              // trace category; may be null
+  friend class EventHandle;
+
+  enum class State : std::uint8_t {
+    kFree,       // on the free list
+    kPending,    // queued in the heap
+    kCancelled,  // queued but cancelled; reclaimed lazily when it surfaces
+    kSeries,     // periodic-series control slot (never in the heap)
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+  /// One slab slot. For kSeries slots, `fn` is the user callback, `when`
+  /// holds the period, and the slot is parked outside the heap while the
+  /// per-firing events (small {this, slot, gen} captures) reference it.
+  /// The FIFO tie-break sequence lives only in the HeapEntry — the slot
+  /// never needs it, and dropping it (plus InlineFn's pointer alignment)
+  /// keeps the slot at 96 bytes instead of 112.
+  struct Event {
+    SimTime when = 0;
+    const char* tag = nullptr;  // trace category; may be null
+    std::uint32_t gen = 0;
+    State state = State::kFree;
+    Callback fn;
+  };
+
+  /// Heap entry: the ordering key is copied next to the slot index so sift
+  /// comparisons never chase into the arena.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool before(const HeapEntry& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
     }
   };
 
-  void push_event(SimTime when, Callback fn, std::shared_ptr<bool> alive,
-                  const char* tag);
-  bool pop_one();
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  std::uint32_t push_event(SimTime when, Callback fn, const char* tag);
+  void heap_push(HeapEntry e);
+  void heap_pop_min();
+  void fire_top(const HeapEntry& top);
+  void reclaim_cancelled_top(const HeapEntry& top);
+  void arm_periodic(std::uint32_t slot, std::uint32_t gen, SimTime when,
+                    const char* tag);
+  void fire_periodic(std::uint32_t slot, std::uint32_t gen);
+
+  bool handle_valid(std::uint32_t slot, std::uint32_t gen) const {
+    if (slot >= arena_.size()) return false;
+    const Event& ev = arena_[slot];
+    return ev.gen == gen &&
+           (ev.state == State::kPending || ev.state == State::kSeries);
+  }
+  void handle_cancel(std::uint32_t slot, std::uint32_t gen) {
+    if (slot >= arena_.size()) return;
+    Event& ev = arena_[slot];
+    if (ev.gen != gen) return;
+    if (ev.state == State::kPending) {
+      ev.state = State::kCancelled;  // heap still references it: lazy reclaim
+    } else if (ev.state == State::kSeries) {
+      release_slot(slot);  // nothing queued references series slots
+    }
+  }
 
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   Rng rng_;
   TraceSink* trace_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> arena_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap over (when, seq)
 };
+
+inline bool EventHandle::valid() const {
+  return sim_ != nullptr && sim_->handle_valid(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->handle_cancel(slot_, gen_);
+}
 
 }  // namespace decentnet::sim

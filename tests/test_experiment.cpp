@@ -1,13 +1,20 @@
 // ExperimentHarness tests: CLI parsing, Value rendering, the JSON artifact
-// shape, timing-cell exclusion, and seed derivation.
+// shape, timing-cell exclusion, seed derivation, and the run_points()
+// parallel replication contract (deterministic merge order, metric merging,
+// --jobs-independent artifacts, exception propagation).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
 
 namespace ds = decentnet::sim;
 
@@ -171,6 +178,125 @@ TEST(ExperimentHarness, TraceSinkInstalledOnlyWhenRequested) {
     ex.simulator().run_all();
   }
   std::remove("unit_trace_tmp.jsonl");
+}
+
+TEST(ExperimentCli, ParsesJobs) {
+  bool ok = false;
+  ds::ExperimentOptions opts = parse({"--jobs", "4"}, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(opts.jobs, 4u);
+  parse({"--jobs", "0"}, &ok);
+  EXPECT_FALSE(ok);
+  parse({"--jobs", "nope"}, &ok);
+  EXPECT_FALSE(ok);
+}
+
+namespace {
+
+// A sweep whose per-point work is deliberately scheduled to finish out of
+// order under parallelism: point 0 sleeps longest, point N-1 not at all.
+std::string run_point_sweep(std::size_t jobs) {
+  ds::ExperimentOptions opts;
+  opts.seed = 9;
+  opts.jobs = jobs;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_points", opts);
+  const std::size_t kPoints = 6;
+  ex.run_points(kPoints, [&](ds::PointScope& scope) {
+    if (jobs > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(5 * (kPoints - scope.index())));
+    }
+    // Each point drives its own kernel, seeded off the root seed exactly as
+    // the migrated benches do.
+    ds::Simulator simu(scope.root_seed() + scope.index());
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10; ++i) {
+      simu.post(ds::millis(i), [&fired] { ++fired; });
+    }
+    simu.run_all();
+    scope.metrics().counter("pt/fired").add(fired);
+    scope.add_row({{"point", std::uint64_t{scope.index()}},
+                   {"fired", std::uint64_t{fired}},
+                   {"seed", std::uint64_t{scope.seed()}}});
+  });
+  return ex.to_json();
+}
+
+}  // namespace
+
+TEST(ExperimentRunPoints, RowsMergeInIndexOrderRegardlessOfJobs) {
+  const std::string sequential = run_point_sweep(1);
+  const std::string parallel = run_point_sweep(4);
+  EXPECT_EQ(sequential, parallel);  // byte-identical artifact
+  // Rows really are in index order.
+  std::size_t pos = 0;
+  for (std::uint64_t p = 0; p < 6; ++p) {
+    const auto at =
+        sequential.find("\"point\": " + std::to_string(p), pos);
+    ASSERT_NE(at, std::string::npos) << "missing point " << p;
+    pos = at;
+  }
+  // Point-private counters merged into the harness registry.
+  EXPECT_NE(sequential.find("\"pt/fired\":60"), std::string::npos);
+}
+
+TEST(ExperimentRunPoints, PointSeedsAreDerivedFromRootSeed) {
+  ds::ExperimentOptions opts;
+  opts.seed = 21;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_point_seeds", opts);
+  std::vector<std::uint64_t> seeds;
+  ex.run_points(3, [&](ds::PointScope& scope) {
+    EXPECT_EQ(scope.root_seed(), 21u);
+    seeds.push_back(scope.seed());
+  });
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], ex.seed_for(0));
+  EXPECT_EQ(seeds[1], ex.seed_for(1));
+  EXPECT_EQ(seeds[2], ex.seed_for(2));
+  EXPECT_NE(seeds[0], seeds[1]);
+}
+
+TEST(ExperimentRunPoints, TracingForcesSequentialExecution) {
+  ds::ExperimentOptions opts;
+  opts.jobs = 8;
+  opts.quiet = true;
+  opts.emit_json = false;
+  opts.trace_path = "unit_points_trace_tmp.jsonl";
+  ds::ExperimentHarness ex("unit_points_trace", opts);
+  EXPECT_EQ(ex.effective_jobs(), 1u);
+  ex.run_points(2, [&](ds::PointScope& scope) {
+    EXPECT_NE(scope.trace(), nullptr);
+  });
+  std::remove("unit_points_trace_tmp.jsonl");
+}
+
+TEST(ExperimentRunPoints, LowestIndexExceptionWinsAcrossWorkers) {
+  ds::ExperimentOptions opts;
+  opts.jobs = 4;
+  opts.quiet = true;
+  opts.emit_json = false;
+  ds::ExperimentHarness ex("unit_points_throw", opts);
+  std::atomic<int> started{0};
+  try {
+    ex.run_points(6, [&](ds::PointScope& scope) {
+      started.fetch_add(1);
+      if (scope.index() == 1) throw std::runtime_error("point-1");
+      if (scope.index() == 3) {
+        // Give point 1 time to throw first so both failures are in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        throw std::runtime_error("point-3");
+      }
+    });
+    FAIL() << "expected run_points to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "point-1");
+  }
+  EXPECT_GE(started.load(), 2);
+  EXPECT_EQ(ex.row_count(), 0u);  // failed sweep merges nothing
 }
 
 TEST(ExperimentHarness, FinishIsIdempotentAndReturnsZero) {

@@ -1,17 +1,24 @@
-// Kernel tests: event ordering, periodic timers, cancellation, RNG
-// determinism and distribution sanity, histogram percentiles, and the
-// decentralization statistics.
+// Kernel tests: event ordering, periodic timers, cancellation, handle
+// generations, trace parity with the original kernel, RNG determinism and
+// distribution sanity, histogram percentiles, and the decentralization
+// statistics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <functional>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/table.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace ds = decentnet::sim;
 
@@ -94,6 +101,192 @@ TEST(Simulator, NegativeDelayClampsToNow) {
   sim.run_all();
   EXPECT_TRUE(fired);
   EXPECT_EQ(sim.now(), ds::seconds(1));
+}
+
+TEST(Simulator, SameTimeFifoAcrossTenThousandEvents) {
+  // The slab + indexed-heap kernel must keep the (when, seq) FIFO contract
+  // exact at scale, including when same-time events are interleaved with
+  // earlier and later ones.
+  ds::Simulator sim;
+  std::vector<int> order;
+  order.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    sim.post(ds::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  ASSERT_EQ(order.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CancelInsideCallbackPreventsLaterEvent) {
+  ds::Simulator sim;
+  int fired = 0;
+  auto victim = sim.schedule(ds::millis(20), [&] { ++fired; });
+  sim.schedule(ds::millis(10), [&] {
+    EXPECT_TRUE(victim.valid());
+    victim.cancel();
+    EXPECT_FALSE(victim.valid());
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelOwnEventInsideItsCallbackIsNoOp) {
+  // By the time the callback runs, the event's slot has been recycled: the
+  // handle reads invalid and cancel() must not disturb whatever event may
+  // have taken the slot.
+  ds::Simulator sim;
+  ds::EventHandle self;
+  bool ran = false, later_ran = false;
+  self = sim.schedule(ds::millis(1), [&] {
+    ran = true;
+    EXPECT_FALSE(self.valid());
+    // Reuse the freed slot immediately, then try the stale cancel.
+    sim.schedule(ds::millis(1), [&] { later_ran = true; });
+    self.cancel();
+  });
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(later_ran);  // the stale handle must not have cancelled it
+}
+
+TEST(Simulator, PeriodicSelfCancelStopsTheSeries) {
+  ds::Simulator sim;
+  int fired = 0;
+  ds::EventHandle series;
+  series = sim.schedule_periodic(ds::seconds(1), ds::seconds(1), [&] {
+    if (++fired == 3) series.cancel();
+  });
+  sim.run_until(ds::seconds(30));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(series.valid());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ClearInvalidatesOutstandingHandles) {
+  // Regression: with the shared_ptr kernel, clear() dropped the queue but
+  // left alive-flags set, so stale handles kept reporting valid. Slot
+  // generations bump on clear, so every outstanding handle reads invalid.
+  ds::Simulator sim;
+  int fired = 0;
+  auto one_shot = sim.schedule(ds::seconds(1), [&] { ++fired; });
+  auto periodic =
+      sim.schedule_periodic(ds::seconds(1), ds::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(one_shot.valid());
+  EXPECT_TRUE(periodic.valid());
+  sim.clear();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(one_shot.valid());
+  EXPECT_FALSE(periodic.valid());
+  // Stale cancels must not disturb new events that reuse the slots.
+  bool survivor_ran = false;
+  sim.schedule(ds::seconds(1), [&] { survivor_ran = true; });
+  one_shot.cancel();
+  periodic.cancel();
+  sim.run_until(ds::seconds(5));
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, HandleStaysInvalidWhenSlotIsReused) {
+  ds::Simulator sim;
+  int first = 0, second = 0;
+  auto h = sim.schedule(ds::millis(1), [&] { ++first; });
+  sim.run_all();
+  EXPECT_EQ(first, 1);
+  EXPECT_FALSE(h.valid());
+  // The new event recycles the fired event's slot; the stale handle must
+  // neither validate nor cancel it.
+  auto h2 = sim.schedule(ds::millis(1), [&] { ++second; });
+  EXPECT_FALSE(h.valid());
+  h.cancel();
+  EXPECT_TRUE(h2.valid());
+  sim.run_all();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFn, InlineAndBoxedCapturesBothInvoke) {
+  int hits = 0;
+  ds::InlineFn<64> small([&hits] { ++hits; });
+  small();
+  EXPECT_EQ(hits, 1);
+  // Oversized capture: takes the heap-fallback path, must still work and
+  // destroy cleanly.
+  std::array<char, 200> big{};
+  big[0] = 7;
+  ds::InlineFn<64> boxed([big, &hits] { hits += big[0]; });
+  boxed();
+  EXPECT_EQ(hits, 8);
+  // Move transfers the callable; the source becomes empty.
+  ds::InlineFn<64> moved(std::move(boxed));
+  moved();
+  EXPECT_EQ(hits, 15);
+  EXPECT_FALSE(static_cast<bool>(boxed));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Simulator, TraceMatchesSeedKernelGolden) {
+  // The JSONL below was captured from the pre-slab (shared_ptr +
+  // std::priority_queue) kernel running this exact scenario. The rewritten
+  // kernel must emit identical sched/fire/cancel records: same seq
+  // numbering, same FIFO order, and the same lazy-cancel reclamation points
+  // (a cancelled event is traced when it surfaces, even one parked beyond
+  // the run_until horizon).
+  static const char* kGolden =
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"a\",\"id\":0,\"a\":10000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"b\",\"id\":1,\"a\":5000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"c\",\"id\":2,\"a\":7000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"d\",\"id\":3,\"a\":20000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"e\",\"id\":4,\"a\":8000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"f\",\"id\":5,\"a\":12000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"f\",\"id\":6,\"a\":12000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"f\",\"id\":7,\"a\":12000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"f\",\"id\":8,\"a\":12000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"p\",\"id\":9,\"a\":3000}\n"
+      "{\"t\":0,\"kind\":\"sched\",\"tag\":\"g\",\"id\":10,\"a\":60000}\n"
+      "{\"t\":3000,\"kind\":\"fire\",\"tag\":\"p\",\"id\":9}\n"
+      "{\"t\":3000,\"kind\":\"sched\",\"tag\":\"p\",\"id\":11,\"a\":7000}\n"
+      "{\"t\":5000,\"kind\":\"fire\",\"tag\":\"b\",\"id\":1}\n"
+      "{\"t\":5000,\"kind\":\"cancel\",\"tag\":\"c\",\"id\":2}\n"
+      "{\"t\":7000,\"kind\":\"fire\",\"tag\":\"p\",\"id\":11}\n"
+      "{\"t\":7000,\"kind\":\"sched\",\"tag\":\"p\",\"id\":12,\"a\":11000}\n"
+      "{\"t\":8000,\"kind\":\"fire\",\"tag\":\"e\",\"id\":4}\n"
+      "{\"t\":10000,\"kind\":\"fire\",\"tag\":\"a\",\"id\":0}\n"
+      "{\"t\":11000,\"kind\":\"fire\",\"tag\":\"p\",\"id\":12}\n"
+      "{\"t\":12000,\"kind\":\"fire\",\"tag\":\"f\",\"id\":5}\n"
+      "{\"t\":12000,\"kind\":\"fire\",\"tag\":\"f\",\"id\":6}\n"
+      "{\"t\":12000,\"kind\":\"fire\",\"tag\":\"f\",\"id\":7}\n"
+      "{\"t\":12000,\"kind\":\"fire\",\"tag\":\"f\",\"id\":8}\n"
+      "{\"t\":12000,\"kind\":\"cancel\",\"tag\":\"d\",\"id\":3}\n"
+      "{\"t\":12000,\"kind\":\"cancel\",\"tag\":\"g\",\"id\":10}\n";
+
+  std::ostringstream out;
+  ds::JsonlTraceSink sink(out);
+  ds::Simulator sim;
+  sim.set_trace(&sink);
+
+  int fired = 0;
+  auto h1 = sim.schedule(ds::millis(10), [&] { ++fired; }, "a");
+  (void)h1;
+  sim.post(ds::millis(5), [&] { ++fired; }, "b");
+  auto h2 = sim.schedule(ds::millis(7), [&] { ++fired; }, "c");
+  h2.cancel();
+  ds::EventHandle h3 = sim.schedule(ds::millis(20), [&] { ++fired; }, "d");
+  sim.schedule(ds::millis(8), [&h3] { h3.cancel(); }, "e");
+  for (int i = 0; i < 4; ++i) {
+    sim.post(ds::millis(12), [&] { ++fired; }, "f");
+  }
+  int pcount = 0;
+  ds::EventHandle p;
+  p = sim.schedule_periodic(ds::millis(3), ds::millis(4),
+                            [&] {
+                              if (++pcount == 3) p.cancel();
+                            },
+                            "p");
+  auto h4 = sim.schedule(ds::millis(60), [&] { ++fired; }, "g");
+  h4.cancel();
+  sim.run_until(ds::millis(50));
+
+  EXPECT_EQ(out.str(), kGolden);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
