@@ -48,6 +48,27 @@ void PbftReplica::set_group(std::vector<net::NodeId> replicas) {
   group_ = std::move(replicas);
 }
 
+void PbftReplica::crash() {
+  crashed_ = true;
+  batch_timer_.cancel();
+  view_timer_.cancel();
+}
+
+void PbftReplica::recover() {
+  crashed_ = false;
+  if (has_pending_work()) arm_view_timer();
+}
+
+bool PbftReplica::has_pending_work() const {
+  if (!pending_.empty() || !forwarded_.empty()) return true;
+  for (const auto& [key, s] : slots_) {
+    if (key.second > executed_seq_ && s.pre_prepare && !s.executed) {
+      return true;
+    }
+  }
+  return false;
+}
+
 template <typename M>
 void PbftReplica::multicast(const M& m, std::size_t bytes) {
   for (std::size_t i = 0; i < group_.size(); ++i) {
@@ -115,6 +136,10 @@ void PbftReplica::flush_batch() {
   SlotState& s = slot(pp.view, pp.seq);
   s.pre_prepare = pp;
   try_prepare(pp.seq);
+  // The primary watches its own batch too: if it is cut off from its
+  // backups (a partition rather than a crash), this times out and it joins
+  // the view change instead of staying primary of a dead view forever.
+  arm_view_timer();
   if (!pending_.empty()) {
     batch_timer_ = sim_.schedule(
         config_.batch_delay, [this] {
@@ -145,6 +170,13 @@ void PbftReplica::try_commit(std::uint64_t seq) {
     s.committed = true;
     committed_ready_[seq] = view_;
     execute_ready();
+    // Committed slots stuck behind sequences we never saw (we were crashed
+    // or cut off while the others kept going) need state transfer, not
+    // patience.
+    if (!committed_ready_.empty() &&
+        committed_ready_.begin()->first > executed_seq_ + 1) {
+      request_sync();
+    }
   }
 }
 
@@ -160,6 +192,8 @@ void PbftReplica::execute_ready() {
     s.executed = true;
     ++executed_seq_;
     m_batches_executed_.add();
+    // Retained to serve state-transfer requests (in lieu of checkpoints).
+    executed_batches_[executed_seq_] = s.pre_prepare->batch;
     view_timer_.cancel();  // progress: the primary is alive
     for (const Command& cmd : s.pre_prepare->batch) {
       const auto key = std::make_pair(cmd.client, cmd.id);
@@ -176,6 +210,9 @@ void PbftReplica::execute_ready() {
     }
     committed_ready_.erase(it);
   }
+  // Progress resets suspicion, but unfinished slots / stranded requests
+  // keep the deadline armed so a primary that stops mid-stream is caught.
+  if (has_pending_work()) arm_view_timer();
 }
 
 void PbftReplica::arm_view_timer() {
@@ -188,8 +225,10 @@ void PbftReplica::arm_view_timer() {
 }
 
 void PbftReplica::start_view_change() {
-  const std::uint64_t target = view_ + 1;
-  if (pending_view_ >= target) return;
+  // Escalate past a view change that itself stalled (the target primary may
+  // also be down or cut off): each call targets one view beyond whatever we
+  // already voted for.
+  const std::uint64_t target = std::max(view_ + 1, pending_view_ + 1);
   pending_view_ = target;
   m_view_changes_.add();
   pm::ViewChange vc;
@@ -207,7 +246,10 @@ void PbftReplica::start_view_change() {
     view_change_preps_[target].push_back(pp);
   }
   multicast(vc, config_.message_bytes + 64 * vc.prepared.size());
-  // Keep escalating if this view change also stalls.
+  // Keep escalating if this view change also stalls. Cancel first: a still-
+  // armed suspicion timer must not fire on top of the escalation timer (each
+  // fire now advances the target view).
+  view_timer_.cancel();
   view_timer_ = sim_.schedule(
       config_.view_change_timeout * 2, [this] {
         if (!crashed_) start_view_change();
@@ -238,12 +280,67 @@ void PbftReplica::enter_new_view(
     try_prepare(adopted.seq);
   }
   next_seq_ = max_seq + 1;
-  // Re-drive requests that were stranded at the faulty primary.
-  const auto stranded = forwarded_;
+  // Remember the installed view so peers still talking in an older one (a
+  // healed ex-primary) can be brought forward on first contact.
+  last_new_view_ = pm::NewView{view_, reproposals};
+  // Re-drive requests that were stranded at the faulty primary — including
+  // a demoted primary's own batching queue, which would otherwise sit in
+  // pending_ forever now that flush_batch() refuses to propose.
+  auto stranded = std::move(forwarded_);
   forwarded_.clear();
+  for (const Command& cmd : pending_) {
+    stranded.emplace(std::make_pair(cmd.client, cmd.id), cmd);
+  }
+  pending_.clear();
+  seen_pending_.clear();
+  batch_timer_.cancel();
   for (const auto& [key, cmd] : stranded) {
     on_request(cmd);
   }
+  // We may have been out for a while (the very reason for the view change):
+  // ask the group for executed batches we missed.
+  request_sync();
+}
+
+void PbftReplica::request_sync() {
+  const std::uint64_t need = executed_seq_ + 1;
+  if (sync_requested_for_ == need &&
+      sim_.now() - sync_requested_at_ < config_.view_change_timeout) {
+    return;
+  }
+  sync_requested_for_ = need;
+  sync_requested_at_ = sim_.now();
+  multicast(pm::SyncRequest{need, index_}, config_.message_bytes);
+}
+
+void PbftReplica::apply_synced(std::uint64_t seq,
+                               const std::vector<Command>& batch) {
+  executed_seq_ = seq;
+  m_batches_executed_.add();
+  executed_batches_[seq] = batch;
+  committed_ready_.erase(seq);
+  for (const Command& cmd : batch) {
+    const auto key = std::make_pair(cmd.client, cmd.id);
+    forwarded_.erase(key);
+    if (!executed_cmds_.insert(key).second) continue;
+    m_commands_executed_.add();
+    if (commit_hook_) commit_hook_(executed_seq_, cmd);
+    const auto client = client_addrs_.find(cmd.client);
+    if (client != client_addrs_.end()) {
+      net_.send(addr_, client->second,
+                pm::Reply{view_, cmd.id, cmd.client, index_},
+                config_.message_bytes);
+    }
+  }
+}
+
+void PbftReplica::maybe_resync(net::NodeId peer, std::uint64_t their_view) {
+  if (!last_new_view_ || last_new_view_->view <= their_view) return;
+  std::uint64_t& sent = resync_sent_[peer.value];
+  if (sent >= last_new_view_->view) return;  // once per peer per view
+  sent = last_new_view_->view;
+  net_.send(addr_, peer, *last_new_view_,
+            config_.message_bytes + 64 * last_new_view_->reproposals.size());
 }
 
 void PbftReplica::handle_message(const net::Message& msg) {
@@ -262,7 +359,10 @@ void PbftReplica::handle_message(const net::Message& msg) {
   }
   if (msg.is<pm::PrePrepare>()) {
     const auto& pp = net::payload_as<pm::PrePrepare>(msg);
-    if (pp.view != view_) return;
+    if (pp.view != view_) {
+      if (pp.view < view_) maybe_resync(msg.from, pp.view);
+      return;
+    }
     if (is_primary()) return;  // only the primary issues pre-prepares
     if (!(batch_digest(pp.batch) == pp.digest)) return;
     SlotState& s = slot(pp.view, pp.seq);
@@ -277,7 +377,10 @@ void PbftReplica::handle_message(const net::Message& msg) {
   }
   if (msg.is<pm::Prepare>()) {
     const auto& p = net::payload_as<pm::Prepare>(msg);
-    if (p.view != view_) return;
+    if (p.view != view_) {
+      if (p.view < view_) maybe_resync(msg.from, p.view);
+      return;
+    }
     SlotState& s = slot(p.view, p.seq);
     if (s.pre_prepare && !(s.pre_prepare->digest == p.digest)) return;
     s.prepares.insert(p.replica);
@@ -286,7 +389,10 @@ void PbftReplica::handle_message(const net::Message& msg) {
   }
   if (msg.is<pm::Commit>()) {
     const auto& c = net::payload_as<pm::Commit>(msg);
-    if (c.view != view_) return;
+    if (c.view != view_) {
+      if (c.view < view_) maybe_resync(msg.from, c.view);
+      return;
+    }
     SlotState& s = slot(c.view, c.seq);
     if (s.pre_prepare && !(s.pre_prepare->digest == c.digest)) return;
     s.commits.insert(c.replica);
@@ -295,7 +401,12 @@ void PbftReplica::handle_message(const net::Message& msg) {
   }
   if (msg.is<pm::ViewChange>()) {
     const auto& vc = net::payload_as<pm::ViewChange>(msg);
-    if (vc.new_view <= view_) return;
+    if (vc.new_view <= view_) {
+      // The sender is behind us (asking for a view we already passed):
+      // bring it forward instead of silently dropping its vote.
+      maybe_resync(msg.from, vc.new_view - 1);
+      return;
+    }
     auto& votes = view_change_votes_[vc.new_view];
     if (!votes.insert(vc.replica).second) return;
     auto& preps = view_change_preps_[vc.new_view];
@@ -327,6 +438,70 @@ void PbftReplica::handle_message(const net::Message& msg) {
     const auto& nv = net::payload_as<pm::NewView>(msg);
     if (nv.view % group_.size() == index_) return;  // we'd have sent it
     enter_new_view(nv.view, nv.reproposals);
+    return;
+  }
+  if (msg.is<pm::SyncRequest>()) {
+    const auto& sr = net::payload_as<pm::SyncRequest>(msg);
+    if (sr.from_seq > executed_seq_) return;  // nothing to offer
+    pm::SyncReply reply;
+    reply.replica = index_;
+    std::size_t bytes = config_.message_bytes;
+    for (std::uint64_t s = sr.from_seq; s <= executed_seq_; ++s) {
+      const auto it = executed_batches_.find(s);
+      if (it == executed_batches_.end()) continue;  // synced gaps re-filled it
+      reply.entries.push_back({s, it->second});
+      bytes += config_.message_bytes + batch_bytes(it->second);
+    }
+    if (!reply.entries.empty()) {
+      net_.send(addr_, msg.from, std::move(reply), bytes);
+    }
+    return;
+  }
+  if (msg.is<pm::SyncReply>()) {
+    const auto& sr = net::payload_as<pm::SyncReply>(msg);
+    for (const auto& e : sr.entries) {
+      if (e.seq <= executed_seq_) continue;
+      auto& candidates = sync_state_[e.seq];
+      const crypto::Hash256 digest = batch_digest(e.batch);
+      SyncCandidate* cand = nullptr;
+      for (auto& c : candidates) {
+        if (c.digest == digest) {
+          cand = &c;
+          break;
+        }
+      }
+      if (cand == nullptr) {
+        candidates.push_back(SyncCandidate{digest, e.batch, {}});
+        cand = &candidates.back();
+      }
+      cand->votes.insert(sr.replica);
+    }
+    // Execute contiguously from the gap, each batch gated on f+1 matching
+    // vouchers (one reply could be from a byzantine peer).
+    bool advanced = false;
+    for (;;) {
+      const auto it = sync_state_.find(executed_seq_ + 1);
+      if (it == sync_state_.end()) break;
+      const SyncCandidate* chosen = nullptr;
+      for (const auto& c : it->second) {
+        if (c.votes.size() >= config_.f + 1) {
+          chosen = &c;
+          break;
+        }
+      }
+      if (chosen == nullptr) break;
+      const std::vector<Command> batch = chosen->batch;  // erase invalidates
+      sync_state_.erase(it);
+      apply_synced(executed_seq_ + 1, batch);
+      advanced = true;
+    }
+    if (advanced) {
+      execute_ready();  // drain commits that were stuck behind the gap
+      if (!committed_ready_.empty() &&
+          committed_ready_.begin()->first > executed_seq_ + 1) {
+        request_sync();
+      }
+    }
     return;
   }
 }

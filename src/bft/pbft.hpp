@@ -72,6 +72,22 @@ struct NewView {
   std::uint64_t view;
   std::vector<PrePrepare> reproposals;
 };
+// State transfer (checkpoint sync, simplified): a replica that detects an
+// execution gap — it missed committed sequences while crashed or cut off —
+// asks its peers for the executed batches and applies any batch vouched for
+// by f+1 matching replies.
+struct SyncRequest {
+  std::uint64_t from_seq;  // first missing sequence
+  std::size_t replica;
+};
+struct SyncEntry {
+  std::uint64_t seq;
+  std::vector<Command> batch;
+};
+struct SyncReply {
+  std::size_t replica;
+  std::vector<SyncEntry> entries;
+};
 }  // namespace pbft_msg
 
 class PbftReplica final : public net::Host {
@@ -96,9 +112,11 @@ class PbftReplica final : public net::Host {
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   /// Crash-stop (for fault-injection tests). A crashed replica ignores all
-  /// traffic and sends nothing.
-  void crash() { crashed_ = true; }
-  void recover() { crashed_ = false; }
+  /// traffic, sends nothing, and cancels its timers so the event queue
+  /// carries no trace of it while down.
+  void crash();
+  /// Un-crash; re-arms the suspicion timer if work was left unfinished.
+  void recover();
   bool crashed() const { return crashed_; }
 
   void handle_message(const net::Message& msg) override;
@@ -124,8 +142,12 @@ class PbftReplica final : public net::Host {
   void try_prepare(std::uint64_t seq);
   void try_commit(std::uint64_t seq);
   void execute_ready();
+  bool has_pending_work() const;
   void arm_view_timer();
   void start_view_change();
+  void maybe_resync(net::NodeId peer, std::uint64_t their_view);
+  void request_sync();
+  void apply_synced(std::uint64_t seq, const std::vector<Command>& batch);
   void enter_new_view(std::uint64_t view,
                       const std::vector<pbft_msg::PrePrepare>& reproposals);
   SlotState& slot(std::uint64_t view, std::uint64_t seq);
@@ -166,6 +188,24 @@ class PbftReplica final : public net::Host {
   std::uint64_t pending_view_ = 0;
   std::map<std::uint64_t, std::set<std::size_t>> view_change_votes_;
   std::map<std::uint64_t, std::vector<pbft_msg::PrePrepare>> view_change_preps_;
+  // The latest NewView this replica installed, kept so peers still talking
+  // in an older view (a healed ex-primary after a partition) can be brought
+  // forward; resync_sent_ dedups the re-send per peer per view.
+  std::optional<pbft_msg::NewView> last_new_view_;
+  std::unordered_map<std::uint64_t, std::uint64_t> resync_sent_;
+
+  // State-transfer state: per missing sequence, the candidate batches peers
+  // vouched for (a batch executes once f+1 distinct replicas sent the same
+  // digest). The request is rate-limited: at most one per gap position per
+  // view-change-timeout, so commit storms don't multiply it.
+  struct SyncCandidate {
+    crypto::Hash256 digest;
+    std::vector<Command> batch;
+    std::set<std::size_t> votes;
+  };
+  std::map<std::uint64_t, std::vector<SyncCandidate>> sync_state_;
+  std::uint64_t sync_requested_for_ = 0;
+  sim::SimTime sync_requested_at_ = 0;
 
   CommitHook commit_hook_;
 };

@@ -33,8 +33,15 @@ void RaftNode::start() { reset_election_timer(); }
 
 void RaftNode::reset_election_timer() {
   election_timer_.cancel();
+  // Backoff widens only the window's upper edge; the minimum stays put so a
+  // backed-off node still reacts promptly once heartbeats resume.
+  const std::uint64_t widen =
+      std::min<std::uint64_t>(std::uint64_t{1} << election_backoff_, 8);
+  const sim::SimDuration span =
+      (config_.election_timeout_max - config_.election_timeout_min) *
+      static_cast<sim::SimDuration>(widen);
   const sim::SimDuration timeout = rng_.uniform_int(
-      config_.election_timeout_min, config_.election_timeout_max);
+      config_.election_timeout_min, config_.election_timeout_min + span);
   election_timer_ = sim_.schedule(
       timeout, [this] {
         if (!crashed_ && role_ != Role::Leader) become_candidate();
@@ -48,11 +55,15 @@ void RaftNode::become_follower(std::uint64_t term) {
     voted_for_.reset();
   }
   role_ = Role::Follower;
+  election_backoff_ = 0;
   heartbeat_timer_.cancel();
   reset_election_timer();
 }
 
 void RaftNode::become_candidate() {
+  // A candidacy that times out into another candidacy made no progress:
+  // back off so isolated or split-vote nodes stop thrashing terms.
+  if (role_ == Role::Candidate && election_backoff_ < 3) ++election_backoff_;
   role_ = Role::Candidate;
   m_elections_.add();
   ++term_;
@@ -68,6 +79,7 @@ void RaftNode::become_candidate() {
 
 void RaftNode::become_leader() {
   role_ = Role::Leader;
+  election_backoff_ = 0;
   m_leader_changes_.add();
   election_timer_.cancel();
   next_index_.assign(group_.size(), log_.size() + 1);
@@ -164,6 +176,7 @@ void RaftNode::restart() {
   // Volatile state resets; persistent state (term, vote, log) survives.
   role_ = Role::Follower;
   votes_ = 0;
+  election_backoff_ = 0;
   commit_index_ = std::min<std::uint64_t>(commit_index_, log_.size());
   net_.attach(addr_, this);
   reset_election_timer();

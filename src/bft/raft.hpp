@@ -145,6 +145,11 @@ class RaftNode final : public net::Host {
 
   // Candidate state.
   std::size_t votes_ = 0;
+  // Split-vote backoff: each candidacy that times out without resolution
+  // doubles the randomized-timeout window (capped at 8x), de-synchronizing
+  // repeat candidates under partitions; any progress (a leader heard from,
+  // an election won) resets it.
+  std::uint32_t election_backoff_ = 0;
 
   sim::EventHandle election_timer_;
   sim::EventHandle heartbeat_timer_;

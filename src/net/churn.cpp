@@ -33,9 +33,12 @@ ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t n,
       go_online_(std::move(go_online)),
       go_offline_(std::move(go_offline)),
       rng_(sim.rng().fork(0xC4324E)),
-      online_(n, false) {}
+      online_(n, false),
+      pending_(n) {}
 
 void ChurnDriver::start() {
+  started_ = true;
+  stopped_ = false;
   for (std::size_t i = 0; i < online_.size(); ++i) {
     if (rng_.chance(config_.initially_online)) {
       online_[i] = true;
@@ -46,16 +49,22 @@ void ChurnDriver::start() {
   }
 }
 
-void ChurnDriver::stop() { stopped_ = true; }
+void ChurnDriver::stop() {
+  stopped_ = true;
+  for (sim::EventHandle& h : pending_) h.cancel();
+}
+
+void ChurnDriver::restart() {
+  if (!started_ || !stopped_) return;
+  stopped_ = false;
+  for (std::size_t i = 0; i < online_.size(); ++i) schedule_next(i);
+}
 
 void ChurnDriver::schedule_next(std::size_t peer_index) {
   const DurationDist& dist =
       online_[peer_index] ? config_.session : config_.downtime;
-  sim_.post(
-      dist.sample(rng_),
-      [this, peer_index] {
-        if (!stopped_) transition(peer_index);
-      },
+  pending_[peer_index] = sim_.schedule(
+      dist.sample(rng_), [this, peer_index] { transition(peer_index); },
       "churn/transition");
 }
 

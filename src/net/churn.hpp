@@ -65,11 +65,23 @@ class ChurnDriver {
   /// Start the alternating session/downtime schedule for every peer.
   void start();
 
-  /// Stop scheduling further transitions (in-flight states remain).
+  /// Pause churn: cancel every outstanding scheduled transition. Peers keep
+  /// their current online/offline state; no further hooks fire until
+  /// restart(). Cancelling (rather than letting stale events no-op) keeps
+  /// pause/resume deterministic — the event queue holds no churn events at
+  /// all while stopped, so an intervening run drains identically whether or
+  /// not churn ever existed.
   void stop();
+
+  /// Resume churn after stop(): re-schedule a transition for every peer from
+  /// its current state. Fresh durations are drawn from the driver's own rng
+  /// stream, so a stop()/restart() pair is itself deterministic under the
+  /// same seed. No-op while running.
+  void restart();
 
   bool is_online(std::size_t peer_index) const { return online_[peer_index]; }
   std::size_t online_count() const { return online_count_; }
+  bool stopped() const { return stopped_; }
 
  private:
   void schedule_next(std::size_t peer_index);
@@ -81,7 +93,9 @@ class ChurnDriver {
   Hook go_offline_;
   sim::Rng rng_;
   std::vector<bool> online_;
+  std::vector<sim::EventHandle> pending_;  // per-peer outstanding transition
   std::size_t online_count_ = 0;
+  bool started_ = false;
   bool stopped_ = false;
 };
 

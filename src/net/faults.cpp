@@ -1,0 +1,246 @@
+#include "net/faults.hpp"
+
+namespace decentnet::net {
+
+// ---------------------------------------------------------------------------
+// FaultPlan builders
+// ---------------------------------------------------------------------------
+
+FaultPlan& FaultPlan::partition(
+    sim::SimTime at, std::string name,
+    std::vector<std::unordered_set<std::uint64_t>> groups,
+    sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::Partition;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.name = std::move(name);
+  ev.groups = std::move(groups);
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::SimTime at, std::size_t node) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::Crash;
+  ev.at = at;
+  ev.node = node;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(sim::SimTime at, std::size_t node) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::Restart;
+  ev.at = at;
+  ev.node = node;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_penalty(sim::SimTime at, std::size_t node,
+                                      sim::SimDuration extra,
+                                      sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::LatencyPenalty;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.node = node;
+  ev.duration = extra;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::bandwidth_degrade(sim::SimTime at, std::size_t node,
+                                        double factor, sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::BandwidthDegrade;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.node = node;
+  ev.value = factor;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_burst(sim::SimTime at, double p,
+                                 sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::LossBurst;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.value = p;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_window(sim::SimTime at, double p,
+                                       sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::DuplicateWindow;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.value = p;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_window(sim::SimTime at, sim::SimDuration jitter,
+                                     sim::SimTime heal_at) {
+  FaultEvent ev;
+  ev.kind = FaultEvent::Kind::ReorderWindow;
+  ev.at = at;
+  ev.heal_at = heal_at;
+  ev.duration = jitter;
+  events_.push_back(std::move(ev));
+  return *this;
+}
+
+const char* fault_kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::Partition: return "partition";
+    case FaultEvent::Kind::Crash: return "crash";
+    case FaultEvent::Kind::Restart: return "restart";
+    case FaultEvent::Kind::LatencyPenalty: return "latency";
+    case FaultEvent::Kind::BandwidthDegrade: return "bandwidth";
+    case FaultEvent::Kind::LossBurst: return "loss";
+    case FaultEvent::Kind::DuplicateWindow: return "duplicate";
+    case FaultEvent::Kind::ReorderWindow: return "reorder";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// FaultScheduler
+// ---------------------------------------------------------------------------
+
+FaultScheduler::FaultScheduler(Network& net, FaultPlan plan,
+                               FaultTargets targets)
+    : net_(net),
+      sim_(net.simulator()),
+      plan_(std::move(plan)),
+      targets_(std::move(targets)),
+      m_injected_(net.metrics().counter("net/fault/injected")),
+      m_healed_(net.metrics().counter("net/fault/healed")),
+      m_partitions_(net.metrics().counter("net/fault/partitions")),
+      m_crashes_(net.metrics().counter("net/fault/crashes")),
+      m_restarts_(net.metrics().counter("net/fault/restarts")),
+      m_link_faults_(net.metrics().counter("net/fault/link_faults")),
+      m_window_faults_(net.metrics().counter("net/fault/window_faults")),
+      saved_bandwidth_(plan_.events().size(), {0, 0}),
+      saved_loss_(plan_.events().size(), 0) {}
+
+NodeId FaultScheduler::addr(std::size_t node) const {
+  return node < targets_.nodes.size() ? targets_.nodes[node] : NodeId{0};
+}
+
+void FaultScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  const auto& events = plan_.events();
+  scheduled_.reserve(events.size() * 2);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& ev = events[i];
+    scheduled_.push_back(sim_.schedule_at(
+        ev.at, [this, i] { inject(plan_.events()[i], i); }, "fault/inject"));
+    const bool point_event = ev.kind == FaultEvent::Kind::Crash ||
+                             ev.kind == FaultEvent::Kind::Restart;
+    if (!point_event && ev.heal_at > ev.at) {
+      scheduled_.push_back(sim_.schedule_at(
+          ev.heal_at, [this, i] { heal(plan_.events()[i], i); },
+          "fault/heal"));
+    }
+  }
+}
+
+void FaultScheduler::stop() {
+  for (sim::EventHandle& h : scheduled_) h.cancel();
+  scheduled_.clear();
+}
+
+void FaultScheduler::trace(const char* kind, const FaultEvent& ev,
+                           std::size_t index) {
+  if (sim::TraceSink* const tr = sim_.trace()) {
+    tr->record({sim_.now(), kind, fault_kind_name(ev.kind), index,
+                ev.node, ev.heal_at > 0 ? static_cast<std::uint64_t>(ev.heal_at)
+                                        : 0,
+                0});
+  }
+}
+
+void FaultScheduler::inject(const FaultEvent& ev, std::size_t index) {
+  ++injected_;
+  m_injected_.add();
+  trace("fault", ev, index);
+  switch (ev.kind) {
+    case FaultEvent::Kind::Partition:
+      m_partitions_.add();
+      net_.add_partition(ev.name, ev.groups);
+      break;
+    case FaultEvent::Kind::Crash:
+      m_crashes_.add();
+      if (targets_.crash) targets_.crash(ev.node);
+      break;
+    case FaultEvent::Kind::Restart:
+      m_restarts_.add();
+      if (targets_.restart) targets_.restart(ev.node);
+      break;
+    case FaultEvent::Kind::LatencyPenalty:
+      m_link_faults_.add();
+      net_.set_latency_penalty(addr(ev.node), ev.duration);
+      break;
+    case FaultEvent::Kind::BandwidthDegrade: {
+      m_link_faults_.add();
+      const NodeId id = addr(ev.node);
+      saved_bandwidth_[index] = {net_.uplink_bps(id), net_.downlink_bps(id)};
+      net_.set_bandwidth(id, saved_bandwidth_[index].first * ev.value,
+                         saved_bandwidth_[index].second * ev.value);
+      break;
+    }
+    case FaultEvent::Kind::LossBurst:
+      m_window_faults_.add();
+      saved_loss_[index] = net_.drop_probability();
+      net_.set_drop_probability(ev.value);
+      break;
+    case FaultEvent::Kind::DuplicateWindow:
+      m_window_faults_.add();
+      net_.set_duplicate_probability(ev.value);
+      break;
+    case FaultEvent::Kind::ReorderWindow:
+      m_window_faults_.add();
+      net_.set_reorder_jitter(ev.duration);
+      break;
+  }
+}
+
+void FaultScheduler::heal(const FaultEvent& ev, std::size_t index) {
+  ++healed_;
+  m_healed_.add();
+  trace("heal", ev, index);
+  switch (ev.kind) {
+    case FaultEvent::Kind::Partition:
+      net_.remove_partition(ev.name);
+      break;
+    case FaultEvent::Kind::LatencyPenalty:
+      net_.set_latency_penalty(addr(ev.node), 0);
+      break;
+    case FaultEvent::Kind::BandwidthDegrade:
+      net_.set_bandwidth(addr(ev.node), saved_bandwidth_[index].first,
+                         saved_bandwidth_[index].second);
+      break;
+    case FaultEvent::Kind::LossBurst:
+      net_.set_drop_probability(saved_loss_[index]);
+      break;
+    case FaultEvent::Kind::DuplicateWindow:
+      net_.set_duplicate_probability(0);
+      break;
+    case FaultEvent::Kind::ReorderWindow:
+      net_.set_reorder_jitter(0);
+      break;
+    case FaultEvent::Kind::Crash:
+    case FaultEvent::Kind::Restart:
+      break;  // point events never heal
+  }
+}
+
+}  // namespace decentnet::net

@@ -1,0 +1,163 @@
+// Deterministic fault injection: script a timeline of network and node
+// faults, replay it bit-for-bit from the experiment's seed.
+//
+// The paper's Problems 1–4 are claims about protocol behaviour *under
+// adversity* — churn, partitions, heterogeneous and unreachable nodes — so
+// faults are first-class here: a FaultPlan is a declarative list of fault
+// events (named multi-group partitions with heal times, node crash/restart,
+// per-link latency penalties and bandwidth degradation, transient loss
+// bursts, message duplication and reordering windows) and a FaultScheduler
+// executes it against a Network on its Simulator. Every inject and heal is
+// emitted through the kernel TraceSink (kind="fault"/"heal", tag=fault
+// type) and counted under net/fault/ scoped metrics, so a same-seed run
+// serializes a byte-identical trace.
+//
+//   net::FaultPlan plan;
+//   plan.partition(sim::seconds(30), "wan-split",
+//                  {{a.value, b.value}, {c.value}}, sim::seconds(90))
+//       .crash(sim::seconds(45), /*node=*/2)
+//       .restart(sim::seconds(60), /*node=*/2)
+//       .loss_burst(sim::seconds(30), 0.2, sim::seconds(90))
+//       .duplicate_window(sim::seconds(30), 0.05, sim::seconds(90));
+//   net::FaultScheduler faults(netw, plan,
+//                              {.crash = ..., .restart = ...});
+//   faults.start();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::net {
+
+/// One declarative fault event. Build through FaultPlan's fluent methods;
+/// the fields are public so tests and tools can introspect a plan.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    Partition,          // named multi-group split, healed at heal_at
+    Crash,              // crash hook for node index (point event)
+    Restart,            // restart hook for node index (point event)
+    LatencyPenalty,     // extra propagation delay on one node's links
+    BandwidthDegrade,   // multiply one node's link capacity by `value`
+    LossBurst,          // uniform loss probability window
+    DuplicateWindow,    // per-message duplication probability window
+    ReorderWindow,      // extra uniform per-message jitter window
+  };
+
+  Kind kind = Kind::Partition;
+  sim::SimTime at = 0;       // inject time
+  sim::SimTime heal_at = 0;  // heal time; 0 = never heals (point events: n/a)
+  std::string name;          // partition name / trace label
+  std::vector<std::unordered_set<std::uint64_t>> groups;  // Partition
+  std::size_t node = 0;      // target node index (crash/restart/link faults)
+  double value = 0;          // probability or bandwidth factor
+  sim::SimDuration duration = 0;  // latency penalty / reorder jitter
+};
+
+/// A seed-independent, declarative fault timeline. Plans are plain data:
+/// build once, hand to any number of FaultSchedulers (e.g. one per sweep
+/// point), introspect in tests.
+class FaultPlan {
+ public:
+  /// Split the network into `groups` (unlisted nodes form an implicit extra
+  /// group) from `at` until `heal_at` (0 = permanent).
+  FaultPlan& partition(sim::SimTime at, std::string name,
+                       std::vector<std::unordered_set<std::uint64_t>> groups,
+                       sim::SimTime heal_at = 0);
+  /// Crash-stop node `node` (index into FaultTargets::nodes) at `at`.
+  FaultPlan& crash(sim::SimTime at, std::size_t node);
+  /// Restart node `node` at `at`.
+  FaultPlan& restart(sim::SimTime at, std::size_t node);
+  /// Add `extra` propagation delay to every message node `node` sends or
+  /// receives, from `at` until `heal_at`.
+  FaultPlan& latency_penalty(sim::SimTime at, std::size_t node,
+                             sim::SimDuration extra, sim::SimTime heal_at = 0);
+  /// Multiply node `node`'s up/downlink capacity by `factor` (< 1 degrades),
+  /// from `at` until `heal_at`.
+  FaultPlan& bandwidth_degrade(sim::SimTime at, std::size_t node,
+                               double factor, sim::SimTime heal_at = 0);
+  /// Uniform message loss with probability `p` from `at` until `heal_at`.
+  FaultPlan& loss_burst(sim::SimTime at, double p, sim::SimTime heal_at = 0);
+  /// Duplicate each delivered message with probability `p` in the window.
+  FaultPlan& duplicate_window(sim::SimTime at, double p,
+                              sim::SimTime heal_at = 0);
+  /// Add uniform per-message jitter in [0, jitter] in the window (breaks
+  /// FIFO arrival order).
+  FaultPlan& reorder_window(sim::SimTime at, sim::SimDuration jitter,
+                            sim::SimTime heal_at = 0);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Hooks the scheduler drives for node-level faults. `nodes` maps the plan's
+/// dense node indices to network addresses (required by link-level faults);
+/// `crash`/`restart` invoke the protocol's own crash-stop machinery and may
+/// be empty when the plan has no such events.
+struct FaultTargets {
+  std::vector<NodeId> nodes;
+  std::function<void(std::size_t node)> crash;
+  std::function<void(std::size_t node)> restart;
+};
+
+/// Executes a FaultPlan against a Network: schedules one kernel event per
+/// inject/heal, applies the fault through the Network's fault surface (or the
+/// crash/restart hooks), and emits a TraceRecord plus net/fault/ counters for
+/// each. Construction is passive; call start() once.
+class FaultScheduler {
+ public:
+  FaultScheduler(Network& net, FaultPlan plan, FaultTargets targets = {});
+
+  /// Schedule every event in the plan (relative to absolute plan times; call
+  /// at t=0 for the times to mean what the plan says).
+  void start();
+
+  /// Cancel every not-yet-fired inject/heal. Already-applied faults stay
+  /// applied (heal explicitly or via Network setters).
+  void stop();
+
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t healed() const { return healed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void inject(const FaultEvent& ev, std::size_t index);
+  void heal(const FaultEvent& ev, std::size_t index);
+  void trace(const char* kind, const FaultEvent& ev, std::size_t index);
+  NodeId addr(std::size_t node) const;
+
+  Network& net_;
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  FaultTargets targets_;
+  sim::Counter& m_injected_;
+  sim::Counter& m_healed_;
+  sim::Counter& m_partitions_;
+  sim::Counter& m_crashes_;
+  sim::Counter& m_restarts_;
+  sim::Counter& m_link_faults_;
+  sim::Counter& m_window_faults_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t healed_ = 0;
+  // Saved pre-fault link capacities, restored on heal (keyed by event index).
+  std::vector<std::pair<double, double>> saved_bandwidth_;
+  // Pre-fault loss probability for LossBurst heals.
+  std::vector<double> saved_loss_;
+  std::vector<sim::EventHandle> scheduled_;
+  bool started_ = false;
+};
+
+/// The trace tag for a fault kind ("partition", "crash", ...); also used by
+/// the per-kind counter bump.
+const char* fault_kind_name(FaultEvent::Kind kind);
+
+}  // namespace decentnet::net

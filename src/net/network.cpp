@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 namespace decentnet::net {
 
 Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
@@ -16,7 +18,9 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
       m_dropped_partition_(metrics_.counter("net/dropped_partition")),
       m_dropped_unreachable_(metrics_.counter("net/dropped_unreachable")),
       m_dropped_loss_(metrics_.counter("net/dropped_loss")),
-      m_dropped_offline_(metrics_.counter("net/dropped_offline")) {
+      m_dropped_offline_(metrics_.counter("net/dropped_offline")),
+      m_duplicated_(metrics_.counter("net/duplicated")),
+      m_reordered_(metrics_.counter("net/reordered")) {
   if (config_.expected_nodes > 0) peers_.reserve(config_.expected_nodes);
 }
 
@@ -41,97 +45,66 @@ void Network::set_bandwidth(NodeId id, double uplink_bps,
   l.downlink_bps = downlink_bps;
 }
 
+void Network::set_latency_penalty(NodeId id, sim::SimDuration extra) {
+  peer(id).link.latency_extra = extra < 0 ? 0 : extra;
+}
+
+void Network::add_partition(
+    std::string name, std::vector<std::unordered_set<std::uint64_t>> groups) {
+  remove_partition(name);
+  Partition p;
+  p.name = std::move(name);
+  std::uint32_t index = 0;
+  for (const auto& group : groups) {
+    for (const std::uint64_t node : group) p.group_of[node] = index;
+    ++index;
+  }
+  if (!p.group_of.empty()) partitions_.push_back(std::move(p));
+}
+
+void Network::remove_partition(std::string_view name) {
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [&](const Partition& p) { return p.name == name; }),
+      partitions_.end());
+}
+
+bool Network::partition_active(std::string_view name) const {
+  return std::any_of(partitions_.begin(), partitions_.end(),
+                     [&](const Partition& p) { return p.name == name; });
+}
+
 void Network::set_partition(std::unordered_set<std::uint64_t> group_a) {
-  partition_ = std::move(group_a);
+  remove_partition("");
+  if (!group_a.empty()) add_partition("", {std::move(group_a)});
 }
 
 void Network::set_unreachable(NodeId id, bool unreachable) {
-  if (unreachable) {
-    unreachable_.insert(id.value);
-  } else {
-    unreachable_.erase(id.value);
-  }
+  peer(id).unreachable = unreachable;
 }
 
 bool Network::partitioned(NodeId a, NodeId b) const {
-  if (partition_.empty()) return false;
-  const bool a_in = partition_.count(a.value) > 0;
-  const bool b_in = partition_.count(b.value) > 0;
-  return a_in != b_in;
+  for (const Partition& p : partitions_) {
+    const auto ia = p.group_of.find(a.value);
+    const auto ib = p.group_of.find(b.value);
+    const std::uint32_t ga = ia == p.group_of.end() ? kRestGroup : ia->second;
+    const std::uint32_t gb = ib == p.group_of.end() ? kRestGroup : ib->second;
+    if (ga != gb) return true;
+  }
+  return false;
 }
 
 Network::Peer& Network::peer(NodeId id) {
   const auto [it, inserted] = peers_.try_emplace(id);
   if (inserted) {
     it->second.link = LinkState{config_.default_uplink_bps,
-                                config_.default_downlink_bps, 0, 0};
+                                config_.default_downlink_bps, 0, 0, 0};
   }
   return it->second;
 }
 
-void Network::deliver(Message msg) {
-  const std::uint64_t msg_seq = ++messages_sent_;
-  bytes_sent_ += msg.size_bytes;
-  m_messages_sent_.add();
-  m_bytes_sent_.add(msg.size_bytes);
-
-  sim::TraceSink* const tr = sim_.trace();
-  if (tr) {
-    tr->record({sim_.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
-                msg.size_bytes});
-  }
-  const auto trace_drop = [&](const char* reason) {
-    if (tr) {
-      tr->record({sim_.now(), "drop", reason, msg_seq, msg.from.value,
-                  msg.to.value, msg.size_bytes});
-    }
-  };
-
-  if (partitioned(msg.from, msg.to)) {
-    m_dropped_partition_.add();
-    trace_drop("partition");
-    return;
-  }
-  if (!unreachable_.empty() && unreachable_.count(msg.to.value) > 0) {
-    m_dropped_unreachable_.add();
-    trace_drop("unreachable");
-    return;
-  }
-  if (config_.drop_probability > 0 && rng_.chance(config_.drop_probability)) {
-    m_dropped_loss_.add();
-    trace_drop("loss");
-    return;
-  }
-
-  // One lookup resolves the receiver's link state *and* the delivery target:
-  // Peer entries are never erased, so the pointer stays valid for the
-  // in-flight event even across churn or peer-table growth.
-  Peer* const dst = &peer(msg.to);
-
-  sim::SimTime depart = sim_.now();
-  if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& tx = peer(msg.from).link;
-    const auto ser = static_cast<sim::SimDuration>(
-        static_cast<double>(msg.size_bytes) / tx.uplink_bps *
-        static_cast<double>(sim::kSecond));
-    const sim::SimTime start = std::max(sim_.now(), tx.tx_free_at);
-    tx.tx_free_at = start + ser;
-    depart = tx.tx_free_at;
-  }
-
-  const sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
-  sim::SimTime arrive = depart + prop;
-
-  if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& rx = dst->link;
-    const auto ser = static_cast<sim::SimDuration>(
-        static_cast<double>(msg.size_bytes) / rx.downlink_bps *
-        static_cast<double>(sim::kSecond));
-    const sim::SimTime start = std::max(arrive, rx.rx_free_at);
-    rx.rx_free_at = start + ser;
-    arrive = rx.rx_free_at;
-  }
-
+void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
+                                std::uint64_t msg_seq) {
   // Detached event: delivery is fire-and-forget — the kernel's hottest path.
   // The capture carries the resolved Peer*, so delivery does zero hash
   // lookups; the online check is one null test. The untraced capture is
@@ -139,7 +112,7 @@ void Network::deliver(Message msg) {
   // 48-byte Message), so steady-state delivery allocates nothing; the traced
   // variant carries more context and may box, which is fine off the fast
   // path.
-  if (tr) {
+  if (sim_.trace()) {
     sim_.post_at(
         arrive,
         [this, dst, msg_seq, msg = std::move(msg)] {
@@ -167,6 +140,92 @@ void Network::deliver(Message msg) {
         },
         "net/deliver");
   }
+}
+
+void Network::deliver(Message msg) {
+  const std::uint64_t msg_seq = ++messages_sent_;
+  bytes_sent_ += msg.size_bytes;
+  m_messages_sent_.add();
+  m_bytes_sent_.add(msg.size_bytes);
+
+  sim::TraceSink* const tr = sim_.trace();
+  if (tr) {
+    tr->record({sim_.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
+                msg.size_bytes});
+  }
+  const auto trace_drop = [&](const char* reason) {
+    if (tr) {
+      tr->record({sim_.now(), "drop", reason, msg_seq, msg.from.value,
+                  msg.to.value, msg.size_bytes});
+    }
+  };
+
+  if (!partitions_.empty() && partitioned(msg.from, msg.to)) {
+    m_dropped_partition_.add();
+    trace_drop("partition");
+    return;
+  }
+
+  // One lookup resolves the receiver's reachability, link state, *and* the
+  // delivery target: Peer entries are never erased, so the pointer stays
+  // valid for the in-flight event even across churn or peer-table growth.
+  Peer* const dst = &peer(msg.to);
+  if (dst->unreachable) {
+    m_dropped_unreachable_.add();
+    trace_drop("unreachable");
+    return;
+  }
+  if (config_.drop_probability > 0 && rng_.chance(config_.drop_probability)) {
+    m_dropped_loss_.add();
+    trace_drop("loss");
+    return;
+  }
+
+  sim::SimTime depart = sim_.now();
+  if (config_.model_bandwidth && msg.size_bytes > 0) {
+    LinkState& tx = peer(msg.from).link;
+    const auto ser = static_cast<sim::SimDuration>(
+        static_cast<double>(msg.size_bytes) / tx.uplink_bps *
+        static_cast<double>(sim::kSecond));
+    const sim::SimTime start = std::max(sim_.now(), tx.tx_free_at);
+    tx.tx_free_at = start + ser;
+    depart = tx.tx_free_at;
+  }
+
+  sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
+  prop += peer(msg.from).link.latency_extra + dst->link.latency_extra;
+  if (reorder_jitter_ > 0) {
+    const auto extra = static_cast<sim::SimDuration>(
+        rng_.uniform_int(static_cast<std::uint64_t>(reorder_jitter_) + 1));
+    if (extra > 0) m_reordered_.add();
+    prop += extra;
+  }
+  sim::SimTime arrive = depart + prop;
+
+  if (config_.model_bandwidth && msg.size_bytes > 0) {
+    LinkState& rx = dst->link;
+    const auto ser = static_cast<sim::SimDuration>(
+        static_cast<double>(msg.size_bytes) / rx.downlink_bps *
+        static_cast<double>(sim::kSecond));
+    const sim::SimTime start = std::max(arrive, rx.rx_free_at);
+    rx.rx_free_at = start + ser;
+    arrive = rx.rx_free_at;
+  }
+
+  // Duplication window: the copy trails the original by one more latency
+  // sample, modelling a retransmit-style duplicate rather than a same-instant
+  // twin (so reordering between copy and original is possible too).
+  if (duplicate_probability_ > 0 && rng_.chance(duplicate_probability_)) {
+    m_duplicated_.add();
+    const sim::SimDuration lag = latency_->sample(msg.from, msg.to, rng_);
+    if (tr) {
+      tr->record({sim_.now(), "dup", "", msg_seq, msg.from.value,
+                  msg.to.value, msg.size_bytes});
+    }
+    schedule_delivery(dst, arrive + lag, msg, msg_seq);
+  }
+
+  schedule_delivery(dst, arrive, std::move(msg), msg_seq);
 }
 
 }  // namespace decentnet::net

@@ -5,15 +5,19 @@
 // uplink (FIFO: the sender's link can only push one message at a time), then
 // propagates (LatencyModel sample), then serializes through the receiver's
 // downlink. Messages to offline nodes are silently dropped, as on the real
-// Internet. Optional uniform loss and pairwise partitions complete the fault
-// model.
+// Internet. The fault surface — uniform loss, overlapping named partitions,
+// NAT unreachability, per-link latency penalties, duplication and reordering
+// windows — is scriptable through net::FaultPlan (see net/faults.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "net/latency.hpp"
 #include "net/message.hpp"
@@ -70,11 +74,26 @@ class Network {
 
   /// Per-node link capacity override (bytes per simulated second).
   void set_bandwidth(NodeId id, double uplink_bps, double downlink_bps);
+  double uplink_bps(NodeId id) { return peer(id).link.uplink_bps; }
+  double downlink_bps(NodeId id) { return peer(id).link.downlink_bps; }
 
-  /// Pairwise partition: messages between the two groups are dropped.
-  /// An empty set clears the partition.
+  /// Overlapping named partitions. Each partition splits the node space into
+  /// groups: listed nodes belong to their group, unlisted nodes to one
+  /// implicit "rest" group. A message is dropped if *any* active partition
+  /// places its endpoints in different groups, so several named partitions
+  /// can overlap independently (fault plans install and heal them by name).
+  /// Installing a name that is already active replaces that partition.
+  void add_partition(std::string name,
+                     std::vector<std::unordered_set<std::uint64_t>> groups);
+  void remove_partition(std::string_view name);
+  bool partition_active(std::string_view name) const;
+  std::size_t partition_count() const { return partitions_.size(); }
+
+  /// Legacy bipartition API: installs the anonymous partition "" separating
+  /// `group_a` from everyone else. An empty set clears it.
   void set_partition(std::unordered_set<std::uint64_t> group_a);
-  void clear_partition() { partition_.clear(); }
+  /// Remove every active partition.
+  void clear_partition() { partitions_.clear(); }
 
   /// NAT/firewall model: an unreachable node can send but never receives —
   /// the connectivity defect the BitTorrent-DHT measurement studies blame
@@ -82,10 +101,32 @@ class Network {
   /// tables yet never answer).
   void set_unreachable(NodeId id, bool unreachable);
   bool unreachable(NodeId id) const {
-    return unreachable_.count(id.value) > 0;
+    const auto it = peers_.find(id);
+    return it != peers_.end() && it->second.unreachable;
   }
 
   void set_drop_probability(double p) { config_.drop_probability = p; }
+  double drop_probability() const { return config_.drop_probability; }
+
+  /// Per-node propagation penalty (congestion / route-flap model): added to
+  /// every message the node sends or receives while nonzero.
+  void set_latency_penalty(NodeId id, sim::SimDuration extra);
+  sim::SimDuration latency_penalty(NodeId id) {
+    return peer(id).link.latency_extra;
+  }
+
+  /// Duplication window: each delivered message is delivered a second time
+  /// with probability `p` (counted under net/duplicated).
+  void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+  double duplicate_probability() const { return duplicate_probability_; }
+
+  /// Reordering window: each message picks up an extra uniform delay in
+  /// [0, jitter], breaking FIFO arrival order while active (messages that
+  /// drew a nonzero extra delay count under net/reordered).
+  void set_reorder_jitter(sim::SimDuration jitter) {
+    reorder_jitter_ = jitter < 0 ? 0 : jitter;
+  }
+  sim::SimDuration reorder_jitter() const { return reorder_jitter_; }
 
   /// Send a typed payload. `size_bytes` drives the bandwidth model and the
   /// traffic accounting; pass the protocol's nominal wire size.
@@ -104,19 +145,31 @@ class Network {
     double downlink_bps;
     sim::SimTime tx_free_at = 0;  // sender-side FIFO serialization
     sim::SimTime rx_free_at = 0;  // receiver-side FIFO serialization
+    sim::SimDuration latency_extra = 0;  // fault-injected propagation penalty
   };
 
-  /// Host and link state share one hash entry so the send path resolves a
-  /// node with a single lookup. Entries are never erased — detach() only
-  /// nulls `host`, preserving link serialization state across churn and
-  /// keeping Peer* stable for in-flight delivery events (unordered_map
-  /// never moves its nodes).
+  /// Host, link, and reachability state share one hash entry so the send
+  /// path resolves a node with a single lookup. Entries are never erased —
+  /// detach() only nulls `host`, preserving link serialization state across
+  /// churn and keeping Peer* stable for in-flight delivery events
+  /// (unordered_map never moves its nodes).
   struct Peer {
     Host* host = nullptr;  // null while offline
+    bool unreachable = false;
     LinkState link;
   };
 
+  /// One active named partition: node id -> group index; unlisted nodes read
+  /// as the implicit kRestGroup.
+  struct Partition {
+    std::string name;
+    std::unordered_map<std::uint64_t, std::uint32_t> group_of;
+  };
+  static constexpr std::uint32_t kRestGroup = ~0u;
+
   void deliver(Message msg);
+  void schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
+                         std::uint64_t msg_seq);
   Peer& peer(NodeId id);
   bool partitioned(NodeId a, NodeId b) const;
 
@@ -134,13 +187,16 @@ class Network {
   sim::Counter& m_dropped_unreachable_;
   sim::Counter& m_dropped_loss_;
   sim::Counter& m_dropped_offline_;
+  sim::Counter& m_duplicated_;
+  sim::Counter& m_reordered_;
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::size_t online_ = 0;
+  double duplicate_probability_ = 0.0;
+  sim::SimDuration reorder_jitter_ = 0;
   std::unordered_map<NodeId, Peer, NodeIdHasher> peers_;
-  std::unordered_set<std::uint64_t> partition_;
-  std::unordered_set<std::uint64_t> unreachable_;
+  std::vector<Partition> partitions_;
 };
 
 }  // namespace decentnet::net

@@ -208,6 +208,7 @@ struct KademliaNode::LookupState {
   struct Entry {
     Contact contact;
     Status status = Status::New;
+    std::size_t tries = 0;  // RPC attempts issued to this contact
   };
 
   Key target;
@@ -318,6 +319,7 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
     if (e.status != Status::New) continue;
     // Only probe within the k closest non-failed window.
     e.status = Status::InFlight;
+    ++e.tries;
     ++state->in_flight;
     ++state->rpcs;
     const Contact peer = e.contact;
@@ -332,7 +334,13 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                if (!ok) {
                  ++state->timeouts;
                  if (it != state->shortlist.end()) {
-                   it->status = Status::Failed;
+                   // Retry-with-timeout: put the contact back in the New
+                   // pool while it has attempts left; transient faults
+                   // (loss bursts, latency spikes) should not strike
+                   // reachable peers from the shortlist.
+                   it->status = it->tries <= config_.rpc_retries
+                                    ? Status::New
+                                    : Status::Failed;
                  }
                  lookup_step(state);
                  return;

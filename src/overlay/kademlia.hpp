@@ -37,6 +37,11 @@ struct KademliaConfig {
   std::size_t k = 8;               // bucket size / replication factor
   std::size_t alpha = 3;           // lookup parallelism
   sim::SimDuration rpc_timeout = sim::seconds(1.5);
+  /// Extra attempts per shortlist contact after a timed-out lookup RPC.
+  /// 0 (the default, and the classic behavior) fails the contact on its
+  /// first timeout; 1-2 rides out transient loss bursts / latency spikes at
+  /// the cost of slower failure detection on genuinely dead peers.
+  std::size_t rpc_retries = 0;
   sim::SimDuration refresh_interval = sim::minutes(15);
   std::size_t message_bytes = 120;  // nominal wire size per RPC
   /// Spec-correct Kademlia pings the least-recently-seen contact before

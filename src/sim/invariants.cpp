@@ -1,0 +1,101 @@
+#include "sim/invariants.hpp"
+
+namespace decentnet::sim {
+
+namespace {
+std::string describe(const InvariantViolation& v) {
+  return "invariant '" + v.invariant + "' violated at t=" +
+         std::to_string(v.at) + "us (event #" +
+         std::to_string(v.events_processed) + "): " + v.detail;
+}
+}  // namespace
+
+InvariantError::InvariantError(InvariantViolation v)
+    : std::runtime_error(describe(v)), violation(std::move(v)) {}
+
+InvariantChecker::InvariantChecker(Simulator& sim, MetricRegistry* metrics)
+    : sim_(sim),
+      owned_metrics_(metrics ? nullptr : std::make_unique<MetricRegistry>()),
+      m_checks_((metrics ? *metrics : *owned_metrics_)
+                    .counter("sim/invariant_checks")),
+      m_violations_((metrics ? *metrics : *owned_metrics_)
+                        .counter("sim/invariant_violations")) {}
+
+InvariantChecker::~InvariantChecker() { timer_.cancel(); }
+
+void InvariantChecker::add(std::string name, Predicate predicate) {
+  entries_.push_back(Entry{std::move(name), std::move(predicate), false});
+}
+
+void InvariantChecker::start(SimDuration period) {
+  timer_.cancel();
+  timer_ = sim_.schedule_periodic(period, period, [this] { check_now(); },
+                                  "invariant/check");
+}
+
+void InvariantChecker::stop() { timer_.cancel(); }
+
+std::size_t InvariantChecker::check_now() {
+  ++checks_run_;
+  m_checks_.add();
+  std::size_t found = 0;
+  for (Entry& e : entries_) {
+    if (e.tripped) continue;  // a sampled predicate reports once
+    if (auto detail = e.predicate()) {
+      e.tripped = true;
+      ++found;
+      record(e.name, std::move(*detail));
+    }
+  }
+  return found;
+}
+
+void InvariantChecker::report(std::string invariant, std::string detail) {
+  record(invariant, std::move(detail));
+}
+
+void InvariantChecker::record(const std::string& name, std::string detail) {
+  InvariantViolation v;
+  v.invariant = name;
+  v.detail = std::move(detail);
+  v.at = sim_.now();
+  v.events_processed = sim_.total_events_processed();
+  m_violations_.add();
+  if (TraceSink* const tr = sim_.trace()) {
+    // tag points at the detail-free registered name; entries_/violations_
+    // keep their strings alive for the sink call (records are emitted
+    // synchronously and never stored).
+    tr->record({v.at, "invariant", v.invariant.c_str(), v.events_processed,
+                0, 0, 0});
+  }
+  violations_.push_back(std::move(v));
+  if (fail_fast_) throw InvariantError(violations_.back());
+}
+
+CommitLogInvariant::CommitLogInvariant(std::string name)
+    : name_(std::move(name)) {}
+
+void CommitLogInvariant::record(std::size_t node, std::uint64_t seq,
+                                std::uint64_t fingerprint) {
+  ++records_;
+  const auto [it, inserted] = canon_.emplace(seq, Canon{fingerprint, node});
+  if (inserted || it->second.fingerprint == fingerprint) return;
+  ++conflicts_;
+  std::string detail = "seq " + std::to_string(seq) + ": node " +
+                       std::to_string(node) + " committed " +
+                       std::to_string(fingerprint) + " but node " +
+                       std::to_string(it->second.node) + " committed " +
+                       std::to_string(it->second.fingerprint);
+  if (!first_conflict_->has_value()) *first_conflict_ = detail;
+  if (checker_ != nullptr) checker_->report(name_, std::move(detail));
+}
+
+InvariantChecker::Predicate CommitLogInvariant::predicate() const {
+  // Shares the first-conflict slot so sampled checking sees conflicts that
+  // happened between samples (and after the invariant object's locals are
+  // captured by value).
+  auto conflict = first_conflict_;
+  return [conflict]() -> std::optional<std::string> { return *conflict; };
+}
+
+}  // namespace decentnet::sim

@@ -1,0 +1,210 @@
+// Online invariant checking: protocols register predicates, the checker
+// samples them on a periodic kernel event (and accepts event-driven reports),
+// and every violation is pinned to its trace position — the simulated time
+// and the kernel's processed-event count, which is exactly where to seek in
+// a --trace JSONL stream.
+//
+// Two styles compose:
+//
+//   * Sampled predicates — add(name, fn) where fn returns nullopt when the
+//     invariant holds or a detail string when it is violated; start(period)
+//     drives them from a periodic event, check_now() drives them on demand.
+//   * Event-driven reports — report(name, detail) records a violation at the
+//     exact moment protocol code detects it (CommitLogInvariant uses this to
+//     flag conflicting commits synchronously from commit hooks).
+//
+// With fail-fast enabled a violation throws InvariantError immediately
+// (tests); otherwise violations accumulate and are counted under the
+// sim/invariant_* metrics (benches report the count, expected 0 for honest
+// configurations).
+//
+// Protocol-shaped predicate builders live in sim::invariants as templates
+// (duck-typed over the node interface), so this layer does not link against
+// bft/ or chain/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::sim {
+
+/// One recorded violation, pinned to its trace position.
+struct InvariantViolation {
+  std::string invariant;  // registered name
+  std::string detail;     // what was observed
+  SimTime at = 0;         // simulated time of detection
+  std::uint64_t events_processed = 0;  // kernel event count = trace position
+};
+
+/// Thrown on violation when fail-fast is enabled.
+class InvariantError : public std::runtime_error {
+ public:
+  explicit InvariantError(InvariantViolation v);
+  const InvariantViolation violation;
+};
+
+class InvariantChecker {
+ public:
+  /// A predicate returns std::nullopt while the invariant holds, or a human-
+  /// readable detail string when it is violated. Predicates may keep state
+  /// (e.g. the per-term leader map) in their closures.
+  using Predicate = std::function<std::optional<std::string>()>;
+
+  /// `metrics` optionally points at the experiment registry for the
+  /// sim/invariant_checks and sim/invariant_violations counters.
+  explicit InvariantChecker(Simulator& sim,
+                            MetricRegistry* metrics = nullptr);
+  ~InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  Simulator& simulator() { return sim_; }
+
+  /// Register a sampled predicate. May be called at any time, including
+  /// mid-run (e.g. arm a convergence check only after a heal event).
+  void add(std::string name, Predicate predicate);
+
+  /// Sample every predicate each `period` of simulated time.
+  void start(SimDuration period);
+  void stop();
+
+  /// Sample every predicate once; returns the number of new violations.
+  std::size_t check_now();
+
+  /// Event-driven violation report (from protocol hooks); records at the
+  /// current trace position, bumps metrics, honours fail-fast.
+  void report(std::string invariant, std::string detail);
+
+  /// Throw InvariantError on the first violation instead of accumulating.
+  void set_fail_fast(bool on) { fail_fast_ = on; }
+  bool fail_fast() const { return fail_fast_; }
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::size_t predicate_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Predicate predicate;
+    bool tripped = false;  // report each sampled predicate's failure once
+  };
+
+  void record(const std::string& name, std::string detail);
+
+  Simulator& sim_;
+  std::unique_ptr<MetricRegistry> owned_metrics_;
+  Counter& m_checks_;
+  Counter& m_violations_;
+  // deque: stable element addresses so trace tags can point at entry names.
+  std::deque<Entry> entries_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t checks_run_ = 0;
+  bool fail_fast_ = false;
+  EventHandle timer_;
+};
+
+/// Cross-node commit-log agreement: every node reports its committed
+/// (sequence, fingerprint) pairs through record(); two nodes committing
+/// different fingerprints at the same sequence is a safety violation
+/// (Raft log matching / PBFT agreement). Wire protocol commit hooks to
+/// record() and either bind() the checker for fail-fast event-driven
+/// reporting or register predicate() for sampled checking.
+class CommitLogInvariant {
+ public:
+  explicit CommitLogInvariant(std::string name = "commit-agreement");
+
+  /// Report a conflict the moment record() detects one.
+  void bind(InvariantChecker* checker) { checker_ = checker; }
+
+  /// Node `node` committed `fingerprint` (e.g. the command id or batch
+  /// digest) at `seq`.
+  void record(std::size_t node, std::uint64_t seq, std::uint64_t fingerprint);
+
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t records() const { return records_; }
+  const std::string& name() const { return name_; }
+
+  /// Sticky sampled predicate: fails once any conflict has been seen.
+  InvariantChecker::Predicate predicate() const;
+
+ private:
+  struct Canon {
+    std::uint64_t fingerprint;
+    std::size_t node;  // first reporter, for the detail message
+  };
+
+  std::string name_;
+  InvariantChecker* checker_ = nullptr;
+  std::map<std::uint64_t, Canon> canon_;  // seq -> first fingerprint seen
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t records_ = 0;
+  std::shared_ptr<std::optional<std::string>> first_conflict_ =
+      std::make_shared<std::optional<std::string>>();
+};
+
+namespace invariants {
+
+/// Raft election safety: at most one leader per term. Duck-typed over any
+/// node with is_leader() / term() / index(); remembers which index claimed
+/// each term across samples, so two distinct claimants of one term trip it
+/// even if they lead at different sample instants.
+template <typename Node>
+InvariantChecker::Predicate single_leader_per_term(std::vector<Node*> nodes) {
+  auto claimed = std::make_shared<std::map<std::uint64_t, std::size_t>>();
+  return [nodes = std::move(nodes), claimed]() -> std::optional<std::string> {
+    for (const Node* n : nodes) {
+      if (!n->is_leader()) continue;
+      const auto [it, inserted] = claimed->emplace(n->term(), n->index());
+      if (!inserted && it->second != n->index()) {
+        return "term " + std::to_string(n->term()) + " claimed by node " +
+               std::to_string(it->second) + " and node " +
+               std::to_string(n->index());
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+/// Chain convergence: the spread between the highest and lowest best-chain
+/// height across nodes stays within `max_height_gap` blocks. Register (or
+/// arm) this only once the network is healed — during a partition the sides
+/// legitimately diverge. Duck-typed over any node with tree().best_height().
+template <typename Node>
+InvariantChecker::Predicate chain_tips_converge(std::vector<Node*> nodes,
+                                                std::uint64_t max_height_gap) {
+  return [nodes = std::move(nodes),
+          max_height_gap]() -> std::optional<std::string> {
+    if (nodes.empty()) return std::nullopt;
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const Node* n : nodes) {
+      const std::uint64_t h = n->tree().best_height();
+      lo = h < lo ? h : lo;
+      hi = h > hi ? h : hi;
+    }
+    if (hi - lo > max_height_gap) {
+      return "tip heights diverge by " + std::to_string(hi - lo) +
+             " blocks (max " + std::to_string(max_height_gap) + ")";
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace invariants
+
+}  // namespace decentnet::sim

@@ -27,6 +27,14 @@ namespace decentnet::sim {
 ///                   bytes=wire size
 ///   kind="drop"   — Network dropped a message: tag=reason ("partition",
 ///                   "unreachable", "loss", "offline"), id/a/b/bytes as send
+///   kind="dup"    — Network duplicated a message (duplication window):
+///                   id/a/b/bytes as send
+///   kind="fault"  — FaultScheduler injected a fault: tag=fault type
+///                   ("partition", "crash", "latency", ...), id=plan event
+///                   index, a=target node index, b=heal time (us, 0=never)
+///   kind="heal"   — FaultScheduler healed a fault: fields as "fault"
+///   kind="invariant" — InvariantChecker recorded a violation: tag=invariant
+///                   name, id=kernel events processed (the trace position)
 ///
 /// `kind` and `tag` must point at string literals (or otherwise outlive the
 /// sink call); records are emitted synchronously and never stored.

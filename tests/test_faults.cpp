@@ -1,0 +1,383 @@
+// Fault-injection and invariant-checker tests: FaultPlan timelines apply and
+// heal through the Network, every inject/heal is traced and counted, a
+// same-seed faulted run serializes a byte-identical trace, and the online
+// invariant checker catches seeded violations (dual leaders, conflicting
+// commits) at their exact trace position.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bft/raft.hpp"
+#include "net/faults.hpp"
+#include "net/network.hpp"
+#include "sim/invariants.hpp"
+#include "sim/trace.hpp"
+
+namespace db = decentnet::bft;
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+
+namespace {
+
+struct Probe : dn::Host {
+  std::vector<int> values;
+  void handle_message(const dn::Message& msg) override {
+    values.push_back(dn::payload_as<int>(msg));
+  }
+};
+
+struct RecordingSink final : ds::TraceSink {
+  struct Rec {
+    std::string kind, tag;
+    std::uint64_t id, a, b;
+  };
+  std::vector<Rec> recs;
+  void record(const ds::TraceRecord& r) override {
+    recs.push_back({r.kind, r.tag, r.id, r.a, r.b});
+  }
+  std::size_t count(const std::string& kind, const std::string& tag) const {
+    std::size_t c = 0;
+    for (const auto& r : recs) {
+      if (r.kind == kind && r.tag == tag) ++c;
+    }
+    return c;
+  }
+};
+
+}  // namespace
+
+TEST(FaultPlan, BuildersRecordDeclarativeTimeline) {
+  dn::FaultPlan plan;
+  plan.partition(ds::seconds(30), "wan-split", {{1, 2}, {3}}, ds::seconds(90))
+      .crash(ds::seconds(45), 2)
+      .restart(ds::seconds(60), 2)
+      .latency_penalty(ds::seconds(10), 0, ds::millis(200), ds::seconds(20))
+      .bandwidth_degrade(ds::seconds(10), 1, 0.1, ds::seconds(20))
+      .loss_burst(ds::seconds(30), 0.2, ds::seconds(90))
+      .duplicate_window(ds::seconds(30), 0.05, ds::seconds(90))
+      .reorder_window(ds::seconds(30), ds::millis(40), ds::seconds(90));
+  ASSERT_EQ(plan.size(), 8u);
+  EXPECT_FALSE(plan.empty());
+  const auto& ev = plan.events();
+  EXPECT_EQ(ev[0].kind, dn::FaultEvent::Kind::Partition);
+  EXPECT_EQ(ev[0].name, "wan-split");
+  EXPECT_EQ(ev[0].groups.size(), 2u);
+  EXPECT_EQ(ev[0].heal_at, ds::seconds(90));
+  EXPECT_EQ(ev[1].kind, dn::FaultEvent::Kind::Crash);
+  EXPECT_EQ(ev[1].node, 2u);
+  EXPECT_EQ(ev[2].kind, dn::FaultEvent::Kind::Restart);
+  EXPECT_EQ(ev[3].duration, ds::millis(200));
+  EXPECT_DOUBLE_EQ(ev[4].value, 0.1);
+  EXPECT_STREQ(dn::fault_kind_name(ev[0].kind), "partition");
+  EXPECT_STREQ(dn::fault_kind_name(ev[5].kind), "loss");
+  EXPECT_STREQ(dn::fault_kind_name(ev[7].kind), "reorder");
+}
+
+TEST(FaultScheduler, PartitionInjectsAndHealsOnSchedule) {
+  ds::Simulator sim;
+  RecordingSink sink;
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a, b;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+
+  dn::FaultPlan plan;
+  plan.partition(ds::seconds(10), "split", {{ida.value}}, ds::seconds(20));
+  dn::FaultScheduler faults(net, plan);
+  faults.start();
+
+  // Before inject: delivered. During: dropped. After heal: delivered.
+  net.send(ida, idb, 1, 10);
+  sim.run_until(ds::seconds(15));
+  EXPECT_TRUE(net.partition_active("split"));
+  net.send(ida, idb, 2, 10);
+  sim.run_until(ds::seconds(25));
+  EXPECT_FALSE(net.partition_active("split"));
+  net.send(ida, idb, 3, 10);
+  sim.run_all();
+
+  ASSERT_EQ(b.values.size(), 2u);
+  EXPECT_EQ(b.values[0], 1);
+  EXPECT_EQ(b.values[1], 3);
+  EXPECT_EQ(faults.injected(), 1u);
+  EXPECT_EQ(faults.healed(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/fault/injected").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/fault/healed").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/fault/partitions").value(), 1u);
+  EXPECT_EQ(sink.count("fault", "partition"), 1u);
+  EXPECT_EQ(sink.count("heal", "partition"), 1u);
+  EXPECT_EQ(sink.count("drop", "partition"), 1u);
+}
+
+TEST(FaultScheduler, LinkFaultsApplyAndRestore) {
+  ds::Simulator sim;
+  dn::NetworkConfig cfg;
+  cfg.model_bandwidth = true;
+  cfg.default_uplink_bps = 1e6;
+  cfg.default_downlink_bps = 1e9;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)),
+                  cfg);
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  Probe a, b;
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+
+  dn::FaultPlan plan;
+  plan.latency_penalty(ds::seconds(1), 0, ds::millis(500), ds::seconds(2))
+      .bandwidth_degrade(ds::seconds(1), 0, 0.5, ds::seconds(2))
+      .loss_burst(ds::seconds(1), 1.0, ds::seconds(2));
+  dn::FaultTargets targets;
+  targets.nodes = {ida, idb};
+  dn::FaultScheduler faults(net, plan, std::move(targets));
+  faults.start();
+
+  const double up_before = net.uplink_bps(ida);
+  sim.run_until(ds::millis(1500));
+  EXPECT_EQ(net.latency_penalty(ida), ds::millis(500));
+  EXPECT_DOUBLE_EQ(net.uplink_bps(ida), up_before * 0.5);
+  EXPECT_DOUBLE_EQ(net.drop_probability(), 1.0);
+  sim.run_until(ds::millis(2500));
+  EXPECT_EQ(net.latency_penalty(ida), 0);
+  EXPECT_DOUBLE_EQ(net.uplink_bps(ida), up_before);
+  EXPECT_DOUBLE_EQ(net.drop_probability(), 0.0);
+  EXPECT_EQ(faults.injected(), 3u);
+  EXPECT_EQ(faults.healed(), 3u);
+  EXPECT_EQ(net.metrics().counter("net/fault/link_faults").value(), 2u);
+  EXPECT_EQ(net.metrics().counter("net/fault/window_faults").value(), 1u);
+}
+
+TEST(FaultScheduler, CrashAndRestartHooksFire) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  const auto ida = net.new_node_id();
+  std::vector<std::string> log;
+  dn::FaultPlan plan;
+  plan.crash(ds::seconds(1), 0).restart(ds::seconds(2), 0);
+  dn::FaultTargets targets;
+  targets.nodes = {ida};
+  targets.crash = [&](std::size_t i) { log.push_back("crash" + std::to_string(i)); };
+  targets.restart = [&](std::size_t i) { log.push_back("restart" + std::to_string(i)); };
+  dn::FaultScheduler faults(net, plan, std::move(targets));
+  faults.start();
+  sim.run_all();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "crash0");
+  EXPECT_EQ(log[1], "restart0");
+  EXPECT_EQ(net.metrics().counter("net/fault/crashes").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/fault/restarts").value(), 1u);
+}
+
+TEST(FaultScheduler, StopCancelsFutureEvents) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  const auto ida = net.new_node_id();
+  dn::FaultPlan plan;
+  plan.partition(ds::seconds(10), "late", {{ida.value}}, ds::seconds(20));
+  dn::FaultScheduler faults(net, plan);
+  faults.start();
+  sim.run_until(ds::seconds(5));
+  faults.stop();
+  sim.run_all();
+  EXPECT_EQ(faults.injected(), 0u);
+  EXPECT_FALSE(net.partition_active("late"));
+}
+
+// The determinism contract: the same seed and the same FaultPlan serialize a
+// byte-identical JSONL trace, fault events included.
+TEST(FaultScheduler, SameSeedFaultedRunsTraceIdentically) {
+  auto run_once = [](std::ostringstream& os) {
+    ds::JsonlTraceSink sink(os);
+    ds::Simulator sim(12345);
+    sim.set_trace(&sink);
+    dn::Network net(sim,
+                    std::make_unique<dn::LogNormalLatency>(ds::millis(40), 0.3));
+    net.set_drop_probability(0.01);
+    Probe a, b, c;
+    const auto ida = net.new_node_id();
+    const auto idb = net.new_node_id();
+    const auto idc = net.new_node_id();
+    net.attach(ida, &a);
+    net.attach(idb, &b);
+    net.attach(idc, &c);
+    dn::FaultPlan plan;
+    plan.partition(ds::seconds(2), "s", {{ida.value, idb.value}},
+                   ds::seconds(6))
+        .duplicate_window(ds::seconds(1), 0.2, ds::seconds(7))
+        .reorder_window(ds::seconds(1), ds::millis(30), ds::seconds(7))
+        .loss_burst(ds::seconds(3), 0.1, ds::seconds(5));
+    dn::FaultScheduler faults(net, plan);
+    faults.start();
+    ds::Rng traffic(9);
+    sim.schedule_periodic(ds::millis(10), ds::millis(10), [&] {
+      const int v = static_cast<int>(traffic.uniform_int(1000));
+      net.send(ida, v % 2 == 0 ? idb : idc, v, 64 + v % 100);
+      net.send(idc, ida, v, 32);
+    });
+    sim.run_until(ds::seconds(10));
+    sink.flush();
+  };
+  std::ostringstream t1, t2;
+  run_once(t1);
+  run_once(t2);
+  EXPECT_FALSE(t1.str().empty());
+  EXPECT_EQ(t1.str(), t2.str());
+  // The stream must actually contain fault machinery records.
+  EXPECT_NE(t1.str().find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(t1.str().find("\"kind\":\"heal\""), std::string::npos);
+  EXPECT_NE(t1.str().find("\"kind\":\"dup\""), std::string::npos);
+}
+
+// --- Invariant checker ------------------------------------------------------
+
+TEST(InvariantChecker, HoldingPredicatesNeverReport) {
+  ds::Simulator sim;
+  ds::InvariantChecker checker(sim);
+  checker.add("always-true", [] { return std::nullopt; });
+  checker.start(ds::millis(100));
+  sim.run_until(ds::seconds(1));
+  checker.stop();
+  EXPECT_TRUE(checker.ok());
+  EXPECT_GE(checker.checks_run(), 9u);
+  EXPECT_EQ(checker.predicate_count(), 1u);
+}
+
+TEST(InvariantChecker, ViolationIsPinnedToTracePosition) {
+  ds::Simulator sim;
+  RecordingSink sink;
+  sim.set_trace(&sink);
+  ds::InvariantChecker checker(sim);
+  bool broken = false;
+  checker.add("sometimes", [&]() -> std::optional<std::string> {
+    if (broken) return "it broke";
+    return std::nullopt;
+  });
+  checker.start(ds::millis(100));
+  sim.schedule_at(ds::millis(450), [&] { broken = true; });
+  sim.run_until(ds::seconds(1));
+  checker.stop();
+  ASSERT_EQ(checker.violations().size(), 1u);  // sampled: reported once
+  const auto& v = checker.violations()[0];
+  EXPECT_EQ(v.invariant, "sometimes");
+  EXPECT_EQ(v.detail, "it broke");
+  EXPECT_EQ(v.at, ds::millis(500));  // first sample after the break
+  EXPECT_GT(v.events_processed, 0u);
+  EXPECT_EQ(sink.count("invariant", "sometimes"), 1u);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantChecker, FailFastThrowsInvariantError) {
+  ds::Simulator sim;
+  ds::InvariantChecker checker(sim);
+  checker.set_fail_fast(true);
+  checker.add("boom", []() -> std::optional<std::string> { return "bad"; });
+  EXPECT_THROW(checker.check_now(), ds::InvariantError);
+  ds::InvariantChecker c2(sim);
+  c2.set_fail_fast(true);
+  try {
+    c2.report("direct", "detail");
+    FAIL() << "report() must throw under fail-fast";
+  } catch (const ds::InvariantError& e) {
+    EXPECT_EQ(e.violation.invariant, "direct");
+    EXPECT_NE(std::string(e.what()).find("direct"), std::string::npos);
+  }
+}
+
+TEST(CommitLogInvariant, DetectsConflictingCommits) {
+  ds::Simulator sim;
+  ds::InvariantChecker checker(sim);
+  ds::CommitLogInvariant commits;
+  commits.bind(&checker);
+  checker.add("commit-agreement", commits.predicate());
+  commits.record(0, 1, 0xAA);
+  commits.record(1, 1, 0xAA);  // agreement: fine
+  commits.record(2, 2, 0xBB);
+  EXPECT_EQ(commits.conflicts(), 0u);
+  EXPECT_TRUE(checker.ok());
+  commits.record(3, 1, 0xCC);  // node 3 disagrees at seq 1
+  EXPECT_EQ(commits.conflicts(), 1u);
+  ASSERT_EQ(checker.violations().size(), 1u);  // event-driven report
+  EXPECT_NE(checker.violations()[0].detail.find("seq 1"), std::string::npos);
+  // The sampled predicate is sticky on the same conflict.
+  checker.check_now();
+  EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+// Negative test demanded by the acceptance criteria: seed an actual
+// dual-leader situation and prove the checker sees it. Two disjoint
+// single-node Raft "clusters" each elect themselves leader of term 1; a
+// single-leader invariant spanning both (via the duck-typed adapter below,
+// which renumbers the nodes into one index space) must trip.
+namespace {
+struct LeaderView {
+  const db::RaftNode* node;
+  std::size_t idx;
+  bool is_leader() const { return node->is_leader(); }
+  std::uint64_t term() const { return node->term(); }
+  std::size_t index() const { return idx; }
+};
+}  // namespace
+
+TEST(InvariantChecker, CatchesSeededDualLeader) {
+  ds::Simulator sim(7);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)));
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  db::RaftNode n0(net, ida, 0, db::RaftConfig{});
+  db::RaftNode n1(net, idb, 0, db::RaftConfig{});
+  n0.set_group({ida});  // each node is its own "cluster"...
+  n1.set_group({idb});
+  LeaderView v0{&n0, 0}, v1{&n1, 1};
+  ds::InvariantChecker checker(sim);
+  checker.add("single-leader", ds::invariants::single_leader_per_term(
+                                   std::vector<LeaderView*>{&v0, &v1}));
+  n0.start();
+  n1.start();
+  sim.run_until(ds::seconds(2));
+  ASSERT_TRUE(n0.is_leader());
+  ASSERT_TRUE(n1.is_leader());
+  ASSERT_EQ(n0.term(), n1.term());  // ...but the invariant spans both
+  EXPECT_EQ(checker.check_now(), 1u);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_NE(checker.violations()[0].detail.find("term"), std::string::npos);
+}
+
+// Positive control: a real 5-node cluster under a partition/heal cycle keeps
+// the invariant clean (elections happen, but never two leaders in one term).
+TEST(InvariantChecker, HealthyRaftClusterStaysClean) {
+  ds::Simulator sim(21);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)));
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 5; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<db::RaftNode>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    nodes.push_back(
+        std::make_unique<db::RaftNode>(net, addrs[i], i, db::RaftConfig{}));
+    nodes.back()->set_group(addrs);
+  }
+  ds::InvariantChecker checker(sim);
+  std::vector<db::RaftNode*> raw;
+  for (auto& n : nodes) raw.push_back(n.get());
+  checker.add("single-leader", ds::invariants::single_leader_per_term(raw));
+  checker.set_fail_fast(true);  // any violation aborts the test loudly
+  checker.start(ds::millis(50));
+  for (auto& n : nodes) n->start();
+  dn::FaultPlan plan;
+  plan.partition(ds::seconds(5), "maj-min", {{addrs[0].value, addrs[1].value}},
+                 ds::seconds(15));
+  dn::FaultScheduler faults(net, plan, {.nodes = addrs});
+  faults.start();
+  sim.run_until(ds::seconds(30));
+  checker.stop();
+  EXPECT_TRUE(checker.ok());
+  // The cluster must have a leader again after heal.
+  int leaders = 0;
+  for (auto& n : nodes) leaders += n->is_leader() ? 1 : 0;
+  EXPECT_EQ(leaders, 1);
+}

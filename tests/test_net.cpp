@@ -2,11 +2,15 @@
 // bandwidth serialization, churn processes, topology generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "net/churn.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "sim/trace.hpp"
 
 namespace dn = decentnet::net;
 namespace ds = decentnet::sim;
@@ -20,6 +24,21 @@ struct Probe : dn::Host {
   void handle_message(const dn::Message& msg) override {
     arrivals.push_back(sim->now());
     values.push_back(dn::payload_as<int>(msg));
+  }
+};
+
+/// Captures (kind, tag) pairs so tests can pin the exact drop reasons.
+struct RecordingSink final : ds::TraceSink {
+  std::vector<std::pair<std::string, std::string>> recs;
+  void record(const ds::TraceRecord& r) override {
+    recs.emplace_back(r.kind, r.tag);
+  }
+  std::size_t count(const std::string& kind, const std::string& tag) const {
+    std::size_t c = 0;
+    for (const auto& [k, t] : recs) {
+      if (k == kind && t == tag) ++c;
+    }
+    return c;
   }
 };
 
@@ -107,6 +126,166 @@ TEST(Network, PartitionBlocksCrossTraffic) {
   EXPECT_EQ(c.values.size(), 1u);
 }
 
+TEST(Network, OverlappingNamedPartitionsComposeAsIntersection) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a, b, c, d;
+  a.sim = b.sim = c.sim = d.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  const auto idc = net.new_node_id();
+  const auto idd = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.attach(idc, &c);
+  net.attach(idd, &d);
+
+  // P1: {a,b} | {c,d}.
+  net.add_partition("p1", {{ida.value, idb.value}, {idc.value, idd.value}});
+  EXPECT_TRUE(net.partition_active("p1"));
+  EXPECT_EQ(net.partition_count(), 1u);
+  net.send(ida, idb, 1, 10);  // same P1 group: delivered
+  net.send(ida, idc, 2, 10);  // crosses P1: dropped
+  sim.run_all();
+  EXPECT_EQ(b.values.size(), 1u);
+  EXPECT_TRUE(c.values.empty());
+
+  // P2 overlaps P1: {a,c} | {b,d}. A message must now stay within one group
+  // of EVERY active partition, so a can reach nobody: a-b crosses P2 and
+  // a-c crosses P1.
+  net.add_partition("p2", {{ida.value, idc.value}, {idb.value, idd.value}});
+  EXPECT_EQ(net.partition_count(), 2u);
+  net.send(ida, idb, 3, 10);  // allowed by P1, crosses P2: dropped
+  net.send(ida, idc, 4, 10);  // allowed by P2, crosses P1: dropped
+  sim.run_all();
+  EXPECT_EQ(b.values.size(), 1u);
+  EXPECT_TRUE(c.values.empty());
+
+  // Heal P1 only: a-c (same P2 group) flows again, a-b still crosses P2.
+  net.remove_partition("p1");
+  EXPECT_FALSE(net.partition_active("p1"));
+  net.send(ida, idc, 5, 10);
+  net.send(ida, idb, 6, 10);
+  sim.run_all();
+  ASSERT_EQ(c.values.size(), 1u);
+  EXPECT_EQ(c.values[0], 5);
+  EXPECT_EQ(b.values.size(), 1u);
+
+  // Heal P2: everything flows.
+  net.remove_partition("p2");
+  EXPECT_EQ(net.partition_count(), 0u);
+  net.send(ida, idb, 7, 10);
+  sim.run_all();
+  ASSERT_EQ(b.values.size(), 2u);
+  EXPECT_EQ(b.values[1], 7);
+}
+
+TEST(Network, UnlistedNodesShareTheImplicitRestGroup) {
+  ds::Simulator sim;
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a, b, c;
+  a.sim = b.sim = c.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  const auto idc = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  net.attach(idc, &c);
+  // Only a is named; b and c fall into the implicit rest group together.
+  net.add_partition("isolate-a", {{ida.value}});
+  net.send(idb, idc, 1, 10);  // rest <-> rest: delivered
+  net.send(ida, idb, 2, 10);  // named <-> rest: dropped
+  net.send(idb, ida, 3, 10);  // symmetric
+  sim.run_all();
+  EXPECT_EQ(c.values.size(), 1u);
+  EXPECT_TRUE(a.values.empty());
+  EXPECT_TRUE(b.values.empty());
+  EXPECT_EQ(net.metrics().counter("net/dropped_partition").value(), 2u);
+}
+
+TEST(Network, DropCountersAndTraceTagsMatchExactly) {
+  ds::Simulator sim;
+  RecordingSink sink;
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  const auto idc = net.new_node_id();  // never attached: offline
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+
+  net.add_partition("split", {{ida.value}});
+  net.send(ida, idb, 1, 10);
+  net.send(ida, idb, 2, 10);
+  net.remove_partition("split");
+
+  net.set_unreachable(idb, true);
+  net.send(ida, idb, 3, 10);
+  net.set_unreachable(idb, false);
+
+  net.set_drop_probability(1.0);
+  net.send(ida, idb, 4, 10);
+  net.set_drop_probability(0.0);
+
+  net.send(ida, idc, 5, 10);  // offline
+
+  net.send(ida, idb, 6, 10);  // finally: one clean delivery
+  sim.run_all();
+
+  EXPECT_EQ(net.metrics().counter("net/dropped_partition").value(), 2u);
+  EXPECT_EQ(net.metrics().counter("net/dropped_unreachable").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/dropped_loss").value(), 1u);
+  EXPECT_EQ(net.metrics().counter("net/dropped_offline").value(), 1u);
+  EXPECT_EQ(sink.count("drop", "partition"), 2u);
+  EXPECT_EQ(sink.count("drop", "unreachable"), 1u);
+  EXPECT_EQ(sink.count("drop", "loss"), 1u);
+  EXPECT_EQ(sink.count("drop", "offline"), 1u);
+  ASSERT_EQ(b.values.size(), 1u);
+  EXPECT_EQ(b.values[0], 6);
+}
+
+TEST(Network, DuplicateWindowRedeliversAndCounts) {
+  ds::Simulator sim;
+  RecordingSink sink;
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  net.set_duplicate_probability(1.0);  // every message arrives twice
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  for (int i = 0; i < 10; ++i) net.send(ida, idb, i, 10);
+  sim.run_all();
+  EXPECT_EQ(b.values.size(), 20u);
+  EXPECT_EQ(net.metrics().counter("net/duplicated").value(), 10u);
+  EXPECT_EQ(sink.count("dup", ""), 10u);
+  net.set_duplicate_probability(0.0);
+  net.send(ida, idb, 99, 10);
+  sim.run_all();
+  EXPECT_EQ(b.values.size(), 21u);
+}
+
+TEST(Network, ReorderJitterBreaksFifoDelivery) {
+  ds::Simulator sim(7);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)));
+  net.set_reorder_jitter(ds::millis(50));
+  Probe a, b;
+  a.sim = b.sim = &sim;
+  const auto ida = net.new_node_id();
+  const auto idb = net.new_node_id();
+  net.attach(ida, &a);
+  net.attach(idb, &b);
+  for (int i = 0; i < 50; ++i) net.send(ida, idb, i, 10);
+  sim.run_all();
+  ASSERT_EQ(b.values.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(b.values.begin(), b.values.end()));
+  EXPECT_GT(net.metrics().counter("net/reordered").value(), 0u);
+}
+
 TEST(Network, BandwidthSerializesLargeMessages) {
   ds::Simulator sim;
   dn::NetworkConfig cfg;
@@ -183,6 +362,50 @@ TEST(ChurnDriver, AlternatesOnlineOffline) {
   EXPECT_EQ(ons, 20);  // and back online at t=200
 }
 
+TEST(ChurnDriver, StopCancelsPendingTransitions) {
+  ds::Simulator sim;
+  int ons = 0, offs = 0;
+  dn::ChurnConfig cfg;
+  cfg.session = dn::DurationDist::constant(100);
+  cfg.downtime = dn::DurationDist::constant(100);
+  cfg.initially_online = 1.0;
+  dn::ChurnDriver churn(
+      sim, 8, cfg, [&](std::size_t) { ++ons; }, [&](std::size_t) { ++offs; });
+  churn.start();
+  sim.run_until(ds::seconds(50));
+  churn.stop();
+  EXPECT_TRUE(churn.stopped());
+  // The t=100 transitions were scheduled but must not fire: stop() cancels
+  // them rather than letting them no-op, so the queue drains completely.
+  sim.run_all();
+  EXPECT_EQ(offs, 0);
+  EXPECT_EQ(churn.online_count(), 8u);
+  EXPECT_EQ(ons, 8);  // only the initial onlining
+}
+
+TEST(ChurnDriver, RestartResumesFromCurrentStates) {
+  ds::Simulator sim;
+  int ons = 0, offs = 0;
+  dn::ChurnConfig cfg;
+  cfg.session = dn::DurationDist::constant(100);
+  cfg.downtime = dn::DurationDist::constant(100);
+  cfg.initially_online = 1.0;
+  dn::ChurnDriver churn(
+      sim, 8, cfg, [&](std::size_t) { ++ons; }, [&](std::size_t) { ++offs; });
+  churn.start();
+  sim.run_until(ds::seconds(150));  // everyone went offline at t=100
+  EXPECT_EQ(offs, 8);
+  churn.stop();
+  sim.run_until(ds::seconds(400));  // frozen: no transitions while stopped
+  EXPECT_EQ(ons, 8);
+  churn.restart();
+  EXPECT_FALSE(churn.stopped());
+  // Fresh downtime draws start from the restart instant: back at t=500.
+  sim.run_until(ds::seconds(550));
+  EXPECT_EQ(ons, 16);
+  EXPECT_EQ(churn.online_count(), 8u);
+}
+
 TEST(ChurnDriver, InitiallyOfflineFractionRespected) {
   ds::Simulator sim;
   dn::ChurnConfig cfg;
@@ -193,6 +416,75 @@ TEST(ChurnDriver, InitiallyOfflineFractionRespected) {
   churn.start();
   EXPECT_EQ(ons, 0);
   EXPECT_EQ(churn.online_count(), 0u);
+}
+
+namespace {
+
+double sample_mean_s(const dn::DurationDist& dist, int n, std::uint64_t seed) {
+  ds::Rng rng(seed);
+  double total = 0;
+  for (int i = 0; i < n; ++i) total += ds::to_seconds(dist.sample(rng));
+  return total / n;
+}
+
+std::vector<double> sample_sorted_s(const dn::DurationDist& dist, int n,
+                                    std::uint64_t seed) {
+  ds::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(ds::to_seconds(dist.sample(rng)));
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+}  // namespace
+
+TEST(DurationDist, SampleMeansMatchAnalyticValues) {
+  const int kN = 40000;
+  // Constant(10): mean 10, exactly.
+  EXPECT_DOUBLE_EQ(sample_mean_s(dn::DurationDist::constant(10), 100, 1), 10);
+  // Exponential(mean 10): mean 10.
+  EXPECT_NEAR(sample_mean_s(dn::DurationDist::exponential_mean(10), kN, 2),
+              10.0, 0.5);
+  // Pareto(x_m=2, alpha=3): mean = alpha*x_m/(alpha-1) = 3.
+  EXPECT_NEAR(sample_mean_s(dn::DurationDist::pareto(2, 3), kN, 3), 3.0, 0.15);
+  // Weibull(scale=10, shape=2): mean = scale * Gamma(1 + 1/2) ~ 8.862.
+  EXPECT_NEAR(sample_mean_s(dn::DurationDist::weibull(10, 2), kN, 4), 8.862,
+              0.4);
+  // LogNormal(median=10, sigma=0.5): mean = median * exp(sigma^2/2) ~ 11.33.
+  EXPECT_NEAR(sample_mean_s(dn::DurationDist::lognormal(10, 0.5), kN, 5),
+              11.33, 0.6);
+}
+
+TEST(DurationDist, ParetoAndWeibullAreHeavyTailed) {
+  const int kN = 40000;
+  auto tail_ratio = [&](const dn::DurationDist& dist, std::uint64_t seed) {
+    const auto xs = sample_sorted_s(dist, kN, seed);
+    return xs[kN * 99 / 100] / xs[kN / 2];  // p99 / p50
+  };
+  // Analytic p99/p50: exponential ~6.64; Pareto(alpha=1.5) ~13.6;
+  // Weibull(shape=0.5) ~44. The heavy tails should be far above the
+  // light-tailed exponential baseline.
+  const double expo = tail_ratio(dn::DurationDist::exponential_mean(10), 11);
+  const double pareto = tail_ratio(dn::DurationDist::pareto(2, 1.5), 12);
+  const double weibull = tail_ratio(dn::DurationDist::weibull(10, 0.5), 13);
+  EXPECT_LT(expo, 8.0);
+  EXPECT_GT(pareto, 10.0);
+  EXPECT_GT(weibull, 25.0);
+  EXPECT_GT(pareto, expo * 1.5);
+  EXPECT_GT(weibull, expo * 3.0);
+}
+
+TEST(DurationDist, SameSeedYieldsIdenticalSequences) {
+  for (const auto& dist :
+       {dn::DurationDist::constant(10), dn::DurationDist::exponential_mean(10),
+        dn::DurationDist::pareto(2, 1.5), dn::DurationDist::weibull(10, 0.6),
+        dn::DurationDist::lognormal(10, 1.0)}) {
+    ds::Rng r1(99), r2(99);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(dist.sample(r1), dist.sample(r2));
+    }
+  }
 }
 
 TEST(DurationDist, SamplesArePositive) {
