@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   simu.set_trace(ex.trace());
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(20)),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 6},
+                    &ex.metrics());
   chain::ChainParams params;
   params.retarget_window = 0;
   params.initial_difficulty = 1e6;

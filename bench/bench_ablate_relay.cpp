@@ -30,14 +30,13 @@ int main(int argc, char** argv) {
     cfg.miners = 8;
     cfg.wallets = 32;
     cfg.tx_rate_per_sec = 12;
-    cfg.median_latency = sim::millis(150);
+    cfg.common.latency = sim::millis(150);
     cfg.model_bandwidth = true;  // serialization delay is the story here
     cfg.uplink_bps = 2e6 / 8;    // 2 Mbit/s consumer uplink
     cfg.downlink_bps = 16e6 / 8;
-    cfg.duration = sim::minutes(90);
+    cfg.common.duration = sim::minutes(90);
     cfg.compact_relay = compact;
-    cfg.seed = ex.seed();
-    const auto r = core::run_pow_scenario(cfg);
+    const auto r = core::run_pow_scenario(cfg, ex);
     ex.add_row({{"relay", compact ? "compact (header+txids)" : "full blocks"},
                 {"tps", bench::Value(r.throughput_tps, 1)},
                 {"stale_rate", bench::Value(r.stale_rate, 4)},

@@ -30,11 +30,10 @@ int main(int argc, char** argv) {
       cfg.miners = 8;
       cfg.wallets = 4;
       cfg.tx_rate_per_sec = 0;  // isolate the fork dynamics
-      cfg.median_latency = sim::millis(latency_ms);
+      cfg.common.latency = sim::millis(latency_ms);
       // Enough blocks per row for a stable estimate.
-      cfg.duration = sim::seconds(interval_s * 150);
-      cfg.seed = ex.seed();
-      const auto r = core::run_pow_scenario(cfg);
+      cfg.common.duration = sim::seconds(interval_s * 150);
+      const auto r = core::run_pow_scenario(cfg, ex);
       ex.add_row({{"latency_ms", std::int64_t{latency_ms}},
                   {"block_interval_s", bench::Value(interval_s, 0)},
                   {"blocks", r.blocks_on_chain},

@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
       cfg.tx_rate_per_sec = 640.0 / static_cast<double>(channels);
       cfg.block_max_txs = 64;
       cfg.block_timeout = sim::millis(100);
-      cfg.duration = sim::seconds(30);
-      cfg.seed = ex.seed() + c;
+      cfg.common.duration = sim::seconds(30);
+      cfg.common.seed = ex.seed() + c;
       const auto r = core::run_fabric_scenario(cfg);
       agg_tps += r.throughput_tps;
       p50 += r.latency_p50_ms;

@@ -3,14 +3,8 @@
 // making a centralized cloud a poor match for them ... Control must be at
 // the edge ... The level of trust and the speed needed by decentralized edge
 // services may be achieved through permissioned blockchains."
-#include <memory>
-
 #include "bench_util.hpp"
-#include "edge/federation.hpp"
-#include "fabric/channel.hpp"
-#include "fabric/contracts.hpp"
-#include "net/network.hpp"
-#include "sim/metrics.hpp"
+#include "core/scenarios.hpp"
 
 using namespace decentnet;
 
@@ -28,79 +22,19 @@ int main(int argc, char** argv) {
 
   for (const auto policy :
        {edge::PlacementPolicy::CloudOnly, edge::PlacementPolicy::EdgeFirst}) {
-    sim::Simulator simu(ex.seed());
-    simu.set_trace(ex.trace());
-    auto geo_model = std::make_unique<net::GeoLatency>(0.15);
-    net::GeoLatency* geo = geo_model.get();
-    net::Network netw(simu, std::move(geo_model), {}, &ex.metrics());
-    edge::Federation fed(netw, *geo, {}, {});
-
-    // Permissioned trust substrate on the same network: usage records are
-    // metered through the energy-trading style contract.
-    fabric::MembershipService msp(5);
-    fabric::EndorsementPolicy fpolicy{1};
-    fabric::FabricPeer peer(netw, netw.new_node_id(), "federation-registry",
-                            msp, fpolicy, 999);
-    auto kv = std::make_shared<fabric::KvContract>();
-    peer.install(kv);
-    peer.set_event_source(true);
-    fabric::SoloOrderer orderer(netw, netw.new_node_id(),
-                                fabric::OrdererConfig{});
-    orderer.register_peer(peer.addr());
-    fabric::FabricClient registry(netw, netw.new_node_id(), fpolicy);
-    registry.set_endorsers({&peer});
-    registry.set_orderer(&orderer);
-
-    std::uint64_t usage_records = 0;
-    std::uint64_t usage_seq = 0;
-    fed.set_usage_recorder([&](const std::string& provider,
-                               const std::string& consumer) {
-      ++usage_records;
-      registry.invoke("kv",
-                      {"put",
-                       "usage/" + provider + "/" + consumer + "/" +
-                           std::to_string(usage_seq++),
-                       "1"},
-                      [](bool, const std::string&, sim::SimDuration) {});
-    });
-
-    sim::Histogram lat;
-    std::size_t ok = 0, in_region = 0, in_domain = 0, total = 0;
-    sim::Rng rng(ex.seed() ^ 13);
-    const std::size_t kRequests = 2000;
-    for (std::size_t i = 0; i < kRequests; ++i) {
-      simu.schedule(sim::millis(10) * static_cast<sim::SimDuration>(i),
-                    [&, policy] {
-                      fed.issue_request(
-                          policy, rng,
-                          [&](bool success, sim::SimDuration latency,
-                              bool region, bool domain) {
-                            ++total;
-                            if (success) {
-                              ++ok;
-                              lat.record(sim::to_millis(latency));
-                            }
-                            if (region) ++in_region;
-                            if (domain) ++in_domain;
-                          });
-                    });
-    }
-    simu.run_until(sim::minutes(5));
+    core::EdgeScenarioConfig cfg;
+    cfg.policy = policy;
+    // Seed/trace/metrics come from the harness overload.
+    const auto r = core::run_edge_scenario(cfg, ex);
     ex.add_row({{"policy", policy == edge::PlacementPolicy::CloudOnly
                                ? "cloud-only"
                                : "edge-first"},
-                {"ok", std::uint64_t{ok}},
-                {"p50_ms", bench::Value(lat.percentile(50), 1)},
-                {"p99_ms", bench::Value(lat.percentile(99), 1)},
-                {"in_region_pct",
-                 bench::Value(100.0 * static_cast<double>(in_region) /
-                                  static_cast<double>(total),
-                              1)},
-                {"in_domain_pct",
-                 bench::Value(100.0 * static_cast<double>(in_domain) /
-                                  static_cast<double>(total),
-                              1)},
-                {"usage_records", usage_records}});
+                {"ok", r.ok},
+                {"p50_ms", bench::Value(r.latency_p50_ms, 1)},
+                {"p99_ms", bench::Value(r.latency_p99_ms, 1)},
+                {"in_region_pct", bench::Value(r.in_region_pct, 1)},
+                {"in_domain_pct", bench::Value(r.in_domain_pct, 1)},
+                {"usage_records", r.usage_records}});
   }
   const int rc = ex.finish();
   std::printf(

@@ -27,7 +27,7 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
   simu.set_trace(ex.trace());
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
-      {}, &ex.metrics());
+      net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
   overlay::GossipConfig cfg;
   cfg.fanout = fanout;
   std::vector<net::NodeId> addrs;

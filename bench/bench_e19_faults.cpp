@@ -54,10 +54,11 @@ Row run_raft(sim::SimDuration partition_len, std::uint64_t seed,
              sim::PointScope& scope) {
   sim::Simulator simu(seed);
   simu.set_trace(scope.trace());
+  const std::size_t n = 5;
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(5)),
-                    {}, &scope.metrics());
-  const std::size_t n = 5;
+                    net::NetworkConfig{.expected_nodes = n},
+                    &scope.metrics());
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
 
@@ -141,11 +142,12 @@ Row run_pbft(sim::SimDuration partition_len, std::uint64_t seed,
              sim::PointScope& scope) {
   sim::Simulator simu(seed);
   simu.set_trace(scope.trace());
-  net::Network netw(simu,
-                    std::make_unique<net::ConstantLatency>(sim::millis(5)),
-                    {}, &scope.metrics());
   bft::PbftConfig cfg;
   cfg.f = 1;
+  net::Network netw(simu,
+                    std::make_unique<net::ConstantLatency>(sim::millis(5)),
+                    net::NetworkConfig{.expected_nodes = 3 * cfg.f + 2},
+                    &scope.metrics());
   const std::size_t n = 3 * cfg.f + 1;
   std::vector<net::NodeId> addrs;
   for (std::size_t i = 0; i < n; ++i) addrs.push_back(netw.new_node_id());
@@ -214,7 +216,8 @@ Row run_pow(sim::SimDuration partition_len, std::uint64_t seed,
   simu.set_trace(scope.trace());
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(50)),
-                    {}, &scope.metrics());
+                    net::NetworkConfig{.expected_nodes = 16},
+                    &scope.metrics());
   chain::ChainParams params;
   params.target_block_interval = sim::seconds(15);
   params.retarget_window = 0;  // fixed difficulty: deterministic block rate

@@ -1,0 +1,384 @@
+// E20: the 100k-node scale path.
+//
+// The paper's core argument is quantitative at scale: permissionless overlays
+// pay for open membership with lookup latency, redundant dissemination
+// traffic, and churn-induced failures, and those costs grow with N. E20
+// measures the two overlay primitives everything else rides on — Kademlia
+// iterative lookups and push-epidemic gossip — at N ∈ {1k, 10k, 100k} under
+// heavy-tailed churn, and doubles as the memory/throughput regression gate
+// for the Shared-payload + compact-peer work: the whole sweep must fit in a
+// few GB and the 100k points must finish in minutes, not hours.
+//
+// Sweep shape: for each N, one Kademlia point (hops, lookup latency, RPC
+// timeouts over 2000 lookups while peers churn) and one gossip point
+// (dissemination time to 99% of final coverage, duplicate factor, for 10
+// rumors while peers churn). Kademlia routing tables are warmed via
+// observe() — sorted-id neighbors for near buckets plus random contacts for
+// far ones — instead of 100k staggered join lookups, which would dominate
+// the wall-clock without changing steady-state lookup behavior.
+//
+// Knobs (repeatable `--param K=V`):
+//   max_n=N            drop sweep points above N (CI smoke uses max_n=1000)
+//   lookups=K          Kademlia lookups per point        (default 2000)
+//   rumors=K           gossip broadcasts per point       (default 10)
+//   timings_in_json=0  demote wall-clock/events-per-sec/peak-RSS cells to
+//                      table-only so BENCH_E20_scale.json is byte-identical
+//                      across runs and --jobs values (the determinism CI
+//                      check); the default 1 records them in the JSON.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "crypto/hash.hpp"
+#include "net/churn.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "overlay/gossip.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace net = decentnet::net;
+namespace overlay = decentnet::overlay;
+namespace sim = decentnet::sim;
+namespace crypto = decentnet::crypto;
+
+namespace {
+
+/// Process-wide peak resident set in MB (monotone across points, so with
+/// --jobs 1 the largest-N point reports the sweep's true high-water mark).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+/// Session/downtime mix tuned so a meaningful fraction of the population
+/// flaps inside the ~40 s measurement window even at N=1k.
+net::ChurnConfig scale_churn() {
+  net::ChurnConfig churn;
+  churn.session = net::DurationDist::weibull(120, 0.6);
+  churn.downtime = net::DurationDist::exponential_mean(60);
+  churn.initially_online = 1.0;
+  return churn;
+}
+
+struct WallClock {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+};
+
+void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
+                        sim::PointScope& scope) {
+  const WallClock wall;
+  sim::Simulator simu(scope.seed());
+  simu.set_trace(scope.trace());
+  net::Network netw(simu,
+                    std::make_unique<net::LogNormalLatency>(sim::millis(80),
+                                                            0.4),
+                    net::NetworkConfig{.expected_nodes = n}, &scope.metrics());
+
+  overlay::KademliaConfig kcfg;
+  // Bucket refreshes would add an O(N·buckets) lookup storm mid-window;
+  // churn already exercises table repair, so push refreshes out of frame.
+  kcfg.refresh_interval = sim::hours(6);
+
+  std::vector<net::NodeId> addrs(n);
+  for (std::size_t i = 0; i < n; ++i) addrs[i] = netw.new_node_id();
+  std::vector<std::unique_ptr<overlay::KademliaNode>> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<overlay::KademliaNode>(netw, addrs[i], kcfg));
+  }
+
+  // Warm routing tables without N join lookups: every node learns its
+  // neighbors in sorted-id order (sorted adjacency = long shared prefixes =
+  // the near buckets iterative lookups terminate through) plus a spread of
+  // random contacts for the far buckets.
+  std::vector<std::size_t> by_id(n);
+  for (std::size_t i = 0; i < n; ++i) by_id[i] = i;
+  std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+    return nodes[a]->id() < nodes[b]->id();
+  });
+  sim::Rng rng(scope.seed() ^ 0xE20);
+  const std::size_t kNeighbors = 8;   // each side, in sorted-id order
+  const std::size_t kRandom = 16;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t i = by_id[pos];
+    nodes[i]->join({});
+    for (std::size_t d = 1; d <= kNeighbors; ++d) {
+      const std::size_t lo = by_id[(pos + n - d) % n];
+      const std::size_t hi = by_id[(pos + d) % n];
+      nodes[i]->observe({nodes[lo]->id(), addrs[lo]});
+      nodes[i]->observe({nodes[hi]->id(), addrs[hi]});
+    }
+    for (std::size_t r = 0; r < kRandom; ++r) {
+      const std::size_t j = rng.uniform_int(n);
+      if (j != i) nodes[i]->observe({nodes[j]->id(), addrs[j]});
+    }
+  }
+
+  // Churn: rejoining peers bootstrap through a surviving sorted-id neighbor
+  // (their table persists across the offline gap, as in real clients).
+  net::ChurnDriver churn(
+      simu, n, scale_churn(),
+      [&](std::size_t i) {
+        if (nodes[i]->online()) return;
+        nodes[i]->join(nodes[i]->routing_table().empty()
+                           ? std::vector<overlay::Contact>{}
+                           : std::vector<overlay::Contact>{
+                                 nodes[i]->routing_table().front()});
+      },
+      [&](std::size_t i) {
+        if (nodes[i]->online()) nodes[i]->leave();
+      });
+  churn.start();
+
+  std::vector<overlay::LookupResult> results;
+  results.reserve(lookups);
+  std::size_t skipped_offline = 0;
+  for (std::size_t q = 0; q < lookups; ++q) {
+    const auto at = sim::seconds(5) + sim::millis(15) * q;
+    simu.post(at, [&, q] {
+      const std::size_t who = rng.uniform_int(n);
+      if (!nodes[who]->online()) {
+        ++skipped_offline;
+        return;
+      }
+      const overlay::Key target =
+          crypto::sha256("e20-target-" + std::to_string(q));
+      nodes[who]->lookup(target, [&](overlay::LookupResult r) {
+        results.push_back(std::move(r));
+      });
+    });
+  }
+  const auto horizon =
+      sim::seconds(10) + sim::millis(15) * lookups + sim::seconds(5);
+  simu.run_until(horizon);
+  churn.stop();
+
+  double hops_sum = 0, rpcs_sum = 0;
+  std::size_t timeouts = 0, successes = 0;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(results.size());
+  for (const auto& r : results) {
+    hops_sum += static_cast<double>(r.hops);
+    rpcs_sum += static_cast<double>(r.rpcs_sent);
+    timeouts += r.timeouts;
+    if (!r.closest.empty()) ++successes;
+    latencies_ms.push_back(sim::to_millis(r.elapsed));
+  }
+  const double completed = std::max<double>(1, results.size());
+  const double wall_s = wall.seconds();
+  const auto events = simu.total_events_processed();
+  auto timing = [&](double v, int prec) {
+    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
+  };
+  scope.add_row({
+      {"overlay", "kademlia"},
+      {"n", static_cast<std::uint64_t>(n)},
+      {"online_end", static_cast<std::uint64_t>(churn.online_count())},
+      {"lookups", static_cast<std::uint64_t>(results.size())},
+      {"skipped_offline", static_cast<std::uint64_t>(skipped_offline)},
+      {"success_pct", sim::Value(100.0 * successes / completed, 2)},
+      {"mean_hops", sim::Value(hops_sum / completed, 2)},
+      {"p50_ms", sim::Value(percentile(latencies_ms, 0.50), 1)},
+      {"p99_ms", sim::Value(percentile(latencies_ms, 0.99), 1)},
+      {"mean_rpcs", sim::Value(rpcs_sum / completed, 1)},
+      {"rpc_timeouts", static_cast<std::uint64_t>(timeouts)},
+      {"msgs", netw.messages_sent()},
+      {"events", events},
+      {"wall_s", timing(wall_s, 2)},
+      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
+      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
+  });
+}
+
+void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
+                      sim::PointScope& scope) {
+  const WallClock wall;
+  sim::Simulator simu(scope.seed());
+  simu.set_trace(scope.trace());
+  net::Network netw(simu,
+                    std::make_unique<net::LogNormalLatency>(sim::millis(80),
+                                                            0.4),
+                    net::NetworkConfig{.expected_nodes = n}, &scope.metrics());
+
+  overlay::GossipConfig gcfg;
+  gcfg.view_size = 16;
+  gcfg.shuffle_size = 8;
+  gcfg.shuffle_interval = sim::seconds(30);
+  gcfg.fanout = 6;
+  gcfg.message_bytes = 256;
+
+  std::vector<net::NodeId> addrs(n);
+  for (std::size_t i = 0; i < n; ++i) addrs[i] = netw.new_node_id();
+  std::vector<std::unique_ptr<overlay::GossipNode>> nodes;
+  nodes.reserve(n);
+  // First delivery times per rumor, in sim time, for the t99 computation.
+  std::vector<std::vector<sim::SimTime>> deliveries(rumors);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<overlay::GossipNode>(netw, addrs[i], gcfg));
+    nodes.back()->set_deliver_hook(
+        [&deliveries, &simu](overlay::RumorId rumor, std::size_t) {
+          deliveries[rumor].push_back(simu.now());
+        });
+  }
+
+  // Half-ring, half-random views: the ring guarantees connectivity, the
+  // random links keep the epidemic's diameter logarithmic.
+  sim::Rng rng(scope.seed() ^ 0xE20);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<net::NodeId> view;
+    view.reserve(gcfg.view_size);
+    for (std::size_t d = 1; d <= gcfg.view_size / 2; ++d) {
+      view.push_back(addrs[(i + d) % n]);
+    }
+    while (view.size() < gcfg.view_size) {
+      const std::size_t j = rng.uniform_int(n);
+      if (j != i) view.push_back(addrs[j]);
+    }
+    nodes[i]->join(view);
+  }
+
+  // Node 0 originates every rumor, so keep it out of the churn population.
+  net::ChurnDriver churn(
+      simu, n - 1, scale_churn(),
+      [&](std::size_t i) {
+        if (nodes[i + 1]->online()) return;
+        std::vector<net::NodeId> view;
+        for (std::size_t d = 1; d <= gcfg.view_size / 2; ++d) {
+          view.push_back(addrs[(i + 1 + d) % n]);
+        }
+        nodes[i + 1]->join(view);
+      },
+      [&](std::size_t i) {
+        if (nodes[i + 1]->online()) nodes[i + 1]->leave();
+      });
+  churn.start();
+
+  std::vector<sim::SimTime> sent_at(rumors);
+  for (std::size_t r = 0; r < rumors; ++r) {
+    const auto at = sim::seconds(2) + sim::seconds(3) * r;
+    simu.post(at, [&, r] {
+      sent_at[r] = simu.now();
+      nodes[0]->broadcast(static_cast<overlay::RumorId>(r),
+                          gcfg.message_bytes);
+    });
+  }
+  simu.run_until(sim::seconds(2) + sim::seconds(3) * rumors +
+                 sim::seconds(20));
+  churn.stop();
+
+  double coverage_sum = 0, t99_sum = 0;
+  for (std::size_t r = 0; r < rumors; ++r) {
+    auto& times = deliveries[r];
+    coverage_sum += static_cast<double>(times.size()) / n;
+    if (!times.empty()) {
+      std::sort(times.begin(), times.end());
+      const auto idx = static_cast<std::size_t>(0.99 * (times.size() - 1));
+      t99_sum += sim::to_millis(times[idx] - sent_at[r]);
+    }
+  }
+  std::uint64_t duplicates = 0, delivered = 0;
+  for (std::size_t r = 0; r < rumors; ++r) delivered += deliveries[r].size();
+  for (const auto& node : nodes) duplicates += node->duplicates_received();
+
+  const double wall_s = wall.seconds();
+  const auto events = simu.total_events_processed();
+  auto timing = [&](double v, int prec) {
+    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
+  };
+  scope.add_row({
+      {"overlay", "gossip"},
+      {"n", static_cast<std::uint64_t>(n)},
+      {"online_end", static_cast<std::uint64_t>(churn.online_count() + 1)},
+      {"rumors", static_cast<std::uint64_t>(rumors)},
+      {"coverage_pct", sim::Value(100.0 * coverage_sum / rumors, 2)},
+      {"t99_ms", sim::Value(t99_sum / rumors, 1)},
+      {"dupes_per_delivery",
+       sim::Value(static_cast<double>(duplicates) / std::max<std::uint64_t>(
+                                                        1, delivered),
+                  2)},
+      {"msgs", netw.messages_sent()},
+      {"events", events},
+      {"wall_s", timing(wall_s, 2)},
+      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
+      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::ExperimentHarness ex("E20_scale", argc, argv, {.seed = 20});
+  ex.describe(
+      "E20: overlay primitives at 1k/10k/100k nodes under churn",
+      "Open-membership overlays pay for decentralization with multi-hop "
+      "lookups, redundant dissemination and churn-induced timeouts, and the "
+      "costs grow with N (paper SS II-III)",
+      "Per N in {1k,10k,100k}: 2000 Kademlia lookups and 10 gossip "
+      "broadcasts while peers churn (Weibull sessions, exp downtime); "
+      "reports hops/latency/coverage plus events/sec and peak RSS");
+
+  const std::uint64_t max_n = ex.cli_param_u64("max_n", 100000);
+  const std::size_t lookups =
+      static_cast<std::size_t>(ex.cli_param_u64("lookups", 2000));
+  const std::size_t rumors =
+      static_cast<std::size_t>(ex.cli_param_u64("rumors", 10));
+  const bool json_timings = ex.cli_param_u64("timings_in_json", 1) != 0;
+
+  std::vector<std::size_t> sizes;
+  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+    if (n <= max_n) sizes.push_back(n);
+  }
+  if (sizes.empty()) sizes.push_back(static_cast<std::size_t>(max_n));
+
+  ex.set_param("max_n", max_n);
+  ex.set_param("lookups", static_cast<std::uint64_t>(lookups));
+  ex.set_param("rumors", static_cast<std::uint64_t>(rumors));
+
+  ex.run_points(sizes.size() * 2, [&](sim::PointScope& scope) {
+    const std::size_t n = sizes[scope.index() / 2];
+    if (scope.index() % 2 == 0) {
+      run_kademlia_point(n, lookups, json_timings, scope);
+    } else {
+      run_gossip_point(n, rumors, json_timings, scope);
+    }
+  });
+
+  std::printf(
+      "\nScale path: one Shared<T> allocation per rumor/request regardless "
+      "of fan-out;\n32-byte peers + sparse routing tables keep the 100k "
+      "points within a few GB.\n");
+  return ex.finish();
+}

@@ -29,10 +29,10 @@ GnutellaRow run_gnutella(double free_rider_fraction, std::uint64_t seed,
                          sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
   simu.set_trace(ex.trace());
+  const std::size_t n = 400;
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
-      {}, &ex.metrics());
-  const std::size_t n = 400;
+      net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
   sim::Rng rng(seed ^ 0x62);
   p2p::ContentCatalog catalog({}, rng);
   const auto plan = p2p::plan_population(catalog, n, free_rider_fraction, rng);

@@ -26,7 +26,8 @@ Row run(std::size_t honest_n, std::size_t sybils, std::uint64_t seed,
   simu.set_trace(ex.trace());
   net::Network netw(
       simu, std::make_unique<net::ConstantLatency>(sim::millis(40)),
-      {}, &ex.metrics());
+      net::NetworkConfig{.expected_nodes = honest_n + sybils},
+      &ex.metrics());
   overlay::KademliaConfig cfg;
   std::vector<std::unique_ptr<overlay::KademliaNode>> honest;
   for (std::size_t i = 0; i < honest_n; ++i) {

@@ -30,7 +30,7 @@ Row run_chord(std::size_t n, bool churn, std::uint64_t seed,
   simu.set_trace(ex.trace());
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
-      {}, &ex.metrics());
+      net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
   overlay::ChordConfig cfg;
   std::vector<std::unique_ptr<overlay::ChordNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -92,7 +92,7 @@ Row run_onehop(std::size_t n, bool churn, std::uint64_t seed,
   simu.set_trace(ex.trace());
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
-      {}, &ex.metrics());
+      net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
   overlay::OneHopConfig cfg;
   std::vector<std::unique_ptr<overlay::OneHopNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {

@@ -39,9 +39,8 @@ int main(int argc, char** argv) {
         cfg.miners = 10;
         cfg.wallets = 48;
         cfg.tx_rate_per_sec = 10;  // saturating: capacity is ~6.7 tps
-        cfg.duration = sim::hours(3);
-        cfg.seed = scope.root_seed();
-        const auto r = core::run_pow_scenario(cfg);
+        cfg.common.duration = sim::hours(3);
+        const auto r = core::run_pow_scenario(cfg, scope);
         scope.add_row({{"system", "Bitcoin-like PoW"},
                        {"tps", bench::Value(r.throughput_tps, 1)},
                        {"block_interval_s",
@@ -61,9 +60,8 @@ int main(int argc, char** argv) {
         cfg.miners = 10;
         cfg.wallets = 48;
         cfg.tx_rate_per_sec = 30;  // capacity ~17 tps
-        cfg.duration = sim::minutes(30);
-        cfg.seed = scope.root_seed();
-        const auto r = core::run_pow_scenario(cfg);
+        cfg.common.duration = sim::minutes(30);
+        const auto r = core::run_pow_scenario(cfg, scope);
         scope.add_row({{"system", "Ethereum-like PoW"},
                        {"tps", bench::Value(r.throughput_tps, 1)},
                        {"block_interval_s",
@@ -78,9 +76,8 @@ int main(int argc, char** argv) {
         cfg.partitions = 16;
         cfg.replicas = 3;
         cfg.tx_rate_per_sec = 8000;
-        cfg.duration = sim::seconds(20);
-        cfg.seed = scope.root_seed();
-        const auto r = core::run_partitioned_scenario(cfg);
+        cfg.common.duration = sim::seconds(20);
+        const auto r = core::run_partitioned_scenario(cfg, scope);
         scope.add_row({{"system", "Partitioned cloud (16 shards)"},
                        {"tps", bench::Value(r.throughput_tps, 0)},
                        {"offered_tps", 8000},
@@ -92,9 +89,8 @@ int main(int argc, char** argv) {
         cfg.partitions = 48;
         cfg.replicas = 3;
         cfg.tx_rate_per_sec = 24000;
-        cfg.duration = sim::seconds(10);
-        cfg.seed = scope.root_seed();
-        const auto r = core::run_partitioned_scenario(cfg);
+        cfg.common.duration = sim::seconds(10);
+        const auto r = core::run_partitioned_scenario(cfg, scope);
         scope.add_row({{"system", "Partitioned cloud (48 shards)"},
                        {"tps", bench::Value(r.throughput_tps, 0)},
                        {"offered_tps", 24000},

@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(12),
                                                             0.3),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 16},
+                    &ex.metrics());
   fabric::MembershipService msp(6);
 
   // The notary org is a member of BOTH consortiums — an ordinary member,

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(60),
                                                             0.4),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 16},
+                    &ex.metrics());
   chain::ChainParams params;
   params.target_block_interval = sim::seconds(60);
   params.retarget_window = 32;  // retarget every 32 blocks

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
   simu.set_trace(ex.trace());
   auto geo_model = std::make_unique<net::GeoLatency>(0.1);
   net::GeoLatency* geo = geo_model.get();
-  net::Network netw(simu, std::move(geo_model), {}, &ex.metrics());
+  net::Network netw(simu, std::move(geo_model),
+                    net::NetworkConfig{.expected_nodes = 16},
+                    &ex.metrics());
 
   // --- The permissioned consent/audit channel --------------------------------
   fabric::MembershipService msp(3);

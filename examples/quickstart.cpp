@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(50),
                                                             0.4),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 64},
+                    &ex.metrics());
 
   // --- 2. A 50-node Kademlia DHT --------------------------------------------
   std::vector<std::unique_ptr<overlay::KademliaNode>> dht;

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(5),
                                                             0.3),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 8},
+                    &ex.metrics());
   fabric::MembershipService msp(4);
   fabric::EndorsementPolicy policy{2};
   const char* orgs[] = {"utility", "coop", "regulator"};

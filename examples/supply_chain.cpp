@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(8),
                                                             0.3),
-                    {}, &ex.metrics());
+                    net::NetworkConfig{.expected_nodes = 8},
+                    &ex.metrics());
 
   // Consortium membership: one CA, four orgs, one endorsing peer each.
   fabric::MembershipService msp(1);

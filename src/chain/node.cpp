@@ -216,9 +216,15 @@ void FullNode::update_active_chain() {
     utxo_tip_ = target;
     for (const TipHook& hook : tip_hooks_) hook();
     if (!light_clients_.empty() && !plan.apply.empty()) {
+      // One shared header per applied block, fanned out to every client.
+      std::vector<sim::Shared<HeaderMsg>> headers;
+      headers.reserve(plan.apply.size());
+      for (const BlockPtr& b : plan.apply) {
+        headers.push_back(sim::Shared<HeaderMsg>::make(HeaderMsg{b->header}));
+      }
       for (net::NodeId lc : light_clients_) {
-        for (const BlockPtr& b : plan.apply) {
-          net_.send(addr_, lc, HeaderMsg{b->header}, 80);
+        for (const auto& h : headers) {
+          net_.send(addr_, lc, h, 80);
         }
       }
     }
@@ -237,25 +243,31 @@ void FullNode::relay_block(const BlockPtr& block, net::NodeId skip) {
     }
     const std::size_t bytes =
         80 + compact.coinbase.wire_size() + 6 * compact.tx_ids.size();
+    // One allocation for the whole fan-out: the tx-id vector is built once
+    // and every neighbor's delivery aliases it.
+    const auto shared =
+        sim::Shared<chain_msg::CompactBlockMsg>::make(std::move(compact));
     for (net::NodeId n : neighbors_) {
       if (n == skip) continue;
-      net_.send(addr_, n, compact, bytes);
+      net_.send(addr_, n, shared, bytes);
     }
     return;
   }
   const std::size_t bytes = block->wire_size();
+  const auto shared = sim::Shared<BlockMsg>::make(BlockMsg{block});
   for (net::NodeId n : neighbors_) {
     if (n == skip) continue;
-    net_.send(addr_, n, BlockMsg{block}, bytes);
+    net_.send(addr_, n, shared, bytes);
   }
 }
 
 void FullNode::relay_tx(const std::shared_ptr<const Transaction>& tx,
                         const TxId& id, net::NodeId skip) {
   const std::size_t bytes = tx->wire_size();
+  const auto shared = sim::Shared<TxMsg>::make(TxMsg{tx, id});
   for (net::NodeId n : neighbors_) {
     if (n == skip) continue;
-    net_.send(addr_, n, TxMsg{tx, id}, bytes);
+    net_.send(addr_, n, shared, bytes);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "bft/raft.hpp"
@@ -12,25 +13,174 @@
 #include "fabric/channel.hpp"
 #include "fabric/contracts.hpp"
 #include "net/topology.hpp"
+#include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 
 namespace decentnet::core {
+
+namespace {
+
+/// Where a run gets its seed, metric registry, and trace sink from. The
+/// standalone overload runs with the config's seed and a network-private
+/// registry; the harness/scope overloads thread the experiment's.
+struct ScenarioEnv {
+  std::uint64_t seed = 0;
+  sim::MetricRegistry* metrics = nullptr;
+  sim::TraceSink* trace = nullptr;
+};
+
+ScenarioEnv env_of(const ScenarioCommon& common) {
+  return {common.seed, nullptr, nullptr};
+}
+
+ScenarioEnv env_of(sim::ExperimentHarness& harness) {
+  return {harness.seed(), &harness.metrics(), harness.trace()};
+}
+
+ScenarioEnv env_of(sim::PointScope& scope) {
+  return {scope.root_seed(), &scope.metrics(), scope.trace()};
+}
+
+void check_valid(const std::optional<std::string>& error) {
+  if (error) throw std::invalid_argument(*error);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> PowScenarioConfig::validate() const {
+  if (nodes == 0) return "PowScenarioConfig: nodes must be > 0";
+  if (degree == 0 || degree >= nodes) {
+    return "PowScenarioConfig: degree must be in [1, nodes-1], got degree=" +
+           std::to_string(degree) + " with nodes=" + std::to_string(nodes);
+  }
+  if (miners > nodes) {
+    return "PowScenarioConfig: miners (" + std::to_string(miners) +
+           ") must be <= nodes (" + std::to_string(nodes) + ")";
+  }
+  if (wallets < 2) {
+    return "PowScenarioConfig: wallets must be >= 2 (the workload pays one "
+           "wallet from another)";
+  }
+  if (total_hashrate <= 0) {
+    return "PowScenarioConfig: total_hashrate must be > 0 or no block is "
+           "ever mined";
+  }
+  if (tx_rate_per_sec < 0) {
+    return "PowScenarioConfig: tx_rate_per_sec must be >= 0 (0 disables the "
+           "workload)";
+  }
+  if (common.duration <= 0) return "PowScenarioConfig: duration must be > 0";
+  if (common.latency <= 0) {
+    return "PowScenarioConfig: common.latency (median one-way delay) must "
+           "be > 0";
+  }
+  if (model_bandwidth && (uplink_bps <= 0 || downlink_bps <= 0)) {
+    return "PowScenarioConfig: model_bandwidth needs uplink_bps and "
+           "downlink_bps > 0";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FabricScenarioConfig::validate() const {
+  if (orgs == 0 || peers_per_org == 0) {
+    return "FabricScenarioConfig: orgs and peers_per_org must be > 0";
+  }
+  if (required_endorsements == 0 ||
+      required_endorsements > orgs * peers_per_org) {
+    return "FabricScenarioConfig: required_endorsements must be in "
+           "[1, orgs*peers_per_org], got " +
+           std::to_string(required_endorsements) + " with " +
+           std::to_string(orgs * peers_per_org) + " peers";
+  }
+  if (orderer_nodes == 0) {
+    return "FabricScenarioConfig: orderer_nodes must be > 0 (Raft group "
+           "size, or f for PBFT)";
+  }
+  if (clients == 0) return "FabricScenarioConfig: clients must be > 0";
+  if (tx_rate_per_sec <= 0) {
+    return "FabricScenarioConfig: tx_rate_per_sec must be > 0";
+  }
+  if (block_max_txs == 0) {
+    return "FabricScenarioConfig: block_max_txs must be > 0";
+  }
+  if (block_timeout <= 0) {
+    return "FabricScenarioConfig: block_timeout must be > 0 or partial "
+           "blocks never cut";
+  }
+  if (common.duration <= 0) {
+    return "FabricScenarioConfig: duration must be > 0";
+  }
+  if (common.latency <= 0) {
+    return "FabricScenarioConfig: common.latency (LAN delay) must be > 0";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> PartitionedScenarioConfig::validate() const {
+  if (partitions == 0) {
+    return "PartitionedScenarioConfig: partitions must be > 0";
+  }
+  if (replicas == 0) {
+    return "PartitionedScenarioConfig: replicas must be > 0 (each shard is "
+           "a Raft group)";
+  }
+  if (tx_rate_per_sec <= 0) {
+    return "PartitionedScenarioConfig: tx_rate_per_sec must be > 0";
+  }
+  if (common.duration <= 0) {
+    return "PartitionedScenarioConfig: duration must be > 0";
+  }
+  if (common.latency <= 0) {
+    return "PartitionedScenarioConfig: common.latency (LAN delay) must "
+           "be > 0";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> EdgeScenarioConfig::validate() const {
+  if (topology.regions == 0) {
+    return "EdgeScenarioConfig: topology.regions must be > 0";
+  }
+  if (topology.cloud_region >= topology.regions) {
+    return "EdgeScenarioConfig: topology.cloud_region must name one of the " +
+           std::to_string(topology.regions) + " regions";
+  }
+  if (topology.users_per_region == 0) {
+    return "EdgeScenarioConfig: topology.users_per_region must be > 0";
+  }
+  if (requests == 0) return "EdgeScenarioConfig: requests must be > 0";
+  if (request_interval <= 0) {
+    return "EdgeScenarioConfig: request_interval must be > 0";
+  }
+  if (common.duration <= 0) return "EdgeScenarioConfig: duration must be > 0";
+  return std::nullopt;
+}
 
 // ---------------------------------------------------------------------------
 // PoW scenario
 // ---------------------------------------------------------------------------
 
-PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
-  sim::Simulator sim(config.seed);
+namespace {
+
+PowScenarioResult run_pow_impl(const PowScenarioConfig& config,
+                               const ScenarioEnv& env) {
+  check_valid(config.validate());
+  sim::Simulator sim(env.seed);
+  sim.set_trace(env.trace);
   net::NetworkConfig net_cfg;
   net_cfg.model_bandwidth = config.model_bandwidth;
   net_cfg.default_uplink_bps = config.uplink_bps;
   net_cfg.default_downlink_bps = config.downlink_bps;
   net_cfg.expected_nodes = config.nodes;
+  check_valid(net_cfg.validate());
   net::Network net(sim,
                    std::make_unique<net::LogNormalLatency>(
-                       config.median_latency, 0.4),
-                   net_cfg);
+                       config.common.latency, 0.4),
+                   net_cfg, env.metrics);
   sim::Rng rng = sim.rng().fork(0x9C0E);
 
   // Wallets funded from a premined genesis: many small outputs each so the
@@ -39,7 +189,7 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
   std::vector<std::pair<crypto::PublicKey, chain::Amount>> premine;
   constexpr std::size_t kOutputsPerWallet = 100;
   for (std::size_t i = 0; i < config.wallets; ++i) {
-    wallets.push_back(chain::Wallet::from_seed(config.seed * 1000003 + i));
+    wallets.push_back(chain::Wallet::from_seed(env.seed * 1000003 + i));
     for (std::size_t k = 0; k < kOutputsPerWallet; ++k) {
       premine.emplace_back(wallets.back().address(),
                            chain::Amount{1'000'000});
@@ -72,7 +222,7 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
                                   config.miners, 1));
   for (std::size_t i = 0; i < config.miners && i < nodes.size(); ++i) {
     const chain::Wallet payout =
-        chain::Wallet::from_seed(config.seed * 2000003 + i);
+        chain::Wallet::from_seed(env.seed * 2000003 + i);
     miners.push_back(std::make_unique<chain::Miner>(
         *nodes[i], payout.address(), per_miner));
     miners.back()->start();
@@ -101,7 +251,7 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
     sim.post(sim::seconds(1), [next_tx] { (*next_tx)(); });
   }
 
-  sim.run_until(config.duration);
+  sim.run_until(config.common.duration);
   for (auto& m : miners) m->stop();
 
   // Measure on an observer node that does not mine (last node), falling
@@ -113,7 +263,7 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
   result.stale_blocks = observer.tree().stale_count();
   result.confirmed_txs = observer.confirmed_tx_count();
   result.submitted_txs = submitted;
-  const double secs = sim::to_seconds(config.duration);
+  const double secs = sim::to_seconds(config.common.duration);
   result.throughput_tps =
       static_cast<double>(result.confirmed_txs) / std::max(secs, 1.0);
   result.mean_block_interval_s =
@@ -134,19 +284,43 @@ PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
   return result;
 }
 
+}  // namespace
+
+PowScenarioResult run_pow_scenario(const PowScenarioConfig& config) {
+  return run_pow_impl(config, env_of(config.common));
+}
+
+PowScenarioResult run_pow_scenario(const PowScenarioConfig& config,
+                                   sim::ExperimentHarness& harness) {
+  return run_pow_impl(config, env_of(harness));
+}
+
+PowScenarioResult run_pow_scenario(const PowScenarioConfig& config,
+                                   sim::PointScope& scope) {
+  return run_pow_impl(config, env_of(scope));
+}
+
 // ---------------------------------------------------------------------------
 // Fabric scenario
 // ---------------------------------------------------------------------------
 
-FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
-  sim::Simulator sim(config.seed);
+namespace {
+
+FabricScenarioResult run_fabric_impl(const FabricScenarioConfig& config,
+                                     const ScenarioEnv& env) {
+  check_valid(config.validate());
+  sim::Simulator sim(env.seed);
+  sim.set_trace(env.trace);
   net::Network net(
-      sim, std::make_unique<net::LogNormalLatency>(config.lan_latency, 0.2),
-      net::NetworkConfig{
-          .expected_nodes = config.orgs * config.peers_per_org + 4});
+      sim,
+      std::make_unique<net::LogNormalLatency>(config.common.latency, 0.2),
+      net::NetworkConfig{.expected_nodes = config.orgs * config.peers_per_org +
+                                           config.orderer_nodes +
+                                           config.clients + 1},
+      env.metrics);
   sim::Rng rng = sim.rng().fork(0xFAB);
 
-  fabric::MembershipService msp(config.seed);
+  fabric::MembershipService msp(env.seed);
   const fabric::EndorsementPolicy policy{config.required_endorsements};
 
   auto kv = std::make_shared<fabric::KvContract>();
@@ -155,13 +329,12 @@ FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
     for (std::size_t p = 0; p < config.peers_per_org; ++p) {
       peers.push_back(std::make_unique<fabric::FabricPeer>(
           net, net.new_node_id(), "org" + std::to_string(o), msp, policy,
-          config.seed * 31 + o * 97 + p));
+          env.seed * 31 + o * 97 + p));
       peers.back()->install(kv);
     }
   }
   peers.front()->set_event_source(true);
 
-  std::unique_ptr<fabric::OrderingService> orderer;
   std::unique_ptr<fabric::SoloOrderer> solo;
   std::unique_ptr<fabric::RaftOrderer> raft;
   std::unique_ptr<fabric::PbftOrderer> pbft;
@@ -223,7 +396,7 @@ FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
   // Let Raft/PBFT settle leadership before offering load.
   sim.post(sim::seconds(2), [next_tx] { (*next_tx)(); });
 
-  sim.run_until(config.duration + sim::seconds(2));
+  sim.run_until(config.common.duration + sim::seconds(2));
 
   FabricScenarioResult result;
   const auto& stats = peers.front()->stats();
@@ -231,23 +404,44 @@ FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
   result.mvcc_conflicts = stats.mvcc_conflicts;
   for (const auto& c : clients) result.failed += c->failed();
   result.throughput_tps = static_cast<double>(result.committed) /
-                          sim::to_seconds(config.duration);
+                          sim::to_seconds(config.common.duration);
   result.latency_p50_ms = latencies.percentile(50);
   result.latency_p99_ms = latencies.percentile(99);
   return result;
+}
+
+}  // namespace
+
+FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config) {
+  return run_fabric_impl(config, env_of(config.common));
+}
+
+FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config,
+                                         sim::ExperimentHarness& harness) {
+  return run_fabric_impl(config, env_of(harness));
+}
+
+FabricScenarioResult run_fabric_scenario(const FabricScenarioConfig& config,
+                                         sim::PointScope& scope) {
+  return run_fabric_impl(config, env_of(scope));
 }
 
 // ---------------------------------------------------------------------------
 // Partitioned cloud commit
 // ---------------------------------------------------------------------------
 
-PartitionedScenarioResult run_partitioned_scenario(
-    const PartitionedScenarioConfig& config) {
-  sim::Simulator sim(config.seed);
+namespace {
+
+PartitionedScenarioResult run_partitioned_impl(
+    const PartitionedScenarioConfig& config, const ScenarioEnv& env) {
+  check_valid(config.validate());
+  sim::Simulator sim(env.seed);
+  sim.set_trace(env.trace);
   net::Network net(
-      sim, std::make_unique<net::ConstantLatency>(config.lan_latency),
+      sim, std::make_unique<net::ConstantLatency>(config.common.latency),
       net::NetworkConfig{.expected_nodes =
-                             config.partitions * config.replicas + 1});
+                             config.partitions * config.replicas + 1},
+      env.metrics);
   sim::Rng rng = sim.rng().fork(0x9A27);
 
   struct Partition {
@@ -310,15 +504,140 @@ PartitionedScenarioResult run_partitioned_scenario(
   };
   sim.post(sim::seconds(1), [next_tx] { (*next_tx)(); });
 
-  sim.run_until(config.duration + sim::seconds(1));
+  sim.run_until(config.common.duration + sim::seconds(1));
 
   PartitionedScenarioResult result;
   for (const auto& part : *partitions) result.committed += part.committed;
   result.throughput_tps = static_cast<double>(result.committed) /
-                          sim::to_seconds(config.duration);
+                          sim::to_seconds(config.common.duration);
   result.latency_p50_ms = latencies.percentile(50);
   result.latency_p99_ms = latencies.percentile(99);
   return result;
+}
+
+}  // namespace
+
+PartitionedScenarioResult run_partitioned_scenario(
+    const PartitionedScenarioConfig& config) {
+  return run_partitioned_impl(config, env_of(config.common));
+}
+
+PartitionedScenarioResult run_partitioned_scenario(
+    const PartitionedScenarioConfig& config, sim::ExperimentHarness& harness) {
+  return run_partitioned_impl(config, env_of(harness));
+}
+
+PartitionedScenarioResult run_partitioned_scenario(
+    const PartitionedScenarioConfig& config, sim::PointScope& scope) {
+  return run_partitioned_impl(config, env_of(scope));
+}
+
+// ---------------------------------------------------------------------------
+// Edge federation (extracted from the E13 bench so the scenario is reusable
+// and harness-aware like the others)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+EdgeScenarioResult run_edge_impl(const EdgeScenarioConfig& config,
+                                 const ScenarioEnv& env) {
+  check_valid(config.validate());
+  sim::Simulator sim(env.seed);
+  sim.set_trace(env.trace);
+  auto geo_model =
+      std::make_unique<net::GeoLatency>(config.geo_jitter_sigma);
+  net::GeoLatency* geo = geo_model.get();
+  net::NetworkConfig net_cfg;
+  // Federation nodes + users, plus the usage ledger's peer/orderer/client.
+  net_cfg.expected_nodes =
+      1 +
+      config.topology.regions * (config.topology.nano_dcs_per_region +
+                                 config.topology.users_per_region) +
+      3;
+  net::Network net(sim, std::move(geo_model), net_cfg, env.metrics);
+  edge::Federation fed(net, *geo, config.topology, {});
+
+  // Permissioned trust substrate on the same network: usage records are
+  // metered through the energy-trading style contract.
+  fabric::MembershipService msp(5);
+  fabric::EndorsementPolicy fpolicy{1};
+  fabric::FabricPeer peer(net, net.new_node_id(), "federation-registry", msp,
+                          fpolicy, 999);
+  auto kv = std::make_shared<fabric::KvContract>();
+  peer.install(kv);
+  peer.set_event_source(true);
+  fabric::SoloOrderer orderer(net, net.new_node_id(),
+                              fabric::OrdererConfig{});
+  orderer.register_peer(peer.addr());
+  fabric::FabricClient registry(net, net.new_node_id(), fpolicy);
+  registry.set_endorsers({&peer});
+  registry.set_orderer(&orderer);
+
+  std::uint64_t usage_records = 0;
+  std::uint64_t usage_seq = 0;
+  fed.set_usage_recorder([&](const std::string& provider,
+                             const std::string& consumer) {
+    ++usage_records;
+    registry.invoke("kv",
+                    {"put",
+                     "usage/" + provider + "/" + consumer + "/" +
+                         std::to_string(usage_seq++),
+                     "1"},
+                    [](bool, const std::string&, sim::SimDuration) {});
+  });
+
+  sim::Histogram lat;
+  std::size_t ok = 0, in_region = 0, in_domain = 0, total = 0;
+  sim::Rng rng(env.seed ^ 13);
+  const edge::PlacementPolicy policy = config.policy;
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    sim.schedule(config.request_interval * static_cast<sim::SimDuration>(i),
+                 [&, policy] {
+                   fed.issue_request(
+                       policy, rng,
+                       [&](bool success, sim::SimDuration latency,
+                           bool region, bool domain) {
+                         ++total;
+                         if (success) {
+                           ++ok;
+                           lat.record(sim::to_millis(latency));
+                         }
+                         if (region) ++in_region;
+                         if (domain) ++in_domain;
+                       });
+                 });
+  }
+  sim.run_until(config.common.duration);
+
+  EdgeScenarioResult result;
+  result.ok = ok;
+  result.total = total;
+  result.latency_p50_ms = lat.percentile(50);
+  result.latency_p99_ms = lat.percentile(99);
+  if (total > 0) {
+    result.in_region_pct =
+        100.0 * static_cast<double>(in_region) / static_cast<double>(total);
+    result.in_domain_pct =
+        100.0 * static_cast<double>(in_domain) / static_cast<double>(total);
+  }
+  result.usage_records = usage_records;
+  return result;
+}
+
+}  // namespace
+
+EdgeScenarioResult run_edge_scenario(const EdgeScenarioConfig& config) {
+  return run_edge_impl(config, env_of(config.common));
+}
+
+EdgeScenarioResult run_edge_scenario(const EdgeScenarioConfig& config,
+                                     sim::ExperimentHarness& harness) {
+  return run_edge_impl(config, env_of(harness));
+}
+
+EdgeScenarioResult run_edge_scenario(const EdgeScenarioConfig& config,
+                                     sim::PointScope& scope) {
+  return run_edge_impl(config, env_of(scope));
 }
 
 }  // namespace decentnet::core

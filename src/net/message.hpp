@@ -1,18 +1,26 @@
 // Type-erased protocol messages.
 //
 // Every protocol defines plain structs for its wire messages; Network carries
-// them as shared immutable payloads tagged with their type. payload_as<T>()
-// recovers the typed view at the receiver, failing loudly on a type mismatch
-// (which would be a protocol bug, not a runtime condition).
+// them as refcounted immutable payloads (sim::Shared<T>) tagged with their
+// type. payload_as<T>() recovers the typed view at the receiver, failing
+// loudly on a type mismatch (which would be a protocol bug, not a runtime
+// condition); payload_shared<T>() re-shares the incoming payload so relays
+// forward it without re-allocating.
+//
+// Message is deliberately 48 bytes: the delivery closure (Peer* + Counter* +
+// Message) must fill InlineFn<64>'s inline buffer exactly, never overflow it.
+// `cookie` is cheap per-delivery metadata (hop count, TTL, RPC nonce) that
+// used to force a distinct payload per recipient; keeping it out of the
+// payload is what makes fan-out zero-copy.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <typeindex>
 #include <utility>
 
 #include "net/node_id.hpp"
+#include "sim/shared.hpp"
 
 namespace decentnet::net {
 
@@ -20,14 +28,20 @@ struct Message {
   NodeId from;
   NodeId to;
   std::type_index type = std::type_index(typeid(void));
-  std::shared_ptr<const void> payload;
+  sim::PayloadRef payload;
   std::size_t size_bytes = 0;
+  std::uint64_t cookie = 0;
 
   template <typename T>
   bool is() const {
     return type == std::type_index(typeid(T));
   }
 };
+
+// The untraced delivery capture is Peer* + Counter* + Message; growing
+// Message past 48 bytes would overflow InlineFn<64> and put a heap
+// allocation back on every delivery.
+static_assert(sizeof(Message) == 48, "Message must fit delivery closures");
 
 template <typename T, typename... Args>
 Message make_message(NodeId from, NodeId to, std::size_t size_bytes,
@@ -36,8 +50,21 @@ Message make_message(NodeId from, NodeId to, std::size_t size_bytes,
   m.from = from;
   m.to = to;
   m.type = std::type_index(typeid(T));
-  m.payload = std::make_shared<const T>(std::forward<Args>(args)...);
+  m.payload = sim::Shared<T>::make(std::forward<Args>(args)...).ref();
   m.size_bytes = size_bytes;
+  return m;
+}
+
+template <typename T>
+Message make_shared_message(NodeId from, NodeId to, std::size_t size_bytes,
+                            sim::Shared<T> payload, std::uint64_t cookie = 0) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = std::type_index(typeid(T));
+  m.payload = std::move(payload).ref();
+  m.size_bytes = size_bytes;
+  m.cookie = cookie;
   return m;
 }
 
@@ -45,6 +72,14 @@ template <typename T>
 const T& payload_as(const Message& m) {
   assert(m.is<T>() && "message payload type mismatch");
   return *static_cast<const T*>(m.payload.get());
+}
+
+/// Re-share the payload of an in-flight message (zero-copy relay): the
+/// returned Shared<T> aliases the broadcast's single allocation.
+template <typename T>
+sim::Shared<T> payload_shared(const Message& m) {
+  assert(m.is<T>() && "message payload type mismatch");
+  return sim::Shared<T>(m.payload);
 }
 
 /// Anything that can be attached to a Network and receive messages.

@@ -4,6 +4,18 @@
 
 namespace decentnet::net {
 
+std::optional<std::string> NetworkConfig::validate() const {
+  if (drop_probability < 0 || drop_probability > 1) {
+    return "NetworkConfig: drop_probability must be in [0, 1], got " +
+           std::to_string(drop_probability);
+  }
+  if (default_uplink_bps <= 0 || default_downlink_bps <= 0) {
+    return "NetworkConfig: default link capacities must be > 0 bytes/s "
+           "(messages would serialize forever)";
+  }
+  return std::nullopt;
+}
+
 Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
                  NetworkConfig config, sim::MetricRegistry* metrics)
     : sim_(sim),
@@ -40,13 +52,23 @@ void Network::detach(NodeId id) {
 
 void Network::set_bandwidth(NodeId id, double uplink_bps,
                             double downlink_bps) {
-  LinkState& l = peer(id).link;
+  LinkState& l = link_state(peer(id));
   l.uplink_bps = uplink_bps;
   l.downlink_bps = downlink_bps;
 }
 
+double Network::uplink_bps(NodeId id) {
+  const Peer& p = peer(id);
+  return p.link ? p.link->uplink_bps : config_.default_uplink_bps;
+}
+
+double Network::downlink_bps(NodeId id) {
+  const Peer& p = peer(id);
+  return p.link ? p.link->downlink_bps : config_.default_downlink_bps;
+}
+
 void Network::set_latency_penalty(NodeId id, sim::SimDuration extra) {
-  peer(id).link.latency_extra = extra < 0 ? 0 : extra;
+  peer(id).latency_extra = extra < 0 ? 0 : extra;
 }
 
 void Network::add_partition(
@@ -95,12 +117,15 @@ bool Network::partitioned(NodeId a, NodeId b) const {
 }
 
 Network::Peer& Network::peer(NodeId id) {
-  const auto [it, inserted] = peers_.try_emplace(id);
-  if (inserted) {
-    it->second.link = LinkState{config_.default_uplink_bps,
-                                config_.default_downlink_bps, 0, 0, 0};
+  return peers_.try_emplace(id).first->second;
+}
+
+Network::LinkState& Network::link_state(Peer& p) {
+  if (!p.link) {
+    p.link = std::make_unique<LinkState>(LinkState{
+        config_.default_uplink_bps, config_.default_downlink_bps, 0, 0});
   }
-  return it->second;
+  return *p.link;
 }
 
 void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
@@ -183,7 +208,7 @@ void Network::deliver(Message msg) {
 
   sim::SimTime depart = sim_.now();
   if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& tx = peer(msg.from).link;
+    LinkState& tx = link_state(peer(msg.from));
     const auto ser = static_cast<sim::SimDuration>(
         static_cast<double>(msg.size_bytes) / tx.uplink_bps *
         static_cast<double>(sim::kSecond));
@@ -193,7 +218,7 @@ void Network::deliver(Message msg) {
   }
 
   sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
-  prop += peer(msg.from).link.latency_extra + dst->link.latency_extra;
+  prop += peer(msg.from).latency_extra + dst->latency_extra;
   if (reorder_jitter_ > 0) {
     const auto extra = static_cast<sim::SimDuration>(
         rng_.uniform_int(static_cast<std::uint64_t>(reorder_jitter_) + 1));
@@ -203,7 +228,7 @@ void Network::deliver(Message msg) {
   sim::SimTime arrive = depart + prop;
 
   if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& rx = dst->link;
+    LinkState& rx = link_state(*dst);
     const auto ser = static_cast<sim::SimDuration>(
         static_cast<double>(msg.size_bytes) / rx.downlink_bps *
         static_cast<double>(sim::kSecond));

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,6 +40,10 @@ struct NetworkConfig {
   /// Expected topology size; pre-sizes the peer table so attach() never
   /// rehashes mid-experiment. 0 keeps the default initial capacity.
   std::size_t expected_nodes = 0;
+
+  /// Actionable description of the first invalid field, or nullopt when the
+  /// config is usable. Scenario runners reject invalid configs on entry.
+  std::optional<std::string> validate() const;
 };
 
 class Network {
@@ -74,8 +79,8 @@ class Network {
 
   /// Per-node link capacity override (bytes per simulated second).
   void set_bandwidth(NodeId id, double uplink_bps, double downlink_bps);
-  double uplink_bps(NodeId id) { return peer(id).link.uplink_bps; }
-  double downlink_bps(NodeId id) { return peer(id).link.downlink_bps; }
+  double uplink_bps(NodeId id);
+  double downlink_bps(NodeId id);
 
   /// Overlapping named partitions. Each partition splits the node space into
   /// groups: listed nodes belong to their group, unlisted nodes to one
@@ -112,7 +117,7 @@ class Network {
   /// every message the node sends or receives while nonzero.
   void set_latency_penalty(NodeId id, sim::SimDuration extra);
   sim::SimDuration latency_penalty(NodeId id) {
-    return peer(id).link.latency_extra;
+    return peer(id).latency_extra;
   }
 
   /// Duplication window: each delivered message is delivered a second time
@@ -129,10 +134,24 @@ class Network {
   sim::SimDuration reorder_jitter() const { return reorder_jitter_; }
 
   /// Send a typed payload. `size_bytes` drives the bandwidth model and the
-  /// traffic accounting; pass the protocol's nominal wire size.
+  /// traffic accounting; pass the protocol's nominal wire size. `cookie` is
+  /// free-form per-delivery metadata (hop count, TTL, RPC nonce) surfaced as
+  /// Message::cookie at the receiver.
   template <typename T>
-  void send(NodeId from, NodeId to, T payload, std::size_t size_bytes) {
-    deliver(make_message<T>(from, to, size_bytes, std::move(payload)));
+  void send(NodeId from, NodeId to, T payload, std::size_t size_bytes,
+            std::uint64_t cookie = 0) {
+    Message m = make_message<T>(from, to, size_bytes, std::move(payload));
+    m.cookie = cookie;
+    deliver(std::move(m));
+  }
+
+  /// Zero-copy fan-out: every recipient's delivery references the same
+  /// payload allocation; only {from, to, size, cookie} differ per send.
+  template <typename T>
+  void send(NodeId from, NodeId to, sim::Shared<T> payload,
+            std::size_t size_bytes, std::uint64_t cookie = 0) {
+    deliver(make_shared_message<T>(from, to, size_bytes, std::move(payload),
+                                   cookie));
   }
 
   /// Total payload bytes accepted for delivery so far.
@@ -140,12 +159,15 @@ class Network {
   std::uint64_t messages_sent() const { return messages_sent_; }
 
  private:
+  /// Bandwidth serialization state, allocated lazily: only peers whose
+  /// capacity was ever overridden (or that sent/received under
+  /// model_bandwidth) pay for it. Latency-only scale runs (E20's 100k-node
+  /// overlays) keep Peer at 32 bytes instead of 56.
   struct LinkState {
     double uplink_bps;
     double downlink_bps;
     sim::SimTime tx_free_at = 0;  // sender-side FIFO serialization
     sim::SimTime rx_free_at = 0;  // receiver-side FIFO serialization
-    sim::SimDuration latency_extra = 0;  // fault-injected propagation penalty
   };
 
   /// Host, link, and reachability state share one hash entry so the send
@@ -155,8 +177,9 @@ class Network {
   /// (unordered_map never moves its nodes).
   struct Peer {
     Host* host = nullptr;  // null while offline
+    sim::SimDuration latency_extra = 0;  // fault-injected propagation penalty
+    std::unique_ptr<LinkState> link;     // null: default capacities, idle
     bool unreachable = false;
-    LinkState link;
   };
 
   /// One active named partition: node id -> group index; unlisted nodes read
@@ -171,6 +194,7 @@ class Network {
   void schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
                          std::uint64_t msg_seq);
   Peer& peer(NodeId id);
+  LinkState& link_state(Peer& p);
   bool partitioned(NodeId a, NodeId b) const;
 
   sim::Simulator& sim_;

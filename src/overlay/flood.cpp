@@ -79,16 +79,18 @@ void GnutellaNode::query(ContentId item, QueryCallback cb) {
       "flood/deadline");
   own_queries_.emplace(qid, std::move(q));
   seen_queries_[qid] = net::NodeId::invalid();  // we are the origin
-  forward_query(item, qid, config_.default_ttl, 0, net::NodeId::invalid());
+  forward_query(sim::Shared<Query>::make(Query{item, qid}),
+                config_.default_ttl, 0, net::NodeId::invalid());
 }
 
-void GnutellaNode::forward_query(ContentId item, std::uint64_t qid,
+void GnutellaNode::forward_query(const sim::Shared<Query>& q,
                                  std::uint32_t ttl, std::uint32_t hops,
                                  net::NodeId origin_hop) {
   if (ttl == 0) return;
+  const std::uint64_t cookie = (static_cast<std::uint64_t>(ttl) << 32) | hops;
   for (net::NodeId n : neighbors_) {
     if (n == origin_hop) continue;
-    net_.send(addr_, n, Query{item, qid, ttl, hops}, config_.query_bytes);
+    net_.send(addr_, n, q, config_.query_bytes, cookie);
   }
 }
 
@@ -97,15 +99,16 @@ void GnutellaNode::handle_message(const net::Message& msg) {
     const auto& q = net::payload_as<Query>(msg);
     // Dedup: first arrival wins and defines the reverse path.
     if (!seen_queries_.emplace(q.qid, msg.from).second) return;
-    const std::uint32_t hops = q.hops + 1;
+    const auto ttl = static_cast<std::uint32_t>(msg.cookie >> 32);
+    const std::uint32_t hops = static_cast<std::uint32_t>(msg.cookie) + 1;
     bool hit = false;
     if (content_.count(q.item) > 0) {
       hit = true;
       net_.send(addr_, msg.from, QueryHit{q.item, q.qid, addr_, hops},
                 config_.query_bytes);
     }
-    if ((!hit || config_.forward_after_hit) && q.ttl > 1) {
-      forward_query(q.item, q.qid, q.ttl - 1, hops, msg.from);
+    if ((!hit || config_.forward_after_hit) && ttl > 1) {
+      forward_query(net::payload_shared<Query>(msg), ttl - 1, hops, msg.from);
     }
     return;
   }
@@ -126,10 +129,11 @@ void GnutellaNode::handle_message(const net::Message& msg) {
       cb(std::move(out));
       return;
     }
-    // Route back along the reverse path.
+    // Route back along the reverse path, re-sharing the incoming payload.
     const auto it = seen_queries_.find(h.qid);
     if (it != seen_queries_.end() && it->second.valid()) {
-      net_.send(addr_, it->second, h, config_.query_bytes);
+      net_.send(addr_, it->second, net::payload_shared<QueryHit>(msg),
+                config_.query_bytes);
     }
     return;
   }

@@ -31,6 +31,11 @@ struct FloodConfig {
   bool forward_after_hit = true;
 };
 
+namespace flood_msg {
+struct Query;
+struct QueryHit;
+}  // namespace flood_msg
+
 struct QueryOutcome {
   bool found = false;
   net::NodeId provider;            // first responder
@@ -76,7 +81,7 @@ class GnutellaNode final : public net::Host {
     sim::EventHandle deadline;
   };
 
-  void forward_query(ContentId item, std::uint64_t qid, std::uint32_t ttl,
+  void forward_query(const sim::Shared<flood_msg::Query>& q, std::uint32_t ttl,
                      std::uint32_t hops, net::NodeId origin_hop);
 
   net::Network& net_;
@@ -96,11 +101,12 @@ class GnutellaNode final : public net::Host {
 };
 
 namespace flood_msg {
+/// Flooded once, shared by every relay: TTL and hop count ride in
+/// Message::cookie (ttl << 32 | hops) so the whole flood aliases one
+/// allocation.
 struct Query {
   ContentId item;
   std::uint64_t qid;
-  std::uint32_t ttl;
-  std::uint32_t hops;
 };
 struct QueryHit {
   ContentId item;

@@ -97,22 +97,22 @@ void GossipNode::merge_view(const std::vector<ViewEntry>& incoming) {
 }
 
 void GossipNode::broadcast(RumorId rumor, std::size_t payload_bytes) {
-  accept_rumor(rumor, payload_bytes, 0);
+  accept_rumor(sim::Shared<Rumor>::make(Rumor{rumor, payload_bytes}), 0);
 }
 
-void GossipNode::accept_rumor(RumorId rumor, std::size_t payload_bytes,
+void GossipNode::accept_rumor(const sim::Shared<Rumor>& rumor,
                               std::size_t hops) {
-  if (!seen_.insert(rumor).second) {
+  if (!seen_.insert(rumor->id).second) {
     ++duplicates_;
     m_duplicates_.add();
     return;
   }
   m_delivered_.add();
-  if (deliver_) deliver_(rumor, hops);
-  forward_rumor(rumor, payload_bytes, hops, net::NodeId::invalid());
+  if (deliver_) deliver_(rumor->id, hops);
+  forward_rumor(rumor, hops, net::NodeId::invalid());
 }
 
-void GossipNode::forward_rumor(RumorId rumor, std::size_t payload_bytes,
+void GossipNode::forward_rumor(const sim::Shared<Rumor>& rumor,
                                std::size_t hops, net::NodeId skip) {
   if (view_.empty()) return;
   std::vector<std::size_t> idx(view_.size());
@@ -122,9 +122,8 @@ void GossipNode::forward_rumor(RumorId rumor, std::size_t payload_bytes,
   for (std::size_t i = 0; i < idx.size() && sent < config_.fanout; ++i) {
     const net::NodeId peer = view_[idx[i]].peer;
     if (peer == skip) continue;
-    net_.send(addr_, peer,
-              Rumor{rumor, payload_bytes, static_cast<std::uint32_t>(hops + 1)},
-              config_.message_bytes + payload_bytes);
+    net_.send(addr_, peer, rumor, config_.message_bytes + rumor->payload_bytes,
+              /*cookie=*/hops + 1);
     ++sent;
   }
 }
@@ -152,8 +151,7 @@ void GossipNode::handle_message(const net::Message& msg) {
     return;
   }
   if (msg.is<Rumor>()) {
-    const auto& r = net::payload_as<Rumor>(msg);
-    accept_rumor(r.id, r.payload_bytes, r.hops);
+    accept_rumor(net::payload_shared<Rumor>(msg), msg.cookie);
     return;
   }
 }

@@ -42,10 +42,11 @@ struct ShuffleRequest {
 struct ShuffleReply {
   std::vector<ViewEntry> entries;
 };
+/// Broadcast once, shared by every hop: the hop count rides in
+/// Message::cookie so all deliveries of one rumor alias a single allocation.
 struct Rumor {
   RumorId id;
   std::size_t payload_bytes;
-  std::uint32_t hops;
 };
 }  // namespace gossip_msg
 
@@ -85,9 +86,9 @@ class GossipNode final : public net::Host {
  private:
   void shuffle();
   void merge_view(const std::vector<ViewEntry>& incoming);
-  void accept_rumor(RumorId rumor, std::size_t payload_bytes,
+  void accept_rumor(const sim::Shared<gossip_msg::Rumor>& rumor,
                     std::size_t hops);
-  void forward_rumor(RumorId rumor, std::size_t payload_bytes,
+  void forward_rumor(const sim::Shared<gossip_msg::Rumor>& rumor,
                      std::size_t hops, net::NodeId skip);
 
   net::Network& net_;

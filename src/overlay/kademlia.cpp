@@ -19,6 +19,21 @@ Key default_id(net::NodeId addr) {
 }
 }  // namespace
 
+std::optional<std::string> KademliaConfig::validate() const {
+  if (k == 0) return "KademliaConfig.k must be >= 1 (bucket size)";
+  if (alpha == 0) return "KademliaConfig.alpha must be >= 1 (parallelism)";
+  if (rpc_timeout <= 0) {
+    return "KademliaConfig.rpc_timeout must be positive";
+  }
+  if (refresh_interval <= 0) {
+    return "KademliaConfig.refresh_interval must be positive";
+  }
+  if (message_bytes == 0) {
+    return "KademliaConfig.message_bytes must be nonzero (wire accounting)";
+  }
+  return std::nullopt;
+}
+
 KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
                            KademliaConfig config, std::optional<Key> id)
     : net_(net),
@@ -28,8 +43,11 @@ KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
       config_(config),
       m_lookups_(net.metrics().counter("overlay/kad_lookups")),
       m_rpcs_(net.metrics().counter("overlay/kad_rpcs")),
-      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")),
-      buckets_(256) {}
+      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")) {
+  if (const auto err = config_.validate()) {
+    throw std::invalid_argument(*err);
+  }
+}
 
 KademliaNode::~KademliaNode() {
   if (online_) leave();
@@ -67,11 +85,36 @@ int KademliaNode::bucket_index(const Key& other) const {
   return 255 - lz;
 }
 
+KademliaNode::Bucket* KademliaNode::find_bucket(int index) {
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), index,
+      [](const BucketSlot& s, int i) { return static_cast<int>(s.index) < i; });
+  if (it == buckets_.end() || static_cast<int>(it->index) != index) {
+    return nullptr;
+  }
+  return &it->bucket;
+}
+
+const KademliaNode::Bucket* KademliaNode::find_bucket(int index) const {
+  return const_cast<KademliaNode*>(this)->find_bucket(index);
+}
+
+KademliaNode::Bucket& KademliaNode::bucket_for(int index) {
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), index,
+      [](const BucketSlot& s, int i) { return static_cast<int>(s.index) < i; });
+  if (it != buckets_.end() && static_cast<int>(it->index) == index) {
+    return it->bucket;
+  }
+  return buckets_.insert(it, BucketSlot{static_cast<std::uint16_t>(index), {}})
+      ->bucket;
+}
+
 void KademliaNode::touch_contact(const Contact& c) {
   if (c.addr == addr_) return;
   const int idx = bucket_index(c.id);
   if (idx < 0) return;
-  Bucket& bucket = buckets_[static_cast<std::size_t>(idx)];
+  Bucket& bucket = bucket_for(idx);
   auto it = std::find(bucket.contacts.begin(), bucket.contacts.end(), c);
   if (it != bucket.contacts.end()) {
     // Move to most-recently-seen position.
@@ -95,7 +138,7 @@ void KademliaNode::touch_contact(const Contact& c) {
 }
 
 void KademliaNode::evict_or_keep(int bucket_idx, const Contact& candidate) {
-  Bucket& bucket = buckets_[static_cast<std::size_t>(bucket_idx)];
+  Bucket& bucket = bucket_for(bucket_idx);
   // Remember the candidate; ping the least-recently-seen contact. If it
   // answers, it stays (Kademlia's bias toward long-lived peers); if not, the
   // candidate replaces it.
@@ -109,9 +152,13 @@ void KademliaNode::evict_or_keep(int bucket_idx, const Contact& candidate) {
   if (bucket.contacts.empty() || bucket.eviction_ping_pending) return;
   bucket.eviction_ping_pending = true;
   const Contact lru = bucket.contacts.front();
-  send_rpc(lru, /*find_value=*/false, id_,
+  send_rpc(lru, make_request(/*find_value=*/false, id_),
            [this, bucket_idx, lru](bool ok, const net::Message*) {
-             Bucket& b = buckets_[static_cast<std::size_t>(bucket_idx)];
+             // Re-resolve: bucket insertions may have reallocated the table
+             // while the ping was in flight.
+             Bucket* const bp = find_bucket(bucket_idx);
+             if (bp == nullptr) return;
+             Bucket& b = *bp;
              b.eviction_ping_pending = false;
              auto it = std::find(b.contacts.begin(), b.contacts.end(), lru);
              if (ok) {
@@ -134,32 +181,44 @@ void KademliaNode::evict_or_keep(int bucket_idx, const Contact& candidate) {
 std::vector<Contact> KademliaNode::closest_contacts(const Key& target,
                                                     std::size_t count) const {
   std::vector<Contact> all;
-  for (const Bucket& b : buckets_) {
-    all.insert(all.end(), b.contacts.begin(), b.contacts.end());
+  for (const BucketSlot& s : buckets_) {
+    all.insert(all.end(), s.bucket.contacts.begin(), s.bucket.contacts.end());
   }
-  std::sort(all.begin(), all.end(), [&](const Contact& a, const Contact& b) {
-    return a.id.distance_to(target) < b.id.distance_to(target);
-  });
-  if (all.size() > count) all.resize(count);
+  // XOR distances to a fixed target are unique per id, so partial_sort is
+  // deterministic and skips ordering the (n - count) tail every reply.
+  const std::size_t keep = std::min(count, all.size());
+  std::partial_sort(all.begin(),
+                    all.begin() + static_cast<std::ptrdiff_t>(keep), all.end(),
+                    [&](const Contact& a, const Contact& b) {
+                      return a.id.distance_to(target) <
+                             b.id.distance_to(target);
+                    });
+  all.resize(keep);
   return all;
 }
 
 std::vector<Contact> KademliaNode::routing_table() const {
   std::vector<Contact> all;
-  for (const Bucket& b : buckets_) {
-    all.insert(all.end(), b.contacts.begin(), b.contacts.end());
+  for (const BucketSlot& s : buckets_) {
+    all.insert(all.end(), s.bucket.contacts.begin(), s.bucket.contacts.end());
   }
   return all;
 }
 
 std::size_t KademliaNode::routing_table_size() const {
   std::size_t n = 0;
-  for (const Bucket& b : buckets_) n += b.contacts.size();
+  for (const BucketSlot& s : buckets_) n += s.bucket.contacts.size();
   return n;
 }
 
+sim::Shared<FindNode> KademliaNode::make_request(bool find_value,
+                                                 const Key& target) const {
+  return sim::Shared<FindNode>::make(
+      FindNode{target, Contact{id_, addr_}, find_value});
+}
+
 std::uint64_t KademliaNode::send_rpc(
-    const Contact& to, bool find_value, const Key& target,
+    const Contact& to, const sim::Shared<FindNode>& request,
     std::function<void(bool, const net::Message*)> cb) {
   const std::uint64_t nonce = next_nonce_++;
   if (!online_) {
@@ -184,9 +243,7 @@ std::uint64_t KademliaNode::send_rpc(
       },
       "kad/rpc_timeout");
   pending_.emplace(nonce, std::move(rpc));
-  net_.send(addr_, to.addr,
-            FindNode{target, nonce, Contact{id_, addr_}, find_value},
-            config_.message_bytes);
+  net_.send(addr_, to.addr, request, config_.message_bytes, /*cookie=*/nonce);
   return nonce;
 }
 
@@ -194,9 +251,10 @@ void KademliaNode::fail_contact(const Contact& c) {
   if (!config_.evict_on_failure) return;  // "questionable" contacts linger
   const int idx = bucket_index(c.id);
   if (idx < 0) return;
-  Bucket& b = buckets_[static_cast<std::size_t>(idx)];
-  const auto it = std::find(b.contacts.begin(), b.contacts.end(), c);
-  if (it != b.contacts.end()) b.contacts.erase(it);
+  Bucket* const b = find_bucket(idx);
+  if (b == nullptr) return;
+  const auto it = std::find(b->contacts.begin(), b->contacts.end(), c);
+  if (it != b->contacts.end()) b->contacts.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -208,13 +266,16 @@ struct KademliaNode::LookupState {
   struct Entry {
     Contact contact;
     Status status = Status::New;
-    std::size_t tries = 0;  // RPC attempts issued to this contact
+    std::uint32_t depth = 1;  // 1 = from our table, d+1 = found at depth d
+    std::size_t tries = 0;    // RPC attempts issued to this contact
   };
 
   Key target;
   bool want_value = false;
   LookupCallback cb;
   sim::SimTime started = 0;
+  /// One FindNode allocation shared by every RPC of this lookup.
+  sim::Shared<FindNode> request;
   std::vector<Entry> shortlist;  // kept sorted by XOR distance to target
   std::size_t in_flight = 0;
   std::size_t rpcs = 0;
@@ -227,9 +288,9 @@ struct KademliaNode::LookupState {
                        [&](const Entry& e) { return e.contact == c; });
   }
 
-  void insert(const Contact& c) {
+  void insert(const Contact& c, std::uint32_t depth) {
     if (contains(c)) return;
-    Entry e{c, Status::New};
+    Entry e{c, Status::New, depth};
     const auto pos = std::lower_bound(
         shortlist.begin(), shortlist.end(), e,
         [&](const Entry& a, const Entry& b) {
@@ -263,11 +324,16 @@ void KademliaNode::store(const Key& key, std::string value,
                [this, key, value = std::move(value),
                 cb = std::move(cb)](LookupResult r) {
                  std::size_t replicas = 0;
-                 for (const Contact& c : r.closest) {
-                   net_.send(addr_, c.addr,
-                             Store{key, value, Contact{id_, addr_}},
-                             config_.message_bytes + value.size());
-                   ++replicas;
+                 if (!r.closest.empty()) {
+                   // One allocation replicated to all k holders.
+                   const auto shared = sim::Shared<Store>::make(
+                       Store{key, value, Contact{id_, addr_}});
+                   const std::size_t bytes =
+                       config_.message_bytes + value.size();
+                   for (const Contact& c : r.closest) {
+                     net_.send(addr_, c.addr, shared, bytes);
+                     ++replicas;
+                   }
                  }
                  if (replicas == 0) {
                    // No peers known: keep it locally so the data survives.
@@ -285,12 +351,13 @@ void KademliaNode::start_lookup(const Key& target, bool want_value,
   state->cb = std::move(cb);
   state->started = sim_.now();
   for (const Contact& c : closest_contacts(target, config_.k)) {
-    state->insert(c);
+    state->insert(c, /*depth=*/1);
   }
   if (state->shortlist.empty()) {
     finish_lookup(state);
     return;
   }
+  state->request = make_request(want_value, target);
   lookup_step(state);
 }
 
@@ -323,7 +390,7 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
     ++state->in_flight;
     ++state->rpcs;
     const Contact peer = e.contact;
-    send_rpc(peer, state->want_value, state->target,
+    send_rpc(peer, state->request,
              [this, state, peer](bool ok, const net::Message* reply) {
                --state->in_flight;
                auto it = std::find_if(
@@ -345,7 +412,11 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                  lookup_step(state);
                  return;
                }
-               if (it != state->shortlist.end()) it->status = Status::Done;
+               std::uint32_t depth = 1;
+               if (it != state->shortlist.end()) {
+                 it->status = Status::Done;
+                 depth = it->depth;
+               }
                const auto& r = net::payload_as<FindNodeReply>(*reply);
                if (state->want_value && r.has_value && !state->finished) {
                  state->value = r.value;
@@ -353,7 +424,7 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                  return;
                }
                for (const Contact& c : r.contacts) {
-                 if (c.addr != addr_) state->insert(c);
+                 if (c.addr != addr_) state->insert(c, depth + 1);
                }
                lookup_step(state);
              });
@@ -374,6 +445,7 @@ void KademliaNode::finish_lookup(const std::shared_ptr<LookupState>& state) {
   for (const auto& e : state->shortlist) {
     if (e.status == Status::Done && r.closest.size() < config_.k) {
       r.closest.push_back(e.contact);
+      r.hops = std::max<std::size_t>(r.hops, e.depth);
     }
   }
   state->cb(std::move(r));
@@ -388,7 +460,6 @@ void KademliaNode::handle_message(const net::Message& msg) {
     const auto& req = net::payload_as<FindNode>(msg);
     touch_contact(req.sender);
     FindNodeReply reply;
-    reply.nonce = req.nonce;
     reply.sender = Contact{id_, addr_};
     reply.has_value = false;
     if (req.want_value) {
@@ -406,7 +477,8 @@ void KademliaNode::handle_message(const net::Message& msg) {
     }
     const std::size_t bytes =
         100 + 40 * reply.contacts.size() + reply.value.size();
-    net_.send(addr_, msg.from, std::move(reply), bytes);
+    net_.send(addr_, msg.from, std::move(reply), bytes,
+              /*cookie=*/msg.cookie);
     return;
   }
   if (msg.is<FindNodeReply>()) {
@@ -416,7 +488,7 @@ void KademliaNode::handle_message(const net::Message& msg) {
     // first. (Blind insertion would also let one poisoned reply trigger a
     // cascade of eviction probes.)
     touch_contact(r.sender);
-    const auto it = pending_.find(r.nonce);
+    const auto it = pending_.find(msg.cookie);
     if (it == pending_.end()) return;  // late reply after timeout
     auto done = std::move(it->second.on_done);
     it->second.timeout.cancel();
@@ -435,8 +507,12 @@ void KademliaNode::handle_message(const net::Message& msg) {
 void KademliaNode::refresh_buckets() {
   if (!online_) return;
   sim::Rng& rng = sim_.rng();
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i].contacts.empty()) continue;
+  // Slots are sorted by index, so iteration visits populated buckets in the
+  // same ascending order (and draws the same rng sequence) as the old dense
+  // scan that skipped empties.
+  for (std::size_t slot = 0; slot < buckets_.size(); ++slot) {
+    const std::size_t i = buckets_[slot].index;
+    if (buckets_[slot].bucket.contacts.empty()) continue;
     // Random target inside bucket i's range: shares exactly (255 - i) prefix
     // bits with our id, differs at bit (255 - i).
     Key target = id_;

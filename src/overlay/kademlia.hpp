@@ -37,6 +37,9 @@ struct KademliaConfig {
   std::size_t k = 8;               // bucket size / replication factor
   std::size_t alpha = 3;           // lookup parallelism
   sim::SimDuration rpc_timeout = sim::seconds(1.5);
+  /// Actionable description of the first invalid field, or nullopt when the
+  /// config is usable. KademliaNode's constructor rejects invalid configs.
+  std::optional<std::string> validate() const;
   /// Extra attempts per shortlist contact after a timed-out lookup RPC.
   /// 0 (the default, and the classic behavior) fails the contact on its
   /// first timeout; 1-2 rides out transient loss bursts / latency spikes at
@@ -55,6 +58,12 @@ struct KademliaConfig {
   bool evict_on_failure = true;
 };
 
+namespace kademlia_msg {
+struct FindNode;
+struct FindNodeReply;
+struct Store;
+}  // namespace kademlia_msg
+
 /// Result of an iterative lookup.
 struct LookupResult {
   bool found_value = false;
@@ -62,6 +71,9 @@ struct LookupResult {
   std::vector<Contact> closest;    // k closest contacts discovered
   std::size_t rpcs_sent = 0;
   std::size_t timeouts = 0;
+  /// Iterative depth: 1 = answered from contacts we already knew, each
+  /// reply-discovered contact adds one (the E1/E20 hop-count metric).
+  std::size_t hops = 0;
   sim::SimDuration elapsed = 0;
 };
 
@@ -120,6 +132,16 @@ class KademliaNode final : public net::Host {
     bool eviction_ping_pending = false;     // throttle: one probe per bucket
   };
 
+  /// Sparse routing table: only ~log2(N) of the 256 prefix-length buckets
+  /// ever hold a contact, so a dense vector<Bucket>(256) wasted ~14 KB per
+  /// node — the dominant memory cost at 100k nodes. Slots stay sorted by
+  /// index and are never erased; callbacks re-resolve by index because
+  /// insertion reallocates.
+  struct BucketSlot {
+    std::uint16_t index;
+    Bucket bucket;
+  };
+
   struct PendingRpc {
     std::function<void(bool ok, const net::Message*)> on_done;
     sim::EventHandle timeout;
@@ -129,13 +151,20 @@ class KademliaNode final : public net::Host {
 
   // Routing-table maintenance.
   int bucket_index(const Key& other) const;
+  Bucket* find_bucket(int index);
+  const Bucket* find_bucket(int index) const;
+  Bucket& bucket_for(int index);
   void touch_contact(const Contact& c);
   void evict_or_keep(int bucket, const Contact& candidate);
   std::vector<Contact> closest_contacts(const Key& target,
                                         std::size_t count) const;
 
-  // RPC plumbing.
-  std::uint64_t send_rpc(const Contact& to, bool find_value, const Key& target,
+  // RPC plumbing. The request payload is shared by every recipient of one
+  // lookup; only the nonce (Message::cookie) differs per send.
+  sim::Shared<kademlia_msg::FindNode> make_request(bool find_value,
+                                                   const Key& target) const;
+  std::uint64_t send_rpc(const Contact& to,
+                         const sim::Shared<kademlia_msg::FindNode>& request,
                          std::function<void(bool, const net::Message*)> cb);
   void fail_contact(const Contact& c);
 
@@ -155,23 +184,24 @@ class KademliaNode final : public net::Host {
   sim::Counter& m_rpcs_;         // FIND_NODE/FIND_VALUE RPCs sent
   sim::Counter& m_rpc_timeouts_; // RPCs that expired unanswered
   bool online_ = false;
-  std::vector<Bucket> buckets_;  // 256 buckets by shared-prefix length
+  std::vector<BucketSlot> buckets_;  // sparse, sorted by prefix length
   std::unordered_map<Key, std::string, crypto::Hash256Hasher> storage_;
   std::unordered_map<std::uint64_t, PendingRpc> pending_;
   std::uint64_t next_nonce_ = 1;
   sim::EventHandle refresh_timer_;
 };
 
-/// Wire messages (public so attack drivers in p2p/ can craft them).
+/// Wire messages (public so attack drivers in p2p/ can craft them). The RPC
+/// nonce rides in Message::cookie rather than the payload, so one FindNode
+/// allocation serves a whole alpha-parallel fan-out; replies echo the
+/// request's cookie.
 namespace kademlia_msg {
 struct FindNode {
   Key target;
-  std::uint64_t nonce;
   Contact sender;
   bool want_value;
 };
 struct FindNodeReply {
-  std::uint64_t nonce;
   Contact sender;
   bool has_value;
   std::string value;

@@ -15,18 +15,17 @@ SybilNode::~SybilNode() {
 
 void SybilNode::handle_message(const net::Message& msg) {
   if (!msg.is<FindNode>()) return;  // ignore stores; swallow the data
-  const auto& req = net::payload_as<FindNode>(msg);
   ++captured_;
   FindNodeReply reply;
-  reply.nonce = req.nonce;
   reply.sender = contact();
   reply.has_value = false;  // deny every value
   for (const overlay::Contact& c : cohort_) {
     if (c.addr != addr_ && c.addr != msg.from) reply.contacts.push_back(c);
     if (reply.contacts.size() >= 8) break;
   }
+  // Echo the RPC nonce (Message::cookie) so the victim pairs the reply.
   net_.send(addr_, msg.from, std::move(reply),
-            100 + 40 * reply.contacts.size());
+            100 + 40 * reply.contacts.size(), msg.cookie);
 }
 
 overlay::Key sybil_id_near(const overlay::Key& key, int prefix_bits,

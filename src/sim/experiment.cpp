@@ -130,6 +130,16 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
         return false;
       }
       opts.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--param") {
+      const char* v = want_value("--param");
+      if (!v) return false;
+      const std::string pair = v;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        error = "--param: expected key=value, got: " + pair;
+        return false;
+      }
+      opts.params.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -146,7 +156,7 @@ std::string ExperimentHarness::usage(const std::string& prog,
                                      const std::string& id) {
   return "usage: " + prog +
          " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--jobs N] "
-         "[--quiet]\n"
+         "[--param K=V] [--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
          id +
@@ -155,6 +165,7 @@ std::string ExperimentHarness::usage(const std::string& prog,
          "  --trace PATH  write kernel/net trace as JSONL to PATH\n"
          "  --jobs N      worker threads for independent sweep points\n"
          "                (results are byte-identical for any N)\n"
+         "  --param K=V   bench-specific knob (repeatable; e.g. max_n=1000)\n"
          "  --quiet       suppress banner and table\n";
 }
 
@@ -189,6 +200,28 @@ ExperimentHarness::ExperimentHarness(std::string id, int argc,
 
 ExperimentHarness::~ExperimentHarness() {
   if (trace_) trace_->flush();
+}
+
+const std::string* ExperimentHarness::cli_param(const std::string& key) const {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : opts_.params) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+std::uint64_t ExperimentHarness::cli_param_u64(const std::string& key,
+                                               std::uint64_t fallback) const {
+  const std::string* v = cli_param(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  if (end == v->c_str() || *end != '\0') {
+    std::fprintf(stderr, "--param %s: not an integer: %s\n", key.c_str(),
+                 v->c_str());
+    std::exit(2);
+  }
+  return parsed;
 }
 
 std::uint64_t ExperimentHarness::seed_for(std::uint64_t index) const {

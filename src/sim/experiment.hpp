@@ -111,6 +111,10 @@ struct ExperimentOptions {
   bool emit_json = true;
   bool quiet = false;
   bool help = false;
+  /// Free-form `--param key=value` pairs (repeatable; later wins). Benches
+  /// read them through cli_param()/cli_param_u64() to scale sweeps without
+  /// bespoke flags (e.g. E20's `--param max_n=10000`).
+  std::vector<std::pair<std::string, std::string>> params;
 };
 
 class ExperimentHarness;
@@ -211,6 +215,14 @@ class ExperimentHarness {
 
   /// A swept/configured parameter recorded in the JSON "params" object.
   void set_param(const std::string& key, Value v);
+
+  /// Value of a `--param key=value` CLI pair, or nullptr when absent (the
+  /// last occurrence of a repeated key wins).
+  const std::string* cli_param(const std::string& key) const;
+  /// Integer-valued CLI param with a fallback; exits with a usage error on a
+  /// non-integer value so typos fail loudly rather than run the default.
+  std::uint64_t cli_param_u64(const std::string& key,
+                              std::uint64_t fallback) const;
 
   /// Append one result row; cells keep insertion order. The table header is
   /// the union of row keys in first-seen order.

@@ -1,0 +1,130 @@
+// Refcounted immutable payloads for zero-copy message fan-out.
+//
+// Network::send used to copy the typed payload into every delivery closure,
+// so broadcasting one block over a degree-d mesh deep-copied its tx vector
+// O(N·d) times. Shared<T> allocates the payload once per broadcast; each
+// delivery holds an 8-byte PayloadRef that bumps a non-atomic refcount.
+// Non-atomic is safe by construction: a payload never leaves the Simulator
+// it was created under, and each Simulator is single-threaded (run_points
+// gives every replication its own kernel + network + thread).
+//
+// PayloadRef is the type-erased form carried inside net::Message. It is one
+// pointer wide on purpose: the delivery closure (Peer* + Counter* + Message)
+// must keep fitting InlineFn<64>'s inline buffer, so Message cannot grow.
+// The value pointer and the deleter live in the control block, not the ref.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace decentnet::sim {
+
+/// Control block header. Holder<T> appends the value in the same allocation.
+struct SharedBlock {
+  std::uint32_t refs = 1;
+  void (*destroy)(SharedBlock*) = nullptr;
+  const void* value = nullptr;
+};
+
+namespace detail {
+
+/// Payload allocations on this thread. Thread-local (not atomic) so parallel
+/// run_points replications never contend; tests read the delta around a
+/// broadcast to prove "one allocation per broadcast, not per neighbor".
+inline std::uint64_t& shared_allocs() {
+  thread_local std::uint64_t count = 0;
+  return count;
+}
+
+template <typename T>
+struct Holder final : SharedBlock {
+  T value_;
+
+  template <typename... Args>
+  explicit Holder(Args&&... args) : value_(std::forward<Args>(args)...) {
+    value = &value_;
+    destroy = [](SharedBlock* b) { delete static_cast<Holder*>(b); };
+  }
+};
+
+}  // namespace detail
+
+inline std::uint64_t shared_payload_allocations() {
+  return detail::shared_allocs();
+}
+
+/// Type-erased owning reference to a SharedBlock. Exactly one pointer wide.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  /// Adopts `block` (its refcount already accounts for this reference).
+  explicit PayloadRef(SharedBlock* block) : block_(block) {}
+
+  PayloadRef(const PayloadRef& o) : block_(o.block_) {
+    if (block_ != nullptr) ++block_->refs;
+  }
+  PayloadRef(PayloadRef&& o) noexcept : block_(o.block_) {
+    o.block_ = nullptr;
+  }
+  PayloadRef& operator=(const PayloadRef& o) {
+    PayloadRef tmp(o);
+    std::swap(block_, tmp.block_);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    std::swap(block_, o.block_);
+    return *this;
+  }
+  ~PayloadRef() { reset(); }
+
+  void reset() {
+    if (block_ != nullptr && --block_->refs == 0) block_->destroy(block_);
+    block_ = nullptr;
+  }
+
+  const void* get() const { return block_ != nullptr ? block_->value : nullptr; }
+  std::uint32_t use_count() const {
+    return block_ != nullptr ? block_->refs : 0;
+  }
+  explicit operator bool() const { return block_ != nullptr; }
+
+ private:
+  SharedBlock* block_ = nullptr;
+};
+
+/// Immutable shared payload of type T. Copies alias the same value; the value
+/// is destroyed when the last copy (including in-flight PayloadRefs) drops.
+template <typename T>
+class Shared {
+ public:
+  Shared() = default;
+  /// Re-wrap a type-erased ref whose block is known to hold a T (the caller
+  /// — payload_shared — checks the Message type tag first).
+  explicit Shared(PayloadRef ref) : ref_(std::move(ref)) {}
+
+  template <typename... Args>
+  static Shared make(Args&&... args) {
+    ++detail::shared_allocs();
+    return Shared(
+        PayloadRef(new detail::Holder<T>(std::forward<Args>(args)...)));
+  }
+
+  const T* get() const { return static_cast<const T*>(ref_.get()); }
+  const T& operator*() const { return *get(); }
+  const T* operator->() const { return get(); }
+  std::uint32_t use_count() const { return ref_.use_count(); }
+  explicit operator bool() const { return static_cast<bool>(ref_); }
+
+  const PayloadRef& ref() const& { return ref_; }
+  PayloadRef ref() && { return std::move(ref_); }
+
+ private:
+  PayloadRef ref_;
+};
+
+template <typename T, typename... Args>
+Shared<T> make_shared_payload(Args&&... args) {
+  return Shared<T>::make(std::forward<Args>(args)...);
+}
+
+}  // namespace decentnet::sim

@@ -37,7 +37,7 @@ TEST(Scenarios, PowSmokeRun) {
   cfg.miners = 4;
   cfg.wallets = 8;
   cfg.tx_rate_per_sec = 2;
-  cfg.duration = ds::minutes(40);
+  cfg.common.duration = ds::minutes(40);
   cfg.params.target_block_interval = ds::minutes(2);
   cfg.params.initial_difficulty = 1e6;
   cfg.params.retarget_window = 0;
@@ -56,7 +56,7 @@ TEST(Scenarios, FabricSmokeRun) {
   cfg.orderer = dc::OrdererKind::Raft;
   cfg.clients = 4;
   cfg.tx_rate_per_sec = 50;
-  cfg.duration = ds::seconds(30);
+  cfg.common.duration = ds::seconds(30);
   const auto r = dc::run_fabric_scenario(cfg);
   EXPECT_GT(r.committed, 1000u);
   EXPECT_GT(r.throughput_tps, 30);
@@ -71,7 +71,7 @@ TEST(Scenarios, FabricHotKeysCauseMvccConflicts) {
   cfg.orderer = dc::OrdererKind::Solo;
   cfg.clients = 4;
   cfg.tx_rate_per_sec = 100;
-  cfg.duration = ds::seconds(20);
+  cfg.common.duration = ds::seconds(20);
   cfg.hot_keys = 2;  // everyone hammers two keys
   const auto r = dc::run_fabric_scenario(cfg);
   EXPECT_GT(r.mvcc_conflicts, 10u);
@@ -81,7 +81,7 @@ TEST(Scenarios, PartitionedScalesWithPartitions) {
   dc::PartitionedScenarioConfig small;
   small.partitions = 2;
   small.tx_rate_per_sec = 2000;
-  small.duration = ds::seconds(10);
+  small.common.duration = ds::seconds(10);
   const auto r2 = dc::run_partitioned_scenario(small);
 
   dc::PartitionedScenarioConfig big = small;

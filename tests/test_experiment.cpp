@@ -191,6 +191,31 @@ TEST(ExperimentCli, ParsesJobs) {
   EXPECT_FALSE(ok);
 }
 
+TEST(ExperimentCli, ParsesRepeatableParams) {
+  bool ok = false;
+  ds::ExperimentOptions opts =
+      parse({"--param", "max_n=1000", "--param", "mode=fast", "--param",
+             "max_n=50"},
+            &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(opts.params.size(), 3u);
+  EXPECT_EQ(opts.params[0].first, "max_n");
+  EXPECT_EQ(opts.params[0].second, "1000");
+
+  ds::ExperimentHarness ex("params_test", std::move(opts));
+  ASSERT_NE(ex.cli_param("mode"), nullptr);
+  EXPECT_EQ(*ex.cli_param("mode"), "fast");
+  EXPECT_EQ(ex.cli_param("absent"), nullptr);
+  // Last occurrence of a repeated key wins; fallback covers absent keys.
+  EXPECT_EQ(ex.cli_param_u64("max_n", 7), 50u);
+  EXPECT_EQ(ex.cli_param_u64("absent", 7), 7u);
+
+  parse({"--param", "missing-equals"}, &ok);
+  EXPECT_FALSE(ok);
+  parse({"--param", "=value"}, &ok);
+  EXPECT_FALSE(ok);
+}
+
 namespace {
 
 // A sweep whose per-point work is deliberately scheduled to finish out of

@@ -1,0 +1,221 @@
+// Golden-trace pins for the relay hot paths.
+//
+// The payloads travelling these paths were migrated from per-neighbor
+// make_shared copies onto sim::Shared<T> (one refcounted allocation per
+// broadcast). The kernel/net trace of a same-seed run is a pure function of
+// event order, message order, and wire sizes — none of which the payload
+// representation may change. These hashes were captured from the pre-Shared
+// tree; the migrated relay code must reproduce the byte-identical JSONL.
+//
+// To re-derive after an *intentional* protocol change, run with
+// DECENTNET_PRINT_GOLDEN=1 and paste the printed constants.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chain/miner.hpp"
+#include "chain/node.hpp"
+#include "chain/wallet.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "overlay/flood.hpp"
+#include "overlay/gossip.hpp"
+#include "overlay/kademlia.hpp"
+#include "sim/trace.hpp"
+
+namespace dc = decentnet::chain;
+namespace dn = decentnet::net;
+namespace do_ = decentnet::overlay;
+namespace ds = decentnet::sim;
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct GoldenCheck {
+  const char* name;
+  std::uint64_t hash;
+  std::uint64_t records;
+};
+
+void check(const GoldenCheck& want, const std::string& trace,
+           std::uint64_t records) {
+  if (std::getenv("DECENTNET_PRINT_GOLDEN") != nullptr) {
+    std::printf("GOLDEN %s hash=%lluull records=%llu\n", want.name,
+                static_cast<unsigned long long>(fnv1a(trace)),
+                static_cast<unsigned long long>(records));
+    return;
+  }
+  EXPECT_EQ(records, want.records) << want.name;
+  EXPECT_EQ(fnv1a(trace), want.hash) << want.name << ": relay trace diverged "
+                                     << "from the pre-Shared<T> golden";
+}
+
+}  // namespace
+
+TEST(RelayGolden, GossipBroadcastTrace) {
+  std::ostringstream out;
+  ds::JsonlTraceSink sink(out);
+  ds::Simulator sim(71);
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::LogNormalLatency>(ds::millis(60),
+                                                              0.3),
+                  dn::NetworkConfig{.expected_nodes = 16});
+  do_::GossipConfig cfg;
+  cfg.fanout = 4;
+  cfg.view_size = 8;
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 16; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<do_::GossipNode>> nodes;
+  for (int i = 0; i < 16; ++i) {
+    nodes.push_back(std::make_unique<do_::GossipNode>(net, addrs[i], cfg));
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::vector<dn::NodeId> view;
+    for (int k = 1; k <= 5; ++k) view.push_back(addrs[(i + k) % 16]);
+    nodes[i]->join(view);
+  }
+  sim.run_until(ds::seconds(5));
+  nodes[0]->broadcast(/*rumor=*/42, /*payload_bytes=*/1024);
+  sim.run_until(ds::seconds(40));
+  check({"gossip", 5941345415559698527ull, 720}, out.str(),
+        sink.records_written());
+}
+
+TEST(RelayGolden, FloodQueryTrace) {
+  std::ostringstream out;
+  ds::JsonlTraceSink sink(out);
+  ds::Simulator sim(72);
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(40)),
+                  dn::NetworkConfig{.expected_nodes = 12});
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 12; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<do_::GnutellaNode>> nodes;
+  ds::Rng rng(5);
+  const auto adj = dn::random_graph(12, 3, rng);
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(
+        std::make_unique<do_::GnutellaNode>(net, addrs[i], do_::FloodConfig{}));
+  }
+  for (int i = 0; i < 12; ++i) {
+    std::vector<dn::NodeId> nbrs;
+    for (std::size_t j : adj[static_cast<std::size_t>(i)]) {
+      nbrs.push_back(addrs[j]);
+    }
+    nodes[i]->join(std::move(nbrs));
+  }
+  nodes[7]->add_content(/*item=*/99);
+  bool found = false;
+  nodes[0]->query(99, [&](do_::QueryOutcome o) { found = o.found; });
+  sim.run_until(ds::seconds(30));
+  EXPECT_TRUE(found);
+  check({"flood", 18214630370392559053ull, 191}, out.str(),
+        sink.records_written());
+}
+
+TEST(RelayGolden, BlockAndTxRelayTrace) {
+  for (const bool compact : {false, true}) {
+    std::ostringstream out;
+    ds::JsonlTraceSink sink(out);
+    ds::Simulator sim(73);
+    sim.set_trace(&sink);
+    dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(50)),
+                    dn::NetworkConfig{.expected_nodes = 8});
+    dc::ChainParams params;
+    params.retarget_window = 0;
+    params.initial_difficulty = 1e6;
+    dc::Wallet alice = dc::Wallet::from_seed(0xA11CE);
+    dc::Wallet bob = dc::Wallet::from_seed(0xB0B);
+    std::vector<std::pair<decentnet::crypto::PublicKey, dc::Amount>> premine;
+    for (int i = 0; i < 16; ++i) premine.emplace_back(alice.address(), 10000);
+    const dc::BlockPtr genesis =
+        dc::make_genesis_multi(premine, params.initial_difficulty);
+    std::vector<dn::NodeId> addrs;
+    for (int i = 0; i < 8; ++i) addrs.push_back(net.new_node_id());
+    ds::Rng rng(9);
+    const auto adj = dn::random_graph(8, 3, rng);
+    std::vector<std::unique_ptr<dc::FullNode>> nodes;
+    for (int i = 0; i < 8; ++i) {
+      nodes.push_back(
+          std::make_unique<dc::FullNode>(net, addrs[i], params, genesis));
+      nodes.back()->set_compact_relay(compact);
+      std::vector<dn::NodeId> nbrs;
+      for (std::size_t j : adj[static_cast<std::size_t>(i)]) {
+        nbrs.push_back(addrs[j]);
+      }
+      nodes.back()->connect(std::move(nbrs));
+    }
+    // Seed mempools over the wire, then relay one mined block (full body or
+    // BIP152-compact, both migrated paths).
+    for (std::uint64_t k = 0; k < 6; ++k) {
+      const auto tx = alice.pay(nodes[0]->utxo(), bob.address(), 500, 10,
+                                /*nonce=*/k, &rng);
+      ASSERT_TRUE(tx.has_value());
+      nodes[0]->submit_transaction(*tx);
+    }
+    sim.run_until(ds::seconds(10));
+    const dc::Block tmpl =
+        nodes[0]->make_block_template(bob.address(), /*nonce=*/1234);
+    nodes[0]->submit_block(std::make_shared<const dc::Block>(tmpl));
+    sim.run_until(ds::seconds(30));
+    for (const auto& n : nodes) {
+      EXPECT_EQ(n->tree().best_height(), 1u);
+    }
+    if (compact) {
+      check({"chain_compact", 1343599758379722992ull, 738}, out.str(),
+            sink.records_written());
+    } else {
+      check({"chain_full", 5820887779470391540ull, 738}, out.str(),
+            sink.records_written());
+    }
+  }
+}
+
+TEST(RelayGolden, KademliaLookupTrace) {
+  std::ostringstream out;
+  ds::JsonlTraceSink sink(out);
+  ds::Simulator sim(74);
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::LogNormalLatency>(ds::millis(80),
+                                                              0.4),
+                  dn::NetworkConfig{.expected_nodes = 24});
+  do_::KademliaConfig cfg;
+  std::vector<std::unique_ptr<do_::KademliaNode>> nodes;
+  for (int i = 0; i < 24; ++i) {
+    nodes.push_back(std::make_unique<do_::KademliaNode>(net, net.new_node_id(),
+                                                        cfg));
+  }
+  nodes[0]->join({});
+  for (int i = 1; i < 24; ++i) {
+    nodes[i]->join({{nodes[0]->id(), nodes[0]->addr()}});
+    sim.run_until(sim.now() + ds::seconds(2));
+  }
+  sim.run_until(sim.now() + ds::seconds(30));
+  int done = 0;
+  for (int q = 0; q < 5; ++q) {
+    const do_::Key target =
+        decentnet::crypto::sha256("golden-" + std::to_string(q));
+    nodes[static_cast<std::size_t>(3 * q + 1)]->lookup(
+        target, [&](do_::LookupResult) { ++done; });
+    sim.run_until(sim.now() + ds::seconds(20));
+  }
+  EXPECT_EQ(done, 5);
+  // One store fans the same value out to the k closest nodes (migrated
+  // shared-payload path).
+  nodes[2]->store(decentnet::crypto::sha256("golden-store"), "value-bytes");
+  sim.run_until(sim.now() + ds::seconds(20));
+  check({"kademlia", 16864403088706855886ull, 2000}, out.str(),
+        sink.records_written());
+}

@@ -1,0 +1,173 @@
+// sim::Shared<T> semantics (refcount, aliasing, destruction) and the
+// zero-copy relay contract: disseminating one payload over a mesh performs
+// one payload allocation per broadcast, not one per neighbor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "overlay/flood.hpp"
+#include "overlay/gossip.hpp"
+#include "sim/shared.hpp"
+#include "sim/simulator.hpp"
+
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+namespace dov = decentnet::overlay;
+
+namespace {
+
+struct Tracked {
+  explicit Tracked(int* live) : live_(live) { ++*live_; }
+  Tracked(const Tracked&) = delete;
+  Tracked& operator=(const Tracked&) = delete;
+  ~Tracked() { --*live_; }
+  int* live_;
+};
+
+}  // namespace
+
+TEST(Shared, RefcountTracksCopiesAndMoves) {
+  int live = 0;
+  {
+    auto a = ds::Shared<Tracked>::make(&live);
+    EXPECT_EQ(live, 1);
+    EXPECT_EQ(a.use_count(), 1u);
+
+    auto b = a;  // copy aliases, bumps the count
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(live, 1);
+
+    auto c = std::move(b);  // move transfers, count unchanged
+    EXPECT_EQ(c.use_count(), 2u);
+    EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move): moved-from is empty
+
+    {
+      // Type-erased round trip: the ref carried inside net::Message.
+      ds::PayloadRef ref = c.ref();
+      EXPECT_EQ(c.use_count(), 3u);
+      ds::Shared<Tracked> back(std::move(ref));
+      EXPECT_EQ(back.get(), a.get());
+      EXPECT_EQ(a.use_count(), 3u);
+    }
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);  // last owner destroys the value exactly once
+}
+
+TEST(Shared, MakeCountsOneAllocation) {
+  const std::uint64_t before = ds::shared_payload_allocations();
+  auto s = ds::Shared<int>::make(7);
+  auto copy1 = s;
+  auto copy2 = s;
+  EXPECT_EQ(*copy2, 7);
+  EXPECT_EQ(ds::shared_payload_allocations(), before + 1);
+}
+
+TEST(Shared, MessageDeliveryAliasesThePayload) {
+  ds::Simulator sim(3);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(5)),
+                  dn::NetworkConfig{.expected_nodes = 3});
+
+  struct Probe final : dn::Host {
+    const void* seen = nullptr;
+    void handle_message(const dn::Message& msg) override {
+      seen = msg.payload.get();
+    }
+  };
+  Probe a, b;
+  const dn::NodeId origin = net.new_node_id();
+  const dn::NodeId na = net.new_node_id();
+  const dn::NodeId nb = net.new_node_id();
+  net.attach(na, &a);
+  net.attach(nb, &b);
+
+  auto payload = ds::Shared<std::string>::make("block body");
+  const void* value = payload.get();
+  const std::uint64_t before = ds::shared_payload_allocations();
+  net.send(origin, na, payload, 100);
+  net.send(origin, nb, payload, 100);
+  sim.run_until(ds::seconds(1));
+
+  EXPECT_EQ(ds::shared_payload_allocations(), before);  // fan-out is free
+  EXPECT_EQ(a.seen, value);
+  EXPECT_EQ(b.seen, value);
+}
+
+TEST(SharedRelay, GossipBroadcastAllocatesOncePerRumor) {
+  ds::Simulator sim(11);
+  dn::Network net(sim,
+                  std::make_unique<dn::ConstantLatency>(ds::millis(20)),
+                  dn::NetworkConfig{.expected_nodes = 24});
+  dov::GossipConfig cfg;
+  cfg.fanout = 4;
+  cfg.view_size = 8;
+  cfg.shuffle_interval = ds::hours(10);  // keep shuffle traffic out of frame
+
+  const std::size_t n = 24;
+  std::vector<dn::NodeId> addrs;
+  for (std::size_t i = 0; i < n; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<dov::GossipNode>> nodes;
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<dov::GossipNode>(net, addrs[i], cfg));
+    nodes.back()->set_deliver_hook(
+        [&delivered](dov::RumorId, std::size_t) { ++delivered; });
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<dn::NodeId> view;
+    for (std::size_t k = 1; k <= cfg.view_size; ++k) {
+      view.push_back(addrs[(i + k) % n]);
+    }
+    nodes[i]->join(view);
+  }
+
+  const std::uint64_t before = ds::shared_payload_allocations();
+  nodes[0]->broadcast(/*rumor=*/99, /*payload_bytes=*/4096);
+  sim.run_until(sim.now() + ds::seconds(30));
+
+  // Every node saw the rumor, yet the 4 KB payload was allocated exactly
+  // once — each relay re-sends the same Shared<Rumor>.
+  EXPECT_EQ(delivered, n);
+  EXPECT_EQ(ds::shared_payload_allocations(), before + 1);
+}
+
+TEST(SharedRelay, FloodQueryAllocatesOncePlusOnePerHit) {
+  ds::Simulator sim(12);
+  dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(10)),
+                  dn::NetworkConfig{.expected_nodes = 8});
+  dov::FloodConfig cfg;
+
+  // A line 0-1-...-7 with the item at the far end: the query is relayed
+  // through every node, the hit walks the reverse path back.
+  const std::size_t n = 8;
+  std::vector<dn::NodeId> addrs;
+  for (std::size_t i = 0; i < n; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<dov::GnutellaNode>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<dov::GnutellaNode>(net, addrs[i], cfg));
+    std::vector<dn::NodeId> neighbors;
+    if (i > 0) neighbors.push_back(addrs[i - 1]);
+    if (i + 1 < n) neighbors.push_back(addrs[i + 1]);
+    nodes.back()->join(std::move(neighbors));
+  }
+  nodes.back()->add_content(/*item=*/5);
+
+  const std::uint64_t before = ds::shared_payload_allocations();
+  bool found = false;
+  nodes[0]->query(5, [&found](dov::QueryOutcome o) { found = o.found; });
+  sim.run_until(sim.now() + ds::seconds(10));
+
+  EXPECT_TRUE(found);
+  // One Query allocation shared by all 7 relays, one QueryHit shared by the
+  // 6 reverse-path hops.
+  EXPECT_EQ(ds::shared_payload_allocations(), before + 2);
+}
