@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       "inter-arrival CV against the exponential's CV of 1.0");
 
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(20)),
                     net::NetworkConfig{.expected_nodes = 6},

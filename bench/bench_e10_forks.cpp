@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       cfg.common.latency = sim::millis(latency_ms);
       // Enough blocks per row for a stable estimate.
       cfg.common.duration = sim::seconds(interval_s * 150);
+      cfg.common.track_spans = true;  // block relay-tree depth histogram
       const auto r = core::run_pow_scenario(cfg, ex);
       ex.add_row({{"latency_ms", std::int64_t{latency_ms}},
                   {"block_interval_s", bench::Value(interval_s, 0)},

@@ -30,7 +30,7 @@ struct BftRun {
 BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur,
                 sim::PointScope& scope) {
   sim::Simulator simu(scope.root_seed());
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   const std::size_t n = 3 * f + 1;
   net::NetworkConfig net_cfg;
   net_cfg.expected_nodes = n + 1;  // replicas + client
@@ -83,7 +83,7 @@ BftRun run_pbft(std::size_t f, double offered_tps, sim::SimDuration dur,
 BftRun run_raft(std::size_t n, double offered_tps, sim::SimDuration dur,
                 sim::PointScope& scope) {
   sim::Simulator simu(scope.root_seed() + 1);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::NetworkConfig net_cfg;
   net_cfg.expected_nodes = n;
   net::Network netw(simu,

@@ -29,7 +29,7 @@ struct Row {
 Row run(std::size_t n, double mean_session_min, std::uint64_t seed,
         sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::NetworkConfig net_cfg;
   net_cfg.expected_nodes = n;
   net::Network netw(

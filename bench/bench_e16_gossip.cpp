@@ -2,6 +2,7 @@
 // "Peer-to-peer research sprouted with very interesting contributions, e.g.
 // gossip based protocols for scalable group communication" — the same
 // primitive that floods blocks in Bitcoin and disseminates state in Fabric.
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -19,15 +20,17 @@ struct Row {
   double mean_hops;
   double duplicates_per_node;
   double bytes_per_node;
+  std::uint64_t t90_us;  // time to 90% of reached nodes, from broadcast
 };
 
 Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
         sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
-      net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
+      net::NetworkConfig{.expected_nodes = n, .track_spans = true},
+      &ex.metrics());
   overlay::GossipConfig cfg;
   cfg.fanout = fanout;
   std::vector<net::NodeId> addrs;
@@ -35,6 +38,7 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
   std::vector<std::unique_ptr<overlay::GossipNode>> nodes;
   sim::Rng rng(seed ^ 0xF0);
   sim::Histogram hops;
+  std::vector<sim::SimTime> cover_times;  // first delivery per node (origin too)
   for (std::size_t i = 0; i < n; ++i) {
     nodes.push_back(
         std::make_unique<overlay::GossipNode>(netw, addrs[i], cfg));
@@ -43,12 +47,15 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
       view.push_back(addrs[rng.uniform_int(n)]);
     }
     nodes.back()->join(view);
-    nodes.back()->set_deliver_hook([&hops](overlay::RumorId, std::size_t h) {
-      hops.record(static_cast<double>(h));
-    });
+    nodes.back()->set_deliver_hook(
+        [&hops, &cover_times, &simu](overlay::RumorId, std::size_t h) {
+          hops.record(static_cast<double>(h));
+          cover_times.push_back(simu.now());
+        });
   }
   simu.run_until(sim::minutes(3));  // let peer sampling mix views
   const auto bytes_before = netw.bytes_sent();
+  const sim::SimTime t0 = simu.now();
   nodes[0]->broadcast(/*rumor=*/1, /*payload_bytes=*/512);
   simu.run_until(simu.now() + sim::minutes(2));
   Row row;
@@ -64,6 +71,18 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
       static_cast<double>(dups) / static_cast<double>(n);
   row.bytes_per_node = static_cast<double>(netw.bytes_sent() - bytes_before) /
                        static_cast<double>(n);
+  // Time to 90% coverage of the nodes actually reached, measured from the
+  // broadcast instant. decentnet-trace derives the same number from the
+  // rumor's span tree, so for a given seed the two must agree exactly.
+  row.t90_us = 0;
+  if (!cover_times.empty()) {
+    std::sort(cover_times.begin(), cover_times.end());
+    const std::size_t pop = cover_times.size();
+    const std::size_t k = (pop * 9 + 9) / 10;  // ceil(0.9 * pop)
+    row.t90_us = static_cast<std::uint64_t>(cover_times[k - 1] - t0);
+  }
+  ex.metrics().histogram("overlay/gossip_t90_us")
+      .record(static_cast<double>(row.t90_us));
   return row;
 }
 
@@ -87,7 +106,8 @@ int main(int argc, char** argv) {
                 {"coverage", bench::Value(r.coverage, 3)},
                 {"mean_hops", bench::Value(r.mean_hops, 1)},
                 {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
-                {"bytes_per_node", bench::Value(r.bytes_per_node, 0)}});
+                {"bytes_per_node", bench::Value(r.bytes_per_node, 0)},
+                {"t90_us", r.t90_us}});
   }
   for (const std::size_t n : {100u, 300u, 1000u, 3000u}) {
     const Row r = run(n, 4, ex.seed() + 1, ex);
@@ -96,7 +116,8 @@ int main(int argc, char** argv) {
                 {"fanout", std::uint64_t{4}},
                 {"coverage", bench::Value(r.coverage, 3)},
                 {"mean_hops", bench::Value(r.mean_hops, 1)},
-                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)}});
+                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
+                {"t90_us", r.t90_us}});
   }
   const int rc = ex.finish();
   std::printf(

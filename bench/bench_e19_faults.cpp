@@ -53,7 +53,7 @@ Row finish_row(bool recovered, sim::SimTime recovered_at, sim::SimTime heal_at,
 Row run_raft(sim::SimDuration partition_len, std::uint64_t seed,
              sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   const std::size_t n = 5;
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(5)),
@@ -141,7 +141,7 @@ Row run_raft(sim::SimDuration partition_len, std::uint64_t seed,
 Row run_pbft(sim::SimDuration partition_len, std::uint64_t seed,
              sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   bft::PbftConfig cfg;
   cfg.f = 1;
   net::Network netw(simu,
@@ -213,7 +213,7 @@ Row run_pbft(sim::SimDuration partition_len, std::uint64_t seed,
 Row run_pow(sim::SimDuration partition_len, std::uint64_t seed,
             sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::ConstantLatency>(sim::millis(50)),
                     net::NetworkConfig{.expected_nodes = 16},

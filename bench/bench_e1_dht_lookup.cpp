@@ -27,9 +27,10 @@ Row run(std::size_t n, double unreachable_fraction,
         sim::SimDuration rpc_timeout, std::size_t alpha, bool naive,
         std::uint64_t seed, sim::PointScope& scope) {
   sim::Simulator simu(seed);
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::NetworkConfig net_cfg;
   net_cfg.expected_nodes = n;
+  net_cfg.track_spans = true;  // lookup path lengths via causal spans
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(100), 0.5),
       net_cfg, &scope.metrics());

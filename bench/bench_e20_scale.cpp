@@ -100,7 +100,7 @@ void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
                         sim::PointScope& scope) {
   const WallClock wall;
   sim::Simulator simu(scope.seed());
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(80),
                                                             0.4),
@@ -227,7 +227,7 @@ void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
                       sim::PointScope& scope) {
   const WallClock wall;
   sim::Simulator simu(scope.seed());
-  simu.set_trace(scope.trace());
+  scope.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(80),
                                                             0.4),

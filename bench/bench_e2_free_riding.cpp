@@ -28,7 +28,7 @@ struct GnutellaRow {
 GnutellaRow run_gnutella(double free_rider_fraction, std::uint64_t seed,
                          sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   const std::size_t n = 400;
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(60), 0.4),
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
 
   for (const bool tft : {true, false}) {
     sim::Simulator simu(ex.seed() ^ 2);
-    simu.set_trace(ex.trace());
+    ex.instrument(simu);
     p2p::SwarmConfig cfg;
     cfg.pieces = 64;
     cfg.piece_bytes = 64 * 1024;

@@ -23,7 +23,7 @@ struct Row {
 Row run(std::size_t honest_n, std::size_t sybils, std::uint64_t seed,
         sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(
       simu, std::make_unique<net::ConstantLatency>(sim::millis(40)),
       net::NetworkConfig{.expected_nodes = honest_n + sybils},

@@ -27,7 +27,7 @@ struct Row {
 Row run_chord(std::size_t n, bool churn, std::uint64_t seed,
               sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
       net::NetworkConfig{.expected_nodes = n}, &ex.metrics());
@@ -89,7 +89,7 @@ Row run_chord(std::size_t n, bool churn, std::uint64_t seed,
 Row run_onehop(std::size_t n, bool churn, std::uint64_t seed,
                sim::ExperimentHarness& ex) {
   sim::Simulator simu(seed);
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(
       simu, std::make_unique<net::LogNormalLatency>(sim::millis(40), 0.3),
       net::NetworkConfig{.expected_nodes = n}, &ex.metrics());

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
               "chain (the paper's SV amalgam proposal)",
               "two 3-org Fabric channels sharing one network and one notary");
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(12),
                                                             0.3),

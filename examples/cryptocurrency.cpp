@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
               "zero-conf double spend, and a partition-healing reorg",
               "14-node PoW mesh, 3 miners at 60/30/10% hash power");
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(60),
                                                             0.4),

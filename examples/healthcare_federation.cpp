@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
               "3-org Fabric channel with PBFT ordering + an edge-vs-cloud "
               "latency check on the same simulated network");
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   auto geo_model = std::make_unique<net::GeoLatency>(0.1);
   net::GeoLatency* geo = geo_model.get();
   net::Network netw(simu, std::move(geo_model),

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
   // --- 1. Kernel + network --------------------------------------------------
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(50),
                                                             0.4),

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
               "3-org Fabric channel (utility, coop, regulator) with Raft "
               "ordering; metering, offers, buys, and a racing double-buy");
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(5),
                                                             0.3),

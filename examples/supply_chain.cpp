@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
               "4-org Fabric channel with Raft ordering; 10 pallets x 5 "
               "custody events plus chaincode-rejected forgeries");
   sim::Simulator simu(ex.seed());
-  simu.set_trace(ex.trace());
+  ex.instrument(simu);
   net::Network netw(simu,
                     std::make_unique<net::LogNormalLatency>(sim::millis(8),
                                                             0.3),

@@ -22,6 +22,9 @@ FullNode::FullNode(net::Network& net, net::NodeId addr, ChainParams params,
       m_txs_accepted_(net.metrics().counter("chain/txs_accepted")),
       m_txs_rejected_(net.metrics().counter("chain/txs_rejected")),
       m_reorgs_(net.metrics().counter("chain/reorgs")),
+      m_relay_depth_(net.span_tracking()
+                         ? &net.metrics().histogram("chain/relay_tree_depth")
+                         : nullptr),
       tree_(genesis) {
   net_.attach(addr_, this);
   known_blocks_.insert(genesis->id());
@@ -58,12 +61,12 @@ bool FullNode::submit_transaction(const Transaction& tx) {
   ++stats_.txs_accepted;
   m_txs_accepted_.add();
   relay_tx(std::make_shared<const Transaction>(tx), id,
-           net::NodeId::invalid());
+           net::NodeId::invalid(), net_.new_span_root());
   return true;
 }
 
 bool FullNode::submit_block(BlockPtr block) {
-  return accept_block(block, net::NodeId::invalid());
+  return accept_block(block, net::NodeId::invalid(), net_.new_span_root());
 }
 
 Block FullNode::make_block_template(const crypto::PublicKey& miner,
@@ -86,7 +89,8 @@ Block FullNode::make_block_template(const crypto::PublicKey& miner,
   return block;
 }
 
-bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
+bool FullNode::accept_block(const BlockPtr& block, net::NodeId from,
+                            net::Span span) {
   const BlockId id = block->id();
   if (known_blocks_.count(id) > 0) return false;
   known_blocks_.insert(id);
@@ -103,7 +107,8 @@ bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
     // Orphan: stash and ask the sender for the parent.
     orphans_.emplace(block->header.prev, block);
     if (from.valid()) {
-      net_.send(addr_, from, GetBlock{block->header.prev}, 64);
+      net_.send(addr_, from, GetBlock{block->header.prev}, 64, /*cookie=*/0,
+                span);
     }
     return false;
   }
@@ -125,8 +130,11 @@ bool FullNode::accept_block(const BlockPtr& block, net::NodeId from) {
   }
   ++stats_.blocks_accepted;
   m_blocks_accepted_.add();
+  if (m_relay_depth_ && span.hop != 0) {
+    m_relay_depth_->record(net_.span_depth(span.hop));
+  }
   update_active_chain();
-  relay_block(block, from);
+  relay_block(block, from, span);
   process_orphans(id);
   return true;
 }
@@ -142,10 +150,13 @@ void FullNode::try_complete_compact(const BlockId& id) {
   block.txs.push_back(std::move(it->second.coinbase));
   for (auto& tx : it->second.txs) block.txs.push_back(std::move(*tx));
   const net::NodeId from = it->second.from;
+  // The causal parent is the compact announcement's hop, not the tx-body
+  // fetch: the announcement is the edge of the block's dissemination tree.
+  const net::Span span = it->second.span;
   pending_compact_.erase(it);
   // accept_block re-verifies the Merkle root, so a reconstruction that
   // disagrees with the header is rejected rather than propagated.
-  accept_block(std::make_shared<const Block>(std::move(block)), from);
+  accept_block(std::make_shared<const Block>(std::move(block)), from, span);
 }
 
 void FullNode::process_orphans(const BlockId& parent) {
@@ -155,6 +166,8 @@ void FullNode::process_orphans(const BlockId& parent) {
   orphans_.erase(lo, hi);
   for (const BlockPtr& b : ready) {
     known_blocks_.erase(b->id());  // allow re-processing
+    // Orphans re-enter with no span: their original arrival hop is long
+    // gone, and a fresh root would double-count the block.
     accept_block(b, net::NodeId::invalid());
   }
 }
@@ -232,7 +245,8 @@ void FullNode::update_active_chain() {
   }
 }
 
-void FullNode::relay_block(const BlockPtr& block, net::NodeId skip) {
+void FullNode::relay_block(const BlockPtr& block, net::NodeId skip,
+                           net::Span span) {
   if (compact_relay_ && block->txs.size() > 1) {
     chain_msg::CompactBlockMsg compact;
     compact.header = block->header;
@@ -249,7 +263,7 @@ void FullNode::relay_block(const BlockPtr& block, net::NodeId skip) {
         sim::Shared<chain_msg::CompactBlockMsg>::make(std::move(compact));
     for (net::NodeId n : neighbors_) {
       if (n == skip) continue;
-      net_.send(addr_, n, shared, bytes);
+      net_.send(addr_, n, shared, bytes, /*cookie=*/0, span);
     }
     return;
   }
@@ -257,23 +271,23 @@ void FullNode::relay_block(const BlockPtr& block, net::NodeId skip) {
   const auto shared = sim::Shared<BlockMsg>::make(BlockMsg{block});
   for (net::NodeId n : neighbors_) {
     if (n == skip) continue;
-    net_.send(addr_, n, shared, bytes);
+    net_.send(addr_, n, shared, bytes, /*cookie=*/0, span);
   }
 }
 
 void FullNode::relay_tx(const std::shared_ptr<const Transaction>& tx,
-                        const TxId& id, net::NodeId skip) {
+                        const TxId& id, net::NodeId skip, net::Span span) {
   const std::size_t bytes = tx->wire_size();
   const auto shared = sim::Shared<TxMsg>::make(TxMsg{tx, id});
   for (net::NodeId n : neighbors_) {
     if (n == skip) continue;
-    net_.send(addr_, n, shared, bytes);
+    net_.send(addr_, n, shared, bytes, /*cookie=*/0, span);
   }
 }
 
 void FullNode::handle_message(const net::Message& msg) {
   if (msg.is<BlockMsg>()) {
-    accept_block(net::payload_as<BlockMsg>(msg).block, msg.from);
+    accept_block(net::payload_as<BlockMsg>(msg).block, msg.from, msg.span);
     return;
   }
   if (msg.is<TxMsg>()) {
@@ -287,7 +301,7 @@ void FullNode::handle_message(const net::Message& msg) {
       return;
     }
     ++stats_.txs_accepted;
-    relay_tx(tm.tx, tm.id, msg.from);
+    relay_tx(tm.tx, tm.id, msg.from, msg.span);
     return;
   }
   if (msg.is<chain_msg::CompactBlockMsg>()) {
@@ -302,6 +316,7 @@ void FullNode::handle_message(const net::Message& msg) {
     pending.tx_ids = c.tx_ids;
     pending.txs.resize(c.tx_ids.size());
     pending.from = msg.from;
+    pending.span = msg.span;
     std::vector<std::uint32_t> missing;
     for (std::size_t i = 0; i < c.tx_ids.size(); ++i) {
       if (const Transaction* tx = mempool_.find(c.tx_ids[i])) {
@@ -316,7 +331,8 @@ void FullNode::handle_message(const net::Message& msg) {
     } else {
       const std::size_t bytes = 48 + 4 * missing.size();
       net_.send(addr_, msg.from,
-                chain_msg::GetBlockTxnsMsg{id, std::move(missing)}, bytes);
+                chain_msg::GetBlockTxnsMsg{id, std::move(missing)}, bytes,
+                /*cookie=*/0, msg.span);
     }
     return;
   }
@@ -334,7 +350,8 @@ void FullNode::handle_message(const net::Message& msg) {
       reply.txs.push_back(b->txs[tx_index]);
       bytes += b->txs[tx_index].wire_size();
     }
-    net_.send(addr_, msg.from, std::move(reply), bytes);
+    net_.send(addr_, msg.from, std::move(reply), bytes, /*cookie=*/0,
+              msg.span);
     return;
   }
   if (msg.is<chain_msg::BlockTxnsMsg>()) {
@@ -352,7 +369,8 @@ void FullNode::handle_message(const net::Message& msg) {
     const BlockId& id = net::payload_as<GetBlock>(msg).id;
     if (tree_.contains(id)) {
       const BlockPtr& b = tree_.entry(id).block;
-      net_.send(addr_, msg.from, BlockMsg{b}, b->wire_size());
+      net_.send(addr_, msg.from, BlockMsg{b}, b->wire_size(), /*cookie=*/0,
+                msg.span);
     }
     return;
   }

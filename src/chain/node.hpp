@@ -126,10 +126,14 @@ class FullNode : public net::Host {
 
  protected:
   /// Accept a block from anywhere; returns true if it was new and valid.
-  bool accept_block(const BlockPtr& block, net::NodeId from);
-  void relay_block(const BlockPtr& block, net::NodeId skip);
+  /// `span` is the causal hop the block arrived on (or a fresh root for
+  /// locally mined blocks); relays inherit it so block propagation forms
+  /// one tree per block.
+  bool accept_block(const BlockPtr& block, net::NodeId from,
+                    net::Span span = {});
+  void relay_block(const BlockPtr& block, net::NodeId skip, net::Span span);
   void relay_tx(const std::shared_ptr<const Transaction>& tx,
-                const TxId& id, net::NodeId skip);
+                const TxId& id, net::NodeId skip, net::Span span);
   /// Move the UTXO view to the tree's best tip (reorg if needed).
   void update_active_chain();
   void process_orphans(const BlockId& parent);
@@ -147,6 +151,9 @@ class FullNode : public net::Host {
   sim::Counter& m_txs_accepted_;
   sim::Counter& m_txs_rejected_;
   sim::Counter& m_reorgs_;
+  // Span-derived: relay-tree depth of each accepted block (0 = mined here).
+  // Bound only while the network tracks spans (null otherwise).
+  sim::Histogram* m_relay_depth_;
   BlockTree tree_;
   UtxoSet utxo_;
   Mempool mempool_;
@@ -164,6 +171,7 @@ class FullNode : public net::Host {
     std::vector<TxId> tx_ids;
     std::vector<std::optional<Transaction>> txs;  // filled as they arrive
     net::NodeId from;
+    net::Span span;  // hop the compact announcement arrived on
   };
   std::unordered_map<BlockId, PendingCompact, crypto::Hash256Hasher>
       pending_compact_;

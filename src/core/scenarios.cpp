@@ -27,18 +27,21 @@ struct ScenarioEnv {
   std::uint64_t seed = 0;
   sim::MetricRegistry* metrics = nullptr;
   sim::TraceSink* trace = nullptr;
+  sim::Profiler* profiler = nullptr;
 };
 
 ScenarioEnv env_of(const ScenarioCommon& common) {
-  return {common.seed, nullptr, nullptr};
+  return {common.seed, nullptr, nullptr, nullptr};
 }
 
 ScenarioEnv env_of(sim::ExperimentHarness& harness) {
-  return {harness.seed(), &harness.metrics(), harness.trace()};
+  return {harness.seed(), &harness.metrics(), harness.trace(),
+          harness.profiler()};
 }
 
 ScenarioEnv env_of(sim::PointScope& scope) {
-  return {scope.root_seed(), &scope.metrics(), scope.trace()};
+  return {scope.root_seed(), &scope.metrics(), scope.trace(),
+          scope.profiler()};
 }
 
 void check_valid(const std::optional<std::string>& error) {
@@ -171,11 +174,13 @@ PowScenarioResult run_pow_impl(const PowScenarioConfig& config,
   check_valid(config.validate());
   sim::Simulator sim(env.seed);
   sim.set_trace(env.trace);
+  sim.set_profiler(env.profiler);
   net::NetworkConfig net_cfg;
   net_cfg.model_bandwidth = config.model_bandwidth;
   net_cfg.default_uplink_bps = config.uplink_bps;
   net_cfg.default_downlink_bps = config.downlink_bps;
   net_cfg.expected_nodes = config.nodes;
+  net_cfg.track_spans = config.common.track_spans;
   check_valid(net_cfg.validate());
   net::Network net(sim,
                    std::make_unique<net::LogNormalLatency>(
@@ -311,6 +316,7 @@ FabricScenarioResult run_fabric_impl(const FabricScenarioConfig& config,
   check_valid(config.validate());
   sim::Simulator sim(env.seed);
   sim.set_trace(env.trace);
+  sim.set_profiler(env.profiler);
   net::Network net(
       sim,
       std::make_unique<net::LogNormalLatency>(config.common.latency, 0.2),
@@ -437,6 +443,7 @@ PartitionedScenarioResult run_partitioned_impl(
   check_valid(config.validate());
   sim::Simulator sim(env.seed);
   sim.set_trace(env.trace);
+  sim.set_profiler(env.profiler);
   net::Network net(
       sim, std::make_unique<net::ConstantLatency>(config.common.latency),
       net::NetworkConfig{.expected_nodes =
@@ -544,6 +551,7 @@ EdgeScenarioResult run_edge_impl(const EdgeScenarioConfig& config,
   check_valid(config.validate());
   sim::Simulator sim(env.seed);
   sim.set_trace(env.trace);
+  sim.set_profiler(env.profiler);
   auto geo_model =
       std::make_unique<net::GeoLatency>(config.geo_jitter_sigma);
   net::GeoLatency* geo = geo_model.get();

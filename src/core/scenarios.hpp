@@ -37,6 +37,12 @@ struct ScenarioCommon {
   std::uint64_t seed = 42;
   sim::SimDuration duration = 0;
   sim::SimDuration latency = 0;
+  /// Enable causal span tracking on the scenario's Network: every relayed
+  /// message carries a (root, parent-hop) span, traces gain "span" records,
+  /// and span-derived histograms (relay-tree depth, lookup path length)
+  /// come alive. Off by default — spans cost a few ns per delivery and
+  /// change trace bytes, so golden-trace comparisons pin this off.
+  bool track_spans = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -11,12 +11,18 @@
 // Message) must fill InlineFn<64>'s inline buffer exactly, never overflow it.
 // `cookie` is cheap per-delivery metadata (hop count, TTL, RPC nonce) that
 // used to force a distinct payload per recipient; keeping it out of the
-// payload is what makes fan-out zero-copy.
+// payload is what makes fan-out zero-copy. `span` is the causal-tracing
+// coordinate: relays copy the incoming message's span into every forward, and
+// Network (when span tracking is on) rewrites it per hop so a trace
+// reconstructs complete propagation trees. Fitting span into the budget paid
+// for itself twice: the old std::type_index (8 bytes, only ever compared for
+// equality) became a 4-byte process-local type id, and size_bytes narrowed to
+// 32 bits (wire sizes are protocol constants, nowhere near 4 GiB).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <typeindex>
 #include <utility>
 
 #include "net/node_id.hpp"
@@ -24,17 +30,49 @@
 
 namespace decentnet::net {
 
+namespace detail {
+
+inline std::uint32_t next_type_id() {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace detail
+
+/// Process-local message-type identifier: one id per payload struct, assigned
+/// on first use. Ids are never serialized or compared across processes —
+/// only Message::is<T>() consumes them — so assignment order (and thus the
+/// numeric value) is free to vary between runs without affecting determinism.
+template <typename T>
+std::uint32_t type_id() {
+  static const std::uint32_t id = detail::next_type_id();
+  return id;
+}
+
+/// Causal-span coordinate carried by every message. `root` identifies the
+/// propagation tree (the hop id of the tree's origin); `hop` is, on send, the
+/// PARENT hop this message causally descends from (0 = none). When span
+/// tracking is enabled, Network::deliver() allocates a fresh hop id for the
+/// message and rewrites `hop` (and `root`, if 0) before delivery, so a
+/// receiver that relays simply copies `msg.span` into its forwards. With
+/// tracking off the field is dead weight but keeps relay code unconditional.
+struct Span {
+  std::uint32_t root = 0;
+  std::uint32_t hop = 0;
+};
+
 struct Message {
   NodeId from;
   NodeId to;
-  std::type_index type = std::type_index(typeid(void));
   sim::PayloadRef payload;
-  std::size_t size_bytes = 0;
   std::uint64_t cookie = 0;
+  std::uint32_t type = 0;
+  std::uint32_t size_bytes = 0;
+  Span span;
 
   template <typename T>
   bool is() const {
-    return type == std::type_index(typeid(T));
+    return type == type_id<T>();
   }
 };
 
@@ -49,22 +87,24 @@ Message make_message(NodeId from, NodeId to, std::size_t size_bytes,
   Message m;
   m.from = from;
   m.to = to;
-  m.type = std::type_index(typeid(T));
+  m.type = type_id<T>();
   m.payload = sim::Shared<T>::make(std::forward<Args>(args)...).ref();
-  m.size_bytes = size_bytes;
+  m.size_bytes = static_cast<std::uint32_t>(size_bytes);
   return m;
 }
 
 template <typename T>
 Message make_shared_message(NodeId from, NodeId to, std::size_t size_bytes,
-                            sim::Shared<T> payload, std::uint64_t cookie = 0) {
+                            sim::Shared<T> payload, std::uint64_t cookie = 0,
+                            Span span = {}) {
   Message m;
   m.from = from;
   m.to = to;
-  m.type = std::type_index(typeid(T));
+  m.type = type_id<T>();
   m.payload = std::move(payload).ref();
-  m.size_bytes = size_bytes;
+  m.size_bytes = static_cast<std::uint32_t>(size_bytes);
   m.cookie = cookie;
+  m.span = span;
   return m;
 }
 

@@ -32,8 +32,32 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
       m_dropped_loss_(metrics_.counter("net/dropped_loss")),
       m_dropped_offline_(metrics_.counter("net/dropped_offline")),
       m_duplicated_(metrics_.counter("net/duplicated")),
-      m_reordered_(metrics_.counter("net/reordered")) {
+      m_reordered_(metrics_.counter("net/reordered")),
+      m_span_hops_(metrics_.counter("net/span_hops")) {
   if (config_.expected_nodes > 0) peers_.reserve(config_.expected_nodes);
+  if (config_.track_spans) span_depth_.push_back(0);  // hop ids start at 1
+}
+
+void Network::set_span_tracking(bool on) {
+  config_.track_spans = on;
+  if (on && span_depth_.empty()) span_depth_.push_back(0);
+}
+
+std::uint32_t Network::alloc_span_hop(std::uint32_t parent) {
+  const std::uint32_t depth =
+      parent != 0 && parent < span_depth_.size() ? span_depth_[parent] + 1 : 0;
+  span_depth_.push_back(depth);
+  m_span_hops_.add();
+  return static_cast<std::uint32_t>(span_depth_.size() - 1);
+}
+
+Span Network::new_span_root() {
+  if (!config_.track_spans) return {};
+  const std::uint32_t self = alloc_span_hop(0);
+  if (sim::TraceSink* const tr = sim_.trace()) {
+    tr->record({sim_.now(), "span", "root", self, self, 0, 0});
+  }
+  return Span{self, self};
 }
 
 void Network::attach(NodeId id, Host* host) {
@@ -177,6 +201,20 @@ void Network::deliver(Message msg) {
   if (tr) {
     tr->record({sim_.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
                 msg.size_bytes});
+  }
+  if (config_.track_spans) {
+    // Chain this message into its propagation tree *before* the drop checks:
+    // a dropped message is still a tree edge (a pruned one — the "drop"
+    // record that follows shares this msg_seq). The hop id is rewritten into
+    // the message so the receiver's relays inherit the right parent.
+    const std::uint32_t parent = msg.span.hop;
+    const std::uint32_t self = alloc_span_hop(parent);
+    msg.span.hop = self;
+    if (msg.span.root == 0) msg.span.root = self;
+    if (tr) {
+      tr->record({sim_.now(), "span", "", self, msg.span.root, parent,
+                  span_depth_[self]});
+    }
   }
   const auto trace_drop = [&](const char* reason) {
     if (tr) {

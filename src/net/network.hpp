@@ -40,6 +40,13 @@ struct NetworkConfig {
   /// Expected topology size; pre-sizes the peer table so attach() never
   /// rehashes mid-experiment. 0 keeps the default initial capacity.
   std::size_t expected_nodes = 0;
+  /// Causal span tracking: when true, every accepted message is assigned a
+  /// fresh hop id chained to its parent (Message::span), a "span" trace
+  /// record is emitted per hop, and span-derived metrics (propagation-tree
+  /// depth) light up in the protocol layers. Off by default: hop allocation
+  /// touches a side table per send, and default-off keeps golden traces
+  /// byte-stable.
+  bool track_spans = false;
 
   /// Actionable description of the first invalid field, or nullopt when the
   /// config is usable. Scenario runners reject invalid configs on entry.
@@ -136,22 +143,46 @@ class Network {
   /// Send a typed payload. `size_bytes` drives the bandwidth model and the
   /// traffic accounting; pass the protocol's nominal wire size. `cookie` is
   /// free-form per-delivery metadata (hop count, TTL, RPC nonce) surfaced as
-  /// Message::cookie at the receiver.
+  /// Message::cookie at the receiver. `span` is the causal parent (relays
+  /// pass the incoming msg.span; origins pass new_span_root()); defaulting it
+  /// keeps non-relay callers unchanged.
   template <typename T>
   void send(NodeId from, NodeId to, T payload, std::size_t size_bytes,
-            std::uint64_t cookie = 0) {
+            std::uint64_t cookie = 0, Span span = {}) {
     Message m = make_message<T>(from, to, size_bytes, std::move(payload));
     m.cookie = cookie;
+    m.span = span;
     deliver(std::move(m));
   }
 
   /// Zero-copy fan-out: every recipient's delivery references the same
-  /// payload allocation; only {from, to, size, cookie} differ per send.
+  /// payload allocation; only {from, to, size, cookie, span} differ per send.
   template <typename T>
   void send(NodeId from, NodeId to, sim::Shared<T> payload,
-            std::size_t size_bytes, std::uint64_t cookie = 0) {
+            std::size_t size_bytes, std::uint64_t cookie = 0, Span span = {}) {
     deliver(make_shared_message<T>(from, to, size_bytes, std::move(payload),
-                                   cookie));
+                                   cookie, span));
+  }
+
+  /// Causal span tracking (see NetworkConfig::track_spans).
+  void set_span_tracking(bool on);
+  bool span_tracking() const { return config_.track_spans; }
+
+  /// Open a new propagation tree: allocates a virtual root hop at the
+  /// current time (emitting a "span" record tagged "root") and returns a
+  /// Span whose children — every send that passes it — form one tree. An
+  /// origin node broadcasting to k peers calls this once so the fan-out is
+  /// a single tree, not k of them. Returns {0, 0} when tracking is off.
+  Span new_span_root();
+
+  /// Depth of a hop in its propagation tree (root = 0). Valid for any hop id
+  /// a delivered Message::span carries while tracking is on; 0 otherwise.
+  std::uint32_t span_depth(std::uint32_t hop) const {
+    return hop < span_depth_.size() ? span_depth_[hop] : 0;
+  }
+  /// Total span hops allocated (message hops + virtual roots).
+  std::uint64_t span_hops() const {
+    return span_depth_.empty() ? 0 : span_depth_.size() - 1;
   }
 
   /// Total payload bytes accepted for delivery so far.
@@ -193,6 +224,7 @@ class Network {
   void deliver(Message msg);
   void schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
                          std::uint64_t msg_seq);
+  std::uint32_t alloc_span_hop(std::uint32_t parent);
   Peer& peer(NodeId id);
   LinkState& link_state(Peer& p);
   bool partitioned(NodeId a, NodeId b) const;
@@ -213,6 +245,11 @@ class Network {
   sim::Counter& m_dropped_offline_;
   sim::Counter& m_duplicated_;
   sim::Counter& m_reordered_;
+  sim::Counter& m_span_hops_;
+  /// Hop id -> tree depth. Index 0 is a sentinel so hop ids are nonzero
+  /// (Span{0,0} means "untracked"); grows by one entry per accepted message
+  /// (plus one per new_span_root) while tracking is on.
+  std::vector<std::uint32_t> span_depth_;
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -80,17 +80,18 @@ void GnutellaNode::query(ContentId item, QueryCallback cb) {
   own_queries_.emplace(qid, std::move(q));
   seen_queries_[qid] = net::NodeId::invalid();  // we are the origin
   forward_query(sim::Shared<Query>::make(Query{item, qid}),
-                config_.default_ttl, 0, net::NodeId::invalid());
+                config_.default_ttl, 0, net::NodeId::invalid(),
+                net_.new_span_root());
 }
 
 void GnutellaNode::forward_query(const sim::Shared<Query>& q,
                                  std::uint32_t ttl, std::uint32_t hops,
-                                 net::NodeId origin_hop) {
+                                 net::NodeId origin_hop, net::Span span) {
   if (ttl == 0) return;
   const std::uint64_t cookie = (static_cast<std::uint64_t>(ttl) << 32) | hops;
   for (net::NodeId n : neighbors_) {
     if (n == origin_hop) continue;
-    net_.send(addr_, n, q, config_.query_bytes, cookie);
+    net_.send(addr_, n, q, config_.query_bytes, cookie, span);
   }
 }
 
@@ -104,11 +105,14 @@ void GnutellaNode::handle_message(const net::Message& msg) {
     bool hit = false;
     if (content_.count(q.item) > 0) {
       hit = true;
+      // The hit descends from the query hop that reached the provider, so
+      // the full request/response path stays in one tree.
       net_.send(addr_, msg.from, QueryHit{q.item, q.qid, addr_, hops},
-                config_.query_bytes);
+                config_.query_bytes, /*cookie=*/0, msg.span);
     }
     if ((!hit || config_.forward_after_hit) && ttl > 1) {
-      forward_query(net::payload_shared<Query>(msg), ttl - 1, hops, msg.from);
+      forward_query(net::payload_shared<Query>(msg), ttl - 1, hops, msg.from,
+                    msg.span);
     }
     return;
   }
@@ -133,7 +137,7 @@ void GnutellaNode::handle_message(const net::Message& msg) {
     const auto it = seen_queries_.find(h.qid);
     if (it != seen_queries_.end() && it->second.valid()) {
       net_.send(addr_, it->second, net::payload_shared<QueryHit>(msg),
-                config_.query_bytes);
+                config_.query_bytes, /*cookie=*/0, msg.span);
     }
     return;
   }

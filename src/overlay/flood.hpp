@@ -82,7 +82,8 @@ class GnutellaNode final : public net::Host {
   };
 
   void forward_query(const sim::Shared<flood_msg::Query>& q, std::uint32_t ttl,
-                     std::uint32_t hops, net::NodeId origin_hop);
+                     std::uint32_t hops, net::NodeId origin_hop,
+                     net::Span span);
 
   net::Network& net_;
   sim::Simulator& sim_;

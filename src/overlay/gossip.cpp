@@ -17,7 +17,10 @@ GossipNode::GossipNode(net::Network& net, net::NodeId addr,
       rng_(net.simulator().rng().fork(addr.value ^ 0x60551Bull)),
       m_delivered_(net.metrics().counter("overlay/gossip_delivered")),
       m_duplicates_(net.metrics().counter("overlay/gossip_duplicates")),
-      m_shuffles_(net.metrics().counter("overlay/gossip_shuffles")) {}
+      m_shuffles_(net.metrics().counter("overlay/gossip_shuffles")),
+      m_tree_depth_(net.span_tracking()
+                        ? &net.metrics().histogram("overlay/gossip_tree_depth")
+                        : nullptr) {}
 
 GossipNode::~GossipNode() {
   if (online_) leave();
@@ -97,23 +100,27 @@ void GossipNode::merge_view(const std::vector<ViewEntry>& incoming) {
 }
 
 void GossipNode::broadcast(RumorId rumor, std::size_t payload_bytes) {
-  accept_rumor(sim::Shared<Rumor>::make(Rumor{rumor, payload_bytes}), 0);
+  // One span root per broadcast: the whole epidemic is one propagation tree.
+  accept_rumor(sim::Shared<Rumor>::make(Rumor{rumor, payload_bytes}), 0,
+               net_.new_span_root());
 }
 
 void GossipNode::accept_rumor(const sim::Shared<Rumor>& rumor,
-                              std::size_t hops) {
+                              std::size_t hops, net::Span span) {
   if (!seen_.insert(rumor->id).second) {
     ++duplicates_;
     m_duplicates_.add();
     return;
   }
   m_delivered_.add();
+  if (m_tree_depth_) m_tree_depth_->record(net_.span_depth(span.hop));
   if (deliver_) deliver_(rumor->id, hops);
-  forward_rumor(rumor, hops, net::NodeId::invalid());
+  forward_rumor(rumor, hops, net::NodeId::invalid(), span);
 }
 
 void GossipNode::forward_rumor(const sim::Shared<Rumor>& rumor,
-                               std::size_t hops, net::NodeId skip) {
+                               std::size_t hops, net::NodeId skip,
+                               net::Span span) {
   if (view_.empty()) return;
   std::vector<std::size_t> idx(view_.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
@@ -123,7 +130,7 @@ void GossipNode::forward_rumor(const sim::Shared<Rumor>& rumor,
     const net::NodeId peer = view_[idx[i]].peer;
     if (peer == skip) continue;
     net_.send(addr_, peer, rumor, config_.message_bytes + rumor->payload_bytes,
-              /*cookie=*/hops + 1);
+              /*cookie=*/hops + 1, span);
     ++sent;
   }
 }
@@ -151,7 +158,7 @@ void GossipNode::handle_message(const net::Message& msg) {
     return;
   }
   if (msg.is<Rumor>()) {
-    accept_rumor(net::payload_shared<Rumor>(msg), msg.cookie);
+    accept_rumor(net::payload_shared<Rumor>(msg), msg.cookie, msg.span);
     return;
   }
 }

@@ -87,9 +87,9 @@ class GossipNode final : public net::Host {
   void shuffle();
   void merge_view(const std::vector<ViewEntry>& incoming);
   void accept_rumor(const sim::Shared<gossip_msg::Rumor>& rumor,
-                    std::size_t hops);
+                    std::size_t hops, net::Span span);
   void forward_rumor(const sim::Shared<gossip_msg::Rumor>& rumor,
-                     std::size_t hops, net::NodeId skip);
+                     std::size_t hops, net::NodeId skip, net::Span span);
 
   net::Network& net_;
   sim::Simulator& sim_;
@@ -100,6 +100,9 @@ class GossipNode final : public net::Host {
   sim::Counter& m_delivered_;
   sim::Counter& m_duplicates_;
   sim::Counter& m_shuffles_;
+  // Span-derived: depth of each first delivery in its dissemination tree.
+  // Bound only while the network tracks spans (null otherwise).
+  sim::Histogram* m_tree_depth_;
   bool online_ = false;
   std::vector<ViewEntry> view_;
   std::unordered_set<RumorId> seen_;

@@ -43,7 +43,10 @@ KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
       config_(config),
       m_lookups_(net.metrics().counter("overlay/kad_lookups")),
       m_rpcs_(net.metrics().counter("overlay/kad_rpcs")),
-      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")) {
+      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")),
+      m_path_len_(net.span_tracking()
+                      ? &net.metrics().histogram("overlay/lookup_path_len")
+                      : nullptr) {
   if (const auto err = config_.validate()) {
     throw std::invalid_argument(*err);
   }
@@ -219,7 +222,7 @@ sim::Shared<FindNode> KademliaNode::make_request(bool find_value,
 
 std::uint64_t KademliaNode::send_rpc(
     const Contact& to, const sim::Shared<FindNode>& request,
-    std::function<void(bool, const net::Message*)> cb) {
+    std::function<void(bool, const net::Message*)> cb, net::Span span) {
   const std::uint64_t nonce = next_nonce_++;
   if (!online_) {
     // Caller left the network mid-lookup: fail asynchronously so the lookup
@@ -243,7 +246,8 @@ std::uint64_t KademliaNode::send_rpc(
       },
       "kad/rpc_timeout");
   pending_.emplace(nonce, std::move(rpc));
-  net_.send(addr_, to.addr, request, config_.message_bytes, /*cookie=*/nonce);
+  net_.send(addr_, to.addr, request, config_.message_bytes, /*cookie=*/nonce,
+            span);
   return nonce;
 }
 
@@ -282,6 +286,12 @@ struct KademliaNode::LookupState {
   std::size_t timeouts = 0;
   bool finished = false;
   std::optional<std::string> value;
+  /// Causal frontier: the span of the most recent reply (initially the
+  /// lookup's root). New RPC rounds chain below it, so the lookup's
+  /// request/reply alternation forms one tree whose depth is the RPC path
+  /// length (request + reply per round => 2 hops per round).
+  net::Span span;
+  std::uint32_t max_span_depth = 0;
 
   bool contains(const Contact& c) const {
     return std::any_of(shortlist.begin(), shortlist.end(),
@@ -358,6 +368,7 @@ void KademliaNode::start_lookup(const Key& target, bool want_value,
     return;
   }
   state->request = make_request(want_value, target);
+  state->span = net_.new_span_root();
   lookup_step(state);
 }
 
@@ -417,6 +428,11 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                  it->status = Status::Done;
                  depth = it->depth;
                }
+               // Advance the causal frontier: the next RPC round descends
+               // from this reply's hop.
+               state->span = reply->span;
+               state->max_span_depth = std::max(
+                   state->max_span_depth, net_.span_depth(reply->span.hop));
                const auto& r = net::payload_as<FindNodeReply>(*reply);
                if (state->want_value && r.has_value && !state->finished) {
                  state->value = r.value;
@@ -427,7 +443,8 @@ void KademliaNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                  if (c.addr != addr_) state->insert(c, depth + 1);
                }
                lookup_step(state);
-             });
+             },
+             state->span);
   }
 }
 
@@ -435,6 +452,7 @@ void KademliaNode::finish_lookup(const std::shared_ptr<LookupState>& state) {
   if (state->finished) return;
   state->finished = true;
   m_lookups_.add();
+  if (m_path_len_) m_path_len_->record(state->max_span_depth);
   LookupResult r;
   r.found_value = state->value.has_value();
   r.value = state->value;
@@ -478,7 +496,7 @@ void KademliaNode::handle_message(const net::Message& msg) {
     const std::size_t bytes =
         100 + 40 * reply.contacts.size() + reply.value.size();
     net_.send(addr_, msg.from, std::move(reply), bytes,
-              /*cookie=*/msg.cookie);
+              /*cookie=*/msg.cookie, msg.span);
     return;
   }
   if (msg.is<FindNodeReply>()) {

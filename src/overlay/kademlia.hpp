@@ -165,7 +165,8 @@ class KademliaNode final : public net::Host {
                                                    const Key& target) const;
   std::uint64_t send_rpc(const Contact& to,
                          const sim::Shared<kademlia_msg::FindNode>& request,
-                         std::function<void(bool, const net::Message*)> cb);
+                         std::function<void(bool, const net::Message*)> cb,
+                         net::Span span = {});
   void fail_contact(const Contact& c);
 
   // Iterative lookup engine (shared by lookup/find_value/store).
@@ -183,6 +184,9 @@ class KademliaNode final : public net::Host {
   sim::Counter& m_lookups_;      // finished iterative lookups (all nodes)
   sim::Counter& m_rpcs_;         // FIND_NODE/FIND_VALUE RPCs sent
   sim::Counter& m_rpc_timeouts_; // RPCs that expired unanswered
+  // Span-derived: deepest hop in each finished lookup's request/reply chain.
+  // Bound only while the network tracks spans (null otherwise).
+  sim::Histogram* m_path_len_;
   bool online_ = false;
   std::vector<BucketSlot> buckets_;  // sparse, sorted by prefix length
   std::unordered_map<Key, std::string, crypto::Hash256Hasher> storage_;

@@ -140,6 +140,8 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
         return false;
       }
       opts.params.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    } else if (arg == "--profile") {
+      opts.profile = true;
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -155,14 +157,16 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
 std::string ExperimentHarness::usage(const std::string& prog,
                                      const std::string& id) {
   return "usage: " + prog +
-         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--jobs N] "
-         "[--param K=V] [--quiet]\n"
+         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--profile] "
+         "[--jobs N] [--param K=V] [--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
          id +
          ".json)\n"
          "  --no-json     skip the JSON artifact\n"
          "  --trace PATH  write kernel/net trace as JSONL to PATH\n"
+         "  --profile     kernel self-profiler: per-tag wall time in the\n"
+         "                JSON artifact under \"profile\"\n"
          "  --jobs N      worker threads for independent sweep points\n"
          "                (results are byte-identical for any N)\n"
          "  --param K=V   bench-specific knob (repeatable; e.g. max_n=1000)\n"
@@ -173,6 +177,9 @@ ExperimentHarness::ExperimentHarness(std::string id, ExperimentOptions opts)
     : id_(std::move(id)), opts_(std::move(opts)) {
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_unique<JsonlTraceSink>(opts_.trace_path);
+  }
+  if (opts_.profile) {
+    profiler_ = std::make_unique<Profiler>();
   }
 }
 
@@ -250,6 +257,7 @@ Simulator& ExperimentHarness::simulator() {
   if (!sim_) {
     sim_ = std::make_unique<Simulator>(opts_.seed);
     sim_->set_trace(trace_.get());
+    sim_->set_profiler(profiler_.get());
   }
   return *sim_;
 }
@@ -291,8 +299,8 @@ void ExperimentHarness::run_points(
   // any work starts; deque keeps addresses stable for the workers.
   std::deque<PointScope> scopes;
   for (std::size_t i = 0; i < count; ++i) {
-    scopes.emplace_back(
-        PointScope(i, opts_.seed, seed_for(i), trace_.get()));
+    scopes.emplace_back(PointScope(i, opts_.seed, seed_for(i), trace_.get(),
+                                   profiler_ != nullptr));
   }
 
   if (jobs <= 1) {
@@ -337,6 +345,7 @@ void ExperimentHarness::run_points(
   for (auto& scope : scopes) {
     for (auto& row : scope.rows_) rows_.push_back(std::move(row));
     metrics_.merge_from(scope.metrics_);
+    if (profiler_ && scope.profiler_) profiler_->merge_from(*scope.profiler_);
   }
 }
 
@@ -394,6 +403,12 @@ std::string ExperimentHarness::to_json() const {
   const std::string metrics_json = metrics_.to_json();
   if (metrics_json != "{}") {
     out += ",\n  \"metrics\": " + metrics_json;
+  }
+  // Profiler output is wall-clock and therefore nondeterministic; it only
+  // appears when --profile was given, so seed-determinism byte-compares
+  // (which never pass --profile) are unaffected.
+  if (profiler_ && !profiler_->empty()) {
+    out += ",\n  \"profile\": " + profiler_->to_json();
   }
   out += "\n}\n";
   return out;

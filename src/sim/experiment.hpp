@@ -14,7 +14,7 @@
 //     ex.describe("E1: lookup latency", "paper claim...", "what we sweep...");
 //     for (...) {
 //       sim::Simulator simu(ex.seed());
-//       simu.set_trace(ex.trace());          // no-op unless --trace given
+//       ex.instrument(simu);     // no-op unless --trace / --profile given
 //       net::Network netw(simu, ..., {}, &ex.metrics());
 //       ... run ...
 //       ex.add_row({{"profile", label}, {"p50_s", sim::Value(p50, 2)}});
@@ -22,14 +22,9 @@
 //     return ex.finish();   // prints the table, writes BENCH_E1_dht_lookup.json
 //   }
 //
-// CLI accepted by every harness binary:
-//   --seed N       override the experiment's root seed
-//   --json PATH    write results to PATH (default BENCH_<id>.json in cwd)
-//   --no-json      skip the JSON artifact
-//   --trace PATH   stream kernel/net trace records to PATH as JSONL
-//   --jobs N       run independent sweep points on N worker threads
-//   --quiet        suppress banner and table output
-//   --help         print usage
+// CLI accepted by every harness binary: see the "Harness flags" table in
+// README.md (the single authoritative list: --seed, --json, --no-json,
+// --trace, --profile, --jobs, --param, --quiet, --help).
 //
 // Parallel replication (run_points): a bench that expresses its sweep as
 // independent points gets --jobs for free. Every point runs with its own
@@ -41,7 +36,10 @@
 //
 // Wall-clock measurements (Value::timing) appear in the printed table but are
 // excluded from the JSON so that BENCH_*.json stays byte-identical across
-// runs with the same seed.
+// runs with the same seed. The same rule covers --profile: the "profile" JSON
+// key (kernel self-profiler output) carries wall-clock numbers and exists
+// only when --profile was given, so the determinism byte-compares simply
+// never enable it.
 #pragma once
 
 #include <cstddef>
@@ -53,6 +51,7 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
 #include "sim/table.hpp"
 #include "sim/trace.hpp"
@@ -108,6 +107,7 @@ struct ExperimentOptions {
   std::string json_path;   // empty => "BENCH_<id>.json"
   std::string trace_path;  // empty => tracing disabled
   std::size_t jobs = 1;    // worker threads for run_points()
+  bool profile = false;    // kernel self-profiler ("profile" JSON key)
   bool emit_json = true;
   bool quiet = false;
   bool help = false;
@@ -143,6 +143,19 @@ class PointScope {
   /// which forces sequential execution).
   TraceSink* trace() const { return trace_; }
 
+  /// Point-private profiler (null unless --profile); merged into the harness
+  /// profiler in point-index order afterwards. Unlike tracing, profiling
+  /// does not force sequential execution — samples are point-local.
+  Profiler* profiler() const { return profiler_.get(); }
+
+  /// Install this point's trace sink and profiler on `simu` (both no-ops
+  /// unless the matching flag was given). The idiomatic first line of a
+  /// run_points body after constructing its Simulator.
+  void instrument(Simulator& simu) const {
+    simu.set_trace(trace_);
+    simu.set_profiler(profiler_.get());
+  }
+
   /// Buffer one result row; rows from point i precede rows from point i+1
   /// in the final table/artifact regardless of completion order.
   void add_row(std::vector<std::pair<std::string, Value>> cells) {
@@ -152,16 +165,18 @@ class PointScope {
  private:
   friend class ExperimentHarness;
   PointScope(std::size_t index, std::uint64_t root_seed,
-             std::uint64_t point_seed, TraceSink* trace)
+             std::uint64_t point_seed, TraceSink* trace, bool profile)
       : index_(index),
         root_seed_(root_seed),
         point_seed_(point_seed),
-        trace_(trace) {}
+        trace_(trace),
+        profiler_(profile ? std::make_unique<Profiler>() : nullptr) {}
 
   std::size_t index_;
   std::uint64_t root_seed_;
   std::uint64_t point_seed_;
   TraceSink* trace_;
+  std::unique_ptr<Profiler> profiler_;
   MetricRegistry metrics_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
 };
@@ -205,8 +220,22 @@ class ExperimentHarness {
   MetricRegistry& metrics() { return metrics_; }
 
   /// The trace sink, or nullptr when tracing is off. Install on each kernel
-  /// with `simulator.set_trace(harness.trace())`.
+  /// with instrument() (or `simulator.set_trace(harness.trace())`).
   TraceSink* trace() { return trace_.get(); }
+
+  /// The kernel self-profiler, or nullptr unless --profile was given. Its
+  /// report lands in the JSON artifact under "profile" (wall-clock numbers:
+  /// excluded from determinism byte-compares by never passing --profile
+  /// there).
+  Profiler* profiler() { return profiler_.get(); }
+
+  /// Install the harness trace sink and profiler on `simu`; both are no-ops
+  /// unless the matching CLI flag enabled them. Benches that build one
+  /// Simulator per row call this right after constructing it.
+  void instrument(Simulator& simu) {
+    simu.set_trace(trace_.get());
+    simu.set_profiler(profiler_.get());
+  }
 
   /// Lazily constructed default kernel, seeded with seed() and with the
   /// trace sink pre-installed. Sweep benches that need one kernel per row
@@ -256,6 +285,7 @@ class ExperimentHarness {
   std::string title_, claim_, method_;
   MetricRegistry metrics_;
   std::unique_ptr<JsonlTraceSink> trace_;
+  std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<Simulator> sim_;
   std::vector<std::pair<std::string, Value>> params_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;

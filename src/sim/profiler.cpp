@@ -1,0 +1,95 @@
+#include "sim/profiler.hpp"
+
+#include <chrono>
+
+namespace decentnet::sim {
+
+std::uint64_t Profiler::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Profiler::record(const char* tag, std::uint64_t elapsed_ns) {
+  TagStats& s = slots_[tag];
+  ++s.events;
+  s.wall_ns += elapsed_ns;
+}
+
+void Profiler::merge_from(const Profiler& other) {
+  for (const auto& [tag, stats] : other.slots_) {
+    TagStats& s = slots_[tag];
+    s.events += stats.events;
+    s.wall_ns += stats.wall_ns;
+  }
+}
+
+std::map<std::string, Profiler::TagStats> Profiler::by_tag() const {
+  std::map<std::string, TagStats> out;
+  for (const auto& [tag, stats] : slots_) {
+    TagStats& s = out[tag != nullptr && *tag != '\0' ? tag : "(untagged)"];
+    s.events += stats.events;
+    s.wall_ns += stats.wall_ns;
+  }
+  return out;
+}
+
+std::map<std::string, Profiler::TagStats> Profiler::by_subsystem() const {
+  std::map<std::string, TagStats> out;
+  for (const auto& [name, stats] : by_tag()) {
+    const std::size_t slash = name.find('/');
+    TagStats& s =
+        out[slash == std::string::npos ? name : name.substr(0, slash)];
+    s.events += stats.events;
+    s.wall_ns += stats.wall_ns;
+  }
+  return out;
+}
+
+Profiler::TagStats Profiler::total() const {
+  TagStats t;
+  for (const auto& [tag, stats] : slots_) {
+    t.events += stats.events;
+    t.wall_ns += stats.wall_ns;
+  }
+  return t;
+}
+
+namespace {
+
+void append_stats_map(std::string& out,
+                      const std::map<std::string, Profiler::TagStats>& m) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, s] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;  // tags are code literals: no characters needing escapes
+    out += "\":{\"events\":";
+    out += std::to_string(s.events);
+    out += ",\"wall_ns\":";
+    out += std::to_string(s.wall_ns);
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Profiler::to_json() const {
+  const TagStats t = total();
+  std::string out = "{\"total\":{\"events\":";
+  out += std::to_string(t.events);
+  out += ",\"wall_ns\":";
+  out += std::to_string(t.wall_ns);
+  out += "},\"subsystems\":";
+  append_stats_map(out, by_subsystem());
+  out += ",\"tags\":";
+  append_stats_map(out, by_tag());
+  out += '}';
+  return out;
+}
+
+}  // namespace decentnet::sim

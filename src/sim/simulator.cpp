@@ -158,6 +158,7 @@ void Simulator::fire_top(const HeapEntry& top) {
 }
 
 std::size_t Simulator::run_until(SimTime until) {
+  if (profiler_ != nullptr) [[unlikely]] return run_until_profiled(until);
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
@@ -176,6 +177,7 @@ std::size_t Simulator::run_until(SimTime until) {
 }
 
 std::size_t Simulator::run_all() {
+  if (profiler_ != nullptr) [[unlikely]] return run_all_profiled();
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];

@@ -30,10 +30,12 @@
 // after their Simulator is destroyed (every component in this repo holds a
 // reference to a Simulator that outlives it, so this is the natural order).
 //
-// An optional TraceSink observes every scheduled/fired/cancelled event; with
-// no sink installed the hooks cost a single predictable null test. Cancelled
-// events are reclaimed lazily — the "cancel" trace record is emitted when
-// the event would have fired, exactly as the original kernel did.
+// An optional TraceSink observes every scheduled/fired/cancelled event, and
+// an optional Profiler wall-clock-times every fired callback per tag; with
+// neither installed the hooks cost a single predictable null test each.
+// Cancelled events are reclaimed lazily — the "cancel" trace record is
+// emitted when the event would have fired, exactly as the original kernel
+// did.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +48,10 @@
 
 namespace decentnet::sim {
 
+// Deliberately only forward-declared here: profiler.hpp drags in hash-table
+// templates, and instantiating those in every TU that includes the kernel
+// header perturbs inlining of the hot paths compiled there.
+class Profiler;
 class Simulator;
 
 /// Handle used to cancel a scheduled event (or a periodic series).
@@ -92,6 +98,12 @@ class Simulator {
   /// the caller keeps ownership and must outlive the simulator's use of it.
   void set_trace(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace() const { return trace_; }
+
+  /// Install (or clear, with nullptr) the self-profiler: every fired event's
+  /// callback is wall-clock timed and attributed to its tag. Borrowed, same
+  /// lifetime rule as the trace sink; null costs one test per fired event.
+  void set_profiler(Profiler* profiler) { profiler_ = profiler; }
+  Profiler* profiler() const { return profiler_; }
 
   /// Schedule `fn` to run `delay` from now. Negative delays clamp to "now".
   /// `tag` (a string literal) labels the event in trace output.
@@ -174,6 +186,12 @@ class Simulator {
   void heap_pop_min();
   void fire_top(const HeapEntry& top);
   void reclaim_cancelled_top(const HeapEntry& top);
+  /// Drain-loop twins used when a profiler is installed; selected once per
+  /// run_* call and defined in simulator_profiled.cpp — a separate TU, so
+  /// the unprofiled loops (and everything compiled next to them) keep their
+  /// pre-profiler codegen. See the comment atop that file.
+  std::size_t run_until_profiled(SimTime until);
+  std::size_t run_all_profiled();
   void arm_periodic(std::uint32_t slot, std::uint32_t gen, SimTime when,
                     const char* tag);
   void fire_periodic(std::uint32_t slot, std::uint32_t gen);
@@ -203,6 +221,9 @@ class Simulator {
   std::vector<Event> arena_;
   std::vector<std::uint32_t> free_;
   std::vector<HeapEntry> heap_;  // 4-ary min-heap over (when, seq)
+  // Last on purpose: the hot members above keep their pre-profiler offsets
+  // (the fill/drain micros are sensitive to arena_/heap_ crossing lines).
+  Profiler* profiler_ = nullptr;
 };
 
 inline bool EventHandle::valid() const {

@@ -1,0 +1,58 @@
+// Profiled drain loops, deliberately in their own translation unit.
+//
+// These are separate copies of run_until/run_all — selected once per run_*
+// call, not per event — so installing no profiler leaves the hot loops'
+// codegen untouched. Two earlier shapes measurably regressed the fill/drain
+// micros with the profiler *disabled*:
+//   * a per-event `if (profiler_)` inside fire_top perturbed GCC's inlining
+//     of the fire path;
+//   * defining these loops inside simulator.cpp shifted the unit-growth
+//     inlining budget for the whole TU (alloc_slot's fast path, for one,
+//     grew a full spill prologue).
+// Keeping them here leaves simulator.cpp compiling to the same code as
+// before the profiler existed, give or take the two entry checks.
+//
+// The timer brackets all of fire_top, so per-tag wall time includes the
+// kernel's own pop/recycle work, not just the callback body.
+#include "sim/profiler.hpp"
+#include "sim/simulator.hpp"
+
+namespace decentnet::sim {
+
+std::size_t Simulator::run_until_profiled(SimTime until) {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (arena_[top.slot].state == State::kCancelled) {
+      reclaim_cancelled_top(top);
+      continue;
+    }
+    if (top.when > until) break;
+    const char* tag = arena_[top.slot].tag;
+    const std::uint64_t t0 = Profiler::now_ns();
+    fire_top(top);
+    profiler_->record(tag, Profiler::now_ns() - t0);
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulator::run_all_profiled() {
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (arena_[top.slot].state == State::kCancelled) {
+      reclaim_cancelled_top(top);
+      continue;
+    }
+    const char* tag = arena_[top.slot].tag;
+    const std::uint64_t t0 = Profiler::now_ns();
+    fire_top(top);
+    profiler_->record(tag, Profiler::now_ns() - t0);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace decentnet::sim

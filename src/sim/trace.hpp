@@ -18,23 +18,31 @@
 
 namespace decentnet::sim {
 
-/// One structured trace record. `kind` says which fields are meaningful:
+/// One structured trace record. `kind` says which fields are meaningful
+/// (alphabetical — keep it that way when adding kinds):
 ///
-///   kind="sched"  — event pushed: id=event seq, a=fire time, tag=category
-///   kind="fire"   — event callback about to run: id=event seq
 ///   kind="cancel" — cancelled event surfaced (lazy): id=event seq
-///   kind="send"   — Network accepted a message: id=msg seq, a=from, b=to,
-///                   bytes=wire size
 ///   kind="drop"   — Network dropped a message: tag=reason ("partition",
 ///                   "unreachable", "loss", "offline"), id/a/b/bytes as send
 ///   kind="dup"    — Network duplicated a message (duplication window):
-///                   id/a/b/bytes as send
+///                   id/a/b/bytes as send; emitted before the extra delivery
+///                   is scheduled
 ///   kind="fault"  — FaultScheduler injected a fault: tag=fault type
 ///                   ("partition", "crash", "latency", ...), id=plan event
 ///                   index, a=target node index, b=heal time (us, 0=never)
+///   kind="fire"   — event callback about to run: id=event seq
 ///   kind="heal"   — FaultScheduler healed a fault: fields as "fault"
 ///   kind="invariant" — InvariantChecker recorded a violation: tag=invariant
 ///                   name, id=kernel events processed (the trace position)
+///   kind="sched"  — event pushed: id=event seq, a=fire time, tag=category
+///   kind="send"   — Network accepted a message: id=msg seq, a=from, b=to,
+///                   bytes=wire size
+///   kind="span"   — causal hop allocated (span tracking on): id=hop id,
+///                   a=tree root hop, b=parent hop (0 = root), bytes=tree
+///                   depth. tag="root" marks a virtual root opened by
+///                   Network::new_span_root(); otherwise the record follows
+///                   its message's "send" record immediately (same send,
+///                   matching msg seq)
 ///
 /// `kind` and `tag` must point at string literals (or otherwise outlive the
 /// sink call); records are emitted synchronously and never stored.

@@ -1,0 +1,99 @@
+// decentnet-trace: offline analysis of JSONL traces produced by the
+// harness's --trace flag (JsonlTraceSink format, see src/sim/trace.hpp).
+//
+//   decentnet-trace TRACE.jsonl [--summary] [--trees] [--top N]
+//                   [--chrome OUT.json]
+//
+// With no selection flags both the per-kind summary and the propagation-tree
+// table are printed. --chrome additionally writes a Chrome trace_event file
+// for chrome://tracing / Perfetto. Exit status: 0 on success, 1 on bad
+// usage, unreadable input, or a malformed trace.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace_analysis.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " TRACE.jsonl [--summary] [--trees] [--top N] [--chrome OUT.json]\n"
+      << "  --summary        per-kind / per-tag record counts\n"
+      << "  --trees          propagation-tree stats (needs span records)\n"
+      << "  --top N          show the N largest trees (default 10)\n"
+      << "  --chrome FILE    write Chrome trace_event JSON to FILE\n"
+      << "With neither --summary nor --trees, both are printed.\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string chrome_out;
+  bool want_summary = false;
+  bool want_trees = false;
+  std::size_t top_n = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--summary") == 0) {
+      want_summary = true;
+    } else if (std::strcmp(arg, "--trees") == 0) {
+      want_trees = true;
+    } else if (std::strcmp(arg, "--top") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      top_n = static_cast<std::size_t>(std::stoull(argv[i]));
+    } else if (std::strcmp(arg, "--chrome") == 0) {
+      if (++i >= argc) return usage(argv[0]);
+      chrome_out = argv[i];
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+  if (!want_summary && !want_trees) {
+    want_summary = true;
+    want_trees = true;
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "decentnet-trace: cannot open " << input << "\n";
+    return 1;
+  }
+
+  try {
+    const auto records = decentnet::tracetool::parse_jsonl(in);
+    if (want_summary) {
+      std::cout << decentnet::tracetool::summary_text(
+          decentnet::tracetool::summarize(records));
+    }
+    if (want_trees || !chrome_out.empty()) {
+      const auto trees = decentnet::tracetool::build_trees(records);
+      if (want_trees) {
+        if (want_summary) std::cout << "\n";
+        std::cout << decentnet::tracetool::tree_stats_text(trees, top_n);
+      }
+      if (!chrome_out.empty()) {
+        std::ofstream out(chrome_out);
+        if (!out) {
+          std::cerr << "decentnet-trace: cannot write " << chrome_out << "\n";
+          return 1;
+        }
+        out << decentnet::tracetool::chrome_trace_json(trees);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "decentnet-trace: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

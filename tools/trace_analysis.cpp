@@ -1,0 +1,366 @@
+#include "trace_analysis.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace decentnet::tracetool {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t lineno, const std::string& why) {
+  throw std::runtime_error("trace line " + std::to_string(lineno) + ": " +
+                           why);
+}
+
+/// Parse one JSONL object. The writer emits a flat object with string and
+/// unsigned-integer values only; this parser accepts exactly that shape (in
+/// any key order) and rejects everything else.
+Record parse_line(const std::string& line, std::size_t lineno) {
+  Record rec;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto expect = [&](char c) {
+    skip_ws();
+    if (i >= line.size() || line[i] != c) {
+      bad_line(lineno, std::string("expected '") + c + "'");
+    }
+    ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    expect('"');
+    std::string out;
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c == '\\') {
+        if (i >= line.size()) bad_line(lineno, "dangling escape");
+        const char esc = line[i++];
+        if (esc == 'u') {
+          if (i + 4 > line.size()) bad_line(lineno, "short \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = line[i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else bad_line(lineno, "bad \\u escape");
+          }
+          c = code < 256 ? static_cast<char>(code) : '?';
+        } else {
+          c = esc;  // \" \\ \/ come back verbatim; \n etc. never emitted
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  };
+  const auto parse_uint = [&]() -> std::uint64_t {
+    skip_ws();
+    if (i >= line.size() || line[i] < '0' || line[i] > '9') {
+      bad_line(lineno, "expected integer");
+    }
+    std::uint64_t v = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(line[i++] - '0');
+    }
+    return v;
+  };
+
+  expect('{');
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return rec;  // empty object
+  while (true) {
+    const std::string key = parse_string();
+    expect(':');
+    skip_ws();
+    if (key == "kind") {
+      rec.kind = parse_string();
+    } else if (key == "tag") {
+      rec.tag = parse_string();
+    } else if (i < line.size() && line[i] == '"') {
+      parse_string();  // unknown string field: tolerate and drop
+    } else {
+      const std::uint64_t v = parse_uint();
+      if (key == "t") rec.t = static_cast<std::int64_t>(v);
+      else if (key == "id") rec.id = v;
+      else if (key == "a") rec.a = v;
+      else if (key == "b") rec.b = v;
+      else if (key == "bytes") rec.bytes = v;
+      // unknown numeric fields are tolerated and dropped
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    expect('}');
+    break;
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::vector<Record> parse_jsonl(std::istream& in) {
+  std::vector<Record> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    out.push_back(parse_line(line, lineno));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+Summary summarize(const std::vector<Record>& records) {
+  Summary s;
+  s.records = records.size();
+  if (!records.empty()) {
+    s.t_first = records.front().t;
+    s.t_last = records.front().t;
+  }
+  for (const Record& r : records) {
+    s.t_first = std::min(s.t_first, r.t);
+    s.t_last = std::max(s.t_last, r.t);
+    ++s.by_kind[r.kind];
+    if (!r.tag.empty()) ++s.by_kind_tag[{r.kind, r.tag}];
+  }
+  return s;
+}
+
+std::string summary_text(const Summary& s) {
+  std::ostringstream os;
+  os << "records: " << s.records << "\n";
+  os << "time_span_us: [" << s.t_first << ", " << s.t_last << "]\n";
+  os << "by kind:\n";
+  for (const auto& [kind, n] : s.by_kind) {
+    os << "  " << std::left << std::setw(10) << kind << std::right
+       << std::setw(12) << n << "\n";
+  }
+  bool header = false;
+  for (const auto& [key, n] : s.by_kind_tag) {
+    if (!header) {
+      os << "by kind/tag:\n";
+      header = true;
+    }
+    os << "  " << std::left << std::setw(28) << (key.first + "/" + key.second)
+       << std::right << std::setw(12) << n << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Propagation trees
+// ---------------------------------------------------------------------------
+
+std::vector<Tree> build_trees(const std::vector<Record>& records) {
+  std::vector<Hop> hops;
+  std::unordered_map<std::uint64_t, std::size_t> hop_by_seq;  // msg_seq -> idx
+
+  // Single pass: a non-root "span" record binds to the "send" immediately
+  // before it; its arrival is the earliest "net/deliver" schedule before the
+  // next "send" (a duplicated delivery schedules the copy first, so min()).
+  // A backwards time jump means a fresh simulator appended to the same file:
+  // bump the segment and forget per-run state.
+  const Record* last_send = nullptr;
+  std::size_t awaiting = static_cast<std::size_t>(-1);  // hop idx wanting sched
+  std::uint32_t segment = 0;
+  std::int64_t prev_t = 0;
+  for (const Record& r : records) {
+    if (r.t < prev_t) {
+      ++segment;
+      last_send = nullptr;
+      awaiting = static_cast<std::size_t>(-1);
+      hop_by_seq.clear();
+    }
+    prev_t = r.t;
+    if (r.kind == "send") {
+      last_send = &r;
+      awaiting = static_cast<std::size_t>(-1);
+    } else if (r.kind == "span") {
+      Hop h;
+      h.segment = segment;
+      h.id = static_cast<std::uint32_t>(r.id);
+      h.root = static_cast<std::uint32_t>(r.a);
+      h.parent = static_cast<std::uint32_t>(r.b);
+      h.depth = static_cast<std::uint32_t>(r.bytes);
+      h.send_t = r.t;
+      if (r.tag == "root") {
+        h.virtual_root = true;
+      } else if (last_send != nullptr) {
+        h.msg_seq = last_send->id;
+        h.from = last_send->a;
+        h.to = last_send->b;
+        h.bytes = last_send->bytes;
+        hop_by_seq.emplace(h.msg_seq, hops.size());
+        awaiting = hops.size();
+      }
+      hops.push_back(h);
+    } else if (r.kind == "sched" && r.tag == "net/deliver" &&
+               awaiting != static_cast<std::size_t>(-1)) {
+      Hop& h = hops[awaiting];
+      const auto fire = static_cast<std::int64_t>(r.a);
+      if (h.arrive_t < 0 || fire < h.arrive_t) h.arrive_t = fire;
+    } else if (r.kind == "drop") {
+      const auto it = hop_by_seq.find(r.id);
+      if (it != hop_by_seq.end()) hops[it->second].dropped = true;
+    }
+  }
+
+  // Partition into trees (keyed by segment + root hop id).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Tree> by_root;
+  for (const Hop& h : hops) {
+    Tree& tree = by_root[{h.segment, h.root}];
+    tree.segment = h.segment;
+    tree.root = h.root;
+    tree.hops.push_back(h);
+  }
+
+  // Derive per-tree stats.
+  for (auto& [key, tree] : by_root) {
+    std::unordered_map<std::uint32_t, std::uint32_t> children;  // parent->n
+    const Hop* root_hop = nullptr;
+    for (const Hop& h : tree.hops) {
+      if (h.id == tree.root) root_hop = &h;
+      if (h.virtual_root) continue;
+      ++tree.edges;
+      if (h.dropped) ++tree.dropped; else ++tree.delivered;
+      tree.depth_max = std::max(tree.depth_max, h.depth);
+      if (h.parent != 0) {
+        tree.fanout_max = std::max(tree.fanout_max, ++children[h.parent]);
+      }
+    }
+    // Origin: a virtual root names no node, so borrow the first child's
+    // sender; a real root hop is itself a send from the origin.
+    if (root_hop != nullptr) {
+      tree.t0 = root_hop->send_t;
+      if (!root_hop->virtual_root) {
+        tree.root_node = root_hop->from;
+        tree.root_node_known = true;
+      } else {
+        for (const Hop& h : tree.hops) {
+          if (!h.virtual_root && h.parent == tree.root) {
+            tree.root_node = h.from;
+            tree.root_node_known = true;
+            break;
+          }
+        }
+      }
+    } else if (!tree.hops.empty()) {
+      tree.t0 = tree.hops.front().send_t;  // truncated trace: best effort
+    }
+
+    // Coverage: origin at t0, then each delivered hop covers its receiver
+    // at arrival; first arrival per node wins.
+    std::unordered_map<std::uint64_t, std::int64_t> cover;
+    if (tree.root_node_known) cover[tree.root_node] = tree.t0;
+    for (const Hop& h : tree.hops) {
+      if (h.virtual_root || h.dropped || h.arrive_t < 0) continue;
+      const auto it = cover.find(h.to);
+      if (it == cover.end()) cover.emplace(h.to, h.arrive_t);
+      else it->second = std::min(it->second, h.arrive_t);
+    }
+    tree.covered = cover.size();
+    if (tree.covered > 0) {
+      std::vector<std::int64_t> times;
+      times.reserve(cover.size());
+      for (const auto& [node, t] : cover) times.push_back(t);
+      std::sort(times.begin(), times.end());
+      const std::size_t pop = times.size();
+      const std::size_t k = (pop * 9 + 9) / 10;  // ceil(0.9 * pop)
+      tree.t90 = times[k - 1] - tree.t0;
+      tree.t100 = times.back() - tree.t0;
+    }
+  }
+
+  std::vector<Tree> out;
+  out.reserve(by_root.size());
+  for (auto& [key, tree] : by_root) out.push_back(std::move(tree));
+  std::sort(out.begin(), out.end(), [](const Tree& x, const Tree& y) {
+    if (x.edges != y.edges) return x.edges > y.edges;
+    if (x.segment != y.segment) return x.segment < y.segment;
+    return x.root < y.root;
+  });
+  return out;
+}
+
+std::string tree_stats_text(const std::vector<Tree>& trees,
+                            std::size_t top_n) {
+  std::ostringstream os;
+  const std::size_t shown = std::min(top_n, trees.size());
+  os << "trees: " << trees.size() << " (showing " << shown
+     << ", by edges)\n";
+  os << std::right << std::setw(4) << "seg" << std::setw(8) << "root"
+     << std::setw(10) << "origin"
+     << std::setw(8) << "edges" << std::setw(10) << "delivered"
+     << std::setw(8) << "dropped" << std::setw(8) << "covered"
+     << std::setw(6) << "depth" << std::setw(7) << "fanout"
+     << std::setw(10) << "t90_us" << std::setw(10) << "t100_us" << "\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Tree& t = trees[i];
+    os << std::setw(4) << t.segment << std::setw(8) << t.root;
+    if (t.root_node_known) os << std::setw(10) << t.root_node;
+    else os << std::setw(10) << "?";
+    os << std::setw(8) << t.edges << std::setw(10) << t.delivered
+       << std::setw(8) << t.dropped << std::setw(8) << t.covered
+       << std::setw(6) << t.depth_max << std::setw(7) << t.fanout_max;
+    if (t.t90 >= 0) os << std::setw(10) << t.t90;
+    else os << std::setw(10) << "-";
+    if (t.t100 >= 0) os << std::setw(10) << t.t100;
+    else os << std::setw(10) << "-";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string chrome_trace_json(const std::vector<Tree>& trees) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const Tree& t : trees) {
+    // pid must be unique per tree; fold the segment in without disturbing
+    // the common single-segment case where pid == root hop id.
+    const std::uint64_t pid =
+        static_cast<std::uint64_t>(t.segment) * 100000000ULL + t.root;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"seg " << t.segment
+       << " tree " << t.root;
+    if (t.root_node_known) os << " origin node " << t.root_node;
+    os << "\"}}";
+    for (const Hop& h : t.hops) {
+      if (h.virtual_root) continue;
+      const std::int64_t dur = h.arrive_t >= 0 ? h.arrive_t - h.send_t : 0;
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << h.depth
+         << ",\"ts\":" << h.send_t << ",\"dur\":" << dur << ",\"name\":\""
+         << h.from << "->" << h.to << "\",\"cat\":\"span\",\"args\":{\"hop\":"
+         << h.id << ",\"parent\":" << h.parent << ",\"seq\":" << h.msg_seq
+         << ",\"bytes\":" << h.bytes << ",\"dropped\":" << (h.dropped ? 1 : 0)
+         << "}}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+}  // namespace decentnet::tracetool

@@ -1,0 +1,110 @@
+// Offline analysis of decentnet JSONL traces (the files JsonlTraceSink
+// writes, see src/sim/trace.hpp for the record kinds).
+//
+// Deliberately standalone: nothing here links against the simulator, so the
+// decentnet-trace CLI stays a pure consumer of the on-disk format. Every
+// output string is a deterministic function of the record stream — tests
+// byte-compare them against pinned fixtures.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace decentnet::tracetool {
+
+/// One parsed trace record. Fields the sink omitted (empty tag, zero-valued
+/// a/b/bytes) come back as their defaults — the writer only serializes
+/// non-default values.
+struct Record {
+  std::int64_t t = 0;
+  std::string kind;
+  std::string tag;
+  std::uint64_t id = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Parse a JSONL trace stream. Blank lines are skipped; a malformed line
+/// throws std::runtime_error naming the 1-based line number.
+std::vector<Record> parse_jsonl(std::istream& in);
+
+// ---------------------------------------------------------------------------
+// Per-kind / per-tag summary
+// ---------------------------------------------------------------------------
+
+struct Summary {
+  std::uint64_t records = 0;
+  std::int64_t t_first = 0;
+  std::int64_t t_last = 0;
+  std::map<std::string, std::uint64_t> by_kind;
+  /// (kind, tag) -> count; only entries with a non-empty tag.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> by_kind_tag;
+};
+
+Summary summarize(const std::vector<Record>& records);
+std::string summary_text(const Summary& s);
+
+// ---------------------------------------------------------------------------
+// Propagation trees (requires "span" records, i.e. span tracking was on)
+// ---------------------------------------------------------------------------
+
+/// One causal hop: an edge of a propagation tree. Non-virtual hops bind to
+/// the "send" record immediately preceding their "span" record; arrival is
+/// the earliest "net/deliver" schedule for that send (a duplicated message
+/// schedules two, the copy first).
+struct Hop {
+  std::uint32_t segment = 0;  // see Tree::segment
+  std::uint32_t id = 0;
+  std::uint32_t root = 0;
+  std::uint32_t parent = 0;  // 0 = tree root
+  std::uint32_t depth = 0;
+  std::int64_t send_t = 0;
+  std::int64_t arrive_t = -1;  // -1 = never scheduled (dropped pre-schedule)
+  std::uint64_t msg_seq = 0;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint64_t bytes = 0;
+  bool virtual_root = false;  // opened by Network::new_span_root()
+  bool dropped = false;       // a "drop" record shares this hop's msg_seq
+};
+
+struct Tree {
+  /// Benches often run several simulators back to back into one trace file;
+  /// each fresh simulator restarts time (and hop ids) at zero. A backwards
+  /// jump in `t` starts a new segment, so hop ids never collide across runs.
+  std::uint32_t segment = 0;
+  std::uint32_t root = 0;          // root hop id (unique within its segment)
+  std::uint64_t root_node = 0;     // originating node id (when known)
+  bool root_node_known = false;
+  std::vector<Hop> hops;           // trace order; includes the virtual root
+
+  // Derived:
+  std::uint64_t edges = 0;      // non-virtual hops
+  std::uint64_t delivered = 0;  // edges that were not dropped
+  std::uint64_t dropped = 0;
+  std::uint64_t covered = 0;    // distinct nodes reached, origin included
+  std::uint32_t depth_max = 0;  // over all edges, pruned ones included
+  std::uint32_t fanout_max = 0;
+  std::int64_t t0 = 0;          // origin coverage time (absolute, us)
+  std::int64_t t90 = -1;        // time to 90% of `covered`, relative to t0
+  std::int64_t t100 = -1;       // time to full coverage, relative to t0
+};
+
+/// Reconstruct propagation trees from the record stream. Trees are returned
+/// sorted by edge count descending, then root hop id ascending.
+std::vector<Tree> build_trees(const std::vector<Record>& records);
+
+/// Deterministic text table over the top `top_n` trees.
+std::string tree_stats_text(const std::vector<Tree>& trees, std::size_t top_n);
+
+/// Chrome trace_event JSON (load via chrome://tracing or Perfetto): one "X"
+/// slice per hop (ts = send, dur = flight time), pid = tree root, tid = tree
+/// depth, plus "M" process_name metadata per tree.
+std::string chrome_trace_json(const std::vector<Tree>& trees);
+
+}  // namespace decentnet::tracetool
