@@ -30,6 +30,7 @@
 #include "chain/wallet.hpp"
 #include "crypto/hash.hpp"
 #include "crypto/merkle.hpp"
+#include "sim/sharding.hpp"
 #include "sim/simulator.hpp"
 
 using namespace decentnet;
@@ -226,6 +227,49 @@ std::uint64_t run_cancel_mix_legacy(std::size_t n) {
   return n;
 }
 
+// Sharded steady state: `depth` re-posting token chains spread round-robin
+// over `shards` shards; every 16th hop crosses to the next shard through the
+// deterministic mailbox at now + lookahead (the conservative window). The
+// same workload runs on 1..8 shards and at 1..S worker threads, so the row
+// pair quantifies both the barrier overhead (S>1, threads=1 vs the
+// single-shard kernel) and the parallel speedup (threads=S vs threads=1).
+// Returns the kernel's deterministic event count — identical at any thread
+// count, which main() cross-checks.
+std::uint64_t run_sharded_steady(std::size_t shards, std::size_t depth,
+                                 std::size_t rounds, std::size_t threads) {
+  sim::ShardedKernel kernel(0xAB1A7E, shards);
+  const sim::SimDuration kWindow = 10;
+  kernel.set_lookahead(kWindow);
+  // Per-shard accumulators: each token step runs on the shard it names, so
+  // every slot has a single writer.
+  std::vector<std::uint64_t> acc(shards, 0);
+  std::function<void(std::size_t, std::size_t)> step =
+      [&](std::size_t s, std::size_t remaining) {
+        ++acc[s];
+        if (remaining == 0) return;
+        if (shards > 1 && remaining % 16 == 0) {
+          const std::size_t dst = (s + 1) % shards;
+          kernel.post_cross(
+              dst, kernel.shard(s).now() + kWindow,
+              [&step, dst, remaining] { step(dst, remaining - 1); },
+              "ablate/hop");
+        } else {
+          kernel.shard(s).post(
+              1, [&step, s, remaining] { step(s, remaining - 1); },
+              "ablate/step");
+        }
+      };
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t s = d % shards;
+    kernel.shard(s).post(1, [&step, s, rounds] { step(s, rounds); },
+                         "ablate/step");
+  }
+  kernel.run_until(sim::hours(24 * 365), threads);
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : acc) total += a;
+  return total;
+}
+
 std::uint64_t run_periodic(std::size_t timers) {
   sim::Simulator simu;
   std::uint64_t acc = 0;
@@ -240,7 +284,7 @@ std::uint64_t run_periodic(std::size_t timers) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::ExperimentHarness ex("ablate_kernel", argc, argv, {});
+  bench::ExperimentHarness ex("ablate_kernel", argc, argv, {.shard_aware = true});
   ex.describe(
       "Ablation: kernel and crypto micro-costs",
       "(engineering check, not a paper claim) the event queue and the real "
@@ -369,6 +413,43 @@ int main(int argc, char** argv) {
          {"rate_per_s",
           bench::Value::timing(
               static_cast<double>(legacy_items) / legacy_secs, 0)}});
+  }
+
+  // Sharded vs single-shard mix: the same re-posting workload across shard
+  // counts and depths, timed at 1 worker thread (barrier overhead) and at
+  // S worker threads (parallel speedup). The JSON cells are the
+  // deterministic event counts; rates stay table-only.
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t depth :
+         {std::size_t{10'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+      const std::size_t rounds = std::max<std::size_t>(1, 2'000'000 / depth);
+      std::uint64_t items = 0;
+      auto [reps, secs] = measure(
+          [&] { return run_sharded_steady(shards, depth, rounds, 1); }, items);
+      const double rate_t1 = static_cast<double>(items) / secs;
+      const std::uint64_t events_t1 = items / reps;
+      std::uint64_t items_p = 0;
+      auto [reps_p, secs_p] = measure(
+          [&] { return run_sharded_steady(shards, depth, rounds, shards); },
+          items_p);
+      const double rate_ts = static_cast<double>(items_p) / secs_p;
+      const std::uint64_t events_ts = items_p / reps_p;
+      std::printf(
+          "shard  steady    S=%zu d=%-8zu: %10.0f events/s (1 thr) "
+          "%10.0f events/s (%zu thr)\n",
+          shards, depth, rate_t1, rate_ts, shards);
+      ex.add_row({{"micro", "sim_sharded_steady"},
+                  {"kernel", "sharded"},
+                  {"arg", std::uint64_t{depth}},
+                  {"shards", std::uint64_t{shards}},
+                  {"events_per_rep", events_t1},
+                  // The determinism contract, checked in-band: the event
+                  // count must not depend on the worker-thread count.
+                  {"det_match", std::uint64_t{events_t1 == events_ts ? 1u : 0u}},
+                  {"rate_per_s", bench::Value::timing(rate_t1, 0)},
+                  {"rate_threads_per_s", bench::Value::timing(rate_ts, 0)}});
+    }
   }
 
   for (const std::size_t timers : {std::size_t{100}, std::size_t{1000}}) {

@@ -48,6 +48,24 @@ void check_valid(const std::optional<std::string>& error) {
   if (error) throw std::invalid_argument(*error);
 }
 
+/// Shared rejection for scenarios whose stacks are not shard-safe. The
+/// chain/BFT/fabric/edge scenarios funnel events through shared in-memory
+/// state (mempools, ledgers, orderer queues, federation schedulers) that
+/// assumes a single event-execution thread; running them sharded would be
+/// a data race, not a speedup. Shard-aware workloads live in the E16/E20
+/// benches, which drive net/overlay directly.
+std::optional<std::string> reject_sharding(const ScenarioCommon& common,
+                                           const char* who) {
+  if (common.sim_shards > 1) {
+    return std::string(who) +
+           ": sim_shards > 1 is not supported — this scenario's stack "
+           "shares in-memory state across nodes and is not shard-safe. "
+           "Use the shard-aware E16/E20 benches (--sim-shards) for "
+           "parallel kernel runs.";
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -85,6 +103,7 @@ std::optional<std::string> PowScenarioConfig::validate() const {
     return "PowScenarioConfig: model_bandwidth needs uplink_bps and "
            "downlink_bps > 0";
   }
+  if (auto err = reject_sharding(common, "PowScenarioConfig")) return err;
   return std::nullopt;
 }
 
@@ -120,6 +139,7 @@ std::optional<std::string> FabricScenarioConfig::validate() const {
   if (common.latency <= 0) {
     return "FabricScenarioConfig: common.latency (LAN delay) must be > 0";
   }
+  if (auto err = reject_sharding(common, "FabricScenarioConfig")) return err;
   return std::nullopt;
 }
 
@@ -141,6 +161,9 @@ std::optional<std::string> PartitionedScenarioConfig::validate() const {
     return "PartitionedScenarioConfig: common.latency (LAN delay) must "
            "be > 0";
   }
+  if (auto err = reject_sharding(common, "PartitionedScenarioConfig")) {
+    return err;
+  }
   return std::nullopt;
 }
 
@@ -160,6 +183,7 @@ std::optional<std::string> EdgeScenarioConfig::validate() const {
     return "EdgeScenarioConfig: request_interval must be > 0";
   }
   if (common.duration <= 0) return "EdgeScenarioConfig: duration must be > 0";
+  if (auto err = reject_sharding(common, "EdgeScenarioConfig")) return err;
   return std::nullopt;
 }
 

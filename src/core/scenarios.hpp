@@ -43,6 +43,17 @@ struct ScenarioCommon {
   /// come alive. Off by default — spans cost a few ns per delivery and
   /// change trace bytes, so golden-trace comparisons pin this off.
   bool track_spans = false;
+  /// Shard the scenario's kernel this many ways (sim::ShardedKernel).
+  /// Only shard-aware scenarios accept > 1 — the chain/BFT/fabric stacks
+  /// funnel through shared in-memory state (mempools, ledgers, orderer
+  /// queues) that is not shard-safe, so their validate() rejects it with
+  /// an actionable error. 1 (the default) is the legacy single-kernel
+  /// path, bit-for-bit.
+  std::size_t sim_shards = 1;
+  /// Worker threads for a sharded kernel's windows. Ignored when
+  /// sim_shards == 1. Results never depend on this — it is purely a
+  /// wall-clock knob (the determinism contract in sim/sharding.hpp).
+  std::size_t sim_threads = 1;
 };
 
 // ---------------------------------------------------------------------------

@@ -33,16 +33,26 @@ ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t n,
       go_online_(std::move(go_online)),
       go_offline_(std::move(go_offline)),
       rng_(sim.rng().fork(0xC4324E)),
-      online_(n, false),
+      online_(n, 0),
       pending_(n) {}
 
 void ChurnDriver::start() {
   started_ = true;
   stopped_ = false;
+  if (router_ && peer_rngs_.empty()) {
+    // Router mode: one decorrelated stream per peer, forked up front on the
+    // driver thread so the fork order (and thus every stream) is fixed
+    // before any shard runs. Legacy mode leaves this empty and keeps the
+    // shared stream's historical draw sequence.
+    peer_rngs_.reserve(online_.size());
+    for (std::size_t i = 0; i < online_.size(); ++i) {
+      peer_rngs_.push_back(rng_.fork(i));
+    }
+  }
   for (std::size_t i = 0; i < online_.size(); ++i) {
     if (rng_.chance(config_.initially_online)) {
-      online_[i] = true;
-      ++online_count_;
+      online_[i] = 1;
+      online_count_.fetch_add(1, std::memory_order_relaxed);
       go_online_(i);
     }
     schedule_next(i);
@@ -63,19 +73,24 @@ void ChurnDriver::restart() {
 void ChurnDriver::schedule_next(std::size_t peer_index) {
   const DurationDist& dist =
       online_[peer_index] ? config_.session : config_.downtime;
-  pending_[peer_index] = sim_.schedule(
-      dist.sample(rng_), [this, peer_index] { transition(peer_index); },
+  // Router mode: the transition runs on the peer's own shard and draws from
+  // the peer's own stream — both index-determined, so the schedule is
+  // byte-identical at any worker-thread count.
+  sim::Simulator& target = router_ ? router_(peer_index) : sim_;
+  sim::Rng& rng = router_ ? peer_rngs_[peer_index] : rng_;
+  pending_[peer_index] = target.schedule(
+      dist.sample(rng), [this, peer_index] { transition(peer_index); },
       "churn/transition");
 }
 
 void ChurnDriver::transition(std::size_t peer_index) {
   if (online_[peer_index]) {
-    online_[peer_index] = false;
-    --online_count_;
+    online_[peer_index] = 0;
+    online_count_.fetch_sub(1, std::memory_order_relaxed);
     go_offline_(peer_index);
   } else {
-    online_[peer_index] = true;
-    ++online_count_;
+    online_[peer_index] = 1;
+    online_count_.fetch_add(1, std::memory_order_relaxed);
     go_online_(peer_index);
   }
   schedule_next(peer_index);

@@ -7,6 +7,7 @@
 // protocol's join/leave hooks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -58,9 +59,20 @@ struct ChurnConfig {
 class ChurnDriver {
  public:
   using Hook = std::function<void(std::size_t peer_index)>;
+  /// Maps a peer index to the Simulator (kernel shard) its transitions must
+  /// run on — e.g. `[&](std::size_t i) -> sim::Simulator& { return
+  /// kernel.sim_for(addrs[i].value); }`.
+  using ShardRouter = std::function<sim::Simulator&(std::size_t peer_index)>;
 
   ChurnDriver(sim::Simulator& sim, std::size_t n, ChurnConfig config,
               Hook go_online, Hook go_offline);
+
+  /// Sharded mode: schedule each peer's transitions on its own shard, with
+  /// a per-peer RNG stream forked from the driver's (a shared sequential
+  /// stream drawn at transition time would race across shards *and* be
+  /// schedule-dependent). Must be set before start(); without a router the
+  /// driver keeps its legacy shared-stream draw order exactly.
+  void set_shard_router(ShardRouter router) { router_ = std::move(router); }
 
   /// Start the alternating session/downtime schedule for every peer.
   void start();
@@ -79,8 +91,12 @@ class ChurnDriver {
   /// same seed. No-op while running.
   void restart();
 
-  bool is_online(std::size_t peer_index) const { return online_[peer_index]; }
-  std::size_t online_count() const { return online_count_; }
+  bool is_online(std::size_t peer_index) const {
+    return online_[peer_index] != 0;
+  }
+  std::size_t online_count() const {
+    return online_count_.load(std::memory_order_relaxed);
+  }
   bool stopped() const { return stopped_; }
 
  private:
@@ -92,9 +108,13 @@ class ChurnDriver {
   Hook go_online_;
   Hook go_offline_;
   sim::Rng rng_;
-  std::vector<bool> online_;
+  ShardRouter router_;               // empty => legacy single-kernel mode
+  std::vector<sim::Rng> peer_rngs_;  // per-peer streams (router mode only)
+  // Bytes, not vector<bool>: adjacent peers transition on different shards,
+  // and bit-packing would make those writes share a byte (a data race).
+  std::vector<std::uint8_t> online_;
   std::vector<sim::EventHandle> pending_;  // per-peer outstanding transition
-  std::size_t online_count_ = 0;
+  std::atomic<std::size_t> online_count_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -19,6 +19,12 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
   /// One-way propagation delay from `a` to `b` for a single message.
   virtual sim::SimDuration sample(NodeId a, NodeId b, sim::Rng& rng) = 0;
+  /// Hard lower bound on sample() over all node pairs — the conservative
+  /// lookahead the sharded kernel may run ahead without a barrier (messages
+  /// can never arrive sooner than this). Models that cannot promise a
+  /// positive bound return 0, which forces the kernel's degenerate
+  /// sequential fallback rather than an unsound window.
+  virtual sim::SimDuration min_latency() const { return 0; }
 };
 
 /// Fixed one-way delay (datacenter-style or unit-test determinism).
@@ -26,6 +32,7 @@ class ConstantLatency final : public LatencyModel {
  public:
   explicit ConstantLatency(sim::SimDuration delay) : delay_(delay) {}
   sim::SimDuration sample(NodeId, NodeId, sim::Rng&) override { return delay_; }
+  sim::SimDuration min_latency() const override { return delay_; }
 
  private:
   sim::SimDuration delay_;
@@ -38,6 +45,7 @@ class UniformLatency final : public LatencyModel {
   sim::SimDuration sample(NodeId, NodeId, sim::Rng& rng) override {
     return rng.uniform_int(lo_, hi_);
   }
+  sim::SimDuration min_latency() const override { return lo_; }
 
  private:
   sim::SimDuration lo_, hi_;
@@ -51,6 +59,7 @@ class LogNormalLatency final : public LatencyModel {
   LogNormalLatency(sim::SimDuration median, double sigma,
                    sim::SimDuration floor = sim::millis(1));
   sim::SimDuration sample(NodeId, NodeId, sim::Rng& rng) override;
+  sim::SimDuration min_latency() const override { return floor_; }
 
  private:
   double mu_;

@@ -1,6 +1,9 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "sim/sharding.hpp"
 
 namespace decentnet::net {
 
@@ -53,6 +56,15 @@ std::uint32_t Network::alloc_span_hop(std::uint32_t parent) {
 
 Span Network::new_span_root() {
   if (!config_.track_spans) return {};
+  if (kernel_ != nullptr) {
+    const std::uint32_t s = sim::ShardedKernel::current_shard();
+    sim::Simulator& cur = kernel_->shard(s);
+    const std::uint32_t self = alloc_span_hop_sharded(shard_ctx_[s], s, 0);
+    if (sim::TraceSink* const tr = cur.trace()) {
+      tr->record({cur.now(), "span", "root", self, self, 0, 0});
+    }
+    return Span{self, self};
+  }
   const std::uint32_t self = alloc_span_hop(0);
   if (sim::TraceSink* const tr = sim_.trace()) {
     tr->record({sim_.now(), "span", "root", self, self, 0, 0});
@@ -60,9 +72,20 @@ Span Network::new_span_root() {
   return Span{self, self};
 }
 
+std::uint32_t Network::alloc_span_hop_sharded(NetShard& ctx,
+                                              std::uint32_t shard,
+                                              std::uint32_t parent) {
+  const std::uint32_t depth = parent != 0 ? span_depth(parent) + 1 : 0;
+  const std::uint32_t local = ctx.spans.alloc(depth);
+  ctx.m_span_hops->add();
+  return (shard << kSpanLocalBits) | local;
+}
+
 void Network::attach(NodeId id, Host* host) {
+  // Sharded runs pre-register every node, so this lookup is find-only
+  // during the parallel phase (churn re-attaches on the owning shard).
   Peer& p = peer(id);
-  if (p.host == nullptr) ++online_;
+  if (p.host == nullptr) online_.fetch_add(1, std::memory_order_relaxed);
   p.host = host;
 }
 
@@ -70,8 +93,57 @@ void Network::detach(NodeId id) {
   const auto it = peers_.find(id);
   if (it != peers_.end() && it->second.host != nullptr) {
     it->second.host = nullptr;  // link state survives churn
-    --online_;
+    online_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void Network::enable_sharding(sim::ShardedKernel& kernel) {
+  kernel.set_lookahead(latency_->min_latency());
+  if (kernel.shard_count() <= 1) return;  // the legacy path *is* that kernel
+  if (&kernel.shard(0) != &sim_) {
+    throw std::invalid_argument(
+        "Network::enable_sharding: the Network must be constructed over "
+        "kernel.shard(0)");
+  }
+  if (config_.model_bandwidth) {
+    throw std::invalid_argument(
+        "Network::enable_sharding: model_bandwidth is not shard-safe (link "
+        "FIFO state is mutated from both endpoints' shards); run with a "
+        "single shard");
+  }
+  if (kernel.shard_count() > kSpanShardBitsMax) {
+    throw std::invalid_argument(
+        "Network::enable_sharding: at most 64 shards (span hop encoding)");
+  }
+  kernel_ = &kernel;
+  shard_ctx_.clear();
+  for (std::size_t s = 0; s < kernel.shard_count(); ++s) {
+    // Same fork tag as the legacy ctor, applied per shard stream: shard 0's
+    // context draws are decorrelated from rng_ only because enable_sharding
+    // forks shard 0's root again — deterministic either way.
+    shard_ctx_.emplace_back(kernel.shard(s).rng().fork(0x4E457457u));
+    NetShard& c = shard_ctx_.back();
+    sim::MetricRegistry& reg = kernel.metrics(s);
+    c.m_messages_sent = &reg.counter("net/messages_sent");
+    c.m_bytes_sent = &reg.counter("net/bytes_sent");
+    c.m_dropped_partition = &reg.counter("net/dropped_partition");
+    c.m_dropped_unreachable = &reg.counter("net/dropped_unreachable");
+    c.m_dropped_loss = &reg.counter("net/dropped_loss");
+    c.m_dropped_offline = &reg.counter("net/dropped_offline");
+    c.m_duplicated = &reg.counter("net/duplicated");
+    c.m_reordered = &reg.counter("net/reordered");
+    c.m_span_hops = &reg.counter("net/span_hops");
+  }
+}
+
+sim::Simulator& Network::simulator_for(NodeId id) {
+  if (kernel_ == nullptr) return sim_;
+  return kernel_->shard(kernel_->shard_of(id.value));
+}
+
+sim::MetricRegistry& Network::metrics_for(NodeId id) {
+  if (kernel_ == nullptr) return metrics_;
+  return kernel_->metrics(kernel_->shard_of(id.value));
 }
 
 void Network::set_bandwidth(NodeId id, double uplink_bps,
@@ -192,6 +264,12 @@ void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
 }
 
 void Network::deliver(Message msg) {
+  // One predictable branch keeps the legacy path's shape: everything below
+  // is exactly the pre-sharding delivery pipeline.
+  if (kernel_ != nullptr) [[unlikely]] {
+    deliver_sharded(std::move(msg));
+    return;
+  }
   const std::uint64_t msg_seq = ++messages_sent_;
   bytes_sent_ += msg.size_bytes;
   m_messages_sent_.add();
@@ -289,6 +367,146 @@ void Network::deliver(Message msg) {
   }
 
   schedule_delivery(dst, arrive, std::move(msg), msg_seq);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded delivery path. Mirrors deliver()/schedule_delivery() step for
+// step, but every mutable touch — RNG draws, counters, traffic tallies,
+// span hops, message sequencing — goes through the *sending* shard's
+// NetShard context, and the final post routes through the kernel's mailbox
+// when the receiver lives on another shard. Shared Network state read here
+// (partitions, unreachability, latency penalties, the peer table) is
+// configured only between runs, so the parallel phase reads it immutably.
+// ---------------------------------------------------------------------------
+
+void Network::schedule_delivery_sharded(std::size_t src_shard,
+                                        std::size_t dst_shard, Peer* dst,
+                                        sim::SimTime arrive, Message msg,
+                                        std::uint64_t msg_seq) {
+  sim::Simulator* const dsim = &kernel_->shard(dst_shard);
+  // The offline-drop counter must belong to the *receiving* shard: the
+  // closure runs there.
+  sim::Counter* const dropped = shard_ctx_[dst_shard].m_dropped_offline;
+  sim::Simulator::Callback fn;
+  if (kernel_->trace() != nullptr) {
+    fn = [dsim, dst, dropped, msg_seq, msg = std::move(msg)] {
+      if (dst->host == nullptr) {
+        dropped->add();
+        if (sim::TraceSink* const tr2 = dsim->trace()) {
+          tr2->record({dsim->now(), "drop", "offline", msg_seq,
+                       msg.from.value, msg.to.value, msg.size_bytes});
+        }
+        return;
+      }
+      dst->host->handle_message(msg);
+    };
+  } else {
+    // Same 64-byte inline capture shape as the legacy fast path.
+    fn = [dst, dropped, msg = std::move(msg)] {
+      if (dst->host == nullptr) {
+        dropped->add();
+        return;
+      }
+      dst->host->handle_message(msg);
+    };
+  }
+  if (dst_shard == src_shard) {
+    dsim->post_at(arrive, std::move(fn), "net/deliver");
+  } else {
+    kernel_->post_cross(dst_shard, arrive, std::move(fn), "net/deliver");
+  }
+}
+
+void Network::deliver_sharded(Message msg) {
+  const std::uint32_t s = sim::ShardedKernel::current_shard();
+  NetShard& ctx = shard_ctx_[s];
+  sim::Simulator& cur = kernel_->shard(s);
+  // Message sequence numbers carry their shard in the top bits so the
+  // merged trace keeps globally unique ids without any cross-shard counter.
+  const std::uint64_t msg_seq =
+      (static_cast<std::uint64_t>(s) << 48) | ++ctx.messages_sent;
+  ctx.bytes_sent += msg.size_bytes;
+  ctx.m_messages_sent->add();
+  ctx.m_bytes_sent->add(msg.size_bytes);
+
+  sim::TraceSink* const tr = cur.trace();
+  if (tr) {
+    tr->record({cur.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
+                msg.size_bytes});
+  }
+  if (config_.track_spans) {
+    const std::uint32_t parent = msg.span.hop;
+    const std::uint32_t self = alloc_span_hop_sharded(ctx, s, parent);
+    msg.span.hop = self;
+    if (msg.span.root == 0) msg.span.root = self;
+    if (tr) {
+      tr->record({cur.now(), "span", "", self, msg.span.root, parent,
+                  span_depth(self)});
+    }
+  }
+  const auto trace_drop = [&](const char* reason) {
+    if (tr) {
+      tr->record({cur.now(), "drop", reason, msg_seq, msg.from.value,
+                  msg.to.value, msg.size_bytes});
+    }
+  };
+
+  if (!partitions_.empty() && partitioned(msg.from, msg.to)) {
+    ctx.m_dropped_partition->add();
+    trace_drop("partition");
+    return;
+  }
+
+  // Find-only: sharded runs register every node up front, so a miss means
+  // "never existed" — treat as offline, mutating nothing.
+  const auto it = peers_.find(msg.to);
+  if (it == peers_.end()) {
+    ctx.m_dropped_offline->add();
+    trace_drop("offline");
+    return;
+  }
+  Peer* const dst = &it->second;
+  if (dst->unreachable) {
+    ctx.m_dropped_unreachable->add();
+    trace_drop("unreachable");
+    return;
+  }
+  if (config_.drop_probability > 0 &&
+      ctx.rng.chance(config_.drop_probability)) {
+    ctx.m_dropped_loss->add();
+    trace_drop("loss");
+    return;
+  }
+
+  // No bandwidth model under sharding (enable_sharding rejects it), so
+  // departure is now and the propagation delay is the whole story. Every
+  // additive term is >= 0 with sample() >= min_latency(), which is what
+  // keeps cross-shard arrivals outside the lookahead window.
+  sim::SimDuration prop = latency_->sample(msg.from, msg.to, ctx.rng);
+  const auto from_it = peers_.find(msg.from);
+  if (from_it != peers_.end()) prop += from_it->second.latency_extra;
+  prop += dst->latency_extra;
+  if (reorder_jitter_ > 0) {
+    const auto extra = static_cast<sim::SimDuration>(ctx.rng.uniform_int(
+        static_cast<std::uint64_t>(reorder_jitter_) + 1));
+    if (extra > 0) ctx.m_reordered->add();
+    prop += extra;
+  }
+  const sim::SimTime arrive = cur.now() + prop;
+  const std::size_t dst_shard = kernel_->shard_of(msg.to.value);
+
+  if (duplicate_probability_ > 0 && ctx.rng.chance(duplicate_probability_)) {
+    ctx.m_duplicated->add();
+    const sim::SimDuration lag = latency_->sample(msg.from, msg.to, ctx.rng);
+    if (tr) {
+      tr->record({cur.now(), "dup", "", msg_seq, msg.from.value, msg.to.value,
+                  msg.size_bytes});
+    }
+    schedule_delivery_sharded(s, dst_shard, dst, arrive + lag, msg, msg_seq);
+  }
+
+  schedule_delivery_sharded(s, dst_shard, dst, arrive, std::move(msg),
+                            msg_seq);
 }
 
 }  // namespace decentnet::net

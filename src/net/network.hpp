@@ -8,9 +8,24 @@
 // Internet. The fault surface — uniform loss, overlapping named partitions,
 // NAT unreachability, per-link latency penalties, duplication and reordering
 // windows — is scriptable through net::FaultPlan (see net/faults.hpp).
+//
+// Sharded execution (enable_sharding): the Network can route over a
+// sim::ShardedKernel instead of a single Simulator. Hosts live on the shard
+// of their NodeId (kernel.shard_of), sends execute on the *sender's* shard
+// with per-shard RNG/counter/span contexts (so the parallel phase never
+// contends), and deliveries to another shard travel through the kernel's
+// deterministic mailboxes. The Network also computes the kernel's
+// conservative lookahead from its latency model (min_latency): no message
+// can arrive sooner, which is what makes the window barrier sound.
+// Preconditions for the parallel phase (checked or documented below):
+// every NodeId is register_node()'d before run_until, the fault surface
+// (partitions, penalties, unreachability) is configured only between runs,
+// and model_bandwidth is off (link FIFOs are cross-shard mutable state).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -25,6 +40,10 @@
 #include "net/node_id.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
+
+namespace decentnet::sim {
+class ShardedKernel;  // sim/sharding.hpp; only network.cpp needs the type
+}  // namespace decentnet::sim
 
 namespace decentnet::net {
 
@@ -66,6 +85,35 @@ class Network {
   sim::MetricRegistry& metrics() { return metrics_; }
   LatencyModel& latency_model() { return *latency_; }
 
+  /// Route this network over a sharded kernel. The Network must have been
+  /// constructed over kernel.shard(0); sets the kernel's lookahead from the
+  /// latency model and builds one send-side context (RNG stream, counters
+  /// bound into kernel.metrics(s), span table) per shard. Throws on
+  /// configurations that cannot run sharded (model_bandwidth; > 64 shards).
+  /// A 1-shard kernel is a no-op: the legacy path already is that kernel.
+  void enable_sharding(sim::ShardedKernel& kernel);
+  bool sharded() const { return kernel_ != nullptr; }
+
+  /// The kernel shard that owns `id` — the Simulator a node's timers and
+  /// local state must live on. The legacy (unsharded) answer is simulator().
+  sim::Simulator& simulator_for(NodeId id);
+  /// The registry a node owned by `id`'s shard must bind its handles in
+  /// (per-shard in sharded mode so the parallel phase never contends;
+  /// metrics() otherwise). Folded back together by
+  /// ShardedKernel::merge_metrics_into.
+  sim::MetricRegistry& metrics_for(NodeId id);
+
+  /// Conservative lookahead this network supports: the latency model's hard
+  /// minimum one-way delay. 0 means "no positive bound" (the sharded kernel
+  /// then falls back to sequential stepping).
+  sim::SimDuration lookahead() const { return latency_->min_latency(); }
+
+  /// Pre-create the peer-table entry for `id`. Sharded runs must register
+  /// every NodeId before run_until: the parallel phase resolves peers with
+  /// find-only lookups, and inserting into the table concurrently would be
+  /// a data race. Idempotent; the legacy path creates entries lazily.
+  void register_node(NodeId id) { (void)peer(id); }
+
   /// Allocate a fresh NodeId (sequential; deterministic).
   NodeId new_node_id() { return NodeId{next_id_++}; }
 
@@ -77,7 +125,9 @@ class Network {
     const auto it = peers_.find(id);
     return it != peers_.end() && it->second.host != nullptr;
   }
-  std::size_t online_count() const { return online_; }
+  std::size_t online_count() const {
+    return online_.load(std::memory_order_relaxed);
+  }
 
   /// Pre-size the peer table for `n` nodes (same effect as
   /// NetworkConfig::expected_nodes, for callers that learn the topology
@@ -177,17 +227,41 @@ class Network {
 
   /// Depth of a hop in its propagation tree (root = 0). Valid for any hop id
   /// a delivered Message::span carries while tracking is on; 0 otherwise.
+  /// Safe to call from any shard during a sharded run: hop ids decode to
+  /// their allocating shard's table, whose entries were published before the
+  /// barrier that carried the hop id across (and chunked storage means the
+  /// owner appending more entries never moves published ones).
   std::uint32_t span_depth(std::uint32_t hop) const {
+    if (!shard_ctx_.empty()) {
+      if (hop == 0) return 0;
+      return shard_ctx_[hop >> kSpanLocalBits].spans.depth(hop &
+                                                           kSpanLocalMask);
+    }
     return hop < span_depth_.size() ? span_depth_[hop] : 0;
   }
-  /// Total span hops allocated (message hops + virtual roots).
+  /// Total span hops allocated (message hops + virtual roots). Sharded:
+  /// read between runs only (sums per-shard tables).
   std::uint64_t span_hops() const {
+    if (!shard_ctx_.empty()) {
+      std::uint64_t n = 0;
+      for (const NetShard& c : shard_ctx_) n += c.spans.size();
+      return n;
+    }
     return span_depth_.empty() ? 0 : span_depth_.size() - 1;
   }
 
-  /// Total payload bytes accepted for delivery so far.
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
-  std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Total payload bytes accepted for delivery so far. Sharded: read
+  /// between runs only (sums per-shard tallies).
+  std::uint64_t bytes_sent() const {
+    std::uint64_t n = bytes_sent_;
+    for (const NetShard& c : shard_ctx_) n += c.bytes_sent;
+    return n;
+  }
+  std::uint64_t messages_sent() const {
+    std::uint64_t n = messages_sent_;
+    for (const NetShard& c : shard_ctx_) n += c.messages_sent;
+    return n;
+  }
 
  private:
   /// Bandwidth serialization state, allocated lazily: only peers whose
@@ -221,10 +295,76 @@ class Network {
   };
   static constexpr std::uint32_t kRestGroup = ~0u;
 
+  /// Span hop ids under sharding encode (shard, local id): 6 shard bits
+  /// (<= 64 shards), 26 local bits (~67M hops per shard per run).
+  static constexpr std::uint32_t kSpanShardBitsMax = 64;
+  static constexpr std::uint32_t kSpanLocalBits = 26;
+  static constexpr std::uint32_t kSpanLocalMask = (1u << kSpanLocalBits) - 1;
+
+  /// Per-shard hop-depth table with chunked, pointer-stable storage: the
+  /// owning shard appends, other shards read hops they received through a
+  /// mailbox barrier. Appending never reallocates published entries (no
+  /// vector growth), so cross-shard depth reads are race-free under the
+  /// barrier's happens-before edge.
+  class ShardSpanTable {
+   public:
+    /// Append a hop with `depth`; returns its local id (>= 1). Owner only.
+    std::uint32_t alloc(std::uint32_t depth) {
+      const std::uint32_t local = next_++;
+      const std::uint32_t chunk = local >> kChunkBits;
+      if (!chunks_[chunk]) {
+        chunks_[chunk] = std::make_unique<std::uint32_t[]>(kChunkSize);
+      }
+      chunks_[chunk][local & (kChunkSize - 1)] = depth;
+      return local;
+    }
+    std::uint32_t depth(std::uint32_t local) const {
+      const std::uint32_t chunk = local >> kChunkBits;
+      if (chunk >= kChunks || !chunks_[chunk]) return 0;
+      return chunks_[chunk][local & (kChunkSize - 1)];
+    }
+    std::uint64_t size() const { return next_ - 1; }
+
+   private:
+    static constexpr std::uint32_t kChunkBits = 16;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+    static constexpr std::uint32_t kChunks = 1u << (kSpanLocalBits -
+                                                    kChunkBits);
+    std::unique_ptr<std::uint32_t[]> chunks_[kChunks];
+    std::uint32_t next_ = 1;  // local ids start at 1 (0 = "untracked")
+  };
+
+  /// Send-side state of one kernel shard: sends executing on shard s use
+  /// only this context, so the parallel phase shares nothing mutable. The
+  /// counters live in the kernel's per-shard registries and are folded into
+  /// the experiment registry after the run (deterministic shard order).
+  struct NetShard {
+    explicit NetShard(sim::Rng r) : rng(r) {}
+    sim::Rng rng;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    sim::Counter* m_messages_sent = nullptr;
+    sim::Counter* m_bytes_sent = nullptr;
+    sim::Counter* m_dropped_partition = nullptr;
+    sim::Counter* m_dropped_unreachable = nullptr;
+    sim::Counter* m_dropped_loss = nullptr;
+    sim::Counter* m_dropped_offline = nullptr;
+    sim::Counter* m_duplicated = nullptr;
+    sim::Counter* m_reordered = nullptr;
+    sim::Counter* m_span_hops = nullptr;
+    ShardSpanTable spans;
+  };
+
   void deliver(Message msg);
+  void deliver_sharded(Message msg);
   void schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
                          std::uint64_t msg_seq);
+  void schedule_delivery_sharded(std::size_t src_shard, std::size_t dst_shard,
+                                 Peer* dst, sim::SimTime arrive, Message msg,
+                                 std::uint64_t msg_seq);
   std::uint32_t alloc_span_hop(std::uint32_t parent);
+  std::uint32_t alloc_span_hop_sharded(NetShard& ctx, std::uint32_t shard,
+                                       std::uint32_t parent);
   Peer& peer(NodeId id);
   LinkState& link_state(Peer& p);
   bool partitioned(NodeId a, NodeId b) const;
@@ -253,11 +393,16 @@ class Network {
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
-  std::size_t online_ = 0;
+  /// Atomic because churn transitions attach/detach on their peer's shard;
+  /// relaxed is enough (it is a tally, not a synchronization point).
+  std::atomic<std::size_t> online_{0};
   double duplicate_probability_ = 0.0;
   sim::SimDuration reorder_jitter_ = 0;
   std::unordered_map<NodeId, Peer, NodeIdHasher> peers_;
   std::vector<Partition> partitions_;
+  /// Non-null once enable_sharding() wired a multi-shard kernel.
+  sim::ShardedKernel* kernel_ = nullptr;
+  std::deque<NetShard> shard_ctx_;  // deque: counter/table addresses stable
 };
 
 }  // namespace decentnet::net

@@ -10,16 +10,21 @@ using gossip_msg::ShuffleRequest;
 
 GossipNode::GossipNode(net::Network& net, net::NodeId addr,
                        GossipConfig config)
+    // simulator_for/metrics_for: the node's timers, RNG stream, and metric
+    // handles all live on the shard that owns its NodeId (the plain
+    // simulator()/metrics() when the network is unsharded).
     : net_(net),
-      sim_(net.simulator()),
+      sim_(net.simulator_for(addr)),
       addr_(addr),
       config_(config),
-      rng_(net.simulator().rng().fork(addr.value ^ 0x60551Bull)),
-      m_delivered_(net.metrics().counter("overlay/gossip_delivered")),
-      m_duplicates_(net.metrics().counter("overlay/gossip_duplicates")),
-      m_shuffles_(net.metrics().counter("overlay/gossip_shuffles")),
+      rng_(net.simulator_for(addr).rng().fork(addr.value ^ 0x60551Bull)),
+      m_delivered_(net.metrics_for(addr).counter("overlay/gossip_delivered")),
+      m_duplicates_(
+          net.metrics_for(addr).counter("overlay/gossip_duplicates")),
+      m_shuffles_(net.metrics_for(addr).counter("overlay/gossip_shuffles")),
       m_tree_depth_(net.span_tracking()
-                        ? &net.metrics().histogram("overlay/gossip_tree_depth")
+                        ? &net.metrics_for(addr).histogram(
+                              "overlay/gossip_tree_depth")
                         : nullptr) {}
 
 GossipNode::~GossipNode() {

@@ -36,16 +36,21 @@ std::optional<std::string> KademliaConfig::validate() const {
 
 KademliaNode::KademliaNode(net::Network& net, net::NodeId addr,
                            KademliaConfig config, std::optional<Key> id)
+    // simulator_for/metrics_for: the node's timers and metric handles live
+    // on the shard that owns its NodeId (the plain simulator()/metrics()
+    // when the network is unsharded).
     : net_(net),
-      sim_(net.simulator()),
+      sim_(net.simulator_for(addr)),
       addr_(addr),
       id_(id ? *id : default_id(addr)),
       config_(config),
-      m_lookups_(net.metrics().counter("overlay/kad_lookups")),
-      m_rpcs_(net.metrics().counter("overlay/kad_rpcs")),
-      m_rpc_timeouts_(net.metrics().counter("overlay/kad_rpc_timeouts")),
+      m_lookups_(net.metrics_for(addr).counter("overlay/kad_lookups")),
+      m_rpcs_(net.metrics_for(addr).counter("overlay/kad_rpcs")),
+      m_rpc_timeouts_(
+          net.metrics_for(addr).counter("overlay/kad_rpc_timeouts")),
       m_path_len_(net.span_tracking()
-                      ? &net.metrics().histogram("overlay/lookup_path_len")
+                      ? &net.metrics_for(addr).histogram(
+                            "overlay/lookup_path_len")
                       : nullptr) {
   if (const auto err = config_.validate()) {
     throw std::invalid_argument(*err);

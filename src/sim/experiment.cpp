@@ -130,6 +130,43 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
         return false;
       }
       opts.jobs = static_cast<std::size_t>(parsed);
+    } else if (arg == "--sim-shards") {
+      const char* v = want_value("--sim-shards");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        error = "--sim-shards: need a positive integer, got: " +
+                std::string(v);
+        return false;
+      }
+      if (parsed > 1 && !opts.shard_aware) {
+        error =
+            "--sim-shards: this bench does not run on the sharded kernel "
+            "(it would silently ignore the decomposition). Shard-aware "
+            "benches: bench_e16_gossip, bench_e20_scale, "
+            "bench_ablate_kernel.";
+        return false;
+      }
+      opts.sim_shards = static_cast<std::size_t>(parsed);
+    } else if (arg == "--sim-threads") {
+      const char* v = want_value("--sim-threads");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        error = "--sim-threads: need a positive integer, got: " +
+                std::string(v);
+        return false;
+      }
+      if (parsed > 1 && !opts.shard_aware) {
+        error =
+            "--sim-threads: this bench does not run on the sharded kernel. "
+            "Shard-aware benches: bench_e16_gossip, bench_e20_scale, "
+            "bench_ablate_kernel.";
+        return false;
+      }
+      opts.sim_threads = static_cast<std::size_t>(parsed);
     } else if (arg == "--param") {
       const char* v = want_value("--param");
       if (!v) return false;
@@ -158,7 +195,8 @@ std::string ExperimentHarness::usage(const std::string& prog,
                                      const std::string& id) {
   return "usage: " + prog +
          " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--profile] "
-         "[--jobs N] [--param K=V] [--quiet]\n"
+         "[--jobs N] [--sim-shards S] [--sim-threads N] [--param K=V] "
+         "[--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
          id +
@@ -168,6 +206,10 @@ std::string ExperimentHarness::usage(const std::string& prog,
          "  --profile     kernel self-profiler: per-tag wall time in the\n"
          "                JSON artifact under \"profile\"\n"
          "  --jobs N      worker threads for independent sweep points\n"
+         "                (results are byte-identical for any N)\n"
+         "  --sim-shards S  shard the kernel S ways (shard-aware benches;\n"
+         "                S=1 is the legacy kernel bit-for-bit)\n"
+         "  --sim-threads N worker threads inside one sharded kernel\n"
          "                (results are byte-identical for any N)\n"
          "  --param K=V   bench-specific knob (repeatable; e.g. max_n=1000)\n"
          "  --quiet       suppress banner and table\n";

@@ -52,6 +52,7 @@
 
 #include "sim/metrics.hpp"
 #include "sim/profiler.hpp"
+#include "sim/sharding.hpp"
 #include "sim/simulator.hpp"
 #include "sim/table.hpp"
 #include "sim/trace.hpp"
@@ -107,6 +108,18 @@ struct ExperimentOptions {
   std::string json_path;   // empty => "BENCH_<id>.json"
   std::string trace_path;  // empty => tracing disabled
   std::size_t jobs = 1;    // worker threads for run_points()
+  /// Shard count for shard-aware benches (ShardedKernel decomposition).
+  /// 1 = the legacy single-kernel path, bit-for-bit. The decomposition —
+  /// not the thread count — decides results, so artifacts depend on
+  /// sim_shards but never on sim_threads.
+  std::size_t sim_shards = 1;
+  /// Worker threads inside one sharded kernel (ShardedKernel::run_until).
+  /// Purely a wall-clock knob: byte-identical output for any value.
+  std::size_t sim_threads = 1;
+  /// Set by benches that actually route --sim-shards into a ShardedKernel.
+  /// Everywhere else the CLI rejects the flag outright — silently ignoring
+  /// a decomposition knob would misreport what was measured.
+  bool shard_aware = false;
   bool profile = false;    // kernel self-profiler ("profile" JSON key)
   bool emit_json = true;
   bool quiet = false;
@@ -154,6 +167,14 @@ class PointScope {
   void instrument(Simulator& simu) const {
     simu.set_trace(trace_);
     simu.set_profiler(profiler_.get());
+  }
+
+  /// Sharded counterpart: the kernel buffers per-shard records/samples and
+  /// merges them canonically, so artifacts stay byte-identical at any
+  /// --sim-threads value.
+  void instrument(ShardedKernel& kernel) const {
+    kernel.set_trace(trace_);
+    kernel.set_profiler(profiler_.get());
   }
 
   /// Buffer one result row; rows from point i precede rows from point i+1
@@ -207,6 +228,12 @@ class ExperimentHarness {
 
   /// Root seed for the experiment (bench default unless --seed overrode it).
   std::uint64_t seed() const { return opts_.seed; }
+
+  /// --sim-shards / --sim-threads (see ExperimentOptions). Benches that
+  /// support sharded kernels read these to size their ShardedKernel; the
+  /// rest ignore them.
+  std::size_t sim_shards() const { return opts_.sim_shards; }
+  std::size_t sim_threads() const { return opts_.sim_threads; }
   /// Deterministic per-run seed stream: splitmix of (root seed, index).
   std::uint64_t seed_for(std::uint64_t index) const;
 
@@ -235,6 +262,12 @@ class ExperimentHarness {
   void instrument(Simulator& simu) {
     simu.set_trace(trace_.get());
     simu.set_profiler(profiler_.get());
+  }
+
+  /// Sharded counterpart of instrument(Simulator&).
+  void instrument(ShardedKernel& kernel) {
+    kernel.set_trace(trace_.get());
+    kernel.set_profiler(profiler_.get());
   }
 
   /// Lazily constructed default kernel, seeded with seed() and with the

@@ -3,10 +3,13 @@
 // Network::send used to copy the typed payload into every delivery closure,
 // so broadcasting one block over a degree-d mesh deep-copied its tx vector
 // O(N·d) times. Shared<T> allocates the payload once per broadcast; each
-// delivery holds an 8-byte PayloadRef that bumps a non-atomic refcount.
-// Non-atomic is safe by construction: a payload never leaves the Simulator
-// it was created under, and each Simulator is single-threaded (run_points
-// gives every replication its own kernel + network + thread).
+// delivery holds an 8-byte PayloadRef that bumps an atomic refcount.
+// The count is atomic because sharded runs (sim/sharding.hpp) relay one
+// payload across shard workers: copies bump with a relaxed fetch_add (no
+// ordering needed to take a reference), and release uses acq_rel so the
+// last dropper observes every other shard's writes before destroying the
+// value. Uncontended atomic RMW is a handful of cycles on the lock-free
+// fast path, noise next to the delivery closure move it rides along with.
 //
 // PayloadRef is the type-erased form carried inside net::Message. It is one
 // pointer wide on purpose: the delivery closure (Peer* + Counter* + Message)
@@ -14,6 +17,7 @@
 // The value pointer and the deleter live in the control block, not the ref.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 
@@ -21,7 +25,7 @@ namespace decentnet::sim {
 
 /// Control block header. Holder<T> appends the value in the same allocation.
 struct SharedBlock {
-  std::uint32_t refs = 1;
+  std::atomic<std::uint32_t> refs{1};
   void (*destroy)(SharedBlock*) = nullptr;
   const void* value = nullptr;
 };
@@ -61,7 +65,9 @@ class PayloadRef {
   explicit PayloadRef(SharedBlock* block) : block_(block) {}
 
   PayloadRef(const PayloadRef& o) : block_(o.block_) {
-    if (block_ != nullptr) ++block_->refs;
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   PayloadRef(PayloadRef&& o) noexcept : block_(o.block_) {
     o.block_ = nullptr;
@@ -78,13 +84,17 @@ class PayloadRef {
   ~PayloadRef() { reset(); }
 
   void reset() {
-    if (block_ != nullptr && --block_->refs == 0) block_->destroy(block_);
+    if (block_ != nullptr &&
+        block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      block_->destroy(block_);
+    }
     block_ = nullptr;
   }
 
   const void* get() const { return block_ != nullptr ? block_->value : nullptr; }
   std::uint32_t use_count() const {
-    return block_ != nullptr ? block_->refs : 0;
+    return block_ != nullptr ? block_->refs.load(std::memory_order_relaxed)
+                             : 0;
   }
   explicit operator bool() const { return block_ != nullptr; }
 

@@ -4,7 +4,9 @@
 // simulated clock. Everything in decentnet — network delivery, protocol
 // timers, churn, mining — is expressed as events on one Simulator instance,
 // which makes each experiment single-threaded and bit-for-bit reproducible
-// from its root seed.
+// from its root seed. (Multi-core runs compose several Simulators — one per
+// shard — behind conservative-lookahead barriers; see sim/sharding.hpp.
+// Each shard is exactly this kernel, untouched.)
 //
 // Hot-path design (this is the layer every experiment's scale is bounded by):
 //   * Callbacks are sim::InlineFn<64>: captures up to 64 bytes live inside
@@ -39,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/inline_fn.hpp"
@@ -143,6 +146,15 @@ class Simulator {
 
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t total_events_processed() const { return processed_; }
+
+  /// Earliest queued fire time, or SimTime's max when the queue is empty.
+  /// A cancelled-but-unreclaimed top counts — it is a conservative lower
+  /// bound, which is all the sharded kernel's window computation needs
+  /// (see sim/sharding.hpp).
+  SimTime next_event_time() const {
+    return heap_.empty() ? std::numeric_limits<SimTime>::max()
+                         : heap_[0].when;
+  }
 
  private:
   friend class EventHandle;

@@ -43,6 +43,10 @@ namespace decentnet::sim {
 ///                   Network::new_span_root(); otherwise the record follows
 ///                   its message's "send" record immediately (same send,
 ///                   matching msg seq)
+///   kind="warn"   — kernel configuration warning, emitted once: tag=what
+///                   ("sharding/zero_lookahead": degenerate lookahead forced
+///                   the sharded kernel into sequential stepping; a=shard
+///                   count)
 ///
 /// `kind` and `tag` must point at string literals (or otherwise outlive the
 /// sink call); records are emitted synchronously and never stored.

@@ -191,6 +191,35 @@ TEST(ExperimentCli, ParsesJobs) {
   EXPECT_FALSE(ok);
 }
 
+TEST(ExperimentCli, ShardFlagsRequireShardAwareBench) {
+  // Default ExperimentOptions are not shard-aware: the CLI must reject a
+  // decomposition it would silently ignore, with an actionable message.
+  bool ok = false;
+  std::string error;
+  parse({"--sim-shards", "4"}, &ok, &error);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("Shard-aware benches"), std::string::npos) << error;
+  parse({"--sim-threads", "4"}, &ok, &error);
+  EXPECT_FALSE(ok);
+  // Value 1 is the status quo and always fine.
+  parse({"--sim-shards", "1", "--sim-threads", "1"}, &ok);
+  EXPECT_TRUE(ok);
+  // A shard-aware bench accepts both, and bad values still error.
+  std::vector<const char*> argv{"bench", "--sim-shards", "8",
+                                "--sim-threads", "2"};
+  ds::ExperimentOptions opts;
+  opts.shard_aware = true;
+  const bool parsed = ds::ExperimentHarness::parse_cli(
+      static_cast<int>(argv.size()),
+      const_cast<char* const*>(argv.data()), opts, error);
+  EXPECT_TRUE(parsed);
+  EXPECT_EQ(opts.sim_shards, 8u);
+  EXPECT_EQ(opts.sim_threads, 2u);
+  parse({"--sim-shards", "0"}, &ok, &error);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("positive integer"), std::string::npos) << error;
+}
+
 TEST(ExperimentCli, ParsesRepeatableParams) {
   bool ok = false;
   ds::ExperimentOptions opts =
