@@ -22,6 +22,7 @@ struct Row {
   double duplicates_per_node;
   double bytes_per_node;
   std::uint64_t t90_us;  // time to 90% of reached nodes, from broadcast
+  std::uint64_t events;  // kernel events fired, for the events/sec cell
 };
 
 Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
@@ -84,6 +85,7 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
   }
   ex.metrics().histogram("overlay/gossip_t90_us")
       .record(static_cast<double>(row.t90_us));
+  row.events = simu.total_events_processed();
   return row;
 }
 
@@ -173,6 +175,7 @@ Row run_sharded(std::size_t n, std::size_t fanout, std::uint64_t seed,
   }
   ex.metrics().histogram("overlay/gossip_t90_us")
       .record(static_cast<double>(row.t90_us));
+  row.events = kernel.total_events_processed();
   return row;
 }
 
@@ -196,26 +199,37 @@ int main(int argc, char** argv) {
                       : run(n, fanout, seed, ex);
   };
 
+  // The throughput triplet rides along as table-only timing cells (the
+  // default append_timing_cells mode), so BENCH_E16_gossip.json stays
+  // byte-identical across runs, --jobs and --sim-threads.
   for (const std::size_t fanout : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const bench::WallClock wall;
     const Row r = run_one(500, fanout, ex.seed());
-    ex.add_row({{"sweep", "fanout"},
-                {"n", std::uint64_t{500}},
-                {"fanout", std::uint64_t{fanout}},
-                {"coverage", bench::Value(r.coverage, 3)},
-                {"mean_hops", bench::Value(r.mean_hops, 1)},
-                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
-                {"bytes_per_node", bench::Value(r.bytes_per_node, 0)},
-                {"t90_us", r.t90_us}});
+    std::vector<std::pair<std::string, bench::Value>> row{
+        {"sweep", "fanout"},
+        {"n", std::uint64_t{500}},
+        {"fanout", std::uint64_t{fanout}},
+        {"coverage", bench::Value(r.coverage, 3)},
+        {"mean_hops", bench::Value(r.mean_hops, 1)},
+        {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
+        {"bytes_per_node", bench::Value(r.bytes_per_node, 0)},
+        {"t90_us", r.t90_us}};
+    bench::append_timing_cells(row, wall, r.events);
+    ex.add_row(std::move(row));
   }
   for (const std::size_t n : {100u, 300u, 1000u, 3000u}) {
+    const bench::WallClock wall;
     const Row r = run_one(n, 4, ex.seed() + 1);
-    ex.add_row({{"sweep", "size"},
-                {"n", std::uint64_t{n}},
-                {"fanout", std::uint64_t{4}},
-                {"coverage", bench::Value(r.coverage, 3)},
-                {"mean_hops", bench::Value(r.mean_hops, 1)},
-                {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
-                {"t90_us", r.t90_us}});
+    std::vector<std::pair<std::string, bench::Value>> row{
+        {"sweep", "size"},
+        {"n", std::uint64_t{n}},
+        {"fanout", std::uint64_t{4}},
+        {"coverage", bench::Value(r.coverage, 3)},
+        {"mean_hops", bench::Value(r.mean_hops, 1)},
+        {"dups_per_node", bench::Value(r.duplicates_per_node, 2)},
+        {"t90_us", r.t90_us}};
+    bench::append_timing_cells(row, wall, r.events);
+    ex.add_row(std::move(row));
   }
   const int rc = ex.finish();
   std::printf(

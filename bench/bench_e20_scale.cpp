@@ -1,13 +1,15 @@
-// E20: the 100k-node scale path.
+// E20: the million-node scale path.
 //
 // The paper's core argument is quantitative at scale: permissionless overlays
 // pay for open membership with lookup latency, redundant dissemination
 // traffic, and churn-induced failures, and those costs grow with N. E20
 // measures the two overlay primitives everything else rides on — Kademlia
-// iterative lookups and push-epidemic gossip — at N ∈ {1k, 10k, 100k} under
-// heavy-tailed churn, and doubles as the memory/throughput regression gate
-// for the Shared-payload + compact-peer work: the whole sweep must fit in a
-// few GB and the 100k points must finish in minutes, not hours.
+// iterative lookups and push-epidemic gossip — at N ∈ {1k, 10k, 100k, 1M}
+// under heavy-tailed churn, and doubles as the memory/throughput regression
+// gate for the SoA peer-table + streaming-trace work: the whole sweep must
+// fit in a few GB (the 1M point in < 4 GB) and the 100k points must finish
+// in minutes, not hours. tools/perf_gate.py compares this bench's 100k
+// events_per_sec / peak_rss_mb cells against bench/baselines.json in CI.
 //
 // Sweep shape: for each N, one Kademlia point (hops, lookup latency, RPC
 // timeouts over 2000 lookups while peers churn) and one gossip point
@@ -18,7 +20,9 @@
 // the wall-clock without changing steady-state lookup behavior.
 //
 // Knobs (repeatable `--param K=V`):
-//   max_n=N            drop sweep points above N (CI smoke uses max_n=1000)
+//   max_n=N            drop sweep points above N (CI smoke uses max_n=1000;
+//                      the default keeps the 1M point opt-in —
+//                      max_n=1000000 enables it)
 //   lookups=K          Kademlia lookups per point        (default 2000)
 //   rumors=K           gossip broadcasts per point       (default 10)
 //   timings_in_json=0  demote wall-clock/events-per-sec/peak-RSS cells to
@@ -38,7 +42,6 @@
 // contract CI byte-checks. --sim-shards 1 (the default) is the historical
 // single-kernel path, bit-for-bit.
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -46,10 +49,7 @@
 #include <utility>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
+#include "bench_util.hpp"
 #include "crypto/hash.hpp"
 #include "net/churn.hpp"
 #include "net/latency.hpp"
@@ -66,23 +66,9 @@ namespace overlay = decentnet::overlay;
 namespace sim = decentnet::sim;
 namespace crypto = decentnet::crypto;
 
-namespace {
+namespace bench = decentnet::bench;
 
-/// Process-wide peak resident set in MB (monotone across points, so with
-/// --jobs 1 the largest-N point reports the sweep's true high-water mark).
-double peak_rss_mb() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-#if defined(__APPLE__)
-  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
-#else
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB
-#endif
-#else
-  return 0.0;
-#endif
-}
+namespace {
 
 double percentile(std::vector<double>& v, double p) {
   if (v.empty()) return 0.0;
@@ -101,17 +87,9 @@ net::ChurnConfig scale_churn() {
   return churn;
 }
 
-struct WallClock {
-  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-        .count();
-  }
-};
-
 void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
                         sim::PointScope& scope) {
-  const WallClock wall;
+  const bench::WallClock wall;
   sim::Simulator simu(scope.seed());
   scope.instrument(simu);
   net::Network netw(simu,
@@ -211,12 +189,8 @@ void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
     latencies_ms.push_back(sim::to_millis(r.elapsed));
   }
   const double completed = std::max<double>(1, results.size());
-  const double wall_s = wall.seconds();
   const auto events = simu.total_events_processed();
-  auto timing = [&](double v, int prec) {
-    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
-  };
-  scope.add_row({
+  std::vector<std::pair<std::string, sim::Value>> row{
       {"overlay", "kademlia"},
       {"n", static_cast<std::uint64_t>(n)},
       {"online_end", static_cast<std::uint64_t>(churn.online_count())},
@@ -230,15 +204,14 @@ void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
       {"rpc_timeouts", static_cast<std::uint64_t>(timeouts)},
       {"msgs", netw.messages_sent()},
       {"events", events},
-      {"wall_s", timing(wall_s, 2)},
-      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
-      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
-  });
+  };
+  bench::append_timing_cells(row, wall, events, json_timings);
+  scope.add_row(std::move(row));
 }
 
 void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
                       sim::PointScope& scope) {
-  const WallClock wall;
+  const bench::WallClock wall;
   sim::Simulator simu(scope.seed());
   scope.instrument(simu);
   net::Network netw(simu,
@@ -326,12 +299,8 @@ void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
   for (std::size_t r = 0; r < rumors; ++r) delivered += deliveries[r].size();
   for (const auto& node : nodes) duplicates += node->duplicates_received();
 
-  const double wall_s = wall.seconds();
   const auto events = simu.total_events_processed();
-  auto timing = [&](double v, int prec) {
-    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
-  };
-  scope.add_row({
+  std::vector<std::pair<std::string, sim::Value>> row{
       {"overlay", "gossip"},
       {"n", static_cast<std::uint64_t>(n)},
       {"online_end", static_cast<std::uint64_t>(churn.online_count() + 1)},
@@ -344,10 +313,9 @@ void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
                   2)},
       {"msgs", netw.messages_sent()},
       {"events", events},
-      {"wall_s", timing(wall_s, 2)},
-      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
-      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
-  });
+  };
+  bench::append_timing_cells(row, wall, events, json_timings);
+  scope.add_row(std::move(row));
 }
 
 /// Everything the two sharded points share: kernel + sharded network +
@@ -383,7 +351,7 @@ void run_kademlia_point_sharded(std::size_t n, std::size_t lookups,
                                 bool json_timings, std::size_t shards,
                                 std::size_t threads, sim::SimDuration min_lat,
                                 sim::PointScope& scope) {
-  const WallClock wall;
+  const bench::WallClock wall;
   ShardedNet net(n, shards, min_lat, scope);
   sim::ShardedKernel& kernel = net.kernel;
   net::Network& netw = net.netw;
@@ -488,12 +456,8 @@ void run_kademlia_point_sharded(std::size_t n, std::size_t lookups,
     }
   }
   const double completed = std::max<double>(1, completed_n);
-  const double wall_s = wall.seconds();
   const auto events = kernel.total_events_processed();
-  auto timing = [&](double v, int prec) {
-    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
-  };
-  scope.add_row({
+  std::vector<std::pair<std::string, sim::Value>> row{
       {"overlay", "kademlia"},
       {"n", static_cast<std::uint64_t>(n)},
       {"shards", static_cast<std::uint64_t>(shards)},
@@ -509,17 +473,16 @@ void run_kademlia_point_sharded(std::size_t n, std::size_t lookups,
       {"msgs", netw.messages_sent()},
       {"events", events},
       {"windows", kernel.windows_run()},
-      {"wall_s", timing(wall_s, 2)},
-      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
-      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
-  });
+  };
+  bench::append_timing_cells(row, wall, events, json_timings);
+  scope.add_row(std::move(row));
 }
 
 void run_gossip_point_sharded(std::size_t n, std::size_t rumors,
                               bool json_timings, std::size_t shards,
                               std::size_t threads, sim::SimDuration min_lat,
                               sim::PointScope& scope) {
-  const WallClock wall;
+  const bench::WallClock wall;
   ShardedNet net(n, shards, min_lat, scope);
   sim::ShardedKernel& kernel = net.kernel;
   net::Network& netw = net.netw;
@@ -619,12 +582,8 @@ void run_gossip_point_sharded(std::size_t n, std::size_t rumors,
   }
   for (const auto& node : nodes) duplicates += node->duplicates_received();
 
-  const double wall_s = wall.seconds();
   const auto events = kernel.total_events_processed();
-  auto timing = [&](double v, int prec) {
-    return json_timings ? sim::Value(v, prec) : sim::Value::timing(v, prec);
-  };
-  scope.add_row({
+  std::vector<std::pair<std::string, sim::Value>> row{
       {"overlay", "gossip"},
       {"n", static_cast<std::uint64_t>(n)},
       {"shards", static_cast<std::uint64_t>(shards)},
@@ -639,10 +598,9 @@ void run_gossip_point_sharded(std::size_t n, std::size_t rumors,
       {"msgs", netw.messages_sent()},
       {"events", events},
       {"windows", kernel.windows_run()},
-      {"wall_s", timing(wall_s, 2)},
-      {"events_per_sec", timing(events / std::max(wall_s, 1e-9), 0)},
-      {"peak_rss_mb", timing(peak_rss_mb(), 1)},
-  });
+  };
+  bench::append_timing_cells(row, wall, events, json_timings);
+  scope.add_row(std::move(row));
 }
 
 }  // namespace
@@ -650,13 +608,14 @@ void run_gossip_point_sharded(std::size_t n, std::size_t rumors,
 int main(int argc, char** argv) {
   sim::ExperimentHarness ex("E20_scale", argc, argv, {.seed = 20, .shard_aware = true});
   ex.describe(
-      "E20: overlay primitives at 1k/10k/100k nodes under churn",
+      "E20: overlay primitives at 1k/10k/100k/1M nodes under churn",
       "Open-membership overlays pay for decentralization with multi-hop "
       "lookups, redundant dissemination and churn-induced timeouts, and the "
       "costs grow with N (paper SS II-III)",
-      "Per N in {1k,10k,100k}: 2000 Kademlia lookups and 10 gossip "
-      "broadcasts while peers churn (Weibull sessions, exp downtime); "
-      "reports hops/latency/coverage plus events/sec and peak RSS");
+      "Per N in {1k,10k,100k,1M (opt-in via max_n)}: 2000 Kademlia lookups "
+      "and 10 gossip broadcasts while peers churn (Weibull sessions, exp "
+      "downtime); reports hops/latency/coverage plus events/sec and peak "
+      "RSS");
 
   const std::uint64_t max_n = ex.cli_param_u64("max_n", 100000);
   const std::size_t lookups =
@@ -669,8 +628,10 @@ int main(int argc, char** argv) {
   const auto min_lat = sim::millis(
       static_cast<std::int64_t>(ex.cli_param_u64("min_lat_ms", 20)));
 
+  // The 1M point is opt-in (max_n=1000000): it needs ~3 GB and minutes of
+  // wall-clock, which would dominate every default run of the sweep.
   std::vector<std::size_t> sizes;
-  for (const std::size_t n : {1000u, 10000u, 100000u}) {
+  for (const std::size_t n : {1000u, 10000u, 100000u, 1000000u}) {
     if (n <= max_n) sizes.push_back(n);
   }
   if (sizes.empty()) sizes.push_back(static_cast<std::size_t>(max_n));
@@ -708,7 +669,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "\nScale path: one Shared<T> allocation per rumor/request regardless "
-      "of fan-out;\n32-byte peers + sparse routing tables keep the 100k "
-      "points within a few GB.\n");
+      "of fan-out;\nSoA peer arrays + dense node indices + sparse routing "
+      "tables keep the 1M point\nunder 4 GB (use --stream-trace for traced "
+      "runs at this scale).\n");
   return ex.finish();
 }

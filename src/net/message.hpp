@@ -7,7 +7,7 @@
 // condition); payload_shared<T>() re-shares the incoming payload so relays
 // forward it without re-allocating.
 //
-// Message is deliberately 48 bytes: the delivery closure (Peer* + Counter* +
+// Message is deliberately 48 bytes: the delivery closure (Host** + Counter* +
 // Message) must fill InlineFn<64>'s inline buffer exactly, never overflow it.
 // `cookie` is cheap per-delivery metadata (hop count, TTL, RPC nonce) that
 // used to force a distinct payload per recipient; keeping it out of the
@@ -76,7 +76,7 @@ struct Message {
   }
 };
 
-// The untraced delivery capture is Peer* + Counter* + Message; growing
+// The untraced delivery capture is Host** + Counter* + Message; growing
 // Message past 48 bytes would overflow InlineFn<64> and put a heap
 // allocation back on every delivery.
 static_assert(sizeof(Message) == 48, "Message must fit delivery closures");

@@ -37,21 +37,37 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
       m_duplicated_(metrics_.counter("net/duplicated")),
       m_reordered_(metrics_.counter("net/reordered")),
       m_span_hops_(metrics_.counter("net/span_hops")) {
-  if (config_.expected_nodes > 0) peers_.reserve(config_.expected_nodes);
-  if (config_.track_spans) span_depth_.push_back(0);  // hop ids start at 1
+  if (config_.expected_nodes > 0) reserve_nodes(config_.expected_nodes);
 }
 
-void Network::set_span_tracking(bool on) {
-  config_.track_spans = on;
-  if (on && span_depth_.empty()) span_depth_.push_back(0);
+void Network::HostSlab::grow(std::uint32_t idx) {
+  while (capacity_ <= idx) {
+    auto chunk = std::make_unique<Host*[]>(std::size_t{1} << kChunkBits);
+    std::fill_n(chunk.get(), std::size_t{1} << kChunkBits, nullptr);
+    chunks_.push_back(std::move(chunk));
+    capacity_ += 1u << kChunkBits;
+  }
 }
+
+void Network::reserve_nodes(std::size_t n) {
+  table_.reserve(n);
+  hosts_.reserve(n);
+  span_table_.reserve_ids(n);
+  // Cold arrays stay lazy; but once materialized, keep growth amortized.
+  if (!latency_extra_.empty()) latency_extra_.reserve(n);
+  if (!unreachable_.empty()) unreachable_.reserve(n);
+  if (!links_.empty()) links_.reserve(n);
+}
+
+void Network::set_span_tracking(bool on) { config_.track_spans = on; }
 
 std::uint32_t Network::alloc_span_hop(std::uint32_t parent) {
   const std::uint32_t depth =
-      parent != 0 && parent < span_depth_.size() ? span_depth_[parent] + 1 : 0;
-  span_depth_.push_back(depth);
+      parent != 0 && parent <= span_table_.size()
+          ? span_table_.depth(parent) + 1
+          : 0;
   m_span_hops_.add();
-  return static_cast<std::uint32_t>(span_depth_.size() - 1);
+  return span_table_.alloc(depth);
 }
 
 Span Network::new_span_root() {
@@ -82,17 +98,20 @@ std::uint32_t Network::alloc_span_hop_sharded(NetShard& ctx,
 }
 
 void Network::attach(NodeId id, Host* host) {
-  // Sharded runs pre-register every node, so this lookup is find-only
-  // during the parallel phase (churn re-attaches on the owning shard).
-  Peer& p = peer(id);
-  if (p.host == nullptr) online_.fetch_add(1, std::memory_order_relaxed);
-  p.host = host;
+  // Sharded runs pre-register every node, so this resolves without
+  // mutating the table during the parallel phase (churn re-attaches on the
+  // owning shard).
+  Host** const slot = hosts_.slot(ensure_node(id));
+  if (*slot == nullptr) online_.fetch_add(1, std::memory_order_relaxed);
+  *slot = host;
 }
 
 void Network::detach(NodeId id) {
-  const auto it = peers_.find(id);
-  if (it != peers_.end() && it->second.host != nullptr) {
-    it->second.host = nullptr;  // link state survives churn
+  const std::uint32_t idx = table_.index_of(id);
+  if (idx == NodeTable::kNoIndex) return;
+  Host** const slot = hosts_.slot(idx);
+  if (*slot != nullptr) {
+    *slot = nullptr;  // cold per-node state survives churn
     online_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -148,23 +167,29 @@ sim::MetricRegistry& Network::metrics_for(NodeId id) {
 
 void Network::set_bandwidth(NodeId id, double uplink_bps,
                             double downlink_bps) {
-  LinkState& l = link_state(peer(id));
+  LinkState& l = link_state(ensure_node(id));
   l.uplink_bps = uplink_bps;
   l.downlink_bps = downlink_bps;
 }
 
 double Network::uplink_bps(NodeId id) {
-  const Peer& p = peer(id);
-  return p.link ? p.link->uplink_bps : config_.default_uplink_bps;
+  const std::uint32_t idx = table_.index_of(id);
+  return idx < links_.size() ? links_[idx].uplink_bps
+                             : config_.default_uplink_bps;
 }
 
 double Network::downlink_bps(NodeId id) {
-  const Peer& p = peer(id);
-  return p.link ? p.link->downlink_bps : config_.default_downlink_bps;
+  const std::uint32_t idx = table_.index_of(id);
+  return idx < links_.size() ? links_[idx].downlink_bps
+                             : config_.default_downlink_bps;
 }
 
 void Network::set_latency_penalty(NodeId id, sim::SimDuration extra) {
-  peer(id).latency_extra = extra < 0 ? 0 : extra;
+  const std::uint32_t idx = ensure_node(id);
+  if (idx >= latency_extra_.size()) {
+    latency_extra_.resize(std::max<std::size_t>(table_.size(), idx + 1), 0);
+  }
+  latency_extra_[idx] = extra < 0 ? 0 : extra;
 }
 
 void Network::add_partition(
@@ -172,12 +197,21 @@ void Network::add_partition(
   remove_partition(name);
   Partition p;
   p.name = std::move(name);
+  bool any = false;
   std::uint32_t index = 0;
   for (const auto& group : groups) {
-    for (const std::uint64_t node : group) p.group_of[node] = index;
+    for (const std::uint64_t node : group) {
+      // Listing a node registers it: the dense side table needs an index,
+      // and a partition naming a not-yet-attached node must still apply
+      // when that node appears.
+      const std::uint32_t idx = ensure_node(NodeId{node});
+      if (idx >= p.group_of.size()) p.group_of.resize(idx + 1, kRestGroup);
+      p.group_of[idx] = index;
+      any = true;
+    }
     ++index;
   }
-  if (!p.group_of.empty()) partitions_.push_back(std::move(p));
+  if (any) partitions_.push_back(std::move(p));
 }
 
 void Network::remove_partition(std::string_view name) {
@@ -198,46 +232,50 @@ void Network::set_partition(std::unordered_set<std::uint64_t> group_a) {
 }
 
 void Network::set_unreachable(NodeId id, bool unreachable) {
-  peer(id).unreachable = unreachable;
+  const std::uint32_t idx = ensure_node(id);
+  if (idx >= unreachable_.size()) {
+    if (!unreachable) return;  // default already means reachable
+    unreachable_.resize(std::max<std::size_t>(table_.size(), idx + 1), 0);
+  }
+  unreachable_[idx] = unreachable ? 1 : 0;
 }
 
-bool Network::partitioned(NodeId a, NodeId b) const {
+bool Network::partitioned(std::uint32_t a, std::uint32_t b) const {
+  // kNoIndex (never-interned endpoint) reads past every side table into the
+  // implicit rest group, matching the hash-map semantics for unlisted ids.
   for (const Partition& p : partitions_) {
-    const auto ia = p.group_of.find(a.value);
-    const auto ib = p.group_of.find(b.value);
-    const std::uint32_t ga = ia == p.group_of.end() ? kRestGroup : ia->second;
-    const std::uint32_t gb = ib == p.group_of.end() ? kRestGroup : ib->second;
+    const std::uint32_t ga = a < p.group_of.size() ? p.group_of[a]
+                                                   : kRestGroup;
+    const std::uint32_t gb = b < p.group_of.size() ? p.group_of[b]
+                                                   : kRestGroup;
     if (ga != gb) return true;
   }
   return false;
 }
 
-Network::Peer& Network::peer(NodeId id) {
-  return peers_.try_emplace(id).first->second;
-}
-
-Network::LinkState& Network::link_state(Peer& p) {
-  if (!p.link) {
-    p.link = std::make_unique<LinkState>(LinkState{
-        config_.default_uplink_bps, config_.default_downlink_bps, 0, 0});
+Network::LinkState& Network::link_state(std::uint32_t idx) {
+  if (idx >= links_.size()) {
+    links_.resize(std::max<std::size_t>(table_.size(), idx + 1),
+                  LinkState{config_.default_uplink_bps,
+                            config_.default_downlink_bps, 0, 0});
   }
-  return *p.link;
+  return links_[idx];
 }
 
-void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
+void Network::schedule_delivery(Host** dst, sim::SimTime arrive, Message msg,
                                 std::uint64_t msg_seq) {
   // Detached event: delivery is fire-and-forget — the kernel's hottest path.
-  // The capture carries the resolved Peer*, so delivery does zero hash
-  // lookups; the online check is one null test. The untraced capture is
-  // sized to exactly fill InlineFn<64>'s inline buffer (Peer* + Counter* +
-  // 48-byte Message), so steady-state delivery allocates nothing; the traced
-  // variant carries more context and may box, which is fine off the fast
-  // path.
+  // The capture carries the resolved Host** slot (chunk-stable, so it
+  // outlives any table growth), and delivery does zero hash lookups; the
+  // online check is one null test. The untraced capture is sized to exactly
+  // fill InlineFn<64>'s inline buffer (Host** + Counter* + 48-byte Message),
+  // so steady-state delivery allocates nothing; the traced variant carries
+  // more context and may box, which is fine off the fast path.
   if (sim_.trace()) {
     sim_.post_at(
         arrive,
         [this, dst, msg_seq, msg = std::move(msg)] {
-          if (dst->host == nullptr) {
+          if (*dst == nullptr) {
             m_dropped_offline_.add();
             if (sim::TraceSink* const tr2 = sim_.trace()) {
               tr2->record({sim_.now(), "drop", "offline", msg_seq,
@@ -245,7 +283,7 @@ void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
             }
             return;
           }
-          dst->host->handle_message(msg);
+          (*dst)->handle_message(msg);
         },
         "net/deliver");
   } else {
@@ -253,11 +291,11 @@ void Network::schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
     sim_.post_at(
         arrive,
         [dst, dropped, msg = std::move(msg)] {
-          if (dst->host == nullptr) {
+          if (*dst == nullptr) {
             dropped->add();
             return;
           }
-          dst->host->handle_message(msg);
+          (*dst)->handle_message(msg);
         },
         "net/deliver");
   }
@@ -291,7 +329,7 @@ void Network::deliver(Message msg) {
     if (msg.span.root == 0) msg.span.root = self;
     if (tr) {
       tr->record({sim_.now(), "span", "", self, msg.span.root, parent,
-                  span_depth_[self]});
+                  span_table_.depth(self)});
     }
   }
   const auto trace_drop = [&](const char* reason) {
@@ -301,17 +339,23 @@ void Network::deliver(Message msg) {
     }
   };
 
-  if (!partitions_.empty() && partitioned(msg.from, msg.to)) {
+  // Resolve both endpoints to dense indices once; every per-node check
+  // below is then a bounds test + array load. The receiver is interned
+  // (lazily creating its slot, as the hash map's try_emplace used to), the
+  // sender is looked up read-only — an unknown sender just reads defaults.
+  const std::uint32_t from_idx = table_.index_of(msg.from);
+  const std::uint32_t to_idx = ensure_node(msg.to);
+
+  if (!partitions_.empty() && partitioned(from_idx, to_idx)) {
     m_dropped_partition_.add();
     trace_drop("partition");
     return;
   }
 
-  // One lookup resolves the receiver's reachability, link state, *and* the
-  // delivery target: Peer entries are never erased, so the pointer stays
-  // valid for the in-flight event even across churn or peer-table growth.
-  Peer* const dst = &peer(msg.to);
-  if (dst->unreachable) {
+  // The Host** slot stays valid for the in-flight event even across churn
+  // or table growth (chunked slab; entries never erased).
+  Host** const dst = hosts_.slot(to_idx);
+  if (unreachable_at(to_idx)) {
     m_dropped_unreachable_.add();
     trace_drop("unreachable");
     return;
@@ -324,7 +368,7 @@ void Network::deliver(Message msg) {
 
   sim::SimTime depart = sim_.now();
   if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& tx = link_state(peer(msg.from));
+    LinkState& tx = link_state(ensure_node(msg.from));
     const auto ser = static_cast<sim::SimDuration>(
         static_cast<double>(msg.size_bytes) / tx.uplink_bps *
         static_cast<double>(sim::kSecond));
@@ -334,7 +378,7 @@ void Network::deliver(Message msg) {
   }
 
   sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
-  prop += peer(msg.from).latency_extra + dst->latency_extra;
+  prop += penalty_of(from_idx) + penalty_of(to_idx);
   if (reorder_jitter_ > 0) {
     const auto extra = static_cast<sim::SimDuration>(
         rng_.uniform_int(static_cast<std::uint64_t>(reorder_jitter_) + 1));
@@ -344,7 +388,7 @@ void Network::deliver(Message msg) {
   sim::SimTime arrive = depart + prop;
 
   if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& rx = link_state(*dst);
+    LinkState& rx = link_state(to_idx);
     const auto ser = static_cast<sim::SimDuration>(
         static_cast<double>(msg.size_bytes) / rx.downlink_bps *
         static_cast<double>(sim::kSecond));
@@ -375,12 +419,12 @@ void Network::deliver(Message msg) {
 // span hops, message sequencing — goes through the *sending* shard's
 // NetShard context, and the final post routes through the kernel's mailbox
 // when the receiver lives on another shard. Shared Network state read here
-// (partitions, unreachability, latency penalties, the peer table) is
+// (partitions, unreachability, latency penalties, the dense node table) is
 // configured only between runs, so the parallel phase reads it immutably.
 // ---------------------------------------------------------------------------
 
 void Network::schedule_delivery_sharded(std::size_t src_shard,
-                                        std::size_t dst_shard, Peer* dst,
+                                        std::size_t dst_shard, Host** dst,
                                         sim::SimTime arrive, Message msg,
                                         std::uint64_t msg_seq) {
   sim::Simulator* const dsim = &kernel_->shard(dst_shard);
@@ -390,7 +434,7 @@ void Network::schedule_delivery_sharded(std::size_t src_shard,
   sim::Simulator::Callback fn;
   if (kernel_->trace() != nullptr) {
     fn = [dsim, dst, dropped, msg_seq, msg = std::move(msg)] {
-      if (dst->host == nullptr) {
+      if (*dst == nullptr) {
         dropped->add();
         if (sim::TraceSink* const tr2 = dsim->trace()) {
           tr2->record({dsim->now(), "drop", "offline", msg_seq,
@@ -398,16 +442,16 @@ void Network::schedule_delivery_sharded(std::size_t src_shard,
         }
         return;
       }
-      dst->host->handle_message(msg);
+      (*dst)->handle_message(msg);
     };
   } else {
     // Same 64-byte inline capture shape as the legacy fast path.
     fn = [dst, dropped, msg = std::move(msg)] {
-      if (dst->host == nullptr) {
+      if (*dst == nullptr) {
         dropped->add();
         return;
       }
-      dst->host->handle_message(msg);
+      (*dst)->handle_message(msg);
     };
   }
   if (dst_shard == src_shard) {
@@ -451,22 +495,24 @@ void Network::deliver_sharded(Message msg) {
     }
   };
 
-  if (!partitions_.empty() && partitioned(msg.from, msg.to)) {
+  // Find-only index resolution: sharded runs register every node up front,
+  // so a miss means "never existed" — treat as offline, mutating nothing.
+  const std::uint32_t from_idx = table_.index_of(msg.from);
+  const std::uint32_t to_idx = table_.index_of(msg.to);
+
+  if (!partitions_.empty() && partitioned(from_idx, to_idx)) {
     ctx.m_dropped_partition->add();
     trace_drop("partition");
     return;
   }
 
-  // Find-only: sharded runs register every node up front, so a miss means
-  // "never existed" — treat as offline, mutating nothing.
-  const auto it = peers_.find(msg.to);
-  if (it == peers_.end()) {
+  if (to_idx == NodeTable::kNoIndex) {
     ctx.m_dropped_offline->add();
     trace_drop("offline");
     return;
   }
-  Peer* const dst = &it->second;
-  if (dst->unreachable) {
+  Host** const dst = hosts_.slot(to_idx);
+  if (unreachable_at(to_idx)) {
     ctx.m_dropped_unreachable->add();
     trace_drop("unreachable");
     return;
@@ -483,9 +529,7 @@ void Network::deliver_sharded(Message msg) {
   // additive term is >= 0 with sample() >= min_latency(), which is what
   // keeps cross-shard arrivals outside the lookahead window.
   sim::SimDuration prop = latency_->sample(msg.from, msg.to, ctx.rng);
-  const auto from_it = peers_.find(msg.from);
-  if (from_it != peers_.end()) prop += from_it->second.latency_extra;
-  prop += dst->latency_extra;
+  prop += penalty_of(from_idx) + penalty_of(to_idx);
   if (reorder_jitter_ > 0) {
     const auto extra = static_cast<sim::SimDuration>(ctx.rng.uniform_int(
         static_cast<std::uint64_t>(reorder_jitter_) + 1));

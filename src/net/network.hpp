@@ -38,6 +38,7 @@
 #include "net/latency.hpp"
 #include "net/message.hpp"
 #include "net/node_id.hpp"
+#include "net/node_table.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -108,31 +109,38 @@ class Network {
   /// then falls back to sequential stepping).
   sim::SimDuration lookahead() const { return latency_->min_latency(); }
 
-  /// Pre-create the peer-table entry for `id`. Sharded runs must register
+  /// Pre-create the dense-table entry for `id`. Sharded runs must register
   /// every NodeId before run_until: the parallel phase resolves peers with
-  /// find-only lookups, and inserting into the table concurrently would be
-  /// a data race. Idempotent; the legacy path creates entries lazily.
-  void register_node(NodeId id) { (void)peer(id); }
+  /// find-only lookups, and interning concurrently would be a data race.
+  /// Idempotent; the legacy path interns lazily.
+  void register_node(NodeId id) { (void)ensure_node(id); }
 
   /// Allocate a fresh NodeId (sequential; deterministic).
   NodeId new_node_id() { return NodeId{next_id_++}; }
+
+  /// Dense index assigned to `id` at registration (NodeTable::kNoIndex when
+  /// never seen). Stable across churn; exposed for tests and tools that
+  /// want to address per-node side data the way the Network does.
+  std::uint32_t node_index(NodeId id) const { return table_.index_of(id); }
 
   /// Bring a host online under `id`. A node may re-attach after detaching
   /// (churn): messages sent while it was offline are gone.
   void attach(NodeId id, Host* host);
   void detach(NodeId id);
   bool online(NodeId id) const {
-    const auto it = peers_.find(id);
-    return it != peers_.end() && it->second.host != nullptr;
+    const std::uint32_t idx = table_.index_of(id);
+    return idx != NodeTable::kNoIndex && hosts_.get(idx) != nullptr;
   }
   std::size_t online_count() const {
     return online_.load(std::memory_order_relaxed);
   }
 
-  /// Pre-size the peer table for `n` nodes (same effect as
+  /// Pre-size every per-node structure for `n` nodes (same effect as
   /// NetworkConfig::expected_nodes, for callers that learn the topology
-  /// size after construction).
-  void reserve_nodes(std::size_t n) { peers_.reserve(n); }
+  /// size after construction): the dense id table, the host slab, any
+  /// materialized cold arrays, and the span tables' chunk directories — so
+  /// registering a large population never reallocates mid-loop.
+  void reserve_nodes(std::size_t n);
 
   /// Per-node link capacity override (bytes per simulated second).
   void set_bandwidth(NodeId id, double uplink_bps, double downlink_bps);
@@ -163,8 +171,8 @@ class Network {
   /// tables yet never answer).
   void set_unreachable(NodeId id, bool unreachable);
   bool unreachable(NodeId id) const {
-    const auto it = peers_.find(id);
-    return it != peers_.end() && it->second.unreachable;
+    const std::uint32_t idx = table_.index_of(id);
+    return idx < unreachable_.size() && unreachable_[idx] != 0;
   }
 
   void set_drop_probability(double p) { config_.drop_probability = p; }
@@ -173,8 +181,8 @@ class Network {
   /// Per-node propagation penalty (congestion / route-flap model): added to
   /// every message the node sends or receives while nonzero.
   void set_latency_penalty(NodeId id, sim::SimDuration extra);
-  sim::SimDuration latency_penalty(NodeId id) {
-    return peer(id).latency_extra;
+  sim::SimDuration latency_penalty(NodeId id) const {
+    return penalty_of(table_.index_of(id));
   }
 
   /// Duplication window: each delivered message is delivered a second time
@@ -237,7 +245,7 @@ class Network {
       return shard_ctx_[hop >> kSpanLocalBits].spans.depth(hop &
                                                            kSpanLocalMask);
     }
-    return hop < span_depth_.size() ? span_depth_[hop] : 0;
+    return span_table_.depth(hop);
   }
   /// Total span hops allocated (message hops + virtual roots). Sharded:
   /// read between runs only (sums per-shard tables).
@@ -247,7 +255,7 @@ class Network {
       for (const NetShard& c : shard_ctx_) n += c.spans.size();
       return n;
     }
-    return span_depth_.empty() ? 0 : span_depth_.size() - 1;
+    return span_table_.size();
   }
 
   /// Total payload bytes accepted for delivery so far. Sharded: read
@@ -264,10 +272,10 @@ class Network {
   }
 
  private:
-  /// Bandwidth serialization state, allocated lazily: only peers whose
-  /// capacity was ever overridden (or that sent/received under
-  /// model_bandwidth) pay for it. Latency-only scale runs (E20's 100k-node
-  /// overlays) keep Peer at 32 bytes instead of 56.
+  /// Bandwidth serialization state. The whole array materializes lazily on
+  /// first use (set_bandwidth or a model_bandwidth send): latency-only
+  /// scale runs (E20's million-node overlays) never pay 32 bytes/node for
+  /// idle link FIFOs.
   struct LinkState {
     double uplink_bps;
     double downlink_bps;
@@ -275,23 +283,44 @@ class Network {
     sim::SimTime rx_free_at = 0;  // receiver-side FIFO serialization
   };
 
-  /// Host, link, and reachability state share one hash entry so the send
-  /// path resolves a node with a single lookup. Entries are never erased —
-  /// detach() only nulls `host`, preserving link serialization state across
-  /// churn and keeping Peer* stable for in-flight delivery events
-  /// (unordered_map never moves its nodes).
-  struct Peer {
-    Host* host = nullptr;  // null while offline
-    sim::SimDuration latency_extra = 0;  // fault-injected propagation penalty
-    std::unique_ptr<LinkState> link;     // null: default capacities, idle
-    bool unreachable = false;
+  /// The hot per-node array: one Host* per dense index. Chunked and
+  /// pointer-stable — in-flight delivery closures capture the Host** slot,
+  /// so appending nodes must never move published slots (a flat vector's
+  /// growth would dangle every closure in the event queue). Slots are
+  /// null-initialized (= offline) and chunks are never freed.
+  class HostSlab {
+   public:
+    Host** slot(std::uint32_t idx) {
+      return &chunks_[idx >> kChunkBits][idx & kChunkMask];
+    }
+    Host* get(std::uint32_t idx) const {
+      return idx < capacity_ ? chunks_[idx >> kChunkBits][idx & kChunkMask]
+                             : nullptr;
+    }
+    /// Guarantee slots [0, idx] exist. One compare when already sized.
+    void ensure(std::uint32_t idx) {
+      if (idx >= capacity_) grow(idx);
+    }
+    void reserve(std::size_t n) {
+      chunks_.reserve((n >> kChunkBits) + 1);
+      if (n > 0) grow(static_cast<std::uint32_t>(n - 1));
+    }
+
+   private:
+    static constexpr std::uint32_t kChunkBits = 14;  // 16384 slots = 128 KB
+    static constexpr std::uint32_t kChunkMask = (1u << kChunkBits) - 1;
+    void grow(std::uint32_t idx);
+
+    std::vector<std::unique_ptr<Host*[]>> chunks_;
+    std::uint32_t capacity_ = 0;
   };
 
-  /// One active named partition: node id -> group index; unlisted nodes read
-  /// as the implicit kRestGroup.
+  /// One active named partition, as a dense side table rebuilt only when
+  /// partitions change: dense index -> group; indices past the end (nodes
+  /// registered after install, or never listed) read as kRestGroup.
   struct Partition {
     std::string name;
-    std::unordered_map<std::uint64_t, std::uint32_t> group_of;
+    std::vector<std::uint32_t> group_of;
   };
   static constexpr std::uint32_t kRestGroup = ~0u;
 
@@ -334,6 +363,41 @@ class Network {
     std::uint32_t next_ = 1;  // local ids start at 1 (0 = "untracked")
   };
 
+  /// Unsharded hop-depth table. Same chunked layout as ShardSpanTable but
+  /// with a growable chunk directory: million-node traced runs allocate
+  /// tens of millions of hops, and a flat vector's doubling would spike
+  /// peak RSS by 1.5x the table size on every growth (the spill companion
+  /// to the streaming trace sinks). Single-threaded, so directory growth
+  /// is safe here — the fixed-directory ShardSpanTable stays separate
+  /// because cross-shard readers may race a growing std::vector.
+  class SpanTable {
+   public:
+    std::uint32_t alloc(std::uint32_t depth) {
+      const std::uint32_t local = next_++;
+      const std::uint32_t chunk = local >> kChunkBits;
+      if (chunk >= chunks_.size()) {
+        chunks_.emplace_back(std::make_unique<std::uint32_t[]>(kChunkSize));
+      }
+      chunks_[chunk][local & (kChunkSize - 1)] = depth;
+      return local;
+    }
+    /// Depth of `local`; 0 for 0 / never-allocated ids (root depth).
+    std::uint32_t depth(std::uint32_t local) const {
+      if (local == 0 || local >= next_) return 0;
+      return chunks_[local >> kChunkBits][local & (kChunkSize - 1)];
+    }
+    std::uint64_t size() const { return next_ - 1; }
+    void reserve_ids(std::size_t n) {
+      chunks_.reserve((n >> kChunkBits) + 1);
+    }
+
+   private:
+    static constexpr std::uint32_t kChunkBits = 16;
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+    std::vector<std::unique_ptr<std::uint32_t[]>> chunks_;
+    std::uint32_t next_ = 1;  // ids start at 1 (0 = "untracked")
+  };
+
   /// Send-side state of one kernel shard: sends executing on shard s use
   /// only this context, so the parallel phase shares nothing mutable. The
   /// counters live in the kernel's per-shard registries and are folded into
@@ -357,17 +421,30 @@ class Network {
 
   void deliver(Message msg);
   void deliver_sharded(Message msg);
-  void schedule_delivery(Peer* dst, sim::SimTime arrive, Message msg,
+  void schedule_delivery(Host** dst, sim::SimTime arrive, Message msg,
                          std::uint64_t msg_seq);
   void schedule_delivery_sharded(std::size_t src_shard, std::size_t dst_shard,
-                                 Peer* dst, sim::SimTime arrive, Message msg,
+                                 Host** dst, sim::SimTime arrive, Message msg,
                                  std::uint64_t msg_seq);
   std::uint32_t alloc_span_hop(std::uint32_t parent);
   std::uint32_t alloc_span_hop_sharded(NetShard& ctx, std::uint32_t shard,
                                        std::uint32_t parent);
-  Peer& peer(NodeId id);
-  LinkState& link_state(Peer& p);
-  bool partitioned(NodeId a, NodeId b) const;
+  /// Intern `id` and guarantee its host slot (and nothing else — cold
+  /// arrays stay lazy) exists. The only mutating resolver; the sharded
+  /// parallel phase must never reach it with an unseen id.
+  std::uint32_t ensure_node(NodeId id) {
+    const std::uint32_t idx = table_.intern(id);
+    hosts_.ensure(idx);
+    return idx;
+  }
+  sim::SimDuration penalty_of(std::uint32_t idx) const {
+    return idx < latency_extra_.size() ? latency_extra_[idx] : 0;
+  }
+  bool unreachable_at(std::uint32_t idx) const {
+    return idx < unreachable_.size() && unreachable_[idx] != 0;
+  }
+  LinkState& link_state(std::uint32_t idx);
+  bool partitioned(std::uint32_t a, std::uint32_t b) const;
 
   sim::Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
@@ -386,10 +463,10 @@ class Network {
   sim::Counter& m_duplicated_;
   sim::Counter& m_reordered_;
   sim::Counter& m_span_hops_;
-  /// Hop id -> tree depth. Index 0 is a sentinel so hop ids are nonzero
-  /// (Span{0,0} means "untracked"); grows by one entry per accepted message
-  /// (plus one per new_span_root) while tracking is on.
-  std::vector<std::uint32_t> span_depth_;
+  /// Hop id -> tree depth, one entry per accepted message (plus one per
+  /// new_span_root) while tracking is on; hop ids are nonzero (Span{0,0}
+  /// means "untracked").
+  SpanTable span_table_;
   std::uint64_t next_id_ = 1;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
@@ -398,7 +475,17 @@ class Network {
   std::atomic<std::size_t> online_{0};
   double duplicate_probability_ = 0.0;
   sim::SimDuration reorder_jitter_ = 0;
-  std::unordered_map<NodeId, Peer, NodeIdHasher> peers_;
+  /// Per-node state, struct-of-arrays behind table_'s dense index: the
+  /// delivery path touches hosts_ (and, rarely, the cold arrays below) with
+  /// plain array indexing — no hash lookup per message. Cold arrays are
+  /// empty until the matching fault/bandwidth feature is first used, and
+  /// short reads past their end mean "default" — so a million idle nodes
+  /// cost 8 bytes each here, not a 56-byte hash node.
+  NodeTable table_;
+  HostSlab hosts_;
+  std::vector<sim::SimDuration> latency_extra_;  // empty/short = no penalty
+  std::vector<std::uint8_t> unreachable_;        // empty/short = reachable
+  std::vector<LinkState> links_;                 // empty = bandwidth unused
   std::vector<Partition> partitions_;
   /// Non-null once enable_sharding() wired a multi-shard kernel.
   sim::ShardedKernel* kernel_ = nullptr;

@@ -1,0 +1,100 @@
+// Dense NodeId indexing: the address book behind the Network's
+// struct-of-arrays per-node state.
+//
+// NodeIds are opaque 64-bit values; per-node state wants a dense
+// `uint32_t` index so hot paths do one array access instead of a hash
+// lookup. NodeTable assigns that index at first intern() and never revokes
+// it — a node that crashes and re-attaches (churn) resolves to the same
+// index, so in-flight delivery closures and side tables stay valid across
+// the round trip.
+//
+// Representation: ids produced by Network::new_node_id() are sequential
+// (1, 2, 3, ...), so the common case is a direct-mapped vector indexed by
+// the raw id value — one bounds check and one load. Arbitrary ids far
+// outside the sequential range (tests fabricate things like NodeId{9999})
+// would blow that vector up, so outliers fall back to a hash map. The
+// direct map only grows while the id space stays within a small constant
+// factor of the interned population, which keeps memory O(nodes) for any
+// input mix.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace decentnet::net {
+
+class NodeTable {
+ public:
+  /// index_of() result for an id never interned.
+  static constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+
+  /// Dense index for `id`, assigning the next free one on first sight.
+  /// Indices are assigned in intern order, start at 0, and are stable for
+  /// the table's lifetime (entries are never erased).
+  std::uint32_t intern(NodeId id) {
+    const std::uint64_t v = id.value;
+    if (v < direct_.size()) {
+      const std::uint32_t idx = direct_[v];
+      if (idx != kNoIndex) return idx;
+      // An id can sit in the sparse map from before the direct map grew
+      // over it; it must keep its index, not get a second one.
+      if (!sparse_.empty()) {
+        const auto it = sparse_.find(v);
+        if (it != sparse_.end()) return direct_[v] = it->second;
+      }
+      return direct_[v] = count_++;
+    }
+    // Grow the direct map only while the id space stays near-dense;
+    // otherwise the id is an outlier and goes to the hash map.
+    if (v < 4 * static_cast<std::uint64_t>(count_) + 1024) {
+      direct_.resize(
+          std::max<std::size_t>(static_cast<std::size_t>(v) + 1,
+                                direct_.size() * 2),
+          kNoIndex);
+      // Same aliasing rule as above: an id that went sparse while the
+      // population was small may only now be covered by the direct map,
+      // and must keep its original index.
+      if (!sparse_.empty()) {
+        const auto it = sparse_.find(v);
+        if (it != sparse_.end()) return direct_[v] = it->second;
+      }
+      return direct_[v] = count_++;
+    }
+    const auto [it, fresh] = sparse_.try_emplace(v, count_);
+    if (fresh) ++count_;
+    return it->second;
+  }
+
+  /// Find-only lookup; kNoIndex when `id` was never interned. Safe to call
+  /// concurrently with other lookups (no mutation).
+  std::uint32_t index_of(NodeId id) const {
+    const std::uint64_t v = id.value;
+    if (v < direct_.size()) {
+      const std::uint32_t idx = direct_[v];
+      if (idx != kNoIndex || sparse_.empty()) return idx;
+    }
+    if (sparse_.empty()) return kNoIndex;
+    const auto it = sparse_.find(v);
+    return it == sparse_.end() ? kNoIndex : it->second;
+  }
+
+  /// Number of distinct ids interned so far (== the next index assigned).
+  std::uint32_t size() const { return count_; }
+
+  /// Pre-size the direct map for ids up to `n` so interning a sequential
+  /// population of `n` nodes never reallocates.
+  void reserve(std::size_t n) {
+    if (n + 1 > direct_.size()) direct_.resize(n + 1, kNoIndex);
+  }
+
+ private:
+  std::vector<std::uint32_t> direct_;  // id value -> index; kNoIndex = empty
+  std::unordered_map<std::uint64_t, std::uint32_t> sparse_;  // outlier ids
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace decentnet::net

@@ -120,6 +120,12 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
       const char* v = want_value("--trace");
       if (!v) return false;
       opts.trace_path = v;
+      opts.stream_trace = false;
+    } else if (arg == "--stream-trace") {
+      const char* v = want_value("--stream-trace");
+      if (!v) return false;
+      opts.trace_path = v;
+      opts.stream_trace = true;
     } else if (arg == "--jobs") {
       const char* v = want_value("--jobs");
       if (!v) return false;
@@ -194,7 +200,8 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
 std::string ExperimentHarness::usage(const std::string& prog,
                                      const std::string& id) {
   return "usage: " + prog +
-         " [--seed N] [--json PATH] [--no-json] [--trace PATH] [--profile] "
+         " [--seed N] [--json PATH] [--no-json] [--trace PATH] "
+         "[--stream-trace PATH] [--profile] "
          "[--jobs N] [--sim-shards S] [--sim-threads N] [--param K=V] "
          "[--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
@@ -203,6 +210,9 @@ std::string ExperimentHarness::usage(const std::string& prog,
          ".json)\n"
          "  --no-json     skip the JSON artifact\n"
          "  --trace PATH  write kernel/net trace as JSONL to PATH\n"
+         "  --stream-trace PATH  same trace, bounded memory: chunked\n"
+         "                streaming writes (and per-shard disk spills under\n"
+         "                --sim-shards); byte-identical to --trace\n"
          "  --profile     kernel self-profiler: per-tag wall time in the\n"
          "                JSON artifact under \"profile\"\n"
          "  --jobs N      worker threads for independent sweep points\n"
@@ -218,7 +228,16 @@ std::string ExperimentHarness::usage(const std::string& prog,
 ExperimentHarness::ExperimentHarness(std::string id, ExperimentOptions opts)
     : id_(std::move(id)), opts_(std::move(opts)) {
   if (!opts_.trace_path.empty()) {
-    trace_ = std::make_unique<JsonlTraceSink>(opts_.trace_path);
+    try {
+      if (opts_.stream_trace) {
+        trace_ = std::make_unique<StreamingTraceSink>(opts_.trace_path);
+      } else {
+        trace_ = std::make_unique<JsonlTraceSink>(opts_.trace_path);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(1);
+    }
   }
   if (opts_.profile) {
     profiler_ = std::make_unique<Profiler>();
@@ -342,7 +361,7 @@ void ExperimentHarness::run_points(
   std::deque<PointScope> scopes;
   for (std::size_t i = 0; i < count; ++i) {
     scopes.emplace_back(PointScope(i, opts_.seed, seed_for(i), trace_.get(),
-                                   profiler_ != nullptr));
+                                   trace_spill(), profiler_ != nullptr));
   }
 
   if (jobs <= 1) {

@@ -107,6 +107,12 @@ struct ExperimentOptions {
   std::uint64_t seed = 1;
   std::string json_path;   // empty => "BENCH_<id>.json"
   std::string trace_path;  // empty => tracing disabled
+  /// --stream-trace: write the trace through a bounded-memory
+  /// StreamingTraceSink (fixed-size chunk flushes) instead of a buffered
+  /// JsonlTraceSink, and spill per-shard records to disk during sharded
+  /// runs (ShardedKernel::set_trace_spill). Byte-identical output either
+  /// way; this is the memory knob for million-node traced runs.
+  bool stream_trace = false;
   std::size_t jobs = 1;    // worker threads for run_points()
   /// Shard count for shard-aware benches (ShardedKernel decomposition).
   /// 1 = the legacy single-kernel path, bit-for-bit. The decomposition —
@@ -171,8 +177,10 @@ class PointScope {
 
   /// Sharded counterpart: the kernel buffers per-shard records/samples and
   /// merges them canonically, so artifacts stay byte-identical at any
-  /// --sim-threads value.
+  /// --sim-threads value. Under --stream-trace the per-shard buffers spill
+  /// to disk instead (same merged bytes, bounded memory).
   void instrument(ShardedKernel& kernel) const {
+    if (!trace_spill_.empty()) kernel.set_trace_spill(trace_spill_);
     kernel.set_trace(trace_);
     kernel.set_profiler(profiler_.get());
   }
@@ -186,17 +194,20 @@ class PointScope {
  private:
   friend class ExperimentHarness;
   PointScope(std::size_t index, std::uint64_t root_seed,
-             std::uint64_t point_seed, TraceSink* trace, bool profile)
+             std::uint64_t point_seed, TraceSink* trace,
+             std::string trace_spill, bool profile)
       : index_(index),
         root_seed_(root_seed),
         point_seed_(point_seed),
         trace_(trace),
+        trace_spill_(std::move(trace_spill)),
         profiler_(profile ? std::make_unique<Profiler>() : nullptr) {}
 
   std::size_t index_;
   std::uint64_t root_seed_;
   std::uint64_t point_seed_;
   TraceSink* trace_;
+  std::string trace_spill_;  // sharded spill prefix; empty = buffer in memory
   std::unique_ptr<Profiler> profiler_;
   MetricRegistry metrics_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
@@ -264,8 +275,10 @@ class ExperimentHarness {
     simu.set_profiler(profiler_.get());
   }
 
-  /// Sharded counterpart of instrument(Simulator&).
+  /// Sharded counterpart of instrument(Simulator&). Under --stream-trace
+  /// this also routes the kernel's per-shard buffers to disk spills.
   void instrument(ShardedKernel& kernel) {
+    if (!trace_spill().empty()) kernel.set_trace_spill(trace_spill());
     kernel.set_trace(trace_.get());
     kernel.set_profiler(profiler_.get());
   }
@@ -313,11 +326,19 @@ class ExperimentHarness {
   std::string to_json() const;
 
  private:
+  /// Spill-file prefix for sharded streaming traces ("" unless
+  /// --stream-trace was given).
+  std::string trace_spill() const {
+    return opts_.stream_trace && !opts_.trace_path.empty()
+               ? opts_.trace_path + ".spill"
+               : std::string();
+  }
+
   std::string id_;
   ExperimentOptions opts_;
   std::string title_, claim_, method_;
   MetricRegistry metrics_;
-  std::unique_ptr<JsonlTraceSink> trace_;
+  std::unique_ptr<TraceSink> trace_;
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<Simulator> sim_;
   std::vector<std::pair<std::string, Value>> params_;

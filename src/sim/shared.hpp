@@ -12,7 +12,7 @@
 // fast path, noise next to the delivery closure move it rides along with.
 //
 // PayloadRef is the type-erased form carried inside net::Message. It is one
-// pointer wide on purpose: the delivery closure (Peer* + Counter* + Message)
+// pointer wide on purpose: the delivery closure (Host** + Counter* + Message)
 // must keep fitting InlineFn<64>'s inline buffer, so Message cannot grow.
 // The value pointer and the deleter live in the control block, not the ref.
 #pragma once

@@ -27,53 +27,93 @@ void append_escaped(std::string& out, const char* s) {
 
 }  // namespace
 
+void append_record_json(std::string& out, const TraceRecord& rec) {
+  // Hand-rolled serialization: integer-only fields, no locale, no
+  // allocation churn beyond the caller's reused buffer.
+  out += "{\"t\":";
+  out += std::to_string(rec.t);
+  out += ",\"kind\":\"";
+  append_escaped(out, rec.kind);
+  out += '"';
+  if (rec.tag && rec.tag[0] != '\0') {
+    out += ",\"tag\":\"";
+    append_escaped(out, rec.tag);
+    out += '"';
+  }
+  out += ",\"id\":";
+  out += std::to_string(rec.id);
+  if (rec.a != 0) {
+    out += ",\"a\":";
+    out += std::to_string(rec.a);
+  }
+  if (rec.b != 0) {
+    out += ",\"b\":";
+    out += std::to_string(rec.b);
+  }
+  if (rec.bytes != 0) {
+    out += ",\"bytes\":";
+    out += std::to_string(rec.bytes);
+  }
+  out += "}\n";
+}
+
 JsonlTraceSink::JsonlTraceSink(const std::string& path)
     : owned_(path, std::ios::out | std::ios::trunc), os_(&owned_) {
   if (!owned_) {
     throw std::runtime_error("JsonlTraceSink: cannot open " + path);
   }
+  line_.reserve(96);
 }
 
-JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {}
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {
+  line_.reserve(96);
+}
 
 JsonlTraceSink::~JsonlTraceSink() { flush(); }
 
 void JsonlTraceSink::record(const TraceRecord& rec) {
-  // Hand-rolled serialization: integer-only fields, no locale, no
-  // allocation churn beyond one reused line buffer.
-  std::string line;
-  line.reserve(96);
-  line += "{\"t\":";
-  line += std::to_string(rec.t);
-  line += ",\"kind\":\"";
-  append_escaped(line, rec.kind);
-  line += '"';
-  if (rec.tag && rec.tag[0] != '\0') {
-    line += ",\"tag\":\"";
-    append_escaped(line, rec.tag);
-    line += '"';
-  }
-  line += ",\"id\":";
-  line += std::to_string(rec.id);
-  if (rec.a != 0) {
-    line += ",\"a\":";
-    line += std::to_string(rec.a);
-  }
-  if (rec.b != 0) {
-    line += ",\"b\":";
-    line += std::to_string(rec.b);
-  }
-  if (rec.bytes != 0) {
-    line += ",\"bytes\":";
-    line += std::to_string(rec.bytes);
-  }
-  line += "}\n";
-  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  line_.clear();
+  append_record_json(line_, rec);
+  os_->write(line_.data(), static_cast<std::streamsize>(line_.size()));
   ++written_;
 }
 
 void JsonlTraceSink::flush() {
   if (os_) os_->flush();
+}
+
+StreamingTraceSink::StreamingTraceSink(const std::string& path,
+                                       std::size_t chunk_bytes)
+    : out_(path, std::ios::out | std::ios::trunc | std::ios::binary),
+      chunk_bytes_(chunk_bytes) {
+  if (!out_) {
+    throw std::runtime_error("StreamingTraceSink: cannot open " + path);
+  }
+  if (chunk_bytes_ == 0) {
+    throw std::runtime_error("StreamingTraceSink: chunk_bytes must be > 0");
+  }
+  buf_.reserve(chunk_bytes_ + 256);
+}
+
+StreamingTraceSink::~StreamingTraceSink() { flush(); }
+
+void StreamingTraceSink::record(const TraceRecord& rec) {
+  append_record_json(buf_, rec);
+  ++written_;
+  if (buf_.size() >= chunk_bytes_) {
+    write_buffer();
+    ++chunks_;
+  }
+}
+
+void StreamingTraceSink::write_buffer() {
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+void StreamingTraceSink::flush() {
+  if (!buf_.empty()) write_buffer();
+  out_.flush();
 }
 
 }  // namespace decentnet::sim

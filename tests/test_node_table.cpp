@@ -1,0 +1,123 @@
+// NodeTable contract tests: dense indices assigned in intern order, stable
+// for the table's lifetime (churn re-interns resolve to the same index),
+// kNoIndex on lookup miss, and the direct/sparse aliasing rule — an id that
+// entered the hash map before the direct map grew over its value must keep
+// its original index on every later intern and lookup.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "net/node_table.hpp"
+#include "overlay/gossip.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dn = decentnet::net;
+namespace ds = decentnet::sim;
+namespace ov = decentnet::overlay;
+
+TEST(NodeTable, InternAssignsSequentialStableIndices) {
+  dn::NodeTable table;
+  EXPECT_EQ(table.size(), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    EXPECT_EQ(table.intern(dn::NodeId{v}), v - 1);
+  }
+  EXPECT_EQ(table.size(), 100u);
+  // Re-interning (a churned node re-attaching) never reassigns.
+  for (std::uint64_t v = 100; v >= 1; --v) {
+    EXPECT_EQ(table.intern(dn::NodeId{v}), v - 1);
+    EXPECT_EQ(table.index_of(dn::NodeId{v}), v - 1);
+  }
+  EXPECT_EQ(table.size(), 100u);
+}
+
+TEST(NodeTable, LookupMissReturnsNoIndex) {
+  dn::NodeTable table;
+  EXPECT_EQ(table.index_of(dn::NodeId{1}), dn::NodeTable::kNoIndex);
+  table.intern(dn::NodeId{1});
+  EXPECT_EQ(table.index_of(dn::NodeId{2}), dn::NodeTable::kNoIndex);
+  // A miss inside the direct map's range (slot never assigned).
+  table.intern(dn::NodeId{10});
+  EXPECT_EQ(table.index_of(dn::NodeId{5}), dn::NodeTable::kNoIndex);
+  // A miss far outside any range (would-be sparse id).
+  EXPECT_EQ(table.index_of(dn::NodeId{1u << 30}), dn::NodeTable::kNoIndex);
+}
+
+TEST(NodeTable, OutlierIdsGoSparseAndStayStable) {
+  dn::NodeTable table;
+  // Far outside the near-dense growth rule: lands in the hash map.
+  const dn::NodeId outlier{1'000'000'000};
+  const std::uint32_t idx = table.intern(outlier);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(table.intern(outlier), idx);
+  EXPECT_EQ(table.index_of(outlier), idx);
+  // Sequential ids intern alongside it with distinct indices.
+  for (std::uint64_t v = 1; v <= 50; ++v) {
+    EXPECT_EQ(table.intern(dn::NodeId{v}), static_cast<std::uint32_t>(v));
+  }
+  EXPECT_EQ(table.index_of(outlier), idx);
+  EXPECT_EQ(table.size(), 51u);
+}
+
+TEST(NodeTable, SparseIdKeepsIndexAfterDirectMapGrowsOverIt) {
+  dn::NodeTable table;
+  // 5000 > 4*0 + 1024, so it goes sparse with index 0.
+  const dn::NodeId edge{5000};
+  EXPECT_EQ(table.intern(edge), 0u);
+  // Intern enough sequential ids that the direct map's range grows past
+  // 5000. Its direct slot is empty (kNoIndex), so both intern and lookup
+  // must fall through to the hash map and find the original index — a
+  // second index here would silently fork the node's SoA state.
+  for (std::uint64_t v = 1; v <= 2000; ++v) table.intern(dn::NodeId{v});
+  EXPECT_EQ(table.size(), 2001u);
+  EXPECT_EQ(table.index_of(edge), 0u);
+  EXPECT_EQ(table.intern(edge), 0u);
+  EXPECT_EQ(table.size(), 2001u);
+}
+
+TEST(NodeTable, ReservePreSizesWithoutAssigning) {
+  dn::NodeTable table;
+  table.reserve(1000);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.index_of(dn::NodeId{500}), dn::NodeTable::kNoIndex);
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    EXPECT_EQ(table.intern(dn::NodeId{v}), v - 1);
+  }
+}
+
+TEST(NodeTable, NetworkIndexStableAcrossChurn) {
+  // The property delivery closures and side tables rely on: a node that
+  // leaves and rejoins keeps its dense index, while the population keeps
+  // growing around it.
+  ds::Simulator simu(3);
+  dn::Network netw(simu, std::make_unique<dn::ConstantLatency>(ds::millis(5)),
+                   dn::NetworkConfig{}, nullptr);
+  const std::size_t n = 16;
+  std::vector<dn::NodeId> addrs(n);
+  for (std::size_t i = 0; i < n; ++i) addrs[i] = netw.new_node_id();
+  ov::GossipConfig cfg;
+  cfg.fanout = 2;
+  std::vector<std::unique_ptr<ov::GossipNode>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<ov::GossipNode>(netw, addrs[i], cfg));
+    nodes.back()->join({addrs[(i + 1) % n]});
+  }
+  std::vector<std::uint32_t> before(n);
+  for (std::size_t i = 0; i < n; ++i) before[i] = netw.node_index(addrs[i]);
+  // Churn half the population through leave/rejoin, then add newcomers.
+  for (std::size_t i = 0; i < n; i += 2) nodes[i]->leave();
+  simu.run_until(ds::seconds(1));
+  for (std::size_t i = 0; i < n; i += 2) nodes[i]->join({addrs[i + 1]});
+  for (std::size_t i = 0; i < 8; ++i) {
+    const dn::NodeId fresh = netw.new_node_id();
+    netw.register_node(fresh);
+    EXPECT_NE(netw.node_index(fresh), dn::NodeTable::kNoIndex);
+  }
+  simu.run_until(ds::seconds(2));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(netw.node_index(addrs[i]), before[i]) << "node " << i;
+  }
+}

@@ -183,6 +183,59 @@ TEST(RelayGolden, BlockAndTxRelayTrace) {
   }
 }
 
+// Pins the whole per-node fault surface — churn attach/detach, overlapping
+// partitions, latency penalties, unreachability, loss, duplication and
+// reordering — through one seeded gossip run. Captured on the hash-map peer
+// table; the SoA NodeTable migration must reproduce it byte for byte (the
+// delivery pipeline's RNG draw order and trace emission may not move).
+TEST(RelayGolden, FaultSurfaceTrace) {
+  std::ostringstream out;
+  ds::JsonlTraceSink sink(out);
+  ds::Simulator sim(75);
+  sim.set_trace(&sink);
+  dn::Network net(sim, std::make_unique<dn::LogNormalLatency>(ds::millis(50),
+                                                              0.3),
+                  dn::NetworkConfig{.expected_nodes = 12});
+  net.set_drop_probability(0.05);
+  do_::GossipConfig cfg;
+  cfg.fanout = 3;
+  cfg.view_size = 6;
+  std::vector<dn::NodeId> addrs;
+  for (int i = 0; i < 12; ++i) addrs.push_back(net.new_node_id());
+  std::vector<std::unique_ptr<do_::GossipNode>> nodes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(std::make_unique<do_::GossipNode>(net, addrs[i], cfg));
+  }
+  for (int i = 0; i < 12; ++i) {
+    std::vector<dn::NodeId> view;
+    for (int k = 1; k <= 4; ++k) view.push_back(addrs[(i + k) % 12]);
+    nodes[i]->join(view);
+  }
+  // Per-node fault state: penalties on two nodes, one NATed node, and two
+  // overlapping named partitions installed (and one healed) mid-run.
+  net.set_latency_penalty(addrs[3], ds::millis(30));
+  net.set_latency_penalty(addrs[7], ds::millis(90));
+  net.set_unreachable(addrs[5], true);
+  net.add_partition("left", {{addrs[0].value, addrs[1].value, addrs[2].value}});
+  net.add_partition("odd", {{addrs[1].value, addrs[3].value, addrs[9].value}});
+  sim.run_until(ds::seconds(5));
+  nodes[0]->broadcast(/*rumor=*/7, /*payload_bytes=*/256);
+  sim.run_until(ds::seconds(12));
+  net.remove_partition("left");
+  net.set_duplicate_probability(0.1);
+  net.set_reorder_jitter(ds::millis(20));
+  // Churn: two nodes flap; their dense indices must survive the round trip.
+  nodes[4]->leave();
+  nodes[8]->leave();
+  sim.run_until(ds::seconds(18));
+  nodes[4]->join({addrs[5], addrs[6], addrs[7]});
+  nodes[8]->join({addrs[9], addrs[10], addrs[11]});
+  nodes[2]->broadcast(/*rumor=*/8, /*payload_bytes=*/256);
+  sim.run_until(ds::seconds(40));
+  check({"fault_surface", 14034679067586568619ull, 354}, out.str(),
+        sink.records_written());
+}
+
 TEST(RelayGolden, KademliaLookupTrace) {
   std::ostringstream out;
   ds::JsonlTraceSink sink(out);

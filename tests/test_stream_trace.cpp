@@ -1,0 +1,224 @@
+// StreamingTraceSink + ShardedKernel spill contract tests.
+//
+// The streaming path must be invisible in the output: a StreamingTraceSink
+// file is byte-identical to a JsonlTraceSink capture of the same run, and a
+// sharded kernel with trace spilling enabled (bounded per-shard files,
+// merged at finalize) reproduces the in-memory per-barrier merge byte for
+// byte at any --sim-threads value — including across multiple run_until()
+// calls, where drain-time sched records share a timestamp with the previous
+// window but belong to the next batch. decentnet-trace must parse a
+// streamed file like any other.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "overlay/gossip.hpp"
+#include "sim/sharding.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "trace_analysis.hpp"
+
+namespace ds = decentnet::sim;
+namespace dn = decentnet::net;
+namespace ov = decentnet::overlay;
+namespace tt = decentnet::tracetool;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "decentnet_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Gossip mesh over a sharded kernel, split across two run_until() calls
+/// (the second broadcast is posted by the driver between runs, so the spill
+/// carries records from two merges and between-run driver activity).
+/// Traces to `sink`; spills per shard under `spill_prefix` when non-empty.
+void sharded_workload(ds::TraceSink& sink, std::size_t shards,
+                      std::size_t threads, const std::string& spill_prefix) {
+  ds::ShardedKernel kernel(/*seed=*/11, shards);
+  if (!spill_prefix.empty()) kernel.set_trace_spill(spill_prefix);
+  kernel.set_trace(&sink);
+  const std::size_t n = 24;
+  dn::Network netw(kernel.shard(0),
+                   std::make_unique<dn::ConstantLatency>(ds::millis(10)),
+                   dn::NetworkConfig{.expected_nodes = n}, nullptr);
+  netw.enable_sharding(kernel);
+  std::vector<dn::NodeId> addrs(n);
+  for (std::size_t i = 0; i < n; ++i) addrs[i] = netw.new_node_id();
+  for (std::size_t i = 0; i < n; ++i) netw.register_node(addrs[i]);
+  ov::GossipConfig cfg;
+  cfg.fanout = 3;
+  std::vector<std::unique_ptr<ov::GossipNode>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<ov::GossipNode>(netw, addrs[i], cfg));
+    std::vector<dn::NodeId> view;
+    for (std::size_t d = 1; d <= 4; ++d) view.push_back(addrs[(i + d) % n]);
+    nodes.back()->join(view);
+  }
+  netw.simulator_for(addrs[0]).post(ds::millis(1), [&] {
+    nodes[0]->broadcast(/*rumor=*/1, /*payload_bytes=*/64);
+  });
+  kernel.run_until(ds::seconds(15), threads);
+  netw.simulator_for(addrs[5]).post(ds::seconds(16), [&] {
+    nodes[5]->broadcast(/*rumor=*/2, /*payload_bytes=*/64);
+  });
+  kernel.run_until(ds::seconds(30), threads);
+}
+
+std::string sharded_buffered(std::size_t shards, std::size_t threads) {
+  std::ostringstream out;
+  {
+    ds::JsonlTraceSink sink(out);
+    sharded_workload(sink, shards, threads, "");
+  }
+  return out.str();
+}
+
+std::string sharded_spilled(std::size_t shards, std::size_t threads,
+                            const std::string& tag) {
+  const std::string path = temp_path("spill_" + tag + ".jsonl");
+  {
+    ds::StreamingTraceSink sink(path, /*chunk_bytes=*/4096);
+    sharded_workload(sink, shards, threads, path + ".spill");
+  }
+  const std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+}  // namespace
+
+TEST(StreamTrace, MatchesJsonlAcrossChunkBoundaries) {
+  // A chunk size smaller than one serialized record forces a flush on
+  // every append; the output must still be the exact JsonlTraceSink bytes.
+  const std::string path = temp_path("chunks.jsonl");
+  std::ostringstream expected;
+  {
+    ds::JsonlTraceSink jsonl(expected);
+    ds::StreamingTraceSink stream(path, /*chunk_bytes=*/48);
+    for (int i = 0; i < 100; ++i) {
+      const ds::TraceRecord rec{/*t=*/i * 10, "fire", "test/step",
+                                static_cast<std::uint64_t>(i),
+                                static_cast<std::uint64_t>(i * 2), 0,
+                                /*bytes=*/64};
+      jsonl.record(rec);
+      stream.record(rec);
+    }
+    EXPECT_EQ(stream.records_written(), 100u);
+    EXPECT_GE(stream.chunks_flushed(), 99u);  // every record overflows 48 B
+  }
+  EXPECT_EQ(slurp(path), expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, FlushMakesPartialChunkVisible) {
+  const std::string path = temp_path("partial.jsonl");
+  ds::StreamingTraceSink sink(path, /*chunk_bytes=*/1 << 20);
+  sink.record({0, "fire", "test/one", 1, 0, 0, 0});
+  EXPECT_EQ(sink.chunks_flushed(), 0u);  // still buffered
+  sink.flush();
+  const std::string bytes = slurp(path);
+  EXPECT_EQ(bytes, "{\"t\":0,\"kind\":\"fire\",\"tag\":\"test/one\",\"id\":1}\n");
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, RejectsZeroChunkAndUnwritablePath) {
+  EXPECT_THROW(ds::StreamingTraceSink("/nonexistent-dir/x.jsonl", 4096),
+               std::runtime_error);
+  EXPECT_THROW(ds::StreamingTraceSink(temp_path("zero.jsonl"), 0),
+               std::runtime_error);
+}
+
+TEST(StreamTrace, SingleKernelWorkloadByteIdentical) {
+  // Same seed, same workload: the streamed file is the buffered string.
+  auto workload = [](ds::TraceSink& sink) {
+    ds::Simulator simu(5);
+    simu.set_trace(&sink);
+    dn::Network netw(simu,
+                     std::make_unique<dn::ConstantLatency>(ds::millis(10)),
+                     dn::NetworkConfig{}, nullptr);
+    std::vector<dn::NodeId> addrs(12);
+    for (auto& a : addrs) a = netw.new_node_id();
+    ov::GossipConfig cfg;
+    cfg.fanout = 3;
+    std::vector<std::unique_ptr<ov::GossipNode>> nodes;
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      nodes.push_back(std::make_unique<ov::GossipNode>(netw, addrs[i], cfg));
+      nodes.back()->join({addrs[(i + 1) % addrs.size()],
+                          addrs[(i + 5) % addrs.size()]});
+    }
+    simu.post(ds::millis(1), [&] { nodes[0]->broadcast(1, 64); });
+    simu.run_until(ds::seconds(20));
+  };
+  std::ostringstream expected;
+  {
+    ds::JsonlTraceSink sink(expected);
+    workload(sink);
+  }
+  const std::string path = temp_path("single.jsonl");
+  {
+    ds::StreamingTraceSink sink(path, /*chunk_bytes=*/1024);
+    workload(sink);
+  }
+  EXPECT_FALSE(expected.str().empty());
+  EXPECT_EQ(slurp(path), expected.str());
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, ShardedSpillByteIdenticalAcrossThreadCounts) {
+  const std::string buffered = sharded_buffered(4, 1);
+  EXPECT_FALSE(buffered.empty());
+  EXPECT_NE(buffered.find("\"send\""), std::string::npos);
+  EXPECT_EQ(sharded_spilled(4, 1, "t1"), buffered);
+  EXPECT_EQ(sharded_spilled(4, 2, "t2"), buffered);
+  EXPECT_EQ(sharded_spilled(4, 4, "t4"), buffered);
+}
+
+TEST(StreamTrace, SpillFilesAreRemovedOnTeardown) {
+  const std::string path = temp_path("cleanup.jsonl");
+  {
+    ds::StreamingTraceSink sink(path, 4096);
+    sharded_workload(sink, 2, 1, path + ".spill");
+    // Spill files exist while the kernel is alive... (scope end tears the
+    // kernel down inside sharded_workload, so check the merged output
+    // instead; the shard files must be gone afterwards.)
+  }
+  std::ifstream shard0(path + ".spill.shard0");
+  EXPECT_FALSE(shard0.good());
+  std::remove(path.c_str());
+}
+
+TEST(StreamTrace, TraceToolParsesStreamedFile) {
+  const std::string path = temp_path("tool.jsonl");
+  {
+    ds::StreamingTraceSink sink(path, 4096);
+    sharded_workload(sink, 4, 2, path + ".spill");
+  }
+  std::ifstream in(path);
+  const std::vector<tt::Record> recs = tt::parse_jsonl(in);
+  EXPECT_GT(recs.size(), 100u);
+  bool saw_send = false, saw_fire = false;
+  for (const auto& r : recs) {
+    if (r.kind == "send") saw_send = true;
+    if (r.kind == "fire") saw_fire = true;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_fire);
+  std::remove(path.c_str());
+}

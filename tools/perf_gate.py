@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over an E20 BENCH JSON artifact.
+
+Compares the throughput cells of a fresh bench run against the checked-in
+baselines (bench/baselines.json) and fails — exit 1 — when a pinned point
+regresses past the tolerances:
+
+  * events_per_sec  more than --eps-drop   below baseline (default 20%)
+  * peak_rss_mb     more than --rss-growth above baseline (default 10%)
+
+Usage:
+  # gate (CI): run the pinned E20 point, then
+  ./bench/bench_e20_scale --quiet --json e20.json
+  python3 tools/perf_gate.py e20.json --baselines bench/baselines.json
+
+  # refresh baselines after an intentional perf change:
+  python3 tools/perf_gate.py e20.json --baselines bench/baselines.json --update
+
+Baselines are keyed by (overlay, n); only rows whose key appears in the
+baseline file are gated, so a JSON with extra sweep points (e.g. the 1M
+point) gates only the pinned ones. Wall-clock cells must be present in the
+JSON — run the bench with the default timings_in_json=1.
+
+CI override: maintainers label a PR `perf-baseline-reset` to skip the gate
+for an intentional regression (new feature with a known cost); the same PR
+must refresh bench/baselines.json with --update. See the perf-gate step in
+.github/workflows/ci.yml.
+
+events_per_sec is wall-clock dependent, so baselines are only comparable on
+the machine class that produced them (the `machine` field records it). The
+generous 20% drop tolerance absorbs normal runner noise; peak RSS is
+allocator-deterministic and gets the tighter 10%.
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (row.get("overlay"), row.get("n"))
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = data.get("rows", [])
+    if not rows:
+        sys.exit(f"perf_gate: no rows in {path}")
+    return data, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("bench_json", help="BENCH_E20_scale.json from a fresh run")
+    ap.add_argument("--baselines", default="bench/baselines.json")
+    ap.add_argument("--eps-drop", type=float, default=0.20,
+                    help="max fractional events/sec drop (default 0.20)")
+    ap.add_argument("--rss-growth", type=float, default=0.10,
+                    help="max fractional peak-RSS growth (default 0.10)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline file from this run's rows")
+    ap.add_argument("--machine", default="ci",
+                    help="machine-class label recorded with --update")
+    args = ap.parse_args()
+
+    _, fresh_rows = load_rows(args.bench_json)
+    fresh = {}
+    for row in fresh_rows:
+        if "events_per_sec" not in row or "peak_rss_mb" not in row:
+            sys.exit("perf_gate: rows lack timing cells — run the bench "
+                     "with timings_in_json=1 (the default)")
+        fresh[row_key(row)] = row
+
+    if args.update:
+        with open(args.baselines) as f:
+            base = json.load(f)
+        pinned = [row_key(r) for r in base.get("rows", [])]
+        base["machine"] = args.machine
+        base["rows"] = [
+            {
+                "overlay": k[0],
+                "n": k[1],
+                "events_per_sec": fresh[k]["events_per_sec"],
+                "peak_rss_mb": fresh[k]["peak_rss_mb"],
+            }
+            for k in pinned
+            if k in fresh
+        ]
+        missing = [k for k in pinned if k not in fresh]
+        if missing:
+            sys.exit(f"perf_gate: fresh run lacks pinned points {missing}")
+        with open(args.baselines, "w") as f:
+            json.dump(base, f, indent=2)
+            f.write("\n")
+        print(f"perf_gate: baselines rewritten ({len(base['rows'])} rows, "
+              f"machine={args.machine})")
+        return
+
+    base_data, base_rows = load_rows(args.baselines)
+    failures = []
+    gated = 0
+    for brow in base_rows:
+        key = row_key(brow)
+        frow = fresh.get(key)
+        if frow is None:
+            failures.append(f"{key}: pinned point missing from fresh run")
+            continue
+        gated += 1
+        eps_base, eps_now = brow["events_per_sec"], frow["events_per_sec"]
+        rss_base, rss_now = brow["peak_rss_mb"], frow["peak_rss_mb"]
+        eps_floor = eps_base * (1.0 - args.eps_drop)
+        rss_ceil = rss_base * (1.0 + args.rss_growth)
+        verdict = []
+        if eps_now < eps_floor:
+            verdict.append(
+                f"events/sec {eps_now:.0f} < floor {eps_floor:.0f} "
+                f"(baseline {eps_base:.0f}, -{args.eps_drop:.0%})")
+        if rss_now > rss_ceil:
+            verdict.append(
+                f"peak RSS {rss_now:.1f} MB > ceiling {rss_ceil:.1f} MB "
+                f"(baseline {rss_base:.1f}, +{args.rss_growth:.0%})")
+        status = "FAIL" if verdict else "ok"
+        print(f"  {key[0]}@{key[1]}: events/sec {eps_now:.0f} "
+              f"(baseline {eps_base:.0f}), peak RSS {rss_now:.1f} MB "
+              f"(baseline {rss_base:.1f}) ... {status}")
+        for v in verdict:
+            failures.append(f"{key}: {v}")
+    if gated == 0:
+        sys.exit("perf_gate: no baseline rows matched the fresh run")
+    if failures:
+        print(f"\nperf_gate: FAIL (machine class: "
+              f"{base_data.get('machine', '?')})", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        print("  intentional? label the PR perf-baseline-reset and refresh "
+              "bench/baselines.json with --update", file=sys.stderr)
+        sys.exit(1)
+    print(f"perf_gate: ok ({gated} pinned points within tolerance)")
+
+
+if __name__ == "__main__":
+    main()
