@@ -313,6 +313,17 @@ void PbftReplica::request_sync() {
   multicast(pm::SyncRequest{need, index_}, config_.message_bytes);
 }
 
+bool PbftReplica::locally_prepared(std::uint64_t seq,
+                                   const crypto::Hash256& digest) const {
+  for (const auto& [key, s] : slots_) {
+    if (key.second == seq && s.prepared && s.pre_prepare &&
+        s.pre_prepare->digest == digest) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void PbftReplica::apply_synced(std::uint64_t seq,
                                const std::vector<Command>& batch) {
   executed_seq_ = seq;
@@ -368,7 +379,12 @@ void PbftReplica::handle_message(const net::Message& msg) {
     SlotState& s = slot(pp.view, pp.seq);
     if (s.pre_prepare) return;  // no equivocation acceptance
     s.pre_prepare = pp;
-    view_timer_.cancel();  // primary is making progress
+    // A pre-prepare is only progress evidence when we are up to date. A
+    // primary streaming new sequences while we are stuck behind an execution
+    // gap (we missed a quorum during a loss burst) must not keep resetting
+    // suspicion, or the gap is never escaped — neither by state transfer
+    // nor by a view change.
+    if (pp.seq <= executed_seq_ + 1) view_timer_.cancel();
     pm::Prepare p{pp.view, pp.seq, pp.digest, index_};
     multicast(p, config_.message_bytes);
     s.prepares.insert(index_);
@@ -419,10 +435,29 @@ void PbftReplica::handle_message(const net::Message& msg) {
     }
     if (votes.size() >= quorum_2f1() &&
         vc.new_view % group_.size() == index_) {
-      // We are the new primary: dedup re-proposals by seq, announce.
+      // We are the new primary: dedup re-proposals by seq. When replicas
+      // prepared different batches for one seq (across views), the highest
+      // view's certificate wins, as in the PBFT new-view rule.
       std::map<std::uint64_t, pm::PrePrepare> by_seq;
       for (const auto& pp : preps) {
-        by_seq.emplace(pp.seq, pp);
+        const auto [it, inserted] = by_seq.emplace(pp.seq, pp);
+        if (!inserted && pp.view > it->second.view) it->second = pp;
+      }
+      // Pad sequence holes with null requests: a seq the old primary used
+      // but nobody prepared (its pre-prepare died in a loss burst) would
+      // otherwise leave a gap below a carried-forward reproposal that no
+      // view change or state transfer can ever fill — the group would agree
+      // on every executed batch yet re-elect forever without progress.
+      if (!by_seq.empty()) {
+        const std::uint64_t max_seq = by_seq.rbegin()->first;
+        for (std::uint64_t s = executed_seq_ + 1; s < max_seq; ++s) {
+          if (by_seq.count(s) > 0) continue;
+          pm::PrePrepare null_pp;
+          null_pp.view = vc.new_view;
+          null_pp.seq = s;
+          null_pp.digest = batch_digest(null_pp.batch);
+          by_seq.emplace(s, std::move(null_pp));
+        }
       }
       pm::NewView nv;
       nv.view = vc.new_view;
@@ -484,7 +519,15 @@ void PbftReplica::handle_message(const net::Message& msg) {
       if (it == sync_state_.end()) break;
       const SyncCandidate* chosen = nullptr;
       for (const auto& c : it->second) {
-        if (c.votes.size() >= config_.f + 1) {
+        // f+1 matching vouchers prove at least one honest executor. A single
+        // reply also suffices when it matches our own prepared certificate
+        // for this gap: 2f+1 replicas prepared that digest, so no other
+        // batch can have committed here. Without this, a batch executed by
+        // only one replica (the others lost the commit quorum to a fault
+        // window) can never be transferred and the gap wedges forever.
+        if (c.votes.size() >= config_.f + 1 ||
+            (!c.votes.empty() &&
+             locally_prepared(executed_seq_ + 1, c.digest))) {
           chosen = &c;
           break;
         }

@@ -147,6 +147,8 @@ class PbftReplica final : public net::Host {
   void start_view_change();
   void maybe_resync(net::NodeId peer, std::uint64_t their_view);
   void request_sync();
+  bool locally_prepared(std::uint64_t seq,
+                        const crypto::Hash256& digest) const;
   void apply_synced(std::uint64_t seq, const std::vector<Command>& batch);
   void enter_new_view(std::uint64_t view,
                       const std::vector<pbft_msg::PrePrepare>& reproposals);

@@ -1,6 +1,7 @@
 #include "bft/raft.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace decentnet::bft {
 
@@ -27,6 +28,7 @@ void RaftNode::set_group(std::vector<net::NodeId> replicas) {
   next_index_.assign(group_.size(), 1);
   match_index_.assign(group_.size(), 0);
   append_inflight_.assign(group_.size(), false);
+  append_seq_.assign(group_.size(), 0);
 }
 
 void RaftNode::start() { reset_election_timer(); }
@@ -68,7 +70,7 @@ void RaftNode::become_candidate() {
   m_elections_.add();
   ++term_;
   voted_for_ = index_;
-  votes_ = 1;
+  vote_mask_ = std::uint64_t{1} << index_;
   reset_election_timer();
   rm::RequestVote rv{term_, index_, log_.size(), last_log_term()};
   for (std::size_t i = 0; i < group_.size(); ++i) {
@@ -102,6 +104,7 @@ void RaftNode::broadcast_heartbeats() {
 void RaftNode::send_append(std::size_t peer) {
   append_inflight_[peer] = true;
   rm::AppendEntries ae;
+  ae.seq = ++append_seq_[peer];
   ae.term = term_;
   ae.leader = index_;
   const std::uint64_t next = next_index_[peer];
@@ -175,7 +178,7 @@ void RaftNode::restart() {
   crashed_ = false;
   // Volatile state resets; persistent state (term, vote, log) survives.
   role_ = Role::Follower;
-  votes_ = 0;
+  vote_mask_ = 0;
   election_backoff_ = 0;
   commit_index_ = std::min<std::uint64_t>(commit_index_, log_.size());
   net_.attach(addr_, this);
@@ -211,8 +214,13 @@ void RaftNode::handle_message(const net::Message& msg) {
       return;
     }
     if (role_ != Role::Candidate || vr.term != term_ || !vr.granted) return;
-    ++votes_;
-    if (votes_ > group_.size() / 2) become_leader();
+    // Dedup by voter: the network may duplicate a granted reply, and one
+    // voter must never count as two.
+    vote_mask_ |= std::uint64_t{1} << vr.voter;
+    if (static_cast<std::size_t>(std::popcount(vote_mask_)) >
+        group_.size() / 2) {
+      become_leader();
+    }
     return;
   }
   if (msg.is<rm::AppendEntries>()) {
@@ -226,6 +234,7 @@ void RaftNode::handle_message(const net::Message& msg) {
     reply.follower = index_;
     reply.success = false;
     reply.match_index = 0;
+    reply.seq = ae.seq;
     if (ae.term == term_) {
       reset_election_timer();
       // Consistency check.
@@ -266,6 +275,12 @@ void RaftNode::handle_message(const net::Message& msg) {
       return;
     }
     if (role_ != Role::Leader || ar.term != term_) return;
+    // Consume at most one reply per send: only the outstanding sequence
+    // number counts. Duplicated or superseded replies are dropped, which
+    // caps the reply->resend branching factor at 1 under duplication.
+    if (!append_inflight_[ar.follower] || ar.seq != append_seq_[ar.follower]) {
+      return;
+    }
     append_inflight_[ar.follower] = false;
     if (ar.success) {
       match_index_[ar.follower] =

@@ -48,12 +48,14 @@ struct AppendEntries {
   std::uint64_t prev_log_term;
   std::vector<LogEntry> entries;
   std::uint64_t leader_commit;
+  std::uint64_t seq = 0;  // per-follower send counter, echoed in the reply
 };
 struct AppendReply {
   std::uint64_t term;
   std::size_t follower;
   bool success;
   std::uint64_t match_index;  // on success: last replicated index
+  std::uint64_t seq = 0;      // echo of AppendEntries::seq
 };
 struct ClientPropose {
   Command cmd;
@@ -141,10 +143,18 @@ class RaftNode final : public net::Host {
   // One outstanding AppendEntries per follower (pipelining-lite): proposals
   // piggyback on the in-flight stream instead of re-broadcasting overlapping
   // entries; the heartbeat timer provides liveness if a reply is lost.
+  // Each append carries a per-follower sequence number and only the reply
+  // matching the outstanding one is consumed. Without that gate a network
+  // that duplicates messages turns the reply-driven stream into a
+  // self-amplifying loop: one append averages (1+p)^2 delivered replies,
+  // each spawning a fresh append — branching factor > 1 and the event
+  // queue grows without bound inside a fixed sim-time window.
   std::vector<bool> append_inflight_;
+  std::vector<std::uint64_t> append_seq_;
 
-  // Candidate state.
-  std::size_t votes_ = 0;
+  // Candidate state. Votes are deduplicated by voter index: a duplicated
+  // VoteReply must not count twice or a minority candidate wins the term.
+  std::uint64_t vote_mask_ = 0;
   // Split-vote backoff: each candidacy that times out without resolution
   // doubles the randomized-timeout window (capped at 8x), de-synchronizing
   // repeat candidates under partitions; any progress (a leader heard from,

@@ -36,7 +36,10 @@ FullNode::FullNode(net::Network& net, net::NodeId addr, ChainParams params,
   utxo_tip_ = genesis->id();
 }
 
-FullNode::~FullNode() { net_.detach(addr_); }
+FullNode::~FullNode() {
+  orphan_retry_.cancel();
+  net_.detach(addr_);
+}
 
 void FullNode::connect(std::vector<net::NodeId> neighbors) {
   neighbors_ = std::move(neighbors);
@@ -104,12 +107,14 @@ bool FullNode::accept_block(const BlockPtr& block, net::NodeId from,
   }
 
   if (!tree_.contains(block->header.prev)) {
-    // Orphan: stash and ask the sender for the parent.
+    // Orphan: stash and ask the sender for the parent. The retry sweep
+    // covers the case where this request (or its reply) is lost.
     orphans_.emplace(block->header.prev, block);
     if (from.valid()) {
       net_.send(addr_, from, GetBlock{block->header.prev}, 64, /*cookie=*/0,
                 span);
     }
+    schedule_orphan_retry();
     return false;
   }
 
@@ -157,6 +162,30 @@ void FullNode::try_complete_compact(const BlockId& id) {
   // accept_block re-verifies the Merkle root, so a reconstruction that
   // disagrees with the header is rejected rather than propagated.
   accept_block(std::make_shared<const Block>(std::move(block)), from, span);
+}
+
+void FullNode::schedule_orphan_retry() {
+  if (orphan_retry_.valid() || orphans_.empty() || neighbors_.empty()) return;
+  orphan_retry_ = sim_.schedule(
+      sim::seconds(2), [this] { retry_orphans(); }, "chain/orphan_retry");
+}
+
+void FullNode::retry_orphans() {
+  // One GetBlock per distinct missing parent, rotating through neighbors so
+  // a crashed or equally-behind peer can't starve the sweep. Re-fetching a
+  // parent that is itself a stashed orphan is a no-op at the receiver (it
+  // is already "known"); the lowest missing ancestor is always a genuine
+  // fetch, and its arrival cascades the rest through process_orphans.
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    const BlockId parent = it->first;
+    do {
+      ++it;
+    } while (it != orphans_.end() && it->first == parent);
+    if (tree_.contains(parent)) continue;
+    const net::NodeId to = neighbors_[orphan_retry_rr_++ % neighbors_.size()];
+    net_.send(addr_, to, GetBlock{parent}, 64);
+  }
+  schedule_orphan_retry();
 }
 
 void FullNode::process_orphans(const BlockId& parent) {

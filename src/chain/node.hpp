@@ -139,6 +139,12 @@ class FullNode : public net::Host {
   void process_orphans(const BlockId& parent);
   /// Assemble and accept a compact block once every body is on hand.
   void try_complete_compact(const BlockId& id);
+  /// Re-request missing orphan parents until the stash drains. The initial
+  /// GetBlock goes to the block's sender exactly once; if that round trip
+  /// dies (loss burst, sender crashes), this sweep is the only way the
+  /// walk-back ever resumes.
+  void schedule_orphan_retry();
+  void retry_orphans();
 
   net::Network& net_;
   sim::Simulator& sim_;
@@ -164,6 +170,8 @@ class FullNode : public net::Host {
   std::unordered_set<BlockId, crypto::Hash256Hasher> known_blocks_;
   std::unordered_set<TxId, crypto::Hash256Hasher> known_txs_;
   std::unordered_multimap<BlockId, BlockPtr, crypto::Hash256Hasher> orphans_;
+  sim::EventHandle orphan_retry_;
+  std::size_t orphan_retry_rr_ = 0;  // round-robin neighbor cursor
   bool compact_relay_ = false;
   struct PendingCompact {
     BlockHeader header;

@@ -34,6 +34,7 @@ ChurnDriver::ChurnDriver(sim::Simulator& sim, std::size_t n,
       go_offline_(std::move(go_offline)),
       rng_(sim.rng().fork(0xC4324E)),
       online_(n, 0),
+      held_(n, 0),
       pending_(n) {}
 
 void ChurnDriver::start() {
@@ -50,13 +51,41 @@ void ChurnDriver::start() {
     }
   }
   for (std::size_t i = 0; i < online_.size(); ++i) {
-    if (rng_.chance(config_.initially_online)) {
+    // Draw even for held peers so a pre-start hold never shifts the shared
+    // stream's draw sequence for everyone else.
+    const bool up = rng_.chance(config_.initially_online);
+    if (up && !held_[i]) {
       online_[i] = 1;
       online_count_.fetch_add(1, std::memory_order_relaxed);
       go_online_(i);
     }
     schedule_next(i);
   }
+}
+
+void ChurnDriver::hold_offline(std::size_t peer_index) {
+  if (held_[peer_index]) return;
+  held_[peer_index] = 1;
+  pending_[peer_index].cancel();
+  if (online_[peer_index]) {
+    // Bookkeeping only: the fault's crash hook owns the node-level action,
+    // so invoking go_offline_ here would act on the node twice.
+    online_[peer_index] = 0;
+    online_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ChurnDriver::release(std::size_t peer_index, bool online_now) {
+  if (!held_[peer_index]) return;
+  held_[peer_index] = 0;
+  if (online_now && !online_[peer_index]) {
+    online_[peer_index] = 1;
+    online_count_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!online_now && online_[peer_index]) {
+    online_[peer_index] = 0;
+    online_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (started_ && !stopped_) schedule_next(peer_index);
 }
 
 void ChurnDriver::stop() {
@@ -71,6 +100,7 @@ void ChurnDriver::restart() {
 }
 
 void ChurnDriver::schedule_next(std::size_t peer_index) {
+  if (held_[peer_index]) return;  // fault-crashed: churn is suspended
   const DurationDist& dist =
       online_[peer_index] ? config_.session : config_.downtime;
   // Router mode: the transition runs on the peer's own shard and draws from
@@ -84,6 +114,7 @@ void ChurnDriver::schedule_next(std::size_t peer_index) {
 }
 
 void ChurnDriver::transition(std::size_t peer_index) {
+  if (held_[peer_index]) return;  // defensive: holds cancel their pending event
   if (online_[peer_index]) {
     online_[peer_index] = 0;
     online_count_.fetch_sub(1, std::memory_order_relaxed);

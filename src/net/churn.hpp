@@ -88,8 +88,26 @@ class ChurnDriver {
   /// Resume churn after stop(): re-schedule a transition for every peer from
   /// its current state. Fresh durations are drawn from the driver's own rng
   /// stream, so a stop()/restart() pair is itself deterministic under the
-  /// same seed. No-op while running.
+  /// same seed. No-op while running. Held peers (see hold_offline) stay held.
   void restart();
+
+  /// Fault-crash authority: force `peer_index` offline in the driver's
+  /// bookkeeping, cancel its pending transition, and schedule nothing more
+  /// for it until release(). The caller (a FaultPlan's crash hook) owns the
+  /// node-level action — the driver only guarantees churn cannot revive the
+  /// node while it is held. Without this, a churn transition landing between
+  /// a plan's crash and restart times brought the node back early
+  /// (last-writer-wins); fault crashes are authoritative now.
+  void hold_offline(std::size_t peer_index);
+
+  /// Release a fault hold. `online_now` reports the node's post-restart
+  /// state (a plan's restart hook usually brings it straight back up): the
+  /// driver adopts it without invoking a hook — the restart hook already
+  /// acted on the node — and resumes the alternating schedule from that
+  /// state. No-op unless held.
+  void release(std::size_t peer_index, bool online_now);
+
+  bool held(std::size_t peer_index) const { return held_[peer_index] != 0; }
 
   bool is_online(std::size_t peer_index) const {
     return online_[peer_index] != 0;
@@ -113,6 +131,7 @@ class ChurnDriver {
   // Bytes, not vector<bool>: adjacent peers transition on different shards,
   // and bit-packing would make those writes share a byte (a data race).
   std::vector<std::uint8_t> online_;
+  std::vector<std::uint8_t> held_;  // fault-crashed: churn suspended
   std::vector<sim::EventHandle> pending_;  // per-peer outstanding transition
   std::atomic<std::size_t> online_count_{0};
   bool started_ = false;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -33,7 +34,13 @@
 #include "net/network.hpp"
 #include "sim/time.hpp"
 
+namespace decentnet::sim::jsonlite {
+struct JsonValue;
+}
+
 namespace decentnet::net {
+
+class ChurnDriver;  // net/churn.hpp; fault crashes suspend churn when wired
 
 /// One declarative fault event. Build through FaultPlan's fluent methods;
 /// the fields are public so tests and tools can introspect a plan.
@@ -95,6 +102,32 @@ class FaultPlan {
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
+  /// Append an already-built event (used by from_json and the chaos
+  /// shrinker, which re-assemble plans clause by clause).
+  FaultPlan& add(FaultEvent ev);
+
+  /// Structural validation: every event's times, probabilities, factors and
+  /// partition groups are checked, and the first problem is returned as an
+  /// actionable message naming the event index and field ("event 3
+  /// (loss): probability 1.5 out of [0, 1]"). nullopt = plan is valid.
+  /// `num_nodes` (0 = unknown) additionally bounds node indices and
+  /// partition member addresses.
+  std::optional<std::string> validate(std::size_t num_nodes = 0) const;
+
+  /// Serialize to a byte-stable JSON document: fixed key order, partition
+  /// group members sorted ascending, times as integer microseconds. The
+  /// output of to_json(from_json(s)) equals to_json of the original plan.
+  std::string to_json() const;
+
+  /// Parse a plan serialized by to_json (or hand-written in that shape).
+  /// Throws std::invalid_argument with the event index and field on
+  /// malformed input; the returned plan always passes validate(0).
+  static FaultPlan from_json(std::string_view text);
+
+  /// Same, from an already-parsed JSON value (the chaos repro envelope
+  /// embeds a plan object inside its own document).
+  static FaultPlan from_json_value(const sim::jsonlite::JsonValue& doc);
+
  private:
   std::vector<FaultEvent> events_;
 };
@@ -107,6 +140,10 @@ struct FaultTargets {
   std::vector<NodeId> nodes;
   std::function<void(std::size_t node)> crash;
   std::function<void(std::size_t node)> restart;
+  /// Optional: when a ChurnDriver manages the same peers, the scheduler
+  /// holds a node's churn across its crash→restart window so a churn
+  /// transition cannot revive it early (fault-crash is authoritative).
+  ChurnDriver* churn = nullptr;
 };
 
 /// Executes a FaultPlan against a Network: schedules one kernel event per
@@ -157,7 +194,10 @@ class FaultScheduler {
 };
 
 /// The trace tag for a fault kind ("partition", "crash", ...); also used by
-/// the per-kind counter bump.
+/// the per-kind counter bump and the JSON "kind" field.
 const char* fault_kind_name(FaultEvent::Kind kind);
+
+/// Reverse of fault_kind_name; nullopt for an unknown name.
+std::optional<FaultEvent::Kind> fault_kind_from_name(std::string_view name);
 
 }  // namespace decentnet::net

@@ -35,8 +35,11 @@ void GossipNode::join(const std::vector<net::NodeId>& bootstrap_view) {
   net_.attach(addr_, this);
   online_ = true;
   view_.clear();
+  bootstrap_.clear();
   for (net::NodeId p : bootstrap_view) {
-    if (p != addr_ && view_.size() < config_.view_size) {
+    if (p == addr_) continue;
+    bootstrap_.push_back(p);
+    if (view_.size() < config_.view_size) {
       view_.push_back(ViewEntry{p, 0});
     }
   }
@@ -59,7 +62,19 @@ std::vector<net::NodeId> GossipNode::view() const {
 }
 
 void GossipNode::shuffle() {
-  if (!online_ || view_.empty()) return;
+  if (!online_) return;
+  ++shuffle_count_;
+  // Bootstrap re-seed runs before the empty-view bail-out: a node whose
+  // entire view drained away (all peers were cut off or crashed) would
+  // otherwise never shuffle — and so never re-seed — again. An empty view
+  // re-seeds every tick, not just every Nth.
+  if (config_.bootstrap_refresh > 0 && !bootstrap_.empty() &&
+      (view_.empty() || shuffle_count_ % config_.bootstrap_refresh == 0)) {
+    const net::NodeId contact =
+        bootstrap_[rng_.uniform_int(bootstrap_.size())];
+    merge_view({ViewEntry{contact, 0}});
+  }
+  if (view_.empty()) return;
   m_shuffles_.add();
   for (auto& e : view_) ++e.age;
   // Pick the oldest peer (Cyclon): stale descriptors get verified first.
@@ -78,8 +93,25 @@ void GossipNode::shuffle() {
        i < idx.size() && sample.size() < config_.shuffle_size; ++i) {
     sample.push_back(view_[idx[i]]);
   }
-  net_.send(addr_, target, ShuffleRequest{std::move(sample)},
-            config_.message_bytes);
+  std::vector<gossip_msg::Rumor> recent = recent_snapshot();
+  // 16 bytes per digest entry (id + size); the reconciliation pull for any
+  // missing rumor is folded into the same exchange.
+  const std::size_t bytes = config_.message_bytes + 16 * recent.size();
+  net_.send(addr_, target,
+            ShuffleRequest{std::move(sample), std::move(recent)}, bytes);
+}
+
+std::vector<gossip_msg::Rumor> GossipNode::recent_snapshot() const {
+  return {recent_.begin(), recent_.end()};
+}
+
+void GossipNode::absorb_recent(const std::vector<gossip_msg::Rumor>& recent) {
+  for (const gossip_msg::Rumor& r : recent) {
+    if (seen_.count(r.id) > 0) continue;
+    // A rumor the push epidemic missed us on: accept it as a fresh delivery
+    // and re-enter the epidemic so neighbours we reach can recover it too.
+    accept_rumor(sim::Shared<Rumor>::make(Rumor{r}), 0, net_.new_span_root());
+  }
 }
 
 void GossipNode::merge_view(const std::vector<ViewEntry>& incoming) {
@@ -117,6 +149,10 @@ void GossipNode::accept_rumor(const sim::Shared<Rumor>& rumor,
     m_duplicates_.add();
     return;
   }
+  if (config_.anti_entropy_rumors > 0) {
+    recent_.push_back(*rumor);
+    if (recent_.size() > config_.anti_entropy_rumors) recent_.pop_front();
+  }
   m_delivered_.add();
   if (m_tree_depth_) m_tree_depth_->record(net_.span_depth(span.hop));
   if (deliver_) deliver_(rumor->id, hops);
@@ -153,13 +189,18 @@ void GossipNode::handle_message(const net::Message& msg) {
          i < idx.size() && sample.size() < config_.shuffle_size; ++i) {
       sample.push_back(view_[idx[i]]);
     }
-    net_.send(addr_, msg.from, ShuffleReply{std::move(sample)},
-              config_.message_bytes);
+    std::vector<Rumor> recent = recent_snapshot();
+    const std::size_t bytes = config_.message_bytes + 16 * recent.size();
+    net_.send(addr_, msg.from,
+              ShuffleReply{std::move(sample), std::move(recent)}, bytes);
     merge_view(req.entries);
+    absorb_recent(req.recent);
     return;
   }
   if (msg.is<ShuffleReply>()) {
-    merge_view(net::payload_as<ShuffleReply>(msg).entries);
+    const auto& reply = net::payload_as<ShuffleReply>(msg);
+    merge_view(reply.entries);
+    absorb_recent(reply.recent);
     return;
   }
   if (msg.is<Rumor>()) {

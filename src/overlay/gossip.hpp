@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,6 +25,16 @@ struct GossipConfig {
   sim::SimDuration shuffle_interval = sim::seconds(10);
   std::size_t fanout = 4;           // rumor forwarding fanout
   std::size_t message_bytes = 64;
+  // Rumors remembered for shuffle-piggybacked anti-entropy (0 disables).
+  std::size_t anti_entropy_rumors = 32;
+  // Every Nth shuffle, re-merge one random bootstrap contact (0 disables).
+  // A long partition drains every cross-side view entry (optimistic Cyclon
+  // removal discards the entry; the reply that would restore it is lost),
+  // leaving two internally-healthy overlays that nothing ever re-links after
+  // the heal. Re-contacting the bootstrap set is how deployed gossip
+  // networks (and this repo's paper, arguing for a pinch of centralization)
+  // repair that.
+  std::size_t bootstrap_refresh = 4;
 };
 
 /// A rumor's identity; payload size is carried for traffic accounting only.
@@ -36,17 +47,25 @@ struct ViewEntry {
 };
 
 namespace gossip_msg {
-struct ShuffleRequest {
-  std::vector<ViewEntry> entries;
-};
-struct ShuffleReply {
-  std::vector<ViewEntry> entries;
-};
 /// Broadcast once, shared by every hop: the hop count rides in
 /// Message::cookie so all deliveries of one rumor alias a single allocation.
 struct Rumor {
   RumorId id;
   std::size_t payload_bytes;
+};
+/// Shuffle messages double as anti-entropy carriers: alongside the view
+/// sample they piggyback the sender's most recent rumors. Pure push epidemic
+/// has a nonzero termination-miss probability (an unlucky fanout tree, a
+/// lost message, a node that was offline); the periodic shuffle digest
+/// repairs exactly those misses, so coverage converges as long as the
+/// shuffle graph stays connected.
+struct ShuffleRequest {
+  std::vector<ViewEntry> entries;
+  std::vector<Rumor> recent;
+};
+struct ShuffleReply {
+  std::vector<ViewEntry> entries;
+  std::vector<Rumor> recent;
 };
 }  // namespace gossip_msg
 
@@ -90,6 +109,8 @@ class GossipNode final : public net::Host {
                     std::size_t hops, net::Span span);
   void forward_rumor(const sim::Shared<gossip_msg::Rumor>& rumor,
                      std::size_t hops, net::NodeId skip, net::Span span);
+  std::vector<gossip_msg::Rumor> recent_snapshot() const;
+  void absorb_recent(const std::vector<gossip_msg::Rumor>& recent);
 
   net::Network& net_;
   sim::Simulator& sim_;
@@ -105,7 +126,10 @@ class GossipNode final : public net::Host {
   sim::Histogram* m_tree_depth_;
   bool online_ = false;
   std::vector<ViewEntry> view_;
+  std::vector<net::NodeId> bootstrap_;  // full join-time contact list
+  std::uint64_t shuffle_count_ = 0;
   std::unordered_set<RumorId> seen_;
+  std::deque<gossip_msg::Rumor> recent_;  // anti-entropy window, oldest first
   std::uint64_t duplicates_ = 0;
   sim::EventHandle shuffle_timer_;
   DeliverHook deliver_;

@@ -1,0 +1,174 @@
+// Deterministic chaos engine: fuzz protocols with randomized-but-seeded
+// fault plans, judge each run with safety invariants plus liveness oracles,
+// and shrink any failure to a minimal reproducer.
+//
+// The paper argues decentralized protocols are fragile precisely where
+// hand-written fault scripts don't look: composed faults (a loss burst *and*
+// a crash *inside* a partition), odd partition shapes, windows that overlap
+// a recovery. The chaos engine explores that space mechanically:
+//
+//   1. A ChaosSpace declares ranges per fault family (how many partitions,
+//      how long, which loss probabilities, ...). It is plain data, loadable
+//      from JSON (--chaos-space FILE).
+//   2. ChaosEngine::sample_plan(seed) draws a valid net::FaultPlan from the
+//      space — same seed, same space ⇒ byte-identical plan, on any host.
+//   3. A Scenario callback (one per protocol) builds the world, runs it
+//      under the plan with an InvariantChecker armed (safety predicates +
+//      invariants::eventually-style liveness oracles), and reports the first
+//      violation, if any.
+//   4. On failure, ChaosEngine::shrink delta-debugs the plan: greedy clause
+//      removal to a fixpoint (crash+restart pairs move as one clause, so
+//      shrinking never strands a crashed node), then per-window duration
+//      halving. The result is a minimal plan that still trips the same
+//      scenario, serialized as a ChaosRepro JSON envelope — the bug-report
+//      currency: attach the file, replay with --repro FILE, byte-identical.
+//
+// Everything here is deterministic by construction: sampling uses the
+// kernel Rng (counter-free), shrinking probes plans in a fixed order, and
+// scenarios are required to be seed-pure (same plan + same seed ⇒ same
+// verdict), which every sim-backed scenario already is.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/faults.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace decentnet::sim {
+
+/// Inclusive range of doubles sampled uniformly. lo == hi pins the value.
+struct ChaosRange {
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Inclusive integer count range. {0, 0} disables the fault family.
+struct ChaosCount {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+};
+
+/// Declarative description of the fault space one seed draws a plan from.
+/// Defaults give a moderate mixed workload over a 5-minute horizon; loading
+/// from JSON overrides any subset of fields (absent keys keep defaults).
+struct ChaosSpace {
+  /// Population size. Node network addresses are assumed to be the dense
+  /// range [1, nodes] (Network::new_node_id allocates sequentially from 1)
+  /// and plan node indices the dense range [0, nodes).
+  std::size_t nodes = 16;
+  /// Scenario length; every fault injects in [0.05, 0.6]·horizon and heals
+  /// by 0.8·horizon, leaving a tail for the recovery oracles to pass in.
+  SimDuration horizon = 300'000'000;  // 300 s
+
+  ChaosCount partitions{0, 2};
+  ChaosCount partition_groups{2, 3};  // groups per partition event
+  ChaosRange partition_len_s{20, 120};
+
+  ChaosCount crashes{0, 3};  // each crash gets a paired restart
+  ChaosRange crash_len_s{10, 90};
+
+  ChaosCount loss_bursts{0, 2};
+  ChaosRange loss_p{0.05, 0.4};
+  ChaosRange loss_len_s{5, 60};
+
+  ChaosCount duplicate_windows{0, 1};
+  ChaosRange duplicate_p{0.01, 0.2};
+  ChaosRange duplicate_len_s{10, 90};
+
+  ChaosCount reorder_windows{0, 1};
+  ChaosRange reorder_jitter_ms{5, 200};
+  ChaosRange reorder_len_s{10, 90};
+
+  ChaosCount latency_faults{0, 2};
+  ChaosRange latency_penalty_ms{20, 500};
+  ChaosRange latency_len_s{10, 120};
+
+  /// Parse a space from JSON: {"nodes": 16, "horizon_s": 600, and per-family
+  /// objects like "crashes": {"count": [0, 3], "len_s": [10, 90]}}. Absent
+  /// keys keep the built-in defaults; malformed values throw
+  /// std::invalid_argument naming the key.
+  static ChaosSpace from_json(std::string_view text);
+
+  /// First structural problem with the space (empty population, inverted
+  /// ranges, probabilities outside [0,1], horizon too short), or nullopt.
+  std::optional<std::string> validate() const;
+};
+
+/// Scenario verdict: ok, or the first violation (invariant name + detail)
+/// plus the recovery times the bench aggregates (seconds from last heal to
+/// each oracle's satisfaction; empty when not measured).
+struct ChaosOutcome {
+  bool ok = true;
+  std::string violation;
+  std::vector<double> recovery_s;
+};
+
+/// One protocol under test: build the world, run it under `plan` with seed
+/// `seed`, return the verdict. Must be seed-pure — the engine replays and
+/// shrinks by re-invoking it with (plan', seed).
+using ChaosScenario =
+    std::function<ChaosOutcome(const net::FaultPlan& plan, std::uint64_t seed)>;
+
+/// Minimal-repro envelope, serialized alongside the plan so a failure is
+/// replayable from one file: protocol name, scenario seed, the violation
+/// message observed, and the (shrunk) plan.
+struct ChaosRepro {
+  std::string protocol;
+  std::uint64_t seed = 0;
+  std::string violation;
+  net::FaultPlan plan;
+
+  std::string to_json() const;
+  static ChaosRepro from_json(std::string_view text);
+};
+
+/// Shrink accounting, reported with the repro.
+struct ShrinkStats {
+  std::size_t initial_clauses = 0;
+  std::size_t final_clauses = 0;
+  std::size_t window_trims = 0;  // durations halved in phase 2
+  std::size_t runs = 0;          // scenario invocations spent shrinking
+};
+
+struct ShrinkResult {
+  net::FaultPlan plan;
+  std::string violation;  // violation of the final minimal plan
+  ShrinkStats stats;
+};
+
+/// The absolute sim time by which every fault in `plan` has injected and
+/// healed — the anchor recovery oracles count their deadline from.
+SimTime plan_quiesce_time(const net::FaultPlan& plan);
+
+class ChaosEngine {
+ public:
+  /// Throws std::invalid_argument if `space` fails validate().
+  explicit ChaosEngine(ChaosSpace space);
+
+  const ChaosSpace& space() const { return space_; }
+
+  /// Draw the plan for `seed`: deterministic, valid (passes
+  /// FaultPlan::validate(space.nodes)), events sorted by inject time.
+  net::FaultPlan sample_plan(std::uint64_t seed) const;
+
+  /// Shrink a failing (plan, seed) against `scenario` to a locally minimal
+  /// plan that still fails: greedy clause removal to a fixpoint, then
+  /// duration halving per surviving window, bounded by `max_runs` scenario
+  /// invocations. Deterministic: fixed probe order, no randomness.
+  /// Precondition: scenario(plan, seed) fails; throws std::logic_error if
+  /// it passes instead.
+  ShrinkResult shrink(const net::FaultPlan& plan, std::uint64_t seed,
+                      const ChaosScenario& scenario,
+                      std::size_t max_runs = 400) const;
+
+ private:
+  ChaosSpace space_;
+};
+
+}  // namespace decentnet::sim

@@ -173,6 +173,43 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
         return false;
       }
       opts.sim_threads = static_cast<std::size_t>(parsed);
+    } else if (arg == "--chaos-seeds") {
+      const char* v = want_value("--chaos-seeds");
+      if (!v) return false;
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || parsed == 0) {
+        error = "--chaos-seeds: need a positive integer, got: " +
+                std::string(v);
+        return false;
+      }
+      if (!opts.chaos_aware) {
+        error =
+            "--chaos-seeds: this bench does not run the chaos engine. "
+            "Chaos-aware benches: bench_e21_chaos.";
+        return false;
+      }
+      opts.chaos_seeds = static_cast<std::size_t>(parsed);
+    } else if (arg == "--chaos-space") {
+      const char* v = want_value("--chaos-space");
+      if (!v) return false;
+      if (!opts.chaos_aware) {
+        error =
+            "--chaos-space: this bench does not run the chaos engine. "
+            "Chaos-aware benches: bench_e21_chaos.";
+        return false;
+      }
+      opts.chaos_space_path = v;
+    } else if (arg == "--repro") {
+      const char* v = want_value("--repro");
+      if (!v) return false;
+      if (!opts.chaos_aware) {
+        error =
+            "--repro: this bench does not run the chaos engine. "
+            "Chaos-aware benches: bench_e21_chaos.";
+        return false;
+      }
+      opts.repro_path = v;
     } else if (arg == "--param") {
       const char* v = want_value("--param");
       if (!v) return false;
@@ -202,8 +239,9 @@ std::string ExperimentHarness::usage(const std::string& prog,
   return "usage: " + prog +
          " [--seed N] [--json PATH] [--no-json] [--trace PATH] "
          "[--stream-trace PATH] [--profile] "
-         "[--jobs N] [--sim-shards S] [--sim-threads N] [--param K=V] "
-         "[--quiet]\n"
+         "[--jobs N] [--sim-shards S] [--sim-threads N] "
+         "[--chaos-seeds N] [--chaos-space FILE] [--repro FILE] "
+         "[--param K=V] [--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
          id +
@@ -221,6 +259,11 @@ std::string ExperimentHarness::usage(const std::string& prog,
          "                S=1 is the legacy kernel bit-for-bit)\n"
          "  --sim-threads N worker threads inside one sharded kernel\n"
          "                (results are byte-identical for any N)\n"
+         "  --chaos-seeds N  fuzz seeds per protocol (chaos-aware benches)\n"
+         "  --chaos-space FILE  JSON ChaosSpace overriding the built-in\n"
+         "                fault ranges (chaos-aware benches)\n"
+         "  --repro FILE  replay one chaos repro envelope instead of\n"
+         "                fuzzing (chaos-aware benches)\n"
          "  --param K=V   bench-specific knob (repeatable; e.g. max_n=1000)\n"
          "  --quiet       suppress banner and table\n";
 }

@@ -126,6 +126,15 @@ struct ExperimentOptions {
   /// Everywhere else the CLI rejects the flag outright — silently ignoring
   /// a decomposition knob would misreport what was measured.
   bool shard_aware = false;
+  /// Chaos-aware benches (bench_e21_chaos) accept the three chaos flags;
+  /// everywhere else the CLI rejects them, mirroring shard_aware.
+  bool chaos_aware = false;
+  /// --chaos-seeds N: fuzz seeds per protocol. 0 = the bench's default.
+  std::size_t chaos_seeds = 0;
+  /// --chaos-space FILE: JSON ChaosSpace overriding the built-in space.
+  std::string chaos_space_path;
+  /// --repro FILE: replay one ChaosRepro envelope instead of fuzzing.
+  std::string repro_path;
   bool profile = false;    // kernel self-profiler ("profile" JSON key)
   bool emit_json = true;
   bool quiet = false;
@@ -245,6 +254,15 @@ class ExperimentHarness {
   /// rest ignore them.
   std::size_t sim_shards() const { return opts_.sim_shards; }
   std::size_t sim_threads() const { return opts_.sim_threads; }
+
+  /// --chaos-seeds with a bench default (chaos-aware benches only).
+  std::size_t chaos_seeds(std::size_t fallback) const {
+    return opts_.chaos_seeds == 0 ? fallback : opts_.chaos_seeds;
+  }
+  /// --chaos-space FILE path ("" = built-in space).
+  const std::string& chaos_space_path() const { return opts_.chaos_space_path; }
+  /// --repro FILE path ("" = fuzz mode).
+  const std::string& repro_path() const { return opts_.repro_path; }
   /// Deterministic per-run seed stream: splitmix of (root seed, index).
   std::uint64_t seed_for(std::uint64_t index) const;
 

@@ -160,6 +160,129 @@ class CommitLogInvariant {
 
 namespace invariants {
 
+// -------------------------------------------------------------------------
+// Liveness oracles
+//
+// Safety predicates above say "this must never happen"; liveness oracles say
+// "this must happen by then". Each wraps the `eventually` combinator: the
+// predicate passes silently while the condition is unmet and the deadline has
+// not arrived, latches satisfied forever once the condition samples true, and
+// reports a violation at the first sample at or past the deadline if it never
+// did. Deadlines are absolute sim times, so the chaos engine arms recovery
+// oracles as quiesce_time + recovery_bound after the last fault heals.
+// -------------------------------------------------------------------------
+
+/// Core liveness combinator: `condition` must sample true at or before
+/// `deadline` (absolute sim time). Sticky once satisfied; reports `what`
+/// plus the deadline on expiry. The condition is still consulted at the
+/// expiring sample, so a recovery landing exactly on the deadline passes.
+inline InvariantChecker::Predicate eventually(Simulator& sim, std::string what,
+                                              SimTime deadline,
+                                              std::function<bool()> condition) {
+  auto satisfied = std::make_shared<bool>(false);
+  return [&sim, what = std::move(what), deadline,
+          condition = std::move(condition),
+          satisfied]() -> std::optional<std::string> {
+    if (*satisfied) return std::nullopt;
+    if (condition()) {
+      *satisfied = true;
+      return std::nullopt;
+    }
+    if (sim.now() >= deadline) {
+      return what + " not achieved by t=" + std::to_string(deadline) + "us";
+    }
+    return std::nullopt;
+  };
+}
+
+/// Raft liveness: some node leads by `deadline` (re-election after a crash
+/// or partition heal). Duck-typed over is_leader().
+template <typename Node>
+InvariantChecker::Predicate leader_elected_by(Simulator& sim,
+                                              std::vector<Node*> nodes,
+                                              SimTime deadline) {
+  return eventually(sim, "leader election", deadline,
+                    [nodes = std::move(nodes)] {
+                      for (const Node* n : nodes) {
+                        if (n->is_leader()) return true;
+                      }
+                      return false;
+                    });
+}
+
+/// State-machine liveness: at least `min_nodes` nodes have executed
+/// `target_executed`+ operations by `deadline` (PBFT resumes committing
+/// after a heal). Duck-typed over executed_count().
+template <typename Node>
+InvariantChecker::Predicate commits_resume_by(Simulator& sim,
+                                              std::vector<Node*> nodes,
+                                              std::uint64_t target_executed,
+                                              std::size_t min_nodes,
+                                              SimTime deadline) {
+  return eventually(
+      sim,
+      "commit progress (" + std::to_string(min_nodes) + " nodes at " +
+          std::to_string(target_executed) + "+ executions)",
+      deadline, [nodes = std::move(nodes), target_executed, min_nodes] {
+        std::size_t at_target = 0;
+        for (const Node* n : nodes) {
+          if (n->executed_count() >= target_executed) ++at_target;
+        }
+        return at_target >= min_nodes;
+      });
+}
+
+/// Dissemination liveness: every online node has seen message `id` by
+/// `deadline` (gossip coverage converges after churn/loss). Duck-typed over
+/// online() and has_seen(id).
+template <typename Node>
+InvariantChecker::Predicate coverage_converges_by(Simulator& sim,
+                                                  std::vector<Node*> nodes,
+                                                  std::uint64_t id,
+                                                  SimTime deadline) {
+  return eventually(sim, "full gossip coverage of message " + std::to_string(id),
+                    deadline, [nodes = std::move(nodes), id] {
+                      for (const Node* n : nodes) {
+                        if (n->online() && !n->has_seen(id)) return false;
+                      }
+                      return true;
+                    });
+}
+
+/// Chain liveness: best-tip heights across nodes agree to within
+/// `max_height_gap` by `deadline` (forks resolve after a partition heals).
+/// Duck-typed over tree().best_height().
+template <typename Node>
+InvariantChecker::Predicate tips_converge_by(Simulator& sim,
+                                             std::vector<Node*> nodes,
+                                             std::uint64_t max_height_gap,
+                                             SimTime deadline) {
+  return eventually(
+      sim, "chain tip convergence (gap <= " + std::to_string(max_height_gap) + ")",
+      deadline, [nodes = std::move(nodes), max_height_gap] {
+        if (nodes.empty()) return true;
+        std::uint64_t lo = ~0ull, hi = 0;
+        for (const Node* n : nodes) {
+          const std::uint64_t h = n->tree().best_height();
+          lo = h < lo ? h : lo;
+          hi = h > hi ? h : hi;
+        }
+        return hi - lo <= max_height_gap;
+      });
+}
+
+/// Generic counter oracle: `value()` reaches `target` by `deadline`
+/// (e.g. Kademlia lookup successes after churn; wire value() to the
+/// scenario's success tally). `what` names the count in the violation.
+inline InvariantChecker::Predicate count_reaches(
+    Simulator& sim, std::string what, std::function<std::uint64_t()> value,
+    std::uint64_t target, SimTime deadline) {
+  return eventually(sim, what + " >= " + std::to_string(target), deadline,
+                    [value = std::move(value), target] {
+                      return value() >= target;
+                    });
+}
+
 /// Raft election safety: at most one leader per term. Duck-typed over any
 /// node with is_leader() / term() / index(); remembers which index claimed
 /// each term across samples, so two distinct claimants of one term trip it

@@ -89,7 +89,9 @@ TEST(RelayGolden, GossipBroadcastTrace) {
   sim.run_until(ds::seconds(5));
   nodes[0]->broadcast(/*rumor=*/42, /*payload_bytes=*/1024);
   sim.run_until(ds::seconds(40));
-  check({"gossip", 5941345415559698527ull, 720}, out.str(),
+  // Re-derived when shuffles grew anti-entropy rumor piggybacks (wire sizes
+  // and absorb-side deliveries changed by design).
+  check({"gossip", 2630443463389947157ull, 720}, out.str(),
         sink.records_written());
 }
 
@@ -232,7 +234,9 @@ TEST(RelayGolden, FaultSurfaceTrace) {
   nodes[8]->join({addrs[9], addrs[10], addrs[11]});
   nodes[2]->broadcast(/*rumor=*/8, /*payload_bytes=*/256);
   sim.run_until(ds::seconds(40));
-  check({"fault_surface", 14034679067586568619ull, 354}, out.str(),
+  // Re-derived when shuffles grew anti-entropy rumor piggybacks and the
+  // empty-view bootstrap re-seed (rejoining flapped nodes now re-link).
+  check({"fault_surface", 14910320376708534100ull, 415}, out.str(),
         sink.records_written());
 }
 
