@@ -31,9 +31,10 @@ int main(int argc, char** argv) {
     cfg.wallets = 32;
     cfg.tx_rate_per_sec = 12;
     cfg.common.latency = sim::millis(150);
-    cfg.model_bandwidth = true;  // serialization delay is the story here
-    cfg.uplink_bps = 2e6 / 8;    // 2 Mbit/s consumer uplink
-    cfg.downlink_bps = 16e6 / 8;
+    // Serialization delay is the story here: 2 Mbit/s consumer uplink.
+    cfg.common.transport.mode = net::TransportMode::Bandwidth;
+    cfg.common.transport.link.up_bps = 2e6 / 8;
+    cfg.common.transport.link.down_bps = 16e6 / 8;
     cfg.common.duration = sim::minutes(90);
     cfg.compact_relay = compact;
     const auto r = core::run_pow_scenario(cfg, ex);

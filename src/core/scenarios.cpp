@@ -99,9 +99,8 @@ std::optional<std::string> PowScenarioConfig::validate() const {
     return "PowScenarioConfig: common.latency (median one-way delay) must "
            "be > 0";
   }
-  if (model_bandwidth && (uplink_bps <= 0 || downlink_bps <= 0)) {
-    return "PowScenarioConfig: model_bandwidth needs uplink_bps and "
-           "downlink_bps > 0";
+  if (auto err = common.transport.validate()) {
+    return "PowScenarioConfig: " + *err;
   }
   if (auto err = reject_sharding(common, "PowScenarioConfig")) return err;
   return std::nullopt;
@@ -139,6 +138,9 @@ std::optional<std::string> FabricScenarioConfig::validate() const {
   if (common.latency <= 0) {
     return "FabricScenarioConfig: common.latency (LAN delay) must be > 0";
   }
+  if (auto err = common.transport.validate()) {
+    return "FabricScenarioConfig: " + *err;
+  }
   if (auto err = reject_sharding(common, "FabricScenarioConfig")) return err;
   return std::nullopt;
 }
@@ -160,6 +162,9 @@ std::optional<std::string> PartitionedScenarioConfig::validate() const {
   if (common.latency <= 0) {
     return "PartitionedScenarioConfig: common.latency (LAN delay) must "
            "be > 0";
+  }
+  if (auto err = common.transport.validate()) {
+    return "PartitionedScenarioConfig: " + *err;
   }
   if (auto err = reject_sharding(common, "PartitionedScenarioConfig")) {
     return err;
@@ -183,6 +188,9 @@ std::optional<std::string> EdgeScenarioConfig::validate() const {
     return "EdgeScenarioConfig: request_interval must be > 0";
   }
   if (common.duration <= 0) return "EdgeScenarioConfig: duration must be > 0";
+  if (auto err = common.transport.validate()) {
+    return "EdgeScenarioConfig: " + *err;
+  }
   if (auto err = reject_sharding(common, "EdgeScenarioConfig")) return err;
   return std::nullopt;
 }
@@ -200,9 +208,7 @@ PowScenarioResult run_pow_impl(const PowScenarioConfig& config,
   sim.set_trace(env.trace);
   sim.set_profiler(env.profiler);
   net::NetworkConfig net_cfg;
-  net_cfg.model_bandwidth = config.model_bandwidth;
-  net_cfg.default_uplink_bps = config.uplink_bps;
-  net_cfg.default_downlink_bps = config.downlink_bps;
+  net_cfg.transport = config.common.transport;
   net_cfg.expected_nodes = config.nodes;
   net_cfg.track_spans = config.common.track_spans;
   check_valid(net_cfg.validate());
@@ -233,7 +239,10 @@ PowScenarioResult run_pow_impl(const PowScenarioConfig& config,
     addrs.push_back(net.new_node_id());
   }
   const net::AdjacencyList adj =
-      net::random_graph(config.nodes, config.degree, rng);
+      net::TopologySpec{.kind = net::TopologySpec::Kind::Random,
+                        .nodes = config.nodes,
+                        .degree = config.degree}
+          .build(rng);
   std::vector<std::unique_ptr<chain::FullNode>> nodes;
   for (std::size_t i = 0; i < config.nodes; ++i) {
     nodes.push_back(std::make_unique<chain::FullNode>(net, addrs[i],
@@ -344,7 +353,8 @@ FabricScenarioResult run_fabric_impl(const FabricScenarioConfig& config,
   net::Network net(
       sim,
       std::make_unique<net::LogNormalLatency>(config.common.latency, 0.2),
-      net::NetworkConfig{.expected_nodes = config.orgs * config.peers_per_org +
+      net::NetworkConfig{.transport = config.common.transport,
+                         .expected_nodes = config.orgs * config.peers_per_org +
                                            config.orderer_nodes +
                                            config.clients + 1},
       env.metrics);
@@ -470,7 +480,8 @@ PartitionedScenarioResult run_partitioned_impl(
   sim.set_profiler(env.profiler);
   net::Network net(
       sim, std::make_unique<net::ConstantLatency>(config.common.latency),
-      net::NetworkConfig{.expected_nodes =
+      net::NetworkConfig{.transport = config.common.transport,
+                         .expected_nodes =
                              config.partitions * config.replicas + 1},
       env.metrics);
   sim::Rng rng = sim.rng().fork(0x9A27);
@@ -580,6 +591,7 @@ EdgeScenarioResult run_edge_impl(const EdgeScenarioConfig& config,
       std::make_unique<net::GeoLatency>(config.geo_jitter_sigma);
   net::GeoLatency* geo = geo_model.get();
   net::NetworkConfig net_cfg;
+  net_cfg.transport = config.common.transport;
   // Federation nodes + users, plus the usage ledger's peer/orderer/client.
   net_cfg.expected_nodes =
       1 +

@@ -18,6 +18,7 @@
 
 #include "chain/params.hpp"
 #include "edge/federation.hpp"
+#include "net/transport.hpp"
 #include "sim/time.hpp"
 
 namespace decentnet::sim {
@@ -54,6 +55,10 @@ struct ScenarioCommon {
   /// sim_shards == 1. Results never depend on this — it is purely a
   /// wall-clock knob (the determinism contract in sim/sharding.hpp).
   std::size_t sim_threads = 1;
+  /// The transport model every scenario's Network runs (mode, default
+  /// LinkSpec, Tcp constants — see net/transport.hpp). Defaults to pure
+  /// latency; scenarios validate it uniformly on entry.
+  net::TransportConfig transport;
 };
 
 // ---------------------------------------------------------------------------
@@ -72,11 +77,8 @@ struct PowScenarioConfig {
   chain::Amount tx_amount = 1000;
   chain::Amount tx_fee = 10;
   /// Relay blocks as header+txids (BIP152-style) instead of full bodies.
+  /// Link capacity / congestion modeling moved to common.transport.
   bool compact_relay = false;
-  /// Model per-node link capacity (serialization delay + sender queueing).
-  bool model_bandwidth = false;
-  double uplink_bps = 10e6 / 8;    // bytes/s when model_bandwidth is on
-  double downlink_bps = 50e6 / 8;
 
   /// Actionable description of the first invalid field, or nullopt when the
   /// config is runnable. Runners reject invalid configs on entry.

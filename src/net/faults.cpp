@@ -391,7 +391,7 @@ FaultScheduler::FaultScheduler(Network& net, FaultPlan plan,
       m_restarts_(net.metrics().counter("net/fault/restarts")),
       m_link_faults_(net.metrics().counter("net/fault/link_faults")),
       m_window_faults_(net.metrics().counter("net/fault/window_faults")),
-      saved_bandwidth_(plan_.events().size(), {0, 0}),
+      saved_link_(plan_.events().size()),
       saved_loss_(plan_.events().size(), 0) {}
 
 NodeId FaultScheduler::addr(std::size_t node) const {
@@ -460,9 +460,13 @@ void FaultScheduler::inject(const FaultEvent& ev, std::size_t index) {
     case FaultEvent::Kind::BandwidthDegrade: {
       m_link_faults_.add();
       const NodeId id = addr(ev.node);
-      saved_bandwidth_[index] = {net_.uplink_bps(id), net_.downlink_bps(id)};
-      net_.set_bandwidth(id, saved_bandwidth_[index].first * ev.value,
-                         saved_bandwidth_[index].second * ev.value);
+      // Save the whole LinkSpec and scale only the capacities; the queue
+      // depth rides along unchanged and heal restores the spec verbatim.
+      saved_link_[index] = net_.link(id);
+      LinkSpec degraded = saved_link_[index];
+      degraded.up_bps *= ev.value;
+      degraded.down_bps *= ev.value;
+      net_.set_link(id, degraded);
       break;
     }
     case FaultEvent::Kind::LossBurst:
@@ -493,8 +497,7 @@ void FaultScheduler::heal(const FaultEvent& ev, std::size_t index) {
       net_.set_latency_penalty(addr(ev.node), 0);
       break;
     case FaultEvent::Kind::BandwidthDegrade:
-      net_.set_bandwidth(addr(ev.node), saved_bandwidth_[index].first,
-                         saved_bandwidth_[index].second);
+      net_.set_link(addr(ev.node), saved_link_[index]);
       break;
     case FaultEvent::Kind::LossBurst:
       net_.set_drop_probability(saved_loss_[index]);

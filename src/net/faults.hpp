@@ -185,8 +185,9 @@ class FaultScheduler {
   sim::Counter& m_window_faults_;
   std::uint64_t injected_ = 0;
   std::uint64_t healed_ = 0;
-  // Saved pre-fault link capacities, restored on heal (keyed by event index).
-  std::vector<std::pair<double, double>> saved_bandwidth_;
+  // Saved pre-fault LinkSpec, restored whole on heal (keyed by event index) —
+  // capacities *and* queue depth round-trip through degrade/heal.
+  std::vector<LinkSpec> saved_link_;
   // Pre-fault loss probability for LossBurst heals.
   std::vector<double> saved_loss_;
   std::vector<sim::EventHandle> scheduled_;

@@ -7,14 +7,26 @@
 
 namespace decentnet::net {
 
+TransportConfig NetworkConfig::resolved_transport() const {
+  TransportConfig t = transport;
+  // Deprecated-shim folding: the old knobs override only what they set.
+  // 0 means "unset" for the bps shims (the old defaults live in LinkSpec
+  // now); negative values flow through so validate() can name them.
+  if (model_bandwidth && t.mode == TransportMode::Latency) {
+    t.mode = TransportMode::Bandwidth;
+  }
+  if (default_uplink_bps != 0) t.link.up_bps = default_uplink_bps;
+  if (default_downlink_bps != 0) t.link.down_bps = default_downlink_bps;
+  return t;
+}
+
 std::optional<std::string> NetworkConfig::validate() const {
   if (drop_probability < 0 || drop_probability > 1) {
     return "NetworkConfig: drop_probability must be in [0, 1], got " +
            std::to_string(drop_probability);
   }
-  if (default_uplink_bps <= 0 || default_downlink_bps <= 0) {
-    return "NetworkConfig: default link capacities must be > 0 bytes/s "
-           "(messages would serialize forever)";
+  if (auto err = resolved_transport().validate()) {
+    return "NetworkConfig: " + *err;
   }
   return std::nullopt;
 }
@@ -34,9 +46,11 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<LatencyModel> latency,
       m_dropped_unreachable_(metrics_.counter("net/dropped_unreachable")),
       m_dropped_loss_(metrics_.counter("net/dropped_loss")),
       m_dropped_offline_(metrics_.counter("net/dropped_offline")),
+      m_dropped_queue_(metrics_.counter("net/queue_dropped")),
       m_duplicated_(metrics_.counter("net/duplicated")),
       m_reordered_(metrics_.counter("net/reordered")),
-      m_span_hops_(metrics_.counter("net/span_hops")) {
+      m_span_hops_(metrics_.counter("net/span_hops")),
+      transport_(config.resolved_transport()) {
   if (config_.expected_nodes > 0) reserve_nodes(config_.expected_nodes);
 }
 
@@ -56,7 +70,7 @@ void Network::reserve_nodes(std::size_t n) {
   // Cold arrays stay lazy; but once materialized, keep growth amortized.
   if (!latency_extra_.empty()) latency_extra_.reserve(n);
   if (!unreachable_.empty()) unreachable_.reserve(n);
-  if (!links_.empty()) links_.reserve(n);
+  transport_.reserve(n);
 }
 
 void Network::set_span_tracking(bool on) { config_.track_spans = on; }
@@ -124,12 +138,6 @@ void Network::enable_sharding(sim::ShardedKernel& kernel) {
         "Network::enable_sharding: the Network must be constructed over "
         "kernel.shard(0)");
   }
-  if (config_.model_bandwidth) {
-    throw std::invalid_argument(
-        "Network::enable_sharding: model_bandwidth is not shard-safe (link "
-        "FIFO state is mutated from both endpoints' shards); run with a "
-        "single shard");
-  }
   if (kernel.shard_count() > kSpanShardBitsMax) {
     throw std::invalid_argument(
         "Network::enable_sharding: at most 64 shards (span hop encoding)");
@@ -149,6 +157,7 @@ void Network::enable_sharding(sim::ShardedKernel& kernel) {
     c.m_dropped_unreachable = &reg.counter("net/dropped_unreachable");
     c.m_dropped_loss = &reg.counter("net/dropped_loss");
     c.m_dropped_offline = &reg.counter("net/dropped_offline");
+    c.m_dropped_queue = &reg.counter("net/queue_dropped");
     c.m_duplicated = &reg.counter("net/duplicated");
     c.m_reordered = &reg.counter("net/reordered");
     c.m_span_hops = &reg.counter("net/span_hops");
@@ -165,23 +174,17 @@ sim::MetricRegistry& Network::metrics_for(NodeId id) {
   return kernel_->metrics(kernel_->shard_of(id.value));
 }
 
+void Network::set_link(NodeId id, const LinkSpec& spec) {
+  transport_.set_link(ensure_node(id), spec);
+}
+
 void Network::set_bandwidth(NodeId id, double uplink_bps,
                             double downlink_bps) {
-  LinkState& l = link_state(ensure_node(id));
-  l.uplink_bps = uplink_bps;
-  l.downlink_bps = downlink_bps;
-}
-
-double Network::uplink_bps(NodeId id) {
-  const std::uint32_t idx = table_.index_of(id);
-  return idx < links_.size() ? links_[idx].uplink_bps
-                             : config_.default_uplink_bps;
-}
-
-double Network::downlink_bps(NodeId id) {
-  const std::uint32_t idx = table_.index_of(id);
-  return idx < links_.size() ? links_[idx].downlink_bps
-                             : config_.default_downlink_bps;
+  // Deprecated shim: rewrite only the capacities, preserving queue depth.
+  LinkSpec spec = link(id);
+  spec.up_bps = uplink_bps;
+  spec.down_bps = downlink_bps;
+  set_link(id, spec);
 }
 
 void Network::set_latency_penalty(NodeId id, sim::SimDuration extra) {
@@ -253,15 +256,6 @@ bool Network::partitioned(std::uint32_t a, std::uint32_t b) const {
   return false;
 }
 
-Network::LinkState& Network::link_state(std::uint32_t idx) {
-  if (idx >= links_.size()) {
-    links_.resize(std::max<std::size_t>(table_.size(), idx + 1),
-                  LinkState{config_.default_uplink_bps,
-                            config_.default_downlink_bps, 0, 0});
-  }
-  return links_[idx];
-}
-
 void Network::schedule_delivery(Host** dst, sim::SimTime arrive, Message msg,
                                 std::uint64_t msg_seq) {
   // Detached event: delivery is fire-and-forget — the kernel's hottest path.
@@ -318,21 +312,29 @@ void Network::deliver(Message msg) {
     tr->record({sim_.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
                 msg.size_bytes});
   }
+  std::uint32_t span_parent = 0;
   if (config_.track_spans) {
     // Chain this message into its propagation tree *before* the drop checks:
     // a dropped message is still a tree edge (a pruned one — the "drop"
     // record that follows shares this msg_seq). The hop id is rewritten into
-    // the message so the receiver's relays inherit the right parent.
-    const std::uint32_t parent = msg.span.hop;
-    const std::uint32_t self = alloc_span_hop(parent);
+    // the message so the receiver's relays inherit the right parent. The
+    // "span" record itself is emitted later (emit_span), once the transport
+    // outcome's queuing delay is known — record order is unchanged because
+    // nothing else records in between.
+    span_parent = msg.span.hop;
+    const std::uint32_t self = alloc_span_hop(span_parent);
     msg.span.hop = self;
     if (msg.span.root == 0) msg.span.root = self;
-    if (tr) {
-      tr->record({sim_.now(), "span", "", self, msg.span.root, parent,
-                  span_table_.depth(self)});
-    }
   }
+  const auto emit_span = [&](sim::SimDuration queue_wait) {
+    if (config_.track_spans && tr) {
+      tr->record({sim_.now(), "span", "", msg.span.hop, msg.span.root,
+                  span_parent, span_table_.depth(msg.span.hop),
+                  static_cast<std::uint64_t>(queue_wait)});
+    }
+  };
   const auto trace_drop = [&](const char* reason) {
+    emit_span(0);
     if (tr) {
       tr->record({sim_.now(), "drop", reason, msg_seq, msg.from.value,
                   msg.to.value, msg.size_bytes});
@@ -367,14 +369,20 @@ void Network::deliver(Message msg) {
   }
 
   sim::SimTime depart = sim_.now();
-  if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& tx = link_state(ensure_node(msg.from));
-    const auto ser = static_cast<sim::SimDuration>(
-        static_cast<double>(msg.size_bytes) / tx.uplink_bps *
-        static_cast<double>(sim::kSecond));
-    const sim::SimTime start = std::max(sim_.now(), tx.tx_free_at);
-    tx.tx_free_at = start + ser;
-    depart = tx.tx_free_at;
+  sim::SimDuration rx_serialize = 0;
+  if (transport_.active()) {
+    const Transport::Outcome out = transport_.admit(
+        ensure_node(msg.from), to_idx, msg.size_bytes, sim_.now());
+    if (out.dropped) {
+      m_dropped_queue_.add();
+      trace_drop("queue");
+      return;
+    }
+    depart = out.depart;
+    rx_serialize = out.rx_serialize;
+    emit_span(out.queue_wait);
+  } else {
+    emit_span(0);
   }
 
   sim::SimDuration prop = latency_->sample(msg.from, msg.to, rng_);
@@ -385,17 +393,7 @@ void Network::deliver(Message msg) {
     if (extra > 0) m_reordered_.add();
     prop += extra;
   }
-  sim::SimTime arrive = depart + prop;
-
-  if (config_.model_bandwidth && msg.size_bytes > 0) {
-    LinkState& rx = link_state(to_idx);
-    const auto ser = static_cast<sim::SimDuration>(
-        static_cast<double>(msg.size_bytes) / rx.downlink_bps *
-        static_cast<double>(sim::kSecond));
-    const sim::SimTime start = std::max(arrive, rx.rx_free_at);
-    rx.rx_free_at = start + ser;
-    arrive = rx.rx_free_at;
-  }
+  const sim::SimTime arrive = depart + prop + rx_serialize;
 
   // Duplication window: the copy trails the original by one more latency
   // sample, modelling a retransmit-style duplicate rather than a same-instant
@@ -478,17 +476,22 @@ void Network::deliver_sharded(Message msg) {
     tr->record({cur.now(), "send", "", msg_seq, msg.from.value, msg.to.value,
                 msg.size_bytes});
   }
+  std::uint32_t span_parent = 0;
   if (config_.track_spans) {
-    const std::uint32_t parent = msg.span.hop;
-    const std::uint32_t self = alloc_span_hop_sharded(ctx, s, parent);
+    span_parent = msg.span.hop;
+    const std::uint32_t self = alloc_span_hop_sharded(ctx, s, span_parent);
     msg.span.hop = self;
     if (msg.span.root == 0) msg.span.root = self;
-    if (tr) {
-      tr->record({cur.now(), "span", "", self, msg.span.root, parent,
-                  span_depth(self)});
-    }
   }
+  const auto emit_span = [&](sim::SimDuration queue_wait) {
+    if (config_.track_spans && tr) {
+      tr->record({cur.now(), "span", "", msg.span.hop, msg.span.root,
+                  span_parent, span_depth(msg.span.hop),
+                  static_cast<std::uint64_t>(queue_wait)});
+    }
+  };
   const auto trace_drop = [&](const char* reason) {
+    emit_span(0);
     if (tr) {
       tr->record({cur.now(), "drop", reason, msg_seq, msg.from.value,
                   msg.to.value, msg.size_bytes});
@@ -524,10 +527,30 @@ void Network::deliver_sharded(Message msg) {
     return;
   }
 
-  // No bandwidth model under sharding (enable_sharding rejects it), so
-  // departure is now and the propagation delay is the whole story. Every
-  // additive term is >= 0 with sample() >= min_latency(), which is what
-  // keeps cross-shard arrivals outside the lookahead window.
+  // Transport under sharding is safe because all mutable state is
+  // send-side, keyed by from_idx, and this code runs on the sender's owning
+  // shard (single writer per slot). A kNoIndex sender (never registered —
+  // find-only resolution) skips transport state entirely: infinite uplink.
+  // Every additive term is >= 0 with sample() >= min_latency(), which is
+  // what keeps cross-shard arrivals outside the lookahead window even with
+  // queuing delays.
+  sim::SimTime depart = cur.now();
+  sim::SimDuration rx_serialize = 0;
+  if (transport_.active()) {
+    const Transport::Outcome out =
+        transport_.admit(from_idx, to_idx, msg.size_bytes, cur.now());
+    if (out.dropped) {
+      ctx.m_dropped_queue->add();
+      trace_drop("queue");
+      return;
+    }
+    depart = out.depart;
+    rx_serialize = out.rx_serialize;
+    emit_span(out.queue_wait);
+  } else {
+    emit_span(0);
+  }
+
   sim::SimDuration prop = latency_->sample(msg.from, msg.to, ctx.rng);
   prop += penalty_of(from_idx) + penalty_of(to_idx);
   if (reorder_jitter_ > 0) {
@@ -536,7 +559,7 @@ void Network::deliver_sharded(Message msg) {
     if (extra > 0) ctx.m_reordered->add();
     prop += extra;
   }
-  const sim::SimTime arrive = cur.now() + prop;
+  const sim::SimTime arrive = depart + prop + rx_serialize;
   const std::size_t dst_shard = kernel_->shard_of(msg.to.value);
 
   if (duplicate_probability_ > 0 && ctx.rng.chance(duplicate_probability_)) {

@@ -1,13 +1,16 @@
 // The simulated network: attach Hosts under NodeIds, send typed messages,
-// and let the kernel deliver them after latency + bandwidth delays.
+// and let the kernel deliver them after latency + transport delays.
 //
 // Model: a message leaving `from` first serializes through the sender's
-// uplink (FIFO: the sender's link can only push one message at a time), then
-// propagates (LatencyModel sample), then serializes through the receiver's
-// downlink. Messages to offline nodes are silently dropped, as on the real
-// Internet. The fault surface — uniform loss, overlapping named partitions,
-// NAT unreachability, per-link latency penalties, duplication and reordering
-// windows — is scriptable through net::FaultPlan (see net/faults.hpp).
+// uplink (net::Transport: FIFO queue wait + size/rate, optionally bounded
+// with drop-on-overflow and a TCP-like cwnd — see net/transport.hpp), then
+// propagates (LatencyModel sample), then pays the receiver's stateless
+// downlink serialization. TransportConfig::mode selects how much of that
+// runs; the default (Latency) is pure latency sampling. Messages to offline
+// nodes are silently dropped, as on the real Internet. The fault surface —
+// uniform loss, overlapping named partitions, NAT unreachability, per-link
+// latency penalties, duplication and reordering windows — is scriptable
+// through net::FaultPlan (see net/faults.hpp).
 //
 // Sharded execution (enable_sharding): the Network can route over a
 // sim::ShardedKernel instead of a single Simulator. Hosts live on the shard
@@ -16,11 +19,14 @@
 // contends), and deliveries to another shard travel through the kernel's
 // deterministic mailboxes. The Network also computes the kernel's
 // conservative lookahead from its latency model (min_latency): no message
-// can arrive sooner, which is what makes the window barrier sound.
+// can arrive sooner — transport delays are strictly additive on top of the
+// sample — which is what makes the window barrier sound.
 // Preconditions for the parallel phase (checked or documented below):
-// every NodeId is register_node()'d before run_until, the fault surface
-// (partitions, penalties, unreachability) is configured only between runs,
-// and model_bandwidth is off (link FIFOs are cross-shard mutable state).
+// every NodeId is register_node()'d before run_until, and the fault surface
+// (partitions, penalties, unreachability, link specs) is configured only
+// between runs. Bandwidth/Tcp transport is shard-safe: its mutable state is
+// send-side only, keyed by the sender's dense index, and a node's sends
+// always execute on its owning shard.
 #pragma once
 
 #include <atomic>
@@ -39,6 +45,7 @@
 #include "net/message.hpp"
 #include "net/node_id.hpp"
 #include "net/node_table.hpp"
+#include "net/transport.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -51,12 +58,9 @@ namespace decentnet::net {
 struct NetworkConfig {
   /// Uniform probability that any message is lost in transit.
   double drop_probability = 0.0;
-  /// Default per-node link capacities, bytes per simulated second.
-  /// Defaults approximate a consumer connection (50 Mbit/s down, 10 up).
-  double default_uplink_bps = 10e6 / 8;    // 10 Mbit/s, in bytes/s
-  double default_downlink_bps = 50e6 / 8;  // 50 Mbit/s, in bytes/s
-  /// When false, bandwidth is infinite and only latency applies.
-  bool model_bandwidth = false;
+  /// The transport model: mode (Latency/Bandwidth/Tcp), the default
+  /// LinkSpec, and the Tcp flow constants. See net/transport.hpp.
+  TransportConfig transport;
   /// Expected topology size; pre-sizes the peer table so attach() never
   /// rehashes mid-experiment. 0 keeps the default initial capacity.
   std::size_t expected_nodes = 0;
@@ -67,6 +71,19 @@ struct NetworkConfig {
   /// touches a side table per send, and default-off keeps golden traces
   /// byte-stable.
   bool track_spans = false;
+
+  // --- Deprecated shims (one release): the pre-Transport bandwidth knobs.
+  // When set they fold into `transport` at Network construction / via
+  // resolved_transport(): model_bandwidth selects TransportMode::Bandwidth,
+  // nonzero *_bps override transport.link. New code sets `transport`
+  // directly; these exist so callers migrate in their own PRs.
+  bool model_bandwidth = false;
+  double default_uplink_bps = 0;    // 0 = unset; use transport.link.up_bps
+  double default_downlink_bps = 0;  // 0 = unset; use transport.link.down_bps
+
+  /// `transport` with the deprecated shim fields folded in — what the
+  /// Network actually runs.
+  TransportConfig resolved_transport() const;
 
   /// Actionable description of the first invalid field, or nullopt when the
   /// config is usable. Scenario runners reject invalid configs on entry.
@@ -89,8 +106,10 @@ class Network {
   /// Route this network over a sharded kernel. The Network must have been
   /// constructed over kernel.shard(0); sets the kernel's lookahead from the
   /// latency model and builds one send-side context (RNG stream, counters
-  /// bound into kernel.metrics(s), span table) per shard. Throws on
-  /// configurations that cannot run sharded (model_bandwidth; > 64 shards).
+  /// bound into kernel.metrics(s), span table) per shard. Bandwidth/Tcp
+  /// transport runs sharded too (send-side state only — see
+  /// net/transport.hpp). Throws on configurations that cannot run sharded
+  /// (> 64 shards, span hop encoding).
   /// A 1-shard kernel is a no-op: the legacy path already is that kernel.
   void enable_sharding(sim::ShardedKernel& kernel);
   bool sharded() const { return kernel_ != nullptr; }
@@ -142,10 +161,22 @@ class Network {
   /// registering a large population never reallocates mid-loop.
   void reserve_nodes(std::size_t n);
 
-  /// Per-node link capacity override (bytes per simulated second).
+  /// Per-node link override (capacities in bytes per simulated second plus
+  /// the bounded-queue depth). Configure between runs only — the sharded
+  /// parallel phase reads specs immutably.
+  void set_link(NodeId id, const LinkSpec& spec);
+  /// The spec governing `id` (the config default when never overridden).
+  LinkSpec link(NodeId id) const {
+    return transport_.link(table_.index_of(id));
+  }
+  /// Transport introspection (mode, cwnd state) for tests and benches.
+  const Transport& transport() const { return transport_; }
+
+  // --- Deprecated shims (one release): pre-LinkSpec per-node bandwidth
+  // surface. set_bandwidth preserves the node's queue_bytes.
   void set_bandwidth(NodeId id, double uplink_bps, double downlink_bps);
-  double uplink_bps(NodeId id);
-  double downlink_bps(NodeId id);
+  double uplink_bps(NodeId id) { return link(id).up_bps; }
+  double downlink_bps(NodeId id) { return link(id).down_bps; }
 
   /// Overlapping named partitions. Each partition splits the node space into
   /// groups: listed nodes belong to their group, unlisted nodes to one
@@ -272,17 +303,6 @@ class Network {
   }
 
  private:
-  /// Bandwidth serialization state. The whole array materializes lazily on
-  /// first use (set_bandwidth or a model_bandwidth send): latency-only
-  /// scale runs (E20's million-node overlays) never pay 32 bytes/node for
-  /// idle link FIFOs.
-  struct LinkState {
-    double uplink_bps;
-    double downlink_bps;
-    sim::SimTime tx_free_at = 0;  // sender-side FIFO serialization
-    sim::SimTime rx_free_at = 0;  // receiver-side FIFO serialization
-  };
-
   /// The hot per-node array: one Host* per dense index. Chunked and
   /// pointer-stable — in-flight delivery closures capture the Host** slot,
   /// so appending nodes must never move published slots (a flat vector's
@@ -413,6 +433,7 @@ class Network {
     sim::Counter* m_dropped_unreachable = nullptr;
     sim::Counter* m_dropped_loss = nullptr;
     sim::Counter* m_dropped_offline = nullptr;
+    sim::Counter* m_dropped_queue = nullptr;
     sim::Counter* m_duplicated = nullptr;
     sim::Counter* m_reordered = nullptr;
     sim::Counter* m_span_hops = nullptr;
@@ -435,6 +456,10 @@ class Network {
   std::uint32_t ensure_node(NodeId id) {
     const std::uint32_t idx = table_.intern(id);
     hosts_.ensure(idx);
+    // Transport state grows here too (a no-op branch in Latency mode), so
+    // sharded Bandwidth/Tcp runs — which register every node up front —
+    // never resize the send-side arrays during the parallel phase.
+    transport_.ensure(idx);
     return idx;
   }
   sim::SimDuration penalty_of(std::uint32_t idx) const {
@@ -443,7 +468,6 @@ class Network {
   bool unreachable_at(std::uint32_t idx) const {
     return idx < unreachable_.size() && unreachable_[idx] != 0;
   }
-  LinkState& link_state(std::uint32_t idx);
   bool partitioned(std::uint32_t a, std::uint32_t b) const;
 
   sim::Simulator& sim_;
@@ -460,6 +484,7 @@ class Network {
   sim::Counter& m_dropped_unreachable_;
   sim::Counter& m_dropped_loss_;
   sim::Counter& m_dropped_offline_;
+  sim::Counter& m_dropped_queue_;
   sim::Counter& m_duplicated_;
   sim::Counter& m_reordered_;
   sim::Counter& m_span_hops_;
@@ -483,9 +508,12 @@ class Network {
   /// cost 8 bytes each here, not a 56-byte hash node.
   NodeTable table_;
   HostSlab hosts_;
+  /// Send-side link queues / cwnd state, indexed by table_'s dense index.
+  /// Empty (zero-cost) in Latency mode — E20's million-node overlays never
+  /// pay for idle transport slots.
+  Transport transport_;
   std::vector<sim::SimDuration> latency_extra_;  // empty/short = no penalty
   std::vector<std::uint8_t> unreachable_;        // empty/short = reachable
-  std::vector<LinkState> links_;                 // empty = bandwidth unused
   std::vector<Partition> partitions_;
   /// Non-null once enable_sharding() wired a multi-shard kernel.
   sim::ShardedKernel* kernel_ = nullptr;

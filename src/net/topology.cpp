@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace decentnet::net {
@@ -109,6 +110,74 @@ AdjacencyList barabasi_albert(std::size_t n, std::size_t m, sim::Rng& rng) {
     }
   }
   return adj;
+}
+
+const char* topology_kind_name(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::Random:
+      return "random";
+    case TopologySpec::Kind::ErdosRenyi:
+      return "erdos_renyi";
+    case TopologySpec::Kind::WattsStrogatz:
+      return "watts_strogatz";
+    case TopologySpec::Kind::BarabasiAlbert:
+      return "barabasi_albert";
+  }
+  return "unknown";
+}
+
+std::optional<TopologySpec::Kind> topology_kind_from_name(
+    std::string_view name) {
+  if (name == "random") return TopologySpec::Kind::Random;
+  if (name == "erdos_renyi") return TopologySpec::Kind::ErdosRenyi;
+  if (name == "watts_strogatz") return TopologySpec::Kind::WattsStrogatz;
+  if (name == "barabasi_albert") return TopologySpec::Kind::BarabasiAlbert;
+  return std::nullopt;
+}
+
+std::optional<std::string> TopologySpec::validate() const {
+  if (nodes == 0) {
+    return "TopologySpec: nodes must be > 0";
+  }
+  switch (kind) {
+    case Kind::Random:
+    case Kind::WattsStrogatz:
+    case Kind::BarabasiAlbert:
+      if (degree == 0) {
+        return std::string("TopologySpec: degree must be > 0 for kind=") +
+               topology_kind_name(kind);
+      }
+      break;
+    case Kind::ErdosRenyi:
+      break;
+  }
+  if (kind == Kind::ErdosRenyi || kind == Kind::WattsStrogatz) {
+    if (p < 0 || p > 1) {
+      return std::string("TopologySpec: p must be in [0, 1] for kind=") +
+             topology_kind_name(kind) + ", got " + std::to_string(p);
+    }
+  }
+  return std::nullopt;
+}
+
+AdjacencyList TopologySpec::build(sim::Rng& rng) const {
+  if (auto err = validate()) throw std::invalid_argument(*err);
+  switch (kind) {
+    case Kind::Random:
+      return random_graph(nodes, degree, rng);
+    case Kind::ErdosRenyi:
+      return erdos_renyi(nodes, p, rng);
+    case Kind::WattsStrogatz:
+      return watts_strogatz(nodes, degree, p, rng);
+    case Kind::BarabasiAlbert:
+      return barabasi_albert(nodes, degree, rng);
+  }
+  return AdjacencyList(nodes);
+}
+
+AdjacencyList TopologySpec::build(std::uint64_t seed) const {
+  sim::Rng rng(seed);
+  return build(rng);
 }
 
 bool is_connected(const AdjacencyList& adj) {

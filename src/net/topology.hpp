@@ -1,8 +1,19 @@
 // Graph topology generators for unstructured overlays and blockchain gossip
 // meshes. All return symmetric adjacency lists over dense indices [0, n).
+//
+// Two surfaces: the free functions (one per generator family, take an Rng
+// in-hand) and TopologySpec, a declarative seedable factory mirroring the
+// scenario/config API — spec.validate() names the first bad field,
+// spec.build(seed) is deterministic, and the kind is data (so scenario
+// configs, CLI params, and future topology-import files can all select a
+// generator uniformly).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -27,6 +38,41 @@ AdjacencyList watts_strogatz(std::size_t n, std::size_t k, double beta,
 /// Barabási–Albert preferential attachment with m edges per new node:
 /// produces the power-law degree distributions observed in real overlays.
 AdjacencyList barabasi_albert(std::size_t n, std::size_t m, sim::Rng& rng);
+
+/// Declarative topology selection: which generator, over how many nodes,
+/// with the family's parameters. The factory face of the free functions
+/// above.
+struct TopologySpec {
+  enum class Kind : std::uint8_t {
+    Random,         // random_graph: `degree` out-picks per node
+    ErdosRenyi,     // erdos_renyi: edge probability `p`
+    WattsStrogatz,  // watts_strogatz: `degree` neighbors/side, rewire `p`
+    BarabasiAlbert, // barabasi_albert: `degree` edges per new node
+  };
+
+  Kind kind = Kind::Random;
+  std::size_t nodes = 0;
+  /// Random: out-picks per node. WattsStrogatz: ring neighbors per side.
+  /// BarabasiAlbert: edges per new node. ErdosRenyi: unused.
+  std::size_t degree = 6;
+  /// ErdosRenyi: edge probability. WattsStrogatz: rewire probability.
+  /// Others: unused.
+  double p = 0.0;
+
+  /// Actionable description of the first invalid field, or nullopt when the
+  /// spec is buildable.
+  std::optional<std::string> validate() const;
+
+  /// Generate the graph; draws only from `rng`. Throws std::invalid_argument
+  /// with the validate() message on an invalid spec.
+  AdjacencyList build(sim::Rng& rng) const;
+  /// Seedable convenience: same spec + same seed = same graph.
+  AdjacencyList build(std::uint64_t seed) const;
+};
+
+const char* topology_kind_name(TopologySpec::Kind kind);
+std::optional<TopologySpec::Kind> topology_kind_from_name(
+    std::string_view name);
 
 /// True if the graph is a single connected component.
 bool is_connected(const AdjacencyList& adj);

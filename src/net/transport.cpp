@@ -1,0 +1,157 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace decentnet::net {
+
+const char* transport_mode_name(TransportMode mode) {
+  switch (mode) {
+    case TransportMode::Latency:
+      return "latency";
+    case TransportMode::Bandwidth:
+      return "bandwidth";
+    case TransportMode::Tcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+std::optional<TransportMode> transport_mode_from_name(std::string_view name) {
+  if (name == "latency") return TransportMode::Latency;
+  if (name == "bandwidth") return TransportMode::Bandwidth;
+  if (name == "tcp") return TransportMode::Tcp;
+  return std::nullopt;
+}
+
+std::optional<std::string> TransportConfig::validate() const {
+  if (!(link.up_bps > 0)) {
+    return "TransportConfig::link.up_bps must be > 0 (bytes per second), got " +
+           std::to_string(link.up_bps);
+  }
+  if (!(link.down_bps > 0)) {
+    return "TransportConfig::link.down_bps must be > 0 (bytes per second), "
+           "got " +
+           std::to_string(link.down_bps);
+  }
+  if (mode == TransportMode::Tcp) {
+    if (mss_bytes == 0) {
+      return "TransportConfig::mss_bytes must be > 0 in Tcp mode";
+    }
+    if (!(initial_cwnd_mss > 0)) {
+      return "TransportConfig::initial_cwnd_mss must be > 0 in Tcp mode, "
+             "got " +
+             std::to_string(initial_cwnd_mss);
+    }
+    if (rtt <= 0) {
+      return "TransportConfig::rtt must be > 0 in Tcp mode, got " +
+             std::to_string(rtt) + "us";
+    }
+  }
+  return std::nullopt;
+}
+
+void Transport::set_link(std::uint32_t idx, const LinkSpec& spec) {
+  if (idx == kNoIndex) return;
+  if (idx >= spec_.size()) {
+    // Materialize the whole override array at the defaults the first time
+    // any node deviates; reads past the end keep meaning "default".
+    spec_.resize(static_cast<std::size_t>(idx) + 1, cfg_.link);
+  }
+  spec_[idx] = spec;
+  if (active() && idx >= tx_.size()) grow(idx);
+}
+
+void Transport::reserve(std::size_t n) {
+  if (n == 0) return;
+  if (active()) tx_.reserve(n);
+  if (!spec_.empty()) spec_.reserve(n);
+}
+
+void Transport::grow(std::uint32_t idx) {
+  tx_.resize(static_cast<std::size_t>(idx) + 1);
+}
+
+double Transport::ssthresh_bytes(std::uint32_t idx) const {
+  if (idx >= tx_.size() || tx_[idx].cwnd <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return tx_[idx].ssthresh;
+}
+
+double Transport::send_rate(const LinkSpec& spec, TxState& tx) const {
+  if (cfg_.mode != TransportMode::Tcp) return spec.up_bps;
+  if (tx.cwnd <= 0) {
+    // First send from this node: open the flow at the initial window with
+    // an effectively-unbounded slow-start threshold.
+    tx.cwnd = cfg_.initial_cwnd_mss * static_cast<double>(cfg_.mss_bytes);
+    tx.ssthresh = std::numeric_limits<double>::infinity();
+  }
+  const double rtt_s = sim::to_seconds(cfg_.rtt);
+  return std::min(spec.up_bps, tx.cwnd / rtt_s);
+}
+
+Transport::Outcome Transport::admit(std::uint32_t from, std::uint32_t to,
+                                    std::uint64_t size_bytes,
+                                    sim::SimTime now) {
+  Outcome out;
+  out.depart = now;
+  if (size_bytes == 0) return out;  // control messages serialize for free
+
+  // Receiver-side downlink serialization is stateless: computed from the
+  // receiver's spec alone, so a sender's shard never mutates receiver state.
+  {
+    const LinkSpec rx = link(to);
+    out.rx_serialize = static_cast<sim::SimDuration>(
+        static_cast<double>(size_bytes) / rx.down_bps *
+        static_cast<double>(sim::kSecond));
+  }
+
+  if (from == kNoIndex) return out;  // unknown sender: infinite uplink
+  if (from >= tx_.size()) grow(from);
+  const LinkSpec spec = link(from);
+  TxState& tx = tx_[from];
+  const double rate = send_rate(spec, tx);
+  const double mss = static_cast<double>(cfg_.mss_bytes);
+
+  // Backlog already committed to the uplink, in bytes: busy time ahead of
+  // `now` times the current effective rate. (Under Tcp the historical bytes
+  // were committed at possibly different rates; busy-time * current-rate is
+  // the deterministic first-order estimate.)
+  if (spec.queue_bytes > 0) {
+    const sim::SimDuration busy = tx.free_at > now ? tx.free_at - now : 0;
+    const double backlog = sim::to_seconds(busy) * rate;
+    if (backlog + static_cast<double>(size_bytes) >
+        static_cast<double>(spec.queue_bytes)) {
+      out.dropped = true;
+      if (cfg_.mode == TransportMode::Tcp && tx.cwnd > 0) {
+        // Loss signal: multiplicative decrease, floor of two segments.
+        tx.ssthresh = std::max(tx.cwnd / 2.0, 2.0 * mss);
+        tx.cwnd = tx.ssthresh;
+      }
+      return out;
+    }
+  }
+
+  const sim::SimTime start = std::max(now, tx.free_at);
+  const auto serialize = static_cast<sim::SimDuration>(
+      static_cast<double>(size_bytes) / rate *
+      static_cast<double>(sim::kSecond));
+  tx.free_at = start + serialize;
+  out.depart = tx.free_at;
+  out.queue_wait = start - now;
+
+  if (cfg_.mode == TransportMode::Tcp) {
+    // Growth per delivered burst: slow start adds the burst size (doubling
+    // per window's worth of traffic), congestion avoidance adds ~one MSS
+    // per cwnd's worth (AIMD additive increase).
+    if (tx.cwnd < tx.ssthresh) {
+      tx.cwnd += static_cast<double>(size_bytes);
+    } else {
+      tx.cwnd += mss * static_cast<double>(size_bytes) / tx.cwnd;
+    }
+  }
+  return out;
+}
+
+}  // namespace decentnet::net

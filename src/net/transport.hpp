@@ -1,0 +1,165 @@
+// Byte-accurate transport: per-link FIFO queues with serialization delay,
+// bounded queue depth with drop-on-overflow, and a TCP-like flow model
+// (slow start, AIMD congestion avoidance, loss-triggered backoff).
+//
+// This is the bandwidth half of delivery. The Network composes three delays
+// per message: sender-side transport (this file: queue wait + uplink
+// serialization, possibly cwnd-limited), propagation (LatencyModel sample),
+// and receiver-side downlink serialization (stateless: size / down_bps).
+//
+// Shard safety is by construction, not locking. All mutable transport state
+// is *send-side* and indexed by the sender's dense node index; a node's
+// sends always execute on the shard that owns it (kernel.shard_of), so each
+// TxState slot has exactly one writer. The receiver-side downlink delay is
+// computed from the immutable-during-run LinkSpec alone (no rx FIFO), which
+// is what lets enable_sharding accept Bandwidth/Tcp runs and extends the
+// --sim-threads byte-identity contract to them. Adjacent TxState slots can
+// share a cache line across shards — that is a false-sharing perf note, not
+// a correctness hazard.
+//
+// Every transport delay is strictly additive and >= 0 on top of the latency
+// sample, so the sharded kernel's conservative lookahead (min_latency) stays
+// a valid lower bound on delivery times (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace decentnet::net {
+
+enum class TransportMode : std::uint8_t {
+  /// Infinite bandwidth: delivery is the latency sample alone. Default —
+  /// keeps golden traces of latency-only experiments byte-stable.
+  Latency,
+  /// Finite links: sender-side FIFO serialization at up_bps (queue wait +
+  /// size/rate), bounded backlog with drop-on-overflow, stateless downlink
+  /// serialization at the receiver's down_bps.
+  Bandwidth,
+  /// Bandwidth plus a TCP-like per-sender flow model: the effective send
+  /// rate is min(up_bps, cwnd/rtt); cwnd grows by slow start then AIMD and
+  /// halves when the sender's queue overflows (loss signal).
+  Tcp,
+};
+
+const char* transport_mode_name(TransportMode mode);
+std::optional<TransportMode> transport_mode_from_name(std::string_view name);
+
+/// Capacity of one node's access link, bytes per simulated second (divide
+/// Mbit/s by 8). Defaults approximate a consumer connection: 50 Mbit/s down,
+/// 10 Mbit/s up, unbounded queue (no overflow drops unless opted in).
+struct LinkSpec {
+  double up_bps = 10e6 / 8;
+  double down_bps = 50e6 / 8;
+  /// Maximum sender-side backlog in bytes; a send that would push the
+  /// queued-but-unserialized backlog past this is dropped (traced "queue",
+  /// counted under net/queue_dropped). 0 = unbounded.
+  std::uint64_t queue_bytes = 0;
+
+  bool operator==(const LinkSpec&) const = default;
+};
+
+struct TransportConfig {
+  TransportMode mode = TransportMode::Latency;
+  /// Default link for every node; override per node with
+  /// Network::set_link.
+  LinkSpec link;
+  /// Tcp mode: segment size used for cwnd growth/backoff arithmetic.
+  std::uint32_t mss_bytes = 1460;
+  /// Tcp mode: initial congestion window, in segments (RFC 6928's IW10).
+  double initial_cwnd_mss = 10.0;
+  /// Tcp mode: nominal round-trip time used to turn cwnd into a rate
+  /// (rate = cwnd / rtt). A modeling constant, not a measured RTT.
+  sim::SimDuration rtt = sim::millis(100);
+
+  /// Actionable description of the first invalid field, or nullopt when
+  /// usable.
+  std::optional<std::string> validate() const;
+};
+
+/// Send-side transport state for every node, struct-of-arrays behind the
+/// Network's dense node index. Owned by Network; not a public entry point —
+/// Network::deliver calls admit() per message and turns the outcome into
+/// counters, trace records, and the scheduled arrival.
+class Transport {
+ public:
+  explicit Transport(TransportConfig config = {}) : cfg_(config) {}
+
+  const TransportConfig& config() const { return cfg_; }
+  TransportMode mode() const { return cfg_.mode; }
+  /// True when sends must route through admit() (mode != Latency).
+  bool active() const { return cfg_.mode != TransportMode::Latency; }
+
+  /// Per-node link override. Materializes the spec array on first use;
+  /// nodes without an override use config().link.
+  void set_link(std::uint32_t idx, const LinkSpec& spec);
+  /// The spec governing `idx` (the default when never overridden). Safe for
+  /// any index, including kNoIndex.
+  LinkSpec link(std::uint32_t idx) const {
+    return idx < spec_.size() ? spec_[idx] : cfg_.link;
+  }
+
+  /// Guarantee state slots [0, idx] exist. Called from Network::ensure_node
+  /// while active(); sharded runs therefore cover every node during
+  /// registration, and the parallel phase never grows the arrays.
+  void ensure(std::uint32_t idx) {
+    if (active() && idx != kNoIndex && idx >= tx_.size()) grow(idx);
+  }
+  void reserve(std::size_t n);
+
+  struct Outcome {
+    /// Dropped on queue overflow: the message never departs. In Tcp mode the
+    /// sender's cwnd has already been halved (loss reaction).
+    bool dropped = false;
+    /// When the last byte clears the sender's uplink; propagation starts
+    /// here.
+    sim::SimTime depart = 0;
+    /// Time the message waited behind earlier traffic before its own
+    /// serialization began (depart - serialization - now). The "queue_us"
+    /// span-trace field.
+    sim::SimDuration queue_wait = 0;
+    /// Receiver-side downlink serialization, added after propagation.
+    sim::SimDuration rx_serialize = 0;
+  };
+
+  /// Commit one message of `size_bytes` from sender `from` to receiver `to`
+  /// at `now`. Mutates the sender's FIFO/cwnd state — under sharding the
+  /// caller must be the shard that owns `from`. `from` == kNoIndex (a
+  /// never-registered sender under sharded find-only resolution) is treated
+  /// as an infinite link: no state, no delay.
+  Outcome admit(std::uint32_t from, std::uint32_t to,
+                std::uint64_t size_bytes, sim::SimTime now);
+
+  /// Tcp-mode introspection (tests and benches): current congestion window
+  /// and slow-start threshold of `idx`, in bytes. 0 / +inf before the
+  /// node's first send.
+  double cwnd_bytes(std::uint32_t idx) const {
+    return idx < tx_.size() ? tx_[idx].cwnd : 0.0;
+  }
+  double ssthresh_bytes(std::uint32_t idx) const;
+
+ private:
+  static constexpr std::uint32_t kNoIndex = ~0u;  // NodeTable::kNoIndex
+
+  struct TxState {
+    sim::SimTime free_at = 0;  // uplink FIFO: busy until here
+    double cwnd = 0.0;         // bytes; 0 = not yet initialized
+    double ssthresh = 0.0;
+  };
+
+  void grow(std::uint32_t idx);
+  double send_rate(const LinkSpec& spec, TxState& tx) const;
+
+  TransportConfig cfg_;
+  /// Per-node LinkSpec; empty until the first set_link (uniform-link runs
+  /// never pay for it), then kept sized alongside tx_.
+  std::vector<LinkSpec> spec_;
+  /// Send-side FIFO/cwnd state, one slot per dense node index. Single
+  /// writer per slot (the owning shard).
+  std::vector<TxState> tx_;
+};
+
+}  // namespace decentnet::net

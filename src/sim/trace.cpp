@@ -54,6 +54,12 @@ void append_record_json(std::string& out, const TraceRecord& rec) {
     out += ",\"bytes\":";
     out += std::to_string(rec.bytes);
   }
+  if (rec.queue_us != 0) {
+    // Nonzero only on "span" records under Bandwidth/Tcp transport, so
+    // latency-only golden traces stay byte-identical.
+    out += ",\"queue_us\":";
+    out += std::to_string(rec.queue_us);
+  }
   out += "}\n";
 }
 

@@ -39,10 +39,12 @@ namespace decentnet::sim {
 ///                   bytes=wire size
 ///   kind="span"   — causal hop allocated (span tracking on): id=hop id,
 ///                   a=tree root hop, b=parent hop (0 = root), bytes=tree
-///                   depth. tag="root" marks a virtual root opened by
-///                   Network::new_span_root(); otherwise the record follows
-///                   its message's "send" record immediately (same send,
-///                   matching msg seq)
+///                   depth, queue_us=sender-side queuing delay this hop
+///                   waited behind earlier traffic (Bandwidth/Tcp transport;
+///                   0 — and omitted from JSON — in Latency mode). tag="root"
+///                   marks a virtual root opened by Network::new_span_root();
+///                   otherwise the record follows its message's "send" record
+///                   immediately (same send, matching msg seq)
 ///   kind="warn"   — kernel configuration warning, emitted once: tag=what
 ///                   ("sharding/zero_lookahead": degenerate lookahead forced
 ///                   the sharded kernel into sequential stepping; a=shard
@@ -58,6 +60,7 @@ struct TraceRecord {
   std::uint64_t a = 0;     // kind-specific
   std::uint64_t b = 0;     // kind-specific
   std::uint64_t bytes = 0; // payload size for net records
+  std::uint64_t queue_us = 0;  // sender-side queuing delay ("span" records)
 };
 
 /// Receives trace records. Implementations must not re-enter the simulator.

@@ -49,8 +49,8 @@ TEST(ConfigValidation, PowRejectsBadShapes) {
   EXPECT_TRUE(cfg.validate().has_value());
 
   cfg = dc::PowScenarioConfig{};
-  cfg.model_bandwidth = true;
-  cfg.uplink_bps = 0;
+  cfg.common.transport.mode = dn::TransportMode::Bandwidth;
+  cfg.common.transport.link.up_bps = 0;
   EXPECT_TRUE(cfg.validate().has_value());
 }
 
@@ -100,8 +100,17 @@ TEST(ConfigValidation, NetworkRejectsBadProbabilityAndCapacity) {
   EXPECT_NE(err->find("drop_probability"), std::string::npos);
 
   cfg = dn::NetworkConfig{};
-  cfg.default_uplink_bps = 0;
-  EXPECT_TRUE(cfg.validate().has_value());
+  cfg.transport.link.up_bps = 0;
+  auto terr = cfg.validate();
+  ASSERT_TRUE(terr.has_value());
+  EXPECT_NE(terr->find("up_bps"), std::string::npos);
+
+  dn::TransportConfig tcfg;
+  tcfg.mode = dn::TransportMode::Tcp;
+  tcfg.mss_bytes = 0;
+  auto merr = tcfg.validate();
+  ASSERT_TRUE(merr.has_value());
+  EXPECT_NE(merr->find("mss_bytes"), std::string::npos);
 }
 
 TEST(ConfigValidation, KademliaNodeRejectsInvalidConfig) {

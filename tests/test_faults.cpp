@@ -121,9 +121,9 @@ TEST(FaultScheduler, PartitionInjectsAndHealsOnSchedule) {
 TEST(FaultScheduler, LinkFaultsApplyAndRestore) {
   ds::Simulator sim;
   dn::NetworkConfig cfg;
-  cfg.model_bandwidth = true;
-  cfg.default_uplink_bps = 1e6;
-  cfg.default_downlink_bps = 1e9;
+  cfg.transport.mode = dn::TransportMode::Bandwidth;
+  cfg.transport.link.up_bps = 1e6;
+  cfg.transport.link.down_bps = 1e9;
   dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)),
                   cfg);
   const auto ida = net.new_node_id();
@@ -141,14 +141,15 @@ TEST(FaultScheduler, LinkFaultsApplyAndRestore) {
   dn::FaultScheduler faults(net, plan, std::move(targets));
   faults.start();
 
-  const double up_before = net.uplink_bps(ida);
+  const dn::LinkSpec before = net.link(ida);
   sim.run_until(ds::millis(1500));
   EXPECT_EQ(net.latency_penalty(ida), ds::millis(500));
-  EXPECT_DOUBLE_EQ(net.uplink_bps(ida), up_before * 0.5);
+  EXPECT_DOUBLE_EQ(net.link(ida).up_bps, before.up_bps * 0.5);
+  EXPECT_DOUBLE_EQ(net.link(ida).down_bps, before.down_bps * 0.5);
   EXPECT_DOUBLE_EQ(net.drop_probability(), 1.0);
   sim.run_until(ds::millis(2500));
   EXPECT_EQ(net.latency_penalty(ida), 0);
-  EXPECT_DOUBLE_EQ(net.uplink_bps(ida), up_before);
+  EXPECT_TRUE(net.link(ida) == before);
   EXPECT_DOUBLE_EQ(net.drop_probability(), 0.0);
   EXPECT_EQ(faults.injected(), 3u);
   EXPECT_EQ(faults.healed(), 3u);

@@ -289,9 +289,9 @@ TEST(Network, ReorderJitterBreaksFifoDelivery) {
 TEST(Network, BandwidthSerializesLargeMessages) {
   ds::Simulator sim;
   dn::NetworkConfig cfg;
-  cfg.model_bandwidth = true;
-  cfg.default_uplink_bps = 1e6;    // 1 MB/s
-  cfg.default_downlink_bps = 1e9;  // negligible
+  cfg.transport.mode = dn::TransportMode::Bandwidth;
+  cfg.transport.link.up_bps = 1e6;    // 1 MB/s
+  cfg.transport.link.down_bps = 1e9;  // negligible
   dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(10)),
                   cfg);
   Probe a, b;
@@ -310,9 +310,9 @@ TEST(Network, BandwidthSerializesLargeMessages) {
 TEST(Network, SenderQueueIsFifo) {
   ds::Simulator sim;
   dn::NetworkConfig cfg;
-  cfg.model_bandwidth = true;
-  cfg.default_uplink_bps = 1e6;
-  cfg.default_downlink_bps = 1e9;
+  cfg.transport.mode = dn::TransportMode::Bandwidth;
+  cfg.transport.link.up_bps = 1e6;
+  cfg.transport.link.down_bps = 1e9;
   dn::Network net(sim, std::make_unique<dn::ConstantLatency>(ds::millis(1)),
                   cfg);
   Probe a, b;

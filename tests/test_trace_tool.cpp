@@ -27,7 +27,7 @@ const char* kFixture = R"({"t":0,"kind":"span","tag":"root","id":1,"a":1}
 {"t":0,"kind":"sched","tag":"net/deliver","id":11,"a":80}
 {"t":50,"kind":"fire","id":10}
 {"t":50,"kind":"send","id":3,"a":8,"b":9,"bytes":100}
-{"t":50,"kind":"span","id":4,"a":1,"b":2,"bytes":2}
+{"t":50,"kind":"span","id":4,"a":1,"b":2,"bytes":2,"queue_us":25}
 {"t":50,"kind":"dup","id":3,"a":8,"b":9,"bytes":100}
 {"t":50,"kind":"sched","tag":"net/deliver","id":12,"a":160}
 {"t":50,"kind":"sched","tag":"net/deliver","id":13,"a":120}
@@ -116,6 +116,7 @@ TEST(TraceTool, BuildsTreesAcrossSegments) {
   EXPECT_EQ(t0.covered, 3u);
   EXPECT_EQ(t0.depth_max, 2u);
   EXPECT_EQ(t0.fanout_max, 2u);
+  EXPECT_EQ(t0.queue_max_us, 25u);
   EXPECT_EQ(t0.t90, 80);
   EXPECT_EQ(t0.t100, 80);
   // The duplicated delivery schedules two net/deliver events; arrival is
@@ -126,6 +127,7 @@ TEST(TraceTool, BuildsTreesAcrossSegments) {
       found_relay = true;
       EXPECT_EQ(h.arrive_t, 120);
       EXPECT_EQ(h.msg_seq, 3u);
+      EXPECT_EQ(h.queue_us, 25u);  // sender-queue wait rides on the span
     }
     if (h.id == 5) {
       EXPECT_TRUE(h.dropped);
@@ -151,11 +153,11 @@ TEST(TraceTool, TreeStatsTextIsPinned) {
       tt::tree_stats_text(trees, 10),
       "trees: 2 (showing 2, by edges)\n"
       " seg    root    origin   edges delivered dropped covered depth"
-      " fanout    t90_us   t100_us\n"
+      " fanout   qmax_us    t90_us   t100_us\n"
       "   0       1         7       4         3       1       3     2"
-      "      2        80        80\n"
+      "      2        25        80        80\n"
       "   1       1         3       1         1       0       2     0"
-      "      0        30        30\n");
+      "      0         0        30        30\n");
 }
 
 TEST(TraceTool, ChromeTraceJsonIsPinned) {
@@ -167,21 +169,21 @@ TEST(TraceTool, ChromeTraceJsonIsPinned) {
       "\"seg 0 tree 1 origin node 7\"}},\n"
       "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":50,\"name\":"
       "\"7->8\",\"cat\":\"span\",\"args\":{\"hop\":2,\"parent\":1,\"seq\":1,"
-      "\"bytes\":100,\"dropped\":0}},\n"
+      "\"bytes\":100,\"queue_us\":0,\"dropped\":0}},\n"
       "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":0,\"dur\":80,\"name\":"
       "\"7->9\",\"cat\":\"span\",\"args\":{\"hop\":3,\"parent\":1,\"seq\":2,"
-      "\"bytes\":100,\"dropped\":0}},\n"
+      "\"bytes\":100,\"queue_us\":0,\"dropped\":0}},\n"
       "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":50,\"dur\":70,\"name\":"
       "\"8->9\",\"cat\":\"span\",\"args\":{\"hop\":4,\"parent\":2,\"seq\":3,"
-      "\"bytes\":100,\"dropped\":0}},\n"
+      "\"bytes\":100,\"queue_us\":25,\"dropped\":0}},\n"
       "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":50,\"dur\":0,\"name\":"
       "\"8->10\",\"cat\":\"span\",\"args\":{\"hop\":5,\"parent\":2,\"seq\":4,"
-      "\"bytes\":100,\"dropped\":1}},\n"
+      "\"bytes\":100,\"queue_us\":0,\"dropped\":1}},\n"
       "{\"ph\":\"M\",\"pid\":100000001,\"name\":\"process_name\",\"args\":{"
       "\"name\":\"seg 1 tree 1 origin node 3\"}},\n"
       "{\"ph\":\"X\",\"pid\":100000001,\"tid\":0,\"ts\":0,\"dur\":30,"
       "\"name\":\"3->4\",\"cat\":\"span\",\"args\":{\"hop\":1,\"parent\":0,"
-      "\"seq\":1,\"bytes\":50,\"dropped\":0}}\n"
+      "\"seq\":1,\"bytes\":50,\"queue_us\":0,\"dropped\":0}}\n"
       "],\"displayTimeUnit\":\"ms\"}\n");
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over an E20 BENCH JSON artifact.
+"""Perf-regression gate over a BENCH JSON artifact.
 
 Compares the throughput cells of a fresh bench run against the checked-in
 baselines (bench/baselines.json) and fails — exit 1 — when a pinned point
@@ -9,17 +9,22 @@ regresses past the tolerances:
   * peak_rss_mb     more than --rss-growth above baseline (default 10%)
 
 Usage:
-  # gate (CI): run the pinned E20 point, then
+  # gate (CI): run a pinned bench, then
   ./bench/bench_e20_scale --quiet --json e20.json
   python3 tools/perf_gate.py e20.json --baselines bench/baselines.json
 
   # refresh baselines after an intentional perf change:
   python3 tools/perf_gate.py e20.json --baselines bench/baselines.json --update
 
-Baselines are keyed by (overlay, n); only rows whose key appears in the
-baseline file are gated, so a JSON with extra sweep points (e.g. the 1M
-point) gates only the pinned ones. Wall-clock cells must be present in the
-JSON — run the bench with the default timings_in_json=1.
+The baseline file holds rows for several benches: each row's "bench" field
+names the experiment id it belongs to (the "id" key of the BENCH JSON), and
+only rows whose "bench" matches the fresh artifact are gated or updated.
+Rows without a "bench" field gate against every artifact (legacy layout).
+Within a bench, rows are keyed by their identifying cells (overlay/n for
+E20, sweep/mode/links/block_kb for E22); only fresh rows whose key appears
+in the baseline file are gated, so a JSON with extra sweep points gates only
+the pinned ones. Wall-clock cells must be present in the JSON — run the
+bench with the default timings_in_json=1.
 
 CI override: maintainers label a PR `perf-baseline-reset` to skip the gate
 for an intentional regression (new feature with a known cost); the same PR
@@ -37,8 +42,22 @@ import json
 import sys
 
 
+# Cells that identify a row within its bench. Absent cells key as None, so
+# benches using disjoint subsets coexist (E20 rows key on overlay/n, E22
+# rows on sweep/mode/links/block_kb).
+KEY_FIELDS = ("overlay", "n", "sweep", "mode", "links", "block_kb")
+
+
 def row_key(row):
-    return (row.get("overlay"), row.get("n"))
+    return tuple(row.get(k) for k in KEY_FIELDS)
+
+
+def key_label(key):
+    return "/".join(str(v) for v in key if v is not None) or "?"
+
+
+def gates_this_bench(baseline_row, fresh_id):
+    return baseline_row.get("bench") in (None, fresh_id)
 
 
 def load_rows(path):
@@ -64,7 +83,8 @@ def main():
                     help="machine-class label recorded with --update")
     args = ap.parse_args()
 
-    _, fresh_rows = load_rows(args.bench_json)
+    fresh_data, fresh_rows = load_rows(args.bench_json)
+    fresh_id = fresh_data.get("id")
     fresh = {}
     for row in fresh_rows:
         if "events_per_sec" not in row or "peak_rss_mb" not in row:
@@ -75,36 +95,43 @@ def main():
     if args.update:
         with open(args.baselines) as f:
             base = json.load(f)
-        pinned = [row_key(r) for r in base.get("rows", [])]
         base["machine"] = args.machine
-        base["rows"] = [
-            {
-                "overlay": k[0],
-                "n": k[1],
-                "events_per_sec": fresh[k]["events_per_sec"],
-                "peak_rss_mb": fresh[k]["peak_rss_mb"],
-            }
-            for k in pinned
-            if k in fresh
-        ]
-        missing = [k for k in pinned if k not in fresh]
+        missing = []
+        updated = 0
+        for brow in base.get("rows", []):
+            if not gates_this_bench(brow, fresh_id):
+                continue  # another bench's row: leave untouched
+            key = row_key(brow)
+            frow = fresh.get(key)
+            if frow is None:
+                missing.append(key_label(key))
+                continue
+            brow["events_per_sec"] = frow["events_per_sec"]
+            brow["peak_rss_mb"] = frow["peak_rss_mb"]
+            updated += 1
         if missing:
             sys.exit(f"perf_gate: fresh run lacks pinned points {missing}")
+        if updated == 0:
+            sys.exit(f"perf_gate: no baseline rows belong to bench "
+                     f"{fresh_id!r}")
         with open(args.baselines, "w") as f:
             json.dump(base, f, indent=2)
             f.write("\n")
-        print(f"perf_gate: baselines rewritten ({len(base['rows'])} rows, "
-              f"machine={args.machine})")
+        print(f"perf_gate: baselines rewritten ({updated} rows for "
+              f"{fresh_id}, machine={args.machine})")
         return
 
     base_data, base_rows = load_rows(args.baselines)
     failures = []
     gated = 0
     for brow in base_rows:
+        if not gates_this_bench(brow, fresh_id):
+            continue  # pinned for a different bench
         key = row_key(brow)
         frow = fresh.get(key)
         if frow is None:
-            failures.append(f"{key}: pinned point missing from fresh run")
+            failures.append(
+                f"{key_label(key)}: pinned point missing from fresh run")
             continue
         gated += 1
         eps_base, eps_now = brow["events_per_sec"], frow["events_per_sec"]
@@ -121,13 +148,13 @@ def main():
                 f"peak RSS {rss_now:.1f} MB > ceiling {rss_ceil:.1f} MB "
                 f"(baseline {rss_base:.1f}, +{args.rss_growth:.0%})")
         status = "FAIL" if verdict else "ok"
-        print(f"  {key[0]}@{key[1]}: events/sec {eps_now:.0f} "
+        print(f"  {key_label(key)}: events/sec {eps_now:.0f} "
               f"(baseline {eps_base:.0f}), peak RSS {rss_now:.1f} MB "
               f"(baseline {rss_base:.1f}) ... {status}")
         for v in verdict:
-            failures.append(f"{key}: {v}")
+            failures.append(f"{key_label(key)}: {v}")
     if gated == 0:
-        sys.exit("perf_gate: no baseline rows matched the fresh run")
+        sys.exit(f"perf_gate: no baseline rows matched bench {fresh_id!r}")
     if failures:
         print(f"\nperf_gate: FAIL (machine class: "
               f"{base_data.get('machine', '?')})", file=sys.stderr)

@@ -94,6 +94,7 @@ Record parse_line(const std::string& line, std::size_t lineno) {
       else if (key == "a") rec.a = v;
       else if (key == "b") rec.b = v;
       else if (key == "bytes") rec.bytes = v;
+      else if (key == "queue_us") rec.queue_us = v;
       // unknown numeric fields are tolerated and dropped
     }
     skip_ws();
@@ -200,6 +201,7 @@ std::vector<Tree> build_trees(const std::vector<Record>& records) {
       h.parent = static_cast<std::uint32_t>(r.b);
       h.depth = static_cast<std::uint32_t>(r.bytes);
       h.send_t = r.t;
+      h.queue_us = r.queue_us;
       if (r.tag == "root") {
         h.virtual_root = true;
       } else if (last_send != nullptr) {
@@ -241,6 +243,7 @@ std::vector<Tree> build_trees(const std::vector<Record>& records) {
       ++tree.edges;
       if (h.dropped) ++tree.dropped; else ++tree.delivered;
       tree.depth_max = std::max(tree.depth_max, h.depth);
+      tree.queue_max_us = std::max(tree.queue_max_us, h.queue_us);
       if (h.parent != 0) {
         tree.fanout_max = std::max(tree.fanout_max, ++children[h.parent]);
       }
@@ -310,6 +313,7 @@ std::string tree_stats_text(const std::vector<Tree>& trees,
      << std::setw(8) << "edges" << std::setw(10) << "delivered"
      << std::setw(8) << "dropped" << std::setw(8) << "covered"
      << std::setw(6) << "depth" << std::setw(7) << "fanout"
+     << std::setw(10) << "qmax_us"
      << std::setw(10) << "t90_us" << std::setw(10) << "t100_us" << "\n";
   for (std::size_t i = 0; i < shown; ++i) {
     const Tree& t = trees[i];
@@ -318,7 +322,8 @@ std::string tree_stats_text(const std::vector<Tree>& trees,
     else os << std::setw(10) << "?";
     os << std::setw(8) << t.edges << std::setw(10) << t.delivered
        << std::setw(8) << t.dropped << std::setw(8) << t.covered
-       << std::setw(6) << t.depth_max << std::setw(7) << t.fanout_max;
+       << std::setw(6) << t.depth_max << std::setw(7) << t.fanout_max
+       << std::setw(10) << t.queue_max_us;
     if (t.t90 >= 0) os << std::setw(10) << t.t90;
     else os << std::setw(10) << "-";
     if (t.t100 >= 0) os << std::setw(10) << t.t100;
@@ -355,8 +360,8 @@ std::string chrome_trace_json(const std::vector<Tree>& trees) {
          << ",\"ts\":" << h.send_t << ",\"dur\":" << dur << ",\"name\":\""
          << h.from << "->" << h.to << "\",\"cat\":\"span\",\"args\":{\"hop\":"
          << h.id << ",\"parent\":" << h.parent << ",\"seq\":" << h.msg_seq
-         << ",\"bytes\":" << h.bytes << ",\"dropped\":" << (h.dropped ? 1 : 0)
-         << "}}";
+         << ",\"bytes\":" << h.bytes << ",\"queue_us\":" << h.queue_us
+         << ",\"dropped\":" << (h.dropped ? 1 : 0) << "}}";
     }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";

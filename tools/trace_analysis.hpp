@@ -27,6 +27,7 @@ struct Record {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t queue_us = 0;  // sender-side queueing delay ("span" records)
 };
 
 /// Parse a JSONL trace stream. Blank lines are skipped; a malformed line
@@ -69,6 +70,7 @@ struct Hop {
   std::uint64_t from = 0;
   std::uint64_t to = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t queue_us = 0;  // sender-side queue wait (bandwidth modes)
   bool virtual_root = false;  // opened by Network::new_span_root()
   bool dropped = false;       // a "drop" record shares this hop's msg_seq
 };
@@ -90,6 +92,7 @@ struct Tree {
   std::uint64_t covered = 0;    // distinct nodes reached, origin included
   std::uint32_t depth_max = 0;  // over all edges, pruned ones included
   std::uint32_t fanout_max = 0;
+  std::uint64_t queue_max_us = 0;  // worst sender-queue wait over all edges
   std::int64_t t0 = 0;          // origin coverage time (absolute, us)
   std::int64_t t90 = -1;        // time to 90% of `covered`, relative to t0
   std::int64_t t100 = -1;       // time to full coverage, relative to t0
