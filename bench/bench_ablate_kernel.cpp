@@ -16,6 +16,7 @@
 // the deterministic work counts instead.
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -32,6 +33,7 @@
 #include "crypto/merkle.hpp"
 #include "sim/sharding.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace decentnet;
 
@@ -152,6 +154,24 @@ struct MsgPayload {
 template <typename Sim>
 std::uint64_t run_fill_drain_msg(std::size_t n) {
   Sim simu;
+  std::uint64_t acc = 0;
+  const MsgPayload p{{1, 2, 3, 4, 5, 6}};
+  for (std::size_t i = 0; i < n; ++i) {
+    simu.post(static_cast<sim::SimDuration>(i % 1000),
+              [&acc, p] { acc += p.w[0]; });
+  }
+  simu.run_all();
+  return acc;
+}
+
+// The msg48 drain with sim-time telemetry optionally attached. tel == null
+// runs the untouched hot loop; tel != null selects the instrumented loop
+// with a cadence main() picks far past the run's horizon, so the measured
+// delta is the instrumented loop's per-event cost (one load + compare) with
+// zero sink I/O inside the timed region.
+std::uint64_t run_fill_drain_telemetry(std::size_t n, sim::Telemetry* tel) {
+  sim::Simulator simu;
+  if (tel != nullptr) tel->attach(simu);
   std::uint64_t acc = 0;
   const MsgPayload p{{1, 2, 3, 4, 5, 6}};
   for (std::size_t i = 0; i < n; ++i) {
@@ -326,6 +346,43 @@ int main(int argc, char** argv) {
                 {"arg", std::uint64_t{n}},
                 {"events_per_rep", legacy_items / legacy_reps},
                 {"rate_per_s", bench::Value::timing(rate, 0)}});
+  }
+
+  // Telemetry off/on ablation (observability must be pay-for-use). "off" is
+  // the untouched hot drain loop — the same codegen every telemetry-less
+  // run uses, and the row the release-bench perf gates hold against the
+  // pre-telemetry baselines. "on" attaches a Telemetry whose cadence never
+  // comes due inside the run, isolating the instrumented loop's per-event
+  // cost (one load + compare) from sink I/O.
+  {
+    const std::size_t n = 1'000'000;
+    std::uint64_t items = 0;
+    auto [reps, secs] = measure(
+        [&] { return run_fill_drain_telemetry(n, nullptr); }, items);
+    double rate = static_cast<double>(items) / secs;
+    std::printf("slab   telem-off n=%-8zu: %10.0f events/s\n", n, rate);
+    ex.add_row({{"micro", "sim_telemetry"},
+                {"kernel", "off"},
+                {"arg", std::uint64_t{n}},
+                {"events_per_rep", items / reps},
+                {"rate_per_s", bench::Value::timing(rate, 0)}});
+
+    const char* const scratch = "TELEMETRY_ablate_scratch.jsonl";
+    {
+      sim::SeriesSink sink(scratch);
+      sim::Telemetry tel(sink, sim::seconds(10));
+      std::uint64_t items_on = 0;
+      auto [reps_on, secs_on] = measure(
+          [&] { return run_fill_drain_telemetry(n, &tel); }, items_on);
+      rate = static_cast<double>(items_on) / secs_on;
+      std::printf("slab   telem-on  n=%-8zu: %10.0f events/s\n", n, rate);
+      ex.add_row({{"micro", "sim_telemetry"},
+                  {"kernel", "on"},
+                  {"arg", std::uint64_t{n}},
+                  {"events_per_rep", items_on / reps_on},
+                  {"rate_per_s", bench::Value::timing(rate, 0)}});
+    }
+    std::remove(scratch);
   }
 
   // Fill-then-drain, post (detached) and schedule (handled), old vs new.

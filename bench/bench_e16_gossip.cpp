@@ -11,6 +11,7 @@
 #include "overlay/gossip.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sharding.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace decentnet;
 
@@ -54,6 +55,15 @@ Row run(std::size_t n, std::size_t fanout, std::uint64_t seed,
           hops.record(static_cast<double>(h));
           cover_times.push_back(simu.now());
         });
+  }
+  // --telemetry: network rates plus a coverage gauge (nodes the rumor has
+  // reached). Registered after instrument() (attach resets the registry).
+  if (sim::Telemetry* const tel = ex.telemetry()) {
+    netw.register_telemetry(*tel);
+    const std::vector<sim::SimTime>* const cov = &cover_times;
+    tel->add_gauge("e16/covered", 0, [cov](sim::SimTime) {
+      return static_cast<double>(cov->size());
+    });
   }
   simu.run_until(sim::minutes(3));  // let peer sampling mix views
   const auto bytes_before = netw.bytes_sent();
@@ -136,6 +146,18 @@ Row run_sharded(std::size_t n, std::size_t fanout, std::uint64_t seed,
         [&deliv, sh, nsim](overlay::RumorId, std::size_t h) {
           deliv[sh].push_back({h, nsim->now()});
         });
+  }
+  // Same health series as run(); coverage is per receiving shard (the
+  // buffers are single-writer and the driver samples at barriers).
+  if (sim::Telemetry* const tel = ex.telemetry()) {
+    netw.register_telemetry(*tel);
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const std::vector<Delivery>* const cov = &deliv[sh];
+      tel->add_gauge("e16/covered", static_cast<std::uint32_t>(sh),
+                     [cov](sim::SimTime) {
+                       return static_cast<double>(cov->size());
+                     });
+    }
   }
   kernel.run_until(sim::minutes(3), threads);  // let peer sampling mix views
   const auto bytes_before = netw.bytes_sent();

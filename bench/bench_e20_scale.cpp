@@ -96,6 +96,9 @@ void run_kademlia_point(std::size_t n, std::size_t lookups, bool json_timings,
                     std::make_unique<net::LogNormalLatency>(sim::millis(80),
                                                             0.4),
                     net::NetworkConfig{.expected_nodes = n}, &scope.metrics());
+  if (sim::Telemetry* const tel = scope.telemetry()) {
+    netw.register_telemetry(*tel);
+  }
 
   overlay::KademliaConfig kcfg;
   // Bucket refreshes would add an O(N·buckets) lookup storm mid-window;
@@ -218,6 +221,9 @@ void run_gossip_point(std::size_t n, std::size_t rumors, bool json_timings,
                     std::make_unique<net::LogNormalLatency>(sim::millis(80),
                                                             0.4),
                     net::NetworkConfig{.expected_nodes = n}, &scope.metrics());
+  if (sim::Telemetry* const tel = scope.telemetry()) {
+    netw.register_telemetry(*tel);
+  }
 
   overlay::GossipConfig gcfg;
   gcfg.view_size = 16;
@@ -336,6 +342,9 @@ struct ShardedNet {
         addrs(n) {
     scope.instrument(kernel);
     netw.enable_sharding(kernel);
+    if (sim::Telemetry* const tel = scope.telemetry()) {
+      netw.register_telemetry(*tel);
+    }
     for (std::size_t i = 0; i < n; ++i) addrs[i] = netw.new_node_id();
     // The peer table is find-only during parallel windows, so the whole
     // population registers before the first event.

@@ -30,12 +30,29 @@
 #include "net/topology.hpp"
 #include "overlay/gossip.hpp"
 #include "overlay/kademlia.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/chaos.hpp"
 #include "sim/invariants.hpp"
 
 using namespace decentnet;
 
 namespace {
+
+// --telemetry wiring for the single-run --repro replay: main() points this
+// at the harness Telemetry before invoking the scenario, and every runner
+// attaches its fresh Simulator and registers the network + fault series.
+// Fuzz sweeps leave it null (hundreds of shrink replays would interleave).
+sim::Telemetry* g_telemetry = nullptr;
+
+void attach_run_telemetry(sim::Simulator& simu) {
+  if (g_telemetry != nullptr) g_telemetry->attach(simu);
+}
+
+void register_run_telemetry(net::Network& netw, net::FaultScheduler& faults) {
+  if (g_telemetry == nullptr) return;
+  netw.register_telemetry(*g_telemetry);
+  faults.register_telemetry(*g_telemetry);
+}
 
 constexpr const char* kProtocols[] = {"pow", "raft", "pbft", "kademlia",
                                       "gossip"};
@@ -90,6 +107,7 @@ sim::ChaosOutcome verdict(const sim::InvariantChecker& checker, bool recovered,
 // commits on a majority within the bound.
 sim::ChaosOutcome run_raft(const net::FaultPlan& plan, std::uint64_t seed) {
   sim::Simulator simu(seed);
+  attach_run_telemetry(simu);
   const std::size_t n = world_size("raft");
   sim::MetricRegistry metrics;
   net::Network netw(simu,
@@ -146,6 +164,7 @@ sim::ChaosOutcome run_raft(const net::FaultPlan& plan, std::uint64_t seed) {
   targets.restart = [&](std::size_t i) { nodes[i]->restart(); };
   net::FaultScheduler faults(netw, plan, std::move(targets));
   faults.start();
+  register_run_telemetry(netw, faults);
 
   std::uint64_t next_id = 1;
   simu.schedule_periodic(sim::millis(500), sim::millis(500), [&] {
@@ -180,6 +199,7 @@ sim::ChaosOutcome run_raft(const net::FaultPlan& plan, std::uint64_t seed) {
 // within the bound (view changes + state transfer included).
 sim::ChaosOutcome run_pbft(const net::FaultPlan& plan, std::uint64_t seed) {
   sim::Simulator simu(seed);
+  attach_run_telemetry(simu);
   bft::PbftConfig cfg;
   cfg.f = 1;
   const std::size_t n = 3 * cfg.f + 1;
@@ -235,6 +255,7 @@ sim::ChaosOutcome run_pbft(const net::FaultPlan& plan, std::uint64_t seed) {
   targets.restart = [&](std::size_t i) { replicas[i]->recover(); };
   net::FaultScheduler faults(netw, plan, std::move(targets));
   faults.start();
+  register_run_telemetry(netw, faults);
 
   simu.schedule_periodic(sim::seconds(1), sim::seconds(2), [&] {
     submit_times.push_back(simu.now());
@@ -262,6 +283,7 @@ sim::ChaosOutcome run_pbft(const net::FaultPlan& plan, std::uint64_t seed) {
 // protocol working as designed.)
 sim::ChaosOutcome run_pow(const net::FaultPlan& plan, std::uint64_t seed) {
   sim::Simulator simu(seed);
+  attach_run_telemetry(simu);
   const std::size_t n = world_size("pow");
   sim::MetricRegistry metrics;
   net::Network netw(simu,
@@ -316,6 +338,7 @@ sim::ChaosOutcome run_pow(const net::FaultPlan& plan, std::uint64_t seed) {
   };
   net::FaultScheduler faults(netw, plan, std::move(targets));
   faults.start();
+  register_run_telemetry(netw, faults);
 
   bool recovered = false;
   sim::SimTime recovered_at = 0;
@@ -348,6 +371,7 @@ sim::ChaosOutcome run_pow(const net::FaultPlan& plan, std::uint64_t seed) {
 sim::ChaosOutcome run_kademlia(const net::FaultPlan& plan,
                                std::uint64_t seed) {
   sim::Simulator simu(seed);
+  attach_run_telemetry(simu);
   const std::size_t n = world_size("kademlia");
   sim::MetricRegistry metrics;
   net::Network netw(simu,
@@ -395,6 +419,7 @@ sim::ChaosOutcome run_kademlia(const net::FaultPlan& plan,
   targets.churn = &churn;
   net::FaultScheduler faults(netw, plan, std::move(targets));
   faults.start();
+  register_run_telemetry(netw, faults);
 
   // Keys stored once the overlay settles and republished every 20 s from the
   // lowest online node (real DHTs republish; churn evicts replicas).
@@ -455,6 +480,7 @@ sim::ChaosOutcome run_kademlia(const net::FaultPlan& plan,
 // rumor reaches every online node within the bound.
 sim::ChaosOutcome run_gossip(const net::FaultPlan& plan, std::uint64_t seed) {
   sim::Simulator simu(seed);
+  attach_run_telemetry(simu);
   const std::size_t n = world_size("gossip");
   sim::MetricRegistry metrics;
   net::Network netw(simu,
@@ -488,6 +514,7 @@ sim::ChaosOutcome run_gossip(const net::FaultPlan& plan, std::uint64_t seed) {
   targets.restart = [&](std::size_t i) { nodes[i]->join(bootstrap_for(i)); };
   net::FaultScheduler faults(netw, plan, std::move(targets));
   faults.start();
+  register_run_telemetry(netw, faults);
 
   std::uint64_t next_rumor = 1;
   simu.schedule_periodic(sim::seconds(3), sim::seconds(5), [&] {
@@ -595,8 +622,10 @@ int main(int argc, char** argv) {
                    e.what());
       return 2;
     }
+    g_telemetry = ex.telemetry();  // see attach_run_telemetry
     const sim::ChaosOutcome out =
         scenario_for(repro.protocol)(repro.plan, repro.seed);
+    g_telemetry = nullptr;
     ex.add_row({{"protocol", repro.protocol},
                 {"seed", std::uint64_t(repro.seed)},
                 {"reproduced", !out.ok},

@@ -26,6 +26,7 @@
 #include "net/transport.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sharding.hpp"
+#include "sim/telemetry.hpp"
 
 using namespace decentnet;
 
@@ -243,6 +244,21 @@ Row run(const Params& p, sim::ExperimentHarness& ex) {
       cover_times.push_back(simu.now());
     };
   }
+  // --telemetry: network rates/transport gauges plus protocol health (how
+  // many nodes hold the block, the origin's congestion window). Registered
+  // after instrument() because attaching resets the series registry.
+  if (sim::Telemetry* const tel = ex.telemetry()) {
+    netw.register_telemetry(*tel);
+    const std::vector<sim::SimTime>* const cov = &cover_times;
+    tel->add_gauge("e22/covered", 0, [cov](sim::SimTime) {
+      return static_cast<double>(cov->size());
+    });
+    const net::Transport* const tx = &netw.transport();
+    const std::uint32_t oidx = netw.node_index(addrs[origin]);
+    tel->add_gauge("e22/origin_cwnd_bytes", 0, [tx, oidx](sim::SimTime) {
+      return tx->cwnd_bytes(oidx);
+    });
+  }
   const sim::SimTime t0 = sim::millis(1);
   simu.post(t0, [&, origin] { nodes[origin]->originate(p.block_bytes); });
   simu.run_until(t0 + sim::seconds(240));
@@ -297,6 +313,23 @@ Row run_sharded(const Params& p, std::size_t shards, std::size_t threads,
     nodes.back()->on_first = [&times, sh](sim::SimTime at) {
       times[sh].push_back(at);
     };
+  }
+  // Same health series as run(), but coverage is per receiving shard (the
+  // vectors are single-writer and the driver samples at barriers).
+  if (sim::Telemetry* const tel = ex.telemetry()) {
+    netw.register_telemetry(*tel);
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const std::vector<sim::SimTime>* const cov = &times[sh];
+      tel->add_gauge("e22/covered", static_cast<std::uint32_t>(sh),
+                     [cov](sim::SimTime) {
+                       return static_cast<double>(cov->size());
+                     });
+    }
+    const net::Transport* const tx = &netw.transport();
+    const std::uint32_t oidx = netw.node_index(addrs[origin]);
+    tel->add_gauge("e22/origin_cwnd_bytes", 0, [tx, oidx](sim::SimTime) {
+      return tx->cwnd_bytes(oidx);
+    });
   }
   const sim::SimTime t0 = sim::millis(1);
   netw.simulator_for(addrs[origin])

@@ -6,6 +6,7 @@
 
 #include "net/churn.hpp"
 #include "sim/jsonlite.hpp"
+#include "sim/telemetry.hpp"
 
 namespace decentnet::net {
 
@@ -420,6 +421,15 @@ void FaultScheduler::start() {
 void FaultScheduler::stop() {
   for (sim::EventHandle& h : scheduled_) h.cancel();
   scheduled_.clear();
+}
+
+void FaultScheduler::register_telemetry(sim::Telemetry& telemetry) {
+  Network* const net = &net_;
+  telemetry.add_gauge("faults/partitions_active", 0, [net](sim::SimTime) {
+    return static_cast<double>(net->partition_count());
+  });
+  telemetry.add_rate("faults/injected", 0, m_injected_);
+  telemetry.add_rate("faults/healed", 0, m_healed_);
 }
 
 void FaultScheduler::trace(const char* kind, const FaultEvent& ev,

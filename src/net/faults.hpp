@@ -38,6 +38,10 @@ namespace decentnet::sim::jsonlite {
 struct JsonValue;
 }
 
+namespace decentnet::sim {
+class Telemetry;  // sim/telemetry.hpp
+}
+
 namespace decentnet::net {
 
 class ChurnDriver;  // net/churn.hpp; fault crashes suspend churn when wired
@@ -165,6 +169,12 @@ class FaultScheduler {
   std::uint64_t injected() const { return injected_; }
   std::uint64_t healed() const { return healed_; }
   const FaultPlan& plan() const { return plan_; }
+
+  /// Register fault-health series: a gauge of currently active partitions
+  /// plus windowed inject/heal rates, so `decentnet-trace timeline` can
+  /// correlate gauge excursions against fault activity. Call after the
+  /// harness instrument()ed the kernel (attach resets registrations).
+  void register_telemetry(sim::Telemetry& telemetry);
 
  private:
   void inject(const FaultEvent& ev, std::size_t index);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/sharding.hpp"
+#include "sim/telemetry.hpp"
 
 namespace decentnet::net {
 
@@ -161,6 +162,48 @@ void Network::enable_sharding(sim::ShardedKernel& kernel) {
     c.m_duplicated = &reg.counter("net/duplicated");
     c.m_reordered = &reg.counter("net/reordered");
     c.m_span_hops = &reg.counter("net/span_hops");
+  }
+}
+
+void Network::register_telemetry(sim::Telemetry& telemetry) {
+  if (!shard_ctx_.empty()) {
+    // Sharded: rate series over the per-shard counters the send paths bump,
+    // under the shard index, so the merged stream is a pure function of the
+    // decomposition (the kernel samples at barriers).
+    for (std::uint32_t s = 0; s < shard_ctx_.size(); ++s) {
+      const NetShard& c = shard_ctx_[s];
+      telemetry.add_rate("net/messages_sent", s, *c.m_messages_sent);
+      telemetry.add_rate("net/bytes_sent", s, *c.m_bytes_sent);
+      telemetry.add_rate("net/queue_dropped", s, *c.m_dropped_queue);
+      telemetry.add_rate("net/dropped_loss", s, *c.m_dropped_loss);
+      telemetry.add_rate("net/dropped_partition", s, *c.m_dropped_partition);
+    }
+  } else {
+    telemetry.add_rate("net/messages_sent", 0, m_messages_sent_);
+    telemetry.add_rate("net/bytes_sent", 0, m_bytes_sent_);
+    telemetry.add_rate("net/queue_dropped", 0, m_dropped_queue_);
+    telemetry.add_rate("net/dropped_loss", 0, m_dropped_loss_);
+    telemetry.add_rate("net/dropped_partition", 0, m_dropped_partition_);
+  }
+  if (transport_.active()) {
+    // Aggregates over every sender's (send-side, single-writer) state;
+    // registered under shard 0 by convention since they span all shards.
+    // sample() is const, so reading it from the driver at a barrier is safe.
+    const Transport* const tx = &transport_;
+    telemetry.add_gauge("net/uplink_queued_bytes", 0, [tx](sim::SimTime t) {
+      return tx->sample(t).queued_bytes;
+    });
+    telemetry.add_gauge("net/busy_uplinks", 0, [tx](sim::SimTime t) {
+      return static_cast<double>(tx->sample(t).busy_uplinks);
+    });
+    if (transport_.mode() == TransportMode::Tcp) {
+      telemetry.add_gauge("net/cwnd_total_bytes", 0, [tx](sim::SimTime t) {
+        return tx->sample(t).cwnd_total;
+      });
+      telemetry.add_gauge("net/cwnd_max_bytes", 0, [tx](sim::SimTime t) {
+        return tx->sample(t).cwnd_max;
+      });
+    }
   }
 }
 

@@ -51,6 +51,7 @@
 
 namespace decentnet::sim {
 class ShardedKernel;  // sim/sharding.hpp; only network.cpp needs the type
+class Telemetry;      // sim/telemetry.hpp
 }  // namespace decentnet::sim
 
 namespace decentnet::net {
@@ -160,6 +161,15 @@ class Network {
   /// materialized cold arrays, and the span tables' chunk directories — so
   /// registering a large population never reallocates mid-loop.
   void reserve_nodes(std::size_t n);
+
+  /// Register this network's health series on `telemetry`: windowed rates
+  /// over the traffic/drop counters (per shard when sharded, so series merge
+  /// by (t, shard, series) stays byte-identical at any --sim-threads), plus
+  /// aggregate transport gauges (uplink backlog bytes, busy uplinks, cwnd
+  /// sum/max) when a Bandwidth/Tcp transport is active. Call after the
+  /// harness instrument()ed the kernel (attach resets registrations) and
+  /// after enable_sharding when sharding.
+  void register_telemetry(sim::Telemetry& telemetry);
 
   /// Per-node link override (capacities in bytes per simulated second plus
   /// the bounded-queue depth). Configure between runs only — the sharded

@@ -79,6 +79,28 @@ double Transport::ssthresh_bytes(std::uint32_t idx) const {
   return tx_[idx].ssthresh;
 }
 
+Transport::Sample Transport::sample(sim::SimTime now) const {
+  Sample out;
+  const double rtt_s = sim::to_seconds(cfg_.rtt);
+  for (std::uint32_t i = 0; i < tx_.size(); ++i) {
+    const TxState& tx = tx_[i];
+    if (tx.cwnd > 0) {
+      out.cwnd_total += tx.cwnd;
+      if (tx.cwnd > out.cwnd_max) out.cwnd_max = tx.cwnd;
+    }
+    if (tx.free_at > now) {
+      ++out.busy_uplinks;
+      const LinkSpec spec = link(i);
+      double rate = spec.up_bps;
+      if (cfg_.mode == TransportMode::Tcp && tx.cwnd > 0) {
+        rate = std::min(spec.up_bps, tx.cwnd / rtt_s);
+      }
+      out.queued_bytes += sim::to_seconds(tx.free_at - now) * rate;
+    }
+  }
+  return out;
+}
+
 double Transport::send_rate(const LinkSpec& spec, TxState& tx) const {
   if (cfg_.mode != TransportMode::Tcp) return spec.up_bps;
   if (tx.cwnd <= 0) {

@@ -141,6 +141,25 @@ class Transport {
   }
   double ssthresh_bytes(std::uint32_t idx) const;
 
+  /// Aggregate send-side state at sim time `now`, for telemetry gauges.
+  struct Sample {
+    /// Estimated bytes still queued behind every sender's uplink: remaining
+    /// busy time times the current effective rate, summed over senders.
+    double queued_bytes = 0;
+    /// Sum / max of open congestion windows, in bytes (Tcp mode; 0 before
+    /// any sends).
+    double cwnd_total = 0;
+    double cwnd_max = 0;
+    /// Senders whose uplink is still serializing earlier traffic.
+    std::uint64_t busy_uplinks = 0;
+  };
+
+  /// Non-mutating O(nodes) scan over the send-side arrays. Safe wherever
+  /// telemetry samples run (between events, or on the sharded driver at a
+  /// barrier while workers are quiescent). Unlike send_rate(), an unopened
+  /// Tcp flow reads as rate = up_bps here rather than being initialized.
+  Sample sample(sim::SimTime now) const;
+
  private:
   static constexpr std::uint32_t kNoIndex = ~0u;  // NodeTable::kNoIndex
 

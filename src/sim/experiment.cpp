@@ -210,6 +210,37 @@ bool ExperimentHarness::parse_cli(int argc, char* const* argv,
         return false;
       }
       opts.repro_path = v;
+    } else if (arg == "--telemetry" || arg.rfind("--telemetry=", 0) == 0) {
+      // Attached-value form only (--telemetry=50ms): the bare flag must not
+      // swallow a following positional and has a sensible default cadence.
+      SimDuration interval = millis(100);
+      if (arg.size() > std::strlen("--telemetry")) {
+        const std::string v = arg.substr(std::strlen("--telemetry="));
+        char* end = nullptr;
+        const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+        const std::string suffix = end ? end : "";
+        if (end == v.c_str() || parsed == 0) {
+          error = "--telemetry: need a positive interval (e.g. 100ms, 2s, "
+                  "500us), got: " + v;
+          return false;
+        }
+        if (suffix.empty() || suffix == "ms") {
+          interval = static_cast<SimDuration>(parsed) * kMillisecond;
+        } else if (suffix == "us") {
+          interval = static_cast<SimDuration>(parsed) * kMicrosecond;
+        } else if (suffix == "s") {
+          interval = static_cast<SimDuration>(parsed) * kSecond;
+        } else {
+          error = "--telemetry: unknown unit '" + suffix +
+                  "' (use us, ms, or s)";
+          return false;
+        }
+      }
+      opts.telemetry_interval = interval;
+    } else if (arg == "--telemetry-out") {
+      const char* v = want_value("--telemetry-out");
+      if (!v) return false;
+      opts.telemetry_path = v;
     } else if (arg == "--param") {
       const char* v = want_value("--param");
       if (!v) return false;
@@ -241,6 +272,7 @@ std::string ExperimentHarness::usage(const std::string& prog,
          "[--stream-trace PATH] [--profile] "
          "[--jobs N] [--sim-shards S] [--sim-threads N] "
          "[--chaos-seeds N] [--chaos-space FILE] [--repro FILE] "
+         "[--telemetry[=INTERVAL]] [--telemetry-out PATH] "
          "[--param K=V] [--quiet]\n"
          "  --seed N      root seed (default: the bench's published seed)\n"
          "  --json PATH   result artifact path (default BENCH_" +
@@ -264,6 +296,14 @@ std::string ExperimentHarness::usage(const std::string& prog,
          "                fault ranges (chaos-aware benches)\n"
          "  --repro FILE  replay one chaos repro envelope instead of\n"
          "                fuzzing (chaos-aware benches)\n"
+         "  --telemetry[=INTERVAL]  sample sim-time gauges/rates every\n"
+         "                INTERVAL of sim time (100ms default; units us, ms,\n"
+         "                s) into a JSONL series stream; byte-identical at\n"
+         "                any --sim-threads; analyze with\n"
+         "                `decentnet-trace timeline`\n"
+         "  --telemetry-out PATH  series stream path (default TELEMETRY_" +
+         id +
+         ".jsonl)\n"
          "  --param K=V   bench-specific knob (repeatable; e.g. max_n=1000)\n"
          "  --quiet       suppress banner and table\n";
 }
@@ -284,6 +324,19 @@ ExperimentHarness::ExperimentHarness(std::string id, ExperimentOptions opts)
   }
   if (opts_.profile) {
     profiler_ = std::make_unique<Profiler>();
+  }
+  if (opts_.telemetry_interval > 0) {
+    const std::string path = opts_.telemetry_path.empty()
+                                 ? "TELEMETRY_" + id_ + ".jsonl"
+                                 : opts_.telemetry_path;
+    try {
+      telemetry_sink_ = std::make_unique<SeriesSink>(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(1);
+    }
+    telemetry_ =
+        std::make_unique<Telemetry>(*telemetry_sink_, opts_.telemetry_interval);
   }
 }
 
@@ -311,6 +364,7 @@ ExperimentHarness::ExperimentHarness(std::string id, int argc,
 
 ExperimentHarness::~ExperimentHarness() {
   if (trace_) trace_->flush();
+  if (telemetry_sink_) telemetry_sink_->flush();
 }
 
 const std::string* ExperimentHarness::cli_param(const std::string& key) const {
@@ -362,6 +416,7 @@ Simulator& ExperimentHarness::simulator() {
     sim_ = std::make_unique<Simulator>(opts_.seed);
     sim_->set_trace(trace_.get());
     sim_->set_profiler(profiler_.get());
+    if (telemetry_) telemetry_->attach(*sim_);
   }
   return *sim_;
 }
@@ -383,8 +438,9 @@ void ExperimentHarness::add_row(
 
 std::size_t ExperimentHarness::effective_jobs() const {
   // A single interleaved trace stream must stay deterministic, so tracing
-  // pins execution to one worker.
-  if (trace_) return 1;
+  // pins execution to one worker. Telemetry writes one series stream the
+  // same way.
+  if (trace_ || telemetry_) return 1;
   return opts_.jobs == 0 ? 1 : opts_.jobs;
 }
 
@@ -397,6 +453,11 @@ void ExperimentHarness::run_points(
                  "[%s] --trace forces --jobs 1 (deterministic trace)\n",
                  id_.c_str());
   }
+  if (!trace_ && telemetry_ && opts_.jobs > 1 && !opts_.quiet) {
+    std::fprintf(stderr,
+                 "[%s] --telemetry forces --jobs 1 (deterministic series)\n",
+                 id_.c_str());
+  }
   if (jobs > count) jobs = count;
 
   // Scopes are pre-built so every point's seed derivation is fixed before
@@ -404,7 +465,8 @@ void ExperimentHarness::run_points(
   std::deque<PointScope> scopes;
   for (std::size_t i = 0; i < count; ++i) {
     scopes.emplace_back(PointScope(i, opts_.seed, seed_for(i), trace_.get(),
-                                   trace_spill(), profiler_ != nullptr));
+                                   trace_spill(), profiler_ != nullptr,
+                                   telemetry_.get()));
   }
 
   if (jobs <= 1) {
@@ -568,6 +630,18 @@ int ExperimentHarness::finish() {
     if (!opts_.quiet) std::printf("\n[results written to %s]\n", path.c_str());
   }
   if (trace_) trace_->flush();
+  if (telemetry_sink_) {
+    telemetry_sink_->flush();
+    if (!opts_.quiet) {
+      const std::string path = opts_.telemetry_path.empty()
+                                   ? "TELEMETRY_" + id_ + ".jsonl"
+                                   : opts_.telemetry_path;
+      std::printf("[telemetry: %llu samples in %s]\n",
+                  static_cast<unsigned long long>(
+                      telemetry_sink_->records_written()),
+                  path.c_str());
+    }
+  }
   return 0;
 }
 

@@ -55,6 +55,7 @@
 #include "sim/sharding.hpp"
 #include "sim/simulator.hpp"
 #include "sim/table.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 
 namespace decentnet::sim {
@@ -136,6 +137,12 @@ struct ExperimentOptions {
   /// --repro FILE: replay one ChaosRepro envelope instead of fuzzing.
   std::string repro_path;
   bool profile = false;    // kernel self-profiler ("profile" JSON key)
+  /// --telemetry[=INTERVAL]: sim-time series sampling cadence, 0 = off (the
+  /// default — golden traces and perf artifacts are untouched unless asked
+  /// for). The bare flag samples every 100 ms of sim time.
+  SimDuration telemetry_interval = 0;
+  /// --telemetry-out PATH (empty => "TELEMETRY_<id>.jsonl").
+  std::string telemetry_path;
   bool emit_json = true;
   bool quiet = false;
   bool help = false;
@@ -176,12 +183,22 @@ class PointScope {
   /// does not force sequential execution — samples are point-local.
   Profiler* profiler() const { return profiler_.get(); }
 
-  /// Install this point's trace sink and profiler on `simu` (both no-ops
-  /// unless the matching flag was given). The idiomatic first line of a
-  /// run_points body after constructing its Simulator.
+  /// Harness telemetry, or nullptr when --telemetry is off. Like tracing,
+  /// telemetry writes one sequential series stream and forces --jobs 1.
+  /// instrument() already attaches it; benches use this accessor to
+  /// register their own protocol gauges after instrumenting.
+  Telemetry* telemetry() const { return telemetry_; }
+
+  /// Install this point's trace sink, profiler, and telemetry on `simu`
+  /// (all no-ops unless the matching flag was given). The idiomatic first
+  /// line of a run_points body after constructing its Simulator. Attaching
+  /// telemetry resets its series registrations, so per-point gauges must be
+  /// registered after this call.
   void instrument(Simulator& simu) const {
     simu.set_trace(trace_);
     simu.set_profiler(profiler_.get());
+    if (telemetry_ != nullptr) telemetry_->attach(simu);
+    else simu.set_telemetry(nullptr);
   }
 
   /// Sharded counterpart: the kernel buffers per-shard records/samples and
@@ -192,6 +209,7 @@ class PointScope {
     if (!trace_spill_.empty()) kernel.set_trace_spill(trace_spill_);
     kernel.set_trace(trace_);
     kernel.set_profiler(profiler_.get());
+    kernel.set_telemetry(telemetry_);
   }
 
   /// Buffer one result row; rows from point i precede rows from point i+1
@@ -204,13 +222,14 @@ class PointScope {
   friend class ExperimentHarness;
   PointScope(std::size_t index, std::uint64_t root_seed,
              std::uint64_t point_seed, TraceSink* trace,
-             std::string trace_spill, bool profile)
+             std::string trace_spill, bool profile, Telemetry* telemetry)
       : index_(index),
         root_seed_(root_seed),
         point_seed_(point_seed),
         trace_(trace),
         trace_spill_(std::move(trace_spill)),
-        profiler_(profile ? std::make_unique<Profiler>() : nullptr) {}
+        profiler_(profile ? std::make_unique<Profiler>() : nullptr),
+        telemetry_(telemetry) {}
 
   std::size_t index_;
   std::uint64_t root_seed_;
@@ -218,6 +237,7 @@ class PointScope {
   TraceSink* trace_;
   std::string trace_spill_;  // sharded spill prefix; empty = buffer in memory
   std::unique_ptr<Profiler> profiler_;
+  Telemetry* telemetry_;  // harness-owned; non-null forces sequential points
   MetricRegistry metrics_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;
 };
@@ -285,12 +305,20 @@ class ExperimentHarness {
   /// there).
   Profiler* profiler() { return profiler_.get(); }
 
-  /// Install the harness trace sink and profiler on `simu`; both are no-ops
-  /// unless the matching CLI flag enabled them. Benches that build one
-  /// Simulator per row call this right after constructing it.
+  /// Sim-time telemetry, or nullptr unless --telemetry was given. Its
+  /// series land in TELEMETRY_<id>.jsonl (or --telemetry-out). instrument()
+  /// attaches it; benches register protocol gauges through this accessor
+  /// *after* instrumenting (attach resets the registrations).
+  Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Install the harness trace sink, profiler, and telemetry on `simu`; all
+  /// are no-ops unless the matching CLI flag enabled them. Benches that
+  /// build one Simulator per row call this right after constructing it.
   void instrument(Simulator& simu) {
     simu.set_trace(trace_.get());
     simu.set_profiler(profiler_.get());
+    if (telemetry_) telemetry_->attach(simu);
+    else simu.set_telemetry(nullptr);
   }
 
   /// Sharded counterpart of instrument(Simulator&). Under --stream-trace
@@ -299,6 +327,7 @@ class ExperimentHarness {
     if (!trace_spill().empty()) kernel.set_trace_spill(trace_spill());
     kernel.set_trace(trace_.get());
     kernel.set_profiler(profiler_.get());
+    kernel.set_telemetry(telemetry_.get());
   }
 
   /// Lazily constructed default kernel, seeded with seed() and with the
@@ -358,6 +387,8 @@ class ExperimentHarness {
   MetricRegistry metrics_;
   std::unique_ptr<TraceSink> trace_;
   std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<SeriesSink> telemetry_sink_;  // declared before telemetry_
+  std::unique_ptr<Telemetry> telemetry_;
   std::unique_ptr<Simulator> sim_;
   std::vector<std::pair<std::string, Value>> params_;
   std::vector<std::vector<std::pair<std::string, Value>>> rows_;

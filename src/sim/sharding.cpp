@@ -17,6 +17,7 @@
 
 #include "sim/profiler.hpp"
 #include "sim/rng.hpp"
+#include "sim/telemetry.hpp"
 
 namespace decentnet::sim {
 
@@ -348,6 +349,48 @@ void ShardedKernel::set_profiler(Profiler* profiler) {
   }
 }
 
+void ShardedKernel::set_telemetry(Telemetry* telemetry) {
+  if (shards_.size() == 1) {
+    // The single shard is the legacy kernel: sample between events there.
+    if (telemetry != nullptr) {
+      telemetry->attach(*shards_[0]);
+    } else {
+      shards_[0]->set_telemetry(nullptr);
+    }
+    telemetry_ = nullptr;
+    return;
+  }
+  // S > 1: the driver samples at barriers, so the shards themselves stay
+  // uninstrumented (their drain loops must not touch the sink from worker
+  // threads).
+  for (auto& sh : shards_) sh->set_telemetry(nullptr);
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) return;
+  telemetry->begin_run();
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Simulator* const sim = shards_[s].get();
+    telemetry->add_gauge("kernel/backlog", s, [sim](SimTime) {
+      return static_cast<double>(sim->pending_events());
+    });
+    // Outbound parcels emitted during the window, sampled pre-drain (the
+    // next barrier iteration drains before running) — the cross-shard
+    // pressure this shard generated.
+    ShardedKernel* const self = this;
+    const std::size_t src = s;
+    telemetry->add_gauge("kernel/mailbox", s, [self, src](SimTime) {
+      std::size_t n = 0;
+      for (std::size_t d = 0; d < self->shards_.size(); ++d) {
+        n += self->mailbox(src, d).size();
+      }
+      return static_cast<double>(n);
+    });
+    telemetry->add_rate("kernel/fired", s, *stats_[s].fired);
+    telemetry->add_rate("kernel/stalls", s, *stats_[s].stalls);
+    telemetry->add_rate("kernel/windows", s, *stats_[s].windows);
+    telemetry->add_rate("kernel/mail_in", s, *stats_[s].mail_in);
+  }
+}
+
 void ShardedKernel::post_cross(std::size_t dst_shard, SimTime when,
                                Callback fn, const char* tag) {
   if (shards_.size() == 1) {
@@ -555,6 +598,13 @@ std::size_t ShardedKernel::run_until(SimTime until, std::size_t threads) {
     // the upcoming drain emits at this window's stop time) after it.
     for (auto& spill : spills_) spill->bump_epoch();
     if (profiled) flush_ns += Profiler::now_ns() - t0;
+    // Telemetry samples on the driver thread while workers are quiescent.
+    // The barrier schedule (the sequence of `stop` values) is a pure
+    // function of the decomposition, so the emitted boundaries — and the
+    // state they sample — never depend on the thread count.
+    if (telemetry_ != nullptr && stop >= telemetry_->next_due()) {
+      telemetry_->advance_to(stop);
+    }
   }
   if (profiled) {
     profile_target_->record("kernel/drain", drain_ns);
@@ -569,6 +619,7 @@ std::size_t ShardedKernel::run_until(SimTime until, std::size_t threads) {
   flush_traces();
   merge_spills();
   finish_run_profile();
+  if (telemetry_ != nullptr) telemetry_->advance_to(until);
   windows_run_ = windows;
   return fired_total;
 }

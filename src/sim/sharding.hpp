@@ -60,6 +60,7 @@
 namespace decentnet::sim {
 
 class Profiler;
+class Telemetry;
 
 namespace detail {
 /// Shard index of the shard currently executing on this thread; only
@@ -129,6 +130,16 @@ class ShardedKernel {
   /// the end of every run_until(); the target additionally gains per-shard
   /// "shard/<s>" wall-time entries so load imbalance shows up in --profile.
   void set_profiler(Profiler* profiler);
+
+  /// Install (or clear, with nullptr) sim-time telemetry. With S == 1 the
+  /// telemetry attaches straight to the shard (sampled between events, as a
+  /// plain Simulator). With S > 1 the *driver* samples at barrier windows
+  /// while workers are quiescent — per-shard series (kernel backlog, mailbox
+  /// occupancy, fired/stall rates) are registered here and every cadence
+  /// boundary a barrier crosses is emitted, so series bytes depend only on
+  /// the shard decomposition, never on --sim-threads (the trace contract).
+  /// Telemetry never schedules kernel events: golden traces are untouched.
+  void set_telemetry(Telemetry* telemetry);
 
   /// Conservative lookahead window (Network::enable_sharding sets this to
   /// the latency model's minimum cross-shard delay). <= 0 triggers the
@@ -221,6 +232,7 @@ class ShardedKernel {
   std::string spill_prefix_;
   TraceSink* trace_target_ = nullptr;
   Profiler* profile_target_ = nullptr;
+  Telemetry* telemetry_ = nullptr;  // S > 1 only; S == 1 attaches the shard
   std::vector<std::unique_ptr<Profiler>> shard_profilers_;
   // Per-window scratch, reused across barriers.
   std::vector<std::size_t> fired_in_window_;

@@ -158,7 +158,9 @@ void Simulator::fire_top(const HeapEntry& top) {
 }
 
 std::size_t Simulator::run_until(SimTime until) {
-  if (profiler_ != nullptr) [[unlikely]] return run_until_profiled(until);
+  if (profiler_ != nullptr || telemetry_ != nullptr) [[unlikely]] {
+    return run_until_instrumented(until);
+  }
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
@@ -177,7 +179,9 @@ std::size_t Simulator::run_until(SimTime until) {
 }
 
 std::size_t Simulator::run_all() {
-  if (profiler_ != nullptr) [[unlikely]] return run_all_profiled();
+  if (profiler_ != nullptr || telemetry_ != nullptr) [[unlikely]] {
+    return run_all_instrumented();
+  }
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];

@@ -53,8 +53,10 @@ namespace decentnet::sim {
 
 // Deliberately only forward-declared here: profiler.hpp drags in hash-table
 // templates, and instantiating those in every TU that includes the kernel
-// header perturbs inlining of the hot paths compiled there.
+// header perturbs inlining of the hot paths compiled there. Telemetry gets
+// the same treatment (telemetry.hpp pulls in <functional> and <fstream>).
 class Profiler;
+class Telemetry;
 class Simulator;
 
 /// Handle used to cancel a scheduled event (or a periodic series).
@@ -107,6 +109,14 @@ class Simulator {
   /// lifetime rule as the trace sink; null costs one test per fired event.
   void set_profiler(Profiler* profiler) { profiler_ = profiler; }
   Profiler* profiler() const { return profiler_; }
+
+  /// Install (or clear, with nullptr) sim-time telemetry: the drain loop
+  /// samples every registered series at each cadence boundary it crosses
+  /// (see sim/telemetry.hpp). Borrowed, same lifetime rule as the trace
+  /// sink; null costs nothing — the check shares the profiler's once-per-run
+  /// loop selection, not a per-event branch.
+  void set_telemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  Telemetry* telemetry() const { return telemetry_; }
 
   /// Schedule `fn` to run `delay` from now. Negative delays clamp to "now".
   /// `tag` (a string literal) labels the event in trace output.
@@ -198,12 +208,13 @@ class Simulator {
   void heap_pop_min();
   void fire_top(const HeapEntry& top);
   void reclaim_cancelled_top(const HeapEntry& top);
-  /// Drain-loop twins used when a profiler is installed; selected once per
-  /// run_* call and defined in simulator_profiled.cpp — a separate TU, so
-  /// the unprofiled loops (and everything compiled next to them) keep their
-  /// pre-profiler codegen. See the comment atop that file.
-  std::size_t run_until_profiled(SimTime until);
-  std::size_t run_all_profiled();
+  /// Drain-loop twins used when a profiler and/or telemetry is installed;
+  /// selected once per run_* call and defined in simulator_profiled.cpp — a
+  /// separate TU, so the uninstrumented loops (and everything compiled next
+  /// to them) keep their pre-profiler codegen. See the comment atop that
+  /// file.
+  std::size_t run_until_instrumented(SimTime until);
+  std::size_t run_all_instrumented();
   void arm_periodic(std::uint32_t slot, std::uint32_t gen, SimTime when,
                     const char* tag);
   void fire_periodic(std::uint32_t slot, std::uint32_t gen);
@@ -236,6 +247,7 @@ class Simulator {
   // Last on purpose: the hot members above keep their pre-profiler offsets
   // (the fill/drain micros are sensitive to arena_/heap_ crossing lines).
   Profiler* profiler_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 };
 
 inline bool EventHandle::valid() const {

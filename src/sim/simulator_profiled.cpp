@@ -1,9 +1,10 @@
-// Profiled drain loops, deliberately in their own translation unit.
+// Instrumented drain loops, deliberately in their own translation unit.
 //
 // These are separate copies of run_until/run_all — selected once per run_*
-// call, not per event — so installing no profiler leaves the hot loops'
-// codegen untouched. Two earlier shapes measurably regressed the fill/drain
-// micros with the profiler *disabled*:
+// call, not per event — used whenever a profiler and/or telemetry is
+// installed, so installing neither leaves the hot loops' codegen untouched.
+// Two earlier shapes measurably regressed the fill/drain micros with the
+// profiler *disabled*:
 //   * a per-event `if (profiler_)` inside fire_top perturbed GCC's inlining
 //     of the fire path;
 //   * defining these loops inside simulator.cpp shifted the unit-growth
@@ -12,14 +13,23 @@
 // Keeping them here leaves simulator.cpp compiling to the same code as
 // before the profiler existed, give or take the two entry checks.
 //
-// The timer brackets all of fire_top, so per-tag wall time includes the
-// kernel's own pop/recycle work, not just the callback body.
+// The profiler timer brackets all of fire_top, so per-tag wall time includes
+// the kernel's own pop/recycle work, not just the callback body.
+//
+// Telemetry sampling happens *between* events: before firing an event past a
+// cadence boundary, every boundary strictly before it is sampled, so a
+// boundary-T sample always reflects the state after all events at t <= T
+// have run (events at exactly T fire before the T sample). The per-event
+// cost when telemetry is on but not yet due is one load + compare.
 #include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 namespace decentnet::sim {
 
-std::size_t Simulator::run_until_profiled(SimTime until) {
+std::size_t Simulator::run_until_instrumented(SimTime until) {
+  Profiler* const prof = profiler_;
+  Telemetry* const tel = telemetry_;
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
@@ -28,17 +38,27 @@ std::size_t Simulator::run_until_profiled(SimTime until) {
       continue;
     }
     if (top.when > until) break;
-    const char* tag = arena_[top.slot].tag;
-    const std::uint64_t t0 = Profiler::now_ns();
-    fire_top(top);
-    profiler_->record(tag, Profiler::now_ns() - t0);
+    if (tel != nullptr && top.when > tel->next_due()) {
+      tel->advance_to(top.when - 1);
+    }
+    if (prof != nullptr) {
+      const char* tag = arena_[top.slot].tag;
+      const std::uint64_t t0 = Profiler::now_ns();
+      fire_top(top);
+      prof->record(tag, Profiler::now_ns() - t0);
+    } else {
+      fire_top(top);
+    }
     ++n;
   }
   if (now_ < until) now_ = until;
+  if (tel != nullptr) tel->advance_to(until);
   return n;
 }
 
-std::size_t Simulator::run_all_profiled() {
+std::size_t Simulator::run_all_instrumented() {
+  Profiler* const prof = profiler_;
+  Telemetry* const tel = telemetry_;
   std::size_t n = 0;
   while (!heap_.empty()) {
     const HeapEntry top = heap_[0];
@@ -46,12 +66,20 @@ std::size_t Simulator::run_all_profiled() {
       reclaim_cancelled_top(top);
       continue;
     }
-    const char* tag = arena_[top.slot].tag;
-    const std::uint64_t t0 = Profiler::now_ns();
-    fire_top(top);
-    profiler_->record(tag, Profiler::now_ns() - t0);
+    if (tel != nullptr && top.when > tel->next_due()) {
+      tel->advance_to(top.when - 1);
+    }
+    if (prof != nullptr) {
+      const char* tag = arena_[top.slot].tag;
+      const std::uint64_t t0 = Profiler::now_ns();
+      fire_top(top);
+      prof->record(tag, Profiler::now_ns() - t0);
+    } else {
+      fire_top(top);
+    }
     ++n;
   }
+  if (tel != nullptr) tel->advance_to(now_);
   return n;
 }
 

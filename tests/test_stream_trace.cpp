@@ -21,6 +21,7 @@
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "overlay/gossip.hpp"
+#include "sim/profiler.hpp"
 #include "sim/sharding.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -50,10 +51,12 @@ std::string slurp(const std::string& path) {
 /// carries records from two merges and between-run driver activity).
 /// Traces to `sink`; spills per shard under `spill_prefix` when non-empty.
 void sharded_workload(ds::TraceSink& sink, std::size_t shards,
-                      std::size_t threads, const std::string& spill_prefix) {
+                      std::size_t threads, const std::string& spill_prefix,
+                      ds::Profiler* profiler = nullptr) {
   ds::ShardedKernel kernel(/*seed=*/11, shards);
   if (!spill_prefix.empty()) kernel.set_trace_spill(spill_prefix);
   kernel.set_trace(&sink);
+  kernel.set_profiler(profiler);
   const std::size_t n = 24;
   dn::Network netw(kernel.shard(0),
                    std::make_unique<dn::ConstantLatency>(ds::millis(10)),
@@ -188,6 +191,28 @@ TEST(StreamTrace, ShardedSpillByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(sharded_spilled(4, 1, "t1"), buffered);
   EXPECT_EQ(sharded_spilled(4, 2, "t2"), buffered);
   EXPECT_EQ(sharded_spilled(4, 4, "t4"), buffered);
+}
+
+TEST(StreamTrace, ProfileComposesWithStreamedTrace) {
+  // --profile and --stream-trace together on a sharded kernel: the profiled
+  // drain path must not disturb a single traced byte at any thread count,
+  // and the profiler must actually collect samples (a silent no-op would
+  // also pass a pure byte-compare).
+  const std::string buffered = sharded_buffered(4, 1);
+  EXPECT_FALSE(buffered.empty());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    const std::string path =
+        temp_path("prof_spill_t" + std::to_string(threads) + ".jsonl");
+    ds::Profiler prof;
+    {
+      ds::StreamingTraceSink sink(path, /*chunk_bytes=*/4096);
+      sharded_workload(sink, 4, threads, path + ".spill", &prof);
+    }
+    EXPECT_EQ(slurp(path), buffered) << "threads=" << threads;
+    EXPECT_FALSE(prof.empty()) << "threads=" << threads;
+    EXPECT_GT(prof.total().events, 100u) << "threads=" << threads;
+    std::remove(path.c_str());
+  }
 }
 
 TEST(StreamTrace, SpillFilesAreRemovedOnTeardown) {

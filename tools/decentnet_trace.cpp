@@ -3,11 +3,21 @@
 //
 //   decentnet-trace TRACE.jsonl [--summary] [--trees] [--top N]
 //                   [--chrome OUT.json]
+//   decentnet-trace timeline SERIES.jsonl [--trace TRACE.jsonl]
+//                   [--csv OUT.csv] [--chrome OUT.json]
 //
 // With no selection flags both the per-kind summary and the propagation-tree
 // table are printed. --chrome additionally writes a Chrome trace_event file
-// for chrome://tracing / Perfetto. Exit status: 0 on success, 1 on bad
-// usage, unreadable input, or a malformed trace.
+// for chrome://tracing / Perfetto.
+//
+// The timeline subcommand reads the telemetry series stream --telemetry
+// writes (see src/sim/telemetry.hpp) and prints per-series statistics plus
+// ramp detection; --trace correlates gauge excursions against the fault
+// inject/heal windows of the matching event trace, --csv exports the raw
+// samples, --chrome writes counter-track trace_event JSON.
+//
+// Exit status: 0 on success, 1 on bad usage, unreadable input, or a
+// malformed trace.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,17 +31,97 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " TRACE.jsonl [--summary] [--trees] [--top N] [--chrome OUT.json]\n"
+      << "       " << argv0
+      << " timeline SERIES.jsonl [--trace TRACE.jsonl] [--csv OUT.csv]\n"
+      << "                 [--chrome OUT.json]\n"
       << "  --summary        per-kind / per-tag record counts\n"
       << "  --trees          propagation-tree stats (needs span records)\n"
       << "  --top N          show the N largest trees (default 10)\n"
       << "  --chrome FILE    write Chrome trace_event JSON to FILE\n"
+      << "  --trace FILE     (timeline) correlate against fault windows\n"
+      << "  --csv FILE       (timeline) export raw samples as CSV\n"
       << "With neither --summary nor --trees, both are printed.\n";
   return 1;
+}
+
+int run_timeline(const char* argv0, int argc, char** argv) {
+  std::string input;
+  std::string trace_in;
+  std::string csv_out;
+  std::string chrome_out;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace") == 0) {
+      if (++i >= argc) return usage(argv0);
+      trace_in = argv[i];
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      if (++i >= argc) return usage(argv0);
+      csv_out = argv[i];
+    } else if (std::strcmp(arg, "--chrome") == 0) {
+      if (++i >= argc) return usage(argv0);
+      chrome_out = argv[i];
+    } else if (arg[0] == '-') {
+      return usage(argv0);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(argv0);
+    }
+  }
+  if (input.empty()) return usage(argv0);
+
+  std::ifstream in(input);
+  if (!in) {
+    std::cerr << "decentnet-trace: cannot open " << input << "\n";
+    return 1;
+  }
+
+  try {
+    const auto samples = decentnet::tracetool::parse_series_jsonl(in);
+    std::cout << decentnet::tracetool::timeline_text(
+        decentnet::tracetool::timeline_stats(samples));
+    if (!trace_in.empty()) {
+      std::ifstream tin(trace_in);
+      if (!tin) {
+        std::cerr << "decentnet-trace: cannot open " << trace_in << "\n";
+        return 1;
+      }
+      const auto records = decentnet::tracetool::parse_jsonl(tin);
+      const std::string faults =
+          decentnet::tracetool::timeline_fault_text(samples, records);
+      if (!faults.empty()) std::cout << "\n" << faults;
+      else std::cout << "\nfault windows: 0\n";
+    }
+    if (!csv_out.empty()) {
+      std::ofstream out(csv_out);
+      if (!out) {
+        std::cerr << "decentnet-trace: cannot write " << csv_out << "\n";
+        return 1;
+      }
+      out << decentnet::tracetool::timeline_csv(samples);
+    }
+    if (!chrome_out.empty()) {
+      std::ofstream out(chrome_out);
+      if (!out) {
+        std::cerr << "decentnet-trace: cannot write " << chrome_out << "\n";
+        return 1;
+      }
+      out << decentnet::tracetool::timeline_chrome_json(samples);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "decentnet-trace: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
+    return run_timeline(argv[0], argc - 2, argv + 2);
+  }
+
   std::string input;
   std::string chrome_out;
   bool want_summary = false;

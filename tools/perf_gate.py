@@ -38,8 +38,12 @@ allocator-deterministic and gets the tighter 10%.
 """
 
 import argparse
+import contextlib
+import io
 import json
+import os
 import sys
+import tempfile
 
 
 # Cells that identify a row within its bench. Absent cells key as None, so
@@ -69,7 +73,107 @@ def load_rows(path):
     return data, rows
 
 
+def self_test():
+    """Exercise the gate against crafted artifacts in a temp dir.
+
+    Covers the contract CI leans on: a clean run passes, a throughput or
+    RSS regression fails, and a pinned baseline row missing from the fresh
+    artifact fails both the gate and --update (a silently shrinking sweep
+    must never pass). Run with: python3 tools/perf_gate.py --self-test
+    """
+
+    def run(argv):
+        out = io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["perf_gate.py"] + argv
+        code = 0
+        try:
+            with contextlib.redirect_stdout(out), \
+                 contextlib.redirect_stderr(out):
+                main()
+        except SystemExit as e:
+            if isinstance(e.code, int):
+                code = e.code
+            else:
+                code = 1
+                out.write(str(e.code))  # sys.exit(message) carries the text
+        finally:
+            sys.argv = old_argv
+        return code or 0, out.getvalue()
+
+    def write(path, data):
+        with open(path, "w") as f:
+            json.dump(data, f)
+
+    def base_row(eps=1000.0, rss=100.0, n=500):
+        return {"bench": "E_test", "overlay": "gossip", "n": n,
+                "events_per_sec": eps, "peak_rss_mb": rss}
+
+    def fresh(rows):
+        return {"id": "E_test", "rows": rows}
+
+    failures = []
+
+    def case(name, argv, want_code, want_text=None):
+        code, out = run(argv)
+        if code != want_code:
+            failures.append(f"{name}: exit {code}, wanted {want_code}\n{out}")
+        elif want_text is not None and want_text not in out:
+            failures.append(f"{name}: output lacks {want_text!r}\n{out}")
+        else:
+            print(f"  {name}: ok")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "baselines.json")
+        fpath = os.path.join(tmp, "fresh.json")
+
+        write(bpath, {"machine": "test", "rows": [base_row()]})
+        write(fpath, fresh([base_row()]))
+        case("clean gate passes", [fpath, "--baselines", bpath], 0)
+
+        write(fpath, fresh([base_row(eps=100.0)]))
+        case("throughput regression fails",
+             [fpath, "--baselines", bpath], 1, "events/sec")
+
+        write(fpath, fresh([base_row(rss=200.0)]))
+        case("rss regression fails", [fpath, "--baselines", bpath], 1,
+             "peak RSS")
+
+        write(fpath, fresh([base_row(n=9999)]))
+        case("missing pinned row fails gate",
+             [fpath, "--baselines", bpath], 1, "missing from fresh run")
+        case("missing pinned row fails --update",
+             [fpath, "--baselines", bpath, "--update"], 1,
+             "lacks pinned points")
+
+        write(fpath, fresh([base_row(eps=5000.0, rss=50.0)]))
+        case("update rewrites baselines",
+             [fpath, "--baselines", bpath, "--update", "--machine", "t2"], 0)
+        with open(bpath) as f:
+            updated = json.load(f)
+        if updated["machine"] != "t2" or \
+                updated["rows"][0]["events_per_sec"] != 5000.0:
+            failures.append("update did not rewrite the baseline row")
+        else:
+            print("  updated baselines verified: ok")
+
+        write(fpath, {"id": "E_test", "rows": [{"overlay": "gossip",
+                                                "n": 500}]})
+        case("rows without timing cells fail",
+             [fpath, "--baselines", bpath], 1, "timing cells")
+
+    if failures:
+        print("perf_gate --self-test: FAIL", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("perf_gate --self-test: all cases passed")
+    return 0
+
+
 def main():
+    if sys.argv[1:] == ["--self-test"]:
+        sys.exit(self_test())
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("bench_json", help="BENCH_E20_scale.json from a fresh run")
     ap.add_argument("--baselines", default="bench/baselines.json")
@@ -153,7 +257,7 @@ def main():
               f"(baseline {rss_base:.1f}) ... {status}")
         for v in verdict:
             failures.append(f"{key_label(key)}: {v}")
-    if gated == 0:
+    if gated == 0 and not failures:
         sys.exit(f"perf_gate: no baseline rows matched bench {fresh_id!r}")
     if failures:
         print(f"\nperf_gate: FAIL (machine class: "

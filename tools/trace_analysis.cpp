@@ -1,10 +1,13 @@
 #include "trace_analysis.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
 #include <iomanip>
 #include <istream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -363,6 +366,354 @@ std::string chrome_trace_json(const std::vector<Tree>& trees) {
          << ",\"bytes\":" << h.bytes << ",\"queue_us\":" << h.queue_us
          << ",\"dropped\":" << (h.dropped ? 1 : 0) << "}}";
     }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry timelines
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_series_line(std::size_t lineno, const std::string& why) {
+  throw std::runtime_error("series line " + std::to_string(lineno) + ": " +
+                           why);
+}
+
+/// Parse one series record. Same flat-object discipline as parse_line, but
+/// the "v" value is a full double (the sink writes shortest round-trip
+/// form: "3", "0.5", "1e+20", negatives included).
+Sample parse_series_line(const std::string& line, std::size_t lineno) {
+  Sample s;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  const auto expect = [&](char c) {
+    skip_ws();
+    if (i >= line.size() || line[i] != c) {
+      bad_series_line(lineno, std::string("expected '") + c + "'");
+    }
+    ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    expect('"');
+    std::string out;
+    while (i < line.size() && line[i] != '"') {
+      char c = line[i++];
+      if (c == '\\') {
+        if (i >= line.size()) bad_series_line(lineno, "dangling escape");
+        c = line[i++];  // series names are plain identifiers; \" \\ suffice
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  };
+  const auto parse_number = [&]() -> double {
+    skip_ws();
+    const char* begin = line.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) bad_series_line(lineno, "expected number");
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  };
+
+  expect('{');
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return s;  // empty object
+  while (true) {
+    const std::string key = parse_string();
+    expect(':');
+    skip_ws();
+    if (key == "series") {
+      s.series = parse_string();
+    } else if (i < line.size() && line[i] == '"') {
+      parse_string();  // unknown string field: tolerate and drop
+    } else {
+      const double v = parse_number();
+      if (key == "t") s.t = static_cast<std::int64_t>(v);
+      else if (key == "shard") s.shard = static_cast<std::uint32_t>(v);
+      else if (key == "v") s.v = v;
+      // unknown numeric fields are tolerated and dropped
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    expect('}');
+    break;
+  }
+  return s;
+}
+
+/// Shortest round-trip double formatting — the exact bytes the sink wrote,
+/// so the CSV export round-trips values losslessly.
+std::string fmt_double(double v) {
+  char tmp[32];
+  const auto res = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  if (res.ec != std::errc()) return "0";
+  return std::string(tmp, res.ptr);
+}
+
+/// 6-significant-digit form for the stats table: fits the columns, still a
+/// deterministic function of the value (to_chars, not locale-aware printf).
+std::string fmt_stat(double v) {
+  char tmp[32];
+  const auto res =
+      std::to_chars(tmp, tmp + sizeof(tmp), v, std::chars_format::general, 6);
+  if (res.ec != std::errc()) return "0";
+  return std::string(tmp, res.ptr);
+}
+
+}  // namespace
+
+std::vector<Sample> parse_series_jsonl(std::istream& in) {
+  std::vector<Sample> out;
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint32_t segment = 0;
+  std::int64_t prev_t = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    Sample s = parse_series_line(line, lineno);
+    if (s.t < prev_t) ++segment;  // fresh run appended to the same file
+    prev_t = s.t;
+    s.segment = segment;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<SeriesStats> timeline_stats(const std::vector<Sample>& samples) {
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::string>;
+  std::map<Key, std::vector<const Sample*>> groups;
+  for (const Sample& s : samples) {
+    groups[{s.segment, s.shard, s.series}].push_back(&s);
+  }
+
+  std::vector<SeriesStats> out;
+  out.reserve(groups.size());
+  for (const auto& [key, pts] : groups) {
+    SeriesStats st;
+    st.segment = std::get<0>(key);
+    st.shard = std::get<1>(key);
+    st.series = std::get<2>(key);
+    st.count = pts.size();
+    st.first = pts.front()->v;
+    st.last = pts.back()->v;
+    st.t_first = pts.front()->t;
+    st.t_last = pts.back()->t;
+    st.min = st.max = st.first;
+    double sum = 0;
+    std::vector<double> sorted;
+    sorted.reserve(pts.size());
+    for (const Sample* p : pts) {
+      st.min = std::min(st.min, p->v);
+      st.max = std::max(st.max, p->v);
+      sum += p->v;
+      sorted.push_back(p->v);
+    }
+    st.mean = sum / static_cast<double>(pts.size());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t k = (sorted.size() * 99 + 99) / 100;  // ceil(0.99 n)
+    st.p99 = sorted[k - 1];
+
+    // Ramp: longest maximal nondecreasing run that spans >= 4 samples and
+    // multiplies the value by >= 4x (0 -> anything positive counts). Ties
+    // go to the earliest run.
+    std::size_t run_start = 0;
+    std::size_t best_len = 0;
+    const auto consider = [&](std::size_t lo, std::size_t hi) {  // [lo, hi]
+      const std::size_t len = hi - lo + 1;
+      if (len < 4 || len <= best_len) return;
+      const double from = pts[lo]->v;
+      const double to = pts[hi]->v;
+      if (from > 0 ? to < 4 * from : to <= 0) return;
+      best_len = len;
+      st.ramp = true;
+      st.ramp_t0 = pts[lo]->t;
+      st.ramp_t1 = pts[hi]->t;
+      st.ramp_from = from;
+      st.ramp_to = to;
+    };
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (pts[i]->v < pts[i - 1]->v) {
+        consider(run_start, i - 1);
+        run_start = i;
+      }
+    }
+    consider(run_start, pts.size() - 1);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::string timeline_text(const std::vector<SeriesStats>& stats) {
+  std::ostringstream os;
+  os << "series: " << stats.size() << "\n";
+  os << std::right << std::setw(4) << "seg" << std::setw(6) << "shard"
+     << "  " << std::left << std::setw(26) << "series" << std::right
+     << std::setw(7) << "count" << std::setw(13) << "min" << std::setw(13)
+     << "mean" << std::setw(13) << "max" << std::setw(13) << "p99"
+     << std::setw(13) << "first" << std::setw(13) << "last" << "\n";
+  for (const SeriesStats& st : stats) {
+    os << std::right << std::setw(4) << st.segment << std::setw(6) << st.shard
+       << "  " << std::left << std::setw(26) << st.series << std::right
+       << std::setw(7) << st.count << std::setw(13) << fmt_stat(st.min)
+       << std::setw(13) << fmt_stat(st.mean) << std::setw(13)
+       << fmt_stat(st.max) << std::setw(13) << fmt_stat(st.p99)
+       << std::setw(13) << fmt_stat(st.first) << std::setw(13)
+       << fmt_stat(st.last) << "\n";
+  }
+  bool header = false;
+  for (const SeriesStats& st : stats) {
+    if (!st.ramp) continue;
+    if (!header) {
+      os << "ramps:\n";
+      header = true;
+    }
+    os << "  seg " << st.segment << " shard " << st.shard << " " << st.series
+       << ": " << fmt_stat(st.ramp_from) << " -> " << fmt_stat(st.ramp_to)
+       << " over [" << st.ramp_t0 << ", " << st.ramp_t1 << "] us\n";
+  }
+  return os.str();
+}
+
+std::string timeline_fault_text(const std::vector<Sample>& samples,
+                                const std::vector<Record>& trace) {
+  // Fault windows, with the same segment convention as the series stream.
+  struct Window {
+    std::uint32_t segment = 0;
+    std::string tag;
+    std::uint64_t id = 0;    // plan event index
+    std::uint64_t node = 0;  // target node index
+    std::int64_t t0 = 0;     // inject time
+    std::int64_t t1 = -1;    // heal time; -1 = no heal seen
+  };
+  std::vector<Window> windows;
+  std::uint32_t segment = 0;
+  std::int64_t prev_t = 0;
+  for (const Record& r : trace) {
+    if (r.t < prev_t) ++segment;
+    prev_t = r.t;
+    if (r.kind == "fault") {
+      Window w;
+      w.segment = segment;
+      w.tag = r.tag;
+      w.id = r.id;
+      w.node = r.a;
+      w.t0 = r.t;
+      if (r.b != 0) w.t1 = static_cast<std::int64_t>(r.b);  // planned heal
+      windows.push_back(std::move(w));
+    } else if (r.kind == "heal") {
+      for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+        if (it->segment == segment && it->id == r.id) {
+          it->t1 = r.t;  // actual heal wins over the planned time
+          break;
+        }
+      }
+    }
+  }
+  if (windows.empty()) return "";
+
+  // Per-segment end time (closes never-healed windows) and per-series
+  // sample groups.
+  std::map<std::uint32_t, std::int64_t> seg_end;
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::string>;
+  std::map<Key, std::vector<const Sample*>> groups;
+  for (const Sample& s : samples) {
+    auto [it, inserted] = seg_end.emplace(s.segment, s.t);
+    if (!inserted) it->second = std::max(it->second, s.t);
+    groups[{s.segment, s.shard, s.series}].push_back(&s);
+  }
+  for (Window& w : windows) {
+    if (w.t1 >= 0) continue;
+    const auto it = seg_end.find(w.segment);
+    w.t1 = it != seg_end.end() ? it->second : w.t0;
+  }
+
+  const auto in_any_window = [&](std::uint32_t seg, std::int64_t t) {
+    for (const Window& w : windows) {
+      if (w.segment == seg && t >= w.t0 && t <= w.t1) return true;
+    }
+    return false;
+  };
+
+  std::ostringstream os;
+  os << "fault windows: " << windows.size() << "\n";
+  for (const Window& w : windows) {
+    os << "  seg " << w.segment << " " << w.tag << " id " << w.id << " node "
+       << w.node << " [" << w.t0 << ", " << w.t1 << "] us\n";
+    for (const auto& [key, pts] : groups) {
+      if (std::get<0>(key) != w.segment) continue;
+      // Baseline: median of the samples outside every fault window of this
+      // segment (the series' quiet level). Window max above 2x baseline —
+      // or above zero when the baseline is zero — is an excursion.
+      std::vector<double> outside;
+      double win_max = 0;
+      bool in_window = false;
+      for (const Sample* p : pts) {
+        if (p->t >= w.t0 && p->t <= w.t1) {
+          win_max = in_window ? std::max(win_max, p->v) : p->v;
+          in_window = true;
+        }
+        if (!in_any_window(std::get<0>(key), p->t)) outside.push_back(p->v);
+      }
+      if (!in_window) continue;
+      double baseline = 0;
+      if (!outside.empty()) {
+        std::sort(outside.begin(), outside.end());
+        baseline = outside[(outside.size() - 1) / 2];
+      }
+      const bool excursion =
+          baseline > 0 ? win_max > 2 * baseline : win_max > 0;
+      if (!excursion) continue;
+      os << "    excursion shard " << std::get<1>(key) << " "
+         << std::get<2>(key) << ": max " << fmt_stat(win_max)
+         << " vs baseline " << fmt_stat(baseline) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string timeline_csv(const std::vector<Sample>& samples) {
+  std::string out = "segment,t_us,shard,series,v\n";
+  for (const Sample& s : samples) {
+    out += std::to_string(s.segment);
+    out += ',';
+    out += std::to_string(s.t);
+    out += ',';
+    out += std::to_string(s.shard);
+    out += ',';
+    out += s.series;
+    out += ',';
+    out += fmt_double(s.v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string timeline_chrome_json(const std::vector<Sample>& samples) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (!first) os << ",\n";
+    first = false;
+    // Counters are keyed by (pid, name): fold the shard into the name so
+    // per-shard series render as separate tracks.
+    os << "{\"ph\":\"C\",\"pid\":" << s.segment << ",\"tid\":" << s.shard
+       << ",\"ts\":" << s.t << ",\"name\":\"" << s.series;
+    if (s.shard != 0) os << "#" << s.shard;
+    os << "\",\"args\":{\"v\":" << fmt_double(s.v) << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();

@@ -110,4 +110,80 @@ std::string tree_stats_text(const std::vector<Tree>& trees, std::size_t top_n);
 /// depth, plus "M" process_name metadata per tree.
 std::string chrome_trace_json(const std::vector<Tree>& trees);
 
+// ---------------------------------------------------------------------------
+// Telemetry timelines (the JSONL series files --telemetry writes, see
+// src/sim/telemetry.hpp: {"t":T,"shard":S,"series":"name","v":V})
+// ---------------------------------------------------------------------------
+
+/// One telemetry sample. `v` is a double — counters serialize as integers
+/// but gauges can be fractional, so series files get their own parser (the
+/// trace Record parser deliberately rejects non-integer numbers).
+struct Sample {
+  std::uint32_t segment = 0;  // backwards jump in `t` starts a new segment
+  std::int64_t t = 0;
+  std::uint32_t shard = 0;
+  std::string series;
+  double v = 0;
+};
+
+/// Parse a JSONL series stream. Blank lines are skipped; a malformed line
+/// throws std::runtime_error naming the 1-based line number. Segments follow
+/// the same convention as build_trees: benches append several runs to one
+/// file and each fresh run restarts sim time at zero.
+std::vector<Sample> parse_series_jsonl(std::istream& in);
+
+/// Per-(segment, shard, series) statistics. Ramp detection finds the longest
+/// nondecreasing run of samples; it is reported when the run spans at least
+/// 4 samples and multiplies the value by at least 4x (a climb from zero to
+/// any positive value counts) — the shape of a TCP cwnd opening up or a
+/// queue building toward saturation.
+struct SeriesStats {
+  std::uint32_t segment = 0;
+  std::uint32_t shard = 0;
+  std::string series;
+  std::uint64_t count = 0;
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+  double p99 = 0;  // value at ceil(0.99 * count) over the sorted samples
+  double first = 0;
+  double last = 0;
+  std::int64_t t_first = 0;
+  std::int64_t t_last = 0;
+  bool ramp = false;
+  std::int64_t ramp_t0 = 0;  // ramp window, absolute us (valid when `ramp`)
+  std::int64_t ramp_t1 = 0;
+  double ramp_from = 0;
+  double ramp_to = 0;
+};
+
+/// Derive stats for every (segment, shard, series) group, in that key order.
+std::vector<SeriesStats> timeline_stats(const std::vector<Sample>& samples);
+
+/// Deterministic text table over the stats, one row per series, with a
+/// trailing "ramps:" section naming each detected ramp.
+std::string timeline_text(const std::vector<SeriesStats>& stats);
+
+/// Correlate series excursions with fault windows from the matching event
+/// trace. Each "fault" record opens a window at its `t`, closed by the
+/// "heal" record with the same plan index in the same segment (falling back
+/// to the record's heal-time field, else the end of the segment). For every
+/// series in that segment, the window max is compared against the baseline
+/// median of the samples outside every fault window: an excursion is
+/// reported when the in-window max exceeds 2x the baseline (any nonzero max
+/// counts when the baseline is zero). Returns deterministic text; empty when
+/// the trace has no fault records.
+std::string timeline_fault_text(const std::vector<Sample>& samples,
+                                const std::vector<Record>& trace);
+
+/// CSV export: "segment,t_us,shard,series,v" header plus one row per sample
+/// in input order. `v` round-trips through the same shortest-form double
+/// formatting the sink used.
+std::string timeline_csv(const std::vector<Sample>& samples);
+
+/// Chrome trace_event JSON: one "C" counter event per sample (pid = segment,
+/// tid = shard), so series render as counter tracks alongside the span
+/// slices chrome_trace_json emits.
+std::string timeline_chrome_json(const std::vector<Sample>& samples);
+
 }  // namespace decentnet::tracetool
